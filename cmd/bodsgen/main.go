@@ -1,0 +1,66 @@
+// Command bodsgen emits BoDS key streams (the paper's workload generator)
+// for use outside the benchmark harness.
+//
+// Usage:
+//
+//	bodsgen -n 1000000 -k 0.05 -l 1.0 -seed 42 -format text > keys.txt
+//	bodsgen -n 1000000 -k 0.05 -format binary > keys.bin   # little-endian int64
+//	bodsgen -n 1000000 -k 0.05 -measure                     # print metrics only
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/sortedness"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "number of entries")
+		k       = flag.Float64("k", 0.05, "fraction of out-of-order entries [0,1]")
+		l       = flag.Float64("l", 1.0, "max displacement as a fraction of n (0,1]")
+		alpha   = flag.Float64("alpha", 1, "Beta-distribution alpha (placement skew)")
+		beta    = flag.Float64("beta", 1, "Beta-distribution beta (placement skew)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		format  = flag.String("format", "text", "output format: text | binary")
+		measure = flag.Bool("measure", false, "print K-L metrics instead of keys")
+	)
+	flag.Parse()
+
+	keys := bods.Generate(bods.Spec{
+		N: *n, K: *k, L: *l, Alpha: *alpha, Beta: *beta, Seed: *seed,
+	})
+
+	if *measure {
+		m := sortedness.Measure(keys)
+		fmt.Printf("N=%d K=%d (%.4f%%) L=%d (%.4f%%) adjacent-inversions=%d\n",
+			m.N, m.K, m.KFraction()*100, m.L, m.LFraction()*100, m.AdjacentInversions)
+		return
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	switch *format {
+	case "text":
+		for _, key := range keys {
+			fmt.Fprintln(w, key)
+		}
+	case "binary":
+		var buf [8]byte
+		for _, key := range keys {
+			binary.LittleEndian.PutUint64(buf[:], uint64(key))
+			if _, err := w.Write(buf[:]); err != nil {
+				fmt.Fprintf(os.Stderr, "bodsgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bodsgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

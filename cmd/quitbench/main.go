@@ -1,0 +1,121 @@
+// Command quitbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	quitbench -list
+//	quitbench -exp fig08 -n 2000000
+//	quitbench -exp all -quick
+//
+// Every experiment prints one or more aligned ASCII tables matching the
+// rows/series the paper reports; see EXPERIMENTS.md for the paper-vs-
+// measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/quittree/quit/internal/experiments"
+	"github.com/quittree/quit/internal/harness"
+)
+
+var _ = experiments.RunTab01 // link the experiment registry
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (e.g. fig08), comma list, or 'all'")
+		n       = flag.Int("n", 0, "entries to ingest (default 2,000,000)")
+		lookups = flag.Int("lookups", 0, "point lookups per query phase (default n/10)")
+		ranges  = flag.Int("ranges", 0, "range queries per selectivity (default 200)")
+		leaf    = flag.Int("leaf", 0, "leaf capacity in entries (default 510)")
+		fanout  = flag.Int("fanout", 0, "internal fanout (default 256)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		threads = flag.String("threads", "", "comma list for fig13 (default 1,2,4,8,16)")
+		quick   = flag.Bool("quick", false, "small fast run (smoke scale)")
+		format  = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("  %-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	p := harness.DefaultParams()
+	if *quick {
+		p.N = 200_000
+		p.Lookups = 50_000
+		p.RangeLookups = 50
+		p.Threads = []int{1, 2, 4}
+		p.Quick = true
+	}
+	if *n > 0 {
+		p.N = *n
+		p.Lookups = *n / 10
+	}
+	if *lookups > 0 {
+		p.Lookups = *lookups
+	}
+	if *ranges > 0 {
+		p.RangeLookups = *ranges
+	}
+	if *leaf > 0 {
+		p.LeafCapacity = *leaf
+	}
+	if *fanout > 0 {
+		p.InternalFanout = *fanout
+	}
+	p.Seed = *seed
+	if *threads != "" {
+		p.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t < 1 {
+				fmt.Fprintf(os.Stderr, "quitbench: bad -threads entry %q\n", part)
+				os.Exit(2)
+			}
+			p.Threads = append(p.Threads, t)
+		}
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = nil
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	fmt.Printf("quitbench: N=%d leaf=%d fanout=%d lookups=%d seed=%d\n\n",
+		p.N, p.LeafCapacity, p.InternalFanout, p.Lookups, p.Seed)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "quitbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := e.Run(p)
+		for _, tab := range tables {
+			switch *format {
+			case "csv":
+				if err := tab.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "quitbench: writing csv: %v\n", err)
+					os.Exit(1)
+				}
+			default:
+				tab.Render(os.Stdout)
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("   [%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

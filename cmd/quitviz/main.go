@@ -1,0 +1,114 @@
+// Command quitviz ingests a BoDS workload into one or more index designs
+// and dumps each tree's shape: per-level node counts, leaf-occupancy
+// histogram, fast-path state and operation counters. Handy for eyeballing
+// how the variable split packs leaves and when fast paths go stale.
+//
+// Usage:
+//
+//	quitviz -n 1000000 -k 0.05 -design quit
+//	quitviz -n 1000000 -k 0.05 -design all -leaf 128
+//	bodsgen -n 1000000 -k 0.05 -format binary | quitviz -input - -design quit
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+)
+
+var designs = map[string]core.Mode{
+	"btree": core.ModeNone,
+	"tail":  core.ModeTail,
+	"lil":   core.ModeLIL,
+	"pole":  core.ModePOLE,
+	"quit":  core.ModeQuIT,
+}
+
+func main() {
+	var (
+		n      = flag.Int("n", 1_000_000, "entries to ingest")
+		k      = flag.Float64("k", 0.05, "fraction of out-of-order entries")
+		l      = flag.Float64("l", 1.0, "max displacement fraction")
+		seed   = flag.Int64("seed", 42, "workload seed")
+		leaf   = flag.Int("leaf", 0, "leaf capacity (default 510)")
+		fanout = flag.Int("fanout", 0, "internal fanout (default 256)")
+		design = flag.String("design", "quit", "btree | tail | lil | pole | quit | all")
+		input  = flag.String("input", "", "replay little-endian int64 keys from a file ('-' = stdin) instead of generating")
+	)
+	flag.Parse()
+
+	var keys []int64
+	if *input != "" {
+		var err error
+		keys, err = readTrace(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quitviz: reading trace: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		keys = bods.Generate(bods.Spec{N: *n, K: *k, L: *l, Seed: *seed})
+	}
+
+	var names []string
+	if *design == "all" {
+		names = []string{"btree", "tail", "lil", "pole", "quit"}
+	} else {
+		names = strings.Split(*design, ",")
+	}
+	for _, name := range names {
+		mode, ok := designs[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "quitviz: unknown design %q\n", name)
+			os.Exit(2)
+		}
+		tr := core.New[int64, int64](core.Config{
+			Mode: mode, LeafCapacity: *leaf, InternalFanout: *fanout,
+		})
+		for _, key := range keys {
+			tr.Put(key, key)
+		}
+		tr.DumpShape(os.Stdout)
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "quitviz: VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// readTrace loads a binary key trace as emitted by bodsgen -format binary.
+func readTrace(path string) ([]int64, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	var keys []int64
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				return keys, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("truncated trace after %d keys: not a whole number of int64 values", len(keys))
+			}
+			return nil, err
+		}
+		keys = append(keys, int64(binary.LittleEndian.Uint64(buf[:])))
+	}
+}

@@ -1,0 +1,114 @@
+package quit_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	quit "github.com/quittree/quit"
+)
+
+// Demonstrates choosing a baseline design and reading the fast-path stats.
+func ExampleOptions() {
+	idx := quit.New[int64, int64](quit.Options{Design: quit.TailBPlusTree})
+	for i := int64(0); i < 1000; i++ {
+		idx.Insert(i, i)
+	}
+	st := idx.Stats()
+	fmt.Printf("%s: %.0f%% fast inserts\n", quit.TailBPlusTree, st.FastInsertFraction()*100)
+	// Output:
+	// tail-B+-tree: 100% fast inserts
+}
+
+// Demonstrates half-open range scans.
+func ExampleTree_Range() {
+	idx := quit.New[int64, string](quit.Options{})
+	idx.Put(10, "ten")
+	idx.Put(20, "twenty")
+	idx.Put(30, "thirty")
+	n := idx.Range(10, 30, func(k int64, v string) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	fmt.Println("visited:", n)
+	// Output:
+	// 10 ten
+	// 20 twenty
+	// visited: 2
+}
+
+// Demonstrates ordered predecessor/successor queries.
+func ExampleTree_Floor() {
+	idx := quit.New[int64, string](quit.Options{})
+	idx.Put(100, "v1")
+	idx.Put(200, "v2")
+	if k, _, ok := idx.Floor(150); ok {
+		fmt.Println("floor:", k)
+	}
+	if k, _, ok := idx.Ceiling(150); ok {
+		fmt.Println("ceiling:", k)
+	}
+	// Output:
+	// floor: 100
+	// ceiling: 200
+}
+
+// Demonstrates cursor iteration from a seek position.
+func ExampleTree_Seek() {
+	idx := quit.New[int64, int64](quit.Options{})
+	for i := int64(0); i < 10; i++ {
+		idx.Insert(i, i*i)
+	}
+	it := idx.Seek(7)
+	for it.Next() {
+		fmt.Println(it.Key(), it.Value())
+	}
+	// Output:
+	// 7 49
+	// 8 64
+	// 9 81
+}
+
+// Demonstrates snapshotting a tree and restoring it.
+func ExampleLoad() {
+	src := quit.New[int64, string](quit.Options{})
+	src.Put(1, "alpha")
+	src.Put(2, "beta")
+
+	var snap bytes.Buffer
+	if err := src.Save(&snap); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := quit.Load[int64, string](&snap, quit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := restored.Get(2)
+	fmt.Println(restored.Len(), v)
+	// Output:
+	// 2 beta
+}
+
+// Demonstrates generating a BoDS workload and measuring its sortedness.
+func ExampleGenerateWorkload() {
+	keys := quit.GenerateWorkload(quit.WorkloadSpec{N: 100000, K: 0.05, L: 0.5, Seed: 7})
+	m := quit.MeasureSortedness(keys)
+	fmt.Printf("N=%d, K within [4%%, 7%%]: %v\n", m.N, m.KFraction() > 0.04 && m.KFraction() < 0.07)
+	// Output:
+	// N=100000, K within [4%, 7%]: true
+}
+
+// Demonstrates backward iteration.
+func ExampleIterator_Prev() {
+	idx := quit.New[int64, string](quit.Options{})
+	idx.Put(1, "a")
+	idx.Put(2, "b")
+	idx.Put(3, "c")
+	for it := idx.SeekLast(); it.Prev(); {
+		fmt.Println(it.Key(), it.Value())
+	}
+	// Output:
+	// 3 c
+	// 2 b
+	// 1 a
+}

@@ -1,0 +1,61 @@
+// Quickstart: the basic Quick Insertion Tree workflow — create, insert,
+// look up, range-scan, delete — plus the stats that show the fast path at
+// work.
+package main
+
+import (
+	"fmt"
+
+	quit "github.com/quittree/quit"
+)
+
+func main() {
+	// The zero Options value selects the paper's defaults: the QuIT design
+	// with 510-entry leaves.
+	idx := quit.New[int64, string](quit.Options{})
+
+	// Insert a few entries; keys arrive in order, so every insert after
+	// the first rides the fast path.
+	events := []struct {
+		ts   int64
+		name string
+	}{
+		{1000, "boot"}, {1005, "listen"}, {1009, "accept"},
+		{1013, "read"}, {1020, "write"}, {1031, "close"},
+	}
+	for _, e := range events {
+		idx.Put(e.ts, e.name)
+	}
+
+	// Point lookup.
+	if v, ok := idx.Get(1013); ok {
+		fmt.Printf("ts=1013 -> %s\n", v)
+	}
+
+	// Range scan: everything in [1005, 1020).
+	fmt.Println("window [1005,1020):")
+	idx.Range(1005, 1020, func(ts int64, name string) bool {
+		fmt.Printf("  %d %s\n", ts, name)
+		return true
+	})
+
+	// Overwrite and delete.
+	idx.Put(1031, "close(graceful)")
+	if prev, ok := idx.Delete(1000); ok {
+		fmt.Printf("deleted ts=1000 (%s)\n", prev)
+	}
+
+	// Min/Max and size.
+	if k, v, ok := idx.Min(); ok {
+		fmt.Printf("min: %d %s\n", k, v)
+	}
+	if k, v, ok := idx.Max(); ok {
+		fmt.Printf("max: %d %s\n", k, v)
+	}
+	fmt.Printf("entries: %d, height: %d\n", idx.Len(), idx.Height())
+
+	// The stats tell you how well the fast path matched your stream.
+	st := idx.Stats()
+	fmt.Printf("fast-inserts: %d of %d (%.0f%%)\n",
+		st.FastInserts, st.Inserts(), st.FastInsertFraction()*100)
+}

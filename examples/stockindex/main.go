@@ -1,0 +1,81 @@
+// Stockindex: indexing a market price stream on the price attribute, the
+// paper's real-world scenario (§5.5). Prices trend upward with intraday
+// noise, so the stream is implicitly near-sorted even though nobody sorted
+// it — exactly the "sortedness as an unexploited resource" QuIT targets.
+//
+// The example synthesizes a price walk inline (the repository's
+// internal/stock package provides richer NIFTY/SPXUSD-like generators for
+// the benchmark harness), then compares all five index designs.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	quit "github.com/quittree/quit"
+)
+
+// priceKeys generates minute-close prices via a trending random walk and
+// encodes them as unique integer keys: price ticks in the high bits, the
+// minute sequence in the low bits (a (price, ts) composite key).
+func priceKeys(minutes int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	price := 8000.0
+	drift := 0.15 / 100_000
+	vol := 0.10 / math.Sqrt(100_000)
+	trend := 0.0
+	keys := make([]int64, minutes)
+	for i := range keys {
+		trend += -trend/4000 + 1.4*vol/65*rng.NormFloat64()
+		price *= 1 + drift + trend + vol*rng.NormFloat64()
+		if price < 1 {
+			price = 1
+		}
+		keys[i] = int64(price*100)<<22 | int64(i)
+	}
+	return keys
+}
+
+func main() {
+	const minutes = 1_000_000
+	keys := priceKeys(minutes, 2015)
+
+	m := quit.MeasureSortedness(keys)
+	fmt.Printf("synthetic instrument: %d minute closes, K=%.1f%%, adjacent inversions=%.1f%%\n\n",
+		m.N, m.KFraction()*100, float64(m.AdjacentInversions)/float64(m.N)*100)
+
+	designs := []quit.Design{
+		quit.BPlusTree, quit.TailBPlusTree, quit.LILBPlusTree, quit.QuIT,
+	}
+	var base time.Duration
+	fmt.Printf("%-14s %10s %9s %13s\n", "design", "ingest", "speedup", "fast-inserts")
+	for _, d := range designs {
+		idx := quit.New[int64, int64](quit.Options{Design: d})
+		runtime.GC() // don't bill the previous design's garbage to this one
+		start := time.Now()
+		for i, k := range keys {
+			idx.Insert(k, int64(i))
+		}
+		elapsed := time.Since(start)
+		if d == quit.BPlusTree {
+			base = elapsed
+		}
+		fmt.Printf("%-14s %10s %8.2fx %12.1f%%\n",
+			d, elapsed.Round(time.Millisecond),
+			float64(base)/float64(elapsed),
+			idx.Stats().FastInsertFraction()*100)
+	}
+
+	// Price-band query on the final QuIT index: how many minutes closed in
+	// a band? (Keys encode price<<22 | minute.)
+	idx := quit.New[int64, int64](quit.Options{})
+	for i, k := range keys {
+		idx.Insert(k, int64(i))
+	}
+	lo, hi := int64(820000)<<22, int64(830000)<<22
+	count := idx.Range(lo, hi, func(int64, int64) bool { return true })
+	fmt.Printf("\nminutes closing in price band [8200.00, 8300.00): %d\n", count)
+}

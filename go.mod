@@ -1,0 +1,3 @@
+module github.com/quittree/quit
+
+go 1.23

@@ -1,0 +1,182 @@
+package betree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/quittree/quit/internal/bods"
+)
+
+func tiny() Config { return Config{Fanout: 4, BufferEntries: 8, LeafEntries: 8} }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tr := New(tiny())
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		tr.Put(int64(k), int64(k)*3)
+	}
+	if tr.Len() > n {
+		t.Fatalf("materialized Len = %d exceeds inserts %d", tr.Len(), n)
+	}
+	tr.FlushAll()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d after FlushAll, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i += 7 {
+		v, ok := tr.Get(int64(i))
+		if !ok || v != int64(i)*3 {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(int64(n) + 1); ok {
+		t.Fatal("missing key reported present")
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d with tiny nodes", tr.Height())
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	tr := New(tiny())
+	for i := 0; i < 200; i++ {
+		tr.Put(42, int64(i))
+		if v, ok := tr.Get(42); !ok || v != int64(i) {
+			t.Fatalf("round %d: Get = (%d,%v)", i, v, ok)
+		}
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrites", tr.Len())
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	tr := New(tiny())
+	for i := int64(0); i < 5000; i++ {
+		tr.Put(i, i)
+	}
+	for i := int64(0); i < 5000; i += 2 {
+		tr.Delete(i)
+	}
+	for i := int64(0); i < 5000; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) presence = %v, want %v", i, ok, want)
+		}
+	}
+	tr.FlushAll()
+	if tr.Len() != 2500 {
+		t.Fatalf("Len = %d after flush, want 2500", tr.Len())
+	}
+	// Deleting a missing key is harmless.
+	tr.Delete(1 << 40)
+	tr.FlushAll()
+	if tr.Len() != 2500 {
+		t.Fatal("phantom delete changed size")
+	}
+}
+
+func TestScanSortedComplete(t *testing.T) {
+	tr := New(tiny())
+	keys := bods.Generate(bods.Spec{N: 10000, K: 0.3, L: 1, Seed: 5})
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	var got []int64
+	tr.Scan(func(k, v int64) bool {
+		if k != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan yielded %d, want %d", len(got), len(keys))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	// Early termination.
+	count := 0
+	tr.Scan(func(int64, int64) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestInterleavedOracle(t *testing.T) {
+	tr := New(tiny())
+	rng := rand.New(rand.NewSource(8))
+	oracle := map[int64]int64{}
+	for op := 0; op < 30000; op++ {
+		k := int64(rng.Intn(3000))
+		if rng.Intn(3) == 0 {
+			tr.Delete(k)
+			delete(oracle, k)
+		} else {
+			v := int64(op)
+			tr.Put(k, v)
+			oracle[k] = v
+		}
+		if op%5000 == 0 {
+			for probe := int64(0); probe < 3000; probe += 113 {
+				gv, gok := tr.Get(probe)
+				wv, wok := oracle[probe]
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", op, probe, gv, gok, wv, wok)
+				}
+			}
+		}
+	}
+	tr.FlushAll()
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if gv, ok := tr.Get(k); !ok || gv != v {
+			t.Fatalf("post-flush Get(%d) = (%d,%v), want %d", k, gv, ok, v)
+		}
+	}
+}
+
+func TestBufferingAmortizesInserts(t *testing.T) {
+	// The Bε-tree's reason to exist: far fewer leaf-level operations than
+	// inserted messages early on, with flushes batching work.
+	tr := New(Config{Fanout: 8, BufferEntries: 512, LeafEntries: 128})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		tr.Put(int64(rng.Intn(1<<30)), 1)
+	}
+	st := tr.Stats()
+	if st.Flushes == 0 || st.FlushedMsg == 0 {
+		t.Fatal("no flush activity")
+	}
+	if avg := float64(st.FlushedMsg) / float64(st.Flushes); avg < 8 {
+		t.Fatalf("flush batches average %.1f messages; buffering is not amortizing", avg)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := New(Config{})
+	if tr.cfg.Fanout < 3 || tr.cfg.BufferEntries < 8 || tr.cfg.LeafEntries < 4 {
+		t.Fatalf("defaults: %+v", tr.cfg)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("fresh tree not empty")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(tiny())
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree")
+	}
+	tr.Delete(1)
+	tr.FlushAll()
+	tr.Scan(func(int64, int64) bool { t.Fatal("scan yielded on empty"); return false })
+	if tr.Len() != 0 {
+		t.Fatal("size drifted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package bloom provides the standard bit-array Bloom filter the SWARE
+// baseline uses to shortcut buffer probes (paper §2: "the inserted key is
+// also indexed through a couple of layers of Bloom filters").
+//
+// Hashing uses the Kirsch-Mitzenmacher double-hashing scheme over two
+// independent 64-bit mixes of the key, so k probe positions cost two
+// multiplications rather than k hash evaluations.
+package bloom
+
+import "math"
+
+// Filter is a Bloom filter over uint64-encodable keys. The zero value is not
+// usable; construct with New or NewWithEstimates.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      uint32 // hashes per key
+	adds   uint64
+	hasher func(uint64) (uint64, uint64)
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions. m and k are clamped to at least 64 and 1.
+func New(m uint64, k uint32) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) &^ 63
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{
+		bits:   make([]uint64, m/64),
+		m:      m,
+		k:      k,
+		hasher: splitMix2,
+	}
+}
+
+// NewWithEstimates sizes a filter for n expected keys at false-positive rate
+// p, using the standard m = -n·ln(p)/ln(2)² and k = m/n·ln(2) formulas.
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// splitMix2 derives two independent 64-bit hashes from a key using two
+// rounds of the SplitMix64 finalizer with distinct stream constants.
+func splitMix2(x uint64) (uint64, uint64) {
+	h1 := mix64(x + 0x9e3779b97f4a7c15)
+	h2 := mix64(x + 0xbf58476d1ce4e5b9)
+	if h2 == 0 {
+		h2 = 0x94d049bb133111eb // g2 must be non-zero for double hashing
+	}
+	return h1, h2
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := f.hasher(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.adds++
+}
+
+// MayContain reports whether key may have been added. False positives occur
+// at the configured rate; false negatives never.
+func (f *Filter) MayContain(key uint64) bool {
+	h1, h2 := f.hasher(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter. SWARE recalibrates its filters on every buffer
+// flush; Reset keeps the allocation.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.adds = 0
+}
+
+// Adds returns the number of Add calls since the last Reset.
+func (f *Filter) Adds() uint64 { return f.adds }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() uint32 { return uint32(f.k) }
+
+// FillRatio returns the fraction of set bits, a health metric for tests.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

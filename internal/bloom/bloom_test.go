@@ -1,0 +1,111 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(10000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 50000
+	target := 0.01
+	f := NewWithEstimates(n, target)
+	rng := rand.New(rand.NewSource(2))
+	present := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	trials := 200000
+	for i := 0; i < trials; i++ {
+		k := rng.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > target*3 {
+		t.Fatalf("false positive rate %.4f, want <= %.4f", rate, target*3)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 3)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(i)
+	}
+	if f.Adds() != 100 {
+		t.Fatalf("Adds = %d", f.Adds())
+	}
+	if f.FillRatio() == 0 {
+		t.Fatal("no bits set after 100 adds")
+	}
+	f.Reset()
+	if f.Adds() != 0 || f.FillRatio() != 0 {
+		t.Fatal("Reset did not clear the filter")
+	}
+	// Most keys should now be reported absent (all, in fact).
+	for i := uint64(0); i < 100; i++ {
+		if f.MayContain(i) {
+			t.Fatalf("key %d present after Reset", i)
+		}
+	}
+}
+
+func TestClampingAndSizing(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() < 64 || f.Hashes() < 1 {
+		t.Fatalf("clamping failed: m=%d k=%d", f.Bits(), f.Hashes())
+	}
+	if f.Bits()%64 != 0 {
+		t.Fatalf("bits %d not a multiple of 64", f.Bits())
+	}
+	f2 := NewWithEstimates(0, 0.5)
+	f2.Add(7)
+	if !f2.MayContain(7) {
+		t.Fatal("degenerate filter lost a key")
+	}
+	f3 := NewWithEstimates(1000, -1) // bad p falls back
+	if f3.Bits() == 0 {
+		t.Fatal("fallback sizing produced empty filter")
+	}
+}
+
+func TestQuickNoFalseNegativeProperty(t *testing.T) {
+	f := New(1<<14, 4)
+	prop := func(keys []uint64) bool {
+		f.Reset()
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

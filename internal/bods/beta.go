@@ -1,0 +1,67 @@
+package bods
+
+import (
+	"math"
+	"math/rand"
+)
+
+// betaSampler draws Beta(alpha, beta)-distributed values in (0,1), used to
+// skew where out-of-order entries land in the stream (the BoDS generator's
+// (α,β) parameter; α=β=1 is uniform, the paper's default).
+type betaSampler struct {
+	alpha, beta float64
+	rng         *rand.Rand
+}
+
+func newBetaSampler(alpha, beta float64, rng *rand.Rand) betaSampler {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	if beta <= 0 {
+		beta = 1
+	}
+	return betaSampler{alpha: alpha, beta: beta, rng: rng}
+}
+
+// sample draws one Beta(alpha, beta) variate via two Gamma draws.
+func (b betaSampler) sample() float64 {
+	if b.alpha == 1 && b.beta == 1 {
+		return b.rng.Float64()
+	}
+	x := gamma(b.alpha, b.rng)
+	y := gamma(b.beta, b.rng)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gamma draws a Gamma(shape, 1) variate using the Marsaglia-Tsang method,
+// with the standard boost for shape < 1.
+func gamma(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1.0 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1.0-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1.0-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

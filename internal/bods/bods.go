@@ -1,0 +1,161 @@
+// Package bods reimplements the workload generator of the Benchmark on Data
+// Sortedness (BoDS, Raman et al. [36]) that the paper uses for every
+// synthetic experiment (§5 "Workloads"). It produces key streams of
+// controlled sortedness under the K-L metric:
+//
+//   - N: number of entries;
+//   - K: fraction of entries that are out of order;
+//   - L: maximum displacement of an out-of-order entry, as a fraction of N;
+//   - (α, β): Beta-distribution skew governing where in the stream the
+//     unordered entries sit (α=β=1 spreads them uniformly, the default);
+//   - a seed for reproducibility.
+//
+// The generator starts from the fully sorted stream 0..N-1 and displaces
+// entries by swapping: each swap moves two entries out of order by up to L·N
+// positions, so ⌈K·N/2⌉ swaps of distinct positions yield ≈K·N out-of-order
+// entries as counted by the longest-sorted-subsequence definition the
+// sortedness package implements.
+package bods
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec describes one BoDS workload.
+type Spec struct {
+	N     int     // number of entries
+	K     float64 // fraction of out-of-order entries, in [0,1]
+	L     float64 // max displacement as a fraction of N, in (0,1]
+	Alpha float64 // Beta-distribution alpha (default 1)
+	Beta  float64 // Beta-distribution beta (default 1)
+	Seed  int64
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("bods(N=%d K=%.4g%% L=%.4g%% a=%g b=%g seed=%d)",
+		s.N, s.K*100, s.L*100, s.Alpha, s.Beta, s.Seed)
+}
+
+// normalized applies defaults and clamps.
+func (s Spec) normalized() Spec {
+	if s.K < 0 {
+		s.K = 0
+	}
+	if s.K > 1 {
+		s.K = 1
+	}
+	if s.L <= 0 {
+		s.L = 1
+	}
+	if s.L > 1 {
+		s.L = 1
+	}
+	if s.Alpha <= 0 {
+		s.Alpha = 1
+	}
+	if s.Beta <= 0 {
+		s.Beta = 1
+	}
+	return s
+}
+
+// Generate produces the key stream for spec. Keys are the integers 0..N-1,
+// each appearing exactly once.
+func Generate(spec Spec) []int64 {
+	spec = spec.normalized()
+	keys := make([]int64, spec.N)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	Scramble(keys, spec)
+	return keys
+}
+
+// Scramble displaces entries of an already-sorted slice in place according
+// to spec (N is taken from len(keys)). Use Generate unless you need custom
+// key values.
+func Scramble(keys []int64, spec Spec) {
+	spec = spec.normalized()
+	n := len(keys)
+	if n < 2 || spec.K == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	beta := newBetaSampler(spec.Alpha, spec.Beta, rng)
+
+	maxDisp := int(spec.L * float64(n))
+	if maxDisp < 1 {
+		maxDisp = 1
+	}
+	swaps := int(spec.K*float64(n)/2 + 0.5)
+	if spec.K >= 1 {
+		// Fully scrambled: a uniform shuffle is the honest limit case.
+		rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		return
+	}
+	// Each position participates in at most one swap so displacements
+	// never compound past the L bound.
+	touched := make([]bool, n)
+	attempts := 0
+	for s := 0; s < swaps && attempts < swaps*20; s++ {
+		attempts++
+		i := int(beta.sample() * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		d := rng.Intn(maxDisp) + 1
+		j := i + d
+		if j >= n || rng.Intn(2) == 0 {
+			j = i - d
+		}
+		if j < 0 {
+			j = i + d
+		}
+		if j >= n || touched[i] || touched[j] {
+			s--
+			continue
+		}
+		touched[i], touched[j] = true, true
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+}
+
+// Segment describes one stretch of an alternating-sortedness stream.
+type Segment struct {
+	N int
+	K float64
+	L float64
+}
+
+// GenerateSegments builds the Fig. 12 stress workload: consecutive key
+// ranges, each scrambled with its own K-L parameters. Segment i covers keys
+// [sum(N_0..N_{i-1}), ...), so the stream trends upward globally while its
+// local sortedness alternates.
+func GenerateSegments(segments []Segment, seed int64) []int64 {
+	total := 0
+	for _, s := range segments {
+		total += s.N
+	}
+	out := make([]int64, 0, total)
+	base := int64(0)
+	for i, s := range segments {
+		seg := make([]int64, s.N)
+		for j := range seg {
+			seg[j] = base + int64(j)
+		}
+		Scramble(seg, Spec{N: s.N, K: s.K, L: s.L, Seed: seed + int64(i)*7919})
+		out = append(out, seg...)
+		base += int64(s.N)
+	}
+	return out
+}
+
+// Values returns a value slice (key itself) matching keys, for APIs that
+// ingest key-value pairs. The paper's default entries are integer key-value
+// pairs.
+func Values(keys []int64) []int64 {
+	vals := make([]int64, len(keys))
+	copy(vals, keys)
+	return vals
+}

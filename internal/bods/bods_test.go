@@ -1,0 +1,164 @@
+package bods
+
+import (
+	"math"
+	"testing"
+
+	"github.com/quittree/quit/internal/sortedness"
+)
+
+func TestFullySorted(t *testing.T) {
+	keys := Generate(Spec{N: 10000, K: 0, L: 1, Seed: 1})
+	if !sortedness.IsSorted(keys) {
+		t.Fatal("K=0 stream is not sorted")
+	}
+	if len(keys) != 10000 {
+		t.Fatalf("len = %d", len(keys))
+	}
+}
+
+func TestPermutationPreserved(t *testing.T) {
+	for _, k := range []float64{0, 0.01, 0.1, 0.5, 1} {
+		keys := Generate(Spec{N: 5000, K: k, L: 0.5, Seed: 3})
+		seen := make(map[int64]bool, len(keys))
+		for _, key := range keys {
+			if seen[key] {
+				t.Fatalf("K=%v: duplicate key %d", k, key)
+			}
+			seen[key] = true
+		}
+		for i := int64(0); i < 5000; i++ {
+			if !seen[i] {
+				t.Fatalf("K=%v: key %d missing", k, i)
+			}
+		}
+	}
+}
+
+func TestMeasuredKTracksRequested(t *testing.T) {
+	for _, want := range []float64{0.01, 0.05, 0.10, 0.25} {
+		keys := Generate(Spec{N: 50000, K: want, L: 1, Seed: 9})
+		m := sortedness.Measure(keys)
+		got := m.KFraction()
+		if math.Abs(got-want) > want*0.5+0.005 {
+			t.Fatalf("requested K=%.2f, measured %.3f", want, got)
+		}
+	}
+}
+
+func TestMeasuredLBounded(t *testing.T) {
+	for _, l := range []float64{0.01, 0.1, 0.5} {
+		keys := Generate(Spec{N: 20000, K: 0.1, L: l, Seed: 4})
+		m := sortedness.Measure(keys)
+		if m.LFraction() > l+0.001 {
+			t.Fatalf("requested L=%.2f, measured %.3f", l, m.LFraction())
+		}
+		if m.L == 0 {
+			t.Fatalf("L=%v produced no displacement", l)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(Spec{N: 10000, K: 0.1, L: 0.5, Seed: 42})
+	b := Generate(Spec{N: 10000, K: 0.1, L: 0.5, Seed: 42})
+	c := Generate(Spec{N: 10000, K: 0.1, L: 0.5, Seed: 43})
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFullyScrambled(t *testing.T) {
+	keys := Generate(Spec{N: 20000, K: 1, L: 1, Seed: 8})
+	m := sortedness.Measure(keys)
+	if m.KFraction() < 0.9 {
+		t.Fatalf("K=100%% measured only %.3f", m.KFraction())
+	}
+}
+
+func TestBetaSkewConcentratesDisplacements(t *testing.T) {
+	// Alpha >> Beta pushes out-of-order entries toward the end of the
+	// stream; the first half should stay much more sorted.
+	keys := Generate(Spec{N: 40000, K: 0.2, L: 0.02, Alpha: 8, Beta: 1, Seed: 5})
+	firstHalf := sortedness.Measure(keys[:20000])
+	secondHalf := sortedness.Measure(keys[20000:])
+	if firstHalf.KFraction() >= secondHalf.KFraction() {
+		t.Fatalf("beta skew had no effect: first=%.3f second=%.3f",
+			firstHalf.KFraction(), secondHalf.KFraction())
+	}
+}
+
+func TestGenerateSegments(t *testing.T) {
+	segs := []Segment{
+		{N: 5000, K: 0.1, L: 1},
+		{N: 5000, K: 1, L: 1},
+		{N: 5000, K: 0.1, L: 1},
+	}
+	keys := GenerateSegments(segs, 7)
+	if len(keys) != 15000 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	// Each segment covers its own contiguous key range.
+	for i, k := range keys {
+		seg := i / 5000
+		lo, hi := int64(seg*5000), int64((seg+1)*5000)
+		if k < lo || k >= hi {
+			t.Fatalf("key %d at pos %d escapes segment [%d,%d)", k, i, lo, hi)
+		}
+	}
+	// The scrambled middle segment is much less sorted.
+	m0 := sortedness.Measure(keys[:5000])
+	m1 := sortedness.Measure(keys[5000:10000])
+	if m1.KFraction() < m0.KFraction()*2 {
+		t.Fatalf("segment sortedness not alternating: %.3f vs %.3f",
+			m0.KFraction(), m1.KFraction())
+	}
+}
+
+func TestValuesMirrorsKeys(t *testing.T) {
+	keys := Generate(Spec{N: 100, K: 0.1, L: 1, Seed: 2})
+	vals := Values(keys)
+	for i := range keys {
+		if vals[i] != keys[i] {
+			t.Fatal("Values diverged from keys")
+		}
+	}
+	vals[0] = -1
+	if keys[0] == -1 {
+		t.Fatal("Values aliases the key slice")
+	}
+}
+
+func TestSpecNormalization(t *testing.T) {
+	keys := Generate(Spec{N: 100, K: -0.5, L: -2, Seed: 1})
+	if !sortedness.IsSorted(keys) {
+		t.Fatal("negative K did not clamp to 0")
+	}
+	keys = Generate(Spec{N: 100, K: 2, L: 5, Seed: 1})
+	if len(keys) != 100 {
+		t.Fatal("clamped spec failed to generate")
+	}
+	s := Spec{N: 5, K: 0.1, L: 0.2, Seed: 3}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestScrambleTinyStreams(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		Scramble(keys, Spec{N: n, K: 0.5, L: 1, Seed: 1}) // must not panic
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the tree's primitive operations, complementing the
+// figure-level benchmarks at the repository root.
+
+func benchWorkload(b *testing.B, shape string) []int64 {
+	b.Helper()
+	b.StopTimer()
+	keys := make([]int64, b.N)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	switch shape {
+	case "sorted":
+	case "reverse":
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	case "nearsorted":
+		rng := rand.New(rand.NewSource(1))
+		keys = nearSorted(keys, 0.05, 1.0, rng)
+	case "random":
+		rng := rand.New(rand.NewSource(1))
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	}
+	b.StartTimer()
+	return keys
+}
+
+func BenchmarkPut(b *testing.B) {
+	for _, mode := range allModes {
+		for _, shape := range []string{"sorted", "nearsorted", "random", "reverse"} {
+			b.Run(fmt.Sprintf("%s/%s", mode, shape), func(b *testing.B) {
+				keys := benchWorkload(b, shape)
+				tr := New[int64, int64](Config{Mode: mode})
+				b.ReportAllocs()
+				for _, k := range keys {
+					tr.Put(k, k)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPutSynchronizedSingleThread(b *testing.B) {
+	// The latching overhead a single-threaded caller pays for
+	// Synchronized=true.
+	for _, synced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("synced=%v", synced), func(b *testing.B) {
+			keys := benchWorkload(b, "nearsorted")
+			tr := New[int64, int64](Config{Mode: ModeQuIT, Synchronized: synced})
+			for _, k := range keys {
+				tr.Put(k, k)
+			}
+		})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	const n = 1 << 20
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(rng.Intn(n)))
+	}
+}
+
+func BenchmarkFloorCeiling(b *testing.B) {
+	const n = 1 << 20
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	for i := int64(0); i < n; i++ {
+		tr.Put(i*2, i)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.Run("Floor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Floor(int64(rng.Intn(2 * n)))
+		}
+	})
+	b.Run("Ceiling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Ceiling(int64(rng.Intn(2 * n)))
+		}
+	})
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	const n = 1 << 20
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := int64(rng.Intn(n - 200))
+		tr.Range(s, s+100, func(int64, int64) bool { return true })
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	b.StopTimer()
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	for i := 0; i < b.N; i++ {
+		tr.Put(int64(i), int64(i))
+	}
+	order := rand.New(rand.NewSource(5)).Perm(b.N)
+	b.StartTimer()
+	for _, k := range order {
+		tr.Delete(int64(k))
+	}
+}
+
+func BenchmarkBulkAppend(b *testing.B) {
+	b.StopTimer()
+	keys := make([]int64, b.N)
+	vals := make([]int64, b.N)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i)
+	}
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	b.StartTimer()
+	if err := tr.BulkAppend(keys, vals, 1.0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBuildFromSorted(b *testing.B) {
+	b.StopTimer()
+	keys := make([]int64, b.N)
+	vals := make([]int64, b.N)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i)
+	}
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	b.StartTimer()
+	if err := tr.BuildFromSorted(keys, vals, 1.0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkUpperBound(b *testing.B) {
+	keys := make([]int64, 510)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upperBound(keys, int64(rng.Intn(1600)))
+	}
+}
+
+func BenchmarkOutlierIndex(b *testing.B) {
+	keys := make([]int64, 510)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outlierIndex(keys, float64(i%1600))
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotSorted is returned by bulk operations when the input violates the
+// strictly-increasing key requirement.
+var ErrNotSorted = errors.New("core: bulk input keys must be strictly increasing")
+
+// ErrNotAppend is returned by BulkAppend when the first input key does not
+// exceed the tree's current maximum.
+var ErrNotAppend = errors.New("core: bulk append keys must exceed the current maximum")
+
+// ErrNotEmpty is returned by BuildFromSorted on a non-empty tree.
+var ErrNotEmpty = errors.New("core: BuildFromSorted requires an empty tree")
+
+// BulkAppend appends strictly-increasing entries whose keys all exceed the
+// tree's current maximum, packing leaves to fill (a fraction of leaf
+// capacity, clamped to [0.1, 1]; 1 packs leaves completely). This is the
+// bulk-loading API the SWARE baseline uses for its opportunistic on-the-fly
+// flushes. It requires external synchronization: bulk loads restructure the
+// right spine wholesale.
+func (t *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("core: BulkAppend keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return ErrNotSorted
+		}
+	}
+	if max, _, ok := t.Max(); ok && keys[0] <= max {
+		return ErrNotAppend
+	}
+	if fill <= 0 {
+		fill = 1
+	}
+	target := int(fill * float64(t.cfg.LeafCapacity))
+	if target < t.cfg.LeafCapacity/10 {
+		target = t.cfg.LeafCapacity / 10
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > t.cfg.LeafCapacity {
+		target = t.cfg.LeafCapacity
+	}
+
+	pos := 0
+	// Top up the current tail leaf first.
+	if room := target - len(t.tail.keys); room > 0 {
+		n := min(room, len(keys))
+		t.tail.keys = append(t.tail.keys, keys[:n]...)
+		t.tail.vals = append(t.tail.vals, vals[:n]...)
+		pos = n
+		if t.tail == t.fp.leaf {
+			t.fp.size = len(t.tail.keys)
+		}
+	}
+	// Then chain fresh leaves onto the right spine.
+	for pos < len(keys) {
+		n := min(target, len(keys)-pos)
+		leaf := t.newLeaf()
+		leaf.keys = append(leaf.keys, keys[pos:pos+n]...)
+		leaf.vals = append(leaf.vals, vals[pos:pos+n]...)
+		pos += n
+		path := t.rightSpine()
+		tail := path[len(path)-1]
+		leaf.prev = tail
+		tail.next = leaf
+		t.tail = leaf
+		t.propagateSplit(path, leaf.keys[0], leaf)
+	}
+	t.size.Add(int64(len(keys)))
+	if t.cfg.Mode != ModeNone {
+		t.resetFPToTail()
+	}
+	return nil
+}
+
+// rightSpine returns the root..tail path.
+func (t *Tree[K, V]) rightSpine() []*node[K, V] {
+	path := make([]*node[K, V], 0, t.height)
+	n := t.root
+	for {
+		path = append(path, n)
+		if n.isLeaf() {
+			return path
+		}
+		n = n.children[len(n.children)-1]
+	}
+}
+
+// BuildFromSorted bulk-loads an empty tree bottom-up from strictly
+// increasing entries, packing leaves to fill (see BulkAppend). It is the
+// classical offline bulk-loading the paper contrasts with incremental
+// ingestion (§1). Requires external synchronization.
+func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
+	if t.Len() != 0 {
+		return ErrNotEmpty
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("core: BuildFromSorted keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return ErrNotSorted
+		}
+	}
+	if fill <= 0 {
+		fill = 1
+	}
+	target := int(fill * float64(t.cfg.LeafCapacity))
+	if target < 1 {
+		target = 1
+	}
+	if target > t.cfg.LeafCapacity {
+		target = t.cfg.LeafCapacity
+	}
+
+	// Build the leaf level. The pre-existing empty root leaf is reused as
+	// the first leaf.
+	leaves := make([]*node[K, V], 0, len(keys)/target+1)
+	first := t.head
+	first.keys = first.keys[:0]
+	first.vals = first.vals[:0]
+	for pos := 0; pos < len(keys); {
+		n := min(target, len(keys)-pos)
+		var leaf *node[K, V]
+		if len(leaves) == 0 {
+			leaf = first
+		} else {
+			leaf = t.newLeaf()
+			prev := leaves[len(leaves)-1]
+			prev.next = leaf
+			leaf.prev = prev
+		}
+		leaf.keys = append(leaf.keys, keys[pos:pos+n]...)
+		leaf.vals = append(leaf.vals, vals[pos:pos+n]...)
+		leaves = append(leaves, leaf)
+		pos += n
+	}
+	t.head, t.tail = leaves[0], leaves[len(leaves)-1]
+
+	// Build internal levels bottom-up until one node remains.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		fanout := t.cfg.InternalFanout
+		next := make([]*node[K, V], 0, len(level)/fanout+1)
+		for pos := 0; pos < len(level); {
+			n := min(fanout, len(level)-pos)
+			// Avoid a dangling single-child node at the end of the level.
+			if rem := len(level) - pos - n; rem == 1 {
+				n--
+			}
+			in := t.newInternal()
+			in.children = append(in.children, level[pos:pos+n]...)
+			for i := pos + 1; i < pos+n; i++ {
+				in.keys = append(in.keys, minKeyOf(level[i]))
+			}
+			next = append(next, in)
+			pos += n
+		}
+		level = next
+		height++
+	}
+	t.root = level[0]
+	t.height = height
+	t.size.Store(int64(len(keys)))
+	if t.cfg.Mode != ModeNone {
+		t.resetFPToTail()
+	}
+	return nil
+}
+
+// minKeyOf returns the smallest key in n's subtree.
+func minKeyOf[K Integer, V any](n *node[K, V]) K {
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}

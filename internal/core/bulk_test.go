@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildFromSorted(t *testing.T) {
+	for _, fill := range []float64{0.5, 0.8, 1.0} {
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 16, InternalFanout: 8})
+		n := 10000
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i) * 2
+			vals[i] = int64(i)
+		}
+		if err := tr.BuildFromSorted(keys, vals, fill); err != nil {
+			t.Fatalf("fill %v: %v", fill, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("fill %v: %v", fill, err)
+		}
+		occ := tr.AvgLeafOccupancy()
+		if occ < fill-0.1 || occ > fill+0.1 {
+			t.Fatalf("fill %v: occupancy %.2f", fill, occ)
+		}
+		for i := 0; i < n; i += 97 {
+			if v, ok := tr.Get(keys[i]); !ok || v != vals[i] {
+				t.Fatalf("Get(%d) = (%d,%v)", keys[i], v, ok)
+			}
+		}
+		if _, ok := tr.Get(1); ok {
+			t.Fatal("odd key present")
+		}
+		// The tree remains fully usable for inserts and deletes.
+		tr.Put(1, 100)
+		tr.Delete(keys[n/2])
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildFromSortedErrors(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if err := tr.BuildFromSorted([]int64{1, 1}, []int64{1, 1}, 1); err != ErrNotSorted {
+		t.Fatalf("duplicate keys: err = %v", err)
+	}
+	if err := tr.BuildFromSorted([]int64{1, 2}, []int64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := tr.BuildFromSorted(nil, nil, 1); err != nil {
+		t.Fatalf("empty build: %v", err)
+	}
+	tr.Put(5, 5)
+	if err := tr.BuildFromSorted([]int64{1}, []int64{1}, 1); err != ErrNotEmpty {
+		t.Fatalf("non-empty tree: err = %v", err)
+	}
+}
+
+func TestBulkAppend(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 500; i++ {
+		tr.Put(i, i)
+	}
+	keys := make([]int64, 2000)
+	vals := make([]int64, 2000)
+	for i := range keys {
+		keys[i] = 500 + int64(i)
+		vals[i] = int64(i)
+	}
+	if err := tr.BulkAppend(keys, vals, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(keys); i += 53 {
+		if v, ok := tr.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("Get(%d) = (%d,%v)", keys[i], v, ok)
+		}
+	}
+	// Fast path keeps working after a bulk append.
+	tr.ResetCounters()
+	for i := int64(2500); i < 3000; i++ {
+		tr.Put(i, i)
+	}
+	if f := tr.Stats().FastInsertFraction(); f < 0.99 {
+		t.Fatalf("post-bulk fast fraction %.3f", f)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkAppendErrors(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	tr.Put(100, 1)
+	if err := tr.BulkAppend([]int64{50}, []int64{1}, 1); err != ErrNotAppend {
+		t.Fatalf("non-append keys: err = %v", err)
+	}
+	if err := tr.BulkAppend([]int64{200, 150}, []int64{1, 2}, 1); err != ErrNotSorted {
+		t.Fatalf("unsorted keys: err = %v", err)
+	}
+	if err := tr.BulkAppend([]int64{200}, nil, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := tr.BulkAppend(nil, nil, 1); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkAppendOnEmptyTree(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	keys := make([]int64, 300)
+	vals := make([]int64, 300)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i) * 7
+	}
+	if err := tr.BulkAppend(keys, vals, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBulkAppendInterleavedWithInserts(t *testing.T) {
+	// SWARE's usage pattern: alternating top-inserts and bulk appends.
+	tr := New[int64, int64](Config{Mode: ModeNone, LeafCapacity: 16, InternalFanout: 8})
+	rng := rand.New(rand.NewSource(6))
+	next := int64(0)
+	total := 0
+	for round := 0; round < 50; round++ {
+		if round%2 == 0 {
+			n := rng.Intn(200) + 1
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for i := range keys {
+				keys[i] = next
+				vals[i] = next
+				next++
+			}
+			if err := tr.BulkAppend(keys, vals, 0.9); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			total += n
+		} else {
+			for i := 0; i < 50; i++ {
+				tr.Put(next, next)
+				next++
+				total++
+			}
+		}
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribeShape(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	s := tr.DescribeShape()
+	if s.Height != tr.Height() {
+		t.Fatalf("shape height %d, tree %d", s.Height, tr.Height())
+	}
+	if len(s.NodesPerLevel) != s.Height {
+		t.Fatalf("levels %d, height %d", len(s.NodesPerLevel), s.Height)
+	}
+	if s.NodesPerLevel[0] != 1 {
+		t.Fatalf("root level has %d nodes", s.NodesPerLevel[0])
+	}
+	if int64(s.LeafCount) != tr.Stats().Leaves {
+		t.Fatalf("leaf count %d vs %d", s.LeafCount, tr.Stats().Leaves)
+	}
+	sum := 0
+	for _, c := range s.LeafOccupancy {
+		sum += c
+	}
+	if sum != s.LeafCount {
+		t.Fatalf("histogram sums to %d, want %d", sum, s.LeafCount)
+	}
+	if s.AvgOccupancy < 0.8 {
+		t.Fatalf("sorted QuIT shape occupancy %.2f", s.AvgOccupancy)
+	}
+	if s.MinLeafEntries < 1 || s.MaxLeafEntries > 8 {
+		t.Fatalf("min/max leaf entries %d/%d", s.MinLeafEntries, s.MaxLeafEntries)
+	}
+}
+
+func TestDumpShapeWrites(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 200; i++ {
+		tr.Put(i, i)
+	}
+	var buf testWriter
+	tr.DumpShape(&buf)
+	out := string(buf)
+	for _, want := range []string{"QuIT", "level 0", "fast path", "inserts:"} {
+		if !contains(out, want) {
+			t.Fatalf("DumpShape output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type testWriter []byte
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

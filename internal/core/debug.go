@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Shape describes the tree's structure for inspection tools.
+type Shape struct {
+	Height         int
+	NodesPerLevel  []int // root level first
+	LeafCount      int
+	LeafOccupancy  []int // histogram over 10 buckets of fill fraction
+	AvgOccupancy   float64
+	MinLeafEntries int
+	MaxLeafEntries int
+}
+
+// DescribeShape walks the tree and summarizes its structure. Not safe to
+// run concurrently with writers.
+func (t *Tree[K, V]) DescribeShape() Shape {
+	s := Shape{Height: t.height, MinLeafEntries: int(^uint(0) >> 1)}
+	level := []*node[K, V]{t.root}
+	for len(level) > 0 {
+		s.NodesPerLevel = append(s.NodesPerLevel, len(level))
+		var next []*node[K, V]
+		for _, n := range level {
+			if n.isLeaf() {
+				continue
+			}
+			next = append(next, n.children...)
+		}
+		level = next
+	}
+	s.LeafOccupancy = make([]int, 10)
+	entries := 0
+	for n := t.head; n != nil; n = n.next {
+		s.LeafCount++
+		entries += len(n.keys)
+		if len(n.keys) < s.MinLeafEntries {
+			s.MinLeafEntries = len(n.keys)
+		}
+		if len(n.keys) > s.MaxLeafEntries {
+			s.MaxLeafEntries = len(n.keys)
+		}
+		b := len(n.keys) * 10 / t.cfg.LeafCapacity
+		if b > 9 {
+			b = 9
+		}
+		s.LeafOccupancy[b]++
+	}
+	if s.LeafCount > 0 {
+		s.AvgOccupancy = float64(entries) / float64(s.LeafCount) / float64(t.cfg.LeafCapacity)
+	} else {
+		s.MinLeafEntries = 0
+	}
+	return s
+}
+
+// DumpShape renders DescribeShape plus the fast-path state to w.
+func (t *Tree[K, V]) DumpShape(w io.Writer) {
+	s := t.DescribeShape()
+	fmt.Fprintf(w, "%s: %d entries, height %d\n", t.cfg.Mode, t.Len(), s.Height)
+	for i, c := range s.NodesPerLevel {
+		kind := "internal"
+		if i == len(s.NodesPerLevel)-1 {
+			kind = "leaf"
+		}
+		fmt.Fprintf(w, "  level %d: %6d %s nodes\n", i, c, kind)
+	}
+	fmt.Fprintf(w, "  leaf occupancy: avg %.1f%%, min %d, max %d of %d\n",
+		s.AvgOccupancy*100, s.MinLeafEntries, s.MaxLeafEntries, t.cfg.LeafCapacity)
+	fmt.Fprintf(w, "  histogram (0-100%% fill):")
+	for _, c := range s.LeafOccupancy {
+		fmt.Fprintf(w, " %d", c)
+	}
+	fmt.Fprintln(w)
+	if t.cfg.Mode != ModeNone && t.fp.leaf != nil {
+		fp := &t.fp
+		fmt.Fprintf(w, "  fast path: leaf id=%d size=%d", fp.leaf.id, fp.size)
+		if fp.hasMin {
+			fmt.Fprintf(w, " min=%v", fp.min)
+		}
+		if fp.hasMax {
+			fmt.Fprintf(w, " max=%v", fp.max)
+		}
+		if fp.prevValid {
+			fmt.Fprintf(w, " prev(id=%d size=%d min=%v)", fp.prev.id, fp.prevSize, fp.prevMin)
+		}
+		fmt.Fprintf(w, " fails=%d\n", fp.fails)
+	}
+	st := t.Stats()
+	fmt.Fprintf(w, "  inserts: fast=%d top=%d (%.1f%% fast) updates=%d\n",
+		st.FastInserts, st.TopInserts, st.FastInsertFraction()*100, st.Updates)
+	fmt.Fprintf(w, "  splits: leaf=%d internal=%d variable=%d redistributions=%d resets=%d catchups=%d\n",
+		st.LeafSplits, st.InternalSplits, st.VariableSplits, st.Redistributions, st.Resets, st.CatchUps)
+}

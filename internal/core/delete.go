@@ -1,0 +1,258 @@
+package core
+
+// Delete removes key, returning its value and whether it was present.
+// Underfull nodes are rebalanced (borrow, then merge) exactly as in a
+// classical B+-tree, with one exception from the paper (§4.4): the pole
+// leaf is rebalanced lazily — deletions from pole never trigger an eager
+// borrow/merge while it still holds entries.
+//
+// In synchronized mode Delete write-latches the whole descent path: deletes
+// are rare in the paper's workloads, so simplicity wins over crabbing here.
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	var zero V
+	path, _, _, _ := t.descendForWrite(key, true)
+	leaf := path[len(path)-1].n
+	i, ok := leaf.find(key)
+	if !ok {
+		t.unlockPathFrom(path, 0)
+		return zero, false
+	}
+	val := leaf.vals[i]
+	leaf.removeAt(i)
+	t.c.deletes.Add(1)
+	t.size.Add(-1)
+
+	t.lockMeta()
+	isFP := t.cfg.Mode != ModeNone && leaf == t.fp.leaf
+	if isFP {
+		t.fp.size--
+	} else if t.fp.prevValid && leaf == t.fp.prev {
+		t.fp.prevSize--
+	}
+	lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && len(leaf.keys) > 0
+	t.unlockMeta()
+
+	if len(leaf.keys) >= t.minLeaf || lazy || len(path) == 1 {
+		// No rebalance needed: the leaf is healthy, or it is the pole
+		// (lazy), or it is the root leaf (exempt from minimums).
+		t.unlockPathFrom(path, 0)
+		return val, true
+	}
+
+	t.rebalance(path)
+	t.unlockPathFrom(path, 0)
+	return val, true
+}
+
+// rebalance restores occupancy minimums from the leaf upward after a
+// deletion. path is fully write-latched in synchronized mode.
+func (t *Tree[K, V]) rebalance(path []pathEntry[K, V]) {
+	touchedFP := false
+	for level := len(path) - 1; level >= 1; level-- {
+		n := path[level].n
+		parent := path[level-1].n
+		idx := path[level-1].idx
+		if n.isLeaf() {
+			if len(n.keys) >= t.minLeaf {
+				break
+			}
+			touchedFP = true // borrows resize neighbors the fp metadata may mirror
+			if !t.rebalanceLeaf(n, parent, idx) {
+				break // borrowed: parent unchanged beyond a pivot
+			}
+		} else {
+			if len(n.children) >= t.minChildren {
+				break
+			}
+			touchedFP = true
+			if !t.rebalanceInternal(n, parent, idx) {
+				break
+			}
+		}
+		// A merge shrank parent; loop continues to check it.
+	}
+
+	// Root collapse: an internal root with a single child loses a level.
+	root := path[0].n
+	for !root.isLeaf() && len(root.children) == 1 {
+		child := root.children[0]
+		t.nInternal.Add(-1)
+		t.lockMeta()
+		t.root = child
+		t.height--
+		t.unlockMeta()
+		// The old root stays latched (it is in path and will be unlocked
+		// by the caller); nobody can reach it anymore.
+		root = child
+		touchedFP = true
+	}
+
+	if touchedFP && t.cfg.Mode != ModeNone {
+		// Structural changes may have freed or resized nodes the fast-path
+		// metadata refers to; recover conservatively (§4.3 reset spirit).
+		t.lockMeta()
+		t.resetFPToTail()
+		t.unlockMeta()
+	}
+}
+
+// rebalanceLeaf fixes an underfull leaf via borrow or merge. It returns
+// true when a merge removed a child from parent (parent may now be
+// underfull), false when a borrow sufficed.
+func (t *Tree[K, V]) rebalanceLeaf(n, parent *node[K, V], idx int) bool {
+	// Try borrowing from the right sibling.
+	if idx+1 < len(parent.children) {
+		sib := parent.children[idx+1]
+		t.wlock(sib)
+		if len(sib.keys) > t.minLeaf {
+			n.keys = append(n.keys, sib.keys[0])
+			n.vals = append(n.vals, sib.vals[0])
+			sib.removeAt(0)
+			parent.keys[idx] = sib.keys[0]
+			t.wunlock(sib)
+			t.c.borrows.Add(1)
+			return false
+		}
+		t.wunlock(sib)
+	}
+	// Try borrowing from the left sibling. Lock order: left before n, so
+	// release and reacquire; the subtree is writer-quiescent because the
+	// whole path is latched.
+	if idx > 0 {
+		sib := parent.children[idx-1]
+		if t.synced {
+			t.wunlock(n)
+			t.wlock(sib)
+			t.wlock(n)
+		}
+		if len(sib.keys) > t.minLeaf {
+			last := len(sib.keys) - 1
+			k, v := sib.keys[last], sib.vals[last]
+			sib.removeAt(last)
+			n.insertAt(0, k, v)
+			parent.keys[idx-1] = k
+			if t.synced {
+				t.wunlock(sib)
+			}
+			t.c.borrows.Add(1)
+			return false
+		}
+		if t.synced {
+			t.wunlock(sib)
+		}
+	}
+	// Merge. Prefer absorbing the right sibling into n; otherwise merge n
+	// into its left sibling.
+	if idx+1 < len(parent.children) {
+		sib := parent.children[idx+1]
+		t.wlock(sib)
+		t.mergeLeaves(n, sib)
+		parent.removeChildAt(idx)
+		t.wunlock(sib)
+		return true
+	}
+	sib := parent.children[idx-1]
+	if t.synced {
+		t.wunlock(n)
+		t.wlock(sib)
+		t.wlock(n)
+	}
+	t.mergeLeaves(sib, n)
+	parent.removeChildAt(idx - 1)
+	if t.synced {
+		t.wunlock(sib)
+	}
+	return true
+}
+
+// mergeLeaves appends right's entries into left and unlinks right from the
+// leaf chain. Caller holds both latches in synchronized mode.
+func (t *Tree[K, V]) mergeLeaves(left, right *node[K, V]) {
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	t.lockMeta()
+	left.next = right.next
+	if right.next != nil {
+		right.next.prev = left
+	} else {
+		t.tail = left
+	}
+	t.unlockMeta()
+	right.next, right.prev = nil, nil
+	right.keys, right.vals = nil, nil
+	t.nLeaves.Add(-1)
+	t.c.merges.Add(1)
+}
+
+// rebalanceInternal fixes an underfull internal node via rotation or merge.
+// Returns true when a merge removed a child from parent.
+func (t *Tree[K, V]) rebalanceInternal(n, parent *node[K, V], idx int) bool {
+	// Rotate from the right sibling.
+	if idx+1 < len(parent.children) {
+		sib := parent.children[idx+1]
+		t.wlock(sib)
+		if len(sib.children) > t.minChildren {
+			n.keys = append(n.keys, parent.keys[idx])
+			n.children = append(n.children, sib.children[0])
+			parent.keys[idx] = sib.keys[0]
+			copy(sib.keys, sib.keys[1:])
+			sib.keys = sib.keys[:len(sib.keys)-1]
+			copy(sib.children, sib.children[1:])
+			sib.children[len(sib.children)-1] = nil
+			sib.children = sib.children[:len(sib.children)-1]
+			t.wunlock(sib)
+			t.c.borrows.Add(1)
+			return false
+		}
+		t.wunlock(sib)
+	}
+	// Rotate from the left sibling (internal nodes are only reached through
+	// the latched parent, so direct locking is deadlock-free).
+	if idx > 0 {
+		sib := parent.children[idx-1]
+		t.wlock(sib)
+		if len(sib.children) > t.minChildren {
+			lastK := len(sib.keys) - 1
+			lastC := len(sib.children) - 1
+			n.keys = append(n.keys, *new(K))
+			copy(n.keys[1:], n.keys)
+			n.keys[0] = parent.keys[idx-1]
+			n.children = append(n.children, nil)
+			copy(n.children[1:], n.children)
+			n.children[0] = sib.children[lastC]
+			parent.keys[idx-1] = sib.keys[lastK]
+			sib.keys = sib.keys[:lastK]
+			sib.children[lastC] = nil
+			sib.children = sib.children[:lastC]
+			t.wunlock(sib)
+			t.c.borrows.Add(1)
+			return false
+		}
+		t.wunlock(sib)
+	}
+	// Merge with a sibling, pulling the separating pivot down.
+	if idx+1 < len(parent.children) {
+		sib := parent.children[idx+1]
+		t.wlock(sib)
+		n.keys = append(n.keys, parent.keys[idx])
+		n.keys = append(n.keys, sib.keys...)
+		n.children = append(n.children, sib.children...)
+		sib.keys, sib.children = nil, nil
+		parent.removeChildAt(idx)
+		t.wunlock(sib)
+		t.nInternal.Add(-1)
+		t.c.merges.Add(1)
+		return true
+	}
+	sib := parent.children[idx-1]
+	t.wlock(sib)
+	sib.keys = append(sib.keys, parent.keys[idx-1])
+	sib.keys = append(sib.keys, n.keys...)
+	sib.children = append(sib.children, n.children...)
+	n.keys, n.children = nil, nil
+	parent.removeChildAt(idx - 1)
+	t.wunlock(sib)
+	t.nInternal.Add(-1)
+	t.c.merges.Add(1)
+	return true
+}

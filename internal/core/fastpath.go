@@ -1,0 +1,183 @@
+package core
+
+// bound is an optionally-open range endpoint for a leaf's key range.
+type bound[K Integer] struct {
+	key K
+	ok  bool
+}
+
+func closed[K Integer](k K) bound[K] { return bound[K]{key: k, ok: true} }
+
+// fpContains reports whether key routes to the current fast-path leaf,
+// i.e. lies within [fp.min, fp.max). An unset max (the leaf is the
+// rightmost) imposes no upper bound — this is also how the paper's "omit
+// the upper bound check when pole is the tail leaf" rule falls out.
+// Callers must hold the meta latch in synchronized mode.
+func (t *Tree[K, V]) fpContains(key K) bool {
+	fp := &t.fp
+	if fp.hasMin && key < fp.min {
+		return false
+	}
+	if fp.hasMax && key >= fp.max {
+		return false
+	}
+	return true
+}
+
+// setFP repoints the fast path at leaf with the given routing bounds and
+// cached path. Callers must hold the meta latch in synchronized mode.
+func (t *Tree[K, V]) setFP(leaf *node[K, V], lo, hi bound[K], path []*node[K, V]) {
+	fp := &t.fp
+	fp.leaf = leaf
+	fp.min, fp.hasMin = lo.key, lo.ok
+	fp.max, fp.hasMax = hi.key, hi.ok
+	fp.size = len(leaf.keys)
+	if cap(fp.path) < len(path) {
+		fp.path = make([]*node[K, V], len(path))
+	}
+	fp.path = fp.path[:len(path)]
+	copy(fp.path, path)
+}
+
+// fpPathValid checks that the cached root-to-leaf path still describes the
+// true ancestry of the fast-path leaf. The cache is best-effort: splits
+// elsewhere in the tree may have restructured ancestors, in which case the
+// caller re-descends (and refreshes the cache). Callers must hold the meta
+// latch in synchronized mode; in unsynchronized trees this is exact.
+func (t *Tree[K, V]) fpPathValid() bool {
+	fp := &t.fp
+	if fp.leaf == nil || len(fp.path) == 0 {
+		return false
+	}
+	if fp.path[0] != t.root || fp.path[len(fp.path)-1] != fp.leaf {
+		return false
+	}
+	if len(fp.leaf.keys) == 0 {
+		return false
+	}
+	routeKey := fp.leaf.keys[0]
+	for i := 0; i < len(fp.path)-1; i++ {
+		n := fp.path[i]
+		if n.isLeaf() {
+			return false
+		}
+		if n.children[n.route(routeKey)] != fp.path[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// afterTopInsert applies the mode-specific fast-path maintenance that
+// follows a successful top-insert of key into target (paper Fig. 4b for
+// lil; Algorithm 1 lines 11-14 and the §4.3 reset strategy for pole).
+// target is still locked by the caller; lo/hi are its routing bounds and
+// path its root..leaf descent path.
+func (t *Tree[K, V]) afterTopInsert(target *node[K, V], key K, lo, hi bound[K], path []*node[K, V]) {
+	switch t.cfg.Mode {
+	case ModeNone:
+		return
+	case ModeTail:
+		// The tail pointer is maintained by splits; a top-insert never
+		// changes which leaf is rightmost. It can still land in the tail
+		// leaf (a key below fp_min but within the leaf's true range), so
+		// keep fp_size honest.
+		t.lockMeta()
+		if target == t.fp.leaf {
+			t.fp.size++
+		}
+		t.unlockMeta()
+		return
+	case ModeLIL:
+		t.lockMeta()
+		t.setFP(target, lo, hi, path)
+		t.unlockMeta()
+		return
+	}
+
+	// ModePOLE / ModeQuIT.
+	t.lockMeta()
+	defer t.unlockMeta()
+	fp := &t.fp
+
+	if target == fp.leaf {
+		// The entry landed in pole through the slow path (possible in
+		// synchronized fallbacks); treat it as pole growth.
+		fp.size++
+		fp.fails = 0
+		return
+	}
+	if target == fp.prev && fp.prevValid {
+		fp.prevSize++
+		if key < fp.prevMin {
+			fp.prevMin = key
+		}
+	}
+
+	// Catch-up to predicted outliers (§4.2, Algorithm 1 lines 11-14): a
+	// top-insert into pole_next — the pole's chain successor (Fig. 6) —
+	// that IKR no longer judges an outlier moves the fast path forward.
+	// This is also how pole follows the in-order frontier when it crosses
+	// into a pre-existing leaf without splitting.
+	if target.prev == fp.leaf && fp.prevValid && fp.prevSize > 0 && fp.size > 0 {
+		x := t.est.Bound(float64(fp.prevMin), float64(fp.min), fp.prevSize, fp.size)
+		if t.cfg.UnconditionalCatchUp || float64(key) <= x {
+			oldPole := fp.leaf
+			oldMin := fp.min
+			oldSize := fp.size
+			t.setFP(target, lo, hi, path)
+			fp.prev = oldPole
+			fp.prevMin = oldMin
+			fp.prevSize = oldSize
+			fp.prevValid = true
+			fp.fails = 0
+			t.c.catchUps.Add(1)
+			return
+		}
+	}
+
+	if t.cfg.Mode != ModeQuIT {
+		return // pole-B+-tree has no reset strategy
+	}
+	fp.fails++
+	if fp.fails < t.cfg.ResetThreshold {
+		return
+	}
+	// Reset: repoint pole at the leaf that accepted the latest insert
+	// (§4.3). pole_prev metadata is rebuilt from the left neighbor when we
+	// can read it race-free; otherwise IKR stays disabled until the next
+	// split re-establishes it.
+	t.setFP(target, lo, hi, path)
+	fp.fails = 0
+	fp.prevValid = false
+	if !t.synced && target.prev != nil && len(target.prev.keys) > 0 {
+		fp.prev = target.prev
+		fp.prevMin = target.prev.keys[0]
+		fp.prevSize = len(target.prev.keys)
+		fp.prevValid = true
+	}
+	t.c.resets.Add(1)
+}
+
+// resetFPToTail repoints the fast path at the rightmost leaf, used as a
+// conservative recovery after deletes restructure nodes the fast-path
+// metadata refers to. Caller must hold the meta latch in synchronized mode.
+func (t *Tree[K, V]) resetFPToTail() {
+	if t.cfg.Mode == ModeNone {
+		return
+	}
+	fp := &t.fp
+	fp.prevValid = false
+	fp.prev = nil
+	fp.fails = 0
+	leaf := t.tail
+	fp.leaf = leaf
+	fp.hasMax = false
+	fp.size = len(leaf.keys)
+	if len(leaf.keys) > 0 {
+		fp.min, fp.hasMin = leaf.keys[0], true
+	} else {
+		fp.hasMin = false
+	}
+	fp.path = fp.path[:0] // force re-descent before the next fast split
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fast-path policy tests. These are white-box: they inspect t.fp and the
+// policy counters to pin the behaviors of §3 and §4 of the paper.
+
+func TestTailFastPathTracksRightmostLeaf(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeTail, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	if tr.fp.leaf != tr.tail {
+		t.Fatal("tail fast path does not point at the tail leaf")
+	}
+	if tr.fp.hasMax {
+		t.Fatal("tail fast path has an upper bound")
+	}
+	// An out-of-order insert must be a top-insert and must not move fp.
+	before := tr.fp.leaf
+	tr.Put(-5, 0)
+	if tr.fp.leaf != before {
+		t.Fatal("top-insert moved the tail fast path")
+	}
+	st := tr.Stats()
+	if st.TopInserts != 1 {
+		t.Fatalf("TopInserts = %d, want 1", st.TopInserts)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailGoesStaleOnOutliers(t *testing.T) {
+	// Fig. 3: once one leaf's worth of outliers is in the tail, near-sorted
+	// keys can no longer use the tail fast path.
+	tr := New[int64, int64](Config{Mode: ModeTail, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 64; i++ {
+		tr.Put(i, i)
+	}
+	// A full leaf of far-away outliers captures the tail.
+	for i := int64(0); i < 10; i++ {
+		tr.Put(100000+i, i)
+	}
+	tr.ResetCounters()
+	for i := int64(64); i < 128; i++ {
+		tr.Put(i, i)
+	}
+	st := tr.Stats()
+	if st.FastInserts != 0 {
+		t.Fatalf("stale tail still served %d fast-inserts", st.FastInserts)
+	}
+	if st.TopInserts != 64 {
+		t.Fatalf("TopInserts = %d, want 64", st.TopInserts)
+	}
+}
+
+func TestLILRecoversAfterOutlier(t *testing.T) {
+	// Fig. 4b: after a top-insert, lil follows the last insertion leaf, so
+	// an in-order run after a single outlier costs exactly two top-inserts
+	// (one for the outlier, one to come back).
+	tr := New[int64, int64](Config{Mode: ModeLIL, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 64; i++ {
+		tr.Put(i, i)
+	}
+	tr.ResetCounters()
+	// The outlier must be out of lil's range: lil is the tail here (open
+	// upper bound), so send it far left.
+	tr.Put(-100000, 0) // outlier: top-insert, lil moves to the outlier leaf
+	tr.Put(64, 64)     // in-order: top-insert, lil comes back
+	for i := int64(65); i < 96; i++ {
+		tr.Put(i, i) // in-order run rides the fast path again
+	}
+	st := tr.Stats()
+	if st.TopInserts != 2 {
+		t.Fatalf("TopInserts = %d, want 2", st.TopInserts)
+	}
+	if st.FastInserts != 31 {
+		t.Fatalf("FastInserts = %d, want 31", st.FastInserts)
+	}
+}
+
+func TestLILSplitFollowsInsertedKey(t *testing.T) {
+	// Fig. 4c-e: when the lil leaf splits, lil follows the half that
+	// received the key.
+	tr := New[int64, int64](Config{Mode: ModeLIL, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 8; i++ {
+		tr.Put(i*10, i)
+	}
+	// Leaf [0..70] is full; key 75 >= split key 40 goes right.
+	tr.Put(75, 0)
+	if tr.fp.leaf.keys[0] != 40 {
+		t.Fatalf("lil leaf starts at %d, want 40", tr.fp.leaf.keys[0])
+	}
+	// Fill the right leaf, then split with a key that stays left.
+	for _, k := range []int64{76, 77, 78} {
+		tr.Put(k, 0)
+	}
+	// Right leaf is [40,50,60,70,75,76,77,78]; key 41 < split key 75 stays.
+	tr.Put(41, 0)
+	if got := tr.fp.leaf.keys[0]; got != 40 {
+		t.Fatalf("lil leaf starts at %d after left-staying split, want 40", got)
+	}
+	if !tr.fp.hasMax || tr.fp.max != 75 {
+		t.Fatalf("lil max = (%v,%v), want (75,true)", tr.fp.max, tr.fp.hasMax)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoleSurvivesOutlierBurst(t *testing.T) {
+	// The core QuIT behavior (§4.2): a burst of outliers splits off into
+	// pole_next, the pole pointer stays, and subsequent in-order keys keep
+	// fast-inserting — unlike lil, which would chase the outliers.
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5, ResetThreshold: 1000})
+	for i := int64(0); i < 20; i++ {
+		tr.Put(i, i)
+	}
+	// Outlier burst fills the pole (it is the tail, so they fast-insert).
+	for i := int64(0); i < 8; i++ {
+		tr.Put(100000+i*10, i)
+	}
+	if tr.fp.leaf.keys[0] >= 100000 {
+		t.Fatalf("pole followed the outliers: min key %d", tr.fp.leaf.keys[0])
+	}
+	if !tr.fp.hasMax {
+		t.Fatal("outlier split left the pole unbounded")
+	}
+	tr.ResetCounters()
+	// In-order keys continue to ride the fast path.
+	for i := int64(20); i < 40; i++ {
+		tr.Put(i, i)
+	}
+	st := tr.Stats()
+	if st.TopInserts != 0 {
+		t.Fatalf("in-order keys after outlier burst: %d top-inserts, want 0", st.TopInserts)
+	}
+	if st.VariableSplits == 0 {
+		t.Fatal("no variable splits recorded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoleCatchUpToPredictedOutliers(t *testing.T) {
+	// §4.2 "Catching Up": a top-insert into the pole's successor leaf that
+	// IKR no longer judges an outlier advances the pole without a split.
+	// Near-sorted ingestion exercises this whenever the in-order frontier
+	// crosses into a leaf created earlier by displaced entries.
+	rng := rand.New(rand.NewSource(3))
+	sorted := make([]int64, 20000)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	keys := nearSorted(sorted, 0.10, 1.0, rng)
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 32, InternalFanout: 16})
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	st := tr.Stats()
+	if st.CatchUps == 0 {
+		t.Fatal("pole never caught up to its successor leaf")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ablation toggle changes behavior but must stay correct.
+	tr2 := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 32, InternalFanout: 16, UnconditionalCatchUp: true})
+	for _, k := range keys {
+		tr2.Put(k, k)
+	}
+	if tr2.Stats().CatchUps == 0 {
+		t.Fatal("unconditional catch-up never fired")
+	}
+	if err := tr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuITResetRecoversStalePole(t *testing.T) {
+	// §4.3: consecutive top-inserts beyond TR reset the pole to the leaf of
+	// the latest insert. pole-B+-tree (ModePOLE) never resets.
+	run := func(mode Mode) Stats {
+		tr := New[int64, int64](Config{Mode: mode, LeafCapacity: 8, InternalFanout: 5})
+		// Establish a pole far to the right.
+		for i := int64(0); i < 64; i++ {
+			tr.Put(1000000+i, i)
+		}
+		// Dense in-order stream far below: the pole is permanently stale.
+		for i := int64(0); i < 512; i++ {
+			tr.Put(i, i)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Stats()
+	}
+	quit := run(ModeQuIT)
+	pole := run(ModePOLE)
+	if quit.Resets == 0 {
+		t.Fatal("QuIT never reset its stale pole")
+	}
+	if pole.Resets != 0 {
+		t.Fatalf("pole-B+-tree reset %d times, want 0", pole.Resets)
+	}
+	if quit.FastInserts <= pole.FastInserts {
+		t.Fatalf("reset gave no benefit: QuIT %d fast-inserts vs pole %d",
+			quit.FastInserts, pole.FastInserts)
+	}
+}
+
+func TestFastInsertOrderingAcrossModes(t *testing.T) {
+	// Fig. 9 shape: fraction of fast-inserts should order
+	// QuIT >= lil >= tail for near-sorted data.
+	frac := func(mode Mode, keys []int64) float64 {
+		tr := New[int64, int64](Config{Mode: mode, LeafCapacity: 32, InternalFanout: 16})
+		for _, k := range keys {
+			tr.Put(k, k)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Stats().FastInsertFraction()
+	}
+	rng := rand.New(rand.NewSource(1))
+	sorted := make([]int64, 20000)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	keys := nearSorted(sorted, 0.25, 1.0, rng)
+
+	tail := frac(ModeTail, keys)
+	lil := frac(ModeLIL, keys)
+	quit := frac(ModeQuIT, keys)
+	if !(quit > lil && lil > tail) {
+		t.Fatalf("fast-insert fractions out of order: QuIT=%.3f lil=%.3f tail=%.3f", quit, lil, tail)
+	}
+	// Eq. 1: lil ~= (1-k)^2 = 0.5625 for k=25% (the swap-based generator
+	// produces ~2 out-of-order entries per swap, so k here is approximate).
+	if lil < 0.30 || lil > 0.80 {
+		t.Fatalf("lil fraction %.3f outside plausible (1-k)^2 band", lil)
+	}
+	if quit < lil+0.02 {
+		t.Fatalf("QuIT %.3f not meaningfully above lil %.3f", quit, lil)
+	}
+}
+
+func TestRedistributionIntoUnderfullPrev(t *testing.T) {
+	// Fig. 7c: when pole_prev is under half full at pole-split time,
+	// entries flow backward instead of splitting.
+	found := false
+	for seed := int64(0); seed < 30 && !found; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+		key := int64(0)
+		for burst := 0; burst < 400; burst++ {
+			if rng.Intn(4) == 0 {
+				// Outlier burst far ahead.
+				base := key + 10000
+				for i := int64(0); i < int64(rng.Intn(6)+3); i++ {
+					tr.Put(base+i, 0)
+				}
+			}
+			for i := 0; i < rng.Intn(12)+4; i++ {
+				tr.Put(key, key)
+				key += int64(rng.Intn(3) + 1)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tr.Stats().Redistributions > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no workload triggered a redistribution in 30 seeds")
+	}
+}
+
+func TestFPPathValidation(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	// The cached path may legitimately go stale (internal splits during
+	// propagation restructure ancestors); fastSplitPath must then repair it.
+	repaired := tr.fastSplitPath(tr.fp.leaf.keys[0])
+	if repaired == nil || repaired[len(repaired)-1] != tr.fp.leaf || repaired[0] != tr.root {
+		t.Fatal("fastSplitPath did not produce a valid path")
+	}
+	if !tr.fpPathValid() {
+		t.Fatal("fp path invalid right after repair")
+	}
+	// Splits far from the pole restructure ancestors; the cached path must
+	// either stay exact or be detected as stale — never silently wrong.
+	for i := int64(0); i < 500; i++ {
+		tr.Put(-i, i)
+	}
+	if tr.fpPathValid() {
+		p := tr.fp.path
+		if p[0] != tr.root || p[len(p)-1] != tr.fp.leaf {
+			t.Fatal("fpPathValid accepted a wrong path")
+		}
+	}
+	for i := int64(1000); i < 2000; i++ {
+		tr.Put(i, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoleDeleteLazyRebalance(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 64; i++ {
+		tr.Put(i, i)
+	}
+	pole := tr.fp.leaf
+	// Delete from the pole down to one entry: no eager rebalance.
+	keys := append([]int64(nil), pole.keys...)
+	for _, k := range keys[1:] {
+		tr.Delete(k)
+	}
+	if tr.fp.leaf != pole {
+		t.Fatal("pole moved during lazy deletes")
+	}
+	if tr.Stats().Merges != 0 {
+		t.Fatal("pole deletes triggered eager merges")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the last entry forces recovery.
+	tr.Delete(keys[0])
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableSplitKeepsLeafAtLeastHalfFullOnSorted(t *testing.T) {
+	// Fig. 7a: the split leaf (left) stays at least half full; occupancy on
+	// fully sorted data approaches 100%.
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 4096; i++ {
+		tr.Put(i, i)
+	}
+	n := tr.head
+	for n != nil && n.next != nil { // all but the tail
+		if len(n.keys) < 8 {
+			t.Fatalf("leaf with %d < 8 entries on fully sorted ingestion", len(n.keys))
+		}
+		n = n.next
+	}
+	if occ := tr.AvgLeafOccupancy(); occ < 0.9 {
+		t.Fatalf("occupancy %.2f, want >= 0.9", occ)
+	}
+}
+
+func TestBoundsRejectOutOfRangeFastInserts(t *testing.T) {
+	// Keys outside [fp_min, fp_max) must take the top path even when the
+	// fast-path leaf has room.
+	tr := New[int64, int64](Config{Mode: ModeLIL, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 32; i++ {
+		tr.Put(i*2, i)
+	}
+	tr.ResetCounters()
+	tr.Put(3, 3) // far left of the current lil leaf
+	st := tr.Stats()
+	if st.TopInserts != 1 || st.FastInserts != 0 {
+		t.Fatalf("out-of-range key: top=%d fast=%d, want 1/0", st.TopInserts, st.FastInserts)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFillLeavesHeadroom(t *testing.T) {
+	// §5.2.1's tuning note: cap the variable split so sorted ingestion
+	// leaves headroom for future out-of-order entries.
+	packed := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 20, InternalFanout: 8})
+	capped := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 20, InternalFanout: 8, MaxFill: 0.8})
+	for i := int64(0); i < 20000; i++ {
+		packed.Put(i*4, i)
+		capped.Put(i*4, i)
+	}
+	po, co := packed.AvgLeafOccupancy(), capped.AvgLeafOccupancy()
+	if po < 0.9 {
+		t.Fatalf("packed occupancy %.2f", po)
+	}
+	if co < 0.70 || co > 0.88 {
+		t.Fatalf("capped occupancy %.2f, want ~0.8", co)
+	}
+	// Scatter out-of-order entries into the packed region: the capped tree
+	// absorbs them with fewer splits.
+	packed.ResetCounters()
+	capped.ResetCounters()
+	for i := int64(0); i < 5000; i++ {
+		k := (i*16807)%20000*4 + 1
+		packed.Put(k, i)
+		capped.Put(k, i)
+	}
+	if err := packed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := packed.Stats().LeafSplits, capped.Stats().LeafSplits
+	if cs >= ps {
+		t.Fatalf("MaxFill headroom did not reduce splits: capped %d vs packed %d", cs, ps)
+	}
+}
+
+func TestMaxFillClamping(t *testing.T) {
+	cfg := Config{Mode: ModeQuIT, MaxFill: 0.2}.withDefaults()
+	if cfg.MaxFill != 0.5 {
+		t.Fatalf("MaxFill = %v, want clamp to 0.5", cfg.MaxFill)
+	}
+	cfg = Config{Mode: ModeQuIT, MaxFill: 1.7}.withDefaults()
+	if cfg.MaxFill != 1 {
+		t.Fatalf("MaxFill = %v, want clamp to 1", cfg.MaxFill)
+	}
+	cfg = Config{}.withDefaults()
+	if cfg.MaxFill != 1 {
+		t.Fatalf("default MaxFill = %v", cfg.MaxFill)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTreeOps drives a QuIT tree (tiny nodes, maximum structural churn)
+// with a byte-coded operation stream and cross-checks it against a map
+// oracle plus the structural validator after every few operations.
+//
+// Encoding: each operation consumes 3 bytes: opcode (put/delete/get by
+// modulo), then a 2-byte key. Runs with `go test -fuzz=FuzzTreeOps`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 2, 1, 0, 1})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 0, 3, 0, 1, 2, 0, 2, 1, 0})
+	seed := make([]byte, 0, 300)
+	for i := 0; i < 100; i++ {
+		seed = append(seed, byte(i%3), byte(i), byte(i/2))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+		oracle := map[int64]int64{}
+		step := 0
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 3
+			key := int64(data[i+1])<<8 | int64(data[i+2])
+			switch op {
+			case 0:
+				v := int64(step)
+				tr.Put(key, v)
+				oracle[key] = v
+			case 1:
+				_, gotOK := tr.Delete(key)
+				_, wantOK := oracle[key]
+				if gotOK != wantOK {
+					t.Fatalf("step %d: Delete(%d) ok=%v oracle=%v", step, key, gotOK, wantOK)
+				}
+				delete(oracle, key)
+			case 2:
+				gv, gok := tr.Get(key)
+				wv, wok := oracle[key]
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", step, key, gv, gok, wv, wok)
+				}
+			}
+			step++
+			if step%64 == 0 {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+		}
+		keys := tr.Keys()
+		want := make([]int64, 0, len(oracle))
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("key stream diverges at %d: %d vs %d", i, keys[i], want[i])
+			}
+		}
+	})
+}

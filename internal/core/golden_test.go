@@ -1,0 +1,189 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Golden traces: exact leaf layouts for hand-derived workloads pin the
+// split policies (Algorithms 1 and 2) against regressions. Capacity 8,
+// fanout 5, so arithmetic stays checkable by hand.
+
+func goldenConfig(mode Mode) Config {
+	return Config{Mode: mode, LeafCapacity: 8, InternalFanout: 5}
+}
+
+func leafLayout(t *Tree[int64, int64]) [][]int64 {
+	var out [][]int64
+	for n := t.head; n != nil; n = n.next {
+		out = append(out, append([]int64(nil), n.keys...))
+	}
+	return out
+}
+
+func seq(lo, hi int64) []int64 { // inclusive
+	out := make([]int64, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestGoldenQuITSortedTrace(t *testing.T) {
+	// Inserts 0..19 into QuIT (cap 8):
+	//  - 0..7 fill the root leaf; 8 forces the first split. pole_prev is
+	//    not established, so Algorithm 1's default 50% split applies:
+	//    [0..3] | [4..7], and the initialization rule marks the half that
+	//    received key 8 (the right) as pole.
+	//  - 9..11 fill pole to [4..11]; 12 triggers the variable split with
+	//    p=0, q=4, prev_size=4, pole_size=8: x = 4 + (4/4)*8*1.5 = 16, so
+	//    no key is an outlier (l=8) and the split lands at l-1=7:
+	//    [4..10] | [11], pole moves right.
+	//  - 13..18 fill pole to [11..18]; 19 repeats the pattern with
+	//    x = 11 + (7/7)*8*1.5 = 23: split [11..17] | [18].
+	tr := New[int64, int64](goldenConfig(ModeQuIT))
+	for i := int64(0); i < 20; i++ {
+		tr.Put(i, i)
+	}
+	want := [][]int64{seq(0, 3), seq(4, 10), seq(11, 17), {18, 19}}
+	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+	if tr.fp.leaf != tr.tail {
+		t.Fatal("pole is not the tail after sorted ingestion")
+	}
+	if !tr.fp.prevValid || tr.fp.prevMin != 11 || tr.fp.prevSize != 7 {
+		t.Fatalf("pole_prev metadata: min=%d size=%d valid=%v",
+			tr.fp.prevMin, tr.fp.prevSize, tr.fp.prevValid)
+	}
+}
+
+func TestGoldenQuITOutlierBurstTrace(t *testing.T) {
+	// Continue the sorted trace with an outlier burst. The pole ([18,19])
+	// is the tail, so outliers 100000,100010,...,100050 fast-insert into
+	// it until it is full; the next outlier forces Algorithm 2 with
+	// x = 18 + (18-11)/7 * 8 * 1.5 = 30, so l=2 (the first outlier's
+	// position): a keep split [18,19] | [outliers], the pole keeps its
+	// place with fp_max = 100000, and the burst continues into the new
+	// node through top-inserts (its keys exceed fp_max).
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5, ResetThreshold: 1000})
+	for i := int64(0); i < 20; i++ {
+		tr.Put(i, i)
+	}
+	for i := int64(0); i < 8; i++ {
+		tr.Put(100000+i*10, i)
+	}
+	want := [][]int64{
+		seq(0, 3), seq(4, 10), seq(11, 17), {18, 19},
+		{100000, 100010, 100020, 100030, 100040, 100050, 100060, 100070},
+	}
+	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+	if tr.fp.leaf.keys[0] != 18 {
+		t.Fatalf("pole moved to %v", tr.fp.leaf.keys)
+	}
+	if !tr.fp.hasMax || tr.fp.max != 100000 {
+		t.Fatalf("fp_max = (%d,%v), want (100000,true)", tr.fp.max, tr.fp.hasMax)
+	}
+	st := tr.Stats()
+	if st.VariableSplits != 3 {
+		t.Fatalf("VariableSplits = %d, want 3 (two keep-right, one keep-left)", st.VariableSplits)
+	}
+	// In-order keys keep fast-inserting into the kept pole.
+	tr.ResetCounters()
+	for i := int64(20); i < 26; i++ {
+		tr.Put(i, i)
+	}
+	if st := tr.Stats(); st.TopInserts != 0 {
+		t.Fatalf("post-burst in-order keys: %d top-inserts", st.TopInserts)
+	}
+}
+
+func TestGoldenClassical5050Trace(t *testing.T) {
+	// The classical B+-tree always splits at 50%: sorted 0..19 leaves the
+	// textbook half-full cascade (the rightmost leaf is full but splits
+	// only when the next insert arrives).
+	tr := New[int64, int64](goldenConfig(ModeNone))
+	for i := int64(0); i < 20; i++ {
+		tr.Put(i, i)
+	}
+	want := [][]int64{seq(0, 3), seq(4, 7), seq(8, 11), seq(12, 19)}
+	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestGoldenLILSplitTrace(t *testing.T) {
+	// Fig. 4 mechanics: lil follows the half that received the key.
+	tr := New[int64, int64](goldenConfig(ModeLIL))
+	for i := int64(0); i < 8; i++ {
+		tr.Put(i*10, i) // [0,10,...,70] full
+	}
+	tr.Put(35, 0) // split [0..30] | [40..70]; 35 goes left, lil = left
+	if tr.fp.leaf.keys[0] != 0 {
+		t.Fatalf("lil leaf = %v, want the left half", tr.fp.leaf.keys)
+	}
+	if !tr.fp.hasMax || tr.fp.max != 40 {
+		t.Fatalf("lil fp_max = (%d,%v), want (40,true)", tr.fp.max, tr.fp.hasMax)
+	}
+	want := [][]int64{{0, 10, 20, 30, 35}, {40, 50, 60, 70}}
+	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestGoldenRedistributionTrace(t *testing.T) {
+	// Fig. 7c: engineer pole_prev under half full, then fill pole and
+	// watch entries flow backward instead of splitting.
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5, ResetThreshold: 1000})
+	// Sorted ramp: pole=[18,19], prev=[11..17] (7 entries, >= half).
+	for i := int64(0); i < 20; i++ {
+		tr.Put(i, i)
+	}
+	// Outlier burst far ahead: keep split leaves pole=[18,19] with the
+	// outliers quarantined to the right.
+	for i := int64(0); i < 8; i++ {
+		tr.Put(1000+i, i)
+	}
+	// In-order keys fill the kept pole [18,19] -> [18..25]; the next split
+	// has prev=[11..17] (>= half), so it is a variable split:
+	// x = 18 + 1*8*1.5 = 30 -> l = 8, keep-right at pos 7.
+	for i := int64(20); i < 27; i++ {
+		tr.Put(i, i)
+	}
+	// Now pole=[25,26], prev=[18..24]. Manufacture an underfull prev by
+	// deleting from it (deletes outside pole rebalance, so take just two,
+	// leaving 5 >= minLeaf=4 — no merge).
+	tr.Delete(20)
+	tr.Delete(21)
+	// Deletion resets the fast path to the tail conservatively; bring the
+	// pole back to the frontier with in-order inserts (reset threshold is
+	// high, so it comes back via a split/catch-up chain).
+	for i := int64(27); i < 40; i++ {
+		tr.Put(i, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The exact layout here depends on the recovery path; the invariant we
+	// pin is that every key survived.
+	wantKeys := map[int64]bool{}
+	for i := int64(0); i < 40; i++ {
+		if i == 20 || i == 21 {
+			continue
+		}
+		wantKeys[i] = true
+	}
+	for i := int64(0); i < 8; i++ {
+		wantKeys[1000+i] = true
+	}
+	if tr.Len() != len(wantKeys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(wantKeys))
+	}
+	for k := range wantKeys {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+// Put inserts key with value val, or overwrites the existing value if key
+// is already present. It returns the previous value and whether the key
+// existed. New keys are ingested through the mode's fast path whenever the
+// fast-path predictor admits them, and through a classical top-insert
+// otherwise.
+func (t *Tree[K, V]) Put(key K, val V) (prev V, existed bool) {
+	if t.cfg.Mode != ModeNone {
+		if p, ex, handled := t.tryFastInsert(key, val); handled {
+			return p, ex
+		}
+	}
+	return t.topInsert(key, val)
+}
+
+// Insert is a convenience wrapper around Put that discards the previous
+// value.
+func (t *Tree[K, V]) Insert(key K, val V) { t.Put(key, val) }
+
+// tryFastInsert attempts the fast-path insertion routine. handled is false
+// when the entry must go through a top-insert instead (key outside the
+// fast-path range, revalidation failure under concurrency, or a
+// synchronized full-leaf case that requires a latched descent).
+func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool) {
+	t.lockMeta()
+	leaf := t.fp.leaf
+	if leaf == nil || !t.fpContains(key) {
+		t.unlockMeta()
+		return prev, false, false
+	}
+	t.unlockMeta()
+
+	t.wlock(leaf)
+	t.lockMeta()
+	if t.fp.leaf != leaf || !t.fpContains(key) {
+		// A concurrent operation moved the fast path between the snapshot
+		// and the leaf latch; retry through the top path.
+		t.unlockMeta()
+		t.wunlock(leaf)
+		return prev, false, false
+	}
+
+	if i, ok := leaf.find(key); ok {
+		prev = leaf.vals[i]
+		leaf.vals[i] = val
+		t.c.updates.Add(1)
+		t.unlockMeta()
+		t.wunlock(leaf)
+		return prev, true, true
+	}
+
+	if len(leaf.keys) < t.cfg.LeafCapacity {
+		i, _ := leaf.find(key)
+		leaf.insertAt(i, key, val)
+		t.fp.size++
+		t.fp.fails = 0
+		t.c.fastInserts.Add(1)
+		t.size.Add(1)
+		t.unlockMeta()
+		t.wunlock(leaf)
+		return prev, false, true
+	}
+
+	// The fast-path leaf is full and must split (or, for QuIT,
+	// redistribute). In synchronized mode this needs ancestor latches, so
+	// it goes through the latched descent; unsynchronized trees split in
+	// place through the cached fp_path, avoiding the traversal entirely.
+	if t.synced {
+		t.unlockMeta()
+		t.wunlock(leaf)
+		return prev, false, false
+	}
+	path := t.fastSplitPath(key)
+	t.unlockMeta()
+	t.wunlock(leaf)
+	if path == nil {
+		return prev, false, false
+	}
+
+	lo, hi := t.leafBoundsFromFP()
+	target, _, _ := t.splitForInsert(path, key, lo, hi)
+	i, _ := target.find(key)
+	target.insertAt(i, key, val)
+	t.lockMeta()
+	if target == t.fp.leaf {
+		t.fp.size++
+	} else if target == t.fp.prev && t.fp.prevValid {
+		t.fp.prevSize++
+	}
+	t.fp.fails = 0
+	t.unlockMeta()
+	t.c.fastInserts.Add(1)
+	t.size.Add(1)
+	return prev, false, true
+}
+
+// leafBoundsFromFP returns the fast-path leaf's routing bounds from the
+// metadata (unsynchronized fast-split path only).
+func (t *Tree[K, V]) leafBoundsFromFP() (bound[K], bound[K]) {
+	var lo, hi bound[K]
+	if t.fp.hasMin {
+		lo = closed(t.fp.min)
+	}
+	if t.fp.hasMax {
+		hi = closed(t.fp.max)
+	}
+	return lo, hi
+}
+
+// fastSplitPath returns a root-to-leaf path for the fast-path leaf, using
+// the cached fp_path when it is still exact and re-descending (and
+// refreshing the cache) otherwise. Unsynchronized trees only. Caller holds
+// meta conceptually (no-op). Returns nil if the fast path is unusable.
+func (t *Tree[K, V]) fastSplitPath(key K) []*node[K, V] {
+	if t.fpPathValid() {
+		return t.fp.path
+	}
+	path := make([]*node[K, V], 0, t.height)
+	n := t.root
+	for {
+		path = append(path, n)
+		if n.isLeaf() {
+			break
+		}
+		n = n.children[n.route(key)]
+	}
+	if path[len(path)-1] != t.fp.leaf {
+		// The metadata bounds admitted a key the tree routes elsewhere;
+		// treat the fast path as stale.
+		return nil
+	}
+	t.fp.path = append(t.fp.path[:0], path...)
+	return t.fp.path
+}
+
+// pathEntry records one step of a latched descent.
+type pathEntry[K Integer, V any] struct {
+	n   *node[K, V]
+	idx int // child index taken (internal nodes only)
+}
+
+// descendForWrite walks from the root to the leaf for key, recording the
+// path and the leaf's routing bounds. In synchronized mode it lock-crabs:
+// ancestors are released as soon as a child is guaranteed not to split;
+// when holdAll is set every node on the path stays write-latched (needed
+// when a QuIT redistribution may rewrite a separator pivot high up).
+// lockedFrom is the index of the shallowest still-latched path entry.
+func (t *Tree[K, V]) descendForWrite(key K, holdAll bool) (path []pathEntry[K, V], lockedFrom int, lo, hi bound[K]) {
+	r := t.lockedRoot()
+	path = make([]pathEntry[K, V], 0, 8)
+	path = append(path, pathEntry[K, V]{n: r})
+	n := r
+	for !n.isLeaf() {
+		idx := n.route(key)
+		path[len(path)-1].idx = idx
+		if idx > 0 {
+			lo = closed(n.keys[idx-1])
+		}
+		if idx < len(n.keys) {
+			hi = closed(n.keys[idx])
+		}
+		c := n.children[idx]
+		t.wlock(c)
+		if !holdAll && t.insertSafe(c) {
+			for i := lockedFrom; i < len(path); i++ {
+				t.wunlock(path[i].n)
+			}
+			lockedFrom = len(path)
+		}
+		path = append(path, pathEntry[K, V]{n: c})
+		n = c
+	}
+	return path, lockedFrom, lo, hi
+}
+
+// insertSafe reports whether n cannot split on insert (crabbing release
+// rule).
+func (t *Tree[K, V]) insertSafe(n *node[K, V]) bool {
+	if n.isLeaf() {
+		return len(n.keys) < t.cfg.LeafCapacity
+	}
+	return len(n.children) < t.cfg.InternalFanout
+}
+
+func (t *Tree[K, V]) unlockPathFrom(path []pathEntry[K, V], lockedFrom int) {
+	if !t.synced {
+		return
+	}
+	for i := lockedFrom; i < len(path); i++ {
+		t.wunlock(path[i].n)
+	}
+}
+
+// topInsert performs a classical root-to-leaf insertion, splitting (or
+// redistributing) as needed, then lets the mode's fast-path policy react.
+func (t *Tree[K, V]) topInsert(key K, val V) (prev V, existed bool) {
+	holdAll := false
+	if t.synced && (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) {
+		// A top-insert that lands in pole may trigger a QuIT
+		// redistribution, which rewrites the separator pivot between
+		// pole_prev and pole; that pivot can live arbitrarily high, so the
+		// whole path stays latched.
+		t.lockMeta()
+		holdAll = t.fp.leaf != nil && t.fpContains(key)
+		t.unlockMeta()
+	}
+	path, lockedFrom, lo, hi := t.descendForWrite(key, holdAll)
+	leaf := path[len(path)-1].n
+
+	if i, ok := leaf.find(key); ok {
+		prev = leaf.vals[i]
+		leaf.vals[i] = val
+		t.c.updates.Add(1)
+		t.unlockPathFrom(path, lockedFrom)
+		return prev, true
+	}
+
+	target, tlo, thi := leaf, lo, hi
+	if len(leaf.keys) >= t.cfg.LeafCapacity {
+		nodes := make([]*node[K, V], len(path))
+		for i := range path {
+			nodes[i] = path[i].n
+		}
+		target, tlo, thi = t.splitForInsert(nodes, key, lo, hi)
+	}
+	i, _ := target.find(key)
+	target.insertAt(i, key, val)
+	t.c.topInserts.Add(1)
+	t.size.Add(1)
+
+	pathNodes := make([]*node[K, V], 0, len(path))
+	for _, e := range path {
+		pathNodes = append(pathNodes, e.n)
+	}
+	if target != leaf {
+		// The entry went to the freshly split-off sibling; swap it in as
+		// the path's leaf for fast-path bookkeeping.
+		pathNodes[len(pathNodes)-1] = target
+	}
+	t.afterTopInsert(target, key, tlo, thi, pathNodes)
+	t.unlockPathFrom(path, lockedFrom)
+	return prev, false
+}

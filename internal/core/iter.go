@@ -1,0 +1,177 @@
+package core
+
+// Floor returns the largest entry with key <= target (ok=false if none).
+// Safe for concurrent use in synchronized mode: it never holds two leaf
+// latches at once (a miss in the target's leaf restarts the descent at the
+// predecessor range instead of chasing prev pointers against the lock
+// order).
+func (t *Tree[K, V]) Floor(target K) (k K, v V, ok bool) {
+	key := target
+	for {
+		n := t.rlockedRoot()
+		var lo bound[K]
+		for !n.isLeaf() {
+			idx := n.route(key)
+			if idx > 0 {
+				lo = closed(n.keys[idx-1])
+			}
+			c := n.children[idx]
+			t.rlock(c)
+			t.runlock(n)
+			n = c
+		}
+		idx := upperBound(n.keys, key)
+		if idx > 0 {
+			k, v = n.keys[idx-1], n.vals[idx-1]
+			t.runlock(n)
+			return k, v, true
+		}
+		t.runlock(n)
+		if !lo.ok {
+			return k, v, false // leftmost range: nothing <= target
+		}
+		// Every key <= target lives strictly below this leaf's lower bound;
+		// restart the descent just under it (integer keys, so lo.key-1 is
+		// the predecessor range). Guard against wrapping at the domain min.
+		next := lo.key - 1
+		if next >= lo.key {
+			return k, v, false
+		}
+		key = next
+	}
+}
+
+// Ceiling returns the smallest entry with key >= target (ok=false if none).
+// Concurrency-safe in synchronized mode (see Floor).
+func (t *Tree[K, V]) Ceiling(target K) (k K, v V, ok bool) {
+	key := target
+	for {
+		n := t.rlockedRoot()
+		var hi bound[K]
+		for !n.isLeaf() {
+			idx := n.route(key)
+			if idx < len(n.keys) {
+				hi = closed(n.keys[idx])
+			}
+			c := n.children[idx]
+			t.rlock(c)
+			t.runlock(n)
+			n = c
+		}
+		idx := lowerBound(n.keys, key)
+		if idx < len(n.keys) {
+			k, v = n.keys[idx], n.vals[idx]
+			t.runlock(n)
+			return k, v, true
+		}
+		t.runlock(n)
+		if !hi.ok {
+			return k, v, false // rightmost range: nothing >= target
+		}
+		// The successor range starts exactly at the upper bound pivot.
+		key = hi.key
+	}
+}
+
+// Iterator is a bidirectional cursor over the tree's entries in key
+// order. Obtain one with Iter, Seek or SeekLast. The cursor sits *between*
+// entries: Next yields the entry after the cursor and Prev the entry
+// before it, so alternating Next/Prev walks one entry per call in each
+// direction without repeats.
+//
+// An Iterator must not be used while the tree is being modified (even in
+// synchronized mode): like most ordered Go containers, cursor stability
+// across writes is the caller's job — use Range for callback-style
+// iteration that holds latches correctly.
+type Iterator[K Integer, V any] struct {
+	leaf *node[K, V]
+	pos  int // index of the entry last yielded; -1/len() at the edges
+	// between marks a freshly Seek-ed cursor sitting in the gap at index
+	// pos: Next yields pos itself, Prev yields pos-1. After any yield the
+	// cursor is "at" an entry and the usual +-1 stepping applies.
+	between bool
+	key     K
+	val     V
+	ok      bool
+}
+
+// Iter returns an iterator positioned before the first entry.
+func (t *Tree[K, V]) Iter() *Iterator[K, V] {
+	return &Iterator[K, V]{leaf: t.head, pos: -1}
+}
+
+// Seek returns an iterator positioned just before the first entry with
+// key >= target (Prev yields the last entry with key < target).
+func (t *Tree[K, V]) Seek(target K) *Iterator[K, V] {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[n.route(target)]
+	}
+	return &Iterator[K, V]{leaf: n, pos: lowerBound(n.keys, target), between: true}
+}
+
+// SeekLast returns an iterator positioned after the last entry, for
+// backward iteration with Prev.
+func (t *Tree[K, V]) SeekLast() *Iterator[K, V] {
+	return &Iterator[K, V]{leaf: t.tail, pos: len(t.tail.keys)}
+}
+
+// Next advances to the next entry, returning false when the end is
+// reached.
+func (it *Iterator[K, V]) Next() bool {
+	if it.leaf == nil {
+		it.ok = false
+		return false
+	}
+	if it.between {
+		it.between = false
+	} else {
+		it.pos++
+	}
+	for it.pos >= len(it.leaf.keys) {
+		if it.leaf.next == nil {
+			it.pos = len(it.leaf.keys) // park at the end
+			it.ok = false
+			return false
+		}
+		it.leaf = it.leaf.next
+		it.pos = 0
+	}
+	it.key = it.leaf.keys[it.pos]
+	it.val = it.leaf.vals[it.pos]
+	it.ok = true
+	return true
+}
+
+// Prev steps backward to the previous entry, returning false when the
+// front is reached.
+func (it *Iterator[K, V]) Prev() bool {
+	if it.leaf == nil {
+		it.ok = false
+		return false
+	}
+	it.between = false
+	it.pos--
+	for it.pos < 0 {
+		if it.leaf.prev == nil {
+			it.pos = -1 // park at the front
+			it.ok = false
+			return false
+		}
+		it.leaf = it.leaf.prev
+		it.pos = len(it.leaf.keys) - 1
+	}
+	it.key = it.leaf.keys[it.pos]
+	it.val = it.leaf.vals[it.pos]
+	it.ok = true
+	return true
+}
+
+// Key returns the current entry's key; valid after a true Next or Prev.
+func (it *Iterator[K, V]) Key() K { return it.key }
+
+// Value returns the current entry's value; valid after a true Next or Prev.
+func (it *Iterator[K, V]) Value() V { return it.val }
+
+// Valid reports whether the iterator currently points at an entry.
+func (it *Iterator[K, V]) Valid() bool { return it.ok }

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFloorCeiling(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](smallConfig(mode))
+			// Keys: 0, 10, 20, ..., 9990.
+			for i := int64(0); i < 1000; i++ {
+				tr.Put(i*10, i)
+			}
+			cases := []struct {
+				target          int64
+				floorK, ceilK   int64
+				floorOK, ceilOK bool
+			}{
+				{55, 50, 60, true, true},
+				{50, 50, 50, true, true},
+				{0, 0, 0, true, true},
+				{-1, 0, 0, false, true},
+				{9990, 9990, 9990, true, true},
+				{9991, 9990, 0, true, false},
+				{12345, 9990, 0, true, false},
+			}
+			for _, c := range cases {
+				k, _, ok := tr.Floor(c.target)
+				if ok != c.floorOK || (ok && k != c.floorK) {
+					t.Fatalf("Floor(%d) = (%d,%v), want (%d,%v)", c.target, k, ok, c.floorK, c.floorOK)
+				}
+				k, _, ok = tr.Ceiling(c.target)
+				if ok != c.ceilOK || (ok && k != c.ceilK) {
+					t.Fatalf("Ceiling(%d) = (%d,%v), want (%d,%v)", c.target, k, ok, c.ceilK, c.ceilOK)
+				}
+			}
+		})
+	}
+}
+
+func TestFloorCeilingRandomizedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+	present := map[int64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.Intn(10000))
+		tr.Put(k, k)
+		present[k] = true
+	}
+	for trial := 0; trial < 2000; trial++ {
+		target := int64(rng.Intn(11000)) - 500
+		var wantFloor int64
+		foundFloor := false
+		for k := target; k >= -500; k-- {
+			if present[k] {
+				wantFloor, foundFloor = k, true
+				break
+			}
+		}
+		gotK, gotV, gotOK := tr.Floor(target)
+		if gotOK != foundFloor || (gotOK && (gotK != wantFloor || gotV != wantFloor)) {
+			t.Fatalf("Floor(%d) = (%d,%v), want (%d,%v)", target, gotK, gotOK, wantFloor, foundFloor)
+		}
+		var wantCeil int64
+		foundCeil := false
+		for k := target; k <= 10500; k++ {
+			if present[k] {
+				wantCeil, foundCeil = k, true
+				break
+			}
+		}
+		gotK, _, gotOK = tr.Ceiling(target)
+		if gotOK != foundCeil || (gotOK && gotK != wantCeil) {
+			t.Fatalf("Ceiling(%d) = (%d,%v), want (%d,%v)", target, gotK, gotOK, wantCeil, foundCeil)
+		}
+	}
+}
+
+func TestFloorCeilingEmptyAndUnsigned(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor on empty tree")
+	}
+	if _, _, ok := tr.Ceiling(5); ok {
+		t.Fatal("Ceiling on empty tree")
+	}
+	// Unsigned keys: Floor(target) with nothing at or below 0 must not wrap.
+	u := New[uint64, int](smallConfig(ModeQuIT))
+	u.Put(10, 1)
+	if _, _, ok := u.Floor(5); ok {
+		t.Fatal("Floor(5) with min key 10 reported ok")
+	}
+	if k, _, ok := u.Ceiling(5); !ok || k != 10 {
+		t.Fatalf("Ceiling(5) = (%d,%v)", k, ok)
+	}
+}
+
+func TestIterator(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+	n := int64(500)
+	for i := n - 1; i >= 0; i-- {
+		tr.Put(i*3, i)
+	}
+	it := tr.Iter()
+	if it.Valid() {
+		t.Fatal("fresh iterator claims validity")
+	}
+	count := int64(0)
+	for it.Next() {
+		if it.Key() != count*3 || it.Value() != count {
+			t.Fatalf("iter at %d: (%d,%d)", count, it.Key(), it.Value())
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("iterated %d entries, want %d", count, n)
+	}
+	if it.Next() || it.Valid() {
+		t.Fatal("exhausted iterator advanced")
+	}
+
+	// Seek to an existing key, a missing key, and past the end.
+	it = tr.Seek(300)
+	if !it.Next() || it.Key() != 300 {
+		t.Fatalf("Seek(300) first = %d", it.Key())
+	}
+	it = tr.Seek(301)
+	if !it.Next() || it.Key() != 303 {
+		t.Fatalf("Seek(301) first = %d", it.Key())
+	}
+	it = tr.Seek(n * 3)
+	if it.Next() {
+		t.Fatal("Seek past end yielded an entry")
+	}
+	// Seek before the beginning.
+	it = tr.Seek(-100)
+	if !it.Next() || it.Key() != 0 {
+		t.Fatalf("Seek(-100) first = %d", it.Key())
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if tr.Iter().Next() {
+		t.Fatal("iterator over empty tree yielded an entry")
+	}
+	if tr.Seek(0).Next() {
+		t.Fatal("seek over empty tree yielded an entry")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			src := New[int64, int64](Config{Mode: mode, LeafCapacity: 32, InternalFanout: 8})
+			keys := workloads(40000, 3)["nearsorted"]
+			for _, k := range keys {
+				src.Put(k, k*7)
+			}
+			var buf bytes.Buffer
+			if err := src.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load[int64, int64](&buf, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != src.Len() {
+				t.Fatalf("Len %d, want %d", got.Len(), src.Len())
+			}
+			if got.Mode() != mode {
+				t.Fatalf("mode %v, want %v", got.Mode(), mode)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys[:2000] {
+				v, ok := got.Get(k)
+				if !ok || v != k*7 {
+					t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+				}
+			}
+			// A loaded tree is compact and immediately writable.
+			if occ := got.AvgLeafOccupancy(); occ < 0.8 {
+				t.Fatalf("loaded occupancy %.2f", occ)
+			}
+			got.Put(int64(len(keys))*3+100, 1)
+			got.Delete(keys[0])
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSaveLoadEmptyAndStringValues(t *testing.T) {
+	src := New[int64, string](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[int64, string](&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip Len = %d", got.Len())
+	}
+
+	src.Put(1, "one")
+	src.Put(2, "two")
+	buf.Reset()
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load[int64, string](&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get(2); v != "two" {
+		t.Fatalf("Get(2) = %q", v)
+	}
+}
+
+func TestLoadConfigOverride(t *testing.T) {
+	src := New[int64, int64](Config{Mode: ModeNone, LeafCapacity: 32, InternalFanout: 8})
+	for i := int64(0); i < 5000; i++ {
+		src.Put(i, i)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[int64, int64](&buf, Config{Mode: ModeQuIT, Synchronized: true, LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode() != ModeQuIT || got.Config().LeafCapacity != 16 || !got.Config().Synchronized {
+		t.Fatalf("override not applied: %+v", got.Config())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load[int64, int64](strings.NewReader("not a snapshot"), Config{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A valid gob stream that is not a snapshot header.
+	var buf bytes.Buffer
+	buf.WriteString("\x00\x01")
+	if _, err := Load[int64, int64](&buf, Config{}); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedStream(t *testing.T) {
+	src := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 50000; i++ {
+		src.Put(i, i)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()*2/3]
+	if _, err := Load[int64, int64](bytes.NewReader(cut), Config{}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestIteratorReverse(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		tr.Put(i*2, i)
+	}
+	// Full backward walk.
+	it := tr.SeekLast()
+	want := int64(n-1) * 2
+	count := 0
+	for it.Prev() {
+		if it.Key() != want {
+			t.Fatalf("Prev yielded %d, want %d", it.Key(), want)
+		}
+		want -= 2
+		count++
+	}
+	if count != n {
+		t.Fatalf("backward walk visited %d, want %d", count, n)
+	}
+	if it.Prev() || it.Valid() {
+		t.Fatal("exhausted backward iterator advanced")
+	}
+	// Parked at the front: Next yields the first entry.
+	if !it.Next() || it.Key() != 0 {
+		t.Fatalf("Next after front parking = (%d,%v)", it.Key(), it.Valid())
+	}
+
+	// Alternating Next/Prev walks one entry per call, no repeats.
+	it = tr.Seek(100)
+	if !it.Next() || it.Key() != 100 {
+		t.Fatalf("Seek(100).Next() = %d", it.Key())
+	}
+	if !it.Prev() || it.Key() != 98 {
+		t.Fatalf("Prev after Next = %d, want 98", it.Key())
+	}
+	if !it.Next() || it.Key() != 100 {
+		t.Fatalf("Next after Prev = %d, want 100", it.Key())
+	}
+	// Seek positions Prev at the last entry below target.
+	it = tr.Seek(101)
+	if !it.Prev() || it.Key() != 100 {
+		t.Fatalf("Seek(101).Prev() = %d, want 100", it.Key())
+	}
+	// Prev from an empty tree.
+	empty := New[int64, int64](smallConfig(ModeQuIT))
+	if empty.SeekLast().Prev() {
+		t.Fatal("Prev on empty tree yielded an entry")
+	}
+}
+
+func TestIteratorReverseMatchesForward(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	keys := workloads(3000, 17)["random"]
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	var fwd []int64
+	for it := tr.Iter(); it.Next(); {
+		fwd = append(fwd, it.Key())
+	}
+	var bwd []int64
+	for it := tr.SeekLast(); it.Prev(); {
+		bwd = append(bwd, it.Key())
+	}
+	if len(fwd) != len(bwd) {
+		t.Fatalf("forward %d vs backward %d", len(fwd), len(bwd))
+	}
+	for i := range fwd {
+		if fwd[i] != bwd[len(bwd)-1-i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+// Get returns the value stored for key. Lookups are identical to a
+// classical B+-tree in every mode: the fast path is write-side only, which
+// is how QuIT avoids any read penalty (§4.4).
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	var zero V
+	n := t.rlockedRoot()
+	reads := int64(0)
+	for !n.isLeaf() {
+		reads++
+		c := n.children[n.route(key)]
+		t.rlock(c)
+		t.runlock(n)
+		n = c
+	}
+	t.c.nodeReads.Add(reads)
+	t.c.leafReads.Add(1)
+	i, ok := n.find(key)
+	if !ok {
+		t.runlock(n)
+		return zero, false
+	}
+	v := n.vals[i]
+	t.runlock(n)
+	return v, true
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Min returns the smallest key and its value; ok is false for an empty tree.
+func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
+	t.lockMeta()
+	n := t.head
+	t.unlockMeta()
+	t.rlock(n)
+	defer t.runlock(n)
+	if len(n.keys) == 0 {
+		return k, v, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its value; ok is false for an empty tree.
+func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
+	t.lockMeta()
+	n := t.tail
+	t.unlockMeta()
+	t.rlock(n)
+	defer t.runlock(n)
+	if len(n.keys) == 0 {
+		return k, v, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}
+
+// Range visits every entry with start <= key < end in ascending key order,
+// stopping early if fn returns false. It returns the number of entries
+// visited. fn must not modify the tree. Leaf accesses are tallied in
+// Stats.RangeLeafReads, the metric behind the paper's Fig. 10c.
+func (t *Tree[K, V]) Range(start, end K, fn func(K, V) bool) int {
+	if end <= start {
+		return 0
+	}
+	n := t.rlockedRoot()
+	for !n.isLeaf() {
+		c := n.children[n.route(start)]
+		t.rlock(c)
+		t.runlock(n)
+		n = c
+	}
+	visited := 0
+	leaves := int64(1)
+	i := lowerBound(n.keys, start)
+	for {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] >= end {
+				t.runlock(n)
+				t.c.rangeLeafReads.Add(leaves)
+				return visited
+			}
+			visited++
+			if !fn(n.keys[i], n.vals[i]) {
+				t.runlock(n)
+				t.c.rangeLeafReads.Add(leaves)
+				return visited
+			}
+		}
+		next := n.next
+		if next == nil {
+			t.runlock(n)
+			break
+		}
+		t.rlock(next)
+		t.runlock(n)
+		n = next
+		leaves++
+		i = 0
+	}
+	t.c.rangeLeafReads.Add(leaves)
+	return visited
+}
+
+// Scan visits every entry in ascending key order, stopping early if fn
+// returns false. fn must not modify the tree.
+func (t *Tree[K, V]) Scan(fn func(K, V) bool) {
+	t.lockMeta()
+	n := t.head
+	t.unlockMeta()
+	t.rlock(n)
+	for {
+		for i := 0; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				t.runlock(n)
+				return
+			}
+		}
+		next := n.next
+		if next == nil {
+			t.runlock(n)
+			return
+		}
+		t.rlock(next)
+		t.runlock(n)
+		n = next
+	}
+}
+
+// Keys returns all keys in ascending order. Intended for tests and small
+// trees; it allocates the full result.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.Len())
+	t.Scan(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

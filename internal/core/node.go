@@ -1,0 +1,107 @@
+package core
+
+import "sync"
+
+// node is a B+-tree node. Leaves hold parallel keys/vals slices and are
+// interlinked through next/prev; internal nodes hold len(keys)+1 children,
+// where children[i] covers keys in [keys[i-1], keys[i]) (with the usual
+// open bounds at the edges).
+//
+// The latch (mu) is only exercised when the tree was configured with
+// Synchronized=true; unsynchronized trees never touch it.
+type node[K Integer, V any] struct {
+	mu   sync.RWMutex
+	id   uint64
+	keys []K
+
+	// Leaf fields.
+	vals []V
+	next *node[K, V]
+	prev *node[K, V]
+
+	// Internal field. nil for leaves.
+	children []*node[K, V]
+}
+
+func (n *node[K, V]) isLeaf() bool { return n.children == nil }
+
+// upperBound returns the first index i with keys[i] > k (len(keys) if none).
+// This is the child-routing function for internal nodes.
+func upperBound[K Integer](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index i with keys[i] >= k (len(keys) if none).
+func lowerBound[K Integer](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// route returns the child index an internal node uses for key k.
+func (n *node[K, V]) route(k K) int { return upperBound(n.keys, k) }
+
+// find locates k in a leaf, returning its index and whether it is present.
+func (n *node[K, V]) find(k K) (int, bool) {
+	i := lowerBound(n.keys, k)
+	return i, i < len(n.keys) && n.keys[i] == k
+}
+
+// insertAt places (k, v) at position i in a leaf, shifting the tail right.
+// The caller guarantees capacity.
+func (n *node[K, V]) insertAt(i int, k K, v V) {
+	n.keys = append(n.keys, k)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	var zero V
+	n.vals = append(n.vals, zero)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = v
+}
+
+// removeAt deletes the entry at position i from a leaf.
+func (n *node[K, V]) removeAt(i int) {
+	copy(n.keys[i:], n.keys[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	copy(n.vals[i:], n.vals[i+1:])
+	var zero V
+	n.vals[len(n.vals)-1] = zero
+	n.vals = n.vals[:len(n.vals)-1]
+}
+
+// insertChildAt inserts pivot k and child c at pivot position i of an
+// internal node, so that c becomes children[i+1].
+func (n *node[K, V]) insertChildAt(i int, k K, c *node[K, V]) {
+	n.keys = append(n.keys, k)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = c
+}
+
+// removeChildAt removes pivot i and children[i+1] from an internal node
+// (used when the right-hand node of a merge disappears).
+func (n *node[K, V]) removeChildAt(i int) {
+	copy(n.keys[i:], n.keys[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	copy(n.children[i+1:], n.children[i+2:])
+	n.children[len(n.children)-1] = nil
+	n.children = n.children[:len(n.children)-1]
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: a gob stream with a header followed by fixed-size entry
+// chunks in ascending key order. Loading rebuilds the tree with bulk
+// loading, so a loaded tree is compact (leaves packed to snapshotFill)
+// regardless of the occupancy it was saved with.
+const (
+	snapshotMagic   = "quit-tree-snapshot"
+	snapshotVersion = 1
+	snapshotChunk   = 1 << 14
+	snapshotFill    = 0.9 // leave headroom so post-load inserts don't cascade splits
+)
+
+// ErrBadSnapshot is returned by Load when the stream is not a snapshot or
+// is from an incompatible version.
+var ErrBadSnapshot = errors.New("core: not a quit tree snapshot (or incompatible version)")
+
+type snapshotHeader struct {
+	Magic   string
+	Version int
+	Count   int64
+	// The geometry the tree was saved with; Load reuses it unless the
+	// caller overrides the config.
+	Mode           uint8
+	LeafCapacity   int
+	InternalFanout int
+	IKRScale       float64
+	ResetThreshold int
+}
+
+type snapshotChunkRec[K Integer, V any] struct {
+	Keys []K
+	Vals []V
+}
+
+// Save writes a snapshot of the tree to w. The value type must be
+// encodable by encoding/gob. Save requires external synchronization (no
+// concurrent writers).
+func (t *Tree[K, V]) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	cfg := t.cfg
+	hdr := snapshotHeader{
+		Magic:   snapshotMagic,
+		Version: snapshotVersion,
+		Count:   t.size.Load(),
+		Mode:    uint8(cfg.Mode), LeafCapacity: cfg.LeafCapacity,
+		InternalFanout: cfg.InternalFanout, IKRScale: cfg.IKRScale,
+		ResetThreshold: cfg.ResetThreshold,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("core: encoding snapshot header: %w", err)
+	}
+	chunk := snapshotChunkRec[K, V]{
+		Keys: make([]K, 0, snapshotChunk),
+		Vals: make([]V, 0, snapshotChunk),
+	}
+	flush := func() error {
+		if len(chunk.Keys) == 0 {
+			return nil
+		}
+		if err := enc.Encode(chunk); err != nil {
+			return fmt.Errorf("core: encoding snapshot chunk: %w", err)
+		}
+		chunk.Keys = chunk.Keys[:0]
+		chunk.Vals = chunk.Vals[:0]
+		return nil
+	}
+	var ferr error
+	t.Scan(func(k K, v V) bool {
+		chunk.Keys = append(chunk.Keys, k)
+		chunk.Vals = append(chunk.Vals, v)
+		if len(chunk.Keys) == snapshotChunk {
+			ferr = flush()
+		}
+		return ferr == nil
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return flush()
+}
+
+// Load reads a snapshot written by Save and builds a tree from it. The
+// returned tree uses the snapshot's configuration with cfg's Mode and
+// Synchronized applied on top when cfg is non-zero (pass a zero Config to
+// restore the saved configuration wholesale).
+func Load[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic || hdr.Version != snapshotVersion {
+		return nil, ErrBadSnapshot
+	}
+	restored := Config{
+		Mode:           Mode(hdr.Mode),
+		LeafCapacity:   hdr.LeafCapacity,
+		InternalFanout: hdr.InternalFanout,
+		IKRScale:       hdr.IKRScale,
+		ResetThreshold: hdr.ResetThreshold,
+	}
+	if cfg != (Config{}) {
+		restored.Mode = cfg.Mode
+		restored.Synchronized = cfg.Synchronized
+		if cfg.LeafCapacity > 0 {
+			restored.LeafCapacity = cfg.LeafCapacity
+		}
+		if cfg.InternalFanout > 0 {
+			restored.InternalFanout = cfg.InternalFanout
+		}
+	}
+	t := New[K, V](restored)
+	var total int64
+	for total < hdr.Count {
+		var chunk snapshotChunkRec[K, V]
+		if err := dec.Decode(&chunk); err != nil {
+			return nil, fmt.Errorf("core: decoding snapshot chunk at entry %d: %w", total, err)
+		}
+		if len(chunk.Keys) != len(chunk.Vals) || len(chunk.Keys) == 0 {
+			return nil, fmt.Errorf("core: corrupt snapshot chunk at entry %d", total)
+		}
+		if err := t.BulkAppend(chunk.Keys, chunk.Vals, snapshotFill); err != nil {
+			return nil, fmt.Errorf("core: rebuilding from snapshot: %w", err)
+		}
+		total += int64(len(chunk.Keys))
+	}
+	if total != hdr.Count {
+		return nil, fmt.Errorf("core: snapshot count mismatch: header %d, stream %d", hdr.Count, total)
+	}
+	return t, nil
+}

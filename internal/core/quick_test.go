@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over the core invariants.
+
+// TestQuickModeEquivalence: for any operation sequence, all five designs
+// hold exactly the same key-value contents — the fast path is a pure
+// performance optimization.
+func TestQuickModeEquivalence(t *testing.T) {
+	type op struct {
+		Key    int16
+		Val    int32
+		Delete bool
+	}
+	prop := func(ops []op) bool {
+		trees := make([]*Tree[int64, int64], 0, len(allModes))
+		for _, m := range allModes {
+			trees = append(trees, New[int64, int64](Config{Mode: m, LeafCapacity: 4, InternalFanout: 4}))
+		}
+		oracle := map[int64]int64{}
+		for _, o := range ops {
+			k, v := int64(o.Key), int64(o.Val)
+			for _, tr := range trees {
+				if o.Delete {
+					tr.Delete(k)
+				} else {
+					tr.Put(k, v)
+				}
+			}
+			if o.Delete {
+				delete(oracle, k)
+			} else {
+				oracle[k] = v
+			}
+		}
+		want := make([]int64, 0, len(oracle))
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, tr := range trees {
+			if tr.Validate() != nil {
+				return false
+			}
+			got := tr.Keys()
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+				if v, ok := tr.Get(got[i]); !ok || v != oracle[got[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertPermutation: any permutation of a key set yields a valid
+// tree containing exactly that set, for the QuIT design with tiny nodes
+// (maximum structural churn).
+func TestQuickInsertPermutation(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16) bool {
+		n := int(sizeRaw)%3000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+		for _, k := range perm {
+			tr.Put(int64(k), int64(k))
+		}
+		if tr.Len() != n || tr.Validate() != nil {
+			return false
+		}
+		keys := tr.Keys()
+		for i, k := range keys {
+			if k != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeMatchesScan: Range(lo,hi) always equals the filtered Scan.
+func TestQuickRangeMatchesScan(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		tr.Put(int64(rng.Intn(20000)), int64(i))
+	}
+	prop := func(a, b int16) bool {
+		lo, hi := int64(a), int64(b)
+		var fromRange []int64
+		tr.Range(lo, hi, func(k, _ int64) bool {
+			fromRange = append(fromRange, k)
+			return true
+		})
+		var fromScan []int64
+		tr.Scan(func(k, _ int64) bool {
+			if k >= lo && k < hi {
+				fromScan = append(fromScan, k)
+			}
+			return true
+		})
+		if len(fromRange) != len(fromScan) {
+			return false
+		}
+		for i := range fromRange {
+			if fromRange[i] != fromScan[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteReinsert: deleting and reinserting any subset leaves the
+// tree equal to the original contents.
+func TestQuickDeleteReinsert(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
+		const n = 800
+		for i := int64(0); i < n; i++ {
+			tr.Put(i, i)
+		}
+		subset := rng.Perm(n)[:n/3]
+		for _, k := range subset {
+			if _, ok := tr.Delete(int64(k)); !ok {
+				return false
+			}
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		for _, k := range subset {
+			tr.Put(int64(k), int64(k))
+		}
+		if tr.Len() != n || tr.Validate() != nil {
+			return false
+		}
+		keys := tr.Keys()
+		for i := range keys {
+			if keys[i] != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExtremeKeyDomains: keys near the int64 extremes must not break
+// the IKR float math or the split policies.
+func TestQuickExtremeKeyDomains(t *testing.T) {
+	bases := []int64{
+		0, 1 << 40, -(1 << 40), 1<<62 - 100000, -(1 << 62),
+	}
+	for _, base := range bases {
+		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+		for i := int64(0); i < 2000; i++ {
+			tr.Put(base+i*3, i)
+		}
+		// A few far outliers within the domain.
+		tr.Put(base+1<<30, 0)
+		for i := int64(2000); i < 2500; i++ {
+			tr.Put(base+i*3, i)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("base %d: %v", base, err)
+		}
+		if tr.Len() != 2501 {
+			t.Fatalf("base %d: Len = %d", base, tr.Len())
+		}
+	}
+}
+
+// TestQuickUnsignedKeys exercises the uint64 instantiation, including keys
+// above 2^63 (where float64 conversion rounds).
+func TestQuickUnsignedKeys(t *testing.T) {
+	tr := New[uint64, uint64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	base := uint64(1) << 63
+	for i := uint64(0); i < 3000; i++ {
+		tr.Put(base+i*5, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i += 117 {
+		if v, ok := tr.Get(base + i*5); !ok || v != i {
+			t.Fatalf("Get: (%d,%v)", v, ok)
+		}
+	}
+	st := tr.Stats()
+	if st.FastInsertFraction() < 0.99 {
+		t.Fatalf("sorted uint64 fast fraction %.3f", st.FastInsertFraction())
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+// splitForInsert makes room for key in the full leaf at the end of path,
+// either by splitting it (policy depends on the tree mode and on whether
+// the leaf is the fast-path leaf) or, in QuIT mode, by redistributing
+// entries into an underfull pole_prev (Algorithm 2). It returns the leaf
+// that should receive key together with that leaf's routing bounds.
+//
+// path is the root..leaf ancestry; in synchronized mode the caller holds
+// write latches on at least the suffix of path that can be modified (all of
+// it when a redistribution is possible).
+func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
+	leaf := path[len(path)-1]
+	mode := t.cfg.Mode
+
+	t.lockMeta()
+	isPole := (mode == ModePOLE || mode == ModeQuIT) && leaf == t.fp.leaf
+	prevValid := t.fp.prevValid && t.fp.prev != nil && t.fp.prev == leaf.prev
+	prevMin := t.fp.prevMin
+	prevSize := t.fp.prevSize
+	t.unlockMeta()
+
+	if isPole && mode == ModeQuIT && prevValid {
+		if prevSize >= t.minLeaf {
+			return t.variableSplit(path, leaf, key, lo, hi, prevMin, prevSize)
+		}
+		if target, tlo, thi, ok := t.redistributeIntoPrev(path, leaf, key, lo, hi); ok {
+			return target, tlo, thi
+		}
+		// Redistribution was not applicable (e.g. the incoming key would
+		// have to move with the redistributed prefix); fall back to the
+		// default pole split below.
+	}
+	if isPole {
+		return t.splitPoleDefault(path, leaf, key, lo, hi, prevValid, prevMin, prevSize)
+	}
+	return t.splitOther(path, leaf, key, lo, hi)
+}
+
+// variableSplit implements Algorithm 2 lines 3-8: IKR locates the first
+// outlier position l in the full pole and the node is split there instead
+// of at 50%, packing in-order entries tightly.
+func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevMin K, prevSize int) (*node[K, V], bound[K], bound[K]) {
+	q := leaf.keys[0]
+	x := t.est.Bound(float64(prevMin), float64(q), prevSize, len(leaf.keys))
+	l := outlierIndex(leaf.keys, x)
+
+	if l > t.minLeaf {
+		// Few outliers: split at l-1, carrying one non-outlier into the new
+		// node, and move the pole pointer forward (Fig. 7a). MaxFill caps
+		// how packed the kept node may be left (§5.2.1's tuning note).
+		pos := l - 1
+		if pos >= len(leaf.keys) {
+			pos = len(leaf.keys) - 1
+		}
+		if capFill := int(t.cfg.MaxFill * float64(t.cfg.LeafCapacity)); pos > capFill {
+			pos = capFill
+		}
+		if pos < t.minLeaf {
+			pos = t.minLeaf
+		}
+		right := t.splitLeafAt(leaf, pos)
+		splitKey := right.keys[0]
+		t.propagateSplit(path, splitKey, right)
+		t.c.variableSplits.Add(1)
+
+		t.lockMeta()
+		t.fp.prev = leaf
+		t.fp.prevMin = q
+		t.fp.prevSize = len(leaf.keys)
+		t.fp.prevValid = true
+		t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
+		t.unlockMeta()
+		return routeAfterSplit(leaf, right, key, lo, hi)
+	}
+
+	// Mostly outliers: split at l, moving every outlier to the new node and
+	// keeping the pole pointer (and its newfound space) in place (Fig. 7b).
+	pos := l
+	if pos < 1 {
+		pos = 1
+	}
+	right := t.splitLeafAt(leaf, pos)
+	splitKey := right.keys[0]
+	t.propagateSplit(path, splitKey, right)
+	t.c.variableSplits.Add(1)
+
+	t.lockMeta()
+	t.fp.max, t.fp.hasMax = splitKey, true
+	t.fp.size = len(leaf.keys)
+	t.unlockMeta()
+	return routeAfterSplit(leaf, right, key, lo, hi)
+}
+
+// redistributeIntoPrev implements Algorithm 2 line 10 / Fig. 7c: when
+// pole_prev is less than half full, entries flow from the full pole into
+// pole_prev until the latter is exactly half full, the separator pivot is
+// rewritten, and no split happens at all. Returns ok=false when the move
+// would displace the incoming key or there is nothing to move.
+func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K], bool) {
+	t.lockMeta()
+	prev := leaf.prev
+	t.unlockMeta()
+	if prev == nil {
+		return nil, lo, hi, false
+	}
+
+	if t.synced {
+		// Reacquire in left-to-right order to stay deadlock-free with
+		// forward scans. The subtree is quiescent: every writer is blocked
+		// at the ancestors this insert holds.
+		t.wunlock(leaf)
+		t.wlock(prev)
+		t.wlock(leaf)
+	}
+	unlockPrev := func() {
+		if t.synced {
+			t.wunlock(prev)
+		}
+	}
+
+	m := t.minLeaf - len(prev.keys)
+	if m <= 0 || m >= len(leaf.keys) {
+		unlockPrev()
+		return nil, lo, hi, false
+	}
+	// Never move the slot the incoming key belongs to: cap the transfer so
+	// the new pole minimum stays <= key, keeping the insert target stable.
+	if limit := lowerBound(leaf.keys, key); m > limit {
+		m = limit
+	}
+	if m <= 0 {
+		unlockPrev()
+		return nil, lo, hi, false
+	}
+
+	oldMin := leaf.keys[0]
+	prev.keys = append(prev.keys, leaf.keys[:m]...)
+	prev.vals = append(prev.vals, leaf.vals[:m]...)
+	copy(leaf.keys, leaf.keys[m:])
+	leaf.keys = leaf.keys[:len(leaf.keys)-m]
+	copy(leaf.vals, leaf.vals[m:])
+	var zv V
+	for i := len(leaf.vals) - m; i < len(leaf.vals); i++ {
+		leaf.vals[i] = zv
+	}
+	leaf.vals = leaf.vals[:len(leaf.vals)-m]
+
+	// The new separator must stay above every key now in prev and at or
+	// below the incoming key (which the caller inserts into this leaf).
+	newMin := leaf.keys[0]
+	if key < newMin {
+		newMin = key
+	}
+	t.updateSeparator(path, oldMin, newMin)
+	unlockPrev()
+	t.c.redistributions.Add(1)
+
+	t.lockMeta()
+	t.fp.min, t.fp.hasMin = newMin, true
+	t.fp.size = len(leaf.keys)
+	t.fp.prevSize = len(prev.keys)
+	t.unlockMeta()
+	return leaf, closed(newMin), hi, true
+}
+
+// updateSeparator rewrites the pivot that forms the lower bound of the
+// fast-path leaf's range after a redistribution shifted the leaf's minimum
+// from oldMin to newMin. The pivot lives at the deepest ancestor on path
+// where the descent turned right.
+func (t *Tree[K, V]) updateSeparator(path []*node[K, V], oldMin, newMin K) {
+	for i := len(path) - 2; i >= 0; i-- {
+		n := path[i]
+		idx := upperBound(n.keys, oldMin)
+		if idx > 0 {
+			n.keys[idx-1] = newMin
+			return
+		}
+	}
+	panic("core: redistribution on a leaf with no separator pivot")
+}
+
+// splitPoleDefault is the ModePOLE split (Algorithm 1) and the QuIT
+// fallback: a classical 50% split followed by the IKR-guided pole update
+// policy (Fig. 6), or the initialization rule when pole_prev metadata is
+// not yet established.
+func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevValid bool, prevMin K, prevSize int) (*node[K, V], bound[K], bound[K]) {
+	q := leaf.keys[0]
+	sizeBefore := len(leaf.keys)
+	right := t.splitLeafAt(leaf, sizeBefore/2)
+	splitKey := right.keys[0]
+	t.propagateSplit(path, splitKey, right)
+
+	advance := false
+	if prevValid && prevSize > 0 {
+		x := t.est.Bound(float64(prevMin), float64(q), prevSize, sizeBefore)
+		advance = float64(splitKey) <= x
+	} else {
+		// Initialization (§4.2): mark the half that receives the incoming
+		// entry as pole.
+		advance = key >= splitKey
+	}
+
+	t.lockMeta()
+	if advance {
+		t.fp.prev = leaf
+		t.fp.prevMin = q
+		t.fp.prevSize = len(leaf.keys)
+		t.fp.prevValid = true
+		t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
+	} else {
+		t.fp.max, t.fp.hasMax = splitKey, true
+		t.fp.size = len(leaf.keys)
+	}
+	t.unlockMeta()
+	return routeAfterSplit(leaf, right, key, lo, hi)
+}
+
+// splitOther is the classical 50% split for any leaf that is not the pole,
+// plus the mode-specific fast-path fixups it may imply.
+func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
+	right := t.splitLeafAt(leaf, len(leaf.keys)/2)
+	splitKey := right.keys[0]
+	t.propagateSplit(path, splitKey, right)
+
+	t.lockMeta()
+	fp := &t.fp
+	switch t.cfg.Mode {
+	case ModeTail:
+		if right.next == nil {
+			// The old tail split: the fast path follows the new rightmost
+			// leaf, as in the PostgreSQL optimization.
+			t.setFP(right, closed(splitKey), bound[K]{}, pathWithLeaf(path, right))
+		}
+	case ModeLIL:
+		if leaf == fp.leaf {
+			// Fig. 4c-e: lil follows the half that receives the key.
+			if key >= splitKey {
+				t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
+			} else {
+				fp.max, fp.hasMax = splitKey, true
+				fp.size = len(leaf.keys)
+			}
+		}
+	case ModePOLE, ModeQuIT:
+		if fp.prevValid && fp.prev == leaf {
+			// pole_prev split: the new right half becomes pole's neighbor.
+			fp.prev = right
+			fp.prevMin = splitKey
+			fp.prevSize = len(right.keys)
+		}
+	}
+	t.unlockMeta()
+	return routeAfterSplit(leaf, right, key, lo, hi)
+}
+
+// splitLeafAt moves leaf.keys[pos:] into a fresh right sibling and links it
+// into the leaf chain, updating the tree tail if needed.
+func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
+	right := t.newLeaf()
+	right.keys = append(right.keys, leaf.keys[pos:]...)
+	right.vals = append(right.vals, leaf.vals[pos:]...)
+	var zv V
+	for i := pos; i < len(leaf.vals); i++ {
+		leaf.vals[i] = zv
+	}
+	leaf.keys = leaf.keys[:pos]
+	leaf.vals = leaf.vals[:pos]
+
+	t.lockMeta()
+	right.prev = leaf
+	right.next = leaf.next
+	if leaf.next != nil {
+		leaf.next.prev = right
+	} else {
+		t.tail = right
+	}
+	t.unlockMeta()
+	leaf.next = right
+
+	t.c.leafSplits.Add(1)
+	return right
+}
+
+// propagateSplit inserts the (splitKey, right) pivot produced by a leaf
+// split into the ancestors on path, splitting overflowing internal nodes
+// and growing a new root if the split reaches the top. In synchronized
+// mode crabbing guarantees every ancestor that can overflow is latched.
+func (t *Tree[K, V]) propagateSplit(path []*node[K, V], splitKey K, right *node[K, V]) {
+	for i := len(path) - 2; i >= 0; i-- {
+		p := path[i]
+		idx := upperBound(p.keys, splitKey)
+		p.insertChildAt(idx, splitKey, right)
+		if len(p.children) <= t.cfg.InternalFanout {
+			return
+		}
+		splitKey, right = t.splitInternal(p)
+	}
+	old := path[0]
+	newRoot := t.newInternal()
+	newRoot.keys = append(newRoot.keys, splitKey)
+	newRoot.children = append(newRoot.children, old, right)
+	t.lockMeta()
+	t.root = newRoot
+	t.height++
+	t.unlockMeta()
+}
+
+// splitInternal splits an overflowing internal node in half, promoting the
+// middle pivot. Returns the promoted pivot and the new right node.
+func (t *Tree[K, V]) splitInternal(p *node[K, V]) (K, *node[K, V]) {
+	m := len(p.keys) / 2
+	up := p.keys[m]
+	right := t.newInternal()
+	right.keys = append(right.keys, p.keys[m+1:]...)
+	right.children = append(right.children, p.children[m+1:]...)
+	for i := m + 1; i < len(p.children); i++ {
+		p.children[i] = nil
+	}
+	p.keys = p.keys[:m]
+	p.children = p.children[:m+1]
+	t.c.internalSplits.Add(1)
+	return up, right
+}
+
+// outlierIndex returns the first index whose key exceeds the IKR bound x
+// (len(keys) if none): the paper's leaf.position(x) (Algorithm 2, line 4).
+func outlierIndex[K Integer](keys []K, x float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(keys[mid]) <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// routeAfterSplit picks which half of a split receives key and returns its
+// routing bounds.
+func routeAfterSplit[K Integer, V any](left, right *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
+	splitKey := right.keys[0]
+	if key >= splitKey {
+		return right, closed(splitKey), hi
+	}
+	return left, lo, closed(splitKey)
+}
+
+// pathWithLeaf returns path with its final element replaced by leaf,
+// without mutating path.
+func pathWithLeaf[K Integer, V any](path []*node[K, V], leaf *node[K, V]) []*node[K, V] {
+	out := make([]*node[K, V], len(path))
+	copy(out, path[:len(path)-1])
+	out[len(out)-1] = leaf
+	return out
+}

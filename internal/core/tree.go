@@ -1,0 +1,336 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/quittree/quit/internal/ikr"
+)
+
+// Tree is an in-memory B+-tree with a pluggable sortedness-aware fast path.
+// Construct with New; the zero value is not usable.
+//
+// Unless Config.Synchronized is set, a Tree must not be used from multiple
+// goroutines concurrently. With Synchronized set, Put, Get, Range, Scan and
+// Delete may be called concurrently; the tree uses lock crabbing on nodes
+// plus a dedicated fast-path metadata latch (paper §4.5).
+type Tree[K Integer, V any] struct {
+	cfg    Config
+	est    ikr.Estimator
+	synced bool
+
+	minLeaf     int // rebalance threshold: leafCapacity/2
+	minChildren int // internal underflow threshold: ceil(fanout/2)
+
+	// meta guards root/height/head/tail and the fast-path metadata in
+	// synchronized mode. Lock order: node latches (root to leaf) strictly
+	// before meta; meta is the innermost latch.
+	meta   sync.Mutex
+	root   *node[K, V]
+	height int
+	head   *node[K, V]
+	tail   *node[K, V]
+
+	fp fastPath[K, V]
+
+	nextID    atomic.Uint64
+	size      atomic.Int64
+	nLeaves   atomic.Int64
+	nInternal atomic.Int64
+
+	c counters
+}
+
+// fastPath is the per-tree fast-path metadata (Table 1 in the paper). The
+// same struct backs all modes; pole-specific fields are used only by
+// ModePOLE and ModeQuIT.
+type fastPath[K Integer, V any] struct {
+	leaf *node[K, V]   // fp_id: the fast-path leaf
+	path []*node[K, V] // fp_path: cached root..leaf path (validated at use)
+
+	min    K // fp_min: smallest key routed to leaf
+	max    K // fp_max: upper bound (exclusive) of leaf's range
+	hasMin bool
+	hasMax bool
+	size   int // fp_size: entry count of the fast-path leaf
+
+	// pole metadata (ModePOLE / ModeQuIT).
+	// pole_next (Fig. 6) is not stored: it is always the pole leaf's chain
+	// successor, which is also why Table 1 lists no pole_next field.
+	prev      *node[K, V] // pole_prev_id
+	prevMin   K           // pole_prev_min (the paper's p)
+	prevSize  int         // pole_prev_size
+	prevValid bool
+	fails     int // pole_fails: consecutive top-inserts since last fast-insert
+}
+
+// counters aggregates operation statistics; all fields are atomics so reads
+// never block the synchronized hot path.
+type counters struct {
+	fastInserts     atomic.Int64
+	topInserts      atomic.Int64
+	updates         atomic.Int64
+	leafSplits      atomic.Int64
+	internalSplits  atomic.Int64
+	variableSplits  atomic.Int64
+	redistributions atomic.Int64
+	resets          atomic.Int64
+	catchUps        atomic.Int64
+	deletes         atomic.Int64
+	borrows         atomic.Int64
+	merges          atomic.Int64
+	nodeReads       atomic.Int64
+	leafReads       atomic.Int64
+	rangeLeafReads  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a Tree's operation counters and
+// shape. FastInserts and TopInserts partition successful insertions of new
+// keys; Updates counts overwrites of existing keys.
+type Stats struct {
+	FastInserts     int64
+	TopInserts      int64
+	Updates         int64
+	LeafSplits      int64
+	InternalSplits  int64
+	VariableSplits  int64
+	Redistributions int64
+	Resets          int64
+	CatchUps        int64
+	Deletes         int64
+	Borrows         int64
+	Merges          int64
+	NodeReads       int64 // internal-node accesses during point lookups
+	LeafReads       int64 // leaf accesses during point lookups
+	RangeLeafReads  int64 // leaf accesses during range scans
+
+	Size      int64 // live entries
+	Height    int   // levels (1 = root is a leaf)
+	Leaves    int64
+	Internals int64
+}
+
+// Inserts returns the total number of new-key insertions.
+func (s Stats) Inserts() int64 { return s.FastInserts + s.TopInserts }
+
+// FastInsertFraction returns the fraction of insertions that used the fast
+// path, in [0,1]. Returns 0 for an empty tree.
+func (s Stats) FastInsertFraction() float64 {
+	total := s.Inserts()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FastInserts) / float64(total)
+}
+
+// New constructs a Tree with the given configuration (zero-value Config
+// selects the paper defaults and ModeNone).
+func New[K Integer, V any](cfg Config) *Tree[K, V] {
+	cfg = cfg.withDefaults()
+	t := &Tree[K, V]{
+		cfg:         cfg,
+		est:         ikr.New(cfg.IKRScale),
+		synced:      cfg.Synchronized,
+		minLeaf:     cfg.LeafCapacity / 2,
+		minChildren: (cfg.InternalFanout + 1) / 2,
+	}
+	leaf := t.newLeaf()
+	t.root = leaf
+	t.height = 1
+	t.head, t.tail = leaf, leaf
+	// The initial leaf is the fast path for every mode: all keys route to it.
+	if cfg.Mode != ModeNone {
+		t.fp.leaf = leaf
+		t.fp.path = []*node[K, V]{leaf}
+	}
+	return t
+}
+
+// Config returns the normalized configuration the tree runs with.
+func (t *Tree[K, V]) Config() Config { return t.cfg }
+
+// Mode returns the fast-path policy of the tree.
+func (t *Tree[K, V]) Mode() Mode { return t.cfg.Mode }
+
+// Len returns the number of live entries.
+func (t *Tree[K, V]) Len() int { return int(t.size.Load()) }
+
+// Height returns the number of levels in the tree (1 when the root is a leaf).
+func (t *Tree[K, V]) Height() int {
+	t.lockMeta()
+	h := t.height
+	t.unlockMeta()
+	return h
+}
+
+// Stats snapshots the tree's counters and shape.
+func (t *Tree[K, V]) Stats() Stats {
+	t.lockMeta()
+	h := t.height
+	t.unlockMeta()
+	return Stats{
+		FastInserts:     t.c.fastInserts.Load(),
+		TopInserts:      t.c.topInserts.Load(),
+		Updates:         t.c.updates.Load(),
+		LeafSplits:      t.c.leafSplits.Load(),
+		InternalSplits:  t.c.internalSplits.Load(),
+		VariableSplits:  t.c.variableSplits.Load(),
+		Redistributions: t.c.redistributions.Load(),
+		Resets:          t.c.resets.Load(),
+		CatchUps:        t.c.catchUps.Load(),
+		Deletes:         t.c.deletes.Load(),
+		Borrows:         t.c.borrows.Load(),
+		Merges:          t.c.merges.Load(),
+		NodeReads:       t.c.nodeReads.Load(),
+		LeafReads:       t.c.leafReads.Load(),
+		RangeLeafReads:  t.c.rangeLeafReads.Load(),
+		Size:            t.size.Load(),
+		Height:          h,
+		Leaves:          t.nLeaves.Load(),
+		Internals:       t.nInternal.Load(),
+	}
+}
+
+// ResetCounters zeroes the operation counters (shape fields are derived and
+// unaffected). Useful between experiment phases.
+func (t *Tree[K, V]) ResetCounters() {
+	c := &t.c
+	for _, a := range []*atomic.Int64{
+		&c.fastInserts, &c.topInserts, &c.updates, &c.leafSplits,
+		&c.internalSplits, &c.variableSplits, &c.redistributions, &c.resets,
+		&c.catchUps, &c.deletes, &c.borrows, &c.merges, &c.nodeReads,
+		&c.leafReads, &c.rangeLeafReads,
+	} {
+		a.Store(0)
+	}
+}
+
+// AvgLeafOccupancy returns mean entries-per-leaf as a fraction of leaf
+// capacity, the paper's space-utilization metric (Fig. 10a, Fig. 11c-d).
+func (t *Tree[K, V]) AvgLeafOccupancy() float64 {
+	leaves := 0
+	entries := 0
+	t.lockMeta()
+	n := t.head
+	t.unlockMeta()
+	for n != nil {
+		t.rlock(n)
+		leaves++
+		entries += len(n.keys)
+		next := n.next
+		t.runlock(n)
+		n = next
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return float64(entries) / float64(leaves) / float64(t.cfg.LeafCapacity)
+}
+
+// MemoryFootprint estimates the index's memory consumption in bytes, using
+// the paper's page model: every node reserves a full page regardless of how
+// many slots are occupied (half-full leaves waste half a page). Internal
+// nodes charge one key plus one pointer per fanout slot.
+func (t *Tree[K, V]) MemoryFootprint() int64 {
+	var k K
+	var v V
+	keySize := int64(unsafe.Sizeof(k))
+	entrySize := keySize + int64(unsafe.Sizeof(v))
+	ptrSize := int64(unsafe.Sizeof(uintptr(0)))
+	leafPage := int64(t.cfg.LeafCapacity) * entrySize
+	internalPage := int64(t.cfg.InternalFanout) * (keySize + ptrSize)
+	return t.nLeaves.Load()*leafPage + t.nInternal.Load()*internalPage
+}
+
+func (t *Tree[K, V]) newLeaf() *node[K, V] {
+	t.nLeaves.Add(1)
+	return &node[K, V]{
+		id:   t.nextID.Add(1),
+		keys: make([]K, 0, t.cfg.LeafCapacity+1),
+		vals: make([]V, 0, t.cfg.LeafCapacity+1),
+	}
+}
+
+func (t *Tree[K, V]) newInternal() *node[K, V] {
+	t.nInternal.Add(1)
+	return &node[K, V]{
+		id:       t.nextID.Add(1),
+		keys:     make([]K, 0, t.cfg.InternalFanout),
+		children: make([]*node[K, V], 0, t.cfg.InternalFanout+1),
+	}
+}
+
+// Latch helpers: no-ops for unsynchronized trees so the single-goroutine
+// hot path stays lock-free.
+
+func (t *Tree[K, V]) lockMeta() {
+	if t.synced {
+		t.meta.Lock()
+	}
+}
+
+func (t *Tree[K, V]) unlockMeta() {
+	if t.synced {
+		t.meta.Unlock()
+	}
+}
+
+func (t *Tree[K, V]) wlock(n *node[K, V]) {
+	if t.synced {
+		n.mu.Lock()
+	}
+}
+
+func (t *Tree[K, V]) wunlock(n *node[K, V]) {
+	if t.synced {
+		n.mu.Unlock()
+	}
+}
+
+func (t *Tree[K, V]) rlock(n *node[K, V]) {
+	if t.synced {
+		n.mu.RLock()
+	}
+}
+
+func (t *Tree[K, V]) runlock(n *node[K, V]) {
+	if t.synced {
+		n.mu.RUnlock()
+	}
+}
+
+// lockedRoot fetches the current root and write-locks it, retrying if a
+// concurrent root split swaps the pointer between the fetch and the lock.
+func (t *Tree[K, V]) lockedRoot() *node[K, V] {
+	for {
+		t.lockMeta()
+		r := t.root
+		t.unlockMeta()
+		t.wlock(r)
+		t.lockMeta()
+		ok := t.root == r
+		t.unlockMeta()
+		if ok {
+			return r
+		}
+		t.wunlock(r)
+	}
+}
+
+// rlockedRoot is the shared-lock variant of lockedRoot.
+func (t *Tree[K, V]) rlockedRoot() *node[K, V] {
+	for {
+		t.lockMeta()
+		r := t.root
+		t.unlockMeta()
+		t.rlock(r)
+		t.lockMeta()
+		ok := t.root == r
+		t.unlockMeta()
+		if ok {
+			return r
+		}
+		t.runlock(r)
+	}
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var allModes = []Mode{ModeNone, ModeTail, ModeLIL, ModePOLE, ModeQuIT}
+
+func smallConfig(m Mode) Config {
+	return Config{Mode: m, LeafCapacity: 8, InternalFanout: 5}
+}
+
+// workloads returns named key sequences exercising different sortedness
+// shapes. Keys are unique.
+func workloads(n int, seed int64) map[string][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	sorted := make([]int64, n)
+	for i := range sorted {
+		sorted[i] = int64(i) * 3 // gaps so lookups can miss
+	}
+	reversed := make([]int64, n)
+	for i := range reversed {
+		reversed[i] = sorted[n-1-i]
+	}
+	random := append([]int64(nil), sorted...)
+	rng.Shuffle(n, func(i, j int) { random[i], random[j] = random[j], random[i] })
+	near := nearSorted(sorted, 0.05, 0.5, rng)
+	veryNear := nearSorted(sorted, 0.005, 1.0, rng)
+	return map[string][]int64{
+		"sorted":     sorted,
+		"reversed":   reversed,
+		"random":     random,
+		"nearsorted": near,
+		"verynear":   veryNear,
+	}
+}
+
+// nearSorted displaces a k-fraction of entries by up to l*n positions.
+func nearSorted(sorted []int64, k, l float64, rng *rand.Rand) []int64 {
+	out := append([]int64(nil), sorted...)
+	n := len(out)
+	maxDisp := int(l * float64(n))
+	if maxDisp < 1 {
+		maxDisp = 1
+	}
+	swaps := int(k * float64(n) / 2)
+	for s := 0; s < swaps; s++ {
+		i := rng.Intn(n)
+		d := rng.Intn(maxDisp) + 1
+		j := i + d
+		if j >= n {
+			j = i - d
+			if j < 0 {
+				continue
+			}
+		}
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func insertAll(t *testing.T, tr *Tree[int64, int64], keys []int64) {
+	t.Helper()
+	for _, k := range keys {
+		tr.Put(k, k*10)
+	}
+}
+
+func TestPutGetAllModesAllWorkloads(t *testing.T) {
+	for _, mode := range allModes {
+		for name, keys := range workloads(2000, 42) {
+			t.Run(mode.String()+"/"+name, func(t *testing.T) {
+				tr := New[int64, int64](smallConfig(mode))
+				insertAll(t, tr, keys)
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("validate: %v", err)
+				}
+				if tr.Len() != len(keys) {
+					t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+				}
+				for _, k := range keys {
+					v, ok := tr.Get(k)
+					if !ok || v != k*10 {
+						t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, k*10)
+					}
+				}
+				// Misses between the key gaps.
+				for _, k := range keys[:100] {
+					if _, ok := tr.Get(k + 1); ok {
+						t.Fatalf("Get(%d) unexpectedly present", k+1)
+					}
+				}
+				got := tr.Keys()
+				want := append([]int64(nil), keys...)
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					t.Fatalf("Keys() has %d entries, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("Keys()[%d] = %d, want %d", i, got[i], want[i])
+					}
+				}
+				st := tr.Stats()
+				if st.Inserts() != int64(len(keys)) {
+					t.Fatalf("fast+top inserts = %d, want %d", st.Inserts(), len(keys))
+				}
+			})
+		}
+	}
+}
+
+func TestUpdateOverwrites(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](smallConfig(mode))
+			for i := int64(0); i < 500; i++ {
+				tr.Put(i, i)
+			}
+			for i := int64(0); i < 500; i++ {
+				prev, existed := tr.Put(i, i+1000)
+				if !existed || prev != i {
+					t.Fatalf("Put(%d) = (%d,%v), want (%d,true)", i, prev, existed, i)
+				}
+			}
+			st := tr.Stats()
+			if st.Updates != 500 {
+				t.Fatalf("Updates = %d, want 500", st.Updates)
+			}
+			if tr.Len() != 500 {
+				t.Fatalf("Len = %d, want 500", tr.Len())
+			}
+			for i := int64(0); i < 500; i++ {
+				if v, _ := tr.Get(i); v != i+1000 {
+					t.Fatalf("Get(%d) = %d after update", i, v)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSortedIngestionIsAllFastInserts(t *testing.T) {
+	for _, mode := range []Mode{ModeTail, ModeLIL, ModePOLE, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](Config{Mode: mode, LeafCapacity: 16, InternalFanout: 8})
+			for i := int64(0); i < 5000; i++ {
+				tr.Put(i, i)
+			}
+			st := tr.Stats()
+			if st.TopInserts != 0 {
+				t.Fatalf("%v: %d top-inserts on fully sorted data, want 0 (fast=%d)",
+					mode, st.TopInserts, st.FastInserts)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClassicalTreeOnlyTopInserts(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeNone))
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	st := tr.Stats()
+	if st.FastInserts != 0 {
+		t.Fatalf("ModeNone performed %d fast-inserts", st.FastInserts)
+	}
+	if st.TopInserts != 1000 {
+		t.Fatalf("TopInserts = %d, want 1000", st.TopInserts)
+	}
+}
+
+func TestQuITPacksSortedLeavesTightly(t *testing.T) {
+	quit := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 16, InternalFanout: 8})
+	btree := New[int64, int64](Config{Mode: ModeNone, LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 10000; i++ {
+		quit.Put(i, i)
+		btree.Put(i, i)
+	}
+	qo := quit.AvgLeafOccupancy()
+	bo := btree.AvgLeafOccupancy()
+	if qo < 0.9 {
+		t.Fatalf("QuIT occupancy on sorted data = %.2f, want >= 0.9", qo)
+	}
+	if bo > 0.6 {
+		t.Fatalf("B+-tree occupancy on sorted data = %.2f, want ~0.5", bo)
+	}
+	if err := quit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRandomHalf(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tr := New[int64, int64](smallConfig(mode))
+			n := 3000
+			keys := rng.Perm(n)
+			for _, k := range keys {
+				tr.Put(int64(k), int64(k))
+			}
+			deleted := make(map[int64]bool)
+			for i, k := range keys {
+				if i%2 == 0 {
+					v, ok := tr.Delete(int64(k))
+					if !ok || v != int64(k) {
+						t.Fatalf("Delete(%d) = (%d,%v)", k, v, ok)
+					}
+					deleted[int64(k)] = true
+					if i%500 == 0 {
+						if err := tr.Validate(); err != nil {
+							t.Fatalf("validate after %d deletes: %v", i/2+1, err)
+						}
+					}
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != n-len(deleted) {
+				t.Fatalf("Len = %d, want %d", tr.Len(), n-len(deleted))
+			}
+			for _, k := range keys {
+				_, ok := tr.Get(int64(k))
+				if ok == deleted[int64(k)] {
+					t.Fatalf("Get(%d) presence = %v, deleted = %v", k, ok, deleted[int64(k)])
+				}
+			}
+			// Deleting a missing key is a no-op.
+			if _, ok := tr.Delete(int64(n + 100)); ok {
+				t.Fatal("Delete of missing key reported ok")
+			}
+		})
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](smallConfig(mode))
+			const n = 1000
+			for i := int64(0); i < n; i++ {
+				tr.Put(i, i)
+			}
+			order := rand.New(rand.NewSource(3)).Perm(n)
+			for _, k := range order {
+				if _, ok := tr.Delete(int64(k)); !ok {
+					t.Fatalf("Delete(%d) missed", k)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("Len = %d after deleting all", tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The tree remains usable.
+			for i := int64(0); i < 100; i++ {
+				tr.Put(i, i)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != 100 {
+				t.Fatalf("Len = %d after reuse", tr.Len())
+			}
+		})
+	}
+}
+
+func TestRangeAgainstOracle(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			tr := New[int64, int64](smallConfig(mode))
+			keys := workloads(3000, 5)["nearsorted"]
+			insertAll(t, tr, keys)
+			sorted := append([]int64(nil), keys...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+			for trial := 0; trial < 50; trial++ {
+				lo := sorted[rng.Intn(len(sorted))] - int64(rng.Intn(3))
+				hi := lo + int64(rng.Intn(2000))
+				var got []int64
+				tr.Range(lo, hi, func(k, v int64) bool {
+					got = append(got, k)
+					return true
+				})
+				var want []int64
+				from := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+				for i := from; i < len(sorted) && sorted[i] < hi; i++ {
+					want = append(want, sorted[i])
+				}
+				if len(got) != len(want) {
+					t.Fatalf("Range(%d,%d) returned %d keys, want %d", lo, hi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("Range(%d,%d)[%d] = %d, want %d", lo, hi, i, got[i], want[i])
+					}
+				}
+			}
+			// Early termination.
+			count := 0
+			tr.Range(sorted[0], sorted[len(sorted)-1]+1, func(k, v int64) bool {
+				count++
+				return count < 10
+			})
+			if count != 10 {
+				t.Fatalf("early-terminated Range visited %d, want 10", count)
+			}
+			// Empty and inverted ranges.
+			if n := tr.Range(10, 10, func(int64, int64) bool { return true }); n != 0 {
+				t.Fatalf("empty range visited %d", n)
+			}
+			if n := tr.Range(100, 50, func(int64, int64) bool { return true }); n != 0 {
+				t.Fatalf("inverted range visited %d", n)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported ok")
+	}
+	keys := workloads(1000, 9)["random"]
+	insertAll(t, tr, keys)
+	k, _, ok := tr.Min()
+	if !ok || k != 0 {
+		t.Fatalf("Min = (%d,%v), want (0,true)", k, ok)
+	}
+	k, _, ok = tr.Max()
+	if !ok || k != int64(999)*3 {
+		t.Fatalf("Max = (%d,%v)", k, ok)
+	}
+}
+
+func TestEmptyTreeOperations(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree reported ok")
+	}
+	if _, ok := tr.Delete(5); ok {
+		t.Fatal("Delete on empty tree reported ok")
+	}
+	if n := tr.Range(0, 100, func(int64, int64) bool { return true }); n != 0 {
+		t.Fatalf("Range on empty tree visited %d", n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height = %d, want 1", tr.Height())
+	}
+}
+
+func TestSingleLeafLifecycle(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	tr.Put(1, 10)
+	tr.Put(2, 20)
+	if v, ok := tr.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = (%d,%v)", v, ok)
+	}
+	if _, ok := tr.Delete(1); !ok {
+		t.Fatal("Delete(1) missed")
+	}
+	if _, ok := tr.Delete(2); !ok {
+		t.Fatal("Delete(2) missed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			tr := New[int64, int64](smallConfig(mode))
+			oracle := make(map[int64]int64)
+			for op := 0; op < 20000; op++ {
+				k := int64(rng.Intn(2000))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := int64(op)
+					tr.Put(k, v)
+					oracle[k] = v
+				case 2:
+					_, gotOK := tr.Delete(k)
+					_, wantOK := oracle[k]
+					if gotOK != wantOK {
+						t.Fatalf("op %d: Delete(%d) ok=%v, oracle=%v", op, k, gotOK, wantOK)
+					}
+					delete(oracle, k)
+				}
+				if op%2500 == 0 {
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if tr.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+			}
+			for k, v := range oracle {
+				got, ok := tr.Get(k)
+				if !ok || got != v {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT})
+	cfg := tr.Config()
+	if cfg.LeafCapacity != DefaultLeafCapacity {
+		t.Fatalf("LeafCapacity = %d", cfg.LeafCapacity)
+	}
+	if cfg.InternalFanout != DefaultInternalFanout {
+		t.Fatalf("InternalFanout = %d", cfg.InternalFanout)
+	}
+	if cfg.IKRScale != 1.5 {
+		t.Fatalf("IKRScale = %v", cfg.IKRScale)
+	}
+	// floor(sqrt(510)) = 22, the paper's TR.
+	if cfg.ResetThreshold != 22 {
+		t.Fatalf("ResetThreshold = %d, want 22", cfg.ResetThreshold)
+	}
+	if got := tr.Mode(); got != ModeQuIT {
+		t.Fatalf("Mode = %v", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeNone: "B+-tree", ModeTail: "tail-B+-tree", ModeLIL: "lil-B+-tree",
+		ModePOLE: "pole-B+-tree", ModeQuIT: "QuIT", Mode(99): "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestHeightGrowsAndShrinks(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeNone, LeafCapacity: 4, InternalFanout: 4})
+	if tr.Height() != 1 {
+		t.Fatal("fresh tree height != 1")
+	}
+	for i := int64(0); i < 500; i++ {
+		tr.Put(i, i)
+	}
+	grown := tr.Height()
+	if grown < 4 {
+		t.Fatalf("height after 500 inserts = %d, want >= 4", grown)
+	}
+	for i := int64(0); i < 490; i++ {
+		tr.Delete(i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() >= grown {
+		t.Fatalf("height did not shrink: %d -> %d", grown, tr.Height())
+	}
+}
+
+func TestStatsShapeCounters(t *testing.T) {
+	tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 8, InternalFanout: 5})
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	st := tr.Stats()
+	if st.Size != 1000 {
+		t.Fatalf("Size = %d", st.Size)
+	}
+	if st.Leaves < 100 {
+		t.Fatalf("Leaves = %d, want >= 100 with capacity 8", st.Leaves)
+	}
+	if st.Internals == 0 {
+		t.Fatal("no internal nodes after 1000 inserts")
+	}
+	if st.LeafSplits == 0 {
+		t.Fatal("no leaf splits recorded")
+	}
+	if st.Height < 3 {
+		t.Fatalf("Height = %d", st.Height)
+	}
+	if tr.MemoryFootprint() <= 0 {
+		t.Fatal("MemoryFootprint not positive")
+	}
+	tr.ResetCounters()
+	st = tr.Stats()
+	if st.FastInserts != 0 || st.LeafSplits != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+	if st.Size != 1000 {
+		t.Fatal("ResetCounters changed Size")
+	}
+}

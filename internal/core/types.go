@@ -1,0 +1,150 @@
+// Package core implements the Quick Insertion Tree (QuIT) and the B+-tree
+// baselines it is evaluated against in the EDBT 2025 paper "QuIT your
+// B+-tree for the Quick Insertion Tree".
+//
+// A single parameterized tree implements five index designs that share the
+// exact same node layout, lookup path, split machinery and delete path, and
+// differ only in their fast-path insertion policy:
+//
+//   - ModeNone: a classical (textbook) B+-tree that only performs top-inserts.
+//   - ModeTail: the PostgreSQL-style tail-leaf fast path (§2 of the paper).
+//   - ModeLIL:  the last-insertion-leaf fast path (§3, Fig. 4).
+//   - ModePOLE: the predicted-ordered-leaf fast path with the IKR update
+//     policy (§4.1-4.2, Algorithm 1) but without QuIT's space optimizations.
+//   - ModeQuIT: the full Quick Insertion Tree: pole + IKR-guided variable
+//     split, leaf redistribution, and the stale fast-path reset strategy
+//     (§4.3, Algorithm 2).
+//
+// Keys are any integer type (the IKR estimator needs key arithmetic); values
+// are arbitrary. The tree is in-memory, with sorted-slice nodes and
+// interlinked leaves, following the in-memory B+-tree design the paper
+// builds on.
+package core
+
+import "math"
+
+// Integer is the key constraint: the IKR estimator (Eq. 2) extrapolates key
+// density, so keys must support arithmetic. All built-in integer types and
+// their derivatives qualify.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// Mode selects the fast-path insertion policy of a Tree.
+type Mode uint8
+
+const (
+	// ModeNone disables the fast path entirely: every insertion is a
+	// top-insert, as in a textbook B+-tree.
+	ModeNone Mode = iota
+	// ModeTail keeps a pointer to the rightmost (tail) leaf and fast-inserts
+	// keys that fall within its range, as production systems do for fully
+	// sorted ingestion.
+	ModeTail
+	// ModeLIL keeps a pointer to the leaf that received the most recent
+	// insertion and fast-inserts keys that fall within its range.
+	ModeLIL
+	// ModePOLE keeps a pointer to the predicted-ordered-leaf. The pointer is
+	// updated only on splits, guided by the IKR outlier estimator
+	// (Algorithm 1). Splits remain classical 50/50 splits.
+	ModePOLE
+	// ModeQuIT is ModePOLE plus the IKR-guided variable split strategy,
+	// redistribution into an underfull pole_prev, and the reset strategy
+	// that recovers from a stale fast path (Algorithm 2).
+	ModeQuIT
+)
+
+// String returns the name the paper uses for each index design.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "B+-tree"
+	case ModeTail:
+		return "tail-B+-tree"
+	case ModeLIL:
+		return "lil-B+-tree"
+	case ModePOLE:
+		return "pole-B+-tree"
+	case ModeQuIT:
+		return "QuIT"
+	default:
+		return "unknown"
+	}
+}
+
+// Default geometry: a 4KB logical page holding up to 510 8-byte entries, the
+// paper's default setup (§5, "Index Design and Default Setup").
+const (
+	DefaultLeafCapacity   = 510
+	DefaultInternalFanout = 256
+)
+
+// Config parameterizes a Tree. The zero value selects the paper defaults
+// with ModeNone (classical B+-tree).
+type Config struct {
+	// Mode selects the fast-path policy (see Mode constants).
+	Mode Mode
+	// LeafCapacity is the maximum number of entries per leaf node.
+	// Defaults to DefaultLeafCapacity. Must be >= 4 if set.
+	LeafCapacity int
+	// InternalFanout is the maximum number of children per internal node.
+	// Defaults to DefaultInternalFanout. Must be >= 4 if set.
+	InternalFanout int
+	// IKRScale is the slack multiplier of the In-order Key estimatoR.
+	// Defaults to 1.5, the paper's (and standard IQR) setting.
+	IKRScale float64
+	// ResetThreshold is the number of consecutive top-inserts after which a
+	// stale pole fast path is reset to the leaf of the latest insertion
+	// (QuIT only). Defaults to floor(sqrt(LeafCapacity)) per §4.3.
+	ResetThreshold int
+	// MaxFill caps how full the variable split may leave a node, as a
+	// fraction of LeafCapacity in [0.5, 1]. The paper's default packs
+	// in-order runs completely (1.0); §5.2.1 notes QuIT "can also be tuned
+	// to avoid being 100% full for the fully-sorted data if we anticipate
+	// out-of-order entries in the future and we want to avoid propagating
+	// splits" — set e.g. 0.9 for that headroom. Zero selects 1.0.
+	MaxFill float64
+	// UnconditionalCatchUp applies Algorithm 1's literal catch-up rule
+	// (advance pole on any top-insert into its successor leaf) instead of
+	// the paper's prose rule (advance only when IKR accepts the key).
+	// Measurably worse on the BoDS workloads; kept as an ablation toggle.
+	UnconditionalCatchUp bool
+	// Synchronized enables internal latching (lock crabbing on nodes plus a
+	// fast-path metadata latch, §4.5) so the tree can be used from multiple
+	// goroutines. When false the tree is single-goroutine and lock-free.
+	Synchronized bool
+}
+
+// withDefaults normalizes a Config, applying paper defaults and clamping
+// degenerate settings.
+func (c Config) withDefaults() Config {
+	if c.LeafCapacity <= 0 {
+		c.LeafCapacity = DefaultLeafCapacity
+	}
+	if c.LeafCapacity < 4 {
+		c.LeafCapacity = 4
+	}
+	if c.InternalFanout <= 0 {
+		c.InternalFanout = DefaultInternalFanout
+	}
+	if c.InternalFanout < 4 {
+		c.InternalFanout = 4
+	}
+	if c.IKRScale <= 0 {
+		c.IKRScale = 1.5
+	}
+	if c.MaxFill <= 0 || c.MaxFill > 1 {
+		c.MaxFill = 1
+	}
+	if c.MaxFill < 0.5 {
+		c.MaxFill = 0.5
+	}
+	if c.ResetThreshold <= 0 {
+		c.ResetThreshold = int(math.Sqrt(float64(c.LeafCapacity)))
+		if c.ResetThreshold < 1 {
+			c.ResetThreshold = 1
+		}
+	}
+	return c
+}

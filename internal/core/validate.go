@@ -1,0 +1,192 @@
+package core
+
+import "fmt"
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found, or nil. It is intended for tests and debugging;
+// it takes no latches and must not run concurrently with writers.
+//
+// Checked invariants:
+//   - keys strictly increase within every node and across the leaf chain;
+//   - every internal pivot is the lower bound of its right subtree and an
+//     upper bound (exclusive) of its left subtree;
+//   - all leaves sit at the same depth, matching Height();
+//   - node arities: leaves hold 1..LeafCapacity entries (root may be
+//     empty), internal nodes hold 2..InternalFanout children;
+//   - the leaf chain (head..tail) is doubly linked and complete;
+//   - Len() equals the number of entries reachable from the root;
+//   - fast-path metadata points at a live leaf, its bounds admit exactly
+//     that leaf's key range, and pole_prev metadata mirrors the true left
+//     neighbor when marked valid.
+//
+// Occupancy minimums (half-full leaves) are deliberately not enforced:
+// QuIT's variable split legally produces underfull leaves (§4.3), and
+// deletes rebalance the pole lazily.
+func (t *Tree[K, V]) Validate() error {
+	type job struct {
+		n      *node[K, V]
+		lo, hi bound[K]
+		depth  int
+	}
+	var (
+		leaves  []*node[K, V]
+		entries int
+	)
+	var walk func(j job) error
+	walk = func(j job) error {
+		n := j.n
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i] <= n.keys[i-1] {
+				return fmt.Errorf("node %d: keys not strictly increasing at %d", n.id, i)
+			}
+		}
+		if len(n.keys) > 0 {
+			if j.lo.ok && n.keys[0] < j.lo.key {
+				return fmt.Errorf("node %d: key %v below lower bound %v", n.id, n.keys[0], j.lo.key)
+			}
+			if j.hi.ok && n.keys[len(n.keys)-1] >= j.hi.key {
+				return fmt.Errorf("node %d: key %v at or above upper bound %v", n.id, n.keys[len(n.keys)-1], j.hi.key)
+			}
+		}
+		if n.isLeaf() {
+			if j.depth+1 != t.height {
+				return fmt.Errorf("leaf %d at depth %d, want %d", n.id, j.depth, t.height-1)
+			}
+			if len(n.keys) == 0 && n != t.root {
+				return fmt.Errorf("leaf %d is empty", n.id)
+			}
+			if len(n.keys) > t.cfg.LeafCapacity {
+				return fmt.Errorf("leaf %d overflows: %d > %d", n.id, len(n.keys), t.cfg.LeafCapacity)
+			}
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("leaf %d: %d keys vs %d vals", n.id, len(n.keys), len(n.vals))
+			}
+			leaves = append(leaves, n)
+			entries += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("internal %d: %d children vs %d keys", n.id, len(n.children), len(n.keys))
+		}
+		if len(n.children) < 2 {
+			return fmt.Errorf("internal %d: only %d children", n.id, len(n.children))
+		}
+		if len(n.children) > t.cfg.InternalFanout {
+			return fmt.Errorf("internal %d overflows: %d > %d children", n.id, len(n.children), t.cfg.InternalFanout)
+		}
+		for i, c := range n.children {
+			lo, hi := j.lo, j.hi
+			if i > 0 {
+				lo = closed(n.keys[i-1])
+			}
+			if i < len(n.keys) {
+				hi = closed(n.keys[i])
+			}
+			if err := walk(job{n: c, lo: lo, hi: hi, depth: j.depth + 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(job{n: t.root}); err != nil {
+		return err
+	}
+
+	if entries != t.Len() {
+		return fmt.Errorf("size mismatch: reachable %d, Len() %d", entries, t.Len())
+	}
+	if int64(len(leaves)) != t.nLeaves.Load() {
+		return fmt.Errorf("leaf count mismatch: reachable %d, counter %d", len(leaves), t.nLeaves.Load())
+	}
+
+	// Leaf chain consistency.
+	if t.head != leaves[0] {
+		return fmt.Errorf("head is node %d, want leftmost leaf %d", t.head.id, leaves[0].id)
+	}
+	if t.tail != leaves[len(leaves)-1] {
+		return fmt.Errorf("tail is node %d, want rightmost leaf %d", t.tail.id, leaves[len(leaves)-1].id)
+	}
+	for i, n := range leaves {
+		var wantPrev, wantNext *node[K, V]
+		if i > 0 {
+			wantPrev = leaves[i-1]
+		}
+		if i+1 < len(leaves) {
+			wantNext = leaves[i+1]
+		}
+		if n.prev != wantPrev {
+			return fmt.Errorf("leaf %d: bad prev link", n.id)
+		}
+		if n.next != wantNext {
+			return fmt.Errorf("leaf %d: bad next link", n.id)
+		}
+		if i > 0 && len(n.keys) > 0 && len(leaves[i-1].keys) > 0 {
+			if n.keys[0] <= leaves[i-1].keys[len(leaves[i-1].keys)-1] {
+				return fmt.Errorf("leaf %d: chain not increasing", n.id)
+			}
+		}
+	}
+
+	return t.validateFP(leaves)
+}
+
+// validateFP cross-checks the fast-path metadata against the real tree.
+func (t *Tree[K, V]) validateFP(leaves []*node[K, V]) error {
+	if t.cfg.Mode == ModeNone {
+		return nil
+	}
+	fp := &t.fp
+	if fp.leaf == nil {
+		return fmt.Errorf("fast path: nil leaf in mode %v", t.cfg.Mode)
+	}
+	idx := -1
+	for i, n := range leaves {
+		if n == fp.leaf {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("fast path: leaf %d not reachable", fp.leaf.id)
+	}
+	if t.cfg.Mode == ModeTail && fp.leaf != t.tail {
+		return fmt.Errorf("fast path: tail mode points at leaf %d, tail is %d", fp.leaf.id, t.tail.id)
+	}
+	if fp.size != len(fp.leaf.keys) {
+		return fmt.Errorf("fast path: fp_size %d, leaf has %d", fp.size, len(fp.leaf.keys))
+	}
+	if len(fp.leaf.keys) > 0 {
+		if fp.hasMin && fp.leaf.keys[0] < fp.min {
+			return fmt.Errorf("fast path: leaf min %v below fp_min %v", fp.leaf.keys[0], fp.min)
+		}
+		if fp.hasMax && fp.leaf.keys[len(fp.leaf.keys)-1] >= fp.max {
+			return fmt.Errorf("fast path: leaf max %v at or above fp_max %v", fp.leaf.keys[len(fp.leaf.keys)-1], fp.max)
+		}
+	}
+	if fp.hasMax && fp.leaf == t.tail {
+		return fmt.Errorf("fast path: rightmost leaf %d has an upper bound", fp.leaf.id)
+	}
+	if fp.prevValid {
+		if fp.prev == nil {
+			return fmt.Errorf("fast path: prevValid with nil prev")
+		}
+		if fp.prev != fp.leaf.prev {
+			return fmt.Errorf("fast path: pole_prev %d is not the left neighbor %v", fp.prev.id, leafID(fp.leaf.prev))
+		}
+		if fp.prevSize != len(fp.prev.keys) {
+			return fmt.Errorf("fast path: pole_prev_size %d, node has %d", fp.prevSize, len(fp.prev.keys))
+		}
+		// pole_prev_min may be the separator below the node's smallest key.
+		if len(fp.prev.keys) == 0 || fp.prev.keys[0] < fp.prevMin {
+			return fmt.Errorf("fast path: pole_prev_min %v above node min %v", fp.prevMin, fp.prev.keys)
+		}
+	}
+	return nil
+}
+
+func leafID[K Integer, V any](n *node[K, V]) any {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.id
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Ablation experiments beyond the paper's figures, quantifying the design
+// decisions called out in DESIGN.md. They run on the Fig. 8/9 workload
+// (BoDS, L=100%) and report the deterministic fast-insert fraction plus
+// leaf occupancy, so results are stable across hosts.
+
+// AblCatchUpResult compares the paper's prose catch-up rule (advance pole
+// into its successor only when IKR accepts the key) against Algorithm 1's
+// literal unconditional rule.
+type AblCatchUpResult struct {
+	K       []float64
+	Gated   []float64 // fast-insert fraction, IKR-gated (default)
+	Literal []float64 // fast-insert fraction, unconditional
+}
+
+// RunAblCatchUp executes the comparison.
+func RunAblCatchUp(p harness.Params) AblCatchUpResult {
+	grid := kGridFor(p)
+	r := AblCatchUpResult{K: grid}
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+		for _, uncond := range []bool{false, true} {
+			cfg := treeConfig(p, core.ModeQuIT)
+			cfg.UnconditionalCatchUp = uncond
+			tr := core.New[int64, int64](cfg)
+			ingest(tr, keys)
+			f := tr.Stats().FastInsertFraction()
+			if uncond {
+				r.Literal = append(r.Literal, f)
+			} else {
+				r.Gated = append(r.Gated, f)
+			}
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r AblCatchUpResult) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "abl01",
+		Title:   "Ablation: catch-up rule (IKR-gated prose vs Algorithm 1 literal)",
+		Note:    "fast-insert fraction; higher is better",
+		Headers: []string{"K", "IKR-gated (default)", "unconditional"},
+	}
+	for i, k := range r.K {
+		t.Rows = append(t.Rows, []string{pctLabel(k), harness.Pct(r.Gated[i]), harness.Pct(r.Literal[i])})
+	}
+	return []harness.Table{t}
+}
+
+// AblResetResult sweeps the reset threshold TR around the paper's
+// floor(sqrt(leaf capacity)) default.
+type AblResetResult struct {
+	TR   []int
+	Fast []float64
+}
+
+// RunAblReset executes the sweep at K=25% (where the reset strategy
+// matters most).
+func RunAblReset(p harness.Params) AblResetResult {
+	trs := []int{1, 2, 5, 11, 22, 45, 100, 1 << 30}
+	if p.Quick {
+		trs = []int{1, 22, 1 << 30}
+	}
+	keys := genKeys(p, 0.25, 1.0)
+	r := AblResetResult{TR: trs}
+	for _, tr := range trs {
+		cfg := treeConfig(p, core.ModeQuIT)
+		cfg.ResetThreshold = tr
+		t := core.New[int64, int64](cfg)
+		ingest(t, keys)
+		r.Fast = append(r.Fast, t.Stats().FastInsertFraction())
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r AblResetResult) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "abl02",
+		Title:   "Ablation: reset threshold TR at K=25%",
+		Note:    "paper default TR = floor(sqrt(510)) = 22; TR=2^30 disables resets",
+		Headers: []string{"TR", "% fast-inserts"},
+	}
+	for i, tr := range r.TR {
+		label := harness.Fmt(float64(tr))
+		if tr == 1<<30 {
+			label = "off"
+		}
+		t.Rows = append(t.Rows, []string{label, harness.Pct(r.Fast[i])})
+	}
+	return []harness.Table{t}
+}
+
+// AblScaleResult sweeps the IKR slack scale around the paper's 1.5,
+// checking the "little to no tuning" claim: performance should be flat
+// across a wide band.
+type AblScaleResult struct {
+	Scale []float64
+	Fast  []float64
+	Occ   []float64
+}
+
+// RunAblScale executes the sweep at K=5% (near-sorted, the design center).
+func RunAblScale(p harness.Params) AblScaleResult {
+	scales := []float64{0.5, 1.0, 1.5, 2.0, 3.0, 5.0}
+	if p.Quick {
+		scales = []float64{1.0, 1.5, 3.0}
+	}
+	keys := genKeys(p, 0.05, 1.0)
+	r := AblScaleResult{Scale: scales}
+	for _, sc := range scales {
+		cfg := treeConfig(p, core.ModeQuIT)
+		cfg.IKRScale = sc
+		t := core.New[int64, int64](cfg)
+		ingest(t, keys)
+		r.Fast = append(r.Fast, t.Stats().FastInsertFraction())
+		r.Occ = append(r.Occ, t.AvgLeafOccupancy())
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r AblScaleResult) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "abl03",
+		Title:   "Ablation: IKR scale sensitivity at K=5%",
+		Note:    "the paper fixes scale=1.5 (IQR practice) and claims little tuning is needed",
+		Headers: []string{"scale", "% fast-inserts", "% occupancy"},
+	}
+	for i, sc := range r.Scale {
+		t.Rows = append(t.Rows, []string{harness.Fmt(sc), harness.Pct(r.Fast[i]), harness.Pct(r.Occ[i])})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "abl01", Paper: "(ablation)", Title: "catch-up rule variants",
+		Run: func(p harness.Params) []harness.Table { return RunAblCatchUp(p).Tables() },
+	})
+	harness.Register(harness.Experiment{
+		ID: "abl02", Paper: "(ablation)", Title: "reset threshold sweep",
+		Run: func(p harness.Params) []harness.Table { return RunAblReset(p).Tables() },
+	})
+	harness.Register(harness.Experiment{
+		ID: "abl03", Paper: "(ablation)", Title: "IKR scale sensitivity",
+		Run: func(p harness.Params) []harness.Table { return RunAblScale(p).Tables() },
+	})
+}

@@ -1,0 +1,143 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). Each experiment is a typed function returning a result
+// struct (so tests can assert the reported *shapes*) plus a registration
+// into the harness registry (so cmd/quitbench can run it by ID).
+//
+// Absolute numbers depend on the host; the assertions and EXPERIMENTS.md
+// track the relative claims: who wins, by roughly what factor, and where
+// the crossovers fall.
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+	"github.com/quittree/quit/internal/sware"
+)
+
+// treeConfig builds the per-experiment tree configuration.
+func treeConfig(p harness.Params, mode core.Mode) core.Config {
+	return core.Config{
+		Mode:           mode,
+		LeafCapacity:   p.LeafCapacity,
+		InternalFanout: p.InternalFanout,
+	}
+}
+
+// newTree builds a tree for the experiment.
+func newTree(p harness.Params, mode core.Mode) *core.Tree[int64, int64] {
+	return core.New[int64, int64](treeConfig(p, mode))
+}
+
+// newSware builds a SWARE index with the paper's default buffer: 1% of the
+// data size (§5, "we default to a buffer size equivalent to 1% of the total
+// data size").
+func newSware(p harness.Params) *sware.Index {
+	buf := p.N / 100
+	if buf < 1024 {
+		buf = 1024
+	}
+	return sware.New(sware.Config{
+		BufferEntries: buf,
+		Tree:          treeConfig(p, core.ModeNone),
+	})
+}
+
+// genKeys produces the BoDS stream for an out-of-order fraction k and max
+// displacement l (both fractions of N).
+func genKeys(p harness.Params, k, l float64) []int64 {
+	return bods.Generate(bods.Spec{N: p.N, K: k, L: l, Seed: p.Seed})
+}
+
+// ingest inserts all keys (value = key) and returns mean ns per insert.
+func ingest(tr *core.Tree[int64, int64], keys []int64) float64 {
+	runtime.GC()
+	start := time.Now()
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(keys))
+}
+
+// ingestSware inserts all keys into a SWARE index and returns mean ns per
+// insert.
+func ingestSware(ix *sware.Index, keys []int64) float64 {
+	runtime.GC()
+	start := time.Now()
+	for _, k := range keys {
+		ix.Put(k, k)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(keys))
+}
+
+// lookupTargets draws count uniformly random existing keys (keys are the
+// permutation 0..N-1 in every BoDS stream).
+func lookupTargets(p harness.Params, count int) []int64 {
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(rng.Intn(p.N))
+	}
+	return out
+}
+
+// lookups measures mean ns per point lookup on the tree. A GC cycle and a
+// short warmup run precede the timed phase so ingestion garbage and cold
+// caches are not billed to the lookups.
+func lookups(tr *core.Tree[int64, int64], targets []int64) float64 {
+	runtime.GC()
+	for _, k := range targets[:min(2000, len(targets))] {
+		tr.Get(k)
+	}
+	start := time.Now()
+	for _, k := range targets {
+		tr.Get(k)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(targets))
+}
+
+// lookupsSware measures mean ns per point lookup on a SWARE index, with
+// the same GC/warmup discipline as lookups.
+func lookupsSware(ix *sware.Index, targets []int64) float64 {
+	runtime.GC()
+	for _, k := range targets[:min(2000, len(targets))] {
+		ix.Get(k)
+	}
+	start := time.Now()
+	for _, k := range targets {
+		ix.Get(k)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(targets))
+}
+
+// bestLookups repeats a lookup measurement and keeps the fastest run, the
+// standard defense against scheduler and GC interference in short phases.
+func bestLookups(reps int, measure func() float64) float64 {
+	best := measure()
+	for i := 1; i < reps; i++ {
+		if v := measure(); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// kGrid is the out-of-order-fraction grid most figures sweep (percent
+// values from the paper's x-axes).
+var kGrid = []float64{0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.0}
+
+// kGridQuick trims the grid for smoke tests.
+func kGridFor(p harness.Params) []float64 {
+	if p.Quick {
+		return []float64{0, 0.05, 0.25, 1.0}
+	}
+	return kGrid
+}
+
+func pctLabel(k float64) string {
+	return harness.Pct(k)
+}

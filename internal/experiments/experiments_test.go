@@ -1,0 +1,478 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Shape tests: run every experiment at reduced scale and assert the
+// *relative* claims of the paper hold (who wins, roughly by how much).
+// Absolute latencies are host-dependent and not asserted.
+
+func quickParams() harness.Params {
+	p := harness.DefaultParams()
+	p.N = 150_000
+	p.Lookups = 20_000
+	p.RangeLookups = 20
+	p.LeafCapacity = 128
+	p.InternalFanout = 64
+	p.Threads = []int{1, 2}
+	p.Quick = true
+	return p
+}
+
+func TestFig01aShape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunFig01a(quickParams())
+	// Near-sorted ingestion: QuIT beats tail (which has gone stale).
+	if r.Insert["QuIT"][1] >= r.Insert["tail-B+-tree"][1] {
+		t.Errorf("near-sorted: QuIT %.0fns not faster than tail %.0fns",
+			r.Insert["QuIT"][1], r.Insert["tail-B+-tree"][1])
+	}
+	// Lookups: QuIT is at worst marginally slower than tail (same read
+	// path); SWARE pays the buffer probe.
+	if r.Lookup["QuIT"][1] > r.Lookup["tail-B+-tree"][1]*1.3 {
+		t.Errorf("QuIT lookup %.0fns way above tail %.0fns",
+			r.Lookup["QuIT"][1], r.Lookup["tail-B+-tree"][1])
+	}
+	for _, tab := range r.Tables() {
+		if len(tab.Rows) != 3 {
+			t.Fatalf("table %s has %d rows", tab.Title, len(tab.Rows))
+		}
+	}
+}
+
+func TestFig03Shape(t *testing.T) {
+	r := RunFig03(quickParams())
+	if r.Fast[0] < 0.999 {
+		t.Errorf("fully sorted tail fast fraction = %.3f, want ~1", r.Fast[0])
+	}
+	last := r.Fast[len(r.Fast)-1] // K = 10%
+	if last > 0.05 {
+		t.Errorf("K=10%% tail fast fraction = %.3f, want near 0", last)
+	}
+	// Monotone non-increasing (allowing small noise).
+	for i := 1; i < len(r.Fast); i++ {
+		if r.Fast[i] > r.Fast[i-1]+0.02 {
+			t.Errorf("tail fast fraction rose with K: %v", r.Fast)
+		}
+	}
+}
+
+func TestFig05aShape(t *testing.T) {
+	r := RunFig05a(quickParams())
+	// lil dominates tail once enough outliers have accumulated to poison
+	// the tail leaf (at the quick test scale that takes K >= 0.5%; at paper
+	// scale the collapse shows from K = 0.01%, Fig. 3).
+	for i := range r.K {
+		if r.K[i] >= 0.005 && r.LIL[i]+1e-9 < r.Tail[i] {
+			t.Errorf("K=%v: lil %.3f below tail %.3f", r.K[i], r.LIL[i], r.Tail[i])
+		}
+	}
+	k1 := -1
+	for i, k := range r.K {
+		if k == 0.01 {
+			k1 = i
+		}
+	}
+	if k1 >= 0 && (r.LIL[k1] < 0.90) {
+		t.Errorf("K=1%%: lil fast fraction %.3f, want >= 0.90", r.LIL[k1])
+	}
+}
+
+func TestFig05bShape(t *testing.T) {
+	r := RunFig05b(quickParams())
+	for i := range r.K {
+		if r.Ideal[i] < r.LIL[i]-1e-9 {
+			t.Errorf("model inversion at K=%v", r.K[i])
+		}
+		// Simulated tail is below the lil model for any unsorted stream.
+		if r.K[i] > 0 && r.Tail[i] > r.LIL[i]+0.05 {
+			t.Errorf("tail above lil model at K=%v: %.3f > %.3f", r.K[i], r.Tail[i], r.LIL[i])
+		}
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunFig08(quickParams())
+	// Fully sorted: both tail and QuIT well above the B+-tree.
+	if r.Speedup["QuIT"][0] < 1.5 || r.Speedup["tail-B+-tree"][0] < 1.5 {
+		t.Errorf("fully sorted speedups too low: QuIT %.2f tail %.2f",
+			r.Speedup["QuIT"][0], r.Speedup["tail-B+-tree"][0])
+	}
+	// K=5%: tail has collapsed toward 1x, QuIT keeps a clear margin.
+	var k5 int
+	for i, k := range r.K {
+		if k == 0.05 {
+			k5 = i
+		}
+	}
+	if r.Speedup["tail-B+-tree"][k5] > 1.4 {
+		t.Errorf("K=5%%: tail speedup %.2f, want ~1x", r.Speedup["tail-B+-tree"][k5])
+	}
+	if r.Speedup["QuIT"][k5] < r.Speedup["tail-B+-tree"][k5]*1.2 {
+		t.Errorf("K=5%%: QuIT %.2f not clearly above tail %.2f",
+			r.Speedup["QuIT"][k5], r.Speedup["tail-B+-tree"][k5])
+	}
+	// Fully scrambled: QuIT degrades gracefully toward B+-tree
+	// performance. At quick scale the reset churn costs relatively more
+	// than at the full 2M scale (where the measured ratio is 0.98-1.11,
+	// EXPERIMENTS.md), so the floor here is loose.
+	last := len(r.K) - 1
+	if r.Speedup["QuIT"][last] < 0.55 {
+		t.Errorf("K=100%%: QuIT speedup %.2f, want ~1x", r.Speedup["QuIT"][last])
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	r := RunFig09(quickParams())
+	for i, k := range r.K {
+		quit := r.Fast["QuIT"][i]
+		lil := r.Fast["lil-B+-tree"][i]
+		tail := r.Fast["tail-B+-tree"][i]
+		if k > 0 && tail > lil+0.02 {
+			t.Errorf("K=%v: tail %.3f above lil %.3f", k, tail, lil)
+		}
+		// QuIT tracks or beats lil on less-sorted data (the paper's
+		// headline): check at K=25%.
+		if k == 0.25 && quit < lil {
+			t.Errorf("K=25%%: QuIT %.3f below lil %.3f", quit, lil)
+		}
+		// QuIT approximates the ideal 1-k within a tolerance.
+		if quit < (1-k)-0.25 {
+			t.Errorf("K=%v: QuIT %.3f far from ideal %.3f", k, quit, 1-k)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunFig10(quickParams())
+	// (a) Sorted data: B+-tree ~50%, QuIT ~100%.
+	if r.OccBTree[0] > 0.6 {
+		t.Errorf("B+-tree occupancy at K=0: %.2f, want ~0.5", r.OccBTree[0])
+	}
+	if r.OccQuIT[0] < 0.9 {
+		t.Errorf("QuIT occupancy at K=0: %.2f, want ~1.0", r.OccQuIT[0])
+	}
+	// (b) No read penalty: the grid median of normalized lookups sits near
+	// 1 (individual cells are noise-bound on loaded hosts).
+	norm := append([]float64(nil), r.NormLookup...)
+	sort.Float64s(norm)
+	if med := norm[len(norm)/2]; med > 1.2 {
+		t.Errorf("median normalized lookup %.2f, want ~1 (all: %v)", med, r.NormLookup)
+	}
+	// (c) Range scans touch fewer leaves at high sortedness.
+	for _, sel := range r.Selectivities {
+		if r.FewerAccesses[sel][0] < 1.3 {
+			t.Errorf("sel %v at K=0: ratio %.2f, want >= 1.3", sel, r.FewerAccesses[sel][0])
+		}
+		last := len(r.K) - 1
+		if r.FewerAccesses[sel][last] < 0.8 {
+			t.Errorf("sel %v at K=100%%: ratio %.2f collapsed below parity", sel, r.FewerAccesses[sel][last])
+		}
+	}
+}
+
+func TestTab01Shape(t *testing.T) {
+	r := RunTab01(harness.Params{})
+	if !r.Has["QuIT"]["pole_fails"] || !r.Has["QuIT"]["pole_prev_min"] {
+		t.Error("QuIT digest missing pole metadata")
+	}
+	if r.Has["B+-tree"]["fp_min"] {
+		t.Error("classical B+-tree should have no fast-path metadata")
+	}
+	if r.Has["tail-B+-tree"]["fp_max"] {
+		t.Error("tail fast path needs no upper bound")
+	}
+	if !r.Has["lil-B+-tree"]["fp_max"] || !r.Has["lil-B+-tree"]["fp_id"] {
+		t.Error("lil digest incomplete")
+	}
+}
+
+func TestTab02Shape(t *testing.T) {
+	r := RunTab02(quickParams())
+	if r.Reduction[0] < 1.5 {
+		t.Errorf("K=0 space reduction %.2f, want >= 1.5 (paper: 1.96)", r.Reduction[0])
+	}
+	last := len(r.K) - 1
+	if r.Reduction[last] < 0.85 || r.Reduction[last] > 1.2 {
+		t.Errorf("K=100%% space reduction %.2f, want ~1", r.Reduction[last])
+	}
+	// Monotone non-increasing trend (tolerate noise).
+	for i := 1; i < len(r.Reduction); i++ {
+		if r.Reduction[i] > r.Reduction[i-1]+0.15 {
+			t.Errorf("space reduction not declining: %v", r.Reduction)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := RunFig11(quickParams())
+	// Fast-inserts are insensitive to L: columns vary little across rows.
+	for ki := range r.K {
+		for li := 1; li < len(r.L); li++ {
+			d := r.FastQuIT[li][ki] - r.FastQuIT[0][ki]
+			if d < -0.15 || d > 0.15 {
+				t.Errorf("QuIT fast-inserts vary with L at K=%v: %.3f vs %.3f",
+					r.K[ki], r.FastQuIT[li][ki], r.FastQuIT[0][ki])
+			}
+		}
+	}
+	// lil occupancy ~50% at K=0; QuIT ~100% at K=0.
+	if r.OccLIL[0][0] > 0.6 || r.OccQuIT[0][0] < 0.9 {
+		t.Errorf("occupancy at K=0: lil %.2f QuIT %.2f", r.OccLIL[0][0], r.OccQuIT[0][0])
+	}
+}
+
+func TestTab03Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunTab03(quickParams())
+	for _, level := range r.Levels {
+		// Fast-insert fraction is stable across sizes.
+		ff := r.FastFrac[level]
+		for i := 1; i < len(ff); i++ {
+			if ff[i] < ff[0]-0.12 || ff[i] > ff[0]+0.12 {
+				t.Errorf("%s: fast fraction unstable across sizes: %v", level, ff)
+			}
+		}
+	}
+	// Fully sorted keeps 100% fast-inserts at every size.
+	for _, f := range r.FastFrac["fully sorted"] {
+		if f < 0.999 {
+			t.Errorf("fully sorted fast fraction %.4f", f)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := RunFig12(quickParams())
+	last := len(r.SegmentEnds) - 1
+	quit := r.CumFast["QuIT"][last]
+	lil := r.CumFast["lil-B+-tree"][last]
+	pole := r.CumFast["pole-B+-tree"][last]
+	tail := r.CumFast["tail-B+-tree"][last]
+	if !(quit > pole && lil > pole && pole >= tail) {
+		t.Errorf("final cumulative fast-inserts out of order: QuIT=%d lil=%d pole=%d tail=%d",
+			quit, lil, pole, tail)
+	}
+	// The pole-B+-tree gets trapped after the first scrambled segment: its
+	// fast-inserts barely grow from segment 2 onward.
+	growth := r.CumFast["pole-B+-tree"][last] - r.CumFast["pole-B+-tree"][1]
+	segN := int64(r.SegmentEnds[0])
+	if growth > segN/2 {
+		t.Errorf("pole-B+-tree escaped its stale trap: grew %d after scrambled segment", growth)
+	}
+	// QuIT recovers on every near-sorted segment: segment 3 and 5 add
+	// substantially more fast-inserts than the scrambled segments.
+	s3 := r.CumFast["QuIT"][2] - r.CumFast["QuIT"][1]
+	s2 := r.CumFast["QuIT"][1] - r.CumFast["QuIT"][0]
+	if s3 < s2*2 {
+		t.Errorf("QuIT did not recover on near-sorted segment: s2=%d s3=%d", s2, s3)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	p := quickParams()
+	r := RunFig13(p)
+	// QuIT >= B+-tree inserts on near-sorted data at every thread count.
+	for ti := range r.Threads {
+		q := r.InsertOps["QuIT"]["near-sorted"][ti]
+		b := r.InsertOps["B+-tree"]["near-sorted"][ti]
+		if q < b {
+			t.Errorf("threads=%d: QuIT %.0f ops/s below B+-tree %.0f", r.Threads[ti], q, b)
+		}
+	}
+	for _, tab := range r.Tables() {
+		if len(tab.Rows) != 6 {
+			t.Fatalf("fig13 table rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunFig14(quickParams())
+	ratios := make([]float64, 0, len(r.K))
+	for i, k := range r.K {
+		if k > 0 && k <= 0.10 {
+			if r.InsertQuIT[i] > r.InsertSware[i] {
+				t.Errorf("K=%v: QuIT insert %.0fns slower than SWARE %.0fns",
+					k, r.InsertQuIT[i], r.InsertSware[i])
+			}
+		}
+		ratios = append(ratios, r.LookupQuIT[i]/r.LookupSware[i])
+	}
+	// Lookups: QuIT is never meaningfully slower than SWARE. Quick-scale
+	// timed windows are a few milliseconds, so scheduler hiccups inflate
+	// individual cells by 2x on loaded hosts; the stable property is that
+	// the best-measured cell shows parity (full-scale runs show QuIT
+	// 1.04-1.25x faster on every cell, EXPERIMENTS.md).
+	sort.Float64s(ratios)
+	if best := ratios[0]; best > 1.15 {
+		t.Errorf("best QuIT/SWARE lookup ratio %.2f, want <= 1.15 (all: %v)", best, ratios)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	p := quickParams()
+	r := RunFig15(p)
+	for _, ins := range r.Instruments {
+		// The deterministic claim: the near-sortedness of price streams is
+		// exploitable by lil and QuIT but not by the tail fast path.
+		frac := r.FastFrac[ins]
+		if frac["QuIT"] < 0.6 || frac["lil-B+-tree"] < 0.6 {
+			t.Errorf("%s: fast fractions QuIT=%.2f lil=%.2f, want >= 0.6",
+				ins, frac["QuIT"], frac["lil-B+-tree"])
+		}
+		if frac["tail-B+-tree"] > frac["QuIT"] {
+			t.Errorf("%s: tail fraction %.2f above QuIT %.2f",
+				ins, frac["tail-B+-tree"], frac["QuIT"])
+		}
+		// Timing at quick scale is noise-bound on loaded hosts; only a
+		// sanity floor is asserted (EXPERIMENTS.md records full-scale runs).
+		if row := r.Speedup[ins]; row["QuIT"] < 0.8 {
+			t.Errorf("%s: QuIT speedup %.2f, want >= 0.8", ins, row["QuIT"])
+		}
+	}
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{
+		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
+		"abl01", "abl02", "abl03", "mix01",
+	}
+	for _, id := range want {
+		if _, ok := harness.Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got := len(harness.All()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// Cheap structural check: the registry's non-timing tables render
+	// without panicking and include headers.
+	p := quickParams()
+	p.N = 20_000
+	for _, id := range []string{"tab01", "fig03", "fig05b"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		for _, tab := range e.Run(p) {
+			tab.Render(&buf)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "==") || len(out) < 50 {
+			t.Errorf("%s rendered suspiciously: %q", id, out[:min(len(out), 80)])
+		}
+	}
+}
+
+func TestAblationCatchUpShape(t *testing.T) {
+	r := RunAblCatchUp(quickParams())
+	for i, k := range r.K {
+		if k >= 0.05 && r.Gated[i] < r.Literal[i]-0.05 {
+			t.Errorf("K=%v: gated %.3f well below literal %.3f", k, r.Gated[i], r.Literal[i])
+		}
+	}
+}
+
+func TestAblationResetShape(t *testing.T) {
+	r := RunAblReset(quickParams())
+	// The default band beats both extremes: TR=1 thrashes, TR=off traps.
+	def, off, one := -1, -1, -1
+	for i, tr := range r.TR {
+		switch tr {
+		case 22:
+			def = i
+		case 1 << 30:
+			off = i
+		case 1:
+			one = i
+		}
+	}
+	if def < 0 || off < 0 || one < 0 {
+		t.Fatal("sweep missing sentinel thresholds")
+	}
+	if r.Fast[def] <= r.Fast[off] {
+		t.Errorf("TR=22 (%.3f) not better than resets-off (%.3f)", r.Fast[def], r.Fast[off])
+	}
+	if r.Fast[def] < r.Fast[one]-0.03 {
+		t.Errorf("TR=22 (%.3f) well below TR=1 (%.3f)", r.Fast[def], r.Fast[one])
+	}
+}
+
+func TestAblationScaleShape(t *testing.T) {
+	r := RunAblScale(quickParams())
+	// "Little to no tuning": the fast-insert fraction varies by < 10 points
+	// across a 3x band around the default.
+	min, max := 1.0, 0.0
+	for _, f := range r.Fast {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if max-min > 0.10 {
+		t.Errorf("IKR scale sensitivity too high: fast fractions %v", r.Fast)
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	for _, id := range []string{"abl01", "abl02", "abl03"} {
+		if _, ok := harness.Lookup(id); !ok {
+			t.Errorf("%s not registered", id)
+		}
+	}
+}
+
+func TestMix01Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunMix01(quickParams())
+	// At every read fraction, QuIT's throughput at least roughly matches
+	// the B+-tree (same read path, faster writes); the 0.8 floor absorbs
+	// single-run noise at quick scale.
+	for i, f := range r.ReadFraction {
+		q := r.OpsPerSec["QuIT"][i]
+		b := r.OpsPerSec["B+-tree"][i]
+		if q < b*0.8 {
+			t.Errorf("read frac %v: QuIT %.0f ops/s well below B+-tree %.0f", f, q, b)
+		}
+	}
+	// Write-heavy end: QuIT clearly ahead of the B+-tree.
+	if r.OpsPerSec["QuIT"][0] < r.OpsPerSec["B+-tree"][0]*1.2 {
+		t.Errorf("write-only: QuIT %.0f not clearly above B+-tree %.0f",
+			r.OpsPerSec["QuIT"][0], r.OpsPerSec["B+-tree"][0])
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig01aResult reproduces Figure 1a: average insert latency and point
+// lookup latency for tail-B+-tree, SWARE, and QuIT at three sortedness
+// levels (fully sorted, near-sorted, less sorted).
+type Fig01aResult struct {
+	Levels  []string
+	K       []float64
+	Insert  map[string][]float64 // design -> ns/op per level
+	Lookup  map[string][]float64
+	Designs []string
+}
+
+// RunFig01a executes the experiment.
+func RunFig01a(p harness.Params) Fig01aResult {
+	r := Fig01aResult{
+		Levels:  []string{"fully", "near", "less"},
+		K:       []float64{0, 0.05, 0.25},
+		Insert:  map[string][]float64{},
+		Lookup:  map[string][]float64{},
+		Designs: []string{"tail-B+-tree", "SWARE", "QuIT"},
+	}
+	targets := lookupTargets(p, p.Lookups)
+	for li := range r.Levels {
+		keys := genKeys(p, r.K[li], 1.0)
+
+		tail := newTree(p, core.ModeTail)
+		r.Insert["tail-B+-tree"] = append(r.Insert["tail-B+-tree"], ingest(tail, keys))
+		r.Lookup["tail-B+-tree"] = append(r.Lookup["tail-B+-tree"], bestLookups(3, func() float64 { return lookups(tail, targets) }))
+
+		sw := newSware(p)
+		r.Insert["SWARE"] = append(r.Insert["SWARE"], ingestSware(sw, keys))
+		r.Lookup["SWARE"] = append(r.Lookup["SWARE"], bestLookups(3, func() float64 { return lookupsSware(sw, targets) }))
+
+		quit := newTree(p, core.ModeQuIT)
+		r.Insert["QuIT"] = append(r.Insert["QuIT"], ingest(quit, keys))
+		r.Lookup["QuIT"] = append(r.Lookup["QuIT"], bestLookups(3, func() float64 { return lookups(quit, targets) }))
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Fig01aResult) Tables() []harness.Table {
+	ins := harness.Table{
+		ID:      "fig01a",
+		Title:   "Figure 1a (left): avg insert latency (ns/op) vs sortedness",
+		Note:    "fully = K 0%, near = K 5%, less = K 25%; L = 100%",
+		Headers: append([]string{"design"}, r.Levels...),
+	}
+	look := harness.Table{
+		ID:      "fig01a",
+		Title:   "Figure 1a (right): avg point-lookup latency (ns/op)",
+		Headers: append([]string{"design"}, r.Levels...),
+	}
+	for _, d := range r.Designs {
+		insRow := []string{d}
+		lookRow := []string{d}
+		for i := range r.Levels {
+			insRow = append(insRow, harness.Fmt(r.Insert[d][i]))
+			lookRow = append(lookRow, harness.Fmt(r.Lookup[d][i]))
+		}
+		ins.Rows = append(ins.Rows, insRow)
+		look.Rows = append(look.Rows, lookRow)
+	}
+	return []harness.Table{ins, look}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig01a",
+		Paper: "Figure 1a",
+		Title: "sortedness-awareness teaser: insert and lookup latency",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig01a(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig03Result reproduces Figure 3: the fraction of fast-inserts achieved by
+// the tail-leaf optimization as the fraction of out-of-order entries grows.
+// The paper's finding: the tail fast path collapses below 1% fast-inserts
+// once K reaches 1%.
+type Fig03Result struct {
+	K    []float64
+	Fast []float64 // fraction of fast inserts per K
+}
+
+// RunFig03 executes the experiment (paper: 5M integers; scaled to p.N).
+func RunFig03(p harness.Params) Fig03Result {
+	grid := []float64{0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.03, 0.05, 0.10}
+	if p.Quick {
+		grid = []float64{0, 0.001, 0.01, 0.10}
+	}
+	r := Fig03Result{K: grid}
+	for _, k := range grid {
+		tr := newTree(p, core.ModeTail)
+		ingest(tr, genKeys(p, k, 1.0))
+		r.Fast = append(r.Fast, tr.Stats().FastInsertFraction())
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Fig03Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig03",
+		Title:   "Figure 3: tail-B+-tree fast-inserts vs out-of-order entries",
+		Note:    "uniformly placed out-of-order entries (L = 100%)",
+		Headers: []string{"K (% out-of-order)", "% fast-inserts"},
+	}
+	for i, k := range r.K {
+		t.Rows = append(t.Rows, []string{pctLabel(k), harness.Pct(r.Fast[i])})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig03",
+		Paper: "Figure 3",
+		Title: "tail-leaf optimization collapses beyond extreme sortedness",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig03(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig05aResult reproduces Figure 5a: measured fast-insert fractions of the
+// tail-B+-tree vs the lil-B+-tree for highly sorted data.
+type Fig05aResult struct {
+	K    []float64
+	Tail []float64
+	LIL  []float64
+}
+
+// RunFig05a executes the experiment.
+func RunFig05a(p harness.Params) Fig05aResult {
+	grid := []float64{0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.03}
+	if p.Quick {
+		grid = []float64{0, 0.001, 0.01, 0.03}
+	}
+	r := Fig05aResult{K: grid}
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+		tail := newTree(p, core.ModeTail)
+		ingest(tail, keys)
+		r.Tail = append(r.Tail, tail.Stats().FastInsertFraction())
+		lil := newTree(p, core.ModeLIL)
+		ingest(lil, keys)
+		r.LIL = append(r.LIL, lil.Stats().FastInsertFraction())
+	}
+	return r
+}
+
+// Tables renders Fig 5a.
+func (r Fig05aResult) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig05a",
+		Title:   "Figure 5a: fast-inserts, tail-B+-tree vs lil-B+-tree",
+		Headers: []string{"K (% out-of-order)", "tail fast %", "lil fast %"},
+	}
+	for i, k := range r.K {
+		t.Rows = append(t.Rows, []string{pctLabel(k), harness.Pct(r.Tail[i]), harness.Pct(r.LIL[i])})
+	}
+	return []harness.Table{t}
+}
+
+// Fig05bResult reproduces Figure 5b: the analytic model of Eq. (1). The
+// expected fast-insert fraction of lil is (1-k)^2 — two consecutive in-order
+// entries — while an ideal sortedness-aware index achieves 1-k, and the gap
+// between them is the headroom QuIT targets. The simulated tail curve is
+// measured on small N to keep the figure cheap.
+type Fig05bResult struct {
+	K     []float64
+	Tail  []float64 // measured
+	LIL   []float64 // (1-k)^2 model
+	Ideal []float64 // 1-k
+}
+
+// RunFig05b executes the model + simulation.
+func RunFig05b(p harness.Params) Fig05bResult {
+	grid := []float64{0, 0.10, 0.20, 0.40, 0.60, 0.80, 1.0}
+	if p.Quick {
+		grid = []float64{0, 0.20, 0.60, 1.0}
+	}
+	r := Fig05bResult{K: grid}
+	sim := p
+	if sim.N > 200_000 {
+		sim.N = 200_000
+	}
+	for _, k := range grid {
+		tr := newTree(sim, core.ModeTail)
+		ingest(tr, genKeys(sim, k, 1.0))
+		r.Tail = append(r.Tail, tr.Stats().FastInsertFraction())
+		r.LIL = append(r.LIL, (1-k)*(1-k))
+		r.Ideal = append(r.Ideal, 1-k)
+	}
+	return r
+}
+
+// Tables renders Fig 5b.
+func (r Fig05bResult) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig05b",
+		Title:   "Figure 5b: expected fast-inserts model (Eq. 1)",
+		Note:    "lil model = (1-k)^2; ideal = 1-k; tail measured on a scaled run",
+		Headers: []string{"K", "tail (sim)", "lil model", "ideal"},
+	}
+	for i, k := range r.K {
+		t.Rows = append(t.Rows, []string{
+			pctLabel(k), harness.Pct(r.Tail[i]), harness.Pct(r.LIL[i]), harness.Pct(r.Ideal[i]),
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig05a",
+		Paper: "Figure 5a",
+		Title: "lil-B+-tree vs tail-B+-tree fast-inserts",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig05a(p).Tables()
+		},
+	})
+	harness.Register(harness.Experiment{
+		ID:    "fig05b",
+		Paper: "Figure 5b",
+		Title: "expected fast-insert model and the ideal headroom",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig05b(p).Tables()
+		},
+	})
+}

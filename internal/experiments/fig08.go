@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig08Result reproduces Figure 8: ingestion speedup of tail-B+-tree,
+// lil-B+-tree and QuIT relative to the classical B+-tree across data
+// sortedness. Paper shape: ~3x for QuIT/tail on fully sorted data; tail
+// collapses to ~1x by K=1% while QuIT holds ~2.5x through K<25% and
+// degrades gracefully to ~1x at K=100%.
+type Fig08Result struct {
+	K       []float64
+	Designs []string
+	// NsPerOp[design][i] is the raw ingest cost at K[i]; Speedup is
+	// relative to the classical B+-tree.
+	NsPerOp map[string][]float64
+	Speedup map[string][]float64
+}
+
+var fig08Designs = []struct {
+	name string
+	mode core.Mode
+}{
+	{"B+-tree", core.ModeNone},
+	{"tail-B+-tree", core.ModeTail},
+	{"lil-B+-tree", core.ModeLIL},
+	{"QuIT", core.ModeQuIT},
+}
+
+// RunFig08 executes the experiment.
+func RunFig08(p harness.Params) Fig08Result {
+	grid := kGridFor(p)
+	r := Fig08Result{
+		K:       grid,
+		NsPerOp: map[string][]float64{},
+		Speedup: map[string][]float64{},
+	}
+	for _, d := range fig08Designs {
+		r.Designs = append(r.Designs, d.name)
+	}
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+		base := 0.0
+		for _, d := range fig08Designs {
+			tr := newTree(p, d.mode)
+			ns := ingest(tr, keys)
+			r.NsPerOp[d.name] = append(r.NsPerOp[d.name], ns)
+			if d.mode == core.ModeNone {
+				base = ns
+			}
+			r.Speedup[d.name] = append(r.Speedup[d.name], base/ns)
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Fig08Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig08",
+		Title:   "Figure 8: ingestion speedup over the classical B+-tree",
+		Note:    "L = 100%; speedup = B+-tree ns/op divided by design ns/op",
+		Headers: []string{"K"},
+	}
+	for _, d := range r.Designs {
+		t.Headers = append(t.Headers, d)
+	}
+	for i, k := range r.K {
+		row := []string{pctLabel(k)}
+		for _, d := range r.Designs {
+			row = append(row, harness.Speedup(r.Speedup[d][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	raw := harness.Table{
+		ID:      "fig08",
+		Title:   "Figure 8 (raw): ingestion ns/op",
+		Headers: t.Headers,
+	}
+	for i, k := range r.K {
+		row := []string{pctLabel(k)}
+		for _, d := range r.Designs {
+			row = append(row, harness.Fmt(r.NsPerOp[d][i]))
+		}
+		raw.Rows = append(raw.Rows, row)
+	}
+	return []harness.Table{t, raw}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig08",
+		Paper: "Figure 8",
+		Title: "ingestion speedup vs data sortedness",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig08(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig09Result reproduces Figure 9: the fraction of insertions served by the
+// fast path for tail-B+-tree, lil-B+-tree and QuIT across sortedness. The
+// classical B+-tree is omitted (it only top-inserts), as in the paper.
+// Paper shape: QuIT performs approximately only as many top-inserts as
+// there are out-of-order entries, closely tracking the ideal of Fig. 5b.
+type Fig09Result struct {
+	K       []float64
+	Designs []string
+	Fast    map[string][]float64
+}
+
+// RunFig09 executes the experiment.
+func RunFig09(p harness.Params) Fig09Result {
+	grid := kGridFor(p)
+	r := Fig09Result{
+		K:       grid,
+		Designs: []string{"tail-B+-tree", "lil-B+-tree", "QuIT"},
+		Fast:    map[string][]float64{},
+	}
+	modes := map[string]core.Mode{
+		"tail-B+-tree": core.ModeTail,
+		"lil-B+-tree":  core.ModeLIL,
+		"QuIT":         core.ModeQuIT,
+	}
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+		for _, d := range r.Designs {
+			tr := newTree(p, modes[d])
+			ingest(tr, keys)
+			r.Fast[d] = append(r.Fast[d], tr.Stats().FastInsertFraction())
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Fig09Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig09",
+		Title:   "Figure 9: fraction of fast-inserts vs top-inserts",
+		Note:    "each cell: fast% (remainder are top-inserts); L = 100%",
+		Headers: []string{"K"},
+	}
+	t.Headers = append(t.Headers, r.Designs...)
+	for i, k := range r.K {
+		row := []string{pctLabel(k)}
+		for _, d := range r.Designs {
+			row = append(row, harness.Pct(r.Fast[d][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig09",
+		Paper: "Figure 9",
+		Title: "fast-insert fraction per index design",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig09(p).Tables()
+		},
+	})
+}

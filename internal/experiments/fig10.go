@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig10Result reproduces Figure 10: (a) average leaf occupancy, (b)
+// normalized point-lookup latency, and (c) the factor by which QuIT
+// accesses fewer leaf nodes than the B+-tree during range lookups at three
+// selectivities. Paper shape: QuIT occupancy 100% at K=0 trending to parity
+// at K=100%; point lookups at parity (QuIT marginally faster); range scans
+// touch up to 2x fewer leaves at high sortedness.
+type Fig10Result struct {
+	K []float64
+
+	OccBTree []float64
+	OccQuIT  []float64
+
+	LookupBTree []float64 // ns/op
+	LookupQuIT  []float64
+	NormLookup  []float64 // QuIT / B+-tree
+
+	Selectivities []float64             // fraction of key domain per range query
+	FewerAccesses map[float64][]float64 // selectivity -> per-K ratio (B+-tree leaves / QuIT leaves)
+}
+
+// RunFig10 executes all three panels on shared trees per K.
+func RunFig10(p harness.Params) Fig10Result {
+	grid := kGridFor(p)
+	r := Fig10Result{
+		K:             grid,
+		Selectivities: []float64{0.001, 0.01, 0.10},
+		FewerAccesses: map[float64][]float64{},
+	}
+	targets := lookupTargets(p, p.Lookups)
+	rng := rand.New(rand.NewSource(p.Seed + 7))
+
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+
+		btree := newTree(p, core.ModeNone)
+		ingest(btree, keys)
+		quit := newTree(p, core.ModeQuIT)
+		ingest(quit, keys)
+
+		r.OccBTree = append(r.OccBTree, btree.AvgLeafOccupancy())
+		r.OccQuIT = append(r.OccQuIT, quit.AvgLeafOccupancy())
+
+		lb := bestLookups(3, func() float64 { return lookups(btree, targets) })
+		lq := bestLookups(3, func() float64 { return lookups(quit, targets) })
+		r.LookupBTree = append(r.LookupBTree, lb)
+		r.LookupQuIT = append(r.LookupQuIT, lq)
+		r.NormLookup = append(r.NormLookup, lq/lb)
+
+		// Range lookups: identical random ranges on both trees; compare
+		// leaf accesses (RangeLeafReads).
+		for _, sel := range r.Selectivities {
+			width := int64(sel * float64(p.N))
+			if width < 1 {
+				width = 1
+			}
+			starts := make([]int64, p.RangeLookups)
+			for i := range starts {
+				starts[i] = int64(rng.Intn(p.N))
+			}
+			count := func(tr *core.Tree[int64, int64]) int64 {
+				before := tr.Stats().RangeLeafReads
+				for _, s := range starts {
+					tr.Range(s, s+width, func(int64, int64) bool { return true })
+				}
+				return tr.Stats().RangeLeafReads - before
+			}
+			ab := count(btree)
+			aq := count(quit)
+			ratio := float64(ab) / float64(aq)
+			r.FewerAccesses[sel] = append(r.FewerAccesses[sel], ratio)
+		}
+	}
+	return r
+}
+
+// Tables renders the three panels.
+func (r Fig10Result) Tables() []harness.Table {
+	a := harness.Table{
+		ID:      "fig10a",
+		Title:   "Figure 10a: average leaf occupancy (%)",
+		Headers: []string{"K", "B+-tree", "QuIT"},
+	}
+	b := harness.Table{
+		ID:      "fig10b",
+		Title:   "Figure 10b: point-lookup latency, QuIT normalized to B+-tree",
+		Headers: []string{"K", "B+-tree ns", "QuIT ns", "normalized"},
+	}
+	c := harness.Table{
+		ID:      "fig10c",
+		Title:   "Figure 10c: fewer leaf accesses in range lookups (B+-tree / QuIT)",
+		Headers: []string{"K", "sel 0.1%", "sel 1%", "sel 10%"},
+	}
+	for i, k := range r.K {
+		a.Rows = append(a.Rows, []string{pctLabel(k), harness.Pct(r.OccBTree[i]), harness.Pct(r.OccQuIT[i])})
+		b.Rows = append(b.Rows, []string{
+			pctLabel(k), harness.Fmt(r.LookupBTree[i]), harness.Fmt(r.LookupQuIT[i]),
+			harness.Fmt(r.NormLookup[i]),
+		})
+		row := []string{pctLabel(k)}
+		for _, sel := range r.Selectivities {
+			row = append(row, harness.Speedup(r.FewerAccesses[sel][i]))
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	return []harness.Table{a, b, c}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig10",
+		Paper: "Figure 10",
+		Title: "occupancy, point lookups and range lookups",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig10(p).Tables()
+		},
+	})
+}

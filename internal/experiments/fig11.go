@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig11Result reproduces Figure 11: K x L heatmaps of the fast-insert
+// fraction and the average leaf occupancy for the lil-B+-tree and QuIT.
+// Paper findings: fast-inserts are essentially insensitive to L (panel
+// a/b), lil occupancy sits at ~50% for sorted data rising with K (panel c),
+// QuIT occupancy starts at 100% and declines toward parity (panel d).
+type Fig11Result struct {
+	K []float64
+	L []float64
+	// Indexed [li][ki].
+	FastLIL  [][]float64
+	FastQuIT [][]float64
+	OccLIL   [][]float64
+	OccQuIT  [][]float64
+}
+
+// RunFig11 executes the sweep.
+func RunFig11(p harness.Params) Fig11Result {
+	ks := []float64{0, 0.01, 0.03, 0.05, 0.25, 0.50}
+	ls := []float64{0.01, 0.03, 0.05, 0.25, 0.50}
+	if p.Quick {
+		ks = []float64{0, 0.05, 0.50}
+		ls = []float64{0.01, 0.50}
+	}
+	r := Fig11Result{K: ks, L: ls}
+	for _, l := range ls {
+		var fl, fq, ol, oq []float64
+		for _, k := range ks {
+			keys := genKeys(p, k, l)
+			lil := newTree(p, core.ModeLIL)
+			ingest(lil, keys)
+			quit := newTree(p, core.ModeQuIT)
+			ingest(quit, keys)
+			fl = append(fl, lil.Stats().FastInsertFraction())
+			fq = append(fq, quit.Stats().FastInsertFraction())
+			ol = append(ol, lil.AvgLeafOccupancy())
+			oq = append(oq, quit.AvgLeafOccupancy())
+		}
+		r.FastLIL = append(r.FastLIL, fl)
+		r.FastQuIT = append(r.FastQuIT, fq)
+		r.OccLIL = append(r.OccLIL, ol)
+		r.OccQuIT = append(r.OccQuIT, oq)
+	}
+	return r
+}
+
+func (r Fig11Result) heat(id, title string, grid [][]float64) harness.Table {
+	t := harness.Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"L \\ K"},
+	}
+	for _, k := range r.K {
+		t.Headers = append(t.Headers, pctLabel(k))
+	}
+	for li, l := range r.L {
+		row := []string{pctLabel(l)}
+		for ki := range r.K {
+			row = append(row, harness.Pct(grid[li][ki]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Tables renders the four heatmaps.
+func (r Fig11Result) Tables() []harness.Table {
+	return []harness.Table{
+		r.heat("fig11a", "Figure 11a: lil-B+-tree fast-inserts (K x L)", r.FastLIL),
+		r.heat("fig11b", "Figure 11b: QuIT fast-inserts (K x L)", r.FastQuIT),
+		r.heat("fig11c", "Figure 11c: lil-B+-tree avg leaf occupancy (K x L)", r.OccLIL),
+		r.heat("fig11d", "Figure 11d: QuIT avg leaf occupancy (K x L)", r.OccQuIT),
+	}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig11",
+		Paper: "Figure 11",
+		Title: "K x L sensitivity heatmaps",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig11(p).Tables()
+		},
+	})
+}

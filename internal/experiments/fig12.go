@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig12Result reproduces Figure 12: the stress test that alternates
+// near-sorted (K=10%) and fully scrambled (K=100%) segments and tracks the
+// cumulative number of fast-inserts per design at every segment boundary.
+// Paper shape: tail flatlines immediately; pole-B+-tree flatlines after the
+// first scrambled segment (stale trap); lil and QuIT keep climbing on the
+// near-sorted segments, with QuIT ahead thanks to its reset strategy.
+type Fig12Result struct {
+	SegmentEnds []int // cumulative insert counts at segment boundaries
+	Designs     []string
+	// CumFast[design][s] = cumulative fast-inserts after segment s.
+	CumFast map[string][]int64
+}
+
+// RunFig12 executes the stress test: 5 segments of p.N/5 entries with K
+// alternating 10%, 100%, 10%, 100%, 10% (L=100%).
+func RunFig12(p harness.Params) Fig12Result {
+	segN := p.N / 5
+	specs := []bods.Segment{
+		{N: segN, K: 0.10, L: 1},
+		{N: segN, K: 1.00, L: 1},
+		{N: segN, K: 0.10, L: 1},
+		{N: segN, K: 1.00, L: 1},
+		{N: segN, K: 0.10, L: 1},
+	}
+	keys := bods.GenerateSegments(specs, p.Seed)
+
+	r := Fig12Result{
+		Designs: []string{"tail-B+-tree", "lil-B+-tree", "pole-B+-tree", "QuIT"},
+		CumFast: map[string][]int64{},
+	}
+	modes := map[string]core.Mode{
+		"tail-B+-tree": core.ModeTail,
+		"lil-B+-tree":  core.ModeLIL,
+		"pole-B+-tree": core.ModePOLE,
+		"QuIT":         core.ModeQuIT,
+	}
+	for s := 1; s <= len(specs); s++ {
+		r.SegmentEnds = append(r.SegmentEnds, s*segN)
+	}
+	for _, d := range r.Designs {
+		tr := newTree(p, modes[d])
+		pos := 0
+		for s := range specs {
+			end := (s + 1) * segN
+			for ; pos < end; pos++ {
+				tr.Put(keys[pos], keys[pos])
+			}
+			r.CumFast[d] = append(r.CumFast[d], tr.Stats().FastInserts)
+		}
+	}
+	return r
+}
+
+// Tables renders the cumulative series.
+func (r Fig12Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig12",
+		Title:   "Figure 12: cumulative fast-inserts under alternating sortedness",
+		Note:    "segments of N/5 inserts with K = 10%, 100%, 10%, 100%, 10% (L=100%)",
+		Headers: []string{"inserts"},
+	}
+	t.Headers = append(t.Headers, r.Designs...)
+	for si, end := range r.SegmentEnds {
+		row := []string{harness.Fmt(float64(end)/1e6) + "M"}
+		for _, d := range r.Designs {
+			row = append(row, harness.Fmt(float64(r.CumFast[d][si])/1e6)+"M")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig12",
+		Paper: "Figure 12",
+		Title: "stress testing the fast path",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig12(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig13Result reproduces Figure 13: insert and lookup throughput of QuIT vs
+// the classical B+-tree under concurrent execution at three sortedness
+// levels. Paper shape: inserts contend (near-sorted streams hit the same
+// leaf) but QuIT's shorter critical section keeps it 1.5-2x ahead; lookups
+// scale for both since the read paths are identical.
+type Fig13Result struct {
+	Threads []int
+	Levels  []string
+	K       []float64
+	// InsertOps[design][level][ti] = inserts/sec; LookupOps likewise.
+	InsertOps map[string]map[string][]float64
+	LookupOps map[string]map[string][]float64
+}
+
+// RunFig13 executes the concurrency ladder.
+func RunFig13(p harness.Params) Fig13Result {
+	r := Fig13Result{
+		Threads:   p.Threads,
+		Levels:    []string{"fully sorted", "near-sorted", "less sorted"},
+		K:         []float64{0, 0.05, 0.25},
+		InsertOps: map[string]map[string][]float64{},
+		LookupOps: map[string]map[string][]float64{},
+	}
+	designs := map[string]core.Mode{"QuIT": core.ModeQuIT, "B+-tree": core.ModeNone}
+	for d := range designs {
+		r.InsertOps[d] = map[string][]float64{}
+		r.LookupOps[d] = map[string][]float64{}
+	}
+
+	for li, level := range r.Levels {
+		keys := bods.Generate(bods.Spec{N: p.N, K: r.K[li], L: 1, Seed: p.Seed})
+		for design, mode := range designs {
+			for _, threads := range r.Threads {
+				cfg := treeConfig(p, mode)
+				cfg.Synchronized = true
+				tr := core.New[int64, int64](cfg)
+
+				// Concurrent ingestion: thread t inserts the stream's
+				// positions congruent to t mod threads, preserving each
+				// thread's view of the stream's sortedness while all
+				// threads target the same in-order frontier (the paper's
+				// contended scenario).
+				start := time.Now()
+				var wg sync.WaitGroup
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						for i := t; i < len(keys); i += threads {
+							tr.Put(keys[i], keys[i])
+						}
+					}(t)
+				}
+				wg.Wait()
+				insElapsed := time.Since(start).Seconds()
+				r.InsertOps[design][level] = append(r.InsertOps[design][level],
+					float64(len(keys))/insElapsed)
+
+				// Concurrent lookups.
+				lookupsPerThread := p.Lookups / threads
+				if lookupsPerThread < 1 {
+					lookupsPerThread = 1
+				}
+				start = time.Now()
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(p.Seed + int64(t)))
+						for i := 0; i < lookupsPerThread; i++ {
+							tr.Get(int64(rng.Intn(p.N)))
+						}
+					}(t)
+				}
+				wg.Wait()
+				lookElapsed := time.Since(start).Seconds()
+				r.LookupOps[design][level] = append(r.LookupOps[design][level],
+					float64(lookupsPerThread*threads)/lookElapsed)
+			}
+		}
+	}
+	return r
+}
+
+// Tables renders throughput ladders.
+func (r Fig13Result) Tables() []harness.Table {
+	mk := func(id, title string, data map[string]map[string][]float64) harness.Table {
+		t := harness.Table{
+			ID:      id,
+			Title:   title,
+			Note:    "throughput in M ops/sec",
+			Headers: []string{"design", "sortedness"},
+		}
+		for _, th := range r.Threads {
+			t.Headers = append(t.Headers, harness.Fmt(float64(th))+" thr")
+		}
+		for _, d := range []string{"QuIT", "B+-tree"} {
+			for _, level := range r.Levels {
+				row := []string{d, level}
+				for ti := range r.Threads {
+					row = append(row, harness.Fmt(data[d][level][ti]/1e6))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		return t
+	}
+	return []harness.Table{
+		mk("fig13a", "Figure 13a: concurrent insert throughput", r.InsertOps),
+		mk("fig13b", "Figure 13b: concurrent lookup throughput", r.LookupOps),
+	}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig13",
+		Paper: "Figure 13",
+		Title: "concurrent execution scaling",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig13(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Fig14Result reproduces Figure 14: insert latency (a) and point-lookup
+// latency (b) of the SWARE-based SA-B+-tree vs QuIT across sortedness.
+// Paper shape: QuIT ingests >=1.5x faster on near-sorted data (filter and
+// Zonemap maintenance tax every SWARE insert) and converges for scrambled
+// data; QuIT answers point lookups up to ~26% faster because SWARE probes
+// its buffer first.
+type Fig14Result struct {
+	K           []float64
+	InsertSware []float64
+	InsertQuIT  []float64
+	LookupSware []float64
+	LookupQuIT  []float64
+}
+
+// RunFig14 executes the comparison.
+func RunFig14(p harness.Params) Fig14Result {
+	grid := kGridFor(p)
+	r := Fig14Result{K: grid}
+	targets := lookupTargets(p, p.Lookups)
+	for _, k := range grid {
+		keys := genKeys(p, k, 1.0)
+
+		sw := newSware(p)
+		r.InsertSware = append(r.InsertSware, ingestSware(sw, keys))
+		r.LookupSware = append(r.LookupSware, bestLookups(3, func() float64 { return lookupsSware(sw, targets) }))
+
+		quit := newTree(p, core.ModeQuIT)
+		r.InsertQuIT = append(r.InsertQuIT, ingest(quit, keys))
+		r.LookupQuIT = append(r.LookupQuIT, bestLookups(3, func() float64 { return lookups(quit, targets) }))
+	}
+	return r
+}
+
+// Tables renders both panels.
+func (r Fig14Result) Tables() []harness.Table {
+	a := harness.Table{
+		ID:      "fig14a",
+		Title:   "Figure 14a: insert latency, SWARE (SA-B+-tree) vs QuIT (ns/op)",
+		Headers: []string{"K", "SWARE", "QuIT", "QuIT speedup"},
+	}
+	b := harness.Table{
+		ID:      "fig14b",
+		Title:   "Figure 14b: point-lookup latency, SWARE vs QuIT (ns/op)",
+		Headers: []string{"K", "SWARE", "QuIT", "QuIT speedup"},
+	}
+	for i, k := range r.K {
+		a.Rows = append(a.Rows, []string{
+			pctLabel(k), harness.Fmt(r.InsertSware[i]), harness.Fmt(r.InsertQuIT[i]),
+			harness.Speedup(r.InsertSware[i] / r.InsertQuIT[i]),
+		})
+		b.Rows = append(b.Rows, []string{
+			pctLabel(k), harness.Fmt(r.LookupSware[i]), harness.Fmt(r.LookupQuIT[i]),
+			harness.Speedup(r.LookupSware[i] / r.LookupQuIT[i]),
+		})
+	}
+	return []harness.Table{a, b}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig14",
+		Paper: "Figure 14",
+		Title: "QuIT vs the SWARE SA-B+-tree",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig14(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+	"github.com/quittree/quit/internal/stock"
+	"github.com/quittree/quit/internal/sware"
+)
+
+// Fig15Result reproduces Figure 15: ingestion speedup on real-world-like
+// stock price streams (NIFTY and SPXUSD stand-ins; see DESIGN.md §3 for the
+// substitution), normalized to the classical B+-tree. Paper shape: every
+// sortedness-aware design beats the B+-tree; tail gains the least; SWARE,
+// lil and QuIT are clustered on top.
+type Fig15Result struct {
+	Instruments []string
+	Designs     []string
+	// Speedup[instrument][design]
+	Speedup map[string]map[string]float64
+	// FastFrac[instrument][design] is deterministic (workload-defined), so
+	// tests assert on it where timing would be noise-bound.
+	FastFrac map[string]map[string]float64
+}
+
+// RunFig15 executes the experiment. Series lengths scale with p.N (capped
+// at the instruments' native sizes of 1.4M and 2.2M entries).
+func RunFig15(p harness.Params) Fig15Result {
+	series := []stock.Series{stock.NIFTYLike(), stock.SPXUSDLike()}
+	for i := range series {
+		if p.N < series[i].Minutes {
+			series[i].Minutes = p.N
+		}
+	}
+	r := Fig15Result{
+		Designs:  []string{"tail-B+-tree", "SWARE", "lil-B+-tree", "QuIT"},
+		Speedup:  map[string]map[string]float64{},
+		FastFrac: map[string]map[string]float64{},
+	}
+	reps := 1
+	if p.Quick {
+		reps = 2 // short quick-scale runs are noise-prone; keep the best
+	}
+	for _, s := range series {
+		r.Instruments = append(r.Instruments, s.Name)
+		keys := s.Keys()
+		sp := p
+		sp.N = len(keys)
+
+		frac := map[string]float64{}
+		measure := func(name string, mode core.Mode) float64 {
+			return bestLookups(reps, func() float64 {
+				tr := newTreeN(sp, mode)
+				ns := ingest(tr, keys)
+				frac[name] = tr.Stats().FastInsertFraction()
+				return ns
+			})
+		}
+		base := measure("B+-tree", core.ModeNone)
+		row := map[string]float64{}
+		row["tail-B+-tree"] = base / measure("tail-B+-tree", core.ModeTail)
+		row["lil-B+-tree"] = base / measure("lil-B+-tree", core.ModeLIL)
+		row["QuIT"] = base / measure("QuIT", core.ModeQuIT)
+		r.FastFrac[s.Name] = frac
+
+		row["SWARE"] = base / bestLookups(reps, func() float64 {
+			sw := sware.New(sware.Config{
+				BufferEntries: sp.N / 100,
+				Tree:          treeConfig(sp, core.ModeNone),
+			})
+			return ingestSware(sw, keys)
+		})
+		r.Speedup[s.Name] = row
+	}
+	return r
+}
+
+// newTreeN builds a tree (helper kept separate so fig15 reads clearly).
+func newTreeN(p harness.Params, mode core.Mode) *core.Tree[int64, int64] {
+	return newTree(p, mode)
+}
+
+// Tables renders the result.
+func (r Fig15Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "fig15",
+		Title:   "Figure 15: ingestion speedup on stock price streams",
+		Note:    "synthetic NIFTY/SPXUSD stand-ins (DESIGN.md §3); speedup vs classical B+-tree",
+		Headers: append([]string{"instrument"}, r.Designs...),
+	}
+	for _, ins := range r.Instruments {
+		row := []string{ins}
+		for _, d := range r.Designs {
+			row = append(row, harness.Speedup(r.Speedup[ins][d]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "fig15",
+		Paper: "Figure 15",
+		Title: "real-world-like data ingestion",
+		Run: func(p harness.Params) []harness.Table {
+			return RunFig15(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Mix01Result extends the paper's §2 argument into a measurement: SWARE's
+// buffering pays off for write-heavy workloads but "becomes prohibitive as
+// the fraction of reads in the workload increases", while QuIT's read path
+// is free of fast-path overhead. This experiment interleaves near-sorted
+// inserts (K=5%) with uniform point lookups at varying read fractions and
+// reports total operation throughput.
+type Mix01Result struct {
+	ReadFraction []float64
+	// OpsPerSec[design][i]
+	OpsPerSec map[string][]float64
+}
+
+// RunMix01 executes the sweep.
+func RunMix01(p harness.Params) Mix01Result {
+	fracs := []float64{0, 0.25, 0.50, 0.75, 0.90}
+	if p.Quick {
+		fracs = []float64{0, 0.50, 0.90}
+	}
+	r := Mix01Result{
+		ReadFraction: fracs,
+		OpsPerSec:    map[string][]float64{},
+	}
+	keys := genKeys(p, 0.05, 1.0)
+
+	for _, frac := range fracs {
+		// Operation schedule: deterministic interleave of the insert
+		// stream with lookups against already-inserted keys. Every design
+		// gets an identical schedule (fresh rng from the same seed).
+		seed := p.Seed + int64(frac*100)
+
+		runTree := func(mode core.Mode) float64 {
+			rng := rand.New(rand.NewSource(seed))
+			tr := newTree(p, mode)
+			inserted := 0
+			ops := 0
+			runtime.GC()
+			start := time.Now()
+			for inserted < len(keys) {
+				if inserted > 0 && rng.Float64() < frac {
+					tr.Get(keys[rng.Intn(inserted)])
+				} else {
+					k := keys[inserted]
+					tr.Put(k, k)
+					inserted++
+				}
+				ops++
+			}
+			return float64(ops) / time.Since(start).Seconds()
+		}
+		runSware := func() float64 {
+			rng := rand.New(rand.NewSource(seed))
+			ix := newSware(p)
+			inserted := 0
+			ops := 0
+			runtime.GC()
+			start := time.Now()
+			for inserted < len(keys) {
+				if inserted > 0 && rng.Float64() < frac {
+					ix.Get(keys[rng.Intn(inserted)])
+				} else {
+					k := keys[inserted]
+					ix.Put(k, k)
+					inserted++
+				}
+				ops++
+			}
+			return float64(ops) / time.Since(start).Seconds()
+		}
+
+		r.OpsPerSec["B+-tree"] = append(r.OpsPerSec["B+-tree"], runTree(core.ModeNone))
+		r.OpsPerSec["SWARE"] = append(r.OpsPerSec["SWARE"], runSware())
+		r.OpsPerSec["QuIT"] = append(r.OpsPerSec["QuIT"], runTree(core.ModeQuIT))
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Mix01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "mix01",
+		Title:   "Mixed workload (beyond the paper): throughput vs read fraction",
+		Note:    "near-sorted inserts (K=5%) interleaved with point lookups; M ops/sec",
+		Headers: []string{"read fraction", "B+-tree", "SWARE", "QuIT"},
+	}
+	for i, f := range r.ReadFraction {
+		t.Rows = append(t.Rows, []string{
+			harness.Pct(f),
+			harness.Fmt(r.OpsPerSec["B+-tree"][i] / 1e6),
+			harness.Fmt(r.OpsPerSec["SWARE"][i] / 1e6),
+			harness.Fmt(r.OpsPerSec["QuIT"][i] / 1e6),
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "mix01", Paper: "(extension)", Title: "read/write mix throughput",
+		Run: func(p harness.Params) []harness.Table { return RunMix01(p).Tables() },
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active: timing-based shape
+// assertions are skipped because instrumentation overhead flattens the
+// latency differences they check.
+const raceEnabled = true

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Tab01Result reproduces Table 1: the metadata each index design keeps.
+// This is a design digest, not a measurement; the byte column quantifies
+// the paper's claim that QuIT needs "less than 20 bytes of additional
+// metadata" beyond the other fast-path designs (pole_prev_size 4B,
+// pole_prev_min 4B for 4-byte keys, pole_prev_id 8B, pole_fails 4B).
+type Tab01Result struct {
+	Fields  []string
+	Designs []string
+	Has     map[string]map[string]bool
+}
+
+// RunTab01 builds the digest.
+func RunTab01(_ harness.Params) Tab01Result {
+	designs := []string{"B+-tree", "tail-B+-tree", "lil-B+-tree", "QuIT"}
+	fields := []string{
+		"root_id", "head_id", "tail_id",
+		"fp_path[]", "fp_size", "fp_min", "fp_max", "fp_id",
+		"pole_prev_size", "pole_prev_min", "pole_prev_id", "pole_fails",
+	}
+	has := map[string]map[string]bool{}
+	mark := func(design string, fs ...string) {
+		if has[design] == nil {
+			has[design] = map[string]bool{}
+		}
+		for _, f := range fs {
+			has[design][f] = true
+		}
+	}
+	mark("B+-tree", "root_id", "head_id", "tail_id")
+	mark("tail-B+-tree", "root_id", "head_id", "tail_id", "fp_path[]", "fp_size", "fp_min")
+	mark("lil-B+-tree", "root_id", "head_id", "tail_id", "fp_path[]", "fp_size", "fp_min", "fp_max", "fp_id")
+	mark("QuIT", fields...)
+	return Tab01Result{Fields: fields, Designs: designs, Has: has}
+}
+
+// Tables renders the digest.
+func (r Tab01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "tab01",
+		Title:   "Table 1: metadata used by different indexes",
+		Note:    "QuIT adds <20B over lil-B+-tree: pole_prev_{size,min,id} and pole_fails",
+		Headers: append([]string{"field"}, r.Designs...),
+	}
+	for _, f := range r.Fields {
+		row := []string{f}
+		for _, d := range r.Designs {
+			cell := ""
+			if r.Has[d][f] {
+				cell = "yes"
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "tab01",
+		Paper: "Table 1",
+		Title: "metadata digest per index design",
+		Run: func(p harness.Params) []harness.Table {
+			return RunTab01(p).Tables()
+		},
+	})
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Tab03Result reproduces Table 3: QuIT's scalability with data size, for
+// fully sorted (K=0), nearly sorted (K=L=5%) and less sorted (K=L=25%)
+// streams. Paper shape: the fast-insert fraction is flat across sizes
+// (100% / ~95% / ~75%) and the speedup over the B+-tree grows slightly with
+// size as trees get taller.
+type Tab03Result struct {
+	Sizes    []int
+	Levels   []string
+	K, L     []float64
+	Speedup  map[string][]float64 // level -> per-size speedup
+	FastFrac map[string][]float64
+}
+
+// RunTab03 executes the sweep. Sizes scale from p.N/8 to 2*p.N (the paper
+// spans 0.4GB to 32GB; the trend, not the absolute span, is the claim).
+func RunTab03(p harness.Params) Tab03Result {
+	mults := []float64{0.125, 0.25, 0.5, 1, 2}
+	if p.Quick {
+		mults = []float64{0.25, 1}
+	}
+	r := Tab03Result{
+		Levels:   []string{"fully sorted", "nearly sorted", "less sorted"},
+		K:        []float64{0, 0.05, 0.25},
+		L:        []float64{1.0, 0.05, 0.25},
+		Speedup:  map[string][]float64{},
+		FastFrac: map[string][]float64{},
+	}
+	for _, m := range mults {
+		n := int(float64(p.N) * m)
+		if n < 1000 {
+			n = 1000
+		}
+		r.Sizes = append(r.Sizes, n)
+	}
+	for li, level := range r.Levels {
+		for _, n := range r.Sizes {
+			sp := p
+			sp.N = n
+			keys := genKeys(sp, r.K[li], r.L[li])
+			btree := newTree(sp, core.ModeNone)
+			bns := ingest(btree, keys)
+			quit := newTree(sp, core.ModeQuIT)
+			qns := ingest(quit, keys)
+			r.Speedup[level] = append(r.Speedup[level], bns/qns)
+			r.FastFrac[level] = append(r.FastFrac[level], quit.Stats().FastInsertFraction())
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Tab03Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "tab03",
+		Title:   "Table 3: QuIT scales with data size",
+		Note:    "speedup vs classical B+-tree; fully sorted K=0, nearly K=L=5%, less K=L=25%",
+		Headers: []string{"sortedness", "metric"},
+	}
+	for _, n := range r.Sizes {
+		t.Headers = append(t.Headers, harness.Fmt(float64(n)/1e6)+"M")
+	}
+	for _, level := range r.Levels {
+		spRow := []string{level, "speedup"}
+		ffRow := []string{"", "% fast-inserts"}
+		for i := range r.Sizes {
+			spRow = append(spRow, harness.Speedup(r.Speedup[level][i]))
+			ffRow = append(ffRow, harness.Pct(r.FastFrac[level][i]))
+		}
+		t.Rows = append(t.Rows, spRow, ffRow)
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "tab03",
+		Paper: "Table 3",
+		Title: "scalability with data size",
+		Run: func(p harness.Params) []harness.Table {
+			return RunTab03(p).Tables()
+		},
+	})
+}

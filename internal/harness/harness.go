@@ -1,0 +1,201 @@
+// Package harness provides the shared machinery for reproducing the paper's
+// tables and figures: wall-clock measurement helpers, aligned ASCII table
+// rendering, and a registry that cmd/quitbench and the benchmark suite
+// drive.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Params scales an experiment run. The zero value is not meaningful; use
+// DefaultParams (laptop-scale) and override.
+type Params struct {
+	// N is the number of entries ingested (the paper uses 500M; the default
+	// here is 2M, which preserves tree heights >= 3 and every reported
+	// trend).
+	N int
+	// Lookups is the number of point lookups issued by query phases (the
+	// paper uses 1% of N).
+	Lookups int
+	// RangeLookups is the number of range queries per selectivity.
+	RangeLookups int
+	// LeafCapacity and InternalFanout configure every tree in the
+	// experiment identically (paper: 510-entry leaves).
+	LeafCapacity   int
+	InternalFanout int
+	// Threads is the concurrency ladder for the Fig. 13 experiment.
+	Threads []int
+	// Seed drives all workload generation.
+	Seed int64
+	// Quick trims secondary dimensions (used by smoke tests).
+	Quick bool
+}
+
+// DefaultParams returns the laptop-scale defaults documented in DESIGN.md.
+func DefaultParams() Params {
+	return Params{
+		N:              2_000_000,
+		Lookups:        200_000,
+		RangeLookups:   200,
+		LeafCapacity:   510,
+		InternalFanout: 256,
+		Threads:        []int{1, 2, 4, 8, 16},
+		Seed:           42,
+	}
+}
+
+// Table is one rendered result table (a paper figure's series or a paper
+// table's rows).
+type Table struct {
+	ID      string // experiment id, e.g. "fig08"
+	Title   string // paper reference and description
+	Note    string // methodology note rendered under the title
+	Headers []string
+	Rows    [][]string
+}
+
+// Render writes the table in aligned ASCII form.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(w, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV with a leading comment line carrying
+// the experiment id and title, for downstream plotting.
+func (t Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string // e.g. "fig08"
+	Paper string // e.g. "Figure 8"
+	Title string
+	Run   func(Params) []Table
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate IDs panic (a wiring bug).
+func Register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment registered under id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TimeOps runs fn over n sequential operations and returns the mean
+// nanoseconds per operation.
+func TimeOps(n int, fn func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	if n == 0 {
+		return 0
+	}
+	return float64(elapsed.Nanoseconds()) / float64(n)
+}
+
+// Fmt formats a float with sensible precision for table cells.
+func Fmt(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Speedup formats a ratio as "N.NNx".
+func Speedup(v float64) string {
+	return fmt.Sprintf("%.2fx", v)
+}

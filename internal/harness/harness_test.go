@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID:      "figX",
+		Title:   "test table",
+		Note:    "line one\nline two",
+		Headers: []string{"col", "value"},
+		Rows: [][]string{
+			{"a", "1"},
+			{"longer-cell", "2"},
+		},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "test table", "line one", "line two", "longer-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header's column width.
+	lines := strings.Split(out, "\n")
+	var header string
+	for _, l := range lines {
+		if strings.Contains(l, "col") && strings.Contains(l, "value") {
+			header = l
+			break
+		}
+	}
+	if header == "" {
+		t.Fatal("no header line rendered")
+	}
+	valueCol := strings.Index(header, "value")
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "longer-cell") {
+			if l[valueCol:valueCol+1] != "2" {
+				t.Fatalf("misaligned column:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	e := Experiment{ID: "zztest", Paper: "none", Title: "registry test",
+		Run: func(Params) []Table { return nil }}
+	Register(e)
+	got, ok := Lookup("zztest")
+	if !ok || got.Title != "registry test" {
+		t.Fatal("lookup failed")
+	}
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All() not sorted")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		delete(registry, "zztest")
+	}()
+	Register(e)
+}
+
+func TestTimeOps(t *testing.T) {
+	calls := 0
+	ns := TimeOps(100, func(i int) { calls++ })
+	if calls != 100 {
+		t.Fatalf("fn called %d times", calls)
+	}
+	if ns < 0 {
+		t.Fatalf("negative ns/op %f", ns)
+	}
+	if TimeOps(0, func(int) {}) != 0 {
+		t.Fatal("TimeOps(0) not zero")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		5.4321: "5.43",
+		42.19:  "42.2",
+		1234.6: "1235",
+	}
+	for v, want := range cases {
+		if got := Fmt(v); got != want {
+			t.Fatalf("Fmt(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+	if Speedup(2.5) != "2.50x" {
+		t.Fatalf("Speedup = %q", Speedup(2.5))
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.N <= 0 || p.LeafCapacity != 510 || p.InternalFanout != 256 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+	if len(p.Threads) == 0 {
+		t.Fatal("no default thread ladder")
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := Table{
+		ID:      "figY",
+		Title:   "csv test",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "with,comma"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# figY: csv test", "a,b", "1,2", `"with,comma"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package ikr implements the In-order Key estimatoR (IKR) from the QuIT
+// paper (§4.1, Eq. 2). IKR is a lightweight outlier predictor inspired by
+// interquartile-range outlier detection: given two consecutive leaf nodes
+// that are known to contain in-order entries, it extrapolates the key
+// density observed in the preceding node across the current node and adds a
+// slack factor. Any key beyond the resulting bound is considered an outlier.
+//
+// The estimator is deliberately stateless: callers feed it the smallest keys
+// of pole_prev (p) and pole (q), the number of entries in pole_prev, and the
+// number of entries in pole, exactly the metadata the Quick Insertion Tree
+// keeps for its fast path (Table 1 in the paper).
+package ikr
+
+// DefaultScale is the slack multiplier from the paper. Following standard
+// IQR practice the paper fixes scale = 1.5; it is the only IKR tunable.
+const DefaultScale = 1.5
+
+// Estimator computes the maximum acceptable (non-outlier) key for the
+// predicted-ordered-leaf. The zero value is not usable; construct with New.
+type Estimator struct {
+	scale float64
+}
+
+// New returns an Estimator with the given slack scale. Non-positive scales
+// fall back to DefaultScale.
+func New(scale float64) Estimator {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	return Estimator{scale: scale}
+}
+
+// Scale reports the slack multiplier in use.
+func (e Estimator) Scale() float64 { return e.scale }
+
+// Bound evaluates Eq. (2) of the paper:
+//
+//	x = q + ((q - p) / prevSize) * poleSize * scale
+//
+// where p and q are the smallest keys of pole_prev and pole, prevSize is the
+// entry count of pole_prev and poleSize the entry count of pole. Keys are
+// passed as float64 so the estimator works for any integer key domain (exact
+// for |key| < 2^53). Bound panics if prevSize <= 0: the tree guarantees
+// pole_prev is at least half full before consulting IKR (§4.1), so a
+// non-positive size is a caller bug, not a data condition.
+func (e Estimator) Bound(p, q float64, prevSize, poleSize int) float64 {
+	if prevSize <= 0 {
+		panic("ikr: Bound called with non-positive prevSize")
+	}
+	density := (q - p) / float64(prevSize)
+	return q + density*float64(poleSize)*e.scale
+}
+
+// IsOutlier reports whether key exceeds the acceptable bound computed from
+// (p, q, prevSize, poleSize). Keys are never outliers from below: an entry
+// smaller than q is out of order with respect to pole, not an outlier in the
+// IKR sense (§2 distinguishes the two).
+func (e Estimator) IsOutlier(key, p, q float64, prevSize, poleSize int) bool {
+	return key > e.Bound(p, q, prevSize, poleSize)
+}

@@ -1,0 +1,91 @@
+package ikr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScale(t *testing.T) {
+	if e := New(0); e.Scale() != DefaultScale {
+		t.Fatalf("New(0).Scale() = %v, want %v", e.Scale(), DefaultScale)
+	}
+	if e := New(-3); e.Scale() != DefaultScale {
+		t.Fatalf("New(-3).Scale() = %v", e.Scale())
+	}
+	if e := New(2.5); e.Scale() != 2.5 {
+		t.Fatalf("New(2.5).Scale() = %v", e.Scale())
+	}
+}
+
+func TestBoundMatchesEquation2(t *testing.T) {
+	e := New(1.5)
+	// x = q + ((q-p)/prevSize) * poleSize * scale
+	// p=0, q=100, prevSize=100, poleSize=200 -> x = 100 + 1*200*1.5 = 400
+	if x := e.Bound(0, 100, 100, 200); x != 400 {
+		t.Fatalf("Bound = %v, want 400", x)
+	}
+	// Unit density, equal sizes: one node's worth of slack times scale.
+	if x := e.Bound(0, 510, 510, 510); x != 510+510*1.5 {
+		t.Fatalf("Bound = %v, want %v", x, 510+510*1.5)
+	}
+}
+
+func TestIsOutlier(t *testing.T) {
+	e := New(1.5)
+	// Density 1 keys: acceptable up to q + poleSize*1.5.
+	if e.IsOutlier(115, 0, 100, 100, 10) {
+		t.Fatal("115 flagged as outlier with bound 115")
+	}
+	if !e.IsOutlier(116, 0, 100, 100, 10) {
+		t.Fatal("116 not flagged with bound 115")
+	}
+	// Keys below q are out of order, never outliers.
+	if e.IsOutlier(50, 0, 100, 100, 10) {
+		t.Fatal("key below q flagged as outlier")
+	}
+}
+
+func TestBoundPanicsOnBadPrevSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bound(prevSize=0) did not panic")
+		}
+	}()
+	New(1.5).Bound(0, 1, 0, 1)
+}
+
+func TestBoundMonotonicProperties(t *testing.T) {
+	e := New(1.5)
+	// The bound always admits q itself and grows with pole size.
+	prop := func(p16, q16 int16, prevSize8, poleSize8 uint8) bool {
+		p, q := float64(p16), float64(q16)
+		if q <= p {
+			p, q = q-1, p+1
+		}
+		prevSize := int(prevSize8)%512 + 1
+		poleSize := int(poleSize8) % 512
+		x := e.Bound(p, q, prevSize, poleSize)
+		if x < q {
+			return false
+		}
+		bigger := e.Bound(p, q, prevSize, poleSize+1)
+		return bigger >= x
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundScaleEffect(t *testing.T) {
+	loose := New(3.0)
+	tight := New(1.0)
+	xl := loose.Bound(0, 100, 100, 100)
+	xt := tight.Bound(0, 100, 100, 100)
+	if xl <= xt {
+		t.Fatalf("larger scale gave smaller bound: %v <= %v", xl, xt)
+	}
+	if math.Abs(xl-400) > 1e-9 || math.Abs(xt-200) > 1e-9 {
+		t.Fatalf("bounds = %v, %v", xl, xt)
+	}
+}

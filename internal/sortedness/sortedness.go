@@ -1,0 +1,125 @@
+// Package sortedness quantifies how far a key stream deviates from sorted
+// order, implementing the K-L metric the paper adopts from Raman et al. [37]
+// and Ben-Moshe et al. [5] (paper §2, Fig. 2):
+//
+//   - K is the number of out-of-order entries: the minimum number of entries
+//     whose removal leaves the stream sorted (equivalently, N minus the
+//     length of the longest non-decreasing subsequence).
+//   - L is the maximum displacement of an out-of-order entry from its
+//     in-order position.
+//
+// A simpler local measure — entries smaller than their predecessor — is also
+// provided (Inversions of adjacent pairs), matching Fig. 2a's illustration.
+package sortedness
+
+import "sort"
+
+// Metrics summarizes the sortedness of a stream.
+type Metrics struct {
+	N int
+	// K is the number of out-of-order entries (N - longest non-decreasing
+	// subsequence).
+	K int
+	// L is the maximum displacement between an entry's stream position and
+	// its position in the sorted order.
+	L int
+	// AdjacentInversions counts entries smaller than their predecessor.
+	AdjacentInversions int
+}
+
+// KFraction returns K/N in [0,1]; 0 for an empty stream.
+func (m Metrics) KFraction() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.K) / float64(m.N)
+}
+
+// LFraction returns L/N in [0,1]; 0 for an empty stream.
+func (m Metrics) LFraction() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.L) / float64(m.N)
+}
+
+// Measure computes the K-L metrics of stream.
+func Measure(stream []int64) Metrics {
+	return Metrics{
+		N:                  len(stream),
+		K:                  K(stream),
+		L:                  L(stream),
+		AdjacentInversions: AdjacentInversions(stream),
+	}
+}
+
+// K returns the number of out-of-order entries: the minimum number of
+// entries that must be removed for the remainder to be sorted. Computed as
+// N minus the longest non-decreasing subsequence (patience sorting,
+// O(N log N)).
+func K(stream []int64) int {
+	if len(stream) == 0 {
+		return 0
+	}
+	// tails[i] = smallest possible tail of a non-decreasing subsequence of
+	// length i+1. For non-decreasing subsequences we search for the first
+	// tail strictly greater than the element.
+	tails := make([]int64, 0, 64)
+	for _, v := range stream {
+		i := sort.Search(len(tails), func(i int) bool { return tails[i] > v })
+		if i == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[i] = v
+		}
+	}
+	return len(stream) - len(tails)
+}
+
+// L returns the maximum displacement between each entry's position in the
+// stream and its position in the sorted order. Duplicate keys are matched in
+// order of appearance so they contribute no artificial displacement.
+func L(stream []int64) int {
+	n := len(stream)
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return stream[idx[a]] < stream[idx[b]] })
+	maxDisp := 0
+	for sortedPos, streamPos := range idx {
+		d := sortedPos - streamPos
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDisp {
+			maxDisp = d
+		}
+	}
+	return maxDisp
+}
+
+// AdjacentInversions counts entries that are smaller than their immediate
+// predecessor (the simple quantification of Fig. 2a).
+func AdjacentInversions(stream []int64) int {
+	c := 0
+	for i := 1; i < len(stream); i++ {
+		if stream[i] < stream[i-1] {
+			c++
+		}
+	}
+	return c
+}
+
+// IsSorted reports whether the stream is non-decreasing.
+func IsSorted(stream []int64) bool {
+	for i := 1; i < len(stream); i++ {
+		if stream[i] < stream[i-1] {
+			return false
+		}
+	}
+	return true
+}

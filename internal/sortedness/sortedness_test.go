@@ -1,0 +1,135 @@
+package sortedness
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperFigure2cExample(t *testing.T) {
+	// Fig. 2c: [1 8 3 6 5 4 7 2 10 9] has K=5 out-of-order entries with a
+	// maximum displacement of L=6.
+	stream := []int64{1, 8, 3, 6, 5, 4, 7, 2, 10, 9}
+	m := Measure(stream)
+	if m.K != 5 {
+		t.Fatalf("K = %d, want 5", m.K)
+	}
+	if m.L != 6 {
+		t.Fatalf("L = %d, want 6", m.L)
+	}
+}
+
+func TestPaperFigure2aExample(t *testing.T) {
+	// Fig. 2a: [1 2 4 3 5 7 6 8 9 10] — 3 and 6 are smaller than their
+	// predecessors.
+	stream := []int64{1, 2, 4, 3, 5, 7, 6, 8, 9, 10}
+	if got := AdjacentInversions(stream); got != 2 {
+		t.Fatalf("AdjacentInversions = %d, want 2", got)
+	}
+	if K(stream) != 2 {
+		t.Fatalf("K = %d, want 2", K(stream))
+	}
+}
+
+func TestSortedStream(t *testing.T) {
+	stream := []int64{1, 2, 3, 4, 5}
+	m := Measure(stream)
+	if m.K != 0 || m.L != 0 || m.AdjacentInversions != 0 {
+		t.Fatalf("sorted stream measured %+v", m)
+	}
+	if !IsSorted(stream) {
+		t.Fatal("IsSorted false for sorted stream")
+	}
+	if m.KFraction() != 0 || m.LFraction() != 0 {
+		t.Fatal("fractions nonzero for sorted stream")
+	}
+}
+
+func TestReversedStream(t *testing.T) {
+	n := 100
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = int64(n - i)
+	}
+	m := Measure(stream)
+	// Longest non-decreasing subsequence of a strictly decreasing stream is 1.
+	if m.K != n-1 {
+		t.Fatalf("K = %d, want %d", m.K, n-1)
+	}
+	if m.L != n-1 {
+		t.Fatalf("L = %d, want %d", m.L, n-1)
+	}
+	if IsSorted(stream) {
+		t.Fatal("IsSorted true for reversed stream")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if m := Measure(nil); m.K != 0 || m.L != 0 || m.KFraction() != 0 {
+		t.Fatalf("empty stream measured %+v", m)
+	}
+	if m := Measure([]int64{42}); m.K != 0 || m.L != 0 {
+		t.Fatalf("singleton measured %+v", m)
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	// Non-decreasing with duplicates is fully sorted under the metric.
+	stream := []int64{1, 2, 2, 2, 3, 3, 4}
+	m := Measure(stream)
+	if m.K != 0 || m.L != 0 {
+		t.Fatalf("duplicates inflated metrics: %+v", m)
+	}
+}
+
+func TestSingleDisplacedEntry(t *testing.T) {
+	// One entry moved d positions: K counts the displaced entry, L = d.
+	stream := []int64{0, 1, 2, 3, 9, 4, 5, 6, 7, 8}
+	m := Measure(stream)
+	if m.K != 1 {
+		t.Fatalf("K = %d, want 1", m.K)
+	}
+	if m.L != 5 {
+		t.Fatalf("L = %d, want 5", m.L)
+	}
+}
+
+func TestKNeverExceedsN(t *testing.T) {
+	prop := func(raw []int16) bool {
+		stream := make([]int64, len(raw))
+		for i, v := range raw {
+			stream[i] = int64(v)
+		}
+		m := Measure(stream)
+		if m.K < 0 || m.K > len(stream) {
+			return false
+		}
+		if m.L < 0 || m.L >= max(len(stream), 1) {
+			return false
+		}
+		// Sorting any stream zeroes the metrics.
+		sorted := append([]int64(nil), stream...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		sm := Measure(sorted)
+		return sm.K == 0 && sm.L == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffledKApproachesN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 10000
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = int64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	m := Measure(stream)
+	// A uniform shuffle's longest increasing subsequence is ~2*sqrt(n).
+	if m.KFraction() < 0.9 {
+		t.Fatalf("shuffled KFraction = %.3f, want >= 0.9", m.KFraction())
+	}
+}

@@ -1,0 +1,88 @@
+package stock
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/internal/sortedness"
+)
+
+func small(s Series) Series {
+	s.Minutes = 50000
+	return s
+}
+
+func TestNearSortedButNotSorted(t *testing.T) {
+	for _, s := range []Series{small(NIFTYLike()), small(SPXUSDLike())} {
+		t.Run(s.Name, func(t *testing.T) {
+			keys := s.Keys()
+			m := sortedness.Measure(keys)
+			if sortedness.IsSorted(keys) {
+				t.Fatal("price keys fully sorted: no volatility?")
+			}
+			// The experiment premise: an overall upward trend implies
+			// near-sortedness — well below a scrambled stream.
+			if m.KFraction() > 0.9 {
+				t.Fatalf("K fraction %.3f: stream is scrambled, not near-sorted", m.KFraction())
+			}
+			if m.KFraction() < 0.05 {
+				t.Fatalf("K fraction %.3f: stream suspiciously sorted", m.KFraction())
+			}
+		})
+	}
+}
+
+func TestKeysUniqueAndOrderPreserving(t *testing.T) {
+	s := small(NIFTYLike())
+	keys := s.Keys()
+	seen := make(map[int64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	prices := s.ClosingPrices()
+	// Key order preserves price order for distinct ticks.
+	for i := 1; i < len(prices); i++ {
+		ti, tj := int64(prices[i-1]*100), int64(prices[i]*100)
+		if ti < tj && keys[i-1] >= keys[i] {
+			t.Fatalf("key order broke price order at %d", i)
+		}
+	}
+}
+
+func TestUpwardDrift(t *testing.T) {
+	// Drift dominates the trend regimes only over long horizons; use a
+	// multi-year sample.
+	s := NIFTYLike()
+	s.Minutes = 600000
+	prices := s.ClosingPrices()
+	first := prices[:len(prices)/10]
+	last := prices[len(prices)-len(prices)/10:]
+	if avg(last) <= avg(first) {
+		t.Fatalf("no upward drift: %f -> %f", avg(first), avg(last))
+	}
+	for _, p := range prices {
+		if p < 1 {
+			t.Fatal("price floor violated")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := small(SPXUSDLike()).Keys()
+	b := small(SPXUSDLike()).Keys()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("series not deterministic at %d", i)
+		}
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

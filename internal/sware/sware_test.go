@@ -1,0 +1,328 @@
+package sware
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+)
+
+func testConfig() Config {
+	return Config{
+		BufferEntries: 512,
+		Tree:          core.Config{LeafCapacity: 32, InternalFanout: 16},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ix := New(testConfig())
+	keys := bods.Generate(bods.Spec{N: 20000, K: 0.05, L: 1, Seed: 1})
+	for _, k := range keys {
+		ix.Put(k, k*3)
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(keys))
+	}
+	for _, k := range keys {
+		v, ok := ix.Get(k)
+		if !ok || v != k*3 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := ix.Get(int64(len(keys)) + 5); ok {
+		t.Fatal("Get reported a missing key present")
+	}
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupsHitBufferBeforeFlush(t *testing.T) {
+	ix := New(testConfig())
+	for i := int64(0); i < 100; i++ { // below buffer capacity: no flush
+		ix.Put(i, i)
+	}
+	if ix.BufferedLen() != 100 {
+		t.Fatalf("BufferedLen = %d", ix.BufferedLen())
+	}
+	st := ix.Stats()
+	if st.Flushes != 0 {
+		t.Fatalf("unexpected flush")
+	}
+	if v, ok := ix.Get(50); !ok || v != 50 {
+		t.Fatalf("Get(50) = (%d,%v)", v, ok)
+	}
+	if ix.Stats().BufferHits == 0 {
+		t.Fatal("lookup did not hit the buffer")
+	}
+}
+
+func TestFlushMovesEverythingToTree(t *testing.T) {
+	ix := New(testConfig())
+	for i := int64(0); i < 100; i++ {
+		ix.Put(i, i)
+	}
+	ix.Flush()
+	if ix.BufferedLen() != 0 {
+		t.Fatalf("BufferedLen = %d after flush", ix.BufferedLen())
+	}
+	if ix.Tree().Len() != 100 {
+		t.Fatalf("tree Len = %d", ix.Tree().Len())
+	}
+	st := ix.Stats()
+	if st.Flushes != 1 {
+		t.Fatalf("Flushes = %d", st.Flushes)
+	}
+	if st.BulkLoaded != 100 {
+		t.Fatalf("BulkLoaded = %d, want 100 (sorted run on empty tree)", st.BulkLoaded)
+	}
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Flushing an empty buffer is a no-op.
+	ix.Flush()
+	if ix.Stats().Flushes != 1 {
+		t.Fatal("empty flush counted")
+	}
+}
+
+func TestSortedIngestionBulkLoads(t *testing.T) {
+	ix := New(testConfig())
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		ix.Put(i, i)
+	}
+	ix.Flush()
+	st := ix.Stats()
+	// Fully sorted data: every flushed run appends past the tree max.
+	if st.TopInserted != 0 {
+		t.Fatalf("TopInserted = %d on fully sorted stream", st.TopInserted)
+	}
+	if st.BulkLoaded != n {
+		t.Fatalf("BulkLoaded = %d, want %d", st.BulkLoaded, n)
+	}
+	// Opportunistic bulk loading packs leaves tightly.
+	if occ := ix.Tree().AvgLeafOccupancy(); occ < 0.9 {
+		t.Fatalf("occupancy %.2f after bulk loads", occ)
+	}
+}
+
+func TestDuplicateNewestWins(t *testing.T) {
+	ix := New(testConfig())
+	ix.Put(7, 1)
+	ix.Put(7, 2) // same key, still buffered
+	if v, _ := ix.Get(7); v != 2 {
+		t.Fatalf("buffered duplicate: Get = %d, want 2", v)
+	}
+	ix.Flush()
+	if v, _ := ix.Get(7); v != 2 {
+		t.Fatalf("flushed duplicate: Get = %d, want 2", v)
+	}
+	if ix.Tree().Len() != 1 {
+		t.Fatalf("tree Len = %d, want 1", ix.Tree().Len())
+	}
+	// Overwrite of a key already in the tree.
+	ix.Put(7, 3)
+	if v, _ := ix.Get(7); v != 3 {
+		t.Fatalf("Get = %d, want 3 (buffer shadows tree)", v)
+	}
+	ix.Flush()
+	if v, _ := ix.Get(7); v != 3 {
+		t.Fatalf("Get = %d, want 3 after flush", v)
+	}
+}
+
+func TestRangeMergesBufferAndTree(t *testing.T) {
+	ix := New(testConfig())
+	rng := rand.New(rand.NewSource(2))
+	oracle := map[int64]int64{}
+	keys := bods.Generate(bods.Spec{N: 5000, K: 0.2, L: 1, Seed: 3})
+	for _, k := range keys {
+		ix.Put(k, k)
+		oracle[k] = k
+	}
+	// Leave some entries in the buffer (no explicit flush).
+	for trial := 0; trial < 30; trial++ {
+		lo := int64(rng.Intn(5000))
+		hi := lo + int64(rng.Intn(800))
+		var got []int64
+		ix.Range(lo, hi, func(k, v int64) bool {
+			got = append(got, k)
+			if v != oracle[k] {
+				t.Fatalf("Range value mismatch for %d", k)
+			}
+			return true
+		})
+		var want []int64
+		for k := range oracle {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			t.Fatalf("Range(%d,%d) = %d keys, want %d (buffered=%d)",
+				lo, hi, len(got), len(want), ix.BufferedLen())
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Range order mismatch at %d", i)
+			}
+		}
+	}
+	// Early termination and degenerate ranges.
+	n := 0
+	ix.Range(0, 5000, func(k, v int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if ix.Range(10, 10, func(int64, int64) bool { return true }) != 0 {
+		t.Fatal("empty range visited entries")
+	}
+}
+
+func TestBufferProbeCostExists(t *testing.T) {
+	// The design premise of Fig. 14b: SWARE pays buffer probes on lookups.
+	ix := New(testConfig())
+	keys := bods.Generate(bods.Spec{N: 2000, K: 0.05, L: 1, Seed: 9})
+	for _, k := range keys[:400] {
+		ix.Put(k, k)
+	}
+	for _, k := range keys[:400] {
+		ix.Get(k)
+	}
+	st := ix.Stats()
+	if st.BufferProbes == 0 && st.BufferHits == 0 {
+		t.Fatal("no buffer probes recorded on a hot buffer")
+	}
+}
+
+func TestMemoryFootprintIncludesBufferAndFilters(t *testing.T) {
+	ix := New(testConfig())
+	base := ix.MemoryFootprint()
+	if base <= 0 {
+		t.Fatal("empty footprint not positive")
+	}
+	for i := int64(0); i < 400; i++ {
+		ix.Put(i, i)
+	}
+	if ix.MemoryFootprint() <= base {
+		t.Fatal("footprint did not grow with buffered pages")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	ix := New(Config{})
+	if ix.cfg.BufferEntries <= 0 || ix.cfg.PageEntries <= 0 {
+		t.Fatalf("defaults not applied: %+v", ix.cfg)
+	}
+	if ix.cfg.Tree.Mode != core.ModeNone {
+		t.Fatal("underlying tree mode not forced to ModeNone")
+	}
+	// Buffer never smaller than a page.
+	ix2 := New(Config{BufferEntries: 3, PageEntries: 64})
+	if ix2.cfg.BufferEntries < 64 {
+		t.Fatalf("BufferEntries = %d < page", ix2.cfg.BufferEntries)
+	}
+}
+
+func TestUnsortedPagesStillFindKeys(t *testing.T) {
+	ix := New(testConfig())
+	// Reverse order within one page: page goes unsorted, lookup must scan.
+	for i := int64(99); i >= 0; i-- {
+		ix.Put(i, i+1000)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := ix.Get(i)
+		if !ok || v != i+1000 {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	ix.Flush()
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if v, _ := ix.Get(i); v != i+1000 {
+			t.Fatalf("post-flush Get(%d) = %d", i, v)
+		}
+	}
+}
+
+func TestCrackingSortsProbedPages(t *testing.T) {
+	ix := New(testConfig())
+	// Reverse order within the active page: unsorted.
+	for i := int64(99); i >= 0; i-- {
+		ix.Put(i, i)
+	}
+	if ix.Stats().Cracks != 0 {
+		t.Fatal("crack before any probe")
+	}
+	if v, ok := ix.Get(50); !ok || v != 50 {
+		t.Fatalf("Get(50) = (%d,%v)", v, ok)
+	}
+	if ix.Stats().Cracks == 0 {
+		t.Fatal("probe did not crack the unsorted page")
+	}
+	// Probing every key cracks each touched page at most once; a second
+	// full probe pass must not crack anything further.
+	for i := int64(0); i < 100; i++ {
+		if v, ok := ix.Get(i); !ok || v != i {
+			t.Fatalf("post-crack Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	settled := ix.Stats().Cracks
+	for i := int64(0); i < 100; i++ {
+		ix.Get(i)
+	}
+	if ix.Stats().Cracks != settled {
+		t.Fatalf("pages recracked: %d -> %d", settled, ix.Stats().Cracks)
+	}
+}
+
+func TestCrackingPreservesNewestDuplicate(t *testing.T) {
+	ix := New(testConfig())
+	ix.Put(7, 1)
+	ix.Put(3, 0) // unsort the page
+	ix.Put(7, 2) // newer duplicate
+	if v, _ := ix.Get(7); v != 2 {
+		t.Fatalf("Get(7) = %d before crack settles, want 2", v)
+	}
+	// The probe cracked the page; the stable sort must keep value 2 visible.
+	if v, _ := ix.Get(7); v != 2 {
+		t.Fatalf("Get(7) = %d after crack, want 2", v)
+	}
+}
+
+func TestUpperBoundInterp(t *testing.T) {
+	// Against the plain binary search on assorted distributions.
+	distros := [][]int64{
+		{},
+		{5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{0, 0, 0, 1, 1, 2, 100, 1000, 1000, 1000000},
+	}
+	rng := rand.New(rand.NewSource(13))
+	long := make([]int64, 3000)
+	for i := range long {
+		long[i] = int64(rng.Intn(1000)) * int64(rng.Intn(1000))
+	}
+	sort.Slice(long, func(a, b int) bool { return long[a] < long[b] })
+	distros = append(distros, long)
+	for _, keys := range distros {
+		for trial := 0; trial < 500; trial++ {
+			var key int64
+			if len(keys) > 0 && trial%2 == 0 {
+				key = keys[rng.Intn(len(keys))] + int64(rng.Intn(3)-1)
+			} else {
+				key = int64(rng.Intn(2000000) - 1000)
+			}
+			want := sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+			if got := upperBoundInterp(keys, key); got != want {
+				t.Fatalf("upperBoundInterp(%d) = %d, want %d (len %d)", key, got, want, len(keys))
+			}
+		}
+	}
+}

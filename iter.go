@@ -1,0 +1,76 @@
+package quit
+
+import (
+	"io"
+
+	"github.com/quittree/quit/internal/core"
+)
+
+// Floor returns the largest entry with key <= target (ok=false if none).
+// Safe for concurrent use on synchronized trees.
+func (tr *Tree[K, V]) Floor(target K) (K, V, bool) { return tr.t.Floor(target) }
+
+// Ceiling returns the smallest entry with key >= target (ok=false if none).
+// Safe for concurrent use on synchronized trees.
+func (tr *Tree[K, V]) Ceiling(target K) (K, V, bool) { return tr.t.Ceiling(target) }
+
+// Iterator is a bidirectional cursor over entries in key order: the cursor
+// sits between entries, Next yields the entry after it and Prev the entry
+// before it. It must not be used while the tree is being modified; for
+// latched callback-style iteration use Range or Scan.
+type Iterator[K Integer, V any] struct {
+	it *core.Iterator[K, V]
+}
+
+// Iter returns an iterator positioned before the first entry.
+func (tr *Tree[K, V]) Iter() *Iterator[K, V] {
+	return &Iterator[K, V]{it: tr.t.Iter()}
+}
+
+// Seek returns an iterator positioned just before the first entry with
+// key >= target (so Prev yields the last entry with key < target).
+func (tr *Tree[K, V]) Seek(target K) *Iterator[K, V] {
+	return &Iterator[K, V]{it: tr.t.Seek(target)}
+}
+
+// SeekLast returns an iterator positioned after the last entry, for
+// backward iteration with Prev.
+func (tr *Tree[K, V]) SeekLast() *Iterator[K, V] {
+	return &Iterator[K, V]{it: tr.t.SeekLast()}
+}
+
+// Next advances to the next entry, returning false when exhausted.
+func (it *Iterator[K, V]) Next() bool { return it.it.Next() }
+
+// Prev steps backward to the previous entry, returning false at the front.
+func (it *Iterator[K, V]) Prev() bool { return it.it.Prev() }
+
+// Key returns the current entry's key; valid after a true Next.
+func (it *Iterator[K, V]) Key() K { return it.it.Key() }
+
+// Value returns the current entry's value; valid after a true Next.
+func (it *Iterator[K, V]) Value() V { return it.it.Value() }
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator[K, V]) Valid() bool { return it.it.Valid() }
+
+// Save writes a snapshot of the tree to w (gob-encoded; V must be gob-
+// encodable). Requires external synchronization.
+func (tr *Tree[K, V]) Save(w io.Writer) error { return tr.t.Save(w) }
+
+// Load restores a tree from a snapshot written by Save. Pass a zero
+// Options to keep the snapshot's configuration; a non-zero Options
+// overrides the design, synchronization and (if set) node geometry. The
+// loaded tree is compact (leaves ~90% packed) regardless of the occupancy
+// it was saved with.
+func Load[K Integer, V any](r io.Reader, opts Options) (*Tree[K, V], error) {
+	var cfg core.Config
+	if opts != (Options{}) {
+		cfg = opts.config()
+	}
+	t, err := core.Load[K, V](r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree[K, V]{t: t}, nil
+}

@@ -1,0 +1,84 @@
+package quit_test
+
+import (
+	"bytes"
+	"testing"
+
+	quit "github.com/quittree/quit"
+)
+
+func TestPublicIteratorAndSeek(t *testing.T) {
+	idx := quit.New[int64, string](quit.Options{LeafCapacity: 8, InternalFanout: 4})
+	for i := int64(0); i < 100; i++ {
+		idx.Insert(i*2, "v")
+	}
+	it := idx.Seek(50)
+	var got []int64
+	for it.Next() && len(got) < 5 {
+		got = append(got, it.Key())
+	}
+	want := []int64{50, 52, 54, 56, 58}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seek walk: %v", got)
+		}
+	}
+	n := 0
+	for it2 := idx.Iter(); it2.Next(); n++ {
+	}
+	if n != 100 {
+		t.Fatalf("full iteration: %d", n)
+	}
+}
+
+func TestPublicFloorCeiling(t *testing.T) {
+	idx := quit.New[int64, int64](quit.Options{LeafCapacity: 8, InternalFanout: 4})
+	for i := int64(0); i < 50; i++ {
+		idx.Insert(i*10, i)
+	}
+	if k, _, ok := idx.Floor(45); !ok || k != 40 {
+		t.Fatalf("Floor(45) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := idx.Ceiling(45); !ok || k != 50 {
+		t.Fatalf("Ceiling(45) = (%d,%v)", k, ok)
+	}
+	if _, _, ok := idx.Floor(-1); ok {
+		t.Fatal("Floor below min reported ok")
+	}
+	if _, _, ok := idx.Ceiling(1000); ok {
+		t.Fatal("Ceiling above max reported ok")
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	src := quit.New[int64, string](quit.Options{LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 10000; i++ {
+		src.Insert(i, "x")
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := quit.Load[int64, string](&buf, quit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10000 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Override to a synchronized classical B+-tree on load.
+	buf.Reset()
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := quit.Load[int64, string](&buf, quit.Options{Design: quit.BPlusTree, Synchronized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 10000 {
+		t.Fatalf("override Len = %d", got2.Len())
+	}
+}

@@ -1,0 +1,208 @@
+// Package quit provides the Quick Insertion Tree (QuIT), a sortedness-aware
+// in-memory B+-tree from the EDBT 2025 paper "QuIT your B+-tree for the
+// Quick Insertion Tree", together with the fast-path baselines the paper
+// evaluates (tail-leaf, last-insertion-leaf, predicted-ordered-leaf).
+//
+// QuIT ingests near-sorted key streams through a fast path that predicts
+// the leaf the next in-order key belongs to, skipping root-to-leaf
+// traversals for the overwhelming majority of insertions while remaining a
+// correct general-purpose ordered index: scrambled inserts, point lookups,
+// range scans and deletes behave exactly like a classical B+-tree, with no
+// read penalty.
+//
+// Quick start:
+//
+//	idx := quit.New[int64, string](quit.Options{})
+//	idx.Put(42, "answer")
+//	v, ok := idx.Get(42)
+//	idx.Range(0, 100, func(k int64, v string) bool { return true })
+//
+// Choose a baseline design with Options.Design; tune node geometry with
+// Options.LeafCapacity / Options.InternalFanout; set Options.Synchronized
+// for concurrent use.
+package quit
+
+import (
+	"github.com/quittree/quit/internal/core"
+)
+
+// Integer constrains key types: QuIT's In-order Key estimatoR extrapolates
+// key density, so keys must support integer arithmetic.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// Design selects the index design (fast-path insertion policy).
+type Design uint8
+
+const (
+	// QuIT is the paper's full design: predicted-ordered-leaf fast path,
+	// IKR-guided variable splits, redistribution and stale-path reset.
+	// This is the default.
+	QuIT Design = iota
+	// BPlusTree is a classical B+-tree with no fast path.
+	BPlusTree
+	// TailBPlusTree adds the PostgreSQL-style rightmost-leaf fast path.
+	TailBPlusTree
+	// LILBPlusTree adds the last-insertion-leaf fast path (paper §3).
+	LILBPlusTree
+	// POLEBPlusTree adds the predicted-ordered-leaf fast path without
+	// QuIT's space optimizations and reset strategy (paper §4.1-4.2).
+	POLEBPlusTree
+)
+
+// String names the design as the paper does.
+func (d Design) String() string { return d.mode().String() }
+
+func (d Design) mode() core.Mode {
+	switch d {
+	case BPlusTree:
+		return core.ModeNone
+	case TailBPlusTree:
+		return core.ModeTail
+	case LILBPlusTree:
+		return core.ModeLIL
+	case POLEBPlusTree:
+		return core.ModePOLE
+	default:
+		return core.ModeQuIT
+	}
+}
+
+// Options configures a Tree. The zero value selects the paper's defaults:
+// the QuIT design, 510-entry leaves (a 4KB page of 8-byte entries), fanout
+// 256, IKR scale 1.5 and reset threshold floor(sqrt(leaf capacity)).
+type Options struct {
+	// Design selects the index design; defaults to QuIT.
+	Design Design
+	// LeafCapacity is the maximum number of entries per leaf (default 510).
+	LeafCapacity int
+	// InternalFanout is the maximum children per internal node (default 256).
+	InternalFanout int
+	// IKRScale is the In-order Key estimatoR slack (default 1.5, Eq. 2).
+	IKRScale float64
+	// ResetThreshold is the number of consecutive top-inserts that resets a
+	// stale fast path (QuIT only; default floor(sqrt(LeafCapacity))).
+	ResetThreshold int
+	// MaxFill caps how full QuIT's variable split leaves a node, in
+	// [0.5, 1]. 1 (the default) packs in-order runs completely; lower it to
+	// keep headroom for future out-of-order entries at the cost of some
+	// space (paper §5.2.1's tuning note).
+	MaxFill float64
+	// Synchronized enables internal latching (lock crabbing, paper §4.5)
+	// for concurrent use from multiple goroutines.
+	Synchronized bool
+}
+
+func (o Options) config() core.Config {
+	return core.Config{
+		Mode:           o.Design.mode(),
+		LeafCapacity:   o.LeafCapacity,
+		InternalFanout: o.InternalFanout,
+		IKRScale:       o.IKRScale,
+		ResetThreshold: o.ResetThreshold,
+		MaxFill:        o.MaxFill,
+		Synchronized:   o.Synchronized,
+	}
+}
+
+// Tree is an ordered in-memory index from K to V. Construct with New.
+//
+// Without Options.Synchronized a Tree must be confined to one goroutine;
+// with it, Put, Get, Range, Scan, Delete, Len and Stats may be used
+// concurrently.
+type Tree[K Integer, V any] struct {
+	t *core.Tree[K, V]
+}
+
+// New creates an empty Tree with the given options.
+func New[K Integer, V any](opts Options) *Tree[K, V] {
+	return &Tree[K, V]{t: core.New[K, V](opts.config())}
+}
+
+// Put inserts key with value val, overwriting and returning any previous
+// value.
+func (tr *Tree[K, V]) Put(key K, val V) (prev V, existed bool) {
+	return tr.t.Put(key, val)
+}
+
+// Insert is Put discarding the previous value.
+func (tr *Tree[K, V]) Insert(key K, val V) { tr.t.Insert(key, val) }
+
+// Get returns the value stored under key.
+func (tr *Tree[K, V]) Get(key K) (V, bool) { return tr.t.Get(key) }
+
+// Contains reports whether key is present.
+func (tr *Tree[K, V]) Contains(key K) bool { return tr.t.Contains(key) }
+
+// Delete removes key, returning its value and whether it was present.
+func (tr *Tree[K, V]) Delete(key K) (V, bool) { return tr.t.Delete(key) }
+
+// Min returns the smallest key and its value (ok=false when empty).
+func (tr *Tree[K, V]) Min() (K, V, bool) { return tr.t.Min() }
+
+// Max returns the largest key and its value (ok=false when empty).
+func (tr *Tree[K, V]) Max() (K, V, bool) { return tr.t.Max() }
+
+// Range visits entries with start <= key < end in ascending order until fn
+// returns false; it returns the number of entries visited. fn must not
+// modify the tree.
+func (tr *Tree[K, V]) Range(start, end K, fn func(K, V) bool) int {
+	return tr.t.Range(start, end, fn)
+}
+
+// Scan visits all entries in ascending order until fn returns false. fn
+// must not modify the tree.
+func (tr *Tree[K, V]) Scan(fn func(K, V) bool) { tr.t.Scan(fn) }
+
+// Len returns the number of live entries.
+func (tr *Tree[K, V]) Len() int { return tr.t.Len() }
+
+// Height returns the number of tree levels (1 = root is a leaf).
+func (tr *Tree[K, V]) Height() int { return tr.t.Height() }
+
+// BulkAppend appends strictly increasing entries whose keys exceed the
+// current maximum, packing leaves to fill (0 < fill <= 1). Requires
+// external synchronization.
+func (tr *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
+	return tr.t.BulkAppend(keys, vals, fill)
+}
+
+// BuildFromSorted bulk-loads an empty tree from strictly increasing
+// entries. Requires external synchronization.
+func (tr *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
+	return tr.t.BuildFromSorted(keys, vals, fill)
+}
+
+// AvgLeafOccupancy reports the mean leaf fill fraction in [0,1], the
+// paper's space-utilization metric.
+func (tr *Tree[K, V]) AvgLeafOccupancy() float64 { return tr.t.AvgLeafOccupancy() }
+
+// MemoryFootprint estimates the index memory in bytes under the paper's
+// page model (every node reserves a full page).
+func (tr *Tree[K, V]) MemoryFootprint() int64 { return tr.t.MemoryFootprint() }
+
+// Stats snapshots operation counters and tree shape.
+func (tr *Tree[K, V]) Stats() Stats { return Stats(tr.t.Stats()) }
+
+// ResetCounters zeroes the operation counters.
+func (tr *Tree[K, V]) ResetCounters() { tr.t.ResetCounters() }
+
+// Validate checks the tree's structural invariants (for tests and
+// debugging; must not run concurrently with writers).
+func (tr *Tree[K, V]) Validate() error { return tr.t.Validate() }
+
+// Stats mirrors the internal counters; see the field comments on
+// FastInserts/TopInserts in particular: they partition new-key insertions
+// between the sortedness-aware fast path and classical top-inserts.
+type Stats core.Stats
+
+// Inserts returns the total number of new-key insertions.
+func (s Stats) Inserts() int64 { return s.FastInserts + s.TopInserts }
+
+// FastInsertFraction returns the fraction of insertions that used the fast
+// path, in [0,1].
+func (s Stats) FastInsertFraction() float64 {
+	return core.Stats(s).FastInsertFraction()
+}

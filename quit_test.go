@@ -1,0 +1,215 @@
+package quit_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	quit "github.com/quittree/quit"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	idx := quit.New[int64, string](quit.Options{})
+	idx.Put(42, "answer")
+	idx.Put(7, "seven")
+	if v, ok := idx.Get(42); !ok || v != "answer" {
+		t.Fatalf("Get(42) = (%q,%v)", v, ok)
+	}
+	if idx.Len() != 2 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	var keys []int64
+	idx.Scan(func(k int64, _ string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 2 || keys[0] != 7 || keys[1] != 42 {
+		t.Fatalf("Scan order: %v", keys)
+	}
+	if prev, existed := idx.Put(42, "new"); !existed || prev != "answer" {
+		t.Fatalf("overwrite = (%q,%v)", prev, existed)
+	}
+	if v, ok := idx.Delete(7); !ok || v != "seven" {
+		t.Fatalf("Delete = (%q,%v)", v, ok)
+	}
+	if idx.Contains(7) {
+		t.Fatal("deleted key still present")
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDesignsBehaveIdentically(t *testing.T) {
+	designs := []quit.Design{
+		quit.QuIT, quit.BPlusTree, quit.TailBPlusTree,
+		quit.LILBPlusTree, quit.POLEBPlusTree,
+	}
+	keys := quit.GenerateWorkload(quit.WorkloadSpec{N: 20000, K: 0.1, L: 1, Seed: 4})
+	var reference []int64
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			idx := quit.New[int64, int64](quit.Options{
+				Design: d, LeafCapacity: 64, InternalFanout: 32,
+			})
+			for _, k := range keys {
+				idx.Insert(k, k*2)
+			}
+			if idx.Len() != len(keys) {
+				t.Fatalf("Len = %d", idx.Len())
+			}
+			var got []int64
+			idx.Range(0, int64(len(keys)), func(k, v int64) bool {
+				if v != k*2 {
+					t.Fatalf("value mismatch at %d", k)
+				}
+				got = append(got, k)
+				return true
+			})
+			if reference == nil {
+				reference = got
+				if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+					t.Fatal("range not sorted")
+				}
+			} else if len(got) != len(reference) {
+				t.Fatalf("designs diverge: %d vs %d entries", len(got), len(reference))
+			}
+			if err := idx.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnsignedAndNarrowKeys(t *testing.T) {
+	u := quit.New[uint32, string](quit.Options{LeafCapacity: 8, InternalFanout: 4})
+	for i := uint32(0); i < 1000; i++ {
+		u.Insert(i*2, "v")
+	}
+	if !u.Contains(500 * 2) {
+		t.Fatal("uint32 key lost")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	type MyKey int16
+	m := quit.New[MyKey, int](quit.Options{LeafCapacity: 8, InternalFanout: 4})
+	for i := MyKey(-300); i < 300; i++ {
+		m.Insert(i, int(i))
+	}
+	if v, ok := m.Get(-250); !ok || v != -250 {
+		t.Fatalf("derived key type Get = (%d,%v)", v, ok)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsExposeFastPathBehavior(t *testing.T) {
+	idx := quit.New[int64, int64](quit.Options{LeafCapacity: 64, InternalFanout: 32})
+	for i := int64(0); i < 50000; i++ {
+		idx.Insert(i, i)
+	}
+	st := idx.Stats()
+	if st.Inserts() != 50000 {
+		t.Fatalf("Inserts = %d", st.Inserts())
+	}
+	if st.FastInsertFraction() < 0.999 {
+		t.Fatalf("sorted ingestion fast fraction = %.4f", st.FastInsertFraction())
+	}
+	if occ := idx.AvgLeafOccupancy(); occ < 0.9 {
+		t.Fatalf("occupancy = %.2f", occ)
+	}
+	if idx.MemoryFootprint() <= 0 || idx.Height() < 2 {
+		t.Fatal("shape accessors broken")
+	}
+	idx.ResetCounters()
+	if idx.Stats().Inserts() != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+}
+
+func TestSynchronizedTree(t *testing.T) {
+	idx := quit.New[int64, int64](quit.Options{
+		LeafCapacity: 64, InternalFanout: 32, Synchronized: true,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g) * 10000
+			for i := int64(0); i < 10000; i++ {
+				idx.Insert(base+i, base+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if idx.Len() != 40000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadAPI(t *testing.T) {
+	idx := quit.New[int64, int64](quit.Options{LeafCapacity: 16, InternalFanout: 8})
+	keys := make([]int64, 5000)
+	vals := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i) * 10
+	}
+	if err := idx.BuildFromSorted(keys[:4000], vals[:4000], 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.BulkAppend(keys[4000:], vals[4000:], 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 5000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	for _, k := range []int64{0, 3999, 4000, 4999} {
+		if v, ok := idx.Get(k); !ok || v != k*10 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	keys := quit.GenerateWorkload(quit.WorkloadSpec{N: 10000, K: 0.05, L: 0.5, Seed: 1})
+	m := quit.MeasureSortedness(keys)
+	if m.N != 10000 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.KFraction() < 0.01 || m.KFraction() > 0.12 {
+		t.Fatalf("K fraction = %.3f", m.KFraction())
+	}
+	if m.LFraction() > 0.51 {
+		t.Fatalf("L fraction = %.3f", m.LFraction())
+	}
+	sorted := quit.MeasureSortedness([]int64{1, 2, 3})
+	if sorted.K != 0 || sorted.L != 0 || sorted.AdjacentInversions != 0 {
+		t.Fatalf("sorted metrics: %+v", sorted)
+	}
+}
+
+func ExampleNew() {
+	idx := quit.New[int64, string](quit.Options{})
+	idx.Put(1, "one")
+	idx.Put(2, "two")
+	idx.Put(3, "three")
+	idx.Range(1, 3, func(k int64, v string) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 1 one
+	// 2 two
+}

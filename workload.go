@@ -1,0 +1,69 @@
+package quit
+
+import (
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/sortedness"
+)
+
+// WorkloadSpec describes a BoDS workload (Benchmark on Data Sortedness):
+// a permutation of 0..N-1 whose sortedness is controlled by the K-L metric
+// the paper evaluates under.
+type WorkloadSpec struct {
+	// N is the number of entries.
+	N int
+	// K is the fraction of out-of-order entries in [0,1].
+	K float64
+	// L is the maximum displacement of an out-of-order entry as a fraction
+	// of N in (0,1].
+	L float64
+	// Alpha and Beta skew where the out-of-order entries land in the stream
+	// (Beta distribution; 1,1 = uniform, the default).
+	Alpha, Beta float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// GenerateWorkload produces the key stream for spec. Keys are the integers
+// 0..N-1, each exactly once.
+func GenerateWorkload(spec WorkloadSpec) []int64 {
+	return bods.Generate(bods.Spec{
+		N: spec.N, K: spec.K, L: spec.L,
+		Alpha: spec.Alpha, Beta: spec.Beta, Seed: spec.Seed,
+	})
+}
+
+// Sortedness summarizes how far a key stream deviates from sorted order
+// under the K-L metric.
+type Sortedness struct {
+	// N is the stream length.
+	N int
+	// K is the number of out-of-order entries (N minus the longest
+	// non-decreasing subsequence).
+	K int
+	// L is the maximum displacement of an entry from its sorted position.
+	L int
+	// AdjacentInversions counts entries smaller than their predecessor.
+	AdjacentInversions int
+}
+
+// KFraction returns K/N.
+func (s Sortedness) KFraction() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.K) / float64(s.N)
+}
+
+// LFraction returns L/N.
+func (s Sortedness) LFraction() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.L) / float64(s.N)
+}
+
+// MeasureSortedness computes the K-L metrics of a key stream.
+func MeasureSortedness(stream []int64) Sortedness {
+	m := sortedness.Measure(stream)
+	return Sortedness{N: m.N, K: m.K, L: m.L, AdjacentInversions: m.AdjacentInversions}
+}
