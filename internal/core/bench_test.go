@@ -76,6 +76,59 @@ func BenchmarkGet(b *testing.B) {
 	}
 }
 
+// BenchmarkGetParallel measures point-lookup throughput on a synchronized
+// tree with 1/2/4/8 reader goroutines while one background writer keeps
+// appending: the scenario the optimistic read path exists for. Readers
+// share b.N lookups so ns/op stays comparable across goroutine counts.
+func BenchmarkGetParallel(b *testing.B) {
+	const n = 1 << 16
+	tr := New[int64, int64](Config{Mode: ModeQuIT, Synchronized: true})
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	for _, readers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			stop := make(chan struct{})
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				k := int64(n)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tr.Put(k, k)
+					k++
+				}
+			}()
+			b.ResetTimer()
+			b.SetParallelism(1)
+			perG := b.N / readers
+			if perG < 1 {
+				perG = 1
+			}
+			done := make(chan struct{}, readers)
+			for g := 0; g < readers; g++ {
+				go func(seed int64) {
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perG; i++ {
+						tr.Get(int64(rng.Intn(n)))
+					}
+					done <- struct{}{}
+				}(int64(g + 7))
+			}
+			for g := 0; g < readers; g++ {
+				<-done
+			}
+			b.StopTimer()
+			close(stop)
+			<-writerDone
+		})
+	}
+}
+
 func BenchmarkFloorCeiling(b *testing.B) {
 	const n = 1 << 20
 	tr := New[int64, int64](Config{Mode: ModeQuIT})

@@ -53,13 +53,13 @@ func (t *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
 
 	pos := 0
 	// Top up the current tail leaf first.
-	if room := target - len(t.tail.keys); room > 0 {
-		n := min(room, len(keys))
-		t.tail.keys = append(t.tail.keys, keys[:n]...)
-		t.tail.vals = append(t.tail.vals, vals[:n]...)
+	if tail := t.tail.Load(); target-len(tail.keys) > 0 {
+		n := min(target-len(tail.keys), len(keys))
+		tail.keys = append(tail.keys, keys[:n]...)
+		tail.vals = append(tail.vals, vals[:n]...)
 		pos = n
-		if t.tail == t.fp.leaf {
-			t.fp.size = len(t.tail.keys)
+		if tail == t.fp.leaf {
+			t.fp.size = len(tail.keys)
 		}
 	}
 	// Then chain fresh leaves onto the right spine.
@@ -71,9 +71,9 @@ func (t *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
 		pos += n
 		path := t.rightSpine()
 		tail := path[len(path)-1]
-		leaf.prev = tail
-		tail.next = leaf
-		t.tail = leaf
+		leaf.prev.Store(tail)
+		tail.next.Store(leaf)
+		t.tail.Store(leaf)
 		t.propagateSplit(path, leaf.keys[0], leaf)
 	}
 	t.size.Add(int64(len(keys)))
@@ -85,8 +85,8 @@ func (t *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
 
 // rightSpine returns the root..tail path.
 func (t *Tree[K, V]) rightSpine() []*node[K, V] {
-	path := make([]*node[K, V], 0, t.height)
-	n := t.root
+	path := make([]*node[K, V], 0, t.height.Load())
+	n := t.root.Load()
 	for {
 		path = append(path, n)
 		if n.isLeaf() {
@@ -129,7 +129,7 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 	// Build the leaf level. The pre-existing empty root leaf is reused as
 	// the first leaf.
 	leaves := make([]*node[K, V], 0, len(keys)/target+1)
-	first := t.head
+	first := t.head.Load()
 	first.keys = first.keys[:0]
 	first.vals = first.vals[:0]
 	for pos := 0; pos < len(keys); {
@@ -140,15 +140,16 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 		} else {
 			leaf = t.newLeaf()
 			prev := leaves[len(leaves)-1]
-			prev.next = leaf
-			leaf.prev = prev
+			prev.next.Store(leaf)
+			leaf.prev.Store(prev)
 		}
 		leaf.keys = append(leaf.keys, keys[pos:pos+n]...)
 		leaf.vals = append(leaf.vals, vals[pos:pos+n]...)
 		leaves = append(leaves, leaf)
 		pos += n
 	}
-	t.head, t.tail = leaves[0], leaves[len(leaves)-1]
+	t.head.Store(leaves[0])
+	t.tail.Store(leaves[len(leaves)-1])
 
 	// Build internal levels bottom-up until one node remains.
 	level := leaves
@@ -173,8 +174,8 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 		level = next
 		height++
 	}
-	t.root = level[0]
-	t.height = height
+	t.root.Store(level[0])
+	t.height.Store(int32(height))
 	t.size.Store(int64(len(keys)))
 	if t.cfg.Mode != ModeNone {
 		t.resetFPToTail()

@@ -19,8 +19,8 @@ type Shape struct {
 // DescribeShape walks the tree and summarizes its structure. Not safe to
 // run concurrently with writers.
 func (t *Tree[K, V]) DescribeShape() Shape {
-	s := Shape{Height: t.height, MinLeafEntries: int(^uint(0) >> 1)}
-	level := []*node[K, V]{t.root}
+	s := Shape{Height: t.Height(), MinLeafEntries: int(^uint(0) >> 1)}
+	level := []*node[K, V]{t.root.Load()}
 	for len(level) > 0 {
 		s.NodesPerLevel = append(s.NodesPerLevel, len(level))
 		var next []*node[K, V]
@@ -34,7 +34,7 @@ func (t *Tree[K, V]) DescribeShape() Shape {
 	}
 	s.LeafOccupancy = make([]int, 10)
 	entries := 0
-	for n := t.head; n != nil; n = n.next {
+	for n := t.head.Load(); n != nil; n = n.next.Load() {
 		s.LeafCount++
 		entries += len(n.keys)
 		if len(n.keys) < s.MinLeafEntries {

@@ -6,9 +6,72 @@ package core
 // leaf is rebalanced lazily — deletions from pole never trigger an eager
 // borrow/merge while it still holds entries.
 //
-// In synchronized mode Delete write-latches the whole descent path: deletes
-// are rare in the paper's workloads, so simplicity wins over crabbing here.
+// In synchronized mode the common case (the leaf stays at or above its
+// minimum, or is exempt) descends optimistically and write-latches only the
+// leaf; deletions that need a rebalance fall back to a descent that
+// write-latches the whole path — deletes are rare in the paper's workloads,
+// so simplicity wins over crabbing there.
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	if v, ok, handled := t.tryOptimisticDelete(key); handled {
+		return v, ok
+	}
+	return t.pessimisticDelete(key)
+}
+
+// tryOptimisticDelete handles misses and removals that cannot underflow the
+// leaf. handled is false when the removal would trigger a rebalance (or a
+// QuIT lazy-pole decision says otherwise after latching); version conflicts
+// retry the descent, counted in Stats.OLCRestarts.
+func (t *Tree[K, V]) tryOptimisticDelete(key K) (val V, existed, handled bool) {
+	for {
+		leaf, v := t.descendToLeaf(key)
+		i, found := leaf.find(key)
+		if !found {
+			if !t.readUnlatch(leaf, v) {
+				t.olcRestart()
+				continue
+			}
+			return val, false, true
+		}
+		if !t.upgradeLatch(leaf, v) {
+			t.olcRestart()
+			continue
+		}
+		// The latch is held: state is now stable and the version check
+		// proved it unchanged since find, so i is still key's slot.
+		isRoot := t.root.Load() == leaf
+
+		t.lockMeta()
+		isFP := t.cfg.Mode != ModeNone && leaf == t.fp.leaf
+		isPrev := !isFP && t.fp.prevValid && leaf == t.fp.prev
+		// Lazy pole rule: pre-removal len > 1 means the pole still holds
+		// entries afterwards, so no rebalance regardless of occupancy.
+		lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && len(leaf.keys) > 1
+		healthy := len(leaf.keys) > t.minLeaf // post-removal >= minLeaf
+		if !healthy && !lazy && !isRoot {
+			t.unlockMeta()
+			t.writeUnlatch(leaf)
+			return val, false, false
+		}
+		if isFP {
+			t.fp.size--
+		} else if isPrev {
+			t.fp.prevSize--
+		}
+		t.unlockMeta()
+
+		val = leaf.vals[i]
+		leaf.removeAt(i)
+		t.c.deletes.Add(1)
+		t.size.Add(-1)
+		t.writeUnlatch(leaf)
+		return val, true, true
+	}
+}
+
+// pessimisticDelete write-latches the full descent path, removes key, and
+// rebalances upward as needed.
+func (t *Tree[K, V]) pessimisticDelete(key K) (V, bool) {
 	var zero V
 	path, _, _, _ := t.descendForWrite(key, true)
 	leaf := path[len(path)-1].n
@@ -73,16 +136,17 @@ func (t *Tree[K, V]) rebalance(path []pathEntry[K, V]) {
 	}
 
 	// Root collapse: an internal root with a single child loses a level.
+	// The child is on path (write-latched), so the swap is atomic for
+	// optimistic readers: readRoot re-checks the pointer inside its section.
 	root := path[0].n
 	for !root.isLeaf() && len(root.children) == 1 {
 		child := root.children[0]
 		t.nInternal.Add(-1)
-		t.lockMeta()
-		t.root = child
-		t.height--
-		t.unlockMeta()
-		// The old root stays latched (it is in path and will be unlocked
-		// by the caller); nobody can reach it anymore.
+		t.root.Store(child)
+		t.height.Add(-1)
+		// The old root stays latched (it is in path and will be unlocked by
+		// the caller); mark it so readers holding a stale pointer restart.
+		t.markObsolete(root)
 		root = child
 		touchedFP = true
 	}
@@ -103,83 +167,80 @@ func (t *Tree[K, V]) rebalanceLeaf(n, parent *node[K, V], idx int) bool {
 	// Try borrowing from the right sibling.
 	if idx+1 < len(parent.children) {
 		sib := parent.children[idx+1]
-		t.wlock(sib)
+		t.writeLatch(sib)
 		if len(sib.keys) > t.minLeaf {
 			n.keys = append(n.keys, sib.keys[0])
 			n.vals = append(n.vals, sib.vals[0])
 			sib.removeAt(0)
 			parent.keys[idx] = sib.keys[0]
-			t.wunlock(sib)
+			t.writeUnlatch(sib)
 			t.c.borrows.Add(1)
 			return false
 		}
-		t.wunlock(sib)
+		t.writeUnlatch(sib)
 	}
 	// Try borrowing from the left sibling. Lock order: left before n, so
 	// release and reacquire; the subtree is writer-quiescent because the
 	// whole path is latched.
 	if idx > 0 {
 		sib := parent.children[idx-1]
-		if t.synced {
-			t.wunlock(n)
-			t.wlock(sib)
-			t.wlock(n)
-		}
+		t.writeUnlatch(n)
+		t.writeLatch(sib)
+		t.writeLatch(n)
 		if len(sib.keys) > t.minLeaf {
 			last := len(sib.keys) - 1
 			k, v := sib.keys[last], sib.vals[last]
 			sib.removeAt(last)
 			n.insertAt(0, k, v)
 			parent.keys[idx-1] = k
-			if t.synced {
-				t.wunlock(sib)
-			}
+			t.writeUnlatch(sib)
 			t.c.borrows.Add(1)
 			return false
 		}
-		if t.synced {
-			t.wunlock(sib)
-		}
+		t.writeUnlatch(sib)
 	}
 	// Merge. Prefer absorbing the right sibling into n; otherwise merge n
 	// into its left sibling.
 	if idx+1 < len(parent.children) {
 		sib := parent.children[idx+1]
-		t.wlock(sib)
+		t.writeLatch(sib)
 		t.mergeLeaves(n, sib)
 		parent.removeChildAt(idx)
-		t.wunlock(sib)
+		t.markObsolete(sib)
+		t.writeUnlatch(sib)
 		return true
 	}
 	sib := parent.children[idx-1]
-	if t.synced {
-		t.wunlock(n)
-		t.wlock(sib)
-		t.wlock(n)
-	}
+	t.writeUnlatch(n)
+	t.writeLatch(sib)
+	t.writeLatch(n)
 	t.mergeLeaves(sib, n)
 	parent.removeChildAt(idx - 1)
-	if t.synced {
-		t.wunlock(sib)
-	}
+	// n was absorbed; it stays latched until the caller unwinds path, and
+	// the obsolete tag survives the unlatch.
+	t.markObsolete(n)
+	t.writeUnlatch(sib)
 	return true
 }
 
 // mergeLeaves appends right's entries into left and unlinks right from the
-// leaf chain. Caller holds both latches in synchronized mode.
+// leaf chain. Caller holds both latches in synchronized mode and marks
+// right obsolete. The slices are truncated, never nil-ed: an optimistic
+// reader still inside right must only ever observe the original backing
+// arrays with a shorter length, so its reads stay in bounds until version
+// validation rejects them.
 func (t *Tree[K, V]) mergeLeaves(left, right *node[K, V]) {
 	left.keys = append(left.keys, right.keys...)
 	left.vals = append(left.vals, right.vals...)
-	t.lockMeta()
-	left.next = right.next
-	if right.next != nil {
-		right.next.prev = left
+	next := right.next.Load()
+	left.next.Store(next)
+	if next != nil {
+		next.prev.Store(left)
 	} else {
-		t.tail = left
+		t.tail.Store(left)
 	}
-	t.unlockMeta()
-	right.next, right.prev = nil, nil
-	right.keys, right.vals = nil, nil
+	right.keys = right.keys[:0]
+	right.vals = right.vals[:0]
 	t.nLeaves.Add(-1)
 	t.c.merges.Add(1)
 }
@@ -190,7 +251,7 @@ func (t *Tree[K, V]) rebalanceInternal(n, parent *node[K, V], idx int) bool {
 	// Rotate from the right sibling.
 	if idx+1 < len(parent.children) {
 		sib := parent.children[idx+1]
-		t.wlock(sib)
+		t.writeLatch(sib)
 		if len(sib.children) > t.minChildren {
 			n.keys = append(n.keys, parent.keys[idx])
 			n.children = append(n.children, sib.children[0])
@@ -200,17 +261,17 @@ func (t *Tree[K, V]) rebalanceInternal(n, parent *node[K, V], idx int) bool {
 			copy(sib.children, sib.children[1:])
 			sib.children[len(sib.children)-1] = nil
 			sib.children = sib.children[:len(sib.children)-1]
-			t.wunlock(sib)
+			t.writeUnlatch(sib)
 			t.c.borrows.Add(1)
 			return false
 		}
-		t.wunlock(sib)
+		t.writeUnlatch(sib)
 	}
 	// Rotate from the left sibling (internal nodes are only reached through
 	// the latched parent, so direct locking is deadlock-free).
 	if idx > 0 {
 		sib := parent.children[idx-1]
-		t.wlock(sib)
+		t.writeLatch(sib)
 		if len(sib.children) > t.minChildren {
 			lastK := len(sib.keys) - 1
 			lastC := len(sib.children) - 1
@@ -224,34 +285,41 @@ func (t *Tree[K, V]) rebalanceInternal(n, parent *node[K, V], idx int) bool {
 			sib.keys = sib.keys[:lastK]
 			sib.children[lastC] = nil
 			sib.children = sib.children[:lastC]
-			t.wunlock(sib)
+			t.writeUnlatch(sib)
 			t.c.borrows.Add(1)
 			return false
 		}
-		t.wunlock(sib)
+		t.writeUnlatch(sib)
 	}
-	// Merge with a sibling, pulling the separating pivot down.
+	// Merge with a sibling, pulling the separating pivot down. The absorbed
+	// node's slices are truncated (not nil-ed) for the same torn-reader
+	// reason as mergeLeaves; note children stays non-nil so a stale reader
+	// never misclassifies the node as a leaf.
 	if idx+1 < len(parent.children) {
 		sib := parent.children[idx+1]
-		t.wlock(sib)
+		t.writeLatch(sib)
 		n.keys = append(n.keys, parent.keys[idx])
 		n.keys = append(n.keys, sib.keys...)
 		n.children = append(n.children, sib.children...)
-		sib.keys, sib.children = nil, nil
+		sib.keys = sib.keys[:0]
+		sib.children = sib.children[:0]
 		parent.removeChildAt(idx)
-		t.wunlock(sib)
+		t.markObsolete(sib)
+		t.writeUnlatch(sib)
 		t.nInternal.Add(-1)
 		t.c.merges.Add(1)
 		return true
 	}
 	sib := parent.children[idx-1]
-	t.wlock(sib)
+	t.writeLatch(sib)
 	sib.keys = append(sib.keys, parent.keys[idx-1])
 	sib.keys = append(sib.keys, n.keys...)
 	sib.children = append(sib.children, n.children...)
-	n.keys, n.children = nil, nil
+	n.keys = n.keys[:0]
+	n.children = n.children[:0]
 	parent.removeChildAt(idx - 1)
-	t.wunlock(sib)
+	t.markObsolete(n)
+	t.writeUnlatch(sib)
 	t.nInternal.Add(-1)
 	t.c.merges.Add(1)
 	return true

@@ -27,7 +27,7 @@ func TestDeleteBorrowFromRightLeaf(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := tr.head.keys; len(got) != 2 || got[0] != 10 || got[1] != 20 {
+	if got := tr.head.Load().keys; len(got) != 2 || got[0] != 10 || got[1] != 20 {
 		t.Fatalf("head leaf after right borrow: %v", got)
 	}
 }
@@ -171,8 +171,8 @@ func TestUpdateSeparatorPanicsWithoutSeparator(t *testing.T) {
 		}
 	}()
 	// Path to the head leaf, whose descent never turns right for key 0.
-	path := []*node[int64, int64]{tr.root}
-	n := tr.root
+	path := []*node[int64, int64]{tr.root.Load()}
+	n := tr.root.Load()
 	for !n.isLeaf() {
 		n = n.children[0]
 		path = append(path, n)

@@ -49,7 +49,7 @@ func (t *Tree[K, V]) fpPathValid() bool {
 	if fp.leaf == nil || len(fp.path) == 0 {
 		return false
 	}
-	if fp.path[0] != t.root || fp.path[len(fp.path)-1] != fp.leaf {
+	if fp.path[0] != t.root.Load() || fp.path[len(fp.path)-1] != fp.leaf {
 		return false
 	}
 	if len(fp.leaf.keys) == 0 {
@@ -119,7 +119,7 @@ func (t *Tree[K, V]) afterTopInsert(target *node[K, V], key K, lo, hi bound[K], 
 	// that IKR no longer judges an outlier moves the fast path forward.
 	// This is also how pole follows the in-order frontier when it crosses
 	// into a pre-existing leaf without splitting.
-	if target.prev == fp.leaf && fp.prevValid && fp.prevSize > 0 && fp.size > 0 {
+	if target.prev.Load() == fp.leaf && fp.prevValid && fp.prevSize > 0 && fp.size > 0 {
 		x := t.est.Bound(float64(fp.prevMin), float64(fp.min), fp.prevSize, fp.size)
 		if t.cfg.UnconditionalCatchUp || float64(key) <= x {
 			oldPole := fp.leaf
@@ -150,10 +150,10 @@ func (t *Tree[K, V]) afterTopInsert(target *node[K, V], key K, lo, hi bound[K], 
 	t.setFP(target, lo, hi, path)
 	fp.fails = 0
 	fp.prevValid = false
-	if !t.synced && target.prev != nil && len(target.prev.keys) > 0 {
-		fp.prev = target.prev
-		fp.prevMin = target.prev.keys[0]
-		fp.prevSize = len(target.prev.keys)
+	if prev := target.prev.Load(); !t.synced && prev != nil && len(prev.keys) > 0 {
+		fp.prev = prev
+		fp.prevMin = prev.keys[0]
+		fp.prevSize = len(prev.keys)
 		fp.prevValid = true
 	}
 	t.c.resets.Add(1)
@@ -170,7 +170,7 @@ func (t *Tree[K, V]) resetFPToTail() {
 	fp.prevValid = false
 	fp.prev = nil
 	fp.fails = 0
-	leaf := t.tail
+	leaf := t.tail.Load()
 	fp.leaf = leaf
 	fp.hasMax = false
 	fp.size = len(leaf.keys)

@@ -13,7 +13,7 @@ func TestTailFastPathTracksRightmostLeaf(t *testing.T) {
 	for i := int64(0); i < 100; i++ {
 		tr.Put(i, i)
 	}
-	if tr.fp.leaf != tr.tail {
+	if tr.fp.leaf != tr.tail.Load() {
 		t.Fatal("tail fast path does not point at the tail leaf")
 	}
 	if tr.fp.hasMax {
@@ -292,7 +292,7 @@ func TestFPPathValidation(t *testing.T) {
 	// The cached path may legitimately go stale (internal splits during
 	// propagation restructure ancestors); fastSplitPath must then repair it.
 	repaired := tr.fastSplitPath(tr.fp.leaf.keys[0])
-	if repaired == nil || repaired[len(repaired)-1] != tr.fp.leaf || repaired[0] != tr.root {
+	if repaired == nil || repaired[len(repaired)-1] != tr.fp.leaf || repaired[0] != tr.root.Load() {
 		t.Fatal("fastSplitPath did not produce a valid path")
 	}
 	if !tr.fpPathValid() {
@@ -305,7 +305,7 @@ func TestFPPathValidation(t *testing.T) {
 	}
 	if tr.fpPathValid() {
 		p := tr.fp.path
-		if p[0] != tr.root || p[len(p)-1] != tr.fp.leaf {
+		if p[0] != tr.root.Load() || p[len(p)-1] != tr.fp.leaf {
 			t.Fatal("fpPathValid accepted a wrong path")
 		}
 	}
@@ -351,12 +351,12 @@ func TestVariableSplitKeepsLeafAtLeastHalfFullOnSorted(t *testing.T) {
 	for i := int64(0); i < 4096; i++ {
 		tr.Put(i, i)
 	}
-	n := tr.head
-	for n != nil && n.next != nil { // all but the tail
+	n := tr.head.Load()
+	for n != nil && n.next.Load() != nil { // all but the tail
 		if len(n.keys) < 8 {
 			t.Fatalf("leaf with %d < 8 entries on fully sorted ingestion", len(n.keys))
 		}
-		n = n.next
+		n = n.next.Load()
 	}
 	if occ := tr.AvgLeafOccupancy(); occ < 0.9 {
 		t.Fatalf("occupancy %.2f, want >= 0.9", occ)

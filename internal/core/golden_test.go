@@ -15,7 +15,7 @@ func goldenConfig(mode Mode) Config {
 
 func leafLayout(t *Tree[int64, int64]) [][]int64 {
 	var out [][]int64
-	for n := t.head; n != nil; n = n.next {
+	for n := t.head.Load(); n != nil; n = n.next.Load() {
 		out = append(out, append([]int64(nil), n.keys...))
 	}
 	return out
@@ -49,7 +49,7 @@ func TestGoldenQuITSortedTrace(t *testing.T) {
 	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
 		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
 	}
-	if tr.fp.leaf != tr.tail {
+	if tr.fp.leaf != tr.tail.Load() {
 		t.Fatal("pole is not the tail after sorted ingestion")
 	}
 	if !tr.fp.prevValid || tr.fp.prevMin != 11 || tr.fp.prevSize != 7 {

@@ -29,36 +29,40 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 		t.unlockMeta()
 		return prev, false, false
 	}
-	t.unlockMeta()
-
-	t.wlock(leaf)
-	t.lockMeta()
-	if t.fp.leaf != leaf || !t.fpContains(key) {
-		// A concurrent operation moved the fast path between the snapshot
-		// and the leaf latch; retry through the top path.
+	if !t.tryWriteLatch(leaf) {
+		// Contended leaf. Blocking on it while holding meta would invert
+		// the lock order, so release meta, latch pessimistically, and
+		// revalidate the metadata snapshot latch-first.
 		t.unlockMeta()
-		t.wunlock(leaf)
-		return prev, false, false
+		t.writeLatch(leaf)
+		t.lockMeta()
+		if t.fp.leaf != leaf || !t.fpContains(key) {
+			// A concurrent operation moved the fast path between the
+			// snapshot and the leaf latch; retry through the top path.
+			t.unlockMeta()
+			t.writeUnlatch(leaf)
+			return prev, false, false
+		}
 	}
 
-	if i, ok := leaf.find(key); ok {
+	i, ok := leaf.find(key)
+	if ok {
 		prev = leaf.vals[i]
 		leaf.vals[i] = val
 		t.c.updates.Add(1)
 		t.unlockMeta()
-		t.wunlock(leaf)
+		t.writeUnlatch(leaf)
 		return prev, true, true
 	}
 
 	if len(leaf.keys) < t.cfg.LeafCapacity {
-		i, _ := leaf.find(key)
 		leaf.insertAt(i, key, val)
 		t.fp.size++
 		t.fp.fails = 0
 		t.c.fastInserts.Add(1)
 		t.size.Add(1)
 		t.unlockMeta()
-		t.wunlock(leaf)
+		t.writeUnlatch(leaf)
 		return prev, false, true
 	}
 
@@ -68,28 +72,24 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 	// place through the cached fp_path, avoiding the traversal entirely.
 	if t.synced {
 		t.unlockMeta()
-		t.wunlock(leaf)
+		t.writeUnlatch(leaf)
 		return prev, false, false
 	}
 	path := t.fastSplitPath(key)
-	t.unlockMeta()
-	t.wunlock(leaf)
 	if path == nil {
 		return prev, false, false
 	}
 
 	lo, hi := t.leafBoundsFromFP()
 	target, _, _ := t.splitForInsert(path, key, lo, hi)
-	i, _ := target.find(key)
-	target.insertAt(i, key, val)
-	t.lockMeta()
+	ti, _ := target.find(key)
+	target.insertAt(ti, key, val)
 	if target == t.fp.leaf {
 		t.fp.size++
 	} else if target == t.fp.prev && t.fp.prevValid {
 		t.fp.prevSize++
 	}
 	t.fp.fails = 0
-	t.unlockMeta()
 	t.c.fastInserts.Add(1)
 	t.size.Add(1)
 	return prev, false, true
@@ -110,14 +110,14 @@ func (t *Tree[K, V]) leafBoundsFromFP() (bound[K], bound[K]) {
 
 // fastSplitPath returns a root-to-leaf path for the fast-path leaf, using
 // the cached fp_path when it is still exact and re-descending (and
-// refreshing the cache) otherwise. Unsynchronized trees only. Caller holds
-// meta conceptually (no-op). Returns nil if the fast path is unusable.
+// refreshing the cache) otherwise. Unsynchronized trees only. Returns nil
+// if the fast path is unusable.
 func (t *Tree[K, V]) fastSplitPath(key K) []*node[K, V] {
 	if t.fpPathValid() {
 		return t.fp.path
 	}
-	path := make([]*node[K, V], 0, t.height)
-	n := t.root
+	path := make([]*node[K, V], 0, t.height.Load())
+	n := t.root.Load()
 	for {
 		path = append(path, n)
 		if n.isLeaf() {
@@ -140,6 +140,105 @@ type pathEntry[K Integer, V any] struct {
 	idx int // child index taken (internal nodes only)
 }
 
+// topInsert performs a classical root-to-leaf insertion. The common case —
+// the leaf has room — descends optimistically and write-latches only the
+// leaf; splits (and pole-region inserts that may redistribute) fall back to
+// a pessimistic crabbing descent.
+func (t *Tree[K, V]) topInsert(key K, val V) (prev V, existed bool) {
+	holdAll := false
+	if t.synced && (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) {
+		// A top-insert that lands in pole may trigger a QuIT
+		// redistribution, which rewrites the separator pivot between
+		// pole_prev and pole; that pivot can live arbitrarily high, so the
+		// whole path stays latched.
+		t.lockMeta()
+		holdAll = t.fp.leaf != nil && t.fpContains(key)
+		t.unlockMeta()
+	}
+	if !holdAll {
+		if p, ex, handled := t.tryOptimisticInsert(key, val); handled {
+			return p, ex
+		}
+	}
+	return t.pessimisticInsert(key, val, holdAll)
+}
+
+// tryOptimisticInsert descends without latches and upgrades only the leaf
+// to a write latch. handled is false when the leaf is full (a split needs
+// the pessimistic descent). Version conflicts retry the descent, counted in
+// Stats.OLCRestarts; the upgrade succeeding proves the leaf's key range was
+// stable since the parent routed to it, so the insert lands correctly.
+func (t *Tree[K, V]) tryOptimisticInsert(key K, val V) (prev V, existed, handled bool) {
+	for {
+		n, v := t.readRoot()
+		var lo, hi bound[K]
+		path := make([]*node[K, V], 0, 8)
+		path = append(path, n)
+		bad := false
+		for !n.isLeaf() {
+			idx := n.route(key)
+			l, h := lo, hi
+			if idx > 0 {
+				l = closed(n.keys[idx-1])
+			}
+			if idx < len(n.keys) {
+				h = closed(n.keys[idx])
+			}
+			c, cok := n.childAt(idx)
+			if !cok {
+				t.readAbort(n)
+				bad = true
+				break
+			}
+			cv, ok := t.readLatch(c)
+			if !ok {
+				t.readAbort(n)
+				bad = true
+				break
+			}
+			if !t.readUnlatch(n, v) {
+				t.readAbort(c)
+				bad = true
+				break
+			}
+			lo, hi = l, h
+			path = append(path, c)
+			n, v = c, cv
+		}
+		if bad {
+			t.olcRestart()
+			continue
+		}
+		leaf := n
+		if len(leaf.keys) >= t.cfg.LeafCapacity {
+			// Full: a split is needed; hand over to the pessimistic path.
+			if !t.readUnlatch(leaf, v) {
+				t.olcRestart()
+				continue
+			}
+			return prev, false, false
+		}
+		i, found := leaf.find(key)
+		if !t.upgradeLatch(leaf, v) {
+			t.olcRestart()
+			continue
+		}
+		if found {
+			prev = leaf.vals[i]
+			leaf.vals[i] = val
+			t.c.updates.Add(1)
+			t.writeUnlatch(leaf)
+			return prev, true, true
+		}
+		leaf.insertAt(i, key, val)
+		t.c.topInserts.Add(1)
+		t.size.Add(1)
+		t.afterTopInsert(leaf, key, lo, hi, path)
+		t.writeUnlatch(leaf)
+		return prev, false, true
+	}
+}
+
 // descendForWrite walks from the root to the leaf for key, recording the
 // path and the leaf's routing bounds. In synchronized mode it lock-crabs:
 // ancestors are released as soon as a child is guaranteed not to split;
@@ -147,7 +246,7 @@ type pathEntry[K Integer, V any] struct {
 // when a QuIT redistribution may rewrite a separator pivot high up).
 // lockedFrom is the index of the shallowest still-latched path entry.
 func (t *Tree[K, V]) descendForWrite(key K, holdAll bool) (path []pathEntry[K, V], lockedFrom int, lo, hi bound[K]) {
-	r := t.lockedRoot()
+	r := t.writeLockedRoot()
 	path = make([]pathEntry[K, V], 0, 8)
 	path = append(path, pathEntry[K, V]{n: r})
 	n := r
@@ -161,10 +260,10 @@ func (t *Tree[K, V]) descendForWrite(key K, holdAll bool) (path []pathEntry[K, V
 			hi = closed(n.keys[idx])
 		}
 		c := n.children[idx]
-		t.wlock(c)
+		t.writeLatch(c)
 		if !holdAll && t.insertSafe(c) {
 			for i := lockedFrom; i < len(path); i++ {
-				t.wunlock(path[i].n)
+				t.writeUnlatch(path[i].n)
 			}
 			lockedFrom = len(path)
 		}
@@ -183,28 +282,10 @@ func (t *Tree[K, V]) insertSafe(n *node[K, V]) bool {
 	return len(n.children) < t.cfg.InternalFanout
 }
 
-func (t *Tree[K, V]) unlockPathFrom(path []pathEntry[K, V], lockedFrom int) {
-	if !t.synced {
-		return
-	}
-	for i := lockedFrom; i < len(path); i++ {
-		t.wunlock(path[i].n)
-	}
-}
-
-// topInsert performs a classical root-to-leaf insertion, splitting (or
-// redistributing) as needed, then lets the mode's fast-path policy react.
-func (t *Tree[K, V]) topInsert(key K, val V) (prev V, existed bool) {
-	holdAll := false
-	if t.synced && (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) {
-		// A top-insert that lands in pole may trigger a QuIT
-		// redistribution, which rewrites the separator pivot between
-		// pole_prev and pole; that pivot can live arbitrarily high, so the
-		// whole path stays latched.
-		t.lockMeta()
-		holdAll = t.fp.leaf != nil && t.fpContains(key)
-		t.unlockMeta()
-	}
+// pessimisticInsert is the latched-descent top-insert: it handles splits
+// (and, with holdAll, QuIT redistributions), then lets the mode's fast-path
+// policy react.
+func (t *Tree[K, V]) pessimisticInsert(key K, val V, holdAll bool) (prev V, existed bool) {
 	path, lockedFrom, lo, hi := t.descendForWrite(key, holdAll)
 	leaf := path[len(path)-1].n
 

@@ -1,32 +1,60 @@
 package core
 
 // Floor returns the largest entry with key <= target (ok=false if none).
-// Safe for concurrent use in synchronized mode: it never holds two leaf
-// latches at once (a miss in the target's leaf restarts the descent at the
-// predecessor range instead of chasing prev pointers against the lock
-// order).
+// Safe for concurrent use in synchronized mode: the descent is a latch-free
+// optimistic read, and a miss in the target's leaf restarts the descent at
+// the predecessor range instead of chasing prev pointers against the lock
+// order.
 func (t *Tree[K, V]) Floor(target K) (k K, v V, ok bool) {
 	key := target
+restart:
 	for {
-		n := t.rlockedRoot()
+		n, ver := t.readRoot()
 		var lo bound[K]
 		for !n.isLeaf() {
 			idx := n.route(key)
+			l := lo
 			if idx > 0 {
-				lo = closed(n.keys[idx-1])
+				l = closed(n.keys[idx-1])
 			}
-			c := n.children[idx]
-			t.rlock(c)
-			t.runlock(n)
-			n = c
+			c, cok := n.childAt(idx)
+			if !cok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			cv, lok := t.readLatch(c)
+			if !lok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			if !t.readUnlatch(n, ver) {
+				t.readAbort(c)
+				t.olcRestart()
+				continue restart
+			}
+			lo = l
+			n, ver = c, cv
 		}
 		idx := upperBound(n.keys, key)
 		if idx > 0 {
-			k, v = n.keys[idx-1], n.vals[idx-1]
-			t.runlock(n)
-			return k, v, true
+			if idx > len(n.vals) {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			kk, vv := n.keys[idx-1], n.vals[idx-1]
+			if !t.readUnlatch(n, ver) {
+				t.olcRestart()
+				continue restart
+			}
+			return kk, vv, true
 		}
-		t.runlock(n)
+		if !t.readUnlatch(n, ver) {
+			t.olcRestart()
+			continue restart
+		}
 		if !lo.ok {
 			return k, v, false // leftmost range: nothing <= target
 		}
@@ -45,26 +73,54 @@ func (t *Tree[K, V]) Floor(target K) (k K, v V, ok bool) {
 // Concurrency-safe in synchronized mode (see Floor).
 func (t *Tree[K, V]) Ceiling(target K) (k K, v V, ok bool) {
 	key := target
+restart:
 	for {
-		n := t.rlockedRoot()
+		n, ver := t.readRoot()
 		var hi bound[K]
 		for !n.isLeaf() {
 			idx := n.route(key)
+			h := hi
 			if idx < len(n.keys) {
-				hi = closed(n.keys[idx])
+				h = closed(n.keys[idx])
 			}
-			c := n.children[idx]
-			t.rlock(c)
-			t.runlock(n)
-			n = c
+			c, cok := n.childAt(idx)
+			if !cok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			cv, lok := t.readLatch(c)
+			if !lok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			if !t.readUnlatch(n, ver) {
+				t.readAbort(c)
+				t.olcRestart()
+				continue restart
+			}
+			hi = h
+			n, ver = c, cv
 		}
 		idx := lowerBound(n.keys, key)
 		if idx < len(n.keys) {
-			k, v = n.keys[idx], n.vals[idx]
-			t.runlock(n)
-			return k, v, true
+			if idx >= len(n.vals) {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			kk, vv := n.keys[idx], n.vals[idx]
+			if !t.readUnlatch(n, ver) {
+				t.olcRestart()
+				continue restart
+			}
+			return kk, vv, true
 		}
-		t.runlock(n)
+		if !t.readUnlatch(n, ver) {
+			t.olcRestart()
+			continue restart
+		}
 		if !hi.ok {
 			return k, v, false // rightmost range: nothing >= target
 		}
@@ -82,7 +138,7 @@ func (t *Tree[K, V]) Ceiling(target K) (k K, v V, ok bool) {
 // An Iterator must not be used while the tree is being modified (even in
 // synchronized mode): like most ordered Go containers, cursor stability
 // across writes is the caller's job — use Range for callback-style
-// iteration that holds latches correctly.
+// iteration that validates versions correctly.
 type Iterator[K Integer, V any] struct {
 	leaf *node[K, V]
 	pos  int // index of the entry last yielded; -1/len() at the edges
@@ -97,13 +153,13 @@ type Iterator[K Integer, V any] struct {
 
 // Iter returns an iterator positioned before the first entry.
 func (t *Tree[K, V]) Iter() *Iterator[K, V] {
-	return &Iterator[K, V]{leaf: t.head, pos: -1}
+	return &Iterator[K, V]{leaf: t.head.Load(), pos: -1}
 }
 
 // Seek returns an iterator positioned just before the first entry with
 // key >= target (Prev yields the last entry with key < target).
 func (t *Tree[K, V]) Seek(target K) *Iterator[K, V] {
-	n := t.root
+	n := t.root.Load()
 	for !n.isLeaf() {
 		n = n.children[n.route(target)]
 	}
@@ -113,7 +169,8 @@ func (t *Tree[K, V]) Seek(target K) *Iterator[K, V] {
 // SeekLast returns an iterator positioned after the last entry, for
 // backward iteration with Prev.
 func (t *Tree[K, V]) SeekLast() *Iterator[K, V] {
-	return &Iterator[K, V]{leaf: t.tail, pos: len(t.tail.keys)}
+	tail := t.tail.Load()
+	return &Iterator[K, V]{leaf: tail, pos: len(tail.keys)}
 }
 
 // Next advances to the next entry, returning false when the end is
@@ -129,12 +186,13 @@ func (it *Iterator[K, V]) Next() bool {
 		it.pos++
 	}
 	for it.pos >= len(it.leaf.keys) {
-		if it.leaf.next == nil {
+		next := it.leaf.next.Load()
+		if next == nil {
 			it.pos = len(it.leaf.keys) // park at the end
 			it.ok = false
 			return false
 		}
-		it.leaf = it.leaf.next
+		it.leaf = next
 		it.pos = 0
 	}
 	it.key = it.leaf.keys[it.pos]
@@ -153,12 +211,13 @@ func (it *Iterator[K, V]) Prev() bool {
 	it.between = false
 	it.pos--
 	for it.pos < 0 {
-		if it.leaf.prev == nil {
+		prev := it.leaf.prev.Load()
+		if prev == nil {
 			it.pos = -1 // park at the front
 			it.ok = false
 			return false
 		}
-		it.leaf = it.leaf.prev
+		it.leaf = prev
 		it.pos = len(it.leaf.keys) - 1
 	}
 	it.key = it.leaf.keys[it.pos]

@@ -1,0 +1,193 @@
+package core
+
+// latch.go is the tree-level latching layer: every node latch acquisition
+// in the package goes through the helpers here (plus the latch type in
+// latch_olc.go / latch_race.go). No other file touches a node's latch
+// directly.
+//
+// Protocol (paper §4.5, upgraded to optimistic lock coupling in the
+// FB+-tree style):
+//
+//   - Readers (Get, Range, Scan, Min, Max, Floor, Ceiling) descend
+//     optimistically: snapshot a node's version, read it, validate the
+//     version, hand over to the child, and restart the whole operation from
+//     the root when any validation fails. They acquire no locks and write
+//     no shared memory, so read throughput scales with cores and is
+//     unaffected by the fast-path metadata latch.
+//   - Writers take write latches only at the nodes they mutate. A plain
+//     insert or delete descends optimistically like a reader and upgrades
+//     the leaf's version to a write latch with a CAS; structural changes
+//     (splits, rebalances, QuIT redistributions) fall back to a pessimistic
+//     descent that write-latches the path root-to-leaf with classical
+//     crabbing, releasing ancestors as soon as a child is split-safe.
+//   - Nodes unlinked by merges or root collapses are tagged obsolete while
+//     still latched; a reader that reaches one through a stale pointer
+//     fails its next validation and restarts. Go's garbage collector keeps
+//     such nodes alive until the last stale reference drops, so no epoch
+//     reclamation is needed.
+//
+// Lock ordering: node latches root-to-leaf, left-to-right; the fast-path
+// meta latch is strictly innermost (taken only while holding at most the
+// latches of the nodes involved, never the other way around).
+//
+// Restarts are counted in Stats.OLCRestarts.
+//
+// When the tree is not Synchronized every helper short-circuits before
+// touching the latch word, so single-goroutine trees pay no latching cost.
+
+// readLatch opens an optimistic read section on n, returning the version to
+// validate with. ok=false means n is obsolete and the caller must restart.
+func (t *Tree[K, V]) readLatch(n *node[K, V]) (uint64, bool) {
+	if !t.synced {
+		return 0, true
+	}
+	return n.lt.readLockOrRestart()
+}
+
+// readCheck validates mid-section that n is unchanged; the section stays
+// open.
+func (t *Tree[K, V]) readCheck(n *node[K, V], v uint64) bool {
+	if !t.synced {
+		return true
+	}
+	return n.lt.checkOrRestart(v)
+}
+
+// readUnlatch closes a read section, reporting whether everything read
+// inside it was consistent.
+func (t *Tree[K, V]) readUnlatch(n *node[K, V], v uint64) bool {
+	if !t.synced {
+		return true
+	}
+	return n.lt.readUnlockOrRestart(v)
+}
+
+// readAbort abandons a read section on a restart path.
+func (t *Tree[K, V]) readAbort(n *node[K, V]) {
+	if t.synced {
+		n.lt.readAbort()
+	}
+}
+
+// upgradeLatch converts a read section on n into a write latch; on failure
+// the section is consumed and the caller must restart.
+func (t *Tree[K, V]) upgradeLatch(n *node[K, V], v uint64) bool {
+	if !t.synced {
+		return true
+	}
+	return n.lt.upgradeToWriteLockOrRestart(v)
+}
+
+// writeLatch acquires n's write latch pessimistically.
+func (t *Tree[K, V]) writeLatch(n *node[K, V]) {
+	if t.synced {
+		n.lt.writeLock()
+	}
+}
+
+// tryWriteLatch attempts n's write latch with a single non-blocking probe.
+// It is the only latch acquisition permitted while holding the meta mutex:
+// since it cannot wait, holding meta across it cannot complete a
+// hold-and-wait cycle with writers that take meta under a node latch.
+func (t *Tree[K, V]) tryWriteLatch(n *node[K, V]) bool {
+	if !t.synced {
+		return true
+	}
+	return n.lt.tryWriteLock()
+}
+
+// writeUnlatch releases n's write latch, bumping its version.
+func (t *Tree[K, V]) writeUnlatch(n *node[K, V]) {
+	if t.synced {
+		n.lt.writeUnlock()
+	}
+}
+
+// markObsolete tags a write-latched node as unlinked from the tree.
+func (t *Tree[K, V]) markObsolete(n *node[K, V]) {
+	if t.synced {
+		n.lt.markObsolete()
+	}
+}
+
+// olcRestart records one optimistic restart in the stats.
+func (t *Tree[K, V]) olcRestart() {
+	t.c.olcRestarts.Add(1)
+}
+
+// readRoot opens a read section on the current root. A concurrent root swap
+// between loading the pointer and reading the version is caught by
+// re-loading the pointer inside the section.
+func (t *Tree[K, V]) readRoot() (*node[K, V], uint64) {
+	for {
+		n := t.root.Load()
+		v, ok := t.readLatch(n)
+		if !ok {
+			t.olcRestart()
+			continue
+		}
+		if t.synced && t.root.Load() != n {
+			t.readAbort(n)
+			t.olcRestart()
+			continue
+		}
+		return n, v
+	}
+}
+
+// descendToLeaf optimistically descends to the leaf that owns key, handing
+// version validation over parent to child, and returns the leaf with its
+// still-open read section. Restarts internally on any conflict.
+func (t *Tree[K, V]) descendToLeaf(key K) (*node[K, V], uint64) {
+	for {
+		n, v := t.readRoot()
+		ok := true
+		for !n.isLeaf() {
+			c, cok := n.childAt(n.route(key))
+			if !cok {
+				t.readAbort(n)
+				ok = false
+				break
+			}
+			cv, lok := t.readLatch(c)
+			if !lok {
+				t.readAbort(n)
+				ok = false
+				break
+			}
+			if !t.readUnlatch(n, v) {
+				t.readAbort(c)
+				ok = false
+				break
+			}
+			n, v = c, cv
+		}
+		if ok {
+			return n, v
+		}
+		t.olcRestart()
+	}
+}
+
+// writeLockedRoot write-latches the current root, retrying if a concurrent
+// root swap moves the pointer between the load and the latch. Entry point
+// of every pessimistic descent.
+func (t *Tree[K, V]) writeLockedRoot() *node[K, V] {
+	for {
+		r := t.root.Load()
+		t.writeLatch(r)
+		if !t.synced || t.root.Load() == r {
+			return r
+		}
+		t.writeUnlatch(r)
+		t.olcRestart()
+	}
+}
+
+// unlockPathFrom releases the write latches a pessimistic descent still
+// holds (path entries lockedFrom onward).
+func (t *Tree[K, V]) unlockPathFrom(path []pathEntry[K, V], lockedFrom int) {
+	for i := lockedFrom; i < len(path); i++ {
+		t.writeUnlatch(path[i].n)
+	}
+}

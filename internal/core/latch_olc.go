@@ -1,0 +1,129 @@
+//go:build !race
+
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// latch is a versioned optimistic latch in the optimistic-lock-coupling
+// (OLC) style used by ART and the FB+-tree: a single atomic word packing
+//
+//	bit 0      obsolete flag (the node was unlinked from the tree)
+//	bit 1      write-lock bit
+//	bits 2..63 version counter, bumped by every write unlock
+//
+// Readers never modify the word: they snapshot the version, read the node
+// optimistically, and re-validate the version afterwards, restarting the
+// whole operation if a writer intervened. Writers spin on the lock bit.
+//
+// This is the production variant. The race-detector build (latch_race.go)
+// swaps in a shared-pin implementation with the same API so `go test -race`
+// can observe the happens-before edges the version protocol provides
+// implicitly; see that file for the rationale.
+type latch struct {
+	w atomic.Uint64
+}
+
+const (
+	latchObsolete uint64 = 1 << 0
+	latchLocked   uint64 = 1 << 1
+	latchInc      uint64 = 1 << 2 // version increment step
+)
+
+// latchSpinBudget is how many failed probes awaitUnlocked burns before
+// yielding. On a single-processor runtime the lock holder cannot progress
+// while we spin, so the only useful move is to yield immediately; with real
+// parallelism a short spin usually outlasts the holder's critical section.
+var latchSpinBudget = func() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 64
+	}
+	return 1
+}()
+
+// awaitUnlocked spins until the lock bit clears, yielding the processor
+// after a burst of failed probes, and returns the observed word.
+func (l *latch) awaitUnlocked() uint64 {
+	for spins := 0; ; spins++ {
+		v := l.w.Load()
+		if v&latchLocked == 0 {
+			return v
+		}
+		if spins >= latchSpinBudget {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// readLockOrRestart opens an optimistic read section and returns the
+// version to validate against. ok is false when the node is obsolete (the
+// caller must restart its operation from the root).
+func (l *latch) readLockOrRestart() (uint64, bool) {
+	v := l.awaitUnlocked()
+	if v&latchObsolete != 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// checkOrRestart validates mid-section that no writer has intervened since
+// the version was read. The section stays open either way.
+func (l *latch) checkOrRestart(v uint64) bool {
+	return l.w.Load() == v
+}
+
+// readUnlockOrRestart closes a read section; it returns true iff every read
+// performed inside the section was consistent. On false the caller must
+// discard what it read and restart.
+func (l *latch) readUnlockOrRestart(v uint64) bool {
+	return l.w.Load() == v
+}
+
+// readAbort abandons a read section on a restart path without validating.
+// Optimistic readers hold nothing, so this is a no-op (the race-build
+// variant releases its shared pin here).
+func (l *latch) readAbort() {}
+
+// upgradeToWriteLockOrRestart atomically converts a validated read section
+// into the write lock. On failure (a writer intervened) the read section is
+// consumed and the caller must restart.
+func (l *latch) upgradeToWriteLockOrRestart(v uint64) bool {
+	return l.w.CompareAndSwap(v, v|latchLocked)
+}
+
+// writeLock acquires the write lock pessimistically, spinning until it wins.
+func (l *latch) writeLock() {
+	for {
+		v := l.awaitUnlocked()
+		if l.w.CompareAndSwap(v, v|latchLocked) {
+			return
+		}
+	}
+}
+
+// tryWriteLock attempts the write lock with a single probe, never blocking.
+// It fails on contention or when the node is obsolete. Because it cannot
+// wait, it is the one latch operation that may run while holding the meta
+// mutex without inverting the meta-innermost lock order.
+func (l *latch) tryWriteLock() bool {
+	v := l.w.Load()
+	return v&(latchLocked|latchObsolete) == 0 && l.w.CompareAndSwap(v, v|latchLocked)
+}
+
+// writeUnlock releases the write lock and bumps the version so concurrent
+// optimistic readers notice the modification. An obsolete flag set while
+// the lock was held survives the unlock.
+func (l *latch) writeUnlock() {
+	l.w.Add(latchInc - latchLocked)
+}
+
+// markObsolete tags a write-locked node as unlinked from the tree. Readers
+// that reach it through stale pointers fail readLockOrRestart and restart
+// from the root; the garbage collector reclaims the node once the last such
+// reader drops its reference (no epoch machinery needed in Go).
+func (l *latch) markObsolete() {
+	l.w.Add(latchObsolete)
+}

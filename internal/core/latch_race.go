@@ -1,0 +1,98 @@
+//go:build race
+
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Race-detector build of the versioned node latch (see latch_olc.go for the
+// production variant and the word layout it validates).
+//
+// True optimistic reads are invisible to the race detector: a reader's plain
+// loads race with a writer's plain stores by design, and the version
+// validation that makes the protocol correct does not create the
+// happens-before edges TSan needs, so every optimistic read would be
+// reported. Under `-race` the latch therefore degrades optimistic read
+// sections to shared pins on a sync.RWMutex: readers exclude writers for
+// the duration of a section, which gives the detector real edges while
+// keeping the exact same call sites, restart surface (obsolete nodes,
+// failed upgrades, contended write locks) and lock ordering. Version
+// numbers are still maintained so post-section rechecks behave identically.
+//
+// The production build is the one that exercises torn-read validation; the
+// non-race `go test ./...` run covers it with the same concurrent tests.
+type latch struct {
+	mu  sync.RWMutex
+	ver atomic.Uint64 // bit 0: obsolete flag; bits 1..63: version counter
+}
+
+const (
+	latchObsolete uint64 = 1 << 0
+	latchInc      uint64 = 1 << 1
+)
+
+// readLockOrRestart opens a (shared-pinned) read section. ok is false when
+// the node is obsolete.
+func (l *latch) readLockOrRestart() (uint64, bool) {
+	l.mu.RLock()
+	v := l.ver.Load()
+	if v&latchObsolete != 0 {
+		l.mu.RUnlock()
+		return 0, false
+	}
+	return v, true
+}
+
+// checkOrRestart validates mid-section. Readers exclude writers here, so
+// nothing can have changed.
+func (l *latch) checkOrRestart(uint64) bool { return true }
+
+// readUnlockOrRestart closes a read section; always consistent under pins.
+func (l *latch) readUnlockOrRestart(uint64) bool {
+	l.mu.RUnlock()
+	return true
+}
+
+// readAbort abandons a read section on a restart path.
+func (l *latch) readAbort() { l.mu.RUnlock() }
+
+// upgradeToWriteLockOrRestart converts a read section into the write lock.
+// RWMutex cannot upgrade in place, so the pin is dropped and the version
+// re-checked under the exclusive lock; a concurrent writer fails the check
+// exactly as a failed CAS does in the production build.
+func (l *latch) upgradeToWriteLockOrRestart(v uint64) bool {
+	l.mu.RUnlock()
+	l.mu.Lock()
+	if l.ver.Load() != v {
+		l.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// writeLock acquires the write lock pessimistically.
+func (l *latch) writeLock() { l.mu.Lock() }
+
+// tryWriteLock attempts the write lock without blocking; see the production
+// variant for why this is the one latch call allowed under the meta mutex.
+func (l *latch) tryWriteLock() bool {
+	if !l.mu.TryLock() {
+		return false
+	}
+	if l.ver.Load()&latchObsolete != 0 {
+		l.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// writeUnlock releases the write lock, bumping the version.
+func (l *latch) writeUnlock() {
+	l.ver.Add(latchInc)
+	l.mu.Unlock()
+}
+
+// markObsolete tags a write-locked node as unlinked from the tree.
+func (l *latch) markObsolete() { l.ver.Add(latchObsolete) }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// The latch protocol tests below are written to hold for both
+// implementations: the production versioned latch (latch_olc.go) and the
+// race-detector shared-pin shim (latch_race.go). They assert the contract
+// the tree relies on, not implementation details like bit layouts.
+
+func TestLatchVersionAdvancesAcrossWrites(t *testing.T) {
+	var l latch
+	v1, ok := l.readLockOrRestart()
+	if !ok {
+		t.Fatal("fresh latch reported obsolete")
+	}
+	if !l.readUnlockOrRestart(v1) {
+		t.Fatal("read section invalidated with no writer")
+	}
+	l.writeLock()
+	l.writeUnlock()
+	v2, ok := l.readLockOrRestart()
+	if !ok {
+		t.Fatal("latch reported obsolete after plain write")
+	}
+	if v2 == v1 {
+		t.Fatal("version did not advance across a write")
+	}
+	if !l.readUnlockOrRestart(v2) {
+		t.Fatal("read section invalidated with no writer")
+	}
+}
+
+func TestLatchObsoleteSurvivesUnlockAndRejectsAll(t *testing.T) {
+	var l latch
+	l.writeLock()
+	l.markObsolete()
+	l.writeUnlock()
+	if _, ok := l.readLockOrRestart(); ok {
+		t.Fatal("readLockOrRestart succeeded on an obsolete latch")
+	}
+	if l.tryWriteLock() {
+		t.Fatal("tryWriteLock succeeded on an obsolete latch")
+	}
+}
+
+func TestLatchTryWriteLockNonBlocking(t *testing.T) {
+	var l latch
+	if !l.tryWriteLock() {
+		t.Fatal("tryWriteLock failed on an idle latch")
+	}
+	l.writeUnlock()
+	l.writeLock()
+	if l.tryWriteLock() {
+		t.Fatal("tryWriteLock succeeded while the write lock was held")
+	}
+	l.writeUnlock()
+	if !l.tryWriteLock() {
+		t.Fatal("tryWriteLock failed after the write lock was released")
+	}
+	l.writeUnlock()
+}
+
+// TestLatchUpgradeExclusive has N goroutines open read sections on the same
+// version and race to upgrade: exactly one upgrade may win (the others must
+// observe the intervening write and restart). This is the guarantee that
+// makes the optimistic leaf-upgrade insert path linearizable.
+func TestLatchUpgradeExclusive(t *testing.T) {
+	const goroutines = 8
+	var l latch
+	start := make(chan struct{})
+	wins := make(chan bool, goroutines)
+	var ready, wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok := l.readLockOrRestart()
+			ready.Done()
+			if !ok {
+				wins <- false
+				return
+			}
+			<-start
+			if l.upgradeToWriteLockOrRestart(v) {
+				l.writeUnlock()
+				wins <- true
+				return
+			}
+			wins <- false
+		}()
+	}
+	ready.Wait() // every goroutine holds the same version snapshot
+	close(start)
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d upgrades won, want exactly 1", won)
+	}
+}
+
+// TestLatchReaderSeesConsistentPair is the seqlock litmus test: a writer
+// mutates two fields only under the write lock, keeping them equal; a
+// validated read section must never observe them mid-update.
+func TestLatchReaderSeesConsistentPair(t *testing.T) {
+	type guarded struct {
+		lt   latch
+		x, y int
+	}
+	g := &guarded{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.lt.writeLock()
+			g.x = i
+			g.y = i
+			g.lt.writeUnlock()
+		}
+	}()
+	const reads = 20000
+	validated := 0
+	for validated < reads {
+		v, ok := g.lt.readLockOrRestart()
+		if !ok {
+			t.Fatal("latch reported obsolete")
+		}
+		x, y := g.x, g.y
+		if !g.lt.readUnlockOrRestart(v) {
+			continue // writer intervened; snapshot discarded
+		}
+		if x != y {
+			t.Fatalf("validated read section saw torn pair (%d, %d)", x, y)
+		}
+		validated++
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,29 +1,64 @@
 package core
 
+import "unsafe"
+
 // Get returns the value stored for key. Lookups are identical to a
 // classical B+-tree in every mode: the fast path is write-side only, which
-// is how QuIT avoids any read penalty (§4.4).
+// is how QuIT avoids any read penalty (§4.4). In synchronized mode the
+// descent is a latch-free optimistic read — no locks are taken, and a
+// version conflict with a concurrent writer restarts the descent
+// (Stats.OLCRestarts).
 func (t *Tree[K, V]) Get(key K) (V, bool) {
 	var zero V
-	n := t.rlockedRoot()
-	reads := int64(0)
-	for !n.isLeaf() {
-		reads++
-		c := n.children[n.route(key)]
-		t.rlock(c)
-		t.runlock(n)
-		n = c
+restart:
+	for {
+		n, v := t.readRoot()
+		reads := int64(0)
+		for !n.isLeaf() {
+			reads++
+			c, cok := n.childAt(n.route(key))
+			if !cok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			cv, ok := t.readLatch(c)
+			if !ok {
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			if !t.readUnlatch(n, v) {
+				t.readAbort(c)
+				t.olcRestart()
+				continue restart
+			}
+			n, v = c, cv
+		}
+		i, found := n.find(key)
+		var val V
+		if found {
+			vs := n.vals
+			if i >= len(vs) {
+				// Torn leaf: keys grew before vals did. Validation below
+				// would reject it anyway; bail before faulting.
+				t.readAbort(n)
+				t.olcRestart()
+				continue restart
+			}
+			val = vs[i]
+		}
+		if !t.readUnlatch(n, v) {
+			t.olcRestart()
+			continue restart
+		}
+		t.c.nodeReads.Add(reads)
+		t.c.leafReads.Add(1)
+		if !found {
+			return zero, false
+		}
+		return val, true
 	}
-	t.c.nodeReads.Add(reads)
-	t.c.leafReads.Add(1)
-	i, ok := n.find(key)
-	if !ok {
-		t.runlock(n)
-		return zero, false
-	}
-	v := n.vals[i]
-	t.runlock(n)
-	return v, true
 }
 
 // Contains reports whether key is present.
@@ -34,99 +69,171 @@ func (t *Tree[K, V]) Contains(key K) bool {
 
 // Min returns the smallest key and its value; ok is false for an empty tree.
 func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
-	t.lockMeta()
-	n := t.head
-	t.unlockMeta()
-	t.rlock(n)
-	defer t.runlock(n)
-	if len(n.keys) == 0 {
-		return k, v, false
+	for {
+		n := t.head.Load()
+		ver, lok := t.readLatch(n)
+		if !lok {
+			t.olcRestart()
+			continue
+		}
+		var kk K
+		var vv V
+		// Both lengths checked: a torn leaf can have keys ahead of vals.
+		has := len(n.keys) > 0 && len(n.vals) > 0
+		if has {
+			kk, vv = n.keys[0], n.vals[0]
+		}
+		if !t.readUnlatch(n, ver) {
+			t.olcRestart()
+			continue
+		}
+		return kk, vv, has
 	}
-	return n.keys[0], n.vals[0], true
 }
 
 // Max returns the largest key and its value; ok is false for an empty tree.
 func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
-	t.lockMeta()
-	n := t.tail
-	t.unlockMeta()
-	t.rlock(n)
-	defer t.runlock(n)
-	if len(n.keys) == 0 {
-		return k, v, false
+	for {
+		n := t.tail.Load()
+		ver, lok := t.readLatch(n)
+		if !lok {
+			t.olcRestart()
+			continue
+		}
+		if t.synced && t.tail.Load() != n {
+			// The tail advanced (or merged) between the load and the latch.
+			t.readAbort(n)
+			t.olcRestart()
+			continue
+		}
+		var kk K
+		var vv V
+		has := len(n.keys) > 0 && len(n.vals) > 0
+		if has {
+			kk, vv = n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+		}
+		if !t.readUnlatch(n, ver) {
+			t.olcRestart()
+			continue
+		}
+		return kk, vv, has
 	}
-	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
 }
 
 // Range visits every entry with start <= key < end in ascending key order,
 // stopping early if fn returns false. It returns the number of entries
-// visited. fn must not modify the tree. Leaf accesses are tallied in
-// Stats.RangeLeafReads, the metric behind the paper's Fig. 10c.
+// visited. Leaf accesses are tallied in Stats.RangeLeafReads, the metric
+// behind the paper's Fig. 10c.
+//
+// In synchronized mode each leaf is snapshotted and version-validated
+// before fn sees it, so fn runs with no latches held; a conflict with a
+// concurrent writer re-descends to the first unvisited key, giving
+// per-leaf (not whole-scan) atomicity, with every key visited exactly once.
 func (t *Tree[K, V]) Range(start, end K, fn func(K, V) bool) int {
 	if end <= start {
 		return 0
 	}
-	n := t.rlockedRoot()
-	for !n.isLeaf() {
-		c := n.children[n.route(start)]
-		t.rlock(c)
-		t.runlock(n)
-		n = c
-	}
-	visited := 0
-	leaves := int64(1)
-	i := lowerBound(n.keys, start)
-	for {
-		for ; i < len(n.keys); i++ {
-			if n.keys[i] >= end {
-				t.runlock(n)
-				t.c.rangeLeafReads.Add(leaves)
-				return visited
-			}
-			visited++
-			if !fn(n.keys[i], n.vals[i]) {
-				t.runlock(n)
-				t.c.rangeLeafReads.Add(leaves)
-				return visited
-			}
-		}
-		next := n.next
-		if next == nil {
-			t.runlock(n)
-			break
-		}
-		t.rlock(next)
-		t.runlock(n)
-		n = next
-		leaves++
-		i = 0
-	}
+	visited, leaves := t.scanLeaves(start, true, end, fn)
 	t.c.rangeLeafReads.Add(leaves)
 	return visited
 }
 
 // Scan visits every entry in ascending key order, stopping early if fn
-// returns false. fn must not modify the tree.
+// returns false. Concurrency follows Range's per-leaf snapshot semantics.
 func (t *Tree[K, V]) Scan(fn func(K, V) bool) {
-	t.lockMeta()
-	n := t.head
-	t.unlockMeta()
-	t.rlock(n)
+	var unbounded K
+	t.scanLeaves(minKeyValue[K](), false, unbounded, fn)
+}
+
+// scanLeaves walks leaves left-to-right visiting entries with key >= start
+// (and key < end when bounded), returning the number of entries visited and
+// leaves read. The synchronized walk snapshots each leaf into a buffer,
+// validates the version, then emits the snapshot; restarts resume at the
+// first unvisited key.
+func (t *Tree[K, V]) scanLeaves(start K, bounded bool, end K, fn func(K, V) bool) (visited int, leaves int64) {
+	if !t.synced {
+		return t.scanLeavesUnsync(start, bounded, end, fn)
+	}
+	var bk []K
+	var bv []V
+restart:
 	for {
-		for i := 0; i < len(n.keys); i++ {
+		n, v := t.descendToLeaf(start)
+		for {
+			if bk == nil {
+				bk = make([]K, 0, t.cfg.LeafCapacity)
+				bv = make([]V, 0, t.cfg.LeafCapacity)
+			}
+			bk, bv = bk[:0], bv[:0]
+			done := false
+			ks, vs := n.keys, n.vals
+			m := len(ks)
+			if len(vs) < m {
+				m = len(vs) // torn leaf; validation below rejects the snapshot
+			}
+			for i := lowerBound(ks, start); i < m; i++ {
+				if bounded && ks[i] >= end {
+					done = true
+					break
+				}
+				bk = append(bk, ks[i])
+				bv = append(bv, vs[i])
+			}
+			next := n.next.Load()
+			if !t.readUnlatch(n, v) {
+				t.olcRestart()
+				continue restart
+			}
+			leaves++
+			for j := range bk {
+				visited++
+				if !fn(bk[j], bv[j]) {
+					return visited, leaves
+				}
+			}
+			if len(bk) > 0 {
+				last := bk[len(bk)-1]
+				start = last + 1
+				if start <= last {
+					return visited, leaves // key domain exhausted
+				}
+			}
+			if done || next == nil {
+				return visited, leaves
+			}
+			nv, ok := t.readLatch(next)
+			if !ok {
+				t.olcRestart()
+				continue restart
+			}
+			n, v = next, nv
+		}
+	}
+}
+
+// scanLeavesUnsync is the zero-overhead single-goroutine walk.
+func (t *Tree[K, V]) scanLeavesUnsync(start K, bounded bool, end K, fn func(K, V) bool) (visited int, leaves int64) {
+	n := t.root.Load()
+	for !n.isLeaf() {
+		n = n.children[n.route(start)]
+	}
+	i := lowerBound(n.keys, start)
+	for {
+		leaves++
+		for ; i < len(n.keys); i++ {
+			if bounded && n.keys[i] >= end {
+				return visited, leaves
+			}
+			visited++
 			if !fn(n.keys[i], n.vals[i]) {
-				t.runlock(n)
-				return
+				return visited, leaves
 			}
 		}
-		next := n.next
-		if next == nil {
-			t.runlock(n)
-			return
+		n = n.next.Load()
+		if n == nil {
+			return visited, leaves
 		}
-		t.rlock(next)
-		t.runlock(n)
-		n = next
+		i = 0
 	}
 }
 
@@ -139,4 +246,15 @@ func (t *Tree[K, V]) Keys() []K {
 		return true
 	})
 	return out
+}
+
+// minKeyValue returns the smallest value of the key type: zero for unsigned
+// kinds, the most negative value for signed kinds.
+func minKeyValue[K Integer]() K {
+	var zero K
+	ones := ^zero // -1 for signed kinds, the maximum for unsigned kinds
+	if ones > zero {
+		return zero
+	}
+	return ones << (8*unsafe.Sizeof(zero) - 1)
 }

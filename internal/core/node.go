@@ -1,29 +1,55 @@
 package core
 
-import "sync"
+import "sync/atomic"
 
 // node is a B+-tree node. Leaves hold parallel keys/vals slices and are
 // interlinked through next/prev; internal nodes hold len(keys)+1 children,
 // where children[i] covers keys in [keys[i-1], keys[i]) (with the usual
 // open bounds at the edges).
 //
-// The latch (mu) is only exercised when the tree was configured with
-// Synchronized=true; unsynchronized trees never touch it.
+// The versioned latch (lt) is only exercised when the tree was configured
+// with Synchronized=true; unsynchronized trees never touch it. All latch
+// traffic goes through the tree-level helpers in latch.go.
+//
+// Concurrency-critical layout invariant: the keys/vals/children backing
+// arrays are allocated once at node construction with enough capacity for
+// every legal transient state (see newLeaf/newInternal) and are never
+// reallocated. Optimistic readers may observe a node mid-mutation; because
+// only the slice length changes — a single word — every such read stays
+// inside the original allocation and is discarded by version validation,
+// never a memory-safety hazard. next/prev are atomic because neighbors
+// update each other's links while holding only their own latch.
 type node[K Integer, V any] struct {
-	mu   sync.RWMutex
+	lt   latch
 	id   uint64
 	keys []K
 
 	// Leaf fields.
 	vals []V
-	next *node[K, V]
-	prev *node[K, V]
+	next atomic.Pointer[node[K, V]]
+	prev atomic.Pointer[node[K, V]]
 
 	// Internal field. nil for leaves.
 	children []*node[K, V]
 }
 
 func (n *node[K, V]) isLeaf() bool { return n.children == nil }
+
+// childAt returns children[idx] for an optimistic reader. ok=false flags a
+// torn observation — the index past the current length, or a nil slot mid
+// shift — which the caller must treat as a failed validation and restart.
+// Writers mutate keys and children in separate steps, so an optimistic
+// routing index computed from keys can momentarily disagree with children;
+// this guard keeps such reads from faulting before version validation
+// rejects them.
+func (n *node[K, V]) childAt(idx int) (*node[K, V], bool) {
+	ch := n.children
+	if idx >= len(ch) {
+		return nil, false
+	}
+	c := ch[idx]
+	return c, c != nil
+}
 
 // upperBound returns the first index i with keys[i] > k (len(keys) if none).
 // This is the child-routing function for internal nodes.

@@ -15,7 +15,7 @@ func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K]) 
 
 	t.lockMeta()
 	isPole := (mode == ModePOLE || mode == ModeQuIT) && leaf == t.fp.leaf
-	prevValid := t.fp.prevValid && t.fp.prev != nil && t.fp.prev == leaf.prev
+	prevValid := t.fp.prevValid && t.fp.prev != nil && t.fp.prev == leaf.prev.Load()
 	prevMin := t.fp.prevMin
 	prevSize := t.fp.prevSize
 	t.unlockMeta()
@@ -98,30 +98,21 @@ func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, 
 // rewritten, and no split happens at all. Returns ok=false when the move
 // would displace the incoming key or there is nothing to move.
 func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K], bool) {
-	t.lockMeta()
-	prev := leaf.prev
-	t.unlockMeta()
+	prev := leaf.prev.Load()
 	if prev == nil {
 		return nil, lo, hi, false
 	}
 
-	if t.synced {
-		// Reacquire in left-to-right order to stay deadlock-free with
-		// forward scans. The subtree is quiescent: every writer is blocked
-		// at the ancestors this insert holds.
-		t.wunlock(leaf)
-		t.wlock(prev)
-		t.wlock(leaf)
-	}
-	unlockPrev := func() {
-		if t.synced {
-			t.wunlock(prev)
-		}
-	}
+	// Reacquire in left-to-right order to stay deadlock-free with forward
+	// scans. The subtree is writer-quiescent: every writer is blocked at
+	// the ancestors this insert holds.
+	t.writeUnlatch(leaf)
+	t.writeLatch(prev)
+	t.writeLatch(leaf)
 
 	m := t.minLeaf - len(prev.keys)
 	if m <= 0 || m >= len(leaf.keys) {
-		unlockPrev()
+		t.writeUnlatch(prev)
 		return nil, lo, hi, false
 	}
 	// Never move the slot the incoming key belongs to: cap the transfer so
@@ -130,7 +121,7 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 		m = limit
 	}
 	if m <= 0 {
-		unlockPrev()
+		t.writeUnlatch(prev)
 		return nil, lo, hi, false
 	}
 
@@ -153,7 +144,7 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 		newMin = key
 	}
 	t.updateSeparator(path, oldMin, newMin)
-	unlockPrev()
+	t.writeUnlatch(prev)
 	t.c.redistributions.Add(1)
 
 	t.lockMeta()
@@ -227,7 +218,7 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 	fp := &t.fp
 	switch t.cfg.Mode {
 	case ModeTail:
-		if right.next == nil {
+		if right.next.Load() == nil {
 			// The old tail split: the fast path follows the new rightmost
 			// leaf, as in the PostgreSQL optimization.
 			t.setFP(right, closed(splitKey), bound[K]{}, pathWithLeaf(path, right))
@@ -255,7 +246,9 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 }
 
 // splitLeafAt moves leaf.keys[pos:] into a fresh right sibling and links it
-// into the leaf chain, updating the tree tail if needed.
+// into the leaf chain, updating the tree tail if needed. The caller holds
+// leaf's write latch in synchronized mode; the neighbor's prev pointer and
+// the tail pointer are atomics, so no further latches are needed.
 func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
 	right := t.newLeaf()
 	right.keys = append(right.keys, leaf.keys[pos:]...)
@@ -267,16 +260,15 @@ func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
 	leaf.keys = leaf.keys[:pos]
 	leaf.vals = leaf.vals[:pos]
 
-	t.lockMeta()
-	right.prev = leaf
-	right.next = leaf.next
-	if leaf.next != nil {
-		leaf.next.prev = right
+	next := leaf.next.Load()
+	right.prev.Store(leaf)
+	right.next.Store(next)
+	if next != nil {
+		next.prev.Store(right)
 	} else {
-		t.tail = right
+		t.tail.Store(right)
 	}
-	t.unlockMeta()
-	leaf.next = right
+	leaf.next.Store(right)
 
 	t.c.leafSplits.Add(1)
 	return right
@@ -296,14 +288,16 @@ func (t *Tree[K, V]) propagateSplit(path []*node[K, V], splitKey K, right *node[
 		}
 		splitKey, right = t.splitInternal(p)
 	}
+	// Root split: the caller holds the old root's latch (crabbing never
+	// released it, or the whole path ends here), so the swap is atomic for
+	// optimistic readers — they re-check the root pointer inside their read
+	// section and restart if it moved.
 	old := path[0]
 	newRoot := t.newInternal()
 	newRoot.keys = append(newRoot.keys, splitKey)
 	newRoot.children = append(newRoot.children, old, right)
-	t.lockMeta()
-	t.root = newRoot
-	t.height++
-	t.unlockMeta()
+	t.root.Store(newRoot)
+	t.height.Add(1)
 }
 
 // splitInternal splits an overflowing internal node in half, promoting the

@@ -13,8 +13,9 @@ import (
 //
 // Unless Config.Synchronized is set, a Tree must not be used from multiple
 // goroutines concurrently. With Synchronized set, Put, Get, Range, Scan and
-// Delete may be called concurrently; the tree uses lock crabbing on nodes
-// plus a dedicated fast-path metadata latch (paper §4.5).
+// Delete may be called concurrently; reads are latch-free optimistic
+// descents over versioned node latches and writes latch only the nodes they
+// mutate (see latch.go for the full protocol).
 type Tree[K Integer, V any] struct {
 	cfg    Config
 	est    ikr.Estimator
@@ -23,14 +24,15 @@ type Tree[K Integer, V any] struct {
 	minLeaf     int // rebalance threshold: leafCapacity/2
 	minChildren int // internal underflow threshold: ceil(fanout/2)
 
-	// meta guards root/height/head/tail and the fast-path metadata in
-	// synchronized mode. Lock order: node latches (root to leaf) strictly
-	// before meta; meta is the innermost latch.
-	meta   sync.Mutex
-	root   *node[K, V]
-	height int
-	head   *node[K, V]
-	tail   *node[K, V]
+	// meta guards only the fast-path metadata (fp) in synchronized mode.
+	// It is the innermost latch: taken while holding node latches, never
+	// around node latch acquisition. Reads never touch it.
+	meta sync.Mutex
+
+	root   atomic.Pointer[node[K, V]]
+	height atomic.Int32
+	head   atomic.Pointer[node[K, V]]
+	tail   atomic.Pointer[node[K, V]]
 
 	fp fastPath[K, V]
 
@@ -83,6 +85,7 @@ type counters struct {
 	nodeReads       atomic.Int64
 	leafReads       atomic.Int64
 	rangeLeafReads  atomic.Int64
+	olcRestarts     atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a Tree's operation counters and
@@ -104,6 +107,7 @@ type Stats struct {
 	NodeReads       int64 // internal-node accesses during point lookups
 	LeafReads       int64 // leaf accesses during point lookups
 	RangeLeafReads  int64 // leaf accesses during range scans
+	OLCRestarts     int64 // optimistic descents restarted by a version conflict
 
 	Size      int64 // live entries
 	Height    int   // levels (1 = root is a leaf)
@@ -136,9 +140,10 @@ func New[K Integer, V any](cfg Config) *Tree[K, V] {
 		minChildren: (cfg.InternalFanout + 1) / 2,
 	}
 	leaf := t.newLeaf()
-	t.root = leaf
-	t.height = 1
-	t.head, t.tail = leaf, leaf
+	t.root.Store(leaf)
+	t.height.Store(1)
+	t.head.Store(leaf)
+	t.tail.Store(leaf)
 	// The initial leaf is the fast path for every mode: all keys route to it.
 	if cfg.Mode != ModeNone {
 		t.fp.leaf = leaf
@@ -157,18 +162,10 @@ func (t *Tree[K, V]) Mode() Mode { return t.cfg.Mode }
 func (t *Tree[K, V]) Len() int { return int(t.size.Load()) }
 
 // Height returns the number of levels in the tree (1 when the root is a leaf).
-func (t *Tree[K, V]) Height() int {
-	t.lockMeta()
-	h := t.height
-	t.unlockMeta()
-	return h
-}
+func (t *Tree[K, V]) Height() int { return int(t.height.Load()) }
 
 // Stats snapshots the tree's counters and shape.
 func (t *Tree[K, V]) Stats() Stats {
-	t.lockMeta()
-	h := t.height
-	t.unlockMeta()
 	return Stats{
 		FastInserts:     t.c.fastInserts.Load(),
 		TopInserts:      t.c.topInserts.Load(),
@@ -185,8 +182,9 @@ func (t *Tree[K, V]) Stats() Stats {
 		NodeReads:       t.c.nodeReads.Load(),
 		LeafReads:       t.c.leafReads.Load(),
 		RangeLeafReads:  t.c.rangeLeafReads.Load(),
+		OLCRestarts:     t.c.olcRestarts.Load(),
 		Size:            t.size.Load(),
-		Height:          h,
+		Height:          int(t.height.Load()),
 		Leaves:          t.nLeaves.Load(),
 		Internals:       t.nInternal.Load(),
 	}
@@ -200,7 +198,7 @@ func (t *Tree[K, V]) ResetCounters() {
 		&c.fastInserts, &c.topInserts, &c.updates, &c.leafSplits,
 		&c.internalSplits, &c.variableSplits, &c.redistributions, &c.resets,
 		&c.catchUps, &c.deletes, &c.borrows, &c.merges, &c.nodeReads,
-		&c.leafReads, &c.rangeLeafReads,
+		&c.leafReads, &c.rangeLeafReads, &c.olcRestarts,
 	} {
 		a.Store(0)
 	}
@@ -208,18 +206,29 @@ func (t *Tree[K, V]) ResetCounters() {
 
 // AvgLeafOccupancy returns mean entries-per-leaf as a fraction of leaf
 // capacity, the paper's space-utilization metric (Fig. 10a, Fig. 11c-d).
+// Concurrency-safe: the leaf chain is walked optimistically and the walk
+// restarts from the head if a leaf is merged away underneath it.
 func (t *Tree[K, V]) AvgLeafOccupancy() float64 {
 	leaves := 0
 	entries := 0
-	t.lockMeta()
-	n := t.head
-	t.unlockMeta()
+	n := t.head.Load()
 	for n != nil {
-		t.rlock(n)
+		v, ok := t.readLatch(n)
+		if !ok {
+			// The leaf was unlinked mid-walk; restart the whole walk.
+			t.olcRestart()
+			leaves, entries = 0, 0
+			n = t.head.Load()
+			continue
+		}
+		cnt := len(n.keys)
+		next := n.next.Load()
+		if !t.readUnlatch(n, v) {
+			t.olcRestart()
+			continue // re-read this leaf
+		}
 		leaves++
-		entries += len(n.keys)
-		next := n.next
-		t.runlock(n)
+		entries += cnt
 		n = next
 	}
 	if leaves == 0 {
@@ -243,6 +252,9 @@ func (t *Tree[K, V]) MemoryFootprint() int64 {
 	return t.nLeaves.Load()*leafPage + t.nInternal.Load()*internalPage
 }
 
+// newLeaf allocates a leaf. Capacity covers the one-over-full transient an
+// insert-then-split produces, so the backing arrays are never reallocated —
+// a prerequisite of the optimistic read protocol (see node docs).
 func (t *Tree[K, V]) newLeaf() *node[K, V] {
 	t.nLeaves.Add(1)
 	return &node[K, V]{
@@ -252,18 +264,20 @@ func (t *Tree[K, V]) newLeaf() *node[K, V] {
 	}
 }
 
+// newInternal allocates an internal node. Capacity covers the transient
+// fanout+1 children (fanout keys) state propagateSplit creates before
+// splitting the node, so the backing arrays are never reallocated.
 func (t *Tree[K, V]) newInternal() *node[K, V] {
 	t.nInternal.Add(1)
 	return &node[K, V]{
 		id:       t.nextID.Add(1),
-		keys:     make([]K, 0, t.cfg.InternalFanout),
-		children: make([]*node[K, V], 0, t.cfg.InternalFanout+1),
+		keys:     make([]K, 0, t.cfg.InternalFanout+1),
+		children: make([]*node[K, V], 0, t.cfg.InternalFanout+2),
 	}
 }
 
-// Latch helpers: no-ops for unsynchronized trees so the single-goroutine
-// hot path stays lock-free.
-
+// lockMeta/unlockMeta guard the fast-path metadata; no-ops for
+// unsynchronized trees. Node latches are never acquired while holding meta.
 func (t *Tree[K, V]) lockMeta() {
 	if t.synced {
 		t.meta.Lock()
@@ -273,64 +287,5 @@ func (t *Tree[K, V]) lockMeta() {
 func (t *Tree[K, V]) unlockMeta() {
 	if t.synced {
 		t.meta.Unlock()
-	}
-}
-
-func (t *Tree[K, V]) wlock(n *node[K, V]) {
-	if t.synced {
-		n.mu.Lock()
-	}
-}
-
-func (t *Tree[K, V]) wunlock(n *node[K, V]) {
-	if t.synced {
-		n.mu.Unlock()
-	}
-}
-
-func (t *Tree[K, V]) rlock(n *node[K, V]) {
-	if t.synced {
-		n.mu.RLock()
-	}
-}
-
-func (t *Tree[K, V]) runlock(n *node[K, V]) {
-	if t.synced {
-		n.mu.RUnlock()
-	}
-}
-
-// lockedRoot fetches the current root and write-locks it, retrying if a
-// concurrent root split swaps the pointer between the fetch and the lock.
-func (t *Tree[K, V]) lockedRoot() *node[K, V] {
-	for {
-		t.lockMeta()
-		r := t.root
-		t.unlockMeta()
-		t.wlock(r)
-		t.lockMeta()
-		ok := t.root == r
-		t.unlockMeta()
-		if ok {
-			return r
-		}
-		t.wunlock(r)
-	}
-}
-
-// rlockedRoot is the shared-lock variant of lockedRoot.
-func (t *Tree[K, V]) rlockedRoot() *node[K, V] {
-	for {
-		t.lockMeta()
-		r := t.root
-		t.unlockMeta()
-		t.rlock(r)
-		t.lockMeta()
-		ok := t.root == r
-		t.unlockMeta()
-		if ok {
-			return r
-		}
-		t.runlock(r)
 	}
 }

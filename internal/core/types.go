@@ -110,9 +110,11 @@ type Config struct {
 	// the paper's prose rule (advance only when IKR accepts the key).
 	// Measurably worse on the BoDS workloads; kept as an ablation toggle.
 	UnconditionalCatchUp bool
-	// Synchronized enables internal latching (lock crabbing on nodes plus a
-	// fast-path metadata latch, §4.5) so the tree can be used from multiple
-	// goroutines. When false the tree is single-goroutine and lock-free.
+	// Synchronized enables internal latching (optimistic lock coupling on
+	// versioned node latches plus a fast-path metadata latch, §4.5) so the
+	// tree can be used from multiple goroutines. Reads acquire no locks;
+	// writes latch only the nodes they mutate. When false every latch
+	// helper short-circuits and the tree is single-goroutine.
 	Synchronized bool
 }
 

@@ -49,10 +49,10 @@ func (t *Tree[K, V]) Validate() error {
 			}
 		}
 		if n.isLeaf() {
-			if j.depth+1 != t.height {
-				return fmt.Errorf("leaf %d at depth %d, want %d", n.id, j.depth, t.height-1)
+			if j.depth+1 != t.Height() {
+				return fmt.Errorf("leaf %d at depth %d, want %d", n.id, j.depth, t.Height()-1)
 			}
-			if len(n.keys) == 0 && n != t.root {
+			if len(n.keys) == 0 && n != t.root.Load() {
 				return fmt.Errorf("leaf %d is empty", n.id)
 			}
 			if len(n.keys) > t.cfg.LeafCapacity {
@@ -88,7 +88,7 @@ func (t *Tree[K, V]) Validate() error {
 		}
 		return nil
 	}
-	if err := walk(job{n: t.root}); err != nil {
+	if err := walk(job{n: t.root.Load()}); err != nil {
 		return err
 	}
 
@@ -100,11 +100,11 @@ func (t *Tree[K, V]) Validate() error {
 	}
 
 	// Leaf chain consistency.
-	if t.head != leaves[0] {
-		return fmt.Errorf("head is node %d, want leftmost leaf %d", t.head.id, leaves[0].id)
+	if head := t.head.Load(); head != leaves[0] {
+		return fmt.Errorf("head is node %d, want leftmost leaf %d", head.id, leaves[0].id)
 	}
-	if t.tail != leaves[len(leaves)-1] {
-		return fmt.Errorf("tail is node %d, want rightmost leaf %d", t.tail.id, leaves[len(leaves)-1].id)
+	if tail := t.tail.Load(); tail != leaves[len(leaves)-1] {
+		return fmt.Errorf("tail is node %d, want rightmost leaf %d", tail.id, leaves[len(leaves)-1].id)
 	}
 	for i, n := range leaves {
 		var wantPrev, wantNext *node[K, V]
@@ -114,10 +114,10 @@ func (t *Tree[K, V]) Validate() error {
 		if i+1 < len(leaves) {
 			wantNext = leaves[i+1]
 		}
-		if n.prev != wantPrev {
+		if n.prev.Load() != wantPrev {
 			return fmt.Errorf("leaf %d: bad prev link", n.id)
 		}
-		if n.next != wantNext {
+		if n.next.Load() != wantNext {
 			return fmt.Errorf("leaf %d: bad next link", n.id)
 		}
 		if i > 0 && len(n.keys) > 0 && len(leaves[i-1].keys) > 0 {
@@ -149,8 +149,8 @@ func (t *Tree[K, V]) validateFP(leaves []*node[K, V]) error {
 	if idx < 0 {
 		return fmt.Errorf("fast path: leaf %d not reachable", fp.leaf.id)
 	}
-	if t.cfg.Mode == ModeTail && fp.leaf != t.tail {
-		return fmt.Errorf("fast path: tail mode points at leaf %d, tail is %d", fp.leaf.id, t.tail.id)
+	if t.cfg.Mode == ModeTail && fp.leaf != t.tail.Load() {
+		return fmt.Errorf("fast path: tail mode points at leaf %d, tail is %d", fp.leaf.id, t.tail.Load().id)
 	}
 	if fp.size != len(fp.leaf.keys) {
 		return fmt.Errorf("fast path: fp_size %d, leaf has %d", fp.size, len(fp.leaf.keys))
@@ -163,15 +163,15 @@ func (t *Tree[K, V]) validateFP(leaves []*node[K, V]) error {
 			return fmt.Errorf("fast path: leaf max %v at or above fp_max %v", fp.leaf.keys[len(fp.leaf.keys)-1], fp.max)
 		}
 	}
-	if fp.hasMax && fp.leaf == t.tail {
+	if fp.hasMax && fp.leaf == t.tail.Load() {
 		return fmt.Errorf("fast path: rightmost leaf %d has an upper bound", fp.leaf.id)
 	}
 	if fp.prevValid {
 		if fp.prev == nil {
 			return fmt.Errorf("fast path: prevValid with nil prev")
 		}
-		if fp.prev != fp.leaf.prev {
-			return fmt.Errorf("fast path: pole_prev %d is not the left neighbor %v", fp.prev.id, leafID(fp.leaf.prev))
+		if fp.prev != fp.leaf.prev.Load() {
+			return fmt.Errorf("fast path: pole_prev %d is not the left neighbor %v", fp.prev.id, leafID(fp.leaf.prev.Load()))
 		}
 		if fp.prevSize != len(fp.prev.keys) {
 			return fmt.Errorf("fast path: pole_prev_size %d, node has %d", fp.prevSize, len(fp.prev.keys))

@@ -90,8 +90,10 @@ type Options struct {
 	// keep headroom for future out-of-order entries at the cost of some
 	// space (paper §5.2.1's tuning note).
 	MaxFill float64
-	// Synchronized enables internal latching (lock crabbing, paper §4.5)
-	// for concurrent use from multiple goroutines.
+	// Synchronized enables internal latching (optimistic lock coupling,
+	// paper §4.5 upgraded; see DESIGN.md §6) for concurrent use from
+	// multiple goroutines. Reads stay lock-free: they validate per-node
+	// versions and restart on conflict (counted in Stats.OLCRestarts).
 	Synchronized bool
 }
 
