@@ -162,64 +162,83 @@ func (t *Tree[K, V]) rebalance(path []pathEntry[K, V]) {
 
 // rebalanceLeaf fixes an underfull leaf via borrow or merge. It returns
 // true when a merge removed a child from parent (parent may now be
-// underfull), false when a borrow sufficed.
+// underfull), false when a borrow sufficed or the leaf recovered on its
+// own.
+//
+// Latching the left sibling requires releasing n and reacquiring both in
+// left-to-right order (deadlock-freedom with forward scans). Descending
+// writers cannot slip in — the whole path is latched — but a fast-path
+// insert reaches fp.leaf through the metadata, not the latched path, and
+// can grow n during that window. Deciding borrow-vs-merge from sizes read
+// before the window could then merge leaves whose combined size exceeds
+// the fixed leaf capacity, reallocating the backing arrays and breaking
+// the no-reallocation invariant optimistic readers depend on. So: open the
+// window once, up front, and make every decision from sizes read while all
+// latches are held (fast inserts only ever grow n, so the underflow
+// re-check is the only direction needed).
 func (t *Tree[K, V]) rebalanceLeaf(n, parent *node[K, V], idx int) bool {
-	// Try borrowing from the right sibling.
-	if idx+1 < len(parent.children) {
-		sib := parent.children[idx+1]
-		t.writeLatch(sib)
-		if len(sib.keys) > t.minLeaf {
-			n.keys = append(n.keys, sib.keys[0])
-			n.vals = append(n.vals, sib.vals[0])
-			sib.removeAt(0)
-			parent.keys[idx] = sib.keys[0]
-			t.writeUnlatch(sib)
-			t.c.borrows.Add(1)
-			return false
-		}
-		t.writeUnlatch(sib)
-	}
-	// Try borrowing from the left sibling. Lock order: left before n, so
-	// release and reacquire; the subtree is writer-quiescent because the
-	// whole path is latched.
+	var left, right *node[K, V]
 	if idx > 0 {
-		sib := parent.children[idx-1]
+		left = parent.children[idx-1]
 		t.writeUnlatch(n)
-		t.writeLatch(sib)
+		t.writeLatch(left)
 		t.writeLatch(n)
-		if len(sib.keys) > t.minLeaf {
-			last := len(sib.keys) - 1
-			k, v := sib.keys[last], sib.vals[last]
-			sib.removeAt(last)
-			n.insertAt(0, k, v)
-			parent.keys[idx-1] = k
-			t.writeUnlatch(sib)
-			t.c.borrows.Add(1)
-			return false
-		}
-		t.writeUnlatch(sib)
 	}
-	// Merge. Prefer absorbing the right sibling into n; otherwise merge n
-	// into its left sibling.
 	if idx+1 < len(parent.children) {
-		sib := parent.children[idx+1]
-		t.writeLatch(sib)
-		t.mergeLeaves(n, sib)
+		right = parent.children[idx+1]
+		t.writeLatch(right)
+	}
+	unlatchSibs := func() {
+		if left != nil {
+			t.writeUnlatch(left)
+		}
+		if right != nil {
+			t.writeUnlatch(right)
+		}
+	}
+
+	if len(n.keys) >= t.minLeaf {
+		// A fast-path insert refilled n during the reacquire window.
+		unlatchSibs()
+		return false
+	}
+	// Try borrowing from the right sibling.
+	if right != nil && len(right.keys) > t.minLeaf {
+		n.keys = append(n.keys, right.keys[0])
+		n.vals = append(n.vals, right.vals[0])
+		right.removeAt(0)
+		parent.keys[idx] = right.keys[0]
+		unlatchSibs()
+		t.c.borrows.Add(1)
+		return false
+	}
+	// Try borrowing from the left sibling.
+	if left != nil && len(left.keys) > t.minLeaf {
+		last := len(left.keys) - 1
+		k, v := left.keys[last], left.vals[last]
+		left.removeAt(last)
+		n.insertAt(0, k, v)
+		parent.keys[idx-1] = k
+		unlatchSibs()
+		t.c.borrows.Add(1)
+		return false
+	}
+	// Merge. Both sides are at most minLeaf and n is below it, so the
+	// merged leaf fits capacity. Prefer absorbing the right sibling into n;
+	// otherwise merge n into its left sibling.
+	if right != nil {
+		t.mergeLeaves(n, right)
 		parent.removeChildAt(idx)
-		t.markObsolete(sib)
-		t.writeUnlatch(sib)
+		t.markObsolete(right)
+		unlatchSibs()
 		return true
 	}
-	sib := parent.children[idx-1]
-	t.writeUnlatch(n)
-	t.writeLatch(sib)
-	t.writeLatch(n)
-	t.mergeLeaves(sib, n)
+	t.mergeLeaves(left, n)
 	parent.removeChildAt(idx - 1)
 	// n was absorbed; it stays latched until the caller unwinds path, and
 	// the obsolete tag survives the unlatch.
 	t.markObsolete(n)
-	t.writeUnlatch(sib)
+	unlatchSibs()
 	return true
 }
 

@@ -32,9 +32,15 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 	if !t.tryWriteLatch(leaf) {
 		// Contended leaf. Blocking on it while holding meta would invert
 		// the lock order, so release meta, latch pessimistically, and
-		// revalidate the metadata snapshot latch-first.
+		// revalidate the metadata snapshot latch-first. The blocking
+		// acquisition must fail on an obsolete node: a rebalance can merge
+		// the leaf away, unlatch it, and reset the fast path only
+		// afterwards — so winning the latch race and re-reading fp.leaf is
+		// not enough to prove the leaf is still linked.
 		t.unlockMeta()
-		t.writeLatch(leaf)
+		if !t.writeLatchLive(leaf) {
+			return prev, false, false
+		}
 		t.lockMeta()
 		if t.fp.leaf != leaf || !t.fpContains(key) {
 			// A concurrent operation moved the fast path between the
@@ -81,7 +87,9 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 	}
 
 	lo, hi := t.leafBoundsFromFP()
-	target, _, _ := t.splitForInsert(path, key, lo, hi)
+	// Unsynchronized-only path, so the whole tree is logically latched
+	// (fullPath) and the returned sibling needs no unlatching.
+	target, _, _, _ := t.splitForInsert(path, key, lo, hi, true)
 	ti, _ := target.find(key)
 	target.insertAt(ti, key, val)
 	if target == t.fp.leaf {
@@ -298,12 +306,16 @@ func (t *Tree[K, V]) pessimisticInsert(key K, val V, holdAll bool) (prev V, exis
 	}
 
 	target, tlo, thi := leaf, lo, hi
+	var newSib *node[K, V]
 	if len(leaf.keys) >= t.cfg.LeafCapacity {
 		nodes := make([]*node[K, V], len(path))
 		for i := range path {
 			nodes[i] = path[i].n
 		}
-		target, tlo, thi = t.splitForInsert(nodes, key, lo, hi)
+		// holdAll == fullPath: with it the descent latched every node on
+		// the path; without it only the crabbed suffix is held and
+		// splitForInsert must not redistribute into pole_prev.
+		target, newSib, tlo, thi = t.splitForInsert(nodes, key, lo, hi, holdAll)
 	}
 	i, _ := target.find(key)
 	target.insertAt(i, key, val)
@@ -320,6 +332,13 @@ func (t *Tree[K, V]) pessimisticInsert(key K, val V, holdAll bool) (prev V, exis
 		pathNodes[len(pathNodes)-1] = target
 	}
 	t.afterTopInsert(target, key, tlo, thi, pathNodes)
+	if newSib != nil {
+		// The split-off sibling was created write-latched (it is reachable
+		// through the leaf chain and new ancestors from the moment the
+		// split published it); only now, with the insert complete, may
+		// optimistic readers see it.
+		t.writeUnlatch(newSib)
+	}
 	t.unlockPathFrom(path, lockedFrom)
 	return prev, false
 }

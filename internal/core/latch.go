@@ -22,9 +22,16 @@ package core
 //     crabbing, releasing ancestors as soon as a child is split-safe.
 //   - Nodes unlinked by merges or root collapses are tagged obsolete while
 //     still latched; a reader that reaches one through a stale pointer
-//     fails its next validation and restarts. Go's garbage collector keeps
-//     such nodes alive until the last stale reference drops, so no epoch
-//     reclamation is needed.
+//     fails its next validation and restarts, and a writer that blocked on
+//     one (writeLatchLive) fails its acquisition and re-routes. Go's
+//     garbage collector keeps such nodes alive until the last stale
+//     reference drops, so no epoch reclamation is needed.
+//   - New nodes are created write-latched (splits, root growth) and stay
+//     latched until fully initialized and, for split-off leaves, until the
+//     pending entry has been inserted. Splits publish nodes early — through
+//     the leaf chain, the tail pointer, or a new root — so an unlatched
+//     fresh node would be readable mid-initialization with a version that
+//     never changes, defeating validation.
 //
 // Lock ordering: node latches root-to-leaf, left-to-right; the fast-path
 // meta latch is strictly innermost (taken only while holding at most the
@@ -78,11 +85,28 @@ func (t *Tree[K, V]) upgradeLatch(n *node[K, V], v uint64) bool {
 	return n.lt.upgradeToWriteLockOrRestart(v)
 }
 
-// writeLatch acquires n's write latch pessimistically.
+// writeLatch acquires n's write latch pessimistically. Callers must know n
+// cannot be unlinked while they wait — i.e. they hold a latch on n's parent
+// or an ancestor that blocks every rebalance of n. When that is not
+// guaranteed (the node was reached through a pointer, not a latched path),
+// use writeLatchLive instead.
 func (t *Tree[K, V]) writeLatch(n *node[K, V]) {
 	if t.synced {
 		n.lt.writeLock()
 	}
+}
+
+// writeLatchLive acquires n's write latch pessimistically, failing when n
+// was merged away (marked obsolete) before the latch was won. This is the
+// acquisition for nodes reached outside the latched descent — the fast-path
+// leaf, located via metadata — where a concurrent rebalance can unlink the
+// node while the caller blocks. On failure the caller must re-route through
+// a fresh descent.
+func (t *Tree[K, V]) writeLatchLive(n *node[K, V]) bool {
+	if !t.synced {
+		return true
+	}
+	return n.lt.writeLockOrRestart()
 }
 
 // tryWriteLatch attempts n's write latch with a single non-blocking probe.

@@ -104,6 +104,25 @@ func (l *latch) writeLock() {
 	}
 }
 
+// writeLockOrRestart acquires the write lock pessimistically but fails —
+// without acquiring — when the node is obsolete. A caller that blocked on a
+// node latch may wake up after a concurrent rebalance merged the node away;
+// acquiring it anyway would let the caller mutate an unlinked node (e.g. a
+// fast-path insert landing in a dead leaf and silently losing the key).
+// The obsolete flag is only ever set while the write lock is held, so the
+// pre-CAS check cannot race with a concurrent markObsolete.
+func (l *latch) writeLockOrRestart() bool {
+	for {
+		v := l.awaitUnlocked()
+		if v&latchObsolete != 0 {
+			return false
+		}
+		if l.w.CompareAndSwap(v, v|latchLocked) {
+			return true
+		}
+	}
+}
+
 // tryWriteLock attempts the write lock with a single probe, never blocking.
 // It fails on contention or when the node is obsolete. Because it cannot
 // wait, it is the one latch operation that may run while holding the meta

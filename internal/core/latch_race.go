@@ -75,6 +75,18 @@ func (l *latch) upgradeToWriteLockOrRestart(v uint64) bool {
 // writeLock acquires the write lock pessimistically.
 func (l *latch) writeLock() { l.mu.Lock() }
 
+// writeLockOrRestart acquires the write lock pessimistically but fails —
+// releasing the lock again — when the node is obsolete; see the production
+// variant for why blocked writers must not acquire merged-away nodes.
+func (l *latch) writeLockOrRestart() bool {
+	l.mu.Lock()
+	if l.ver.Load()&latchObsolete != 0 {
+		l.mu.Unlock()
+		return false
+	}
+	return true
+}
+
 // tryWriteLock attempts the write lock without blocking; see the production
 // variant for why this is the one latch call allowed under the meta mutex.
 func (l *latch) tryWriteLock() bool {

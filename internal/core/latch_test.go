@@ -44,6 +44,32 @@ func TestLatchObsoleteSurvivesUnlockAndRejectsAll(t *testing.T) {
 	if l.tryWriteLock() {
 		t.Fatal("tryWriteLock succeeded on an obsolete latch")
 	}
+	if l.writeLockOrRestart() {
+		t.Fatal("writeLockOrRestart succeeded on an obsolete latch")
+	}
+	// The failed acquisition must not leave the lock held: a live latch
+	// acquired through the same entry point must still work.
+	var live latch
+	if !live.writeLockOrRestart() {
+		t.Fatal("writeLockOrRestart failed on an idle latch")
+	}
+	live.writeUnlock()
+}
+
+// TestLatchWriteLockOrRestartBlocksThenFails models the merged-away
+// fast-path leaf: a writer blocks on a latched node, the holder marks it
+// obsolete before releasing, and the blocked acquisition must fail rather
+// than hand out a dead node.
+func TestLatchWriteLockOrRestartBlocksThenFails(t *testing.T) {
+	var l latch
+	l.writeLock()
+	got := make(chan bool)
+	go func() { got <- l.writeLockOrRestart() }()
+	l.markObsolete()
+	l.writeUnlock()
+	if <-got {
+		t.Fatal("writeLockOrRestart acquired a node marked obsolete before release")
+	}
 }
 
 func TestLatchTryWriteLockNonBlocking(t *testing.T) {

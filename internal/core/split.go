@@ -4,12 +4,24 @@ package core
 // either by splitting it (policy depends on the tree mode and on whether
 // the leaf is the fast-path leaf) or, in QuIT mode, by redistributing
 // entries into an underfull pole_prev (Algorithm 2). It returns the leaf
-// that should receive key together with that leaf's routing bounds.
+// that should receive key together with that leaf's routing bounds, plus
+// the freshly created sibling (nil when a redistribution avoided the
+// split). The sibling is still write-latched; the caller releases it after
+// the pending insert so optimistic readers — who can already reach it
+// through the leaf chain, the tail pointer, or new ancestors — never
+// observe it mid-mutation.
 //
-// path is the root..leaf ancestry; in synchronized mode the caller holds
-// write latches on at least the suffix of path that can be modified (all of
-// it when a redistribution is possible).
-func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
+// path is the root..leaf ancestry. fullPath reports that every node on it
+// is write-latched (a holdAll descent, or an unsynchronized tree); without
+// it the caller holds only the crabbed suffix that plain splits can touch.
+// isPole is recomputed here, after the descent, so it can be true even
+// when the pre-descent check that decides holdAll said otherwise — the
+// fast path may have moved onto this leaf in between. Redistribution
+// rewrites a separator pivot that can live arbitrarily high on path
+// (updateSeparator), so it is only attempted under fullPath; the split
+// policies below stay within the latched suffix via propagateSplit's
+// overflow induction and are safe either way.
+func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K], fullPath bool) (*node[K, V], *node[K, V], bound[K], bound[K]) {
 	leaf := path[len(path)-1]
 	mode := t.cfg.Mode
 
@@ -24,12 +36,14 @@ func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K]) 
 		if prevSize >= t.minLeaf {
 			return t.variableSplit(path, leaf, key, lo, hi, prevMin, prevSize)
 		}
-		if target, tlo, thi, ok := t.redistributeIntoPrev(path, leaf, key, lo, hi); ok {
-			return target, tlo, thi
+		if fullPath {
+			if target, tlo, thi, ok := t.redistributeIntoPrev(path, leaf, key, lo, hi); ok {
+				return target, nil, tlo, thi
+			}
 		}
-		// Redistribution was not applicable (e.g. the incoming key would
-		// have to move with the redistributed prefix); fall back to the
-		// default pole split below.
+		// Redistribution was not applicable (the incoming key would have to
+		// move with the redistributed prefix, or only a crabbed suffix of
+		// the path is latched); fall back to the default pole split below.
 	}
 	if isPole {
 		return t.splitPoleDefault(path, leaf, key, lo, hi, prevValid, prevMin, prevSize)
@@ -40,7 +54,7 @@ func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K]) 
 // variableSplit implements Algorithm 2 lines 3-8: IKR locates the first
 // outlier position l in the full pole and the node is split there instead
 // of at 50%, packing in-order entries tightly.
-func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevMin K, prevSize int) (*node[K, V], bound[K], bound[K]) {
+func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevMin K, prevSize int) (*node[K, V], *node[K, V], bound[K], bound[K]) {
 	q := leaf.keys[0]
 	x := t.est.Bound(float64(prevMin), float64(q), prevSize, len(leaf.keys))
 	l := outlierIndex(leaf.keys, x)
@@ -71,7 +85,8 @@ func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, 
 		t.fp.prevValid = true
 		t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
 		t.unlockMeta()
-		return routeAfterSplit(leaf, right, key, lo, hi)
+		target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
+		return target, right, tlo, thi
 	}
 
 	// Mostly outliers: split at l, moving every outlier to the new node and
@@ -89,7 +104,8 @@ func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, 
 	t.fp.max, t.fp.hasMax = splitKey, true
 	t.fp.size = len(leaf.keys)
 	t.unlockMeta()
-	return routeAfterSplit(leaf, right, key, lo, hi)
+	target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
+	return target, right, tlo, thi
 }
 
 // redistributeIntoPrev implements Algorithm 2 line 10 / Fig. 7c: when
@@ -104,8 +120,13 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 	}
 
 	// Reacquire in left-to-right order to stay deadlock-free with forward
-	// scans. The subtree is writer-quiescent: every writer is blocked at
-	// the ancestors this insert holds.
+	// scans. Descending writers are quiescent: the caller holds the entire
+	// path including the root (splitForInsert only calls this under
+	// fullPath), so prev cannot be split or merged underneath us. The one
+	// writer that bypasses the descent — a fast-path insert latching
+	// fp.leaf via metadata — can grab leaf during the window, but leaf is
+	// full, so it can only overwrite values, never change lengths; every
+	// size below is re-read after the latches are back.
 	t.writeUnlatch(leaf)
 	t.writeLatch(prev)
 	t.writeLatch(leaf)
@@ -175,7 +196,7 @@ func (t *Tree[K, V]) updateSeparator(path []*node[K, V], oldMin, newMin K) {
 // fallback: a classical 50% split followed by the IKR-guided pole update
 // policy (Fig. 6), or the initialization rule when pole_prev metadata is
 // not yet established.
-func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevValid bool, prevMin K, prevSize int) (*node[K, V], bound[K], bound[K]) {
+func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevValid bool, prevMin K, prevSize int) (*node[K, V], *node[K, V], bound[K], bound[K]) {
 	q := leaf.keys[0]
 	sizeBefore := len(leaf.keys)
 	right := t.splitLeafAt(leaf, sizeBefore/2)
@@ -204,12 +225,13 @@ func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key 
 		t.fp.size = len(leaf.keys)
 	}
 	t.unlockMeta()
-	return routeAfterSplit(leaf, right, key, lo, hi)
+	target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
+	return target, right, tlo, thi
 }
 
 // splitOther is the classical 50% split for any leaf that is not the pole,
 // plus the mode-specific fast-path fixups it may imply.
-func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
+func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], *node[K, V], bound[K], bound[K]) {
 	right := t.splitLeafAt(leaf, len(leaf.keys)/2)
 	splitKey := right.keys[0]
 	t.propagateSplit(path, splitKey, right)
@@ -242,15 +264,24 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 		}
 	}
 	t.unlockMeta()
-	return routeAfterSplit(leaf, right, key, lo, hi)
+	target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
+	return target, right, tlo, thi
 }
 
 // splitLeafAt moves leaf.keys[pos:] into a fresh right sibling and links it
 // into the leaf chain, updating the tree tail if needed. The caller holds
 // leaf's write latch in synchronized mode; the neighbor's prev pointer and
 // the tail pointer are atomics, so no further latches are needed.
+//
+// The new sibling is returned write-latched: linking it into the chain (and
+// into t.tail) publishes it to optimistic readers — Max through the tail
+// pointer, iterators walking the chain — before the caller has finished
+// mutating it, and a fresh node's version never changes during those
+// mutations, so validation alone cannot protect readers. The caller must
+// writeUnlatch it once the split (and any pending insert into it) is done.
 func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
 	right := t.newLeaf()
+	t.writeLatch(right) // uncontended: not yet published
 	right.keys = append(right.keys, leaf.keys[pos:]...)
 	right.vals = append(right.vals, leaf.vals[pos:]...)
 	var zv V
@@ -278,11 +309,19 @@ func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
 // split into the ancestors on path, splitting overflowing internal nodes
 // and growing a new root if the split reaches the top. In synchronized
 // mode crabbing guarantees every ancestor that can overflow is latched.
+//
+// Internal siblings minted by splitInternal arrive write-latched and are
+// released here as soon as they are wired into a parent (nothing mutates
+// them afterwards). The incoming right — a split-off leaf, also latched —
+// is left for the caller to release after the pending insert.
 func (t *Tree[K, V]) propagateSplit(path []*node[K, V], splitKey K, right *node[K, V]) {
 	for i := len(path) - 2; i >= 0; i-- {
 		p := path[i]
 		idx := upperBound(p.keys, splitKey)
 		p.insertChildAt(idx, splitKey, right)
+		if !right.isLeaf() {
+			t.writeUnlatch(right)
+		}
 		if len(p.children) <= t.cfg.InternalFanout {
 			return
 		}
@@ -291,21 +330,30 @@ func (t *Tree[K, V]) propagateSplit(path []*node[K, V], splitKey K, right *node[
 	// Root split: the caller holds the old root's latch (crabbing never
 	// released it, or the whole path ends here), so the swap is atomic for
 	// optimistic readers — they re-check the root pointer inside their read
-	// section and restart if it moved.
+	// section and restart if it moved. The new root is published latched and
+	// released once fully wired, so a reader arriving through the fresh
+	// pointer waits rather than observing it mid-initialization.
 	old := path[0]
 	newRoot := t.newInternal()
+	t.writeLatch(newRoot) // uncontended: not yet published
 	newRoot.keys = append(newRoot.keys, splitKey)
 	newRoot.children = append(newRoot.children, old, right)
+	if !right.isLeaf() {
+		t.writeUnlatch(right)
+	}
 	t.root.Store(newRoot)
 	t.height.Add(1)
+	t.writeUnlatch(newRoot)
 }
 
 // splitInternal splits an overflowing internal node in half, promoting the
-// middle pivot. Returns the promoted pivot and the new right node.
+// middle pivot. Returns the promoted pivot and the new right node, which is
+// write-latched (propagateSplit releases it once it is wired into a parent).
 func (t *Tree[K, V]) splitInternal(p *node[K, V]) (K, *node[K, V]) {
 	m := len(p.keys) / 2
 	up := p.keys[m]
 	right := t.newInternal()
+	t.writeLatch(right) // uncontended: not yet published
 	right.keys = append(right.keys, p.keys[m+1:]...)
 	right.children = append(right.children, p.children[m+1:]...)
 	for i := m + 1; i < len(p.children); i++ {
