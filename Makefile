@@ -1,0 +1,68 @@
+# Developer entry points. `make lint` is the one CI runs: quitlint (the
+# project's own go vet suite, see tools/quitlint and DESIGN.md §7), plain
+# go vet over both modules, and — when installed — the pinned third-party
+# checkers. Versions here must stay in sync with tools/go.mod and
+# .github/workflows/ci.yml.
+
+GO ?= go
+STATICCHECK_VERSION  := v0.5.1
+GOVULNCHECK_VERSION  := v1.1.3
+
+QUITLINT := $(CURDIR)/tools/bin/quitlint
+
+.PHONY: all build test race fuzz lint vet quitlint quitlint-bin staticcheck govulncheck clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+	cd tools && $(GO) build ./...
+
+test:
+	$(GO) test ./...
+	cd tools && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# 30-second coverage-guided smoke over the committed corpus; CI runs the
+# same invocation.
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzTreeOps -fuzztime=30s ./internal/core
+
+quitlint:
+	@cd tools && $(GO) build -o bin/quitlint ./quitlint
+
+# Prints the vettool path (and nothing else under -s), so scripts can say:
+#   go vet -vettool=$$(make -s quitlint-bin) ./...
+quitlint-bin: quitlint
+	@echo $(QUITLINT)
+
+vet:
+	$(GO) vet ./...
+	cd tools && $(GO) vet ./...
+
+lint: vet quitlint
+	$(GO) vet -vettool=$(QUITLINT) ./...
+	@$(MAKE) --no-print-directory staticcheck govulncheck
+
+# The third-party checkers are optional locally (this repo builds offline);
+# CI installs the pinned versions and they become mandatory there.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION):" \
+		     "go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION):" \
+		     "go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+clean:
+	rm -rf tools/bin

@@ -5,18 +5,30 @@ import (
 	"testing"
 )
 
+// structuralOps sums the counters that change only when the tree's shape
+// changes; a delta since the previous operation means a split, merge,
+// borrow, or QuIT redistribution just ran and the invariants are worth
+// re-checking immediately (that is where shape bugs are born).
+func structuralOps(s Stats) int64 {
+	return s.LeafSplits + s.InternalSplits + s.VariableSplits +
+		s.Redistributions + s.Borrows + s.Merges
+}
+
 // FuzzTreeOps drives a QuIT tree (tiny nodes, maximum structural churn)
 // with a byte-coded operation stream and cross-checks it against a map
-// oracle plus the structural validator after every few operations.
+// oracle. The structural validator runs right after every operation that
+// split, merged, borrowed, or redistributed — plus a coarse every-64-steps
+// sweep as a backstop.
 //
-// Encoding: each operation consumes 3 bytes: opcode (put/delete/get by
-// modulo), then a 2-byte key. Runs with `go test -fuzz=FuzzTreeOps`.
+// Encoding: each operation consumes 3 bytes: opcode (put/delete/get/range
+// by modulo), then a 2-byte big-endian key. The committed corpus lives in
+// testdata/fuzz/FuzzTreeOps. Runs with `go test -fuzz=FuzzTreeOps`.
 func FuzzTreeOps(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0, 0, 2, 1, 0, 1})
 	f.Add([]byte{0, 1, 0, 0, 2, 0, 0, 3, 0, 1, 2, 0, 2, 1, 0})
 	seed := make([]byte, 0, 300)
 	for i := 0; i < 100; i++ {
-		seed = append(seed, byte(i%3), byte(i), byte(i/2))
+		seed = append(seed, byte(i%4), byte(i), byte(i/2))
 	}
 	f.Add(seed)
 
@@ -24,8 +36,9 @@ func FuzzTreeOps(f *testing.F) {
 		tr := New[int64, int64](Config{Mode: ModeQuIT, LeafCapacity: 4, InternalFanout: 4})
 		oracle := map[int64]int64{}
 		step := 0
+		lastShape := int64(0)
 		for i := 0; i+2 < len(data); i += 3 {
-			op := data[i] % 3
+			op := data[i] % 4
 			key := int64(data[i+1])<<8 | int64(data[i+2])
 			switch op {
 			case 0:
@@ -45,11 +58,35 @@ func FuzzTreeOps(f *testing.F) {
 				if gok != wok || (gok && gv != wv) {
 					t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", step, key, gv, gok, wv, wok)
 				}
+			case 3: // Range [key, key+256): exact contents, ascending order
+				hi := key + 256
+				got := make([][2]int64, 0, 16)
+				tr.Range(key, hi, func(k, v int64) bool {
+					got = append(got, [2]int64{k, v})
+					return true
+				})
+				want := make([][2]int64, 0, 16)
+				for k, v := range oracle {
+					if k >= key && k < hi {
+						want = append(want, [2]int64{k, v})
+					}
+				}
+				sort.Slice(want, func(a, b int) bool { return want[a][0] < want[b][0] })
+				if len(got) != len(want) {
+					t.Fatalf("step %d: Range[%d,%d) returned %d entries, oracle has %d", step, key, hi, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("step %d: Range[%d,%d) entry %d = %v, want %v", step, key, hi, j, got[j], want[j])
+					}
+				}
 			}
 			step++
-			if step%64 == 0 {
+			shape := structuralOps(tr.Stats())
+			if shape != lastShape || step%64 == 0 {
+				lastShape = shape
 				if err := tr.Validate(); err != nil {
-					t.Fatalf("step %d: %v", step, err)
+					t.Fatalf("step %d (structural ops %d): %v", step, shape, err)
 				}
 			}
 		}

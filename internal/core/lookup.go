@@ -256,5 +256,5 @@ func minKeyValue[K Integer]() K {
 	if ones > zero {
 		return zero
 	}
-	return ones << (8*unsafe.Sizeof(zero) - 1)
+	return ones << (8*unsafe.Sizeof(zero) - 1) //quitlint:allow unsafeuse audited: compile-time Sizeof of the key type to build the signed minimum sentinel; no pointers formed
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// Stress sizing for the plain build: more operations per round, since there
+// is no race-detector slowdown to absorb.
+const (
+	stressRounds      = 4
+	stressOpsPerRound = 2000
+)

@@ -1,0 +1,13 @@
+//go:build race
+
+package core
+
+// Stress sizing under -race: the detector costs roughly an order of
+// magnitude, so rounds are smaller — but there are more of them, because
+// each round boundary is a quiescent point where the structural validator
+// runs over the tree the racing workers just built. More rounds means the
+// validator sees more intermediate shapes under instrumentation.
+const (
+	stressRounds      = 6
+	stressOpsPerRound = 500
+)

@@ -11,91 +11,104 @@ import (
 // optimistic read path and every restart surface (leaf upgrades, splits,
 // borrows, merges, obsolete nodes). Workers own disjoint key residues
 // (key % workers == w), so each can check its own reads against a private
-// reference map without synchronization; the final sweep validates the tree
-// invariants and compares size and contents against the merged references.
-// The test runs under -race as well, where the latch degrades to shared pins
-// (latch_race.go) but the call sites and restart paths are identical.
+// reference map without synchronization.
+//
+// The workload runs in stressRounds rounds (sized per build tag in
+// stress_race_test.go / stress_norace_test.go): between rounds all workers
+// quiesce and the structural validator sweeps the tree, so invariant
+// corruption is caught within one round of the operations that caused it
+// rather than only at the very end. Under -race the latch degrades to
+// shared pins (latch_race.go) but the call sites and restart paths are
+// identical — and the between-round validation is the point where the
+// detector's happens-before log meets the whole-tree walk.
 func TestStressMixedWorkload(t *testing.T) {
 	const (
 		workers = 8
-		ops     = 4000
 		space   = 2000 // per-worker key indexes: key = idx*workers + w
 	)
 	for _, mode := range []Mode{ModeNone, ModeQuIT} {
 		t.Run(mode.String(), func(t *testing.T) {
 			tr := New[int64, int64](syncConfig(mode))
 			refs := make([]map[int64]int64, workers)
-			var wg sync.WaitGroup
-			errs := make(chan error, workers)
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					rng := rand.New(rand.NewSource(int64(1000 + w)))
-					ref := make(map[int64]int64, space)
-					refs[w] = ref
-					key := func(idx int64) int64 { return idx*workers + int64(w) }
-					for i := 0; i < ops; i++ {
-						idx := int64(rng.Intn(space))
-						k := key(idx)
-						switch op := rng.Intn(10); {
-						case op < 5: // Put
-							v := int64(i)
-							tr.Put(k, v)
-							ref[k] = v
-						case op < 7: // Delete
-							_, existed := tr.Delete(k)
-							_, want := ref[k]
-							if existed != want {
-								errs <- fmt.Errorf("worker %d: Delete(%d) existed=%v, want %v", w, k, existed, want)
-								return
-							}
-							delete(ref, k)
-						case op < 9: // Get on an owned key: exact answer required
-							v, ok := tr.Get(k)
-							want, wantOK := ref[k]
-							if ok != wantOK || (ok && v != want) {
-								errs <- fmt.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,%v)", w, k, v, ok, want, wantOK)
-								return
-							}
-						default: // Range across all workers' keys: order only
-							lo := key(idx)
-							prev := lo - 1
-							count := 0
-							var rangeErr error
-							tr.Range(lo, lo+200, func(k2, _ int64) bool {
-								if k2 <= prev {
-									rangeErr = fmt.Errorf("worker %d: Range out of order: %d after %d", w, k2, prev)
-									return false
-								}
-								prev = k2
-								count++
-								return count < 64
-							})
-							if rangeErr != nil {
-								errs <- rangeErr
-								return
-							}
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			close(errs)
-			for err := range errs {
-				t.Fatal(err)
+			for w := range refs {
+				refs[w] = make(map[int64]int64, space)
 			}
 
-			if err := tr.Validate(); err != nil {
-				t.Fatal(err)
+			for round := 0; round < stressRounds; round++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(1000 + round*workers + w)))
+						ref := refs[w]
+						key := func(idx int64) int64 { return idx*workers + int64(w) }
+						for i := 0; i < stressOpsPerRound; i++ {
+							idx := int64(rng.Intn(space))
+							k := key(idx)
+							switch op := rng.Intn(10); {
+							case op < 5: // Put
+								v := int64(round*stressOpsPerRound + i)
+								tr.Put(k, v)
+								ref[k] = v
+							case op < 7: // Delete
+								_, existed := tr.Delete(k)
+								_, want := ref[k]
+								if existed != want {
+									errs <- fmt.Errorf("worker %d: Delete(%d) existed=%v, want %v", w, k, existed, want)
+									return
+								}
+								delete(ref, k)
+							case op < 9: // Get on an owned key: exact answer required
+								v, ok := tr.Get(k)
+								want, wantOK := ref[k]
+								if ok != wantOK || (ok && v != want) {
+									errs <- fmt.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,%v)", w, k, v, ok, want, wantOK)
+									return
+								}
+							default: // Range across all workers' keys: order only
+								lo := key(idx)
+								prev := lo - 1
+								count := 0
+								var rangeErr error
+								tr.Range(lo, lo+200, func(k2, _ int64) bool {
+									if k2 <= prev {
+										rangeErr = fmt.Errorf("worker %d: Range out of order: %d after %d", w, k2, prev)
+										return false
+									}
+									prev = k2
+									count++
+									return count < 64
+								})
+								if rangeErr != nil {
+									errs <- rangeErr
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+
+				// Quiescent point: every worker is done, so the validator
+				// sees a stable tree that must satisfy all invariants.
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				want := 0
+				for _, ref := range refs {
+					want += len(ref)
+				}
+				if got := tr.Stats().Size; got != int64(want) {
+					t.Fatalf("round %d: Stats().Size = %d, want %d", round, got, want)
+				}
 			}
-			want := 0
-			for _, ref := range refs {
-				want += len(ref)
-			}
-			if got := tr.Stats().Size; got != int64(want) {
-				t.Fatalf("Stats().Size = %d, want %d", got, want)
-			}
+
 			for w := 0; w < workers; w++ {
 				for k, v := range refs[w] {
 					got, ok := tr.Get(k)

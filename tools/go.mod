@@ -1,0 +1,19 @@
+module github.com/quittree/quit/tools
+
+go 1.23
+
+// This module is intentionally dependency-free: quitlint implements the
+// go/analysis style (Analyzer/Pass/Diagnostic) and the `go vet -vettool`
+// unit-checker protocol directly on the standard library, so the main
+// module stays stdlib-only and the linter builds in hermetic environments
+// with no module downloads.
+//
+// Companion third-party checkers are version-pinned here (as build metadata
+// for CI, which installs them from a networked runner; this module itself
+// must stay offline-buildable and therefore cannot `require` them):
+//
+//	honnef.co/go/tools/cmd/staticcheck  v0.5.1  (staticcheck)
+//	golang.org/x/vuln/cmd/govulncheck   v1.1.3  (govulncheck)
+//
+// Keep these lines in sync with STATICCHECK_VERSION / GOVULNCHECK_VERSION
+// in .github/workflows/ci.yml and the Makefile.

@@ -1,0 +1,130 @@
+// Package analyzers holds quitlint's four checks over the OLC latch
+// protocol, atomics discipline, and fast-path invariants documented in
+// DESIGN.md §6 of the main module. They are written against the lintkit
+// framework (a stdlib-only mirror of go/analysis) and are keyed to the
+// naming conventions of internal/core: the versioned latch type is named
+// `latch`, the tree-level wrappers readLatch / readCheck / readUnlatch /
+// upgradeLatch / writeLatch / writeLatchLive / tryWriteLatch live in
+// latch.go, and the fast-path metadata mutex is taken via lockMeta /
+// unlockMeta. Packages that do not declare a `latch` struct only get the
+// convention-free checks (atomic field hygiene, unsafe confinement).
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// All returns the quitlint analyzer suite.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		AtomicField,
+		LatchOrder,
+		OLCValidate,
+		UnsafeUse,
+	}
+}
+
+// latchFiles are the only files allowed to touch a node's latch field, per
+// the protocol comment at the top of internal/core/latch.go.
+var latchFiles = map[string]bool{
+	"latch.go":      true,
+	"latch_olc.go":  true,
+	"latch_race.go": true,
+}
+
+// latchImplFiles are the only files allowed to touch the latch's internal
+// word (the atomic version word, or the RWMutex of the race build).
+var latchImplFiles = map[string]bool{
+	"latch_olc.go":  true,
+	"latch_race.go": true,
+}
+
+// latchType returns the package's `latch` struct type, or nil when the
+// package does not participate in the latch protocol.
+func latchType(pkg *types.Package) *types.Named {
+	obj := pkg.Scope().Lookup("latch")
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// isAtomicType reports whether t is (an instantiation of) a named type
+// from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isLatchTyped reports whether t is the package's latch type.
+func isLatchTyped(t types.Type, latch *types.Named) bool {
+	if latch == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj() == latch.Obj()
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for indirect calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// recvBaseNamed returns the named type of a method's receiver with
+// pointers stripped, or nil for plain functions.
+func recvBaseNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// isLatchMethod reports whether f is a method declared on the latch type.
+func isLatchMethod(f *types.Func, latch *types.Named) bool {
+	if latch == nil {
+		return false
+	}
+	named := recvBaseNamed(f)
+	return named != nil && named.Obj() == latch.Obj()
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestAtomicFieldFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "atomicfield/bad", analyzers.AtomicField)
+}
+
+func TestAtomicFieldSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "atomicfield/good", analyzers.AtomicField)
+}

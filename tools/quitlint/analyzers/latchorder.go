@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// LatchOrder machine-checks the lock-ordering rules of DESIGN.md §6 with a
+// small intra-package call-graph walk:
+//
+//  1. Meta is innermost. Between lockMeta and unlockMeta (or to the end of
+//     the function when the unlock is deferred) no blocking latch
+//     acquisition may happen — not directly, and not through any callee
+//     that transitively blocks on a node latch. Blocking acquisitions are
+//     the latch methods readLockOrRestart / writeLock / writeLockOrRestart
+//     and everything that reaches them (readLatch, readRoot, descendToLeaf,
+//     writeLatch, writeLatchLive, writeLockedRoot, descendForWrite, ...).
+//     tryWriteLatch (single non-blocking probe) is the one permitted
+//     acquisition while meta is held.
+//  2. No recursive meta. While meta is held, calling lockMeta — or any
+//     function that transitively calls lockMeta — self-deadlocks a
+//     sync.Mutex.
+//  3. writeLockOrRestart is reserved for metadata-reached nodes. The
+//     obsolete-failing blocking acquisition exists for exactly one shape of
+//     caller: one that found the node through the fast-path metadata rather
+//     than a latched descent (tryFastInsert). Everywhere else writeLatch
+//     (under a latched ancestor) is the correct primitive, and spraying
+//     writeLatchLive around would paper over descent bugs.
+//  4. Raw latch calls are confined. Methods on the latch type may only be
+//     invoked from latch.go / latch_olc.go / latch_race.go; everything else
+//     goes through the tree-level helpers, which carry the Synchronized
+//     short-circuit and the restart accounting.
+//
+// The held-region analysis walks each function body in source order. It is
+// an approximation (a lockMeta/unlockMeta pair split across branches is
+// tracked linearly), which matches how latch.go is written: acquire and
+// release are always paired within a straight-line region or deferred.
+var LatchOrder = &lintkit.Analyzer{
+	Name: "latchorder",
+	Doc:  "check DESIGN.md §6 lock ordering: fp-meta innermost, no blocking node-latch acquisition under meta, writeLockOrRestart only on metadata-reached nodes, raw latch calls confined to latch*.go",
+	Run:  runLatchOrder,
+}
+
+// latchBlockingMethods are the latch primitives that can wait for another
+// goroutine (spin on the version word, or block on the race-build mutex).
+var latchBlockingMethods = map[string]bool{
+	"readLockOrRestart":  true,
+	"writeLock":          true,
+	"writeLockOrRestart": true,
+}
+
+// writeLatchLiveAllowed names the functions that may acquire a node latch
+// through writeLatchLive / writeLockOrRestart (rule 3): the fast-insert
+// entry point, which reaches the leaf through fp metadata.
+var writeLatchLiveAllowed = map[string]bool{
+	"tryFastInsert": true,
+}
+
+func runLatchOrder(pass *lintkit.Pass) error {
+	latch := latchType(pass.Pkg)
+	if latch == nil {
+		return nil
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Transitive closures over the intra-package call graph.
+	blocking := closure(pass, decls, func(callee *types.Func) bool {
+		return isLatchMethod(callee, latch) && latchBlockingMethods[callee.Name()]
+	})
+	metaLockers := closure(pass, decls, func(callee *types.Func) bool {
+		return callee.Name() == "lockMeta"
+	})
+
+	for obj, fd := range decls {
+		checkFuncOrder(pass, latch, fd, obj, blocking, metaLockers)
+	}
+	return nil
+}
+
+// closure returns the set of declared functions that (transitively) call a
+// function matching seed.
+func closure(pass *lintkit.Pass, decls map[*types.Func]*ast.FuncDecl, seed func(*types.Func) bool) map[*types.Func]bool {
+	// Direct call edges.
+	calls := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.Info, call); callee != nil {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+	in := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			if in[obj] {
+				continue
+			}
+			for _, callee := range calls[obj] {
+				if seed(callee) || in[callee] {
+					in[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return in
+}
+
+// checkFuncOrder applies rules 1-4 to one function body, walking statements
+// in source order and tracking whether the fp-meta mutex is held.
+func checkFuncOrder(pass *lintkit.Pass, latch *types.Named, fd *ast.FuncDecl, self *types.Func, blocking, metaLockers map[*types.Func]bool) {
+	metaHeld := false
+	lintkit.Inspect([]*ast.File{wrapBody(fd)}, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		name := callee.Name()
+
+		// Rule 4: raw latch calls outside the latch files.
+		if isLatchMethod(callee, latch) && !latchFiles[lintkit.Filename(pass.Fset, call.Pos())] {
+			pass.Reportf(call.Pos(), "raw latch call %s outside latch.go/latch_olc.go/latch_race.go; go through the tree-level latch helpers", name)
+		}
+
+		// Rule 3: writeLatchLive / writeLockOrRestart only from the
+		// metadata-reached path (and the wrapper itself in latch.go).
+		if (name == "writeLatchLive" || (name == "writeLockOrRestart" && isLatchMethod(callee, latch))) &&
+			!writeLatchLiveAllowed[fd.Name.Name] &&
+			!latchFiles[lintkit.Filename(pass.Fset, call.Pos())] {
+			pass.Reportf(call.Pos(), "%s acquires a possibly-unlinked node and is reserved for metadata-reached leaves (tryFastInsert); latched descents must use writeLatch", name)
+		}
+
+		switch name {
+		case "lockMeta":
+			if metaHeld {
+				pass.Reportf(call.Pos(), "lockMeta while the fp-meta mutex is already held: sync.Mutex self-deadlocks")
+			}
+			metaHeld = true
+			return true
+		case "unlockMeta":
+			if !isDeferred(call, stack) {
+				metaHeld = false
+			}
+			return true
+		}
+
+		if metaHeld {
+			if callee.Name() == "tryWriteLatch" || callee.Name() == "tryWriteLock" {
+				return true // the one sanctioned probe: cannot wait
+			}
+			if blocking[callee] || (isLatchMethod(callee, latch) && latchBlockingMethods[name]) {
+				pass.Reportf(call.Pos(), "blocking latch acquisition via %s while holding the fp-meta mutex; meta is strictly innermost (DESIGN.md §6) — release meta first or use tryWriteLatch", name)
+			}
+			if metaLockers[callee] || name == "lockMeta" {
+				pass.Reportf(call.Pos(), "call to %s while holding the fp-meta mutex can re-enter lockMeta and self-deadlock", name)
+			}
+		}
+		return true
+	})
+}
+
+// isDeferred reports whether call is the call of an enclosing DeferStmt.
+func isDeferred(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	ds, ok := stack[len(stack)-1].(*ast.DeferStmt)
+	return ok && ds.Call == call
+}
+
+// wrapBody lets lintkit.Inspect (which takes files) walk one function: the
+// declaration is wrapped in a synthetic single-decl file.
+func wrapBody(fd *ast.FuncDecl) *ast.File {
+	return &ast.File{Name: ast.NewIdent("body"), Decls: []ast.Decl{fd}}
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestLatchOrderFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "latchorder/bad", analyzers.LatchOrder)
+}
+
+func TestLatchOrderSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "latchorder/good", analyzers.LatchOrder)
+}

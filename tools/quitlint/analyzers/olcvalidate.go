@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// OLCValidate checks the validation discipline of optimistic reads
+// (DESIGN.md §6): every version obtained from an optimistic open —
+//
+//	v, ok := t.readLatch(n)        // version at result 0, ok at result 1
+//	n, v  := t.readRoot()          // version at result 1
+//	n, v  := t.descendToLeaf(key)  // version at result 1
+//
+// must flow into a validation (readCheck / readUnlatch / upgradeLatch),
+// be handed over to another version variable (parent-to-child handover,
+// `n, v = c, cv`), or escape through a return (the caller then owns the
+// still-open section). A version that is produced and never consumed means
+// the data read under it is used without ever being checked against a
+// concurrent writer — the canonical torn-read bug.
+//
+// Additionally:
+//
+//   - discarding a version or the obsolete-flag with `_` at the open is a
+//     finding (the section can never be validated / the obsolete restart is
+//     skipped), and
+//   - discarding the boolean of a validation call (expression statement or
+//     `_ =`) is a finding: an unchecked validation is no validation.
+//
+// The analysis is per-function and flow-insensitive: one consumption
+// anywhere in the function counts. That is deliberate — the restart loops
+// in latch.go consume on some paths and abort on others, and a
+// path-sensitive checker would need to understand the whole restart
+// protocol to avoid false positives.
+var OLCValidate = &lintkit.Analyzer{
+	Name: "olcvalidate",
+	Doc:  "check that optimistic read versions are validated (readCheck/readUnlatch/upgradeLatch), handed over, or returned before the section's data is used",
+	Run:  runOLCValidate,
+}
+
+// versionProducers maps an open-call name to the result index holding the
+// version. readLatch additionally returns the obsolete-flag at index 1.
+var versionProducers = map[string]int{
+	"readLatch":     0,
+	"readRoot":      1,
+	"descendToLeaf": 1,
+}
+
+// versionValidators are the calls that consume a version (any argument
+// position) and whose boolean result must not be discarded.
+var versionValidators = map[string]bool{
+	"readCheck":    true,
+	"readUnlatch":  true,
+	"upgradeLatch": true,
+}
+
+func runOLCValidate(pass *lintkit.Pass) error {
+	if latchType(pass.Pkg) == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncVersions(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// producerCall returns the version result index if call opens an optimistic
+// section, or -1.
+func producerCall(pass *lintkit.Pass, call *ast.CallExpr) int {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() != pass.Pkg {
+		return -1
+	}
+	if idx, ok := versionProducers[callee.Name()]; ok {
+		return idx
+	}
+	return -1
+}
+
+// validatorCall reports whether call is a version validation.
+func validatorCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	callee := calleeFunc(pass.Info, call)
+	return callee != nil && callee.Pkg() == pass.Pkg && versionValidators[callee.Name()]
+}
+
+func checkFuncVersions(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	// First sweep: find every version variable produced by an open, and
+	// flag opens whose version (or obsolete-flag) is discarded outright.
+	produced := map[*types.Var]ast.Node{} // version var -> producing stmt
+	lintkit.Inspect([]*ast.File{wrapBody(fd)}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && producerCall(pass, call) >= 0 {
+				pass.Reportf(call.Pos(), "optimistic open used as a statement: its version is discarded and the section can never be validated")
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx := producerCall(pass, call)
+			if idx < 0 || len(n.Lhs) <= idx {
+				return true
+			}
+			name := calleeFunc(pass.Info, call).Name()
+			vid, ok := n.Lhs[idx].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if vid.Name == "_" {
+				pass.Reportf(vid.Pos(), "version returned by %s discarded with _: the optimistic section can never be validated", name)
+				return true
+			}
+			if name == "readLatch" && len(n.Lhs) > 1 {
+				if okID, ok := n.Lhs[1].(*ast.Ident); ok && okID.Name == "_" {
+					pass.Reportf(okID.Pos(), "obsolete-flag of readLatch discarded with _: readers reaching an unlinked node must restart")
+				}
+			}
+			if obj := identVar(pass.Info, vid); obj != nil {
+				if _, seen := produced[obj]; !seen {
+					produced[obj] = n
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: record consumption — validator arguments, returns, and
+	// handover assignments (which also extend tracking to the destination).
+	consumed := map[*types.Var]bool{}
+	for changed := true; changed; { // handover chains: iterate to fixpoint
+		changed = false
+		lintkit.Inspect([]*ast.File{wrapBody(fd)}, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !validatorCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if obj := identVar(pass.Info, unparenIdent(arg)); obj != nil {
+						if _, tracked := produced[obj]; tracked && !consumed[obj] {
+							consumed[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if obj := identVar(pass.Info, unparenIdent(res)); obj != nil {
+						if _, tracked := produced[obj]; tracked && !consumed[obj] {
+							consumed[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Rhs {
+					src := identVar(pass.Info, unparenIdent(n.Rhs[i]))
+					if src == nil {
+						continue
+					}
+					if _, tracked := produced[src]; !tracked {
+						continue
+					}
+					dst, _ := n.Lhs[i].(*ast.Ident)
+					if dst == nil || dst.Name == "_" {
+						continue // `_ = v` is not a handover
+					}
+					if dstObj := identVar(pass.Info, dst); dstObj != nil {
+						if !consumed[src] {
+							consumed[src] = true
+							changed = true
+						}
+						if _, seen := produced[dstObj]; !seen {
+							produced[dstObj] = n // destination now carries the section
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for obj, site := range produced {
+		if !consumed[obj] {
+			pass.Reportf(site.Pos(), "optimistic read version %s is never validated, handed over, or returned: data read under it is unchecked against concurrent writers", obj.Name())
+		}
+	}
+
+	// Third sweep: validation booleans must be observed.
+	lintkit.Inspect([]*ast.File{wrapBody(fd)}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && validatorCall(pass, call) {
+				pass.Reportf(call.Pos(), "result of %s discarded: an unchecked validation is no validation — branch on it and restart on failure", calleeFunc(pass.Info, call).Name())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !validatorCall(pass, call) || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s discarded with _: branch on it and restart on failure", calleeFunc(pass.Info, call).Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// identVar resolves an identifier to the variable it names, or nil.
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if id == nil {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// unparenIdent unwraps parens around a bare identifier expression.
+func unparenIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestOLCValidateFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "olcvalidate/bad", analyzers.OLCValidate)
+}
+
+func TestOLCValidateSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "olcvalidate/good", analyzers.OLCValidate)
+}

@@ -1,0 +1,36 @@
+package fixture
+
+import "sync/atomic"
+
+type node struct {
+	lt   latch
+	keys []int
+	next *node // want "field next of node is shared with optimistic readers and must use a sync/atomic type"
+}
+
+type Tree struct {
+	size   atomic.Int64
+	root   *node // want "field root of Tree is shared with optimistic readers and must use a sync/atomic type"
+	height atomic.Int32
+}
+
+// Stats carries no atomics or latches: a plain snapshot, exempt from the
+// declaration rule even though its field names collide.
+type Stats struct {
+	height int
+	root   *node
+}
+
+func (t *Tree) badCopy() int32 {
+	h := t.height // want "atomic field height used without an atomic accessor"
+	_ = h
+	return t.height.Load()
+}
+
+func (t *Tree) badLatchTouch(n *node) {
+	n.lt.writeLock() // want "node latch field lt may only be touched in latch.go/latch_olc.go/latch_race.go"
+}
+
+func (t *Tree) badLatchWord(n *node) uint64 {
+	return n.lt.w.Load() // want "node latch field lt may only be touched" "latch-internal field w may only be touched in latch_olc.go/latch_race.go"
+}

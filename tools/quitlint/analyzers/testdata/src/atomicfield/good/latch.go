@@ -1,0 +1,7 @@
+package fixture
+
+// Tree-level latch wrappers: the only non-implementation file allowed to
+// touch a node's latch field.
+
+func (t *Tree) writeLatch(n *node)   { n.lt.writeLock() }
+func (t *Tree) writeUnlatch(n *node) { n.lt.writeUnlock() }

@@ -1,0 +1,9 @@
+package fixture
+
+import "sync/atomic"
+
+type latch struct{ w atomic.Uint64 }
+
+func (l *latch) readLockOrRestart() (uint64, bool) { return l.w.Load(), true }
+func (l *latch) writeLock()                        { l.w.Add(1) }
+func (l *latch) writeUnlock()                      { l.w.Add(1) }

@@ -1,0 +1,42 @@
+package fixture
+
+import "sync/atomic"
+
+type node struct {
+	lt   latch
+	keys []int
+	next atomic.Pointer[node]
+	prev atomic.Pointer[node]
+}
+
+type Tree struct {
+	size   atomic.Int64
+	root   atomic.Pointer[node]
+	height atomic.Int32
+}
+
+// Stats is a plain value snapshot; non-atomic height here is fine.
+type Stats struct {
+	height int
+	size   int64
+}
+
+func (t *Tree) stats() Stats {
+	return Stats{height: int(t.height.Load()), size: t.size.Load()}
+}
+
+func (t *Tree) grow(r *node) {
+	t.root.Store(r)
+	t.height.Add(1)
+}
+
+func reset(counters []*atomic.Int64) {
+	for _, c := range counters {
+		c.Store(0)
+	}
+}
+
+// addressOf exercises the &-operand allowance (ResetCounters-style code).
+func (t *Tree) addressOf() {
+	reset([]*atomic.Int64{&t.size})
+}

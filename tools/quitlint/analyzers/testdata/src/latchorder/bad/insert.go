@@ -1,0 +1,38 @@
+package fixture
+
+func (t *Tree) blockedUnderMeta(n *node) {
+	t.lockMeta()
+	t.writeLatch(n) // want "blocking latch acquisition via writeLatch while holding the fp-meta mutex"
+	t.writeUnlatch(n)
+	t.unlockMeta()
+}
+
+func (t *Tree) transitiveBlockUnderMeta(n *node) {
+	t.lockMeta()
+	defer t.unlockMeta()
+	t.latchIndirect(n) // want "blocking latch acquisition via latchIndirect while holding the fp-meta mutex"
+}
+
+func (t *Tree) latchIndirect(n *node) {
+	t.writeLatch(n)
+	t.writeUnlatch(n)
+}
+
+func (t *Tree) recursiveMeta() {
+	t.lockMeta()
+	t.metaHelper() // want "call to metaHelper while holding the fp-meta mutex can re-enter lockMeta"
+	t.unlockMeta()
+}
+
+func (t *Tree) metaHelper() {
+	t.lockMeta()
+	t.unlockMeta()
+}
+
+func (t *Tree) strayLive(n *node) bool {
+	return t.writeLatchLive(n) // want "writeLatchLive acquires a possibly-unlinked node and is reserved for metadata-reached leaves"
+}
+
+func (t *Tree) rawLatch(n *node) {
+	n.lt.writeLock() // want "raw latch call writeLock outside latch.go/latch_olc.go/latch_race.go"
+}

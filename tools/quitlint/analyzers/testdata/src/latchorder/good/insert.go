@@ -1,0 +1,34 @@
+package fixture
+
+// tryFastInsert is the sanctioned shape: meta held only across the
+// non-blocking probe; the blocking writeLatchLive acquisition happens after
+// meta is released, and this function is the writeLatchLive allowlist.
+func (t *Tree) tryFastInsert(k int) bool {
+	t.lockMeta()
+	n := t.fpLeaf
+	if !t.tryWriteLatch(n) {
+		t.unlockMeta()
+		if !t.writeLatchLive(n) {
+			return false
+		}
+		t.writeUnlatch(n)
+		return true
+	}
+	t.unlockMeta()
+	t.writeUnlatch(n)
+	return true
+}
+
+// pessimisticInsert blocks on latches freely: meta is not held.
+func (t *Tree) pessimisticInsert(n *node) {
+	t.writeLatch(n)
+	t.writeUnlatch(n)
+}
+
+// updateMeta holds meta to the end of the function via defer, touching no
+// latches underneath it.
+func (t *Tree) updateMeta(n *node) {
+	t.lockMeta()
+	defer t.unlockMeta()
+	t.fpLeaf = n
+}

@@ -1,0 +1,18 @@
+package fixture
+
+import "sync"
+
+type node struct{ lt latch }
+
+type Tree struct {
+	meta   sync.Mutex
+	fpLeaf *node
+}
+
+func (t *Tree) lockMeta()   { t.meta.Lock() }
+func (t *Tree) unlockMeta() { t.meta.Unlock() }
+
+func (t *Tree) writeLatch(n *node)          { n.lt.writeLock() }
+func (t *Tree) writeLatchLive(n *node) bool { return n.lt.writeLockOrRestart() }
+func (t *Tree) tryWriteLatch(n *node) bool  { return n.lt.tryWriteLock() }
+func (t *Tree) writeUnlatch(n *node)        { n.lt.writeUnlock() }

@@ -1,0 +1,55 @@
+package fixture
+
+type node struct {
+	lt   latch
+	keys []int
+	kids []*node
+}
+
+func (n *node) isLeaf() bool { return len(n.kids) == 0 }
+
+type Tree struct{ rootN *node }
+
+func (t *Tree) readLatch(n *node) (uint64, bool)    { return n.lt.readLockOrRestart() }
+func (t *Tree) readCheck(n *node, v uint64) bool    { return n.lt.checkOrRestart(v) }
+func (t *Tree) readUnlatch(n *node, v uint64) bool  { return n.lt.readUnlockOrRestart(v) }
+func (t *Tree) readAbort(n *node)                   { n.lt.readAbort() }
+func (t *Tree) upgradeLatch(n *node, v uint64) bool { return n.lt.upgradeToWriteLockOrRestart(v) }
+
+// readRoot and descendToLeaf are compliant: versions escape by return or
+// are handed over parent-to-child before validation.
+func (t *Tree) readRoot() (*node, uint64) {
+	for {
+		n := t.rootN
+		v, ok := t.readLatch(n)
+		if !ok {
+			continue
+		}
+		return n, v
+	}
+}
+
+func (t *Tree) descendToLeaf(key int) (*node, uint64) {
+	for {
+		n, v := t.readRoot()
+		ok := true
+		for !n.isLeaf() {
+			c := n.kids[0]
+			cv, lok := t.readLatch(c)
+			if !lok {
+				t.readAbort(n)
+				ok = false
+				break
+			}
+			if !t.readUnlatch(n, v) {
+				t.readAbort(c)
+				ok = false
+				break
+			}
+			n, v = c, cv
+		}
+		if ok {
+			return n, v
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "sync/atomic"
+
+type latch struct{ w atomic.Uint64 }
+
+func (l *latch) readLockOrRestart() (uint64, bool)         { return l.w.Load(), true }
+func (l *latch) checkOrRestart(v uint64) bool              { return l.w.Load() == v }
+func (l *latch) readUnlockOrRestart(v uint64) bool         { return l.w.Load() == v }
+func (l *latch) readAbort()                                {}
+func (l *latch) upgradeToWriteLockOrRestart(v uint64) bool { return l.w.CompareAndSwap(v, v+1) }

@@ -1,0 +1,41 @@
+package fixture
+
+func (t *Tree) getNoVersion(key int) int {
+	n, _ := t.descendToLeaf(key) // want "version returned by descendToLeaf discarded with _"
+	return n.keys[0]
+}
+
+func (t *Tree) getNeverChecked(key int) int {
+	n, v := t.descendToLeaf(key) // want "optimistic read version v is never validated, handed over, or returned"
+	_ = v
+	return n.keys[0]
+}
+
+func (t *Tree) ignoredObsolete(n *node) uint64 {
+	v, _ := t.readLatch(n) // want "obsolete-flag of readLatch discarded with _"
+	return v
+}
+
+func (t *Tree) statementOpen(n *node) {
+	t.readLatch(n) // want "optimistic open used as a statement"
+}
+
+func (t *Tree) uncheckedValidation(n *node) int {
+	v, ok := t.readLatch(n)
+	if !ok {
+		return 0
+	}
+	x := n.keys[0]
+	t.readUnlatch(n, v) // want "result of readUnlatch discarded: an unchecked validation is no validation"
+	return x
+}
+
+func (t *Tree) blankValidation(n *node) int {
+	v, ok := t.readLatch(n)
+	if !ok {
+		return 0
+	}
+	x := n.keys[0]
+	_ = t.readUnlatch(n, v) // want "result of readUnlatch discarded with _"
+	return x
+}

@@ -1,0 +1,59 @@
+package fixture
+
+// get validates before returning the value read under the section.
+func (t *Tree) get(key int) (int, bool) {
+	for {
+		n, v := t.descendToLeaf(key)
+		val := n.keys[0]
+		if t.readUnlatch(n, v) {
+			return val, true
+		}
+	}
+}
+
+// midCheck revalidates mid-section and keeps reading.
+func (t *Tree) midCheck(n *node) (int, bool) {
+	v, ok := t.readLatch(n)
+	if !ok {
+		return 0, false
+	}
+	a := n.keys[0]
+	if !t.readCheck(n, v) {
+		return 0, false
+	}
+	b := n.keys[0]
+	if !t.readUnlatch(n, v) {
+		return 0, false
+	}
+	return a + b, true
+}
+
+// upgrade consumes the version by converting the section to a write latch.
+func (t *Tree) upgrade(n *node) bool {
+	v, ok := t.readLatch(n)
+	if !ok {
+		return false
+	}
+	return t.upgradeLatch(n, v)
+}
+
+// handover re-aliases the version across a chain hop before validating.
+func (t *Tree) handover(key int) (int, bool) {
+	n, v := t.readRoot()
+	for !n.isLeaf() {
+		c := n.kids[0]
+		cv, ok := t.readLatch(c)
+		if !ok {
+			return 0, false
+		}
+		if !t.readUnlatch(n, v) {
+			return 0, false
+		}
+		n, v = c, cv
+	}
+	val := n.keys[0]
+	if !t.readUnlatch(n, v) {
+		return 0, false
+	}
+	return val, true
+}

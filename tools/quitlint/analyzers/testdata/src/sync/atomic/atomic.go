@@ -1,0 +1,37 @@
+// Package atomic is a hermetic stub of sync/atomic for quitlint fixtures:
+// the analyzers key on the *names* of these types (package path
+// "sync/atomic"), not their behavior, so empty method bodies suffice and
+// the golden tests need no export data or GOROOT access.
+package atomic
+
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32                        { return x.v }
+func (x *Int32) Store(v int32)                      { x.v = v }
+func (x *Int32) Add(d int32) int32                  { x.v += d; return x.v }
+func (x *Int32) CompareAndSwap(old, new int32) bool { return true }
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64                        { return x.v }
+func (x *Int64) Store(v int64)                      { x.v = v }
+func (x *Int64) Add(d int64) int64                  { x.v += d; return x.v }
+func (x *Int64) CompareAndSwap(old, new int64) bool { return true }
+
+type Uint64 struct{ v uint64 }
+
+func (x *Uint64) Load() uint64                        { return x.v }
+func (x *Uint64) Store(v uint64)                      { x.v = v }
+func (x *Uint64) Add(d uint64) uint64                 { x.v += d; return x.v }
+func (x *Uint64) CompareAndSwap(old, new uint64) bool { return true }
+
+type Bool struct{ v bool }
+
+func (x *Bool) Load() bool   { return x.v }
+func (x *Bool) Store(v bool) { x.v = v }
+
+type Pointer[T any] struct{ v *T }
+
+func (x *Pointer[T]) Load() *T                        { return x.v }
+func (x *Pointer[T]) Store(v *T)                      { x.v = v }
+func (x *Pointer[T]) CompareAndSwap(old, new *T) bool { return true }

@@ -1,0 +1,15 @@
+// Package sync is a hermetic stub of sync for quitlint fixtures; only the
+// shapes the fixtures mention are provided.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

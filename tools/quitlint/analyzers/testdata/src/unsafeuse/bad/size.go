@@ -1,0 +1,16 @@
+package fixture
+
+import "unsafe"
+
+func entrySize() uintptr {
+	return unsafe.Sizeof(int64(0)) // want "use of unsafe.Sizeof"
+}
+
+func alignment() uintptr {
+	return unsafe.Alignof(int32(0)) // want "use of unsafe.Alignof"
+}
+
+func fieldOffset() uintptr {
+	var s struct{ a, b int64 }
+	return unsafe.Offsetof(s.b) // want "use of unsafe.Offsetof"
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "unsafe"
+
+func entrySize() uintptr {
+	return unsafe.Sizeof(int64(0)) //quitlint:allow unsafeuse audited: compile-time size accounting, no pointers formed
+}
+
+func alignment() uintptr {
+	//quitlint:allow unsafeuse audited: the allow comment may sit on the line above
+	return unsafe.Alignof(int32(0))
+}

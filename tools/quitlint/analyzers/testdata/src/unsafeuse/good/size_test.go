@@ -1,0 +1,8 @@
+package fixture
+
+import "unsafe"
+
+// Findings in *_test.go files are exempt: this naked use must stay silent.
+func testOnlySize() uintptr {
+	return unsafe.Sizeof(uint64(0))
+}

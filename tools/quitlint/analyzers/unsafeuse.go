@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// UnsafeUse flags every use of package unsafe. The library keeps unsafe to
+// a handful of audited size-accounting and sentinel-construction sites;
+// each of those carries a `//quitlint:allow unsafeuse <reason>` comment
+// recording the audit, and anything new surfaces here until it has been
+// reviewed and annotated the same way. There is no built-in allowlist on
+// purpose: the suppression comment *is* the allowlist, and it lives next
+// to the code it blesses.
+var UnsafeUse = &lintkit.Analyzer{
+	Name: "unsafeuse",
+	Doc:  "flag uses of package unsafe; audited sites must carry a //quitlint:allow unsafeuse comment with the audit reason",
+	Run:  runUnsafeUse,
+}
+
+func runUnsafeUse(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported() != types.Unsafe {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "use of unsafe.%s: confine unsafe to audited size-accounting/sentinel sites and annotate them with //quitlint:allow unsafeuse <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestUnsafeUseFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "unsafeuse/bad", analyzers.UnsafeUse)
+}
+
+// TestUnsafeUseSilent also covers the suppression machinery end to end:
+// trailing allow, line-above allow, and the *_test.go exemption.
+func TestUnsafeUseSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "unsafeuse/good", analyzers.UnsafeUse)
+}

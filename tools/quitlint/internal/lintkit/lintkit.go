@@ -1,0 +1,216 @@
+// Package lintkit is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that quitlint's analyzers are
+// written against: an Analyzer runs over one type-checked package (a Pass)
+// and reports Diagnostics. The shapes mirror go/analysis deliberately so
+// the analyzers can be ported to the real framework mechanically if this
+// repository ever grows third-party dependencies.
+//
+// On top of the core shapes, lintkit owns two cross-cutting behaviors:
+//
+//   - Suppressions: a finding whose line (or the line directly above it)
+//     carries a `//quitlint:allow <analyzer> <reason>` comment is dropped.
+//     The reason is mandatory; an allow comment without one is itself
+//     reported, so every suppression in the tree documents why the rule
+//     does not apply.
+//   - Test exemption: findings positioned in *_test.go files are dropped.
+//     The latch/atomics protocol governs production code; tests poke at
+//     latch internals deliberately (e.g. latch_test.go drives the raw
+//     version word through its state machine).
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //quitlint:allow comments. Conventionally all lowercase.
+	Name string
+
+	// Doc is the help text: first sentence is the summary.
+	Doc string
+
+	// Run applies the analyzer to a package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed and type-checked syntax of a
+// single package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Package bundles everything analyzers need about one type-checked
+// package. Loaders (the vet cfg protocol, the test harness) produce it.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Run applies every analyzer to pkg, resolves suppressions, and returns the
+// surviving diagnostics sorted by position. Analyzer errors are returned
+// after partial results are discarded.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// allowRx matches `quitlint:allow <analyzer> <reason...>` inside a comment.
+var allowRx = regexp.MustCompile(`quitlint:allow\s+(\S+)\s*(.*)`)
+
+type allowComment struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+	pos      token.Pos
+}
+
+// applySuppressions drops diagnostics covered by //quitlint:allow comments
+// and diagnostics inside *_test.go files, and reports malformed allow
+// comments (missing reason) as findings in their own right.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// Index allow comments by file and line.
+	type key struct {
+		file string
+		line int
+	}
+	allows := map[key][]allowComment{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				ac := allowComment{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+				if ac.reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "quitlint",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("quitlint:allow %s is missing a reason: write //quitlint:allow %s <why this is safe>", ac.analyzer, ac.analyzer),
+					})
+					continue
+				}
+				k := key{file: posn.Filename, line: posn.Line}
+				allows[k] = append(allows[k], ac)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		if strings.HasSuffix(filepath.Base(posn.Filename), "_test.go") {
+			continue
+		}
+		suppressed := false
+		for _, line := range []int{posn.Line, posn.Line - 1} {
+			for _, ac := range allows[key{file: posn.Filename, line: line}] {
+				if ac.analyzer == d.Analyzer || ac.analyzer == "all" {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, d := range malformed {
+		posn := pkg.Fset.Position(d.Pos)
+		if strings.HasSuffix(filepath.Base(posn.Filename), "_test.go") {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Inspect walks every file in files in depth-first source order, calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including n itself). If fn returns false the node's children are skipped.
+func Inspect(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				// No descent: ast.Inspect sends no nil pop for n, so
+				// don't push it.
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// Filename returns the base name of the file containing pos.
+func Filename(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}

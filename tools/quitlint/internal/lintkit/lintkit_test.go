@@ -1,0 +1,160 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks a set of in-memory files into a Package.
+func loadSrc(t *testing.T, files map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, syntax, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Fset: fset, Files: syntax, Types: pkg, Info: info}
+}
+
+// reportEveryFunc flags every function declaration — a probe analyzer for
+// exercising the suppression layer.
+var reportEveryFunc = &Analyzer{
+	Name: "probe",
+	Doc:  "report every function",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressions(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{
+		"a.go": `package p
+
+func plain() {}
+
+func allowedTrailing() {} //quitlint:allow probe reason given here
+
+//quitlint:allow probe reason on the line above
+func allowedAbove() {}
+
+func allowedAll() {} //quitlint:allow all blanket reason
+
+func allowedWrongAnalyzer() {} //quitlint:allow other mismatched analyzer name
+
+func missingReason() {} //quitlint:allow probe
+`,
+		"a_test.go": `package p
+
+func inTestFile() {}
+`,
+	})
+
+	diags, err := Run(pkg, []*Analyzer{reportEveryFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+
+	want := map[string]string{
+		"probe: func plain":                "plain code must be reported",
+		"probe: func allowedWrongAnalyzer": "an allow naming a different analyzer must not suppress",
+		"probe: func missingReason":        "an allow without a reason must not suppress",
+	}
+	for _, g := range got {
+		if strings.Contains(g, "missing a reason") {
+			continue // the malformed-comment finding, checked below
+		}
+		if _, ok := want[g]; !ok {
+			t.Errorf("unexpected diagnostic %q", g)
+		}
+		delete(want, g)
+	}
+	for w, why := range want {
+		t.Errorf("missing diagnostic %q (%s)", w, why)
+	}
+
+	malformed := 0
+	for _, g := range got {
+		if strings.Contains(g, "missing a reason") {
+			malformed++
+			if !strings.HasPrefix(g, "quitlint:") {
+				t.Errorf("malformed-allow finding should come from the quitlint meta-analyzer, got %q", g)
+			}
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want exactly 1 missing-reason finding, got %d", malformed)
+	}
+
+	for _, g := range got {
+		if strings.Contains(g, "inTestFile") {
+			t.Errorf("finding in _test.go file must be exempt: %q", g)
+		}
+		if strings.Contains(g, "allowedTrailing") || strings.Contains(g, "allowedAbove") || strings.Contains(g, "allowedAll") {
+			t.Errorf("suppressed finding leaked: %q", g)
+		}
+	}
+}
+
+func TestInspectStack(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{"b.go": `package p
+
+func f() {
+	g(h())
+}
+
+func g(x int)  {}
+func h() int   { return 0 }
+`})
+	// The ancestor stack at the inner call h() must contain the outer call
+	// g(...) — and skipping a subtree must not corrupt the stack.
+	sawInner := false
+	Inspect(pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "h" {
+				sawInner = true
+				foundOuter := false
+				for _, a := range stack {
+					if c, ok := a.(*ast.CallExpr); ok {
+						if oid, ok := c.Fun.(*ast.Ident); ok && oid.Name == "g" {
+							foundOuter = true
+						}
+					}
+				}
+				if !foundOuter {
+					t.Error("outer call g(...) missing from ancestor stack at h()")
+				}
+			}
+		}
+		// Skip import specs etc. to exercise the no-descend path.
+		_, isGen := n.(*ast.GenDecl)
+		return !isGen
+	})
+	if !sawInner {
+		t.Error("never visited the inner call h()")
+	}
+}

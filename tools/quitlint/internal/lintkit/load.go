@@ -1,0 +1,92 @@
+package lintkit
+
+// load.go is the source-tree loader behind the golden-test harness
+// (internal/linttest): it type-checks a package from a GOPATH-style
+// `testdata/src` layout, resolving imports against sibling directories in
+// the same tree. Fixtures that need a standard-library package (notably
+// sync/atomic, whose named types the analyzers key on) vendor a stub under
+// testdata/src/sync/atomic, which keeps the tests hermetic — no export
+// data, no GOROOT parsing, no network.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir type-checks the package rooted at srcRoot/<importPath>, resolving
+// imports from srcRoot. The returned Package carries full syntax and type
+// information for the analyzers.
+func LoadDir(srcRoot, importPath string) (*Package, error) {
+	l := &srcLoader{
+		root:  srcRoot,
+		fset:  token.NewFileSet(),
+		info:  NewInfo(),
+		cache: map[string]*types.Package{},
+	}
+	syntax := map[string][]*ast.File{}
+	l.syntax = syntax
+	tpkg, err := l.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: l.fset, Files: syntax[importPath], Types: tpkg, Info: l.info}, nil
+}
+
+type srcLoader struct {
+	root   string
+	fset   *token.FileSet
+	info   *types.Info
+	cache  map[string]*types.Package
+	syntax map[string][]*ast.File
+}
+
+func (l *srcLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.load(path)
+}
+
+func (l *srcLoader) load(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("import %q: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %q: %w", path, err)
+	}
+	l.cache[path] = pkg
+	l.syntax[path] = files
+	return pkg, nil
+}

@@ -1,0 +1,164 @@
+package lintkit
+
+// unitchecker.go speaks the `go vet -vettool` protocol, reimplemented on
+// the standard library (the canonical implementation lives in
+// golang.org/x/tools/go/analysis/unitchecker, which this module must not
+// depend on). The protocol, as driven by cmd/go:
+//
+//  1. `tool -flags` — print a JSON array describing the tool's flags (used
+//     by cmd/go to validate vet command lines). quitlint has none: "[]".
+//  2. `tool -V=full` — print "<name> version <...> buildID=<hex>"; cmd/go
+//     hashes this line into the build cache key, so the buildID must change
+//     whenever the tool binary changes.
+//  3. `tool <dir>/vet.cfg` — analyze one package unit. The cfg JSON names
+//     the Go files, the import map, and, for every import, the file holding
+//     its gc export data (produced by cmd/go into the build cache). The
+//     tool must write cfg.VetxOutput (serialized "facts" for dependents;
+//     quitlint's analyzers are fact-free so an empty file suffices), print
+//     findings to stderr as "file:line:col: message", and exit 0 (clean) or
+//     2 (findings).
+//
+// Dependency units are delivered with VetxOnly=true and are not analyzed —
+// only the packages named on the `go vet` command line get a full pass.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// vetConfig mirrors the JSON emitted by cmd/go for each vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one vet unit described by cfgPath and returns the
+// process exit code: 0 clean, 1 tool/typecheck failure, 2 findings.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "quitlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "quitlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The facts file must exist for dependents even when we have nothing
+	// to say (and even on failure paths, so cmd/go's caching stays sane).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "quitlint: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "quitlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses and type-checks the unit's Go files, resolving
+// imports through the export-data files cmd/go listed in the config.
+func typecheckUnit(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := &unitImporter{cfg: cfg}
+	imp.gc = importer.ForCompiler(fset, cfg.Compiler, imp.lookup)
+
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, goarch),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// unitImporter resolves source-level import paths via the config's
+// ImportMap (vendoring / canonicalization) and loads export data from the
+// build-cache files in PackageFile.
+type unitImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := u.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+// lookup feeds the gc export-data reader. It receives the canonical path
+// (Import already applied ImportMap).
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,117 @@
+// Package linttest is the golden-test harness for quitlint analyzers, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// packages live under testdata/src in a GOPATH-style layout, and expected
+// findings are written as `// want "regex"` comments on the offending
+// lines. A fixture needing a standard-library package vendors a stub under
+// testdata/src (sync, sync/atomic), keeping the tests hermetic.
+//
+// Matching rules: every diagnostic must match one `want` regex on its
+// file:line, and every `want` regex must be matched by exactly one
+// diagnostic. Suppression comments and the *_test.go exemption are applied
+// before matching (they run inside lintkit.Run), so fixtures can assert on
+// them too.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// wantRx pulls the quoted regexes out of a `// want "a" "b"` comment.
+var (
+	wantMarker = regexp.MustCompile(`//\s*want\b(.*)`)
+	wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+// Run loads srcRoot/<path>, applies the analyzers, and checks the resulting
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, srcRoot, path string, analyzers ...*lintkit.Analyzer) {
+	t.Helper()
+	pkg, err := lintkit.LoadDir(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg, c)...)
+			}
+		}
+	}
+
+	diags, err := lintkit.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == posn.Filename && w.line == posn.Line && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", posn, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func parseWants(t *testing.T, pkg *lintkit.Package, c *ast.Comment) []*expectation {
+	m := wantMarker.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	posn := pkg.Fset.Position(c.Pos())
+	quoted := wantQuoted.FindAllStringSubmatch(m[1], -1)
+	if len(quoted) == 0 {
+		t.Fatalf("%s: want comment carries no quoted regex", posn)
+	}
+	var out []*expectation
+	for _, q := range quoted {
+		rx, err := regexp.Compile(q[1])
+		if err != nil {
+			t.Fatalf("%s: bad want regex %q: %v", posn, q[1], err)
+		}
+		out = append(out, &expectation{file: posn.Filename, line: posn.Line, rx: rx})
+	}
+	return out
+}
+
+// ExpectClean asserts the fixture produces no diagnostics at all (for
+// silent fixtures that deliberately contain no want comments).
+func ExpectClean(t *testing.T, srcRoot, path string, analyzers ...*lintkit.Analyzer) {
+	t.Helper()
+	pkg, err := lintkit.LoadDir(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := lintkit.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in clean fixture %s at %s: %s [%s]",
+			path, pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,98 @@
+// quitlint is the QuIT-tree static-analysis suite: four checks over the
+// OLC latch protocol, atomics discipline, and fast-path invariants of
+// internal/core (see DESIGN.md §6-§7).
+//
+// It is a vettool — the supported invocation is through the go command,
+// which handles package loading, export data, and caching:
+//
+//	go vet -vettool=$(make -s quitlint-bin) ./...
+//
+// Run directly with package patterns it re-execs `go vet` on itself:
+//
+//	quitlint ./...
+//
+// Suppress a finding with a trailing or preceding comment that names the
+// analyzer and records why the code is safe:
+//
+//	sz := unsafe.Sizeof(x) //quitlint:allow unsafeuse audited: size accounting only
+//
+// The reason is mandatory; allow comments without one are findings
+// themselves. Findings in *_test.go files are exempt.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+func main() {
+	os.Exit(run(os.Args))
+}
+
+func run(args []string) int {
+	if len(args) == 2 {
+		switch {
+		case args[1] == "-flags":
+			// cmd/go probes the tool's flag set; quitlint has no flags.
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(args[1], "-V"):
+			return printVersion(args[0])
+		case strings.HasSuffix(args[1], ".cfg"):
+			return lintkit.RunUnit(args[1], analyzers.All(), os.Stderr)
+		}
+	}
+	if len(args) >= 2 {
+		return reexecVet(args[1:])
+	}
+	fmt.Fprintln(os.Stderr, "usage: go vet -vettool=quitlint [packages]  |  quitlint [packages]")
+	return 1
+}
+
+// printVersion answers `-V=full`. cmd/go parses the final buildID token and
+// hashes it into the vet cache key, so it must change with the binary:
+// hashing the executable itself gives that for free.
+func printVersion(argv0 string) int {
+	name := filepath.Base(argv0)
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%x\n", name, sum[:16])
+	return 0
+}
+
+// reexecVet lets `quitlint ./...` work standalone by driving `go vet` with
+// itself as the vettool — one package loader, one protocol.
+func reexecVet(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	return 0
+}
