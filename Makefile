@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION  := v1.1.3
 
 QUITLINT := $(CURDIR)/tools/bin/quitlint
 
-.PHONY: all build test race fuzz lint vet quitlint quitlint-bin staticcheck govulncheck clean
+.PHONY: all build test race fuzz crash lint vet quitlint quitlint-bin staticcheck govulncheck clean
 
 all: build test lint
 
@@ -25,10 +25,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# 30-second coverage-guided smoke over the committed corpus; CI runs the
-# same invocation.
+# 30-second coverage-guided smoke per target over the committed corpora;
+# CI runs the same invocations.
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzTreeOps -fuzztime=30s ./internal/core
+	$(GO) test -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal
+
+# The crash-recovery matrix (DESIGN.md §8): every schedule point of a
+# recorded workload is crashed and recovered, plus the bit-flip sweep and
+# the injected write/sync failures. CI runs this normally and under -race.
+crash:
+	$(GO) test -run 'TestCrashRecovery|TestDurable' -count=1 .
+	$(GO) test -count=1 ./internal/wal ./internal/faultio
 
 quitlint:
 	@cd tools && $(GO) build -o bin/quitlint ./quitlint

@@ -520,3 +520,57 @@ func BenchmarkRelatedWorkBeTree(b *testing.B) {
 		})
 	}
 }
+
+// --- Durability overhead (DESIGN.md §8) --------------------------------
+//
+// BenchmarkDurablePut prices the write-ahead log against the in-memory
+// tree across the three sync policies and two sortedness levels. The
+// ordering to expect: mem < never < interval << always, with the always
+// policy dominated by per-write fsync latency of the benchmark machine's
+// storage.
+
+func BenchmarkDurablePut(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy quit.SyncPolicy
+		mem    bool
+	}{
+		{"mem-baseline", 0, true},
+		{"never", quit.SyncNever, false},
+		{"interval", quit.SyncInterval, false},
+		{"always", quit.SyncAlways, false},
+	}
+	for _, lvl := range []struct {
+		name string
+		k    float64
+	}{{"near-sorted", 0.05}, {"sorted", 0.0}} {
+		for _, p := range policies {
+			b.Run(p.name+"/"+lvl.name, func(b *testing.B) {
+				keys := benchKeys(b, lvl.k, 1.0)
+				if p.mem {
+					idx := quit.New[int64, int64](quit.Options{})
+					for _, key := range keys {
+						idx.Insert(key, key)
+					}
+					return
+				}
+				b.StopTimer()
+				d, err := quit.Open[int64, int64](b.TempDir(), quit.DurableOptions{Sync: p.policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, key := range keys {
+					if err := d.Insert(key, key); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			})
+		}
+	}
+}

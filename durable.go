@@ -1,0 +1,609 @@
+package quit
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/wal"
+)
+
+// Typed snapshot errors, re-exported from the core layer. Every snapshot
+// failure matches ErrBadSnapshot via errors.Is; ErrCorruptSnapshot
+// (checksum/framing/header damage) and ErrTruncatedSnapshot (stream ends
+// early — a torn write) identify the specific mode.
+var (
+	ErrBadSnapshot       = core.ErrBadSnapshot
+	ErrCorruptSnapshot   error = core.ErrCorruptSnapshot
+	ErrTruncatedSnapshot error = core.ErrTruncatedSnapshot
+)
+
+// Salvage reads as much of a damaged snapshot as possible: it rebuilds a
+// working tree from the longest checksum-valid prefix of the stream and
+// returns it together with the error that stopped the read (nil when the
+// stream is intact, in which case Salvage behaves exactly like Load). The
+// returned tree is nil only when not even the snapshot header could be
+// recovered. Both bare Save streams and DurableTree's on-disk checkpoint
+// files are accepted: a leading checkpoint preamble is skipped without
+// being verified, since salvage must work when the preamble itself is the
+// damaged part.
+func Salvage[K Integer, V any](r io.Reader, opts Options) (*Tree[K, V], error) {
+	var cfg core.Config
+	if opts != (Options{}) {
+		cfg = opts.config()
+	}
+	br := bufio.NewReader(r)
+	if pre, err := br.Peek(len(wal.PreambleMagic)); err == nil && string(pre) == wal.PreambleMagic {
+		if _, err := br.Discard(wal.PreambleSize); err != nil {
+			return nil, fmt.Errorf("%v: %w", err, ErrTruncatedSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
+		}
+	}
+	t, err := core.Salvage[K, V](br, cfg)
+	if t == nil {
+		return nil, err
+	}
+	return &Tree[K, V]{t: t}, err
+}
+
+// SyncPolicy selects when a DurableTree's write-ahead log reaches stable
+// storage; see the constants for the guarantee each policy buys.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs the log on every write: a mutating call that
+	// returns nil is durable. The safest and slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: writes are acknowledged from memory and
+	// the batch is fsynced once per interval. A crash loses at most the
+	// last interval of acknowledged writes; recovery still yields a clean
+	// prefix of them.
+	SyncInterval
+	// SyncNever leaves flushing to the OS entirely. Fastest; a crash may
+	// lose any suffix of acknowledged writes.
+	SyncNever
+)
+
+func (p SyncPolicy) wal() wal.SyncPolicy {
+	switch p {
+	case SyncInterval:
+		return wal.SyncInterval
+	case SyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncAlways
+	}
+}
+
+// String names the policy.
+func (p SyncPolicy) String() string { return p.wal().String() }
+
+// File is a writable file as the durability layer needs it: sequential
+// writes, an fsync barrier, and close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations behind a DurableTree, so tests
+// can substitute a fault-injecting in-memory implementation (see
+// internal/faultio). The zero value of DurableOptions selects the real
+// operating-system filesystem.
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the base names of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	// Create truncates-or-creates a file for writing.
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making renames and creations durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) Create(name string) (File, error)        { return os.Create(name) }
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+func (osFS) Rename(o, n string) error                { return os.Rename(o, n) }
+func (osFS) Remove(name string) error                { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// DurableOptions configures Open.
+type DurableOptions struct {
+	// Options configures the in-memory tree exactly as for New.
+	Options
+	// Sync selects the write-ahead log's sync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the group-commit window for SyncInterval (default
+	// 10ms).
+	SyncInterval time.Duration
+	// WALBufBytes caps the group-commit buffer (default 256KiB).
+	WALBufBytes int
+	// FS substitutes the filesystem; nil selects the real one. Used by
+	// the fault-injection tests.
+	FS FS
+}
+
+func (o DurableOptions) walConfig() wal.Config {
+	return wal.Config{Sync: o.Sync.wal(), Interval: o.SyncInterval, BufBytes: o.WALBufBytes}
+}
+
+// RecoveryInfo reports what Open found on disk and how recovery went.
+// Degraded-but-successful recoveries (an unreadable newest snapshot with a
+// readable predecessor, a torn log tail) are recorded here rather than
+// failing the open: the recovered tree is always a consistent prefix of
+// the acknowledged history.
+type RecoveryInfo struct {
+	// Snapshot is the base name of the snapshot generation that loaded,
+	// or "" when the tree started empty.
+	Snapshot string
+	// SnapshotSeq is the log sequence number the snapshot covers.
+	SnapshotSeq uint64
+	// SkippedSnapshots records newer snapshot generations that failed to
+	// load (typed snapshot errors, newest first). Non-empty means the
+	// tree fell back to an older generation.
+	SkippedSnapshots []error
+	// SegmentsReplayed and RecordsReplayed count the log replay.
+	SegmentsReplayed int
+	RecordsReplayed  int
+	// WALTail is nil when the log ended cleanly at a record boundary;
+	// otherwise it wraps wal.ErrTornRecord or wal.ErrCorruptRecord and
+	// explains where replay stopped. A torn tail after a crash is
+	// expected, not an error: everything before it was applied.
+	WALTail error
+}
+
+// DurableTree is a Tree backed by a crash-safe persistence layer: every
+// mutation is appended to a checksummed write-ahead log before it is
+// applied in memory, and Checkpoint compacts the log into an atomically
+// renamed, checksummed snapshot. Open recovers the newest loadable
+// snapshot plus the valid log prefix after a crash.
+//
+// Mutating and reading methods are safe for concurrent use (mutations are
+// serialized internally to keep log order and apply order identical).
+// Checkpoint may run concurrently with reads but blocks writers.
+type DurableTree[K Integer, V any] struct {
+	mu   sync.RWMutex
+	dir  string
+	fs   FS
+	opts DurableOptions
+
+	t    *Tree[K, V]
+	log  *wal.Log[K, V]
+	rec  RecoveryInfo
+	open bool
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".quit"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+	snapTmp    = "snap.tmp"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapSuffix) }
+func walName(seq uint64) string  { return fmt.Sprintf("%s%020d%s", walPrefix, seq, walSuffix) }
+
+// parseSeq extracts the sequence number from a snap-/wal- file name, or
+// returns false for names that are not part of the layout.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) == 0 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open recovers (or initializes) a durable tree rooted at dir: it loads
+// the newest snapshot generation that passes its checksums, replays the
+// valid prefix of the write-ahead log on top, and starts a fresh log
+// segment for new writes. See (*DurableTree).Recovery for what was found.
+//
+// Open fails only when the directory is unusable or every recovery source
+// is unreadable in a way that cannot be degraded around; torn log tails
+// and corrupt newest snapshots recover to the best consistent prefix
+// instead of failing.
+func Open[K Integer, V any](dir string, opts DurableOptions) (*DurableTree[K, V], error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("quit: creating durable dir: %w", err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("quit: listing durable dir: %w", err)
+	}
+
+	var snapSeqs, walSeqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+		if seq, ok := parseSeq(name, walPrefix, walSuffix); ok {
+			walSeqs = append(walSeqs, seq)
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] }) // newest first
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })   // oldest first
+
+	d := &DurableTree[K, V]{dir: dir, fs: fs, opts: opts}
+
+	// Newest loadable snapshot wins; unreadable generations are recorded
+	// and skipped — graceful degradation, not all-or-nothing.
+	for _, seq := range snapSeqs {
+		name := snapName(seq)
+		t, snapSeq, err := loadSnapshotFile[K, V](fs, filepath.Join(dir, name), opts.Options)
+		if err != nil {
+			d.rec.SkippedSnapshots = append(d.rec.SkippedSnapshots, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		d.t, d.rec.Snapshot, d.rec.SnapshotSeq = t, name, snapSeq
+		break
+	}
+	if d.t == nil {
+		if len(d.rec.SkippedSnapshots) > 0 {
+			// Every generation failed: refuse to silently restart empty.
+			return nil, fmt.Errorf("quit: no loadable snapshot in %s (newest: %w)", dir, d.rec.SkippedSnapshots[0])
+		}
+		d.t = New[K, V](opts.Options)
+	}
+
+	// Replay the log segments in order on top of the snapshot. Records
+	// already covered by the snapshot are skipped by sequence number.
+	lastApplied := d.rec.SnapshotSeq
+	apply := func(r wal.Record[K, V]) error {
+		switch r.Op {
+		case wal.OpInsert:
+			d.t.Put(r.Key, r.Val)
+		case wal.OpDelete:
+			d.t.Delete(r.Key)
+		case wal.OpClear:
+			d.t.Clear()
+		}
+		return nil
+	}
+	for i := 0; i < len(walSeqs); i++ {
+		name := walName(walSeqs[i])
+		f, err := fs.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("quit: opening log segment %s: %w", name, err)
+		}
+		stats, err := wal.Replay(f, lastApplied, apply)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("quit: replaying %s: %w", name, err)
+		}
+		lastApplied = stats.LastSeq
+		d.rec.SegmentsReplayed++
+		d.rec.RecordsReplayed += stats.Applied
+		if stats.Tail != nil {
+			d.rec.WALTail = fmt.Errorf("%s: %w", name, stats.Tail)
+			// A later segment starting exactly at the break means a
+			// previous recovery already resumed there; keep replaying.
+			// Anything else is past the tear and cannot be trusted.
+			if i+1 < len(walSeqs) && walSeqs[i+1] == lastApplied+1 {
+				continue
+			}
+			break
+		}
+	}
+
+	// New writes go to a fresh segment continuing the sequence. (If the
+	// name exists, it is a segment we applied nothing from — empty or
+	// torn at its first record — and truncating it is sound.)
+	segName := filepath.Join(dir, walName(lastApplied+1))
+	wf, err := fs.Create(segName)
+	if err != nil {
+		return nil, fmt.Errorf("quit: creating log segment: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		wf.Close()
+		return nil, fmt.Errorf("quit: syncing durable dir: %w", err)
+	}
+	d.log = wal.New[K, V](wf, lastApplied, opts.walConfig())
+	d.open = true
+	return d, nil
+}
+
+// loadSnapshotFile reads one checkpoint file: preamble, then snapshot.
+func loadSnapshotFile[K Integer, V any](fs FS, path string, opts Options) (*Tree[K, V], uint64, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	seq, err := wal.ReadPreamble(f)
+	if err != nil {
+		// A damaged preamble is a damaged snapshot file; keep the whole
+		// failure family matchable via errors.Is(err, ErrBadSnapshot).
+		return nil, 0, fmt.Errorf("%v: %w", err, ErrCorruptSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
+	}
+	t, err := Load[K, V](f, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, seq, nil
+}
+
+// Recovery reports what Open found and recovered.
+func (d *DurableTree[K, V]) Recovery() RecoveryInfo { return d.rec }
+
+// ErrClosed is returned by operations on a closed DurableTree.
+var ErrClosed = errors.New("quit: durable tree is closed")
+
+// append logs one record and applies fn to the in-memory tree. The write
+// lock keeps log order and apply order identical.
+func (d *DurableTree[K, V]) append(op wal.Op, key K, val V, fn func()) error {
+	if !d.open {
+		return ErrClosed
+	}
+	if _, err := d.log.Append(op, key, val); err != nil {
+		return err
+	}
+	fn()
+	return nil
+}
+
+// Put inserts key with value val, overwriting and returning any previous
+// value. A nil error acknowledges the write under the open sync policy's
+// durability guarantee.
+func (d *DurableTree[K, V]) Put(key K, val V) (prev V, existed bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err = d.append(wal.OpInsert, key, val, func() { prev, existed = d.t.Put(key, val) })
+	return prev, existed, err
+}
+
+// Insert is Put discarding the previous value.
+func (d *DurableTree[K, V]) Insert(key K, val V) error {
+	_, _, err := d.Put(key, val)
+	return err
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (d *DurableTree[K, V]) Delete(key K) (val V, existed bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero V
+	err = d.append(wal.OpDelete, key, zero, func() { val, existed = d.t.Delete(key) })
+	return val, existed, err
+}
+
+// Clear removes every entry.
+func (d *DurableTree[K, V]) Clear() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zeroK K
+	var zeroV V
+	return d.append(wal.OpClear, zeroK, zeroV, func() { d.t.Clear() })
+}
+
+// Sync forces the write-ahead log's buffered records to stable storage,
+// regardless of policy (under SyncNever it flushes to the OS without an
+// fsync, which is that policy's strongest statement).
+func (d *DurableTree[K, V]) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return ErrClosed
+	}
+	return d.log.Sync()
+}
+
+// Checkpoint writes a checksummed snapshot of the current tree, installs
+// it with an atomic rename, rotates the log, and removes the now-covered
+// older snapshots and log segments. After a successful checkpoint,
+// recovery cost is proportional to the writes since this call.
+//
+// On failure the durable state is untouched: the previous snapshot and
+// the full log remain authoritative.
+func (d *DurableTree[K, V]) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return ErrClosed
+	}
+	// Everything the snapshot will contain must be on disk first, so a
+	// crash mid-checkpoint still recovers from the old snapshot + log.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	seq := d.log.LastSeq()
+
+	tmp := filepath.Join(d.dir, snapTmp)
+	f, err := d.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("quit: creating snapshot: %w", err)
+	}
+	if err := d.writeSnapshot(f, seq); err != nil {
+		f.Close()
+		d.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		d.fs.Remove(tmp)
+		return fmt.Errorf("quit: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		d.fs.Remove(tmp)
+		return fmt.Errorf("quit: closing snapshot: %w", err)
+	}
+	final := filepath.Join(d.dir, snapName(seq))
+	if err := d.fs.Rename(tmp, final); err != nil {
+		d.fs.Remove(tmp)
+		return fmt.Errorf("quit: installing snapshot: %w", err)
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("quit: syncing durable dir: %w", err)
+	}
+
+	// Rotate the log: new writes land in a fresh segment above seq.
+	segName := filepath.Join(d.dir, walName(seq+1))
+	wf, err := d.fs.Create(segName)
+	if err != nil {
+		return fmt.Errorf("quit: rotating log: %w", err)
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		wf.Close()
+		return fmt.Errorf("quit: syncing durable dir: %w", err)
+	}
+	old := d.log
+	d.log = wal.New[K, V](wf, seq, d.opts.walConfig())
+	old.Close() // already synced; errors carry no durable state
+
+	// Best-effort cleanup of fully-covered generations: the snapshot at
+	// seq plus the fresh segment are now authoritative, so older
+	// snapshots and every other log segment are garbage. Failures leave
+	// stale-but-harmless files that the next checkpoint retries.
+	if names, err := d.fs.ReadDir(d.dir); err == nil {
+		for _, name := range names {
+			if s, ok := parseSeq(name, snapPrefix, snapSuffix); ok && s < seq {
+				d.fs.Remove(filepath.Join(d.dir, name))
+			}
+			if s, ok := parseSeq(name, walPrefix, walSuffix); ok && s != seq+1 {
+				d.fs.Remove(filepath.Join(d.dir, name))
+			}
+		}
+	}
+	d.rec.Snapshot, d.rec.SnapshotSeq = snapName(seq), seq
+	return nil
+}
+
+// writeSnapshot emits preamble + snapshot stream.
+func (d *DurableTree[K, V]) writeSnapshot(w io.Writer, seq uint64) error {
+	if err := wal.WritePreamble(w, seq); err != nil {
+		return err
+	}
+	return d.t.Save(w)
+}
+
+// Close syncs outstanding log records and releases the log file. The tree
+// is unusable afterwards; reopen with Open.
+func (d *DurableTree[K, V]) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return ErrClosed
+	}
+	d.open = false
+	return d.log.Close()
+}
+
+// Tree returns the in-memory tree for read-only use (running queries not
+// wrapped below). Mutating it directly bypasses the log and forfeits
+// crash safety.
+func (d *DurableTree[K, V]) Tree() *Tree[K, V] { return d.t }
+
+// Get returns the value stored under key.
+func (d *DurableTree[K, V]) Get(key K) (V, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Get(key)
+}
+
+// Contains reports whether key is present.
+func (d *DurableTree[K, V]) Contains(key K) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Contains(key)
+}
+
+// Len returns the number of live entries.
+func (d *DurableTree[K, V]) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Len()
+}
+
+// Range visits entries with start <= key < end in ascending order until fn
+// returns false; it returns the number of entries visited.
+func (d *DurableTree[K, V]) Range(start, end K, fn func(K, V) bool) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Range(start, end, fn)
+}
+
+// Scan visits all entries in ascending order until fn returns false.
+func (d *DurableTree[K, V]) Scan(fn func(K, V) bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.t.Scan(fn)
+}
+
+// Min returns the smallest key and its value (ok=false when empty).
+func (d *DurableTree[K, V]) Min() (K, V, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Min()
+}
+
+// Max returns the largest key and its value (ok=false when empty).
+func (d *DurableTree[K, V]) Max() (K, V, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Max()
+}
+
+// Stats snapshots the in-memory tree's counters and shape.
+func (d *DurableTree[K, V]) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Stats()
+}
+
+// Validate checks the in-memory tree's structural invariants.
+func (d *DurableTree[K, V]) Validate() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.t.Validate()
+}

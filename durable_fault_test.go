@@ -1,0 +1,293 @@
+// Crash-safety property tests: a scripted workload runs against the
+// fault-injection filesystem, which records every byte and barrier as an
+// ordered schedule. We then simulate a crash at EVERY point of that
+// schedule — event boundaries, torn mid-write cuts, and the pessimal
+// synced-bytes-only variant — reconstruct the disk image the crash leaves,
+// and recover from it. The durability contract under SyncAlways:
+//
+//  1. Open never panics and never fails on a pure crash image (torn
+//     in-flight snapshots hide behind the atomic rename; torn log tails
+//     recover to the prefix before the tear).
+//  2. The recovered tree passes Validate.
+//  3. The recovered contents equal the model state after exactly j
+//     workload steps, for some j — a consistent prefix, never a gappy or
+//     reordered history.
+//  4. j covers at least every step acknowledged before the crash point
+//     (SyncAlways means acked == durable).
+//
+// Bit-flip corruption relaxes only clause 1: recovery may instead fail
+// with a typed error, but must never panic or hand back a wrong tree.
+package quit_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+)
+
+const faultDir = "db"
+
+func faultOpts(fs *faultio.MemFS) quit.DurableOptions {
+	return quit.DurableOptions{
+		Options: quit.Options{LeafCapacity: 16, InternalFanout: 8},
+		Sync:    quit.SyncAlways,
+		FS:      fs,
+	}
+}
+
+// crashWorkload runs the scripted mutation sequence, returning the model
+// state after each step (models[j] = contents after j steps, models[0] =
+// empty) and, per step, the schedule length at the moment the step was
+// acknowledged.
+func crashWorkload(t *testing.T, fs *faultio.MemFS) (models []map[int64]string, ackEvent []int) {
+	t.Helper()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]string{}
+	models = append(models, map[int64]string{}) // state after 0 steps
+	snapshotModel := func() {
+		m := make(map[int64]string, len(model))
+		for k, v := range model {
+			m[k] = v
+		}
+		models = append(models, m)
+	}
+	key := int64(0)
+	for i := 0; i < 130; i++ {
+		switch {
+		case i == 55:
+			if err := d.Clear(); err != nil {
+				t.Fatalf("step %d clear: %v", i, err)
+			}
+			model = map[int64]string{}
+		case i%9 == 7 && key > 3:
+			k := key - 3
+			if _, _, err := d.Delete(k); err != nil {
+				t.Fatalf("step %d delete: %v", i, err)
+			}
+			delete(model, k)
+		default:
+			// Mostly-ascending keys with periodic outliers, the tree's
+			// characteristic workload.
+			k := key
+			if i%17 == 13 {
+				k = key - 40
+			} else {
+				key++
+			}
+			v := fmt.Sprintf("v%d", i)
+			if err := d.Insert(k, v); err != nil {
+				t.Fatalf("step %d insert: %v", i, err)
+			}
+			model[k] = v
+		}
+		snapshotModel()
+		ackEvent = append(ackEvent, len(fs.Events()))
+		// Two checkpoints mid-history, so crash points cover snapshot
+		// writing, the rename, log rotation, and garbage collection.
+		if i == 45 || i == 95 {
+			if err := d.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after step %d: %v", i, err)
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return models, ackEvent
+}
+
+// recoverAndCheck opens the crash image and verifies the contract clauses.
+// wantOpen forces clause 1 (pure crash images must always recover).
+func recoverAndCheck(t *testing.T, image map[string][]byte, models []map[int64]string, guaranteed int, label string, wantOpen bool) {
+	t.Helper()
+	rfs := faultio.FromImage(image)
+	d, err := quit.Open[int64, string](faultDir, faultOpts(rfs))
+	if err != nil {
+		if wantOpen {
+			t.Fatalf("%s: Open failed on a pure crash image: %v", label, err)
+		}
+		if !errors.Is(err, quit.ErrBadSnapshot) {
+			t.Fatalf("%s: Open error is untyped: %v", label, err)
+		}
+		return
+	}
+	defer d.Close()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("%s: recovered tree invalid: %v", label, err)
+	}
+	got := treeContents(d)
+	for j := guaranteed; j < len(models); j++ {
+		if mapsEqual(got, models[j]) {
+			return
+		}
+	}
+	// Not a prefix at or past the guarantee: distinguish "lost acked
+	// writes" from "not a prefix at all" for the failure message.
+	for j := 0; j < guaranteed; j++ {
+		if mapsEqual(got, models[j]) {
+			t.Fatalf("%s: recovered state after %d steps, but %d were acknowledged durable", label, j, guaranteed)
+		}
+	}
+	t.Fatalf("%s: recovered %d entries matching no model prefix (guaranteed %d)", label, len(got), guaranteed)
+}
+
+func mapsEqual(a, b map[int64]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// guaranteedAt counts the steps acknowledged before the cut.
+func guaranteedAt(ackEvent []int, cut int) int {
+	g := 0
+	for _, e := range ackEvent {
+		if e <= cut {
+			g++
+		}
+	}
+	return g
+}
+
+// TestCrashRecoveryAtEveryPoint is the exhaustive crash matrix: one
+// recovery per schedule boundary, in write-ordered and synced-only
+// variants, plus torn mid-write cuts for every write event.
+func TestCrashRecoveryAtEveryPoint(t *testing.T) {
+	fs := faultio.NewMemFS()
+	models, ackEvent := crashWorkload(t, fs)
+	events := fs.Events()
+	t.Logf("schedule: %d events, %d steps", len(events), len(ackEvent))
+
+	for cut := 0; cut <= len(events); cut++ {
+		g := guaranteedAt(ackEvent, cut)
+		recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut}), models, g,
+			fmt.Sprintf("cut=%d", cut), true)
+		recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut, SyncedOnly: true}), models, g,
+			fmt.Sprintf("cut=%d/synced-only", cut), true)
+		if cut < len(events) && events[cut].Kind == faultio.EvWrite {
+			n := len(events[cut].Data)
+			for _, mid := range []int{1, n / 2, n - 1} {
+				if mid <= 0 || mid >= n {
+					continue
+				}
+				recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut, MidBytes: mid}), models, g,
+					fmt.Sprintf("cut=%d/mid=%d", cut, mid), true)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryBitFlips sweeps single-bit corruption across every byte
+// region of the final on-disk state: recovery must either produce a valid
+// model prefix or fail with a typed error — never panic, never return a
+// tree that matches no prefix.
+func TestCrashRecoveryBitFlips(t *testing.T) {
+	fs := faultio.NewMemFS()
+	models, _ := crashWorkload(t, fs)
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events())})
+
+	for name, data := range image {
+		stride := len(data) / 97
+		if stride < 1 {
+			stride = 1
+		}
+		for off := 0; off < len(data); off += stride {
+			flipped := map[string][]byte{}
+			for n, d := range image {
+				flipped[n] = d
+			}
+			flipped[name] = faultio.FlipBit(data, off, uint(off%8))
+			recoverAndCheck(t, flipped, models, 0,
+				fmt.Sprintf("flip %s@%d", name, off), false)
+		}
+	}
+}
+
+// TestDurableFailedSync drives the injected-fsync-failure path: the write
+// is not acknowledged, the log poisons itself, and the state acknowledged
+// before the failure recovers intact.
+func TestDurableFailedSync(t *testing.T) {
+	fs := faultio.NewMemFS()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		if err := d.Insert(i, "ok"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailSync("wal-")
+	if err := d.Insert(100, "lost"); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("insert on failing fsync: %v", err)
+	}
+	// The log is poisoned: no further acknowledgments.
+	if err := d.Insert(101, "also lost"); err == nil {
+		t.Fatal("poisoned log acknowledged a write")
+	}
+	fs.ClearFaults()
+	d.Close()
+
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true}))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := treeContents(d2)
+	for i := int64(0); i < 30; i++ {
+		if got[i] != "ok" {
+			t.Fatalf("acked key %d lost after fsync failure", i)
+		}
+	}
+	if _, ok := got[101]; ok {
+		t.Fatal("unacknowledged write survived")
+	}
+}
+
+// TestDurableCheckpointWriteFailure fails the snapshot write at a byte
+// offset: Checkpoint must report the error, leave the previous durable
+// state authoritative, and keep the tree usable.
+func TestDurableCheckpointWriteFailure(t *testing.T) {
+	fs := faultio.NewMemFS()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		d.Insert(i, "x")
+	}
+	fs.FailWriteAt("snap.tmp", 25)
+	if err := d.Checkpoint(); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("checkpoint on failing disk: %v", err)
+	}
+	fs.ClearFaults()
+	// The log is untouched by the failed checkpoint: writes continue.
+	if err := d.Insert(100, "after"); err != nil {
+		t.Fatalf("insert after failed checkpoint: %v", err)
+	}
+	// And a retried checkpoint succeeds.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("retried checkpoint: %v", err)
+	}
+	d.Close()
+
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(fs.ImageAt(faultio.Cut{Event: len(fs.Events())}))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 41 {
+		t.Fatalf("recovered %d entries, want 41", d2.Len())
+	}
+}

@@ -1,0 +1,496 @@
+package quit_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/quittree/quit"
+)
+
+func durableOpts() quit.DurableOptions {
+	return quit.DurableOptions{
+		Options: quit.Options{LeafCapacity: 16, InternalFanout: 8},
+		Sync:    quit.SyncAlways,
+	}
+}
+
+func treeContents(d *quit.DurableTree[int64, string]) map[int64]string {
+	m := map[int64]string{}
+	d.Scan(func(k int64, v string) bool { m[k] = v; return true })
+	return m
+}
+
+func TestDurableOpenEmptyAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("fresh tree has %d entries", d.Len())
+	}
+	rec := d.Recovery()
+	if rec.Snapshot != "" || rec.RecordsReplayed != 0 || rec.WALTail != nil {
+		t.Fatalf("fresh recovery: %+v", rec)
+	}
+	want := map[int64]string{}
+	for i := int64(0); i < 500; i++ {
+		if err := d.Insert(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fmt.Sprintf("v%d", i)
+	}
+	if v, ok := d.Get(42); !ok || v != "v42" {
+		t.Fatalf("Get(42) = (%q, %v)", v, ok)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything comes back from the log alone (no checkpoint ran).
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec = d2.Recovery()
+	if rec.Snapshot != "" || rec.RecordsReplayed != 500 || rec.WALTail != nil {
+		t.Fatalf("replay recovery: %+v", rec)
+	}
+	if got := treeContents(d2); len(got) != 500 || got[7] != "v7" {
+		t.Fatalf("recovered %d entries", len(got))
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]string{}
+	put := func(k int64, v string) {
+		t.Helper()
+		if err := d.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := int64(0); i < 300; i++ {
+		put(i, "pre")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(300); i < 350; i++ {
+		put(i, "post")
+	}
+	if _, existed, err := d.Delete(5); err != nil || !existed {
+		t.Fatalf("delete: (%v, %v)", existed, err)
+	}
+	delete(want, 5)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint must have compacted: exactly one snapshot, one log.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps, wals int
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "snap-") {
+			snaps++
+		}
+		if strings.HasPrefix(e.Name(), "wal-") {
+			wals++
+		}
+	}
+	if snaps != 1 || wals != 1 {
+		t.Fatalf("after checkpoint: %d snapshots, %d logs, want 1 each", snaps, wals)
+	}
+
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Snapshot == "" || rec.SnapshotSeq != 300 {
+		t.Fatalf("recovery snapshot: %+v", rec)
+	}
+	if rec.RecordsReplayed != 51 { // 50 posts + 1 delete
+		t.Fatalf("RecordsReplayed = %d, want 51", rec.RecordsReplayed)
+	}
+	if got := treeContents(d2); len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	} else {
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("key %d = %q, want %q", k, got[k], v)
+			}
+		}
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableClearSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		d.Insert(i, "x")
+	}
+	if err := d.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(7, "seven")
+	d.Close()
+
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := treeContents(d2); len(got) != 1 || got[7] != "seven" {
+		t.Fatalf("recovered %v, want only 7→seven", got)
+	}
+}
+
+func TestDurablePutSemantics(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if prev, existed, err := d.Put(1, "a"); err != nil || existed || prev != "" {
+		t.Fatalf("first put: (%q, %v, %v)", prev, existed, err)
+	}
+	if prev, existed, err := d.Put(1, "b"); err != nil || !existed || prev != "a" {
+		t.Fatalf("second put: (%q, %v, %v)", prev, existed, err)
+	}
+	if v, existed, err := d.Delete(1); err != nil || !existed || v != "b" {
+		t.Fatalf("delete: (%q, %v, %v)", v, existed, err)
+	}
+	if _, existed, err := d.Delete(1); err != nil || existed {
+		t.Fatalf("double delete: (%v, %v)", existed, err)
+	}
+	if k, v, ok := d.Min(); ok {
+		t.Fatalf("Min on empty = (%d, %q, true)", k, v)
+	}
+}
+
+func TestDurableClosedOperations(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(1, "a")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(2, "b"); !errors.Is(err, quit.ErrClosed) {
+		t.Fatalf("insert after close: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, quit.ErrClosed) {
+		t.Fatalf("checkpoint after close: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, quit.ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+	if err := d.Close(); !errors.Is(err, quit.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDurableRefusesAllCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		d.Insert(i, "x")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Recovery().Snapshot
+	d.Close()
+
+	// Flip a byte deep in the only snapshot: Open must refuse to silently
+	// restart empty and must surface a typed snapshot error.
+	path := filepath.Join(dir, snap)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = quit.Open[int64, string](dir, durableOpts())
+	if err == nil {
+		t.Fatal("Open accepted a corrupt sole snapshot")
+	}
+	if !errors.Is(err, quit.ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot in chain", err)
+	}
+}
+
+func TestDurableFallsBackToOlderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		d.Insert(i, "gen1")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := d.Recovery().Snapshot
+	saved, err := os.ReadFile(filepath.Join(dir, gen1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(40); i < 60; i++ {
+		d.Insert(i, "gen2")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := d.Recovery().Snapshot
+	d.Close()
+
+	// Resurrect generation 1 (checkpoint removed it) and corrupt
+	// generation 2: Open must degrade to generation 1.
+	if err := os.WriteFile(filepath.Join(dir, gen1), saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, gen2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, gen2), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatalf("fallback open failed: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Snapshot != gen1 {
+		t.Fatalf("recovered from %q, want %q", rec.Snapshot, gen1)
+	}
+	if len(rec.SkippedSnapshots) != 1 || !errors.Is(rec.SkippedSnapshots[0], quit.ErrBadSnapshot) {
+		t.Fatalf("SkippedSnapshots = %v", rec.SkippedSnapshots)
+	}
+	// Generation 2's log segment was garbage-collected, so the recovered
+	// state is generation 1 and the sequence break is flagged.
+	if got := treeContents(d2); len(got) != 40 {
+		t.Fatalf("recovered %d entries, want 40 (generation 1)", len(got))
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		d.Insert(i, "x")
+	}
+	d.Close()
+
+	// Append half a record's worth of junk to the log, as a crashed writer
+	// would leave.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			f, err := os.OpenFile(filepath.Join(dir, e.Name()), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte{9, 0, 0})
+			f.Close()
+		}
+	}
+
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatalf("torn tail failed open: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.WALTail == nil {
+		t.Fatal("torn tail not reported in RecoveryInfo")
+	}
+	if rec.RecordsReplayed != 20 || d2.Len() != 20 {
+		t.Fatalf("replayed %d, Len %d, want 20", rec.RecordsReplayed, d2.Len())
+	}
+	// And the tree accepts new writes afterwards.
+	if err := d2.Insert(100, "new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableSalvage(t *testing.T) {
+	tr := quit.New[int64, string](quit.Options{LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i, "v")
+	}
+	var buf strings.Builder
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+
+	// Intact: Salvage == Load.
+	got, err := quit.Salvage[int64, string](strings.NewReader(full), quit.Options{})
+	if err != nil || got.Len() != 1000 {
+		t.Fatalf("intact salvage: (%d, %v)", got.Len(), err)
+	}
+	// Truncated: a working prefix plus the typed error.
+	got, err = quit.Salvage[int64, string](strings.NewReader(full[:len(full)/2]), quit.Options{})
+	if !errors.Is(err, quit.ErrTruncatedSnapshot) {
+		t.Fatalf("truncated salvage err = %v", err)
+	}
+	if got == nil {
+		t.Fatal("truncated salvage returned no tree")
+	}
+	if got.Len() >= 1000 {
+		t.Fatalf("salvaged %d entries from half a stream", got.Len())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Salvage must also accept a DurableTree's on-disk checkpoint file, whose
+// snapshot stream sits behind the checkpoint preamble — including when the
+// damage is in the preamble itself.
+func TestDurableSalvageCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if err := d.Insert(i, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.quit"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots on disk: %v, %v", snaps, err)
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact checkpoint file: the preamble is skipped transparently.
+	got, err := quit.Salvage[int64, string](bytes.NewReader(raw), quit.Options{})
+	if err != nil || got == nil || got.Len() != 500 {
+		t.Fatalf("intact checkpoint salvage: (%v, %v)", got, err)
+	}
+
+	// Damage inside the preamble's lastSeq/crc: still salvages in full —
+	// the preamble is skipped, not verified.
+	flipped := append([]byte(nil), raw...)
+	flipped[12] ^= 0x01
+	got, err = quit.Salvage[int64, string](bytes.NewReader(flipped), quit.Options{})
+	if err != nil || got == nil || got.Len() != 500 {
+		t.Fatalf("damaged-preamble salvage: (%v, %v)", got, err)
+	}
+
+	// Damage in the snapshot body: a valid prefix plus the typed error.
+	flipped = append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	got, err = quit.Salvage[int64, string](bytes.NewReader(flipped), quit.Options{})
+	if !errors.Is(err, quit.ErrBadSnapshot) {
+		t.Fatalf("damaged-body salvage err = %v", err)
+	}
+	if got == nil || got.Len() >= 500 {
+		t.Fatalf("damaged-body salvage recovered %v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts()
+	opts.Sync = quit.SyncNever // keep the race test fast
+	d, err := quit.Open[int64, string](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := int64(g*1000 + i)
+				if err := d.Insert(k, "v"); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				d.Get(k)
+				d.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", d.Len())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := quit.Open[int64, string](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 800 {
+		t.Fatalf("recovered Len = %d, want 800", d2.Len())
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,26 +1,82 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 )
 
-// Snapshot format: a gob stream with a header followed by fixed-size entry
-// chunks in ascending key order. Loading rebuilds the tree with bulk
-// loading, so a loaded tree is compact (leaves packed to snapshotFill)
-// regardless of the occupancy it was saved with.
+// Snapshot format v2: a raw magic string followed by self-delimiting frames,
+// each a gob-encoded section wrapped in a length prefix and a CRC32C. Every
+// frame is an independent gob stream, so a corrupt or torn frame never
+// poisons the decoding of its neighbours — Load can detect exactly where a
+// stream went bad, and Salvage can rebuild the longest valid prefix.
+//
+//	magic   "QUITSNAP2\n"                      (10 raw bytes)
+//	frame   kind(1) | len(4 LE) | crc32c(4 LE) | payload(len bytes)
+//
+// The CRC covers kind||payload, so a flipped kind byte is detected too.
+// Frame kinds, in stream order: one header frame (gob snapshotHeader), zero
+// or more chunk frames (gob snapshotChunkRec, ascending keys), one tail
+// frame (gob snapshotTail) after which the stream must end — trailing bytes
+// are rejected.
+//
+// Version 1 (a bare gob stream: header record then chunk records, no
+// checksums) is still readable; Save always writes v2.
 const (
-	snapshotMagic   = "quit-tree-snapshot"
-	snapshotVersion = 1
+	snapshotMagicV2 = "QUITSNAP2\n"
+	snapshotMagic   = "quit-tree-snapshot" // v1 header magic (gob field)
+	snapshotVersion = 2
 	snapshotChunk   = 1 << 14
 	snapshotFill    = 0.9 // leave headroom so post-load inserts don't cascade splits
+
+	frameHeader = byte(1)
+	frameChunk  = byte(2)
+	frameTail   = byte(3)
+
+	// maxFramePayload bounds a frame's declared length so a corrupted
+	// length field cannot demand an absurd allocation. Payloads are read
+	// incrementally regardless, so even within the bound a truncated
+	// stream only allocates what is actually present.
+	maxFramePayload = 1 << 30
+
+	// Geometry sanity bounds for snapshot headers (see validateHeader).
+	maxSnapshotGeometry = 1 << 24
+	maxSnapshotCount    = int64(1) << 48
 )
 
+// crcTable is the Castagnoli polynomial table shared by snapshot framing
+// and the write-ahead log.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // ErrBadSnapshot is returned by Load when the stream is not a snapshot or
-// is from an incompatible version.
+// is from an incompatible version. ErrCorruptSnapshot and
+// ErrTruncatedSnapshot wrap it, so errors.Is(err, ErrBadSnapshot) matches
+// any snapshot failure.
 var ErrBadSnapshot = errors.New("core: not a quit tree snapshot (or incompatible version)")
+
+// ErrCorruptSnapshot is returned (wrapped) by Load when the stream frames
+// as a snapshot but fails a checksum, declares impossible geometry, or
+// carries trailing or malformed data. errors.Is(err, ErrBadSnapshot) also
+// holds for it.
+var ErrCorruptSnapshot = &snapshotError{msg: "core: corrupt snapshot (checksum, framing or header mismatch)"}
+
+// ErrTruncatedSnapshot is returned (wrapped) by Load when the stream ends
+// before its tail frame — the signature of a torn write or partial copy.
+// errors.Is(err, ErrBadSnapshot) also holds for it.
+var ErrTruncatedSnapshot = &snapshotError{msg: "core: truncated snapshot"}
+
+// snapshotError is a sentinel that chains to ErrBadSnapshot, so the
+// specific failure modes stay matchable individually and collectively.
+type snapshotError struct{ msg string }
+
+func (e *snapshotError) Error() string { return e.msg }
+func (e *snapshotError) Unwrap() error { return ErrBadSnapshot }
 
 type snapshotHeader struct {
 	Magic   string
@@ -40,11 +96,104 @@ type snapshotChunkRec[K Integer, V any] struct {
 	Vals []V
 }
 
-// Save writes a snapshot of the tree to w. The value type must be
+// snapshotTail closes a v2 stream: Count must equal the entries streamed,
+// re-detecting a header/body mismatch that slipped past per-frame CRCs.
+type snapshotTail struct {
+	Count int64
+}
+
+// validateHeader bounds-checks a decoded header before any allocation is
+// sized from it: a corrupt header must fail fast, not cause a huge
+// allocation or a later panic.
+func validateHeader(hdr snapshotHeader) error {
+	switch {
+	case hdr.Count < 0 || hdr.Count > maxSnapshotCount:
+		return fmt.Errorf("core: snapshot header entry count %d out of range: %w", hdr.Count, ErrCorruptSnapshot)
+	case hdr.Mode > uint8(ModeQuIT):
+		return fmt.Errorf("core: snapshot header mode %d unknown: %w", hdr.Mode, ErrCorruptSnapshot)
+	case hdr.LeafCapacity < 4 || hdr.LeafCapacity > maxSnapshotGeometry:
+		return fmt.Errorf("core: snapshot header leaf capacity %d out of range: %w", hdr.LeafCapacity, ErrCorruptSnapshot)
+	case hdr.InternalFanout < 4 || hdr.InternalFanout > maxSnapshotGeometry:
+		return fmt.Errorf("core: snapshot header internal fanout %d out of range: %w", hdr.InternalFanout, ErrCorruptSnapshot)
+	case math.IsNaN(hdr.IKRScale) || math.IsInf(hdr.IKRScale, 0) || hdr.IKRScale < 0 || hdr.IKRScale > 1e9:
+		return fmt.Errorf("core: snapshot header IKR scale %v out of range: %w", hdr.IKRScale, ErrCorruptSnapshot)
+	case hdr.ResetThreshold < 0 || hdr.ResetThreshold > 1<<30:
+		return fmt.Errorf("core: snapshot header reset threshold %d out of range: %w", hdr.ResetThreshold, ErrCorruptSnapshot)
+	}
+	return nil
+}
+
+// writeFrame emits one framed section. payload is gob bytes produced by an
+// independent encoder.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var pre [9]byte
+	pre[0] = kind
+	binary.LittleEndian.PutUint32(pre[1:5], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum([]byte{kind}, crcTable), crcTable, payload)
+	binary.LittleEndian.PutUint32(pre[5:9], crc)
+	if _, err := w.Write(pre[:]); err != nil {
+		return fmt.Errorf("core: writing snapshot frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("core: writing snapshot frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and checksum-verifies one frame. io.EOF at a frame
+// boundary is returned as io.EOF; any mid-frame end of stream maps to
+// ErrTruncatedSnapshot and any checksum or bound violation to
+// ErrCorruptSnapshot.
+func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var pre [9]byte
+	if _, err := io.ReadFull(r, pre[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("core: snapshot frame prefix: %w", ErrTruncatedSnapshot)
+	}
+	if _, err := io.ReadFull(r, pre[1:]); err != nil {
+		return 0, nil, fmt.Errorf("core: snapshot frame prefix: %w", ErrTruncatedSnapshot)
+	}
+	kind = pre[0]
+	n := binary.LittleEndian.Uint32(pre[1:5])
+	want := binary.LittleEndian.Uint32(pre[5:9])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("core: snapshot frame declares %d payload bytes: %w", n, ErrCorruptSnapshot)
+	}
+	// Read incrementally so a corrupted length plus a truncated stream
+	// allocates only the bytes actually present.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return 0, nil, fmt.Errorf("core: snapshot frame payload: %w", ErrTruncatedSnapshot)
+	}
+	payload = buf.Bytes()
+	crc := crc32.Update(crc32.Checksum([]byte{kind}, crcTable), crcTable, payload)
+	if crc != want {
+		return 0, nil, fmt.Errorf("core: snapshot frame checksum mismatch: %w", ErrCorruptSnapshot)
+	}
+	return kind, payload, nil
+}
+
+// encodeFrame gob-encodes v with a fresh encoder and frames it to w.
+func encodeFrame(w io.Writer, kind byte, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("core: encoding snapshot section: %w", err)
+	}
+	return writeFrame(w, kind, buf.Bytes())
+}
+
+// Save writes a v2 snapshot of the tree to w. The value type must be
 // encodable by encoding/gob. Save requires external synchronization (no
-// concurrent writers).
+// concurrent writers). Every write error — including errors surfaced only
+// at the final frame — is propagated, so a caller that sees a nil return
+// holds a complete, checksummed stream (durability additionally needs the
+// caller to sync its file).
 func (t *Tree[K, V]) Save(w io.Writer) error {
-	enc := gob.NewEncoder(w)
+	if _, err := io.WriteString(w, snapshotMagicV2); err != nil {
+		return fmt.Errorf("core: writing snapshot magic: %w", err)
+	}
 	cfg := t.cfg
 	hdr := snapshotHeader{
 		Magic:   snapshotMagic,
@@ -54,20 +203,22 @@ func (t *Tree[K, V]) Save(w io.Writer) error {
 		InternalFanout: cfg.InternalFanout, IKRScale: cfg.IKRScale,
 		ResetThreshold: cfg.ResetThreshold,
 	}
-	if err := enc.Encode(hdr); err != nil {
-		return fmt.Errorf("core: encoding snapshot header: %w", err)
+	if err := encodeFrame(w, frameHeader, hdr); err != nil {
+		return err
 	}
 	chunk := snapshotChunkRec[K, V]{
 		Keys: make([]K, 0, snapshotChunk),
 		Vals: make([]V, 0, snapshotChunk),
 	}
+	var total int64
 	flush := func() error {
 		if len(chunk.Keys) == 0 {
 			return nil
 		}
-		if err := enc.Encode(chunk); err != nil {
-			return fmt.Errorf("core: encoding snapshot chunk: %w", err)
+		if err := encodeFrame(w, frameChunk, chunk); err != nil {
+			return err
 		}
+		total += int64(len(chunk.Keys))
 		chunk.Keys = chunk.Keys[:0]
 		chunk.Vals = chunk.Vals[:0]
 		return nil
@@ -84,22 +235,58 @@ func (t *Tree[K, V]) Save(w io.Writer) error {
 	if ferr != nil {
 		return ferr
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	return encodeFrame(w, frameTail, snapshotTail{Count: total})
 }
 
-// Load reads a snapshot written by Save and builds a tree from it. The
-// returned tree uses the snapshot's configuration with cfg's Mode and
-// Synchronized applied on top when cfg is non-zero (pass a zero Config to
-// restore the saved configuration wholesale).
+// Load reads a snapshot written by Save (v2, or the unchecksummed v1
+// format of earlier releases) and builds a tree from it. The returned tree
+// uses the snapshot's configuration with cfg's Mode and Synchronized
+// applied on top when cfg is non-zero (pass a zero Config to restore the
+// saved configuration wholesale).
+//
+// Failures are typed: errors.Is(err, ErrTruncatedSnapshot) for a stream
+// that ends early, errors.Is(err, ErrCorruptSnapshot) for checksum or
+// structural damage, and errors.Is(err, ErrBadSnapshot) for either (or for
+// a stream that was never a snapshot).
 func Load[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
-	dec := gob.NewDecoder(r)
-	var hdr snapshotHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot header: %w", err)
+	t, err := load[K, V](r, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if hdr.Magic != snapshotMagic || hdr.Version != snapshotVersion {
-		return nil, ErrBadSnapshot
+	return t, nil
+}
+
+// Salvage reads as much of a damaged snapshot as possible: it rebuilds a
+// working tree from the longest checksum-valid prefix of the stream and
+// returns it together with the error that stopped the read (nil when the
+// stream is intact — then Salvage equals Load). The tree is non-nil, and
+// passes Validate, whenever the header frame was readable; a stream whose
+// header is unrecoverable yields (nil, err), since without geometry there
+// is nothing to build.
+func Salvage[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
+	return load[K, V](r, cfg)
+}
+
+// load is the shared implementation: it always returns the best tree it
+// could build (nil only when the header never decoded) plus the first
+// error. Load discards the partial tree on error; Salvage keeps it.
+func load[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
+	magic := make([]byte, len(snapshotMagicV2))
+	n, _ := io.ReadFull(r, magic)
+	magic = magic[:n]
+	if string(magic) == snapshotMagicV2 {
+		return loadV2[K, V](r, cfg)
 	}
+	// Not the v2 magic: either a v1 gob stream or garbage; the v1 decoder
+	// distinguishes. Re-attach the consumed prefix.
+	return loadV1[K, V](io.MultiReader(bytes.NewReader(magic), r), cfg)
+}
+
+// restoredConfig merges the header geometry with the caller's overrides.
+func restoredConfig(hdr snapshotHeader, cfg Config) Config {
 	restored := Config{
 		Mode:           Mode(hdr.Mode),
 		LeafCapacity:   hdr.LeafCapacity,
@@ -117,23 +304,120 @@ func Load[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
 			restored.InternalFanout = cfg.InternalFanout
 		}
 	}
-	t := New[K, V](restored)
+	return restored
+}
+
+func loadV2[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
+	kind, payload, err := readFrame(r)
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("core: snapshot ends before header: %w", ErrTruncatedSnapshot)
+		}
+		return nil, err
+	}
+	if kind != frameHeader {
+		return nil, fmt.Errorf("core: snapshot opens with frame kind %d, want header: %w", kind, ErrCorruptSnapshot)
+	}
+	var hdr snapshotHeader
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot header: %w", ErrCorruptSnapshot)
+	}
+	if hdr.Magic != snapshotMagic || hdr.Version != snapshotVersion {
+		return nil, ErrBadSnapshot
+	}
+	if err := validateHeader(hdr); err != nil {
+		return nil, err
+	}
+	t := New[K, V](restoredConfig(hdr, cfg))
+	var total int64
+	for {
+		kind, payload, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("core: snapshot ends at entry %d without tail frame: %w", total, ErrTruncatedSnapshot)
+			}
+			return t, err
+		}
+		switch kind {
+		case frameChunk:
+			var chunk snapshotChunkRec[K, V]
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&chunk); err != nil {
+				return t, fmt.Errorf("core: decoding snapshot chunk at entry %d: %w", total, ErrCorruptSnapshot)
+			}
+			if len(chunk.Keys) != len(chunk.Vals) || len(chunk.Keys) == 0 {
+				return t, fmt.Errorf("core: malformed snapshot chunk at entry %d: %w", total, ErrCorruptSnapshot)
+			}
+			if total+int64(len(chunk.Keys)) > hdr.Count {
+				return t, fmt.Errorf("core: snapshot streams more entries than header count %d: %w", hdr.Count, ErrCorruptSnapshot)
+			}
+			if err := t.BulkAppend(chunk.Keys, chunk.Vals, snapshotFill); err != nil {
+				// Keys out of order across CRC-valid frames: structural
+				// corruption (e.g. frames reordered or spliced).
+				return t, fmt.Errorf("core: rebuilding from snapshot: %v: %w", err, ErrCorruptSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
+			}
+			total += int64(len(chunk.Keys))
+		case frameTail:
+			var tail snapshotTail
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tail); err != nil {
+				return t, fmt.Errorf("core: decoding snapshot tail: %w", ErrCorruptSnapshot)
+			}
+			if tail.Count != total || total != hdr.Count {
+				return t, fmt.Errorf("core: snapshot count mismatch: header %d, stream %d, tail %d: %w",
+					hdr.Count, total, tail.Count, ErrCorruptSnapshot)
+			}
+			// The tail closes the stream; anything after it is garbage.
+			var one [1]byte
+			if n, _ := io.ReadFull(r, one[:]); n != 0 {
+				return t, fmt.Errorf("core: trailing data after snapshot tail: %w", ErrCorruptSnapshot)
+			}
+			return t, nil
+		default:
+			return t, fmt.Errorf("core: unknown snapshot frame kind %d at entry %d: %w", kind, total, ErrCorruptSnapshot)
+		}
+	}
+}
+
+// loadV1 reads the version-1 format: a bare gob stream with no checksums.
+// Kept so snapshots written by earlier releases stay loadable; structural
+// failures map onto the same typed errors as v2.
+func loadV1[K Integer, V any](r io.Reader, cfg Config) (*Tree[K, V], error) {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot header: %v: %w", err, ErrBadSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
+	}
+	if hdr.Magic != snapshotMagic || hdr.Version != 1 {
+		return nil, ErrBadSnapshot
+	}
+	if err := validateHeader(hdr); err != nil {
+		return nil, err
+	}
+	t := New[K, V](restoredConfig(hdr, cfg))
 	var total int64
 	for total < hdr.Count {
 		var chunk snapshotChunkRec[K, V]
 		if err := dec.Decode(&chunk); err != nil {
-			return nil, fmt.Errorf("core: decoding snapshot chunk at entry %d: %w", total, err)
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return t, fmt.Errorf("core: snapshot ends at entry %d of %d: %w", total, hdr.Count, ErrTruncatedSnapshot)
+			}
+			return t, fmt.Errorf("core: decoding snapshot chunk at entry %d: %v: %w", total, err, ErrCorruptSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
 		}
 		if len(chunk.Keys) != len(chunk.Vals) || len(chunk.Keys) == 0 {
-			return nil, fmt.Errorf("core: corrupt snapshot chunk at entry %d", total)
+			return t, fmt.Errorf("core: malformed snapshot chunk at entry %d: %w", total, ErrCorruptSnapshot)
+		}
+		if total+int64(len(chunk.Keys)) > hdr.Count {
+			return t, fmt.Errorf("core: snapshot streams more entries than header count %d: %w", hdr.Count, ErrCorruptSnapshot)
 		}
 		if err := t.BulkAppend(chunk.Keys, chunk.Vals, snapshotFill); err != nil {
-			return nil, fmt.Errorf("core: rebuilding from snapshot: %w", err)
+			return t, fmt.Errorf("core: rebuilding from snapshot: %v: %w", err, ErrCorruptSnapshot) //quitlint:allow errwrap mapping cause onto the typed sentinel
 		}
 		total += int64(len(chunk.Keys))
 	}
-	if total != hdr.Count {
-		return nil, fmt.Errorf("core: snapshot count mismatch: header %d, stream %d", hdr.Count, total)
+	// The header count delimits the v1 stream; reject trailing garbage
+	// after the final chunk instead of silently ignoring it.
+	var extra snapshotChunkRec[K, V]
+	if err := dec.Decode(&extra); err != io.EOF {
+		return t, fmt.Errorf("core: trailing data after final snapshot chunk: %w", ErrCorruptSnapshot)
 	}
 	return t, nil
 }

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// snapshotBytes saves a tree with n sequential entries and returns the raw
+// v2 stream.
+func snapshotBytes(t *testing.T, n int) []byte {
+	t.Helper()
+	tr := New[int64, int64](Config{LeafCapacity: 8, InternalFanout: 8})
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i)*10)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// frameBoundaries returns the stream offsets at which a v2 frame starts or
+// the stream validly ends: [len(magic), after frame 1, after frame 2, ...].
+func frameBoundaries(t *testing.T, snap []byte) []int {
+	t.Helper()
+	off := len(snapshotMagicV2)
+	bounds := []int{off}
+	for off < len(snap) {
+		if off+9 > len(snap) {
+			t.Fatalf("stream ends inside a frame prefix at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(snap[off+1 : off+5]))
+		off += 9 + n
+		bounds = append(bounds, off)
+	}
+	if off != len(snap) {
+		t.Fatalf("frame walk overshoots: %d != %d", off, len(snap))
+	}
+	return bounds
+}
+
+func loadSnap(snap []byte) (*Tree[int64, int64], error) {
+	return Load[int64, int64](bytes.NewReader(snap), Config{})
+}
+
+func TestLoadTruncationAtEveryFrameBoundary(t *testing.T) {
+	// Enough entries for several chunk frames.
+	snap := snapshotBytes(t, 3*snapshotChunk+17)
+	bounds := frameBoundaries(t, snap)
+	if len(bounds) < 4 { // magic + header + >=2 chunks is the point of the test
+		t.Fatalf("expected multiple frames, got boundaries %v", bounds)
+	}
+	for _, cut := range bounds[:len(bounds)-1] { // last boundary = intact stream
+		tr, err := loadSnap(snap[:cut])
+		if tr != nil || err == nil {
+			t.Fatalf("cut at boundary %d: Load = (%v, %v), want typed error", cut, tr, err)
+		}
+		if !errors.Is(err, ErrTruncatedSnapshot) {
+			t.Errorf("cut at boundary %d: err = %v, want ErrTruncatedSnapshot", cut, err)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("cut at boundary %d: err = %v does not match ErrBadSnapshot", cut, err)
+		}
+	}
+	// Mid-frame cuts: inside the prefix and inside the payload.
+	for _, delta := range []int{1, 5, 9, 10} {
+		cut := bounds[1] + delta // inside the first chunk frame
+		if _, err := loadSnap(snap[:cut]); !errors.Is(err, ErrTruncatedSnapshot) {
+			t.Errorf("mid-frame cut at %d: err = %v, want ErrTruncatedSnapshot", cut, err)
+		}
+	}
+	// Truncated magic.
+	for _, cut := range []int{0, 1, len(snapshotMagicV2) - 1} {
+		if _, err := loadSnap(snap[:cut]); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("magic cut at %d: err = %v, want ErrBadSnapshot", cut, err)
+		}
+	}
+}
+
+func TestLoadFlippedBytes(t *testing.T) {
+	snap := snapshotBytes(t, 2*snapshotChunk+5)
+	bounds := frameBoundaries(t, snap)
+	// One offset inside every frame's payload, plus prefix bytes (kind,
+	// length, CRC) of the first chunk frame.
+	offs := []int{}
+	for i := 0; i+1 < len(bounds); i++ {
+		offs = append(offs, bounds[i]+9+2) // payload byte of frame i
+	}
+	start := bounds[1]
+	offs = append(offs, start, start+1, start+5) // kind, length, crc of chunk 1
+	for _, off := range offs {
+		bad := append([]byte(nil), snap...)
+		bad[off] ^= 0x40
+		tr, err := loadSnap(bad)
+		if err == nil {
+			t.Errorf("flip at %d: Load accepted a corrupt stream", off)
+			continue
+		}
+		if tr != nil {
+			t.Errorf("flip at %d: Load returned a tree alongside %v", off, err)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("flip at %d: err = %v does not match ErrBadSnapshot", off, err)
+		}
+	}
+	// A flip in the raw magic makes the stream not-a-v2-snapshot.
+	bad := append([]byte(nil), snap...)
+	bad[3] ^= 0x01
+	if _, err := loadSnap(bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("magic flip: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestLoadRejectsTrailingGarbage(t *testing.T) {
+	snap := snapshotBytes(t, 100)
+	for _, extra := range [][]byte{{0x00}, []byte("junk"), snap} {
+		tr, err := loadSnap(append(append([]byte(nil), snap...), extra...))
+		if tr != nil || !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("trailing %d bytes: Load = (%v, %v), want ErrCorruptSnapshot", len(extra), tr, err)
+		}
+	}
+}
+
+// corruptHeaderStream builds a v2 stream whose header frame is valid at the
+// framing layer but carries the given header.
+func corruptHeaderStream(t *testing.T, hdr snapshotHeader) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV2)
+	if err := encodeFrame(&buf, frameHeader, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeFrame(&buf, frameTail, snapshotTail{Count: hdr.Count}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsBadGeometry(t *testing.T) {
+	good := snapshotHeader{
+		Magic: snapshotMagic, Version: snapshotVersion, Count: 0,
+		Mode: uint8(ModeQuIT), LeafCapacity: 510, InternalFanout: 256,
+		IKRScale: 1.5, ResetThreshold: 22,
+	}
+	mutate := func(fn func(*snapshotHeader)) snapshotHeader {
+		h := good
+		fn(&h)
+		return h
+	}
+	cases := []struct {
+		name string
+		hdr  snapshotHeader
+	}{
+		{"negative count", mutate(func(h *snapshotHeader) { h.Count = -1 })},
+		{"absurd count", mutate(func(h *snapshotHeader) { h.Count = maxSnapshotCount + 1 })},
+		{"unknown mode", mutate(func(h *snapshotHeader) { h.Mode = 200 })},
+		{"zero leaf capacity", mutate(func(h *snapshotHeader) { h.LeafCapacity = 0 })},
+		{"negative leaf capacity", mutate(func(h *snapshotHeader) { h.LeafCapacity = -510 })},
+		{"absurd leaf capacity", mutate(func(h *snapshotHeader) { h.LeafCapacity = maxSnapshotGeometry + 1 })},
+		{"zero fanout", mutate(func(h *snapshotHeader) { h.InternalFanout = 0 })},
+		{"absurd fanout", mutate(func(h *snapshotHeader) { h.InternalFanout = maxSnapshotGeometry + 1 })},
+		{"NaN ikr", mutate(func(h *snapshotHeader) { h.IKRScale = nan() })},
+		{"negative ikr", mutate(func(h *snapshotHeader) { h.IKRScale = -1 })},
+		{"huge ikr", mutate(func(h *snapshotHeader) { h.IKRScale = 1e12 })},
+		{"negative reset", mutate(func(h *snapshotHeader) { h.ResetThreshold = -1 })},
+		{"absurd reset", mutate(func(h *snapshotHeader) { h.ResetThreshold = 1<<30 + 1 })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := loadSnap(corruptHeaderStream(t, tc.hdr))
+			if tr != nil || !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("Load = (%v, %v), want ErrCorruptSnapshot", tr, err)
+			}
+		})
+	}
+	// The unmutated header must pass, proving the cases fail for the
+	// mutated field and not something else.
+	if tr, err := loadSnap(corruptHeaderStream(t, good)); err != nil || tr == nil {
+		t.Fatalf("control header failed: (%v, %v)", tr, err)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestLoadRejectsCountMismatch(t *testing.T) {
+	// Tail disagrees with header: header says 5, stream carries 3.
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV2)
+	hdr := snapshotHeader{
+		Magic: snapshotMagic, Version: snapshotVersion, Count: 5,
+		Mode: uint8(ModeQuIT), LeafCapacity: 8, InternalFanout: 8,
+		IKRScale: 1.5, ResetThreshold: 2,
+	}
+	if err := encodeFrame(&buf, frameHeader, hdr); err != nil {
+		t.Fatal(err)
+	}
+	chunk := snapshotChunkRec[int64, int64]{Keys: []int64{1, 2, 3}, Vals: []int64{10, 20, 30}}
+	if err := encodeFrame(&buf, frameChunk, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeFrame(&buf, frameTail, snapshotTail{Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnap(buf.Bytes()); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("count mismatch: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestLoadV1Compat(t *testing.T) {
+	// Replicate the v1 on-disk encoding: one gob stream, header record then
+	// chunk records, no magic, no checksums, no tail.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	const n = 1000
+	hdr := snapshotHeader{
+		Magic: snapshotMagic, Version: 1, Count: n,
+		Mode: uint8(ModeQuIT), LeafCapacity: 16, InternalFanout: 8,
+		IKRScale: 1.5, ResetThreshold: 4,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 256 {
+		chunk := snapshotChunkRec[int64, int64]{}
+		for j := i; j < i+256 && j < n; j++ {
+			chunk.Keys = append(chunk.Keys, int64(j))
+			chunk.Vals = append(chunk.Vals, int64(j)*3)
+		}
+		if err := enc.Encode(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1 := buf.Bytes()
+
+	tr, err := loadSnap(v1)
+	if err != nil {
+		t.Fatalf("v1 stream failed to load: %v", err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if v, ok := tr.Get(999); !ok || v != 999*3 {
+		t.Fatalf("Get(999) = (%d, %v)", v, ok)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated v1 stream → ErrTruncatedSnapshot.
+	if _, err := loadSnap(v1[:len(v1)/2]); !errors.Is(err, ErrTruncatedSnapshot) {
+		t.Fatalf("truncated v1: err = %v, want ErrTruncatedSnapshot", err)
+	}
+	// Trailing garbage after the last v1 chunk → ErrCorruptSnapshot.
+	if _, err := loadSnap(append(append([]byte(nil), v1...), 1, 2, 3)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("v1 trailing garbage: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestSalvageRecoversValidPrefix(t *testing.T) {
+	const n = 3*snapshotChunk + 100
+	snap := snapshotBytes(t, n)
+	bounds := frameBoundaries(t, snap)
+	// bounds[1] = end of header, bounds[2] = end of chunk 1, ...
+	type tc struct {
+		name    string
+		cut     int
+		minLen  int // entries guaranteed recovered
+		maxLen  int
+		wantErr error
+	}
+	cases := []tc{
+		{"torn after header", bounds[1], 0, 0, ErrTruncatedSnapshot},
+		{"torn after chunk 1", bounds[2], snapshotChunk, snapshotChunk, ErrTruncatedSnapshot},
+		{"torn after chunk 2", bounds[3], 2 * snapshotChunk, 2 * snapshotChunk, ErrTruncatedSnapshot},
+		{"torn mid chunk 2", bounds[2] + 100, snapshotChunk, snapshotChunk, ErrTruncatedSnapshot},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := Salvage[int64, int64](bytes.NewReader(snap[:c.cut]), Config{})
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("err = %v, want %v", err, c.wantErr)
+			}
+			if tr == nil {
+				t.Fatal("Salvage returned no tree despite readable header")
+			}
+			if got := tr.Len(); got < c.minLen || got > c.maxLen {
+				t.Fatalf("recovered %d entries, want in [%d, %d]", got, c.minLen, c.maxLen)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("salvaged tree invalid: %v", err)
+			}
+			// The recovered entries are the stream prefix, byte for byte.
+			i := int64(0)
+			tr.Scan(func(k, v int64) bool {
+				if k != i || v != i*10 {
+					t.Fatalf("entry %d = (%d, %d), want (%d, %d)", i, k, v, i, i*10)
+				}
+				i++
+				return true
+			})
+		})
+	}
+
+	// Corrupt chunk 2: salvage keeps chunk 1 and reports corruption.
+	bad := append([]byte(nil), snap...)
+	bad[bounds[2]+9+4] ^= 0xFF
+	tr, err := Salvage[int64, int64](bytes.NewReader(bad), Config{})
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+	}
+	if tr == nil || tr.Len() != snapshotChunk {
+		t.Fatalf("salvaged %v entries, want %d", tr.Len(), snapshotChunk)
+	}
+
+	// Unreadable header: nothing to build.
+	tr, err = Salvage[int64, int64](bytes.NewReader(snap[:bounds[0]+3]), Config{})
+	if tr != nil || !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("Salvage = (%v, %v), want (nil, ErrBadSnapshot)", tr, err)
+	}
+
+	// Intact stream: Salvage equals Load.
+	tr, err = Salvage[int64, int64](bytes.NewReader(snap), Config{})
+	if err != nil || tr.Len() != n {
+		t.Fatalf("intact salvage = (%d entries, %v)", tr.Len(), err)
+	}
+}
+
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	tr := New[int64, int64](Config{LeafCapacity: 8, InternalFanout: 8})
+	for i := 0; i < 2000; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	var full bytes.Buffer
+	if err := tr.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the write at every region of the stream: magic, header, chunks,
+	// tail. Save must report the error — not silently produce a short file.
+	for _, limit := range []int{0, 5, 30, full.Len() / 2, full.Len() - 3} {
+		w := &limitWriter{limit: limit}
+		if err := tr.Save(w); err == nil {
+			t.Errorf("limit %d: Save returned nil on a failing writer", limit)
+		}
+	}
+}
+
+// limitWriter fails the write that crosses limit.
+type limitWriter struct {
+	limit   int
+	written int
+}
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written += n
+		return n, fmt.Errorf("limitWriter: full at %d", w.limit)
+	}
+	w.written += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Dur01Result prices the crash-safety layer (beyond the paper, DESIGN.md
+// §8): the same near-sorted ingest through the in-memory tree and through
+// DurableTree under each write-ahead-log sync policy, plus the cost of
+// recovering the resulting log on reopen.
+type Dur01Result struct {
+	Policy    []string
+	N         []int
+	OpsPerSec []float64
+	Slowdown  []float64 // vs the in-memory baseline
+	// RecoverOpsPerSec is the log replay rate on reopen (0 for the
+	// in-memory baseline, which has nothing to recover).
+	RecoverOpsPerSec []float64
+}
+
+// RunDur01 executes the sweep.
+func RunDur01(p harness.Params) Dur01Result {
+	// The group-commit policies keep up with memory within a small factor,
+	// so they get the full stream; SyncAlways is fsync-bound (milliseconds
+	// per op on real disks) and measures fine from a short stream.
+	n := p.N
+	if n > 200_000 {
+		n = 200_000
+	}
+	alwaysN := 2_000
+	if p.Quick {
+		n, alwaysN = 50_000, 500
+	}
+	keys := genKeys(p, 0.05, 1.0)
+
+	var r Dur01Result
+	record := func(policy string, n int, opsPerSec, recoverRate float64) {
+		r.Policy = append(r.Policy, policy)
+		r.N = append(r.N, n)
+		r.OpsPerSec = append(r.OpsPerSec, opsPerSec)
+		r.RecoverOpsPerSec = append(r.RecoverOpsPerSec, recoverRate)
+	}
+
+	// In-memory baseline.
+	{
+		tr := quit.New[int64, int64](quit.Options{LeafCapacity: p.LeafCapacity, InternalFanout: p.InternalFanout})
+		runtime.GC()
+		start := time.Now()
+		for _, k := range keys[:n] {
+			tr.Insert(k, k)
+		}
+		record("in-memory", n, float64(n)/time.Since(start).Seconds(), 0)
+	}
+
+	runDurable := func(name string, policy quit.SyncPolicy, n int) {
+		dir, err := os.MkdirTemp("", "quit-dur01-")
+		if err != nil {
+			panic(fmt.Sprintf("dur01: %v", err))
+		}
+		defer os.RemoveAll(dir)
+		opts := quit.DurableOptions{
+			Options: quit.Options{LeafCapacity: p.LeafCapacity, InternalFanout: p.InternalFanout},
+			Sync:    policy,
+		}
+		d, err := quit.Open[int64, int64](dir, opts)
+		if err != nil {
+			panic(fmt.Sprintf("dur01: %v", err))
+		}
+		runtime.GC()
+		start := time.Now()
+		for _, k := range keys[:n] {
+			if err := d.Insert(k, k); err != nil {
+				panic(fmt.Sprintf("dur01: %v", err))
+			}
+		}
+		opsPerSec := float64(n) / time.Since(start).Seconds()
+		if err := d.Close(); err != nil {
+			panic(fmt.Sprintf("dur01: %v", err))
+		}
+		// Recovery cost: reopen and replay the full log.
+		start = time.Now()
+		d2, err := quit.Open[int64, int64](dir, opts)
+		if err != nil {
+			panic(fmt.Sprintf("dur01: reopen: %v", err))
+		}
+		recoverRate := float64(d2.Recovery().RecordsReplayed) / time.Since(start).Seconds()
+		d2.Close()
+		record(name, n, opsPerSec, recoverRate)
+	}
+
+	runDurable("wal/never", quit.SyncNever, n)
+	runDurable("wal/interval", quit.SyncInterval, n)
+	runDurable("wal/always", quit.SyncAlways, alwaysN)
+
+	base := r.OpsPerSec[0]
+	for _, ops := range r.OpsPerSec {
+		r.Slowdown = append(r.Slowdown, base/ops)
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Dur01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "dur01",
+		Title:   "Durability overhead (beyond the paper): WAL sync policies vs in-memory",
+		Note:    "near-sorted ingest (K=5%); recovery = log replay rate on reopen",
+		Headers: []string{"configuration", "ops", "M ops/sec", "slowdown", "recovery M ops/sec"},
+	}
+	for i := range r.Policy {
+		rec := "-"
+		if r.RecoverOpsPerSec[i] > 0 {
+			rec = harness.Fmt(r.RecoverOpsPerSec[i] / 1e6)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Policy[i],
+			fmt.Sprintf("%d", r.N[i]),
+			harness.Fmt(r.OpsPerSec[i] / 1e6),
+			harness.Fmt(r.Slowdown[i]) + "x",
+			rec,
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "dur01", Paper: "(extension)", Title: "durability overhead of snapshots + WAL",
+		Run: func(p harness.Params) []harness.Table { return RunDur01(p).Tables() },
+	})
+}

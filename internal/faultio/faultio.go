@@ -1,0 +1,411 @@
+// Package faultio is the fault-injection harness behind the durability
+// tests: an in-memory filesystem that records every write, sync, create,
+// rename and remove as an ordered schedule, reconstructs the bytes a crash
+// at any point of that schedule would leave on disk, and injects write
+// errors and sync failures on demand. It implements quit.FS, so tests hand
+// a *MemFS straight to quit.Open.
+//
+// The crash model is the standard ordered-prefix one (as in ALICE-style
+// checkers): data reaches the disk in write order, so a crash preserves an
+// arbitrary prefix of the schedule — optionally cut mid-write — and, in
+// the strict variant, only bytes that were explicitly synced survive.
+// Creates, renames and removes are modeled as atomic metadata operations
+// applied at their schedule position.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/quittree/quit"
+)
+
+// MemFS plugs into DurableOptions.FS.
+var _ quit.FS = (*MemFS)(nil)
+
+// ErrInjected is the error every injected fault returns, so tests can
+// assert a failure came from the harness and not from a real bug.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// EventKind labels one schedule entry.
+type EventKind uint8
+
+const (
+	EvCreate EventKind = iota
+	EvWrite
+	EvSync
+	EvRename
+	EvRemove
+	EvSyncDir
+)
+
+// String names the kind for test output.
+func (k EventKind) String() string {
+	switch k {
+	case EvCreate:
+		return "create"
+	case EvWrite:
+		return "write"
+	case EvSync:
+		return "sync"
+	case EvRename:
+		return "rename"
+	case EvRemove:
+		return "remove"
+	case EvSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded filesystem operation.
+type Event struct {
+	Kind EventKind
+	Name string // file operated on (old name for renames)
+	To   string // rename target
+	Data []byte // write payload
+}
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	data   []byte
+	synced int // bytes guaranteed durable
+	closed bool
+}
+
+// MemFS is the recording, fault-injecting filesystem. The zero value is
+// not usable; construct with NewMemFS or FromImage.
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string]*memFile
+	dirs   map[string]bool
+	events []Event
+
+	// Injection configuration. Keys are matched by substring against the
+	// full file path, so tests can target "wal-" or a specific name.
+	writeErrAt map[string]int // fail the write that crosses this file offset
+	syncErr    map[string]bool
+}
+
+// NewMemFS returns an empty recording filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:      map[string]*memFile{},
+		dirs:       map[string]bool{},
+		writeErrAt: map[string]int{},
+		syncErr:    map[string]bool{},
+	}
+}
+
+// FromImage seeds a fresh filesystem with the given file contents — the
+// disk state a crash left behind — ready to be handed to recovery code.
+// The new filesystem records its own schedule from scratch.
+func FromImage(image map[string][]byte) *MemFS {
+	fs := NewMemFS()
+	for name, data := range image {
+		fs.files[name] = &memFile{fs: fs, name: name, data: append([]byte(nil), data...), synced: len(data)}
+		fs.dirs[filepath.Dir(name)] = true
+	}
+	return fs
+}
+
+// FailWriteAt makes the write that crosses byte offset off of any file
+// whose path contains pattern stop short at the offset and return
+// ErrInjected (a short write followed by an error, the os.File contract).
+func (fs *MemFS) FailWriteAt(pattern string, off int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeErrAt[pattern] = off
+}
+
+// FailSync makes Sync return ErrInjected for any file whose path contains
+// pattern. Bytes written before the failed sync remain unsynced.
+func (fs *MemFS) FailSync(pattern string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncErr[pattern] = true
+}
+
+// ClearFaults removes all injection configuration.
+func (fs *MemFS) ClearFaults() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeErrAt = map[string]int{}
+	fs.syncErr = map[string]bool{}
+}
+
+// Events returns a copy of the recorded schedule.
+func (fs *MemFS) Events() []Event {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]Event, len(fs.events))
+	copy(out, fs.events)
+	return out
+}
+
+// record appends to the schedule (callers hold fs.mu).
+func (fs *MemFS) record(e Event) { fs.events = append(fs.events, e) }
+
+func (fs *MemFS) matchWriteErr(name string, cur, n int) (allowed int, fail bool) {
+	for pat, off := range fs.writeErrAt {
+		if strings.Contains(name, pat) && cur+n > off {
+			if off > cur {
+				return off - cur, true
+			}
+			return 0, true
+		}
+	}
+	return n, false
+}
+
+// --- quit.FS shape ------------------------------------------------------
+
+// MkdirAll records the directory.
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dirs[dir] = true
+	return nil
+}
+
+// ReadDir returns the base names of files directly under dir.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Create truncates-or-creates name for writing.
+func (fs *MemFS) Create(name string) (quit.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{fs: fs, name: name}
+	fs.files[name] = f
+	fs.dirs[filepath.Dir(name)] = true
+	fs.record(Event{Kind: EvCreate, Name: name})
+	return f, nil
+}
+
+// Open returns a reader over a point-in-time copy of the file.
+func (fs *MemFS) Open(name string) (io.ReadCloser, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultio: open %s: file does not exist", name)
+	}
+	return io.NopCloser(strings.NewReader(string(f.data))), nil
+}
+
+// Rename atomically moves oldname to newname.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultio: rename %s: file does not exist", oldname)
+	}
+	delete(fs.files, oldname)
+	f.name = newname
+	fs.files[newname] = f
+	fs.record(Event{Kind: EvRename, Name: oldname, To: newname})
+	return nil
+}
+
+// Remove deletes a file.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("faultio: remove %s: file does not exist", name)
+	}
+	delete(fs.files, name)
+	fs.record(Event{Kind: EvRemove, Name: name})
+	return nil
+}
+
+// SyncDir records the barrier (metadata operations are modeled as atomic,
+// so it has no further effect on images).
+func (fs *MemFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.record(Event{Kind: EvSyncDir, Name: dir})
+	return nil
+}
+
+// --- quit.File shape ----------------------------------------------------
+
+// Write appends p, honoring injected write faults.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("faultio: write to closed file %s", f.name)
+	}
+	allowed, fail := f.fs.matchWriteErr(f.name, len(f.data), len(p))
+	if allowed > 0 {
+		f.data = append(f.data, p[:allowed]...)
+		f.fs.record(Event{Kind: EvWrite, Name: f.name, Data: append([]byte(nil), p[:allowed]...)})
+	}
+	if fail {
+		return allowed, fmt.Errorf("faultio: write %s at byte %d: %w", f.name, len(f.data), ErrInjected)
+	}
+	return len(p), nil
+}
+
+// Sync marks the file's bytes durable, honoring injected sync faults.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	for pat := range f.fs.syncErr {
+		if strings.Contains(f.name, pat) {
+			return fmt.Errorf("faultio: sync %s: %w", f.name, ErrInjected)
+		}
+	}
+	f.synced = len(f.data)
+	f.fs.record(Event{Kind: EvSync, Name: f.name})
+	return nil
+}
+
+// Close closes the handle (the file stays in the filesystem).
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// --- crash-image reconstruction ----------------------------------------
+
+// Cut selects a crash point in a recorded schedule.
+type Cut struct {
+	// Event is the index of the first schedule entry that does NOT fully
+	// reach the disk; len(events) means the whole schedule survived.
+	Event int
+	// MidBytes optionally lets a prefix of the cut write event itself
+	// survive (a torn write). Only meaningful when the cut event is a
+	// write.
+	MidBytes int
+	// SyncedOnly drops all bytes that were not explicitly synced before
+	// the cut — the pessimal outcome the sync policies are specified
+	// against. When false, every written byte up to the cut survives
+	// (write-ordered disk).
+	SyncedOnly bool
+}
+
+// ImageAt replays the first cut.Event schedule entries (plus an optional
+// torn prefix of the cut write) and returns the resulting disk image as a
+// name → contents map.
+func (fs *MemFS) ImageAt(cut Cut) map[string][]byte {
+	events := fs.Events()
+	type state struct {
+		data   []byte
+		synced int
+	}
+	disk := map[string]*state{}
+	apply := func(e Event, limit int) {
+		switch e.Kind {
+		case EvCreate:
+			disk[e.Name] = &state{}
+		case EvWrite:
+			s, ok := disk[e.Name]
+			if !ok {
+				s = &state{}
+				disk[e.Name] = s
+			}
+			d := e.Data
+			if limit >= 0 && limit < len(d) {
+				d = d[:limit]
+			}
+			s.data = append(s.data, d...)
+		case EvSync:
+			if s, ok := disk[e.Name]; ok {
+				s.synced = len(s.data)
+			}
+		case EvRename:
+			if s, ok := disk[e.Name]; ok {
+				delete(disk, e.Name)
+				disk[e.To] = s
+			}
+		case EvRemove:
+			delete(disk, e.Name)
+		case EvSyncDir:
+			// Metadata ops are modeled atomic; nothing to do.
+		}
+	}
+	n := cut.Event
+	if n > len(events) {
+		n = len(events)
+	}
+	for i := 0; i < n; i++ {
+		apply(events[i], -1)
+	}
+	if cut.MidBytes > 0 && n < len(events) && events[n].Kind == EvWrite {
+		apply(events[n], cut.MidBytes)
+	}
+	image := map[string][]byte{}
+	for name, s := range disk {
+		d := s.data
+		if cut.SyncedOnly {
+			d = d[:s.synced]
+		}
+		image[name] = append([]byte(nil), d...)
+	}
+	return image
+}
+
+// --- plain io wrappers for stream-level tests ---------------------------
+
+// ErrWriter passes writes through to W until Limit bytes have been
+// written; the write that crosses the limit is cut short and returns
+// ErrInjected, and every later write fails immediately — the behavior of
+// a device that died at byte Limit.
+type ErrWriter struct {
+	W       io.Writer
+	Limit   int
+	written int
+}
+
+// Write implements io.Writer with the injected failure.
+func (w *ErrWriter) Write(p []byte) (int, error) {
+	if w.written >= w.Limit {
+		return 0, fmt.Errorf("faultio: write past byte %d: %w", w.Limit, ErrInjected)
+	}
+	n := len(p)
+	if w.written+n > w.Limit {
+		n = w.Limit - w.written
+	}
+	m, err := w.W.Write(p[:n])
+	w.written += m
+	if err != nil {
+		return m, err
+	}
+	if n < len(p) {
+		return n, fmt.Errorf("faultio: write truncated at byte %d: %w", w.Limit, ErrInjected)
+	}
+	return n, nil
+}
+
+// FlipBit returns a copy of b with bit (off, bit) inverted; off addresses
+// a byte, bit a position 0-7 within it.
+func FlipBit(b []byte, off int, bit uint) []byte {
+	out := append([]byte(nil), b...)
+	if off >= 0 && off < len(out) {
+		out[off] ^= 1 << (bit % 8)
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package faultio
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemFSRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(filepath.Join("db", "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a.log" {
+		t.Fatalf("ReadDir = %v, want [a.log]", names)
+	}
+	r, err := fs.Open(filepath.Join("db", "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != "hello world" {
+		t.Fatalf("read %q, want %q", got, "hello world")
+	}
+}
+
+func TestMemFSRenameRemove(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("db/tmp")
+	f.Write([]byte("x"))
+	f.Close()
+	if err := fs.Rename("db/tmp", "db/final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("db/tmp"); err == nil {
+		t.Fatal("old name still opens after rename")
+	}
+	if _, err := fs.Open("db/final"); err != nil {
+		t.Fatalf("new name does not open: %v", err)
+	}
+	if err := fs.Remove("db/final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("db/final"); err == nil {
+		t.Fatal("file still opens after remove")
+	}
+	if err := fs.Remove("db/final"); err == nil {
+		t.Fatal("removing a missing file should fail")
+	}
+}
+
+func TestImageAtPrefixes(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("db/w")
+	f.Write([]byte("aaaa")) // event 1
+	f.Sync()               // event 2
+	f.Write([]byte("bbbb")) // event 3
+	f.Close()
+
+	// Full schedule: everything written survives.
+	img := fs.ImageAt(Cut{Event: len(fs.Events())})
+	if string(img["db/w"]) != "aaaabbbb" {
+		t.Fatalf("full image = %q", img["db/w"])
+	}
+	// Cut before the second write.
+	img = fs.ImageAt(Cut{Event: 3})
+	if string(img["db/w"]) != "aaaa" {
+		t.Fatalf("cut-at-3 image = %q", img["db/w"])
+	}
+	// Torn second write.
+	img = fs.ImageAt(Cut{Event: 3, MidBytes: 2})
+	if string(img["db/w"]) != "aaaabb" {
+		t.Fatalf("torn image = %q", img["db/w"])
+	}
+	// Synced-only: the unsynced second write vanishes even at full cut.
+	img = fs.ImageAt(Cut{Event: len(fs.Events()), SyncedOnly: true})
+	if string(img["db/w"]) != "aaaa" {
+		t.Fatalf("synced-only image = %q", img["db/w"])
+	}
+	// Cut before the create: no file at all.
+	img = fs.ImageAt(Cut{Event: 0})
+	if _, ok := img["db/w"]; ok {
+		t.Fatal("file exists before its create event")
+	}
+}
+
+func TestImageAtRename(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("db/tmp") // event 0
+	f.Write([]byte("snap"))     // event 1
+	f.Sync()                    // event 2
+	f.Close()
+	fs.Rename("db/tmp", "db/snap-1") // event 3
+
+	img := fs.ImageAt(Cut{Event: 3})
+	if _, ok := img["db/snap-1"]; ok {
+		t.Fatal("rename visible before its event")
+	}
+	if string(img["db/tmp"]) != "snap" {
+		t.Fatalf("tmp = %q", img["db/tmp"])
+	}
+	img = fs.ImageAt(Cut{Event: 4, SyncedOnly: true})
+	if string(img["db/snap-1"]) != "snap" {
+		t.Fatalf("renamed file lost its synced bytes: %q", img["db/snap-1"])
+	}
+	if _, ok := img["db/tmp"]; ok {
+		t.Fatal("old name survives the rename")
+	}
+}
+
+func TestFromImage(t *testing.T) {
+	fs := FromImage(map[string][]byte{"db/wal-1.log": []byte("abc")})
+	names, err := fs.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "wal-1.log" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	r, err := fs.Open("db/wal-1.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "abc" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestFailWriteAt(t *testing.T) {
+	fs := NewMemFS()
+	fs.FailWriteAt("w", 6)
+	f, _ := fs.Create("db/w")
+	if n, err := f.Write([]byte("aaaa")); n != 4 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	r, _ := fs.Open("db/w")
+	got, _ := io.ReadAll(r)
+	if string(got) != "aaaabb" {
+		t.Fatalf("file = %q, want short write preserved", got)
+	}
+}
+
+func TestFailSync(t *testing.T) {
+	fs := NewMemFS()
+	fs.FailSync("w")
+	f, _ := fs.Create("db/w")
+	f.Write([]byte("aaaa"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v", err)
+	}
+	// The failed sync must not mark bytes durable.
+	img := fs.ImageAt(Cut{Event: len(fs.Events()), SyncedOnly: true})
+	if len(img["db/w"]) != 0 {
+		t.Fatalf("unsynced bytes survived: %q", img["db/w"])
+	}
+	fs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after ClearFaults: %v", err)
+	}
+}
+
+func TestErrWriter(t *testing.T) {
+	var sink []byte
+	w := &ErrWriter{W: writerFunc(func(p []byte) (int, error) { sink = append(sink, p...); return len(p), nil }), Limit: 5}
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("h")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("past limit: err=%v", err)
+	}
+	if string(sink) != "abcde" {
+		t.Fatalf("sink = %q", sink)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := []byte{0x00, 0xFF}
+	out := FlipBit(b, 1, 3)
+	if b[1] != 0xFF {
+		t.Fatal("FlipBit mutated its input")
+	}
+	if out[1] != 0xF7 {
+		t.Fatalf("out[1] = %#x", out[1])
+	}
+	if got := FlipBit(b, 99, 0); got[0] != 0x00 || got[1] != 0xFF {
+		t.Fatal("out-of-range flip changed bytes")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,409 @@
+// Package wal implements the write-ahead log behind quit.DurableTree: an
+// append-only stream of insert/delete/clear records, each individually
+// framed with a length prefix and a CRC32C, carrying monotonically
+// increasing sequence numbers. Appends are buffered for group commit and
+// flushed according to a configurable sync policy; replay applies the
+// longest valid prefix of a log and stops cleanly at the first torn or
+// corrupt record, which is exactly the state a crashed writer leaves
+// behind (see DESIGN.md §8 for the durability contract).
+//
+// Record wire format (all integers little-endian):
+//
+//	len(4) | crc32c(4) | payload
+//	payload = seq(8) | op(1) | key(8) | vlen(4) | vbytes(vlen)
+//
+// The CRC covers the payload. Keys are bit-cast to uint64 (sign-extended
+// for signed key types, exactly inverted on replay); values are gob
+// streams encoded independently per record, so any record can be decoded
+// — or rejected — in isolation.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"github.com/quittree/quit/internal/core"
+)
+
+// Op identifies a logged mutation.
+type Op uint8
+
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+	OpClear  Op = 3
+)
+
+// String names the operation for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpClear:
+		return "clear"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways flushes and syncs after every append: an append that
+	// returns nil is durable. The safest and slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: appends buffer in memory and the batch
+	// is flushed and synced once the configured interval has elapsed (or
+	// the buffer fills). A crash loses at most the last interval's worth
+	// of acknowledged appends — recovery still sees a clean prefix.
+	SyncInterval
+	// SyncNever flushes only on buffer pressure and Close, and never
+	// fsyncs; the OS decides when bytes reach the disk. Fastest; a crash
+	// may lose any suffix of acknowledged appends.
+	SyncNever
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// File is the sink a Log appends to: an os.File in production, a
+// fault-injecting stand-in under test.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Config tunes a Log.
+type Config struct {
+	// Sync selects the sync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// Interval is the group-commit window for SyncInterval (default
+	// 10ms). Checked lazily on Append: the batch is synced by the first
+	// append past the deadline.
+	Interval time.Duration
+	// BufBytes caps the group-commit buffer; a batch exceeding it is
+	// flushed regardless of policy (default 256KiB).
+	BufBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.BufBytes <= 0 {
+		c.BufBytes = 256 << 10
+	}
+	return c
+}
+
+// Record is one logged mutation. Key and Val are meaningful per Op: both
+// for OpInsert, Key alone for OpDelete, neither for OpClear.
+type Record[K core.Integer, V any] struct {
+	Seq uint64
+	Op  Op
+	Key K
+	Val V
+}
+
+// ErrCorruptRecord reports a record whose checksum or structure is invalid
+// — a flipped bit or a spliced log.
+var ErrCorruptRecord = errors.New("wal: corrupt record (checksum or structure mismatch)")
+
+// ErrTornRecord reports a log that ends mid-record — the signature of a
+// crash between the first and last byte of a batch reaching the disk.
+var ErrTornRecord = errors.New("wal: torn record at end of log")
+
+// ErrSequence reports a sequence-number discontinuity: the log was
+// tampered with or segments were replayed out of order.
+var ErrSequence = errors.New("wal: sequence number discontinuity")
+
+// ErrLogFailed is returned by every call after an append or sync has
+// failed: the log's durable prefix is unknown, so the writer refuses to
+// acknowledge further operations until reopened.
+var ErrLogFailed = errors.New("wal: log failed; reopen to resume")
+
+// maxRecordPayload bounds a record's declared length so a corrupted
+// length field cannot demand an absurd allocation during replay.
+const maxRecordPayload = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is a single-writer append-only record log. It is not safe for
+// concurrent use; DurableTree serializes writers above it.
+type Log[K core.Integer, V any] struct {
+	f   File
+	cfg Config
+
+	seq      uint64 // last assigned sequence number
+	buf      bytes.Buffer
+	pending  int // appends buffered since the last flush
+	lastSync time.Time
+	err      error // sticky failure
+}
+
+// New starts a log appending to f. lastSeq is the sequence number already
+// durable below this log (0 for a fresh tree, the snapshot's sequence
+// after a checkpoint); the first appended record gets lastSeq+1.
+func New[K core.Integer, V any](f File, lastSeq uint64, cfg Config) *Log[K, V] {
+	return &Log[K, V]{f: f, cfg: cfg.withDefaults(), seq: lastSeq, lastSync: time.Now()}
+}
+
+// LastSeq returns the sequence number of the most recently appended (not
+// necessarily durable) record.
+func (l *Log[K, V]) LastSeq() uint64 { return l.seq }
+
+// Err returns the sticky failure, if any.
+func (l *Log[K, V]) Err() error { return l.err }
+
+// Append logs one mutation and applies the sync policy. The returned
+// sequence number identifies the record; under SyncAlways a nil error
+// means the record is durable, under the other policies it means the
+// record is buffered and a later Sync (or policy-triggered flush) will
+// make it durable. After any failure the log is poisoned and every
+// subsequent call returns ErrLogFailed.
+func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq := l.seq + 1
+	if err := appendRecord(&l.buf, seq, op, key, val, op == OpInsert); err != nil {
+		// Encoding failed before any bytes were framed; the log file is
+		// untouched, so this is not poisonous — but the buffer may hold a
+		// partial frame, so it is. Be conservative: poison.
+		l.fail(err)
+		return 0, l.err
+	}
+	l.seq = seq
+	l.pending++
+	switch l.cfg.Sync {
+	case SyncAlways:
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if l.buf.Len() >= l.cfg.BufBytes || time.Since(l.lastSync) >= l.cfg.Interval {
+			if err := l.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	case SyncNever:
+		if l.buf.Len() >= l.cfg.BufBytes {
+			if err := l.Flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// appendRecord frames one record into w. withVal controls whether the
+// value is encoded (deletes and clears carry none).
+func appendRecord[K core.Integer, V any](w *bytes.Buffer, seq uint64, op Op, key K, val V, withVal bool) error {
+	var vbytes []byte
+	if withVal {
+		var vbuf bytes.Buffer
+		if err := gob.NewEncoder(&vbuf).Encode(&val); err != nil {
+			return fmt.Errorf("wal: encoding value for seq %d: %w", seq, err)
+		}
+		vbytes = vbuf.Bytes()
+	}
+	payload := make([]byte, 8+1+8+4+len(vbytes))
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	payload[8] = byte(op)
+	binary.LittleEndian.PutUint64(payload[9:17], uint64(key))
+	binary.LittleEndian.PutUint32(payload[17:21], uint32(len(vbytes)))
+	copy(payload[21:], vbytes)
+
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(pre[4:8], crc32.Checksum(payload, crcTable))
+	w.Write(pre[:])
+	w.Write(payload)
+	return nil
+}
+
+// Flush writes the buffered batch to the file without syncing.
+func (l *Log[K, V]) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.buf.Len() == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf.Bytes()); err != nil {
+		l.fail(fmt.Errorf("wal: writing batch of %d records: %w", l.pending, err))
+		return l.err
+	}
+	l.buf.Reset()
+	l.pending = 0
+	return nil
+}
+
+// Sync flushes the buffered batch and fsyncs the file (the fsync is
+// skipped under SyncNever, where Sync degrades to Flush).
+func (l *Log[K, V]) Sync() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	if l.cfg.Sync == SyncNever {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.fail(fmt.Errorf("wal: syncing log: %w", err))
+		return l.err
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Close flushes and syncs outstanding records and closes the file. The log
+// is unusable afterwards.
+func (l *Log[K, V]) Close() error {
+	if l.err != nil {
+		// Still release the file descriptor, but report the poisoning.
+		l.f.Close()
+		return l.err
+	}
+	serr := l.Sync()
+	cerr := l.f.Close()
+	l.fail(errors.New("wal: log closed"))
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: closing log: %w", cerr)
+	}
+	return nil
+}
+
+func (l *Log[K, V]) fail(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
+	}
+}
+
+// ReplayStats reports how a replay ended.
+type ReplayStats struct {
+	// Applied is the number of records handed to the callback.
+	Applied int
+	// LastSeq is the sequence number of the last applied record (or the
+	// startAfter floor when none were).
+	LastSeq uint64
+	// Tail is nil when the log ended cleanly at a record boundary;
+	// otherwise it wraps ErrTornRecord, ErrCorruptRecord or ErrSequence,
+	// describing why replay stopped early. A torn or corrupt tail is the
+	// expected post-crash state, not a replay failure: the applied prefix
+	// is still consistent.
+	Tail error
+}
+
+// Replay reads records from r in order and hands every checksum-valid
+// record with Seq > startAfter to apply, stopping cleanly at the first
+// torn or corrupt record (reported in ReplayStats.Tail, not as an error).
+// The returned error is reserved for failures of the apply callback
+// itself, which abort the replay.
+//
+// Sequence numbers must increase contiguously from the first applied
+// record; a regression or gap stops the replay with ErrSequence in Tail,
+// on the grounds that a log whose ordering is broken cannot be trusted
+// past the break.
+func Replay[K core.Integer, V any](r io.Reader, startAfter uint64, apply func(Record[K, V]) error) (ReplayStats, error) {
+	stats := ReplayStats{LastSeq: startAfter}
+	next := startAfter + 1 // expected seq of the next applied record
+	for {
+		var pre [8]byte
+		if _, err := io.ReadFull(r, pre[:1]); err != nil {
+			if err != io.EOF {
+				stats.Tail = fmt.Errorf("wal: reading record prefix: %w", ErrTornRecord)
+			}
+			return stats, nil
+		}
+		if _, err := io.ReadFull(r, pre[1:]); err != nil {
+			stats.Tail = fmt.Errorf("wal: reading record prefix: %w", ErrTornRecord)
+			return stats, nil
+		}
+		plen := binary.LittleEndian.Uint32(pre[0:4])
+		want := binary.LittleEndian.Uint32(pre[4:8])
+		if plen < 21 || plen > maxRecordPayload {
+			stats.Tail = fmt.Errorf("wal: record declares %d payload bytes: %w", plen, ErrCorruptRecord)
+			return stats, nil
+		}
+		var pbuf bytes.Buffer
+		if _, err := io.CopyN(&pbuf, r, int64(plen)); err != nil {
+			stats.Tail = fmt.Errorf("wal: reading record payload: %w", ErrTornRecord)
+			return stats, nil
+		}
+		payload := pbuf.Bytes()
+		if crc32.Checksum(payload, crcTable) != want {
+			stats.Tail = fmt.Errorf("wal: record checksum mismatch after seq %d: %w", stats.LastSeq, ErrCorruptRecord)
+			return stats, nil
+		}
+		rec, err := decodeRecord[K, V](payload)
+		if err != nil {
+			stats.Tail = err
+			return stats, nil
+		}
+		if rec.Seq <= startAfter {
+			// Already covered by the snapshot below this log; skip, but
+			// the ordering must still hold.
+			continue
+		}
+		if rec.Seq != next {
+			stats.Tail = fmt.Errorf("wal: record seq %d, want %d: %w", rec.Seq, next, ErrSequence)
+			return stats, nil
+		}
+		if err := apply(rec); err != nil {
+			return stats, fmt.Errorf("wal: applying record seq %d: %w", rec.Seq, err)
+		}
+		stats.Applied++
+		stats.LastSeq = rec.Seq
+		next++
+	}
+}
+
+// decodeRecord parses one checksum-verified payload.
+func decodeRecord[K core.Integer, V any](payload []byte) (Record[K, V], error) {
+	var rec Record[K, V]
+	rec.Seq = binary.LittleEndian.Uint64(payload[0:8])
+	rec.Op = Op(payload[8])
+	rec.Key = K(binary.LittleEndian.Uint64(payload[9:17]))
+	vlen := binary.LittleEndian.Uint32(payload[17:21])
+	vbytes := payload[21:]
+	if uint32(len(vbytes)) != vlen {
+		return rec, fmt.Errorf("wal: record value length %d, payload carries %d: %w", vlen, len(vbytes), ErrCorruptRecord)
+	}
+	switch rec.Op {
+	case OpInsert:
+		if err := gob.NewDecoder(bytes.NewReader(vbytes)).Decode(&rec.Val); err != nil {
+			return rec, fmt.Errorf("wal: decoding value for seq %d: %v: %w", rec.Seq, err, ErrCorruptRecord) //quitlint:allow errwrap mapping cause onto the typed sentinel
+		}
+	case OpDelete, OpClear:
+		if vlen != 0 {
+			return rec, fmt.Errorf("wal: %s record carries a value: %w", rec.Op, ErrCorruptRecord)
+		}
+	default:
+		return rec, fmt.Errorf("wal: unknown op %d at seq %d: %w", uint8(rec.Op), rec.Seq, ErrCorruptRecord)
+	}
+	return rec, nil
+}

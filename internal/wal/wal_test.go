@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// memFile is a minimal in-memory File for these unit tests (the full
+// fault-injecting filesystem lives in internal/faultio).
+type memFile struct {
+	bytes.Buffer
+	syncs    int
+	syncErr  error
+	writeErr error
+	closed   bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return f.Buffer.Write(p)
+}
+
+func (f *memFile) Sync() error {
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	f.syncs++
+	return nil
+}
+
+func (f *memFile) Close() error { f.closed = true; return nil }
+
+func collect(t *testing.T, data []byte, startAfter uint64) ([]Record[int64, string], ReplayStats) {
+	t.Helper()
+	var recs []Record[int64, string]
+	stats, err := Replay(bytes.NewReader(data), startAfter, func(r Record[int64, string]) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	return recs, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	seq1, err := l.Append(OpInsert, 10, "ten")
+	if err != nil || seq1 != 1 {
+		t.Fatalf("append 1: (%d, %v)", seq1, err)
+	}
+	if _, err := l.Append(OpInsert, -5, "neg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpDelete, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l.Append(OpClear, 0, ""); err != nil || seq != 4 {
+		t.Fatalf("append 4: (%d, %v)", seq, err)
+	}
+	if l.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d", l.LastSeq())
+	}
+
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 4 || stats.Applied != 4 || stats.LastSeq != 4 || stats.Tail != nil {
+		t.Fatalf("replay: %d recs, stats %+v", len(recs), stats)
+	}
+	want := []Record[int64, string]{
+		{Seq: 1, Op: OpInsert, Key: 10, Val: "ten"},
+		{Seq: 2, Op: OpInsert, Key: -5, Val: "neg"},
+		{Seq: 3, Op: OpDelete, Key: 10},
+		{Seq: 4, Op: OpClear},
+	}
+	for i, w := range want {
+		if recs[i] != w {
+			t.Errorf("rec %d = %+v, want %+v", i, recs[i], w)
+		}
+	}
+
+	// startAfter skips the prefix.
+	recs, stats = collect(t, f.Bytes(), 2)
+	if len(recs) != 2 || recs[0].Seq != 3 || stats.LastSeq != 4 {
+		t.Fatalf("startAfter=2: %d recs, stats %+v", len(recs), stats)
+	}
+	// startAfter beyond the log applies nothing.
+	recs, stats = collect(t, f.Bytes(), 99)
+	if len(recs) != 0 || stats.LastSeq != 99 {
+		t.Fatalf("startAfter=99: %d recs, stats %+v", len(recs), stats)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(OpInsert, int64(i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := append([]byte(nil), f.Bytes()...)
+	// Cut the log at every byte length; replay must never error, never
+	// panic, and apply a prefix.
+	for cut := 0; cut <= len(full); cut++ {
+		recs, stats := collect(t, full[:cut], 0)
+		if len(recs) != stats.Applied {
+			t.Fatalf("cut %d: recs %d != applied %d", cut, len(recs), stats.Applied)
+		}
+		if cut == len(full) {
+			if stats.Tail != nil || stats.Applied != 5 {
+				t.Fatalf("intact log: %+v", stats)
+			}
+			continue
+		}
+		if stats.Applied > 5 {
+			t.Fatalf("cut %d: applied %d > written", cut, stats.Applied)
+		}
+		// A cut strictly inside a record leaves a torn tail.
+		if stats.Tail != nil && !errors.Is(stats.Tail, ErrTornRecord) {
+			t.Fatalf("cut %d: tail = %v, want ErrTornRecord", cut, stats.Tail)
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) || r.Key != int64(i) {
+				t.Fatalf("cut %d: rec %d = %+v", cut, i, r)
+			}
+		}
+	}
+}
+
+func TestReplayCorruptRecord(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(OpInsert, int64(i), "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := f.Bytes()
+	recLen := len(full) / 3
+	// Flip one byte in the middle record's payload region.
+	bad := append([]byte(nil), full...)
+	bad[recLen+12] ^= 0x01
+	recs, stats := collect(t, bad, 0)
+	if len(recs) != 1 || !errors.Is(stats.Tail, ErrCorruptRecord) {
+		t.Fatalf("flip: %d recs, tail %v", len(recs), stats.Tail)
+	}
+	// A corrupted length field must not cause a huge allocation or panic.
+	bad = append([]byte(nil), full...)
+	bad[recLen] = 0xFF
+	bad[recLen+1] = 0xFF
+	bad[recLen+2] = 0xFF
+	bad[recLen+3] = 0x7F
+	recs, stats = collect(t, bad, 0)
+	if len(recs) != 1 || !errors.Is(stats.Tail, ErrCorruptRecord) {
+		t.Fatalf("bad length: %d recs, tail %v", len(recs), stats.Tail)
+	}
+}
+
+func TestReplaySequenceDiscontinuity(t *testing.T) {
+	// Two logs spliced: seqs 1..2 then 5..6.
+	f1 := &memFile{}
+	l1 := New[int64, string](f1, 0, Config{Sync: SyncAlways})
+	l1.Append(OpInsert, 1, "a")
+	l1.Append(OpInsert, 2, "b")
+	f2 := &memFile{}
+	l2 := New[int64, string](f2, 4, Config{Sync: SyncAlways})
+	l2.Append(OpInsert, 5, "c")
+	spliced := append(append([]byte(nil), f1.Bytes()...), f2.Bytes()...)
+	recs, stats := collect(t, spliced, 0)
+	if len(recs) != 2 || !errors.Is(stats.Tail, ErrSequence) {
+		t.Fatalf("splice: %d recs, tail %v", len(recs), stats.Tail)
+	}
+	if stats.LastSeq != 2 {
+		t.Fatalf("LastSeq = %d, want 2", stats.LastSeq)
+	}
+}
+
+func TestReplayApplyError(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	l.Append(OpInsert, 1, "a")
+	l.Append(OpInsert, 2, "b")
+	boom := errors.New("boom")
+	stats, err := Replay(bytes.NewReader(f.Bytes()), 0, func(r Record[int64, string]) error {
+		if r.Seq == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || stats.Applied != 1 {
+		t.Fatalf("apply error: stats %+v, err %v", stats, err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+		l.Append(OpInsert, 1, "a")
+		if f.syncs != 1 || f.Len() == 0 {
+			t.Fatalf("syncs=%d len=%d; SyncAlways must sync per append", f.syncs, f.Len())
+		}
+	})
+	t.Run("interval buffers", func(t *testing.T) {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncInterval, Interval: time.Hour})
+		l.Append(OpInsert, 1, "a")
+		if f.Len() != 0 || f.syncs != 0 {
+			t.Fatalf("len=%d syncs=%d; long-interval append must buffer", f.Len(), f.syncs)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if f.Len() == 0 || f.syncs != 1 {
+			t.Fatalf("len=%d syncs=%d after explicit Sync", f.Len(), f.syncs)
+		}
+	})
+	t.Run("interval elapses", func(t *testing.T) {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncInterval, Interval: time.Nanosecond})
+		l.Append(OpInsert, 1, "a")
+		time.Sleep(time.Millisecond)
+		l.Append(OpInsert, 2, "b")
+		if f.syncs == 0 {
+			t.Fatal("append past the interval did not sync the batch")
+		}
+	})
+	t.Run("interval buffer pressure", func(t *testing.T) {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncInterval, Interval: time.Hour, BufBytes: 64})
+		for i := 0; i < 10; i++ {
+			l.Append(OpInsert, int64(i), "some value text")
+		}
+		if f.syncs == 0 {
+			t.Fatal("buffer pressure did not trigger a sync")
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncNever, BufBytes: 64})
+		for i := 0; i < 10; i++ {
+			l.Append(OpInsert, int64(i), "some value text")
+		}
+		if f.syncs != 0 {
+			t.Fatalf("SyncNever fsynced %d times", f.syncs)
+		}
+		if f.Len() == 0 {
+			t.Fatal("buffer pressure did not flush")
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 0 {
+			t.Fatal("Sync under SyncNever must degrade to Flush")
+		}
+	})
+}
+
+func TestLogPoisoning(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	if _, err := l.Append(OpInsert, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	f.syncErr = errors.New("disk gone")
+	if _, err := l.Append(OpInsert, 2, "b"); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append on failing disk: %v", err)
+	}
+	// Sticky: even after the disk "recovers" the log refuses.
+	f.syncErr = nil
+	if _, err := l.Append(OpInsert, 3, "c"); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after failure: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("sync after failure: %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("close after failure: %v", err)
+	}
+	if !f.closed {
+		t.Fatal("poisoned Close must still release the file")
+	}
+	// Whatever reached the disk before the failure replays cleanly. The
+	// unacknowledged record 2 may legitimately be present (its bytes were
+	// flushed before the fsync failed); recovery applying an unacked but
+	// complete record is allowed — what matters is the prefix is clean.
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) < 1 || recs[0].Seq != 1 || stats.Tail != nil {
+		t.Fatalf("surviving prefix: %+v (tail %v)", recs, stats.Tail)
+	}
+}
+
+func TestCloseFlushesAndPoisons(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncInterval, Interval: time.Hour})
+	l.Append(OpInsert, 1, "a")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.closed || f.Len() == 0 {
+		t.Fatalf("closed=%v len=%d; Close must flush buffered records", f.closed, f.Len())
+	}
+	if _, err := l.Append(OpInsert, 2, "b"); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 1 || stats.Tail != nil {
+		t.Fatalf("replay after close: %d recs, tail %v", len(recs), stats.Tail)
+	}
+}
+
+func TestPreambleRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePreamble(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != PreambleSize {
+		t.Fatalf("preamble is %d bytes, want %d", buf.Len(), PreambleSize)
+	}
+	seq, err := ReadPreamble(bytes.NewReader(buf.Bytes()))
+	if err != nil || seq != 42 {
+		t.Fatalf("ReadPreamble = (%d, %v)", seq, err)
+	}
+	// Torn preamble.
+	for cut := 0; cut < buf.Len(); cut++ {
+		if _, err := ReadPreamble(bytes.NewReader(buf.Bytes()[:cut])); !errors.Is(err, ErrBadPreamble) {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+	}
+	// Flipped bytes.
+	for off := 0; off < buf.Len(); off++ {
+		bad := append([]byte(nil), buf.Bytes()...)
+		bad[off] ^= 0x10
+		if _, err := ReadPreamble(bytes.NewReader(bad)); !errors.Is(err, ErrBadPreamble) {
+			t.Fatalf("flip %d: err = %v", off, err)
+		}
+	}
+}

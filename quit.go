@@ -161,6 +161,10 @@ func (tr *Tree[K, V]) Scan(fn func(K, V) bool) { tr.t.Scan(fn) }
 // Len returns the number of live entries.
 func (tr *Tree[K, V]) Len() int { return tr.t.Len() }
 
+// Clear removes every entry, resetting the tree to its freshly-constructed
+// state under the same configuration. Requires external synchronization.
+func (tr *Tree[K, V]) Clear() { tr.t = core.New[K, V](tr.t.Config()) }
+
 // Height returns the number of tree levels (1 = root is a leaf).
 func (tr *Tree[K, V]) Height() int { return tr.t.Height() }
 

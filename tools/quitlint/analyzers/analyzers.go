@@ -1,6 +1,6 @@
-// Package analyzers holds quitlint's four checks over the OLC latch
-// protocol, atomics discipline, and fast-path invariants documented in
-// DESIGN.md §6 of the main module. They are written against the lintkit
+// Package analyzers holds quitlint's five checks over the OLC latch
+// protocol, atomics discipline, error-wrapping hygiene, and fast-path
+// invariants documented in DESIGN.md §6 and §8 of the main module. They are written against the lintkit
 // framework (a stdlib-only mirror of go/analysis) and are keyed to the
 // naming conventions of internal/core: the versioned latch type is named
 // `latch`, the tree-level wrappers readLatch / readCheck / readUnlatch /
@@ -21,6 +21,7 @@ import (
 func All() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
 		AtomicField,
+		ErrWrap,
 		LatchOrder,
 		OLCValidate,
 		UnsafeUse,

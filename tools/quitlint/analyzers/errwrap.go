@@ -1,0 +1,107 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// ErrWrap flags fmt.Errorf calls that format an error-typed argument with
+// a value verb (%v, %s, %q, ...) instead of %w. The durability layer's
+// contract depends on error chains staying matchable — callers select
+// recovery behavior with errors.Is(err, ErrBadSnapshot) and friends — and
+// a %v silently flattens the chain, so every wrapped error must travel
+// through %w. Sites that intentionally flatten (e.g. embedding an error's
+// text inside a message that already wraps a sentinel) annotate with
+// `//quitlint:allow errwrap <reason>`.
+var ErrWrap = &lintkit.Analyzer{
+	Name: "errwrap",
+	Doc:  "flag fmt.Errorf formatting an error-typed argument with %v/%s/%q instead of %w, which breaks errors.Is matching",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *lintkit.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			format, ok := constantString(pass.Info, call.Args[0])
+			if !ok {
+				return true // dynamic format string: nothing to check
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok || len(verbs) != len(call.Args)-1 {
+				// Indexed/starred verbs or an arity mismatch (vet's
+				// territory): bail rather than misattribute verbs.
+				return true
+			}
+			for i, verb := range verbs {
+				if verb == 'w' {
+					continue
+				}
+				arg := call.Args[i+1]
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if !types.Implements(tv.Type, errType) && !types.Implements(types.NewPointer(tv.Type), errType) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "error formatted with %%%c loses its chain for errors.Is/errors.As; wrap with %%w (or annotate //quitlint:allow errwrap if flattening is intended)", verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constantString resolves expr to a compile-time string constant.
+func constantString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the verb letter consuming each successive argument
+// of a Printf-style format. It returns ok=false for features that break
+// the one-verb-one-argument correspondence: explicit argument indexes
+// ("%[1]v") and star width/precision ("%*d").
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Skip flags, width and precision.
+		for i < len(format) && strings.IndexByte("+-# 0.123456789", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false // trailing bare '%'
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+		i++
+	}
+	return verbs, true
+}

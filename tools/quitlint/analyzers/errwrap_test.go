@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestErrWrapFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "errwrap/bad", analyzers.ErrWrap)
+}
+
+// TestErrWrapSilent covers %w wrapping, non-error arguments, %% literals,
+// the allow suppression, and the dynamic/indexed-format escape hatches.
+func TestErrWrapSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "errwrap/good", analyzers.ErrWrap)
+}

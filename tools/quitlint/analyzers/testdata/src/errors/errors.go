@@ -1,0 +1,11 @@
+// Package errors is a hermetic stub of errors for quitlint fixtures (see
+// the fmt stub for why).
+package errors
+
+type stubError struct{ s string }
+
+func (e *stubError) Error() string { return e.s }
+
+func New(text string) error { return &stubError{s: text} }
+
+func Is(err, target error) bool { return err == target }

@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type opError struct{ msg string }
+
+func (e *opError) Error() string { return e.msg }
+
+func valueVerb(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "error formatted with %v"
+}
+
+func stringVerb(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want "error formatted with %s"
+}
+
+func quoteVerb(err error) error {
+	return fmt.Errorf("load failed: %q", err) // want "error formatted with %q"
+}
+
+func sentinelValue() error {
+	return fmt.Errorf("opening snapshot: %v", errSentinel) // want "error formatted with %v"
+}
+
+func concreteErrorType(e *opError) error {
+	return fmt.Errorf("apply: %v", e) // want "error formatted with %v"
+}
+
+func mixedArgs(path string, err error) error {
+	// The non-error argument is fine; the error one is not.
+	return fmt.Errorf("reading %s: %v", path, err) // want "error formatted with %v"
+}
+
+func secondOfTwoErrors(a, b error) error {
+	return fmt.Errorf("%w then %v", a, b) // want "error formatted with %v"
+}
+
+func flaggedVerb(err error) error {
+	return fmt.Errorf("detail: %+v", err) // want "error formatted with %v"
+}

@@ -1,0 +1,46 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func wrapVerb(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func doubleWrap(a, b error) error {
+	return fmt.Errorf("%w: %w", a, b)
+}
+
+func nonErrorArgs(path string, n int) error {
+	return fmt.Errorf("reading %s: offset %d out of range: %v", path, n, n)
+}
+
+func mixedWrapAndValues(path string, err error) error {
+	return fmt.Errorf("reading %s: %w", path, err)
+}
+
+func percentLiteral(err error) error {
+	return fmt.Errorf("99%% done: %w", err)
+}
+
+func intentionalFlatten(err error) error {
+	// Flattening err's text while chaining the sentinel is the documented
+	// pattern for mapping causes onto typed errors.
+	return fmt.Errorf("rebuilding: %v: %w", err, errSentinel) //quitlint:allow errwrap mapping cause onto sentinel
+}
+
+func dynamicFormat(f string, err error) error {
+	return fmt.Errorf(f, err) // dynamic format: out of scope
+}
+
+func indexedVerbs(err error) error {
+	return fmt.Errorf("%[1]v", err) // indexed verbs: out of scope
+}
+
+func notErrorf(err error) string {
+	return fmt.Sprintf("log line: %v", err) // Sprintf never wraps; fine
+}

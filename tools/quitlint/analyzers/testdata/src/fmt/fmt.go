@@ -1,0 +1,12 @@
+// Package fmt is a hermetic stub of fmt for quitlint fixtures: the errwrap
+// analyzer keys on the package path and the Errorf name, so a trivial body
+// suffices and the golden tests need no export data or GOROOT access.
+package fmt
+
+type stubError struct{ s string }
+
+func (e *stubError) Error() string { return e.s }
+
+func Errorf(format string, args ...any) error { return &stubError{s: format} }
+
+func Sprintf(format string, args ...any) string { return format }
