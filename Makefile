@@ -8,9 +8,10 @@ GO ?= go
 STATICCHECK_VERSION  := v0.5.1
 GOVULNCHECK_VERSION  := v1.1.3
 
-QUITLINT := $(CURDIR)/tools/bin/quitlint
+QUITLINT  := $(CURDIR)/tools/bin/quitlint
+BENCHJSON := $(CURDIR)/tools/bin/benchjson
 
-.PHONY: all build test race fuzz crash lint vet quitlint quitlint-bin staticcheck govulncheck clean
+.PHONY: all build test race fuzz crash lint vet quitlint quitlint-bin benchjson bench-json staticcheck govulncheck clean
 
 all: build test lint
 
@@ -45,6 +46,23 @@ quitlint:
 #   go vet -vettool=$$(make -s quitlint-bin) ./...
 quitlint-bin: quitlint
 	@echo $(QUITLINT)
+
+benchjson:
+	@cd tools && $(GO) build -o bin/benchjson ./benchjson
+
+# The headline benchmark trajectory: the Fig01/Fig08 paper figures, the
+# batched write path, the durable batch fsync amplification, and the leaf
+# probe microbenchmark. Raw bench text lands in BENCH_pr4.txt (the
+# benchstat baseline) and its JSON rendering in BENCH_pr4.json; both are
+# committed so CI can diff against them. Fixed -benchtime keeps the
+# dataset sizes (b.N is the key count for the ingest benchmarks)
+# comparable across runs; the durable pass is smaller because perkey
+# SyncAlways really fsyncs once per key.
+bench-json: benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkFig01a|BenchmarkFig08Ingest$$|BenchmarkBatchIngest$$' -benchtime=500000x -timeout 30m . > BENCH_pr4.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDurableBatchPut$$' -benchtime=20000x -timeout 30m . >> BENCH_pr4.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchKeys$$' -benchtime=5000000x ./internal/core >> BENCH_pr4.txt
+	$(BENCHJSON) < BENCH_pr4.txt > BENCH_pr4.json
 
 vet:
 	$(GO) vet ./...

@@ -9,7 +9,9 @@ package quit_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"testing"
 
@@ -572,5 +574,156 @@ func BenchmarkDurablePut(b *testing.B) {
 				b.StartTimer()
 			})
 		}
+	}
+}
+
+// --- Batched write path (DESIGN.md §9) ----------------------------------
+//
+// BenchmarkBatchIngest prices PutBatch against per-key Put across batch
+// sizes and sortedness levels. Acceptance floor for the batched write
+// path: batch=256 on near-sorted input (K=5%) at >= 2x the per-key
+// throughput. %fast-runs reports the fraction of per-leaf runs that
+// resolved through the fast-path metadata without a descent.
+
+func BenchmarkBatchIngest(b *testing.B) {
+	levels := []struct {
+		name string
+		k    float64
+	}{{"sorted", 0}, {"near", 0.05}, {"less", 0.25}, {"scrambled", 1.0}}
+	for _, lvl := range levels {
+		b.Run("perkey/"+lvl.name, func(b *testing.B) {
+			benchIngest(b, quit.QuIT, lvl.k)
+		})
+		for _, bs := range []int{1, 16, 256, 4096} {
+			b.Run(fmt.Sprintf("batch=%d/%s", bs, lvl.name), func(b *testing.B) {
+				keys := benchKeys(b, lvl.k, 1.0)
+				b.StopTimer()
+				vals := make([]int64, len(keys))
+				copy(vals, keys)
+				b.StartTimer()
+				idx := quit.New[int64, int64](quit.Options{})
+				for i := 0; i < len(keys); i += bs {
+					end := i + bs
+					if end > len(keys) {
+						end = len(keys)
+					}
+					idx.PutBatch(keys[i:end], vals[i:end])
+				}
+				st := idx.Stats()
+				if st.BatchRuns > 0 {
+					b.ReportMetric(float64(st.BatchFastRuns)/float64(st.BatchRuns)*100, "%fast-runs")
+				}
+			})
+		}
+	}
+}
+
+// countingFS wraps an FS and counts fsync barriers on files, so the
+// durable batch benchmarks can report syncs/op — the quantity the single
+// framed batch record exists to shrink.
+type countingFS struct {
+	quit.FS
+	syncs *atomic.Int64
+}
+
+type countingFile struct {
+	quit.File
+	syncs *atomic.Int64
+}
+
+func (c countingFS) Create(name string) (quit.File, error) {
+	f, err := c.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return countingFile{f, c.syncs}, nil
+}
+
+func (f countingFile) Sync() error {
+	f.syncs.Add(1)
+	return f.File.Sync()
+}
+
+// osBenchFS mirrors durable.go's production FS for the wrapper above.
+type osBenchFS struct{}
+
+func (osBenchFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+func (osBenchFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+func (osBenchFS) Create(name string) (quit.File, error)   { return os.Create(name) }
+func (osBenchFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+func (osBenchFS) Rename(o, n string) error                { return os.Rename(o, n) }
+func (osBenchFS) Remove(name string) error                { return os.Remove(name) }
+func (osBenchFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// BenchmarkDurableBatchPut prices durable batched ingest under SyncAlways
+// — the policy where the single framed batch record matters most: one
+// fsync per batch instead of one per key. syncs/op is the reported
+// fsync amplification.
+func BenchmarkDurableBatchPut(b *testing.B) {
+	for _, bs := range []int{1, 16, 256, 4096} {
+		name := fmt.Sprintf("batch=%d", bs)
+		if bs == 1 {
+			name = "perkey"
+		}
+		b.Run(name, func(b *testing.B) {
+			keys := benchKeys(b, 0.05, 1.0)
+			b.StopTimer()
+			vals := make([]int64, len(keys))
+			copy(vals, keys)
+			var syncs atomic.Int64
+			d, err := quit.Open[int64, int64](b.TempDir(), quit.DurableOptions{
+				Sync: quit.SyncAlways,
+				FS:   countingFS{osBenchFS{}, &syncs},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			syncs.Store(0)
+			b.StartTimer()
+			if bs == 1 {
+				for i, key := range keys {
+					if err := d.Insert(key, vals[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for i := 0; i < len(keys); i += bs {
+					end := i + bs
+					if end > len(keys) {
+						end = len(keys)
+					}
+					if _, err := d.PutBatch(keys[i:end], vals[i:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(syncs.Load())/float64(b.N), "syncs/op")
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		})
 	}
 }

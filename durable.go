@@ -308,6 +308,11 @@ func Open[K Integer, V any](dir string, opts DurableOptions) (*DurableTree[K, V]
 			d.t.Delete(r.Key)
 		case wal.OpClear:
 			d.t.Clear()
+		case wal.OpBatch:
+			// PutBatch sorts deterministically (stable, last-write-wins on
+			// duplicates), so replaying the original batch reproduces the
+			// pre-crash tree contents exactly.
+			d.t.PutBatch(r.Keys, r.Vals)
 		}
 		return nil
 	}
@@ -409,6 +414,68 @@ func (d *DurableTree[K, V]) Insert(key K, val V) error {
 	return err
 }
 
+// PutBatch inserts a group of entries as one durable unit: the whole
+// batch is framed as a single write-ahead-log record (one CRC, one
+// sequence number and — under SyncAlways — one fsync, instead of one per
+// key) and then applied to the in-memory tree through the batched write
+// path. Recovery is all-or-nothing: a crash mid-write replays either the
+// entire batch or none of it, never a partial one.
+//
+// Semantics match Tree.PutBatch: equivalent to Put per pair in order,
+// duplicates resolve last-write-wins with later occurrences reporting
+// Existed. An empty batch is a durable no-op. A length mismatch returns
+// an error without logging or applying anything.
+func (d *DurableTree[K, V]) PutBatch(keys []K, vals []V) ([]PutResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return nil, ErrClosed
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("quit: batch of %d keys with %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	// Log the original (pre-sort) batch; replay re-sorts deterministically.
+	if _, err := d.log.AppendBatch(keys, vals); err != nil {
+		return nil, err
+	}
+	return d.t.PutBatch(keys, vals), nil
+}
+
+// ApplySorted is PutBatch for input already in non-decreasing key order.
+// Ordering is verified before anything is logged, so an ErrNotSorted
+// batch leaves both the log and the tree untouched.
+func (d *DurableTree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return nil, ErrClosed
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("quit: batch of %d keys with %d values", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, ErrNotSorted
+		}
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if _, err := d.log.AppendBatch(keys, vals); err != nil {
+		return nil, err
+	}
+	res, err := d.t.ApplySorted(keys, vals)
+	if err != nil {
+		// Unreachable: ordering and lengths were verified above. Surface
+		// it anyway rather than silently diverging from the log.
+		return nil, err
+	}
+	return res, nil
+}
+
 // Delete removes key, returning its value and whether it was present.
 func (d *DurableTree[K, V]) Delete(key K) (val V, existed bool, err error) {
 	d.mu.Lock()
@@ -418,7 +485,12 @@ func (d *DurableTree[K, V]) Delete(key K) (val V, existed bool, err error) {
 	return val, existed, err
 }
 
-// Clear removes every entry.
+// Clear removes every entry, durably: an OpClear record is logged before
+// the in-memory tree is rebuilt, so a crash at any point recovers either
+// the pre-Clear contents or an empty, structurally valid tree — never a
+// partial one. The underlying Tree.Clear swaps in a fresh in-memory tree
+// (dropping nothing durably by itself); the logged record is what makes
+// the emptiness survive recovery.
 func (d *DurableTree[K, V]) Clear() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -65,6 +65,23 @@ func crashWorkload(t *testing.T, fs *faultio.MemFS) (models []map[int64]string, 
 				t.Fatalf("step %d clear: %v", i, err)
 			}
 			model = map[int64]string{}
+		case i%13 == 4:
+			// A batched write is ONE workload step: its WAL record is a
+			// single frame, so every crash point inside it must recover
+			// all-or-nothing. The batch is deliberately messy — an
+			// ascending run, an outlier, and an in-batch duplicate.
+			ks := []int64{key, key + 1, key + 2, key - 25, key + 1}
+			vs := make([]string, len(ks))
+			for j := range ks {
+				vs[j] = fmt.Sprintf("b%d.%d", i, j)
+			}
+			if _, err := d.PutBatch(ks, vs); err != nil {
+				t.Fatalf("step %d batch: %v", i, err)
+			}
+			for j, k := range ks {
+				model[k] = vs[j]
+			}
+			key += 3
 		case i%9 == 7 && key > 3:
 			k := key - 3
 			if _, _, err := d.Delete(k); err != nil {
@@ -289,5 +306,98 @@ func TestDurableCheckpointWriteFailure(t *testing.T) {
 	defer d2.Close()
 	if d2.Len() != 41 {
 		t.Fatalf("recovered %d entries, want 41", d2.Len())
+	}
+}
+
+// TestDurableClearCrashRecover pins the Clear contract at the durable
+// layer: Clear is logged before the in-memory swap, so a crash right
+// after the acknowledgment recovers an empty, Validate-clean tree — even
+// from the pessimal synced-bytes-only image.
+func TestDurableClearCrashRecover(t *testing.T) {
+	fs := faultio.NewMemFS()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := d.Insert(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close, reconstruct from synced bytes only.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true})
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(image)))
+	if err != nil {
+		t.Fatalf("recovery after Clear+crash: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 0 {
+		t.Fatalf("recovered %d entries after a durable Clear, want 0", d2.Len())
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+	// And the cleared tree is fully usable going forward.
+	if _, err := d2.PutBatch([]int64{3, 1, 2}, []string{"c", "a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 3 {
+		t.Fatalf("post-recovery batch: %d entries", d2.Len())
+	}
+}
+
+// TestDurableBatchSyncAmplification pins the tentpole's durability win:
+// under SyncAlways, a batched ingest must cost one fsync per batch, not
+// one per key.
+func TestDurableBatchSyncAmplification(t *testing.T) {
+	countSyncs := func(fs *faultio.MemFS) int {
+		n := 0
+		for _, e := range fs.Events() {
+			if e.Kind == faultio.EvSync {
+				n++
+			}
+		}
+		return n
+	}
+	const total = 1000
+
+	perKey := faultio.NewMemFS()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(perKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < total; i++ {
+		if err := d.Insert(i, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	batched := faultio.NewMemFS()
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(batched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]int64, total)
+	vals := make([]string, total)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = "v"
+	}
+	if _, err := d2.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+
+	pk, b := countSyncs(perKey), countSyncs(batched)
+	t.Logf("per-key syncs: %d, batched syncs: %d", pk, b)
+	if b*10 > pk {
+		t.Fatalf("batched ingest cost %d syncs vs %d per-key: want >= 10x fewer", b, pk)
 	}
 }

@@ -494,3 +494,92 @@ func TestDurableConcurrentUse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDurablePutBatchReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(1000, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	// Unsorted with an in-batch duplicate and an overwrite of key 1000.
+	keys := []int64{7, 3, 1000, 3, 11}
+	vals := []string{"seven", "three", "thousand", "three-final", "eleven"}
+	res, err := d.PutBatch(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExisted := []bool{false, false, true, true, false}
+	for i, w := range wantExisted {
+		if res[i].Existed != w {
+			t.Fatalf("result %d: Existed=%v, want %v", i, res[i].Existed, w)
+		}
+	}
+	// Empty batch: durable no-op.
+	if res, err := d.PutBatch(nil, nil); err != nil || res != nil {
+		t.Fatalf("empty batch: (%v, %v)", res, err)
+	}
+	// Mismatch: error, nothing logged.
+	if _, err := d.PutBatch([]int64{1}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	want := map[int64]string{1000: "thousand", 7: "seven", 3: "three-final", 11: "eleven"}
+	if got := treeContents(d2); len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	} else {
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("recovered [%d]=%q, want %q", k, got[k], v)
+			}
+		}
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableApplySorted(t *testing.T) {
+	dir := t.TempDir()
+	d, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.ApplySorted([]int64{1, 2, 2, 5}, []string{"a", "b", "b2", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	// Out of order: rejected before anything reaches the log or tree.
+	if _, err := d.ApplySorted([]int64{9, 8}, []string{"x", "y"}); !errors.Is(err, quit.ErrNotSorted) {
+		t.Fatalf("unsorted batch: %v", err)
+	}
+	if _, err := d.ApplySorted([]int64{1}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if got := treeContents(d); len(got) != 3 || got[2] != "b2" {
+		t.Fatalf("contents after rejected batches: %v", got)
+	}
+	// The rejected batches left no log records: reopen sees only the good one.
+	d.Close()
+	d2, err := quit.Open[int64, string](dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("recovered %d entries, want 3", d2.Len())
+	}
+	if _, ok := d2.Get(9); ok {
+		t.Fatal("rejected batch leaked into the log")
+	}
+}

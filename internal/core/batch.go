@@ -1,0 +1,1329 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// batch.go is the batched write path: PutBatch / ApplySorted ingest a group
+// of entries with per-run rather than per-key overhead. The batch is sorted
+// once, split into per-leaf runs (one descent per run boundary, with the
+// fast-path metadata short-circuiting the descent for the in-order run the
+// same way it does for single-key inserts), and each run is installed under
+// a single latch acquisition with one merged memmove into the leaf slice.
+// An overfull leaf is carved into k leaves in one pass by a multi-way split
+// that generalizes splitForInsert; pivots propagate upward level by level,
+// splitting overfull internal nodes multi-way too.
+//
+// Semantics are exactly those of calling Put sequentially in the input
+// order: later duplicates overwrite earlier ones, and results[i] reports
+// whether keys[i] found an existing entry (a prior occurrence in the same
+// batch counts).
+
+// PutResult reports the outcome of one position of a batched insertion:
+// whether the key already existed (in the tree, or earlier in the same
+// batch) and was overwritten.
+type PutResult struct {
+	Existed bool
+}
+
+// PutBatch inserts the given entries, overwriting existing keys, and
+// returns one PutResult per input position with Put's sequential
+// semantics. It panics if the slices have different lengths. The batch is
+// sorted internally (the input slices are not modified); pre-sorted input
+// skips the sort — use ApplySorted when sortedness is guaranteed.
+//
+// Concurrency matches Put: safe with concurrent readers and writers when
+// the tree is Synchronized. A run that needs structural changes latches
+// its full descent path, so very large batches serialize against other
+// writers for the duration of a run; readers stay lock-free throughout.
+func (t *Tree[K, V]) PutBatch(keys []K, vals []V) []PutResult {
+	if len(keys) != len(vals) {
+		panic(errBatchLenMismatch(len(keys), len(vals)).Error())
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	results := make([]PutResult, len(keys))
+	s := t.getScratch()
+	// One classification scan: peel the ascending backbone from the
+	// displaced outliers. A fully sorted batch (no outliers) skips the sort
+	// machinery outright; a near-sorted one sorts only its outliers and
+	// merges them back in one linear pass — the O(n log n) term shrinks to
+	// O(outliers log outliers). A batch that is not actually near-sorted
+	// (backbone shorter than 3/4) falls back to the full pair sort. Dup
+	// detection rides along on whichever pass runs, so applySortedBatch
+	// never rescans.
+	outliers, dup := classifyOutliers(keys, s)
+	switch {
+	case len(outliers) == 0:
+		t.applySortedBatch(keys, vals, results, nil, dup, s)
+	case len(outliers) <= len(keys)/4:
+		// classify's dup covers backbone-adjacent equals; the merge reports
+		// pairs an outlier participates in. Together they cover every
+		// adjacent pair of the merged sequence.
+		sk, sv, ord, mdup := mergeOutliers(keys, vals, outliers, s)
+		t.applySortedBatch(sk, sv, results, ord, dup || mdup, s)
+	default:
+		// Sort (key, origin) pairs, stably, so equal keys keep input order
+		// and last-write-wins falls out of taking the final element of each
+		// group. The pair sort keeps comparisons monomorphic (no
+		// reflection-based swapping, unlike sort.SliceStable) — this is the
+		// whole batch's O(n log n) term, so it has to be cheap.
+		ents := growEnts(&s.ents, len(keys))
+		for i, k := range keys {
+			ents[i] = batchEnt[K]{k, int32(i)}
+		}
+		sortEnts(ents)
+		ord := grow(&s.ord, len(keys))
+		sk := grow(&s.sk, len(keys))
+		sv := grow(&s.sv, len(keys))
+		dup = false
+		for i, e := range ents {
+			ord[i] = int(e.o)
+			sk[i] = e.k
+			sv[i] = vals[e.o]
+			dup = dup || (i > 0 && e.k == ents[i-1].k)
+		}
+		t.applySortedBatch(sk, sv, results, ord, dup, s)
+	}
+	t.scratch.Put(s)
+	return results
+}
+
+// batchScratch is the recycled working memory of one PutBatch call: the
+// permutation-sort buffers, the sorted key/value/order views, and the
+// dedup/existence arrays. Everything in it is dead the moment PutBatch
+// returns — installed runs copy out of these slices, never alias them —
+// so recycling through the tree's sync.Pool is safe, and the pool's
+// per-GC drain bounds how long stale values stay pinned.
+type batchScratch[K Integer, V any] struct {
+	ents    []batchEnt[K]
+	out     []int
+	sk      []K
+	sv      []V
+	ord     []int
+	uk      []K
+	uv      []V
+	first   []int
+	existed []bool
+	tk      []K // multi-way split merge scratch
+	tv      []V
+}
+
+func (t *Tree[K, V]) getScratch() *batchScratch[K, V] {
+	if s, ok := t.scratch.Get().(*batchScratch[K, V]); ok {
+		return s
+	}
+	return &batchScratch[K, V]{}
+}
+
+// grow returns (*sp)[:n], reallocating only when capacity is short.
+// Contents are unspecified; callers overwrite every position.
+func grow[E any](sp *[]E, n int) []E {
+	if cap(*sp) < n {
+		*sp = make([]E, n, n+n/2)
+	}
+	*sp = (*sp)[:n]
+	return *sp
+}
+
+func growEnts[K Integer](sp *[]batchEnt[K], n int) []batchEnt[K] {
+	if cap(*sp) < n {
+		*sp = make([]batchEnt[K], n, n+n/2)
+	}
+	*sp = (*sp)[:n]
+	return *sp
+}
+
+// sortEnts stably sorts (key, origin) pairs. Batches sort either a
+// handful of displaced outliers or fall back to the full pair sort, so
+// the small-n regime is the hot one: a branch-light insertion sort beats
+// the generic stable sort's symmerge machinery there (see
+// BenchmarkBatchIngest). Strict > comparison keeps equal keys in input
+// order, preserving stability.
+func sortEnts[K Integer](ents []batchEnt[K]) {
+	if len(ents) <= 32 {
+		for i := 1; i < len(ents); i++ {
+			e := ents[i]
+			j := i - 1
+			for j >= 0 && ents[j].k > e.k {
+				ents[j+1] = ents[j]
+				j--
+			}
+			ents[j+1] = e
+		}
+		return
+	}
+	slices.SortStableFunc(ents, func(a, b batchEnt[K]) int {
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// classifyOutliers returns the input positions that are NOT part of the
+// ascending backbone, in position order; empty means the batch is already
+// non-decreasing — dup then reports whether it contains adjacent equal
+// keys (= any duplicates, since it is sorted; meaningless otherwise, the
+// merge recomputes it). Position i joins the backbone when its key
+// extends the backbone (>= the last accepted key) and does not
+// immediately invert against its successor — the lookahead rejects a
+// displaced future key (large, dropped early) that would otherwise poison
+// the backbone and sweep everything after it into the outlier pile.
+// Misclassification is correctness-free: an outlier is merely sorted
+// instead of streamed.
+func classifyOutliers[K Integer, V any](keys []K, s *batchScratch[K, V]) ([]int, bool) {
+	out := s.out[:0]
+	var last K
+	started := false
+	dup := false
+	for i, k := range keys {
+		if started && k < last {
+			out = append(out, i)
+			continue
+		}
+		if i+1 < len(keys) && k > keys[i+1] {
+			out = append(out, i)
+			continue
+		}
+		dup = dup || (started && k == last)
+		last = k
+		started = true
+	}
+	s.out = out
+	return out, dup
+}
+
+// mergeOutliers builds the sorted view of the batch from its ascending
+// backbone and sorted outliers: one tiny sort plus one segment merge. The
+// backbone is ascending across its contiguous input stretches, so the
+// merge is driven by the few outliers — each backbone stretch between two
+// outlier insertion points lands with one bulk copy rather than a
+// per-element loop, keeping the cost proportional to the outlier count
+// plus pure memmove. Equal keys order by original position (matching the
+// stable pair sort), so last-write-wins downstream is preserved exactly.
+// dup reports whether the merged sequence contains equal neighbors.
+func mergeOutliers[K Integer, V any](keys []K, vals []V, outliers []int, s *batchScratch[K, V]) ([]K, []V, []int, bool) {
+	oe := growEnts(&s.ents, len(outliers))
+	for x, i := range outliers {
+		oe[x] = batchEnt[K]{keys[i], int32(i)}
+	}
+	sortEnts(oe)
+	sk := grow(&s.sk, len(keys))
+	sv := grow(&s.sv, len(keys))
+	ord := grow(&s.ord, len(keys))
+	dup := false
+	w, oi := 0, 0
+	// emit copies the backbone input range [i, j) (which skips no outlier
+	// positions by construction), interleaving any pending sorted outliers
+	// that belong below its elements.
+	emit := func(i, j int) {
+		for i < j {
+			// Bulk-copy the backbone prefix that precedes the next outlier.
+			stop := j
+			if oi < len(oe) {
+				k := oe[oi].k
+				// Gallop: backbone keys in [i,j) ascend, so binary-search the
+				// first position whose key sorts at or above the outlier.
+				lo, hi := i, j
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if keys[mid] < k || (keys[mid] == k && mid < int(oe[oi].o)) {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				stop = lo
+			}
+			if stop > i {
+				copy(sk[w:], keys[i:stop])
+				copy(sv[w:], vals[i:stop])
+				for x := i; x < stop; x++ {
+					ord[w] = x
+					w++
+				}
+				dup = dup || (w-(stop-i) > 0 && sk[w-(stop-i)-1] == sk[w-(stop-i)])
+				i = stop
+				continue
+			}
+			sk[w], sv[w], ord[w] = oe[oi].k, vals[oe[oi].o], int(oe[oi].o)
+			dup = dup || (w > 0 && sk[w-1] == sk[w])
+			w++
+			oi++
+		}
+	}
+	prev := 0
+	for _, op := range outliers {
+		emit(prev, op)
+		prev = op + 1
+	}
+	emit(prev, len(keys))
+	for ; oi < len(oe); oi++ {
+		sk[w], sv[w], ord[w] = oe[oi].k, vals[oe[oi].o], int(oe[oi].o)
+		dup = dup || (w > 0 && sk[w-1] == sk[w])
+		w++
+	}
+	return sk, sv, ord, dup
+}
+
+// batchEnt pairs a key with its original batch position for the
+// permutation sort.
+type batchEnt[K Integer] struct {
+	k K
+	o int32
+}
+
+// ApplySorted is PutBatch for input already sorted by key (non-decreasing;
+// equal keys apply in order, so the last occurrence wins). It skips the
+// sort and returns ErrNotSorted without modifying the tree when the order
+// does not hold.
+func (t *Tree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error) {
+	if len(keys) != len(vals) {
+		return nil, errBatchLenMismatch(len(keys), len(vals))
+	}
+	if !isNonDecreasing(keys) {
+		return nil, ErrNotSorted
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	results := make([]PutResult, len(keys))
+	s := t.getScratch()
+	t.applySortedBatch(keys, vals, results, nil, hasAdjacentDup(keys), s)
+	t.scratch.Put(s)
+	return results, nil
+}
+
+func errBatchLenMismatch(k, v int) error {
+	return fmt.Errorf("core: batch length mismatch: %d keys, %d vals", k, v)
+}
+
+func isNonDecreasing[K Integer](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// applySortedBatch collapses duplicate keys (last occurrence wins), runs
+// the unique entries through the run engine, and maps per-unique existence
+// back to per-position results. ord maps sorted positions to original
+// result positions (nil when the input order was already sorted); dup says
+// whether keys contains equal neighbors — the classification/merge pass
+// that produced the sorted view already knows, so no rescan here.
+func (t *Tree[K, V]) applySortedBatch(keys []K, vals []V, results []PutResult, ord []int, dup bool, s *batchScratch[K, V]) {
+	pos := func(i int) int {
+		if ord == nil {
+			return i
+		}
+		return ord[i]
+	}
+	uk := keys
+	uv := vals
+	var first []int // first[u] = sorted position of unique key u
+	if dup {
+		uk = grow(&s.uk, len(keys))[:0]
+		uv = grow(&s.uv, len(keys))[:0]
+		first = grow(&s.first, len(keys))[:0]
+		for i := 0; i < len(keys); {
+			j := i + 1
+			for j < len(keys) && keys[j] == keys[i] {
+				j++
+			}
+			uk = append(uk, keys[i])
+			uv = append(uv, vals[j-1]) // last write wins
+			first = append(first, i)
+			// Every occurrence after the first found the key present.
+			for d := i + 1; d < j; d++ {
+				results[pos(d)].Existed = true
+			}
+			i = j
+		}
+	}
+	existed := grow(&s.existed, len(uk))
+	clear(existed)
+	t.applyRuns(uk, uv, existed)
+	for u, ex := range existed {
+		if !ex {
+			continue
+		}
+		if first == nil {
+			results[pos(u)].Existed = true
+		} else {
+			results[pos(first[u])].Existed = true
+		}
+	}
+}
+
+func hasAdjacentDup[K Integer](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRuns is the run engine: it resolves the leaf owning each maximal
+// run of batch keys (through the fast-path metadata when it applies, a
+// latched descent otherwise) and installs the run in one shot.
+//
+// The run covered by the fast-path metadata installs FIRST, before the
+// left-to-right sweep. A near-sorted batch lists its outliers ahead of the
+// in-order frontier run; sweeping in order would process every outlier
+// against a pole that has not absorbed this batch's frontier yet.
+// Disjoint runs commute, so installation order is unobservable.
+//
+// Pole miss accounting: an off-pole run of k additions charges fp.fails
+// by k — the batched restatement of k consecutive per-key top-inserts.
+// Installing the fp-covered run first keeps a healthy pole's counter
+// pinned at zero (its fast hit precedes the outlier charges), while a
+// large run landing off-pole crosses ResetThreshold immediately and
+// repoints the pole at its frontier chunk, exactly as the per-key reset
+// would mid-stream.
+func (t *Tree[K, V]) applyRuns(keys []K, vals []V, existed []bool) {
+	a, b := t.fpCovered(keys)
+	if a < b {
+		if n := t.tryFastRun(keys[a:b], vals[a:b], existed[a:b]); n > 0 {
+			t.sweepRuns(keys[:a], vals[:a], existed[:a])
+			pos := a + n
+			t.sweepRuns(keys[pos:], vals[pos:], existed[pos:])
+			return
+		}
+	}
+	t.sweepRuns(keys, vals, existed)
+}
+
+// sweepRuns walks a segment of the batch left to right, installing one
+// run per iteration. The descent frame of the previous run seeds the next
+// one: consecutive runs of a sorted batch land in nearby leaves, so most
+// descents resume one level above the leaf instead of at the root.
+func (t *Tree[K, V]) sweepRuns(keys []K, vals []V, existed []bool) {
+	var hint descentHint[K, V]
+	for pos := 0; pos < len(keys); {
+		if n := t.tryFastRun(keys[pos:], vals[pos:], existed[pos:]); n > 0 {
+			pos += n
+			continue
+		}
+		pos += t.topRun(keys[pos:], vals[pos:], existed[pos:], &hint)
+	}
+}
+
+// descentHint caches one frame of the previous run's descent — the
+// parent of the leaf it resolved, with that parent's routing bounds — so
+// the next run can skip the upper levels when its first key lands under
+// the same parent (consecutive runs of a sorted batch usually do). Only
+// unsynchronized trees use it: between two runs of one PutBatch nothing
+// mutates the tree but the batch itself, and any structural change (a
+// split) conservatively drops the hint. Synchronized trees always descend
+// from the root under the OLC protocol — a cached frame cannot be
+// revalidated against concurrent restructures.
+type descentHint[K Integer, V any] struct {
+	parent *node[K, V]
+	lo, hi bound[K]
+	// prefix is the root..parent descent that reached parent, reused to
+	// rebuild the full path expected by afterRunInstall.
+	prefix []*node[K, V]
+}
+
+func (h *descentHint[K, V]) drop() {
+	h.parent = nil
+	h.prefix = h.prefix[:0]
+}
+
+// covers reports whether the cached parent's subtree contains k.
+func (h *descentHint[K, V]) covers(k K) bool {
+	return h.parent != nil &&
+		(!h.lo.ok || k >= h.lo.key) && (!h.hi.ok || k < h.hi.key)
+}
+
+// fpCovered returns the half-open index range of the sorted batch that the
+// fast-path metadata currently routes to fp.leaf. The snapshot may go
+// stale the moment meta unlocks; tryFastRun revalidates under its own
+// latch, so staleness only costs the shortcut.
+func (t *Tree[K, V]) fpCovered(keys []K) (int, int) {
+	if t.cfg.Mode == ModeNone {
+		return 0, 0
+	}
+	t.lockMeta()
+	defer t.unlockMeta()
+	if t.fp.leaf == nil {
+		return 0, 0
+	}
+	a := 0
+	if t.fp.hasMin {
+		a = searchKeys(keys, t.fp.min)
+	}
+	b := len(keys)
+	if t.fp.hasMax {
+		b = searchKeys(keys, t.fp.max)
+	}
+	if b < a {
+		b = a
+	}
+	return a, b
+}
+
+// tryFastRun installs the longest prefix of the batch that the fast-path
+// metadata routes to fp.leaf AND that fits its remaining capacity, under a
+// single leaf latch — the batched analogue of tryFastInsert. It returns
+// the number of keys consumed, or 0 when the fast path does not apply,
+// the leaf latch race is lost to a rebalance, or the leaf is full (the
+// top path handles the split with the ancestors latched and then
+// repoints the fast path at the run's frontier).
+func (t *Tree[K, V]) tryFastRun(keys []K, vals []V, existed []bool) int {
+	if t.cfg.Mode == ModeNone {
+		return 0
+	}
+	t.lockMeta()
+	leaf := t.fp.leaf
+	if leaf == nil || !t.fpContains(keys[0]) {
+		t.unlockMeta()
+		return 0
+	}
+	if !t.tryWriteLatch(leaf) {
+		// Same protocol as tryFastInsert: blocking on the leaf while meta
+		// is held would invert the lock order, so release meta, latch with
+		// the obsolete-failing blocking primitive, and revalidate the
+		// metadata snapshot latch-first.
+		t.unlockMeta()
+		if !t.writeLatchLive(leaf) {
+			return 0
+		}
+		t.lockMeta()
+		if t.fp.leaf != leaf || !t.fpContains(keys[0]) {
+			t.unlockMeta()
+			t.writeUnlatch(leaf)
+			return 0
+		}
+	}
+	n := len(keys)
+	if t.fp.hasMax {
+		n = searchKeys(keys, t.fp.max) // keys[:n] route to fp.leaf
+	}
+	if budget := t.cfg.LeafCapacity - len(leaf.keys); n > budget {
+		// Only a run longer than the remaining capacity needs the probe —
+		// a shorter one fits even if every key is absent.
+		n, _ = prefixWithinBudget(leaf.keys, keys[:n], budget)
+	}
+	if n == 0 {
+		t.unlockMeta()
+		t.writeUnlatch(leaf)
+		return 0
+	}
+	ups := t.mergeRunIntoLeaf(leaf, keys[:n], vals[:n], existed[:n])
+	t.fp.size = len(leaf.keys)
+	t.fp.fails = 0
+	t.unlockMeta()
+	t.writeUnlatch(leaf)
+	t.c.fastInserts.Add(int64(n - ups))
+	t.c.updates.Add(int64(ups))
+	t.c.batchRuns.Add(1)
+	t.c.batchFastRuns.Add(1)
+	t.size.Add(int64(n - ups))
+	return n
+}
+
+// skipTo returns the first index >= i with keys[idx] >= k, galloping
+// forward from i: O(log gap) for a scattered probe, O(1) when the next
+// probe lands nearby. The merge passes below use it so a short run into a
+// full leaf costs O(run * log leaf), not O(leaf) — matching the binary
+// search a single-key insert would do.
+func skipTo[K Integer](keys []K, i int, k K) int {
+	if i >= len(keys) || keys[i] >= k {
+		return i
+	}
+	step := 1
+	for i+step < len(keys) && keys[i+step] < k {
+		i += step
+		step <<= 1
+	}
+	end := i + step
+	if end > len(keys) {
+		end = len(keys)
+	}
+	return i + 1 + searchKeys(keys[i+1:end], k)
+}
+
+// prefixWithinBudget returns the longest prefix of the sorted, unique
+// probe keys whose installation adds at most budget new entries to the
+// leaf, along with the number of additions in that prefix (present keys
+// are free: they overwrite in place).
+func prefixWithinBudget[K Integer](leafKeys, probe []K, budget int) (n, adds int) {
+	i := 0
+	for j, k := range probe {
+		i = skipTo(leafKeys, i, k)
+		if i >= len(leafKeys) || leafKeys[i] != k {
+			if adds == budget {
+				return j, adds
+			}
+			adds++
+		}
+	}
+	return len(probe), adds
+}
+
+// countAbsent returns how many of the sorted, unique probe keys are not
+// present in the sorted leaf keys (one merge pass).
+func countAbsent[K Integer](leafKeys, probe []K) int {
+	absent := 0
+	i := 0
+	for _, k := range probe {
+		i = skipTo(leafKeys, i, k)
+		if i >= len(leafKeys) || leafKeys[i] != k {
+			absent++
+		}
+	}
+	return absent
+}
+
+// mergeRunIntoLeaf merges a sorted run that fits the leaf: present keys
+// are overwritten in place, absent keys are installed with one backward
+// merge over the slice tails (the batched counterpart of insertAt's single
+// shift). Returns the number of overwrites. The caller holds the leaf's
+// write latch and has verified capacity.
+func (t *Tree[K, V]) mergeRunIntoLeaf(leaf *node[K, V], keys []K, vals []V, existed []bool) int {
+	old := len(leaf.keys)
+	if old == 0 || keys[0] > leaf.keys[old-1] {
+		// The whole run lands above the leaf's max — the frontier append
+		// that dominates sorted ingest: two bulk copies, no probe.
+		leaf.keys = append(leaf.keys, keys...)
+		leaf.vals = append(leaf.vals, vals...)
+		return 0
+	}
+	ups := 0
+	i := 0
+	for j, k := range keys {
+		i = skipTo(leaf.keys, i, k)
+		if i < len(leaf.keys) && leaf.keys[i] == k {
+			leaf.vals[i] = vals[j]
+			existed[j] = true
+			ups++
+		}
+	}
+	adds := len(keys) - ups
+	if adds == 0 {
+		return ups
+	}
+	leaf.keys = leaf.keys[:old+adds]
+	leaf.vals = leaf.vals[:old+adds]
+	// Backward merge: bulk-shift each displaced block of existing entries
+	// once (overlapping copy, dst > src) and drop the absent run keys into
+	// the gaps. leaf.keys[:i] is the still-unshifted prefix.
+	w := old + adds - 1
+	i = old
+	for j := len(keys) - 1; j >= 0; j-- {
+		if existed[j] {
+			continue
+		}
+		src := i
+		if i > 0 && leaf.keys[i-1] > keys[j] {
+			src = searchKeys(leaf.keys[:i], keys[j]) // > keys[j] from here: absent
+		}
+		if cnt := i - src; cnt > 0 {
+			copy(leaf.keys[w-cnt+1:w+1], leaf.keys[src:i])
+			copy(leaf.vals[w-cnt+1:w+1], leaf.vals[src:i])
+			w -= cnt
+		}
+		leaf.keys[w] = keys[j]
+		leaf.vals[w] = vals[j]
+		w--
+		i = src
+	}
+	return ups
+}
+
+// topRun installs the run owned by the leaf the descent resolves for the
+// first unconsumed key. The common case — the run fits its leaf — descends
+// optimistically and write-latches only the leaf; a run that may split
+// takes the pessimistic descent, where the full path stays latched (a run
+// may split multi-way, which can touch every ancestor) — one
+// latch-acquisition sequence per run instead of one per key either way.
+// Returns the number of keys consumed (>= 1).
+func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V]) int {
+	if n, ok := t.tryOptimisticRun(keys, vals, existed, hint); ok {
+		return n
+	}
+	// The pessimistic path may restructure any level, which invalidates
+	// cached descent frames wholesale.
+	hint.drop()
+	path, lockedFrom, lo, hi := t.descendForWrite(keys[0], true)
+	leaf := path[len(path)-1].n
+	n := len(keys)
+	if hi.ok {
+		n = searchKeys(keys, hi.key) // keys[:n] route to this leaf
+	}
+	run, runVals, runExisted := keys[:n], vals[:n], existed[:n]
+
+	nodes := make([]*node[K, V], len(path))
+	for i := range path {
+		nodes[i] = path[i].n
+	}
+
+	// Probe the leaf only when the run might overflow it: a wholesale fit
+	// needs no absence count, and the merge discovers overwrites itself.
+	var ups int
+	var rights []*node[K, V]
+	fits := len(leaf.keys)+n <= t.cfg.LeafCapacity
+	if !fits {
+		fits = len(leaf.keys)+countAbsent(leaf.keys, run) <= t.cfg.LeafCapacity
+	}
+	if fits {
+		ups = t.mergeRunIntoLeaf(leaf, run, runVals, runExisted)
+	} else {
+		ups, rights = t.multiWaySplitInstall(nodes, leaf, run, runVals, runExisted, hi)
+	}
+	adds := n - ups
+	t.afterRunInstall(nodes, leaf, rights, run, lo, hi, adds)
+	for _, r := range rights {
+		// Split-off leaves were published write-latched (leaf chain, tail,
+		// new ancestors); release them only now that the run install and
+		// fast-path bookkeeping are complete.
+		t.writeUnlatch(r)
+	}
+	t.c.topInserts.Add(int64(adds))
+	t.c.updates.Add(int64(ups))
+	t.c.batchRuns.Add(1)
+	t.size.Add(int64(adds))
+	t.unlockPathFrom(path, lockedFrom)
+	return n
+}
+
+// tryOptimisticRun installs a run that fits its leaf without structural
+// changes: an optimistic read-validated descent resolves the leaf and its
+// routing bounds and only the leaf is write-latched — the batched analogue
+// of tryOptimisticInsert, and the same protocol. ok=false sends the caller
+// to the pessimistic descent: the run may overflow the leaf (a multi-way
+// split latches the whole path), or in synchronized POLE/QuIT mode it may
+// land in the pole region, where a redistribution can rewrite a separator
+// pivot arbitrarily high up.
+func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V]) (int, bool) {
+	if t.synced && (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) {
+		t.lockMeta()
+		inPole := t.fp.leaf != nil && t.fpContains(keys[0])
+		t.unlockMeta()
+		if inPole {
+			return 0, false
+		}
+	}
+	useHint := !t.synced // cached frames cannot be revalidated under OLC
+	for {
+		var (
+			n      *node[K, V]
+			v      uint64
+			lo, hi bound[K]
+		)
+		path := make([]*node[K, V], 0, 8)
+		if useHint && hint.covers(keys[0]) {
+			if hv, lok := t.readLatch(hint.parent); lok {
+				n, v, lo, hi = hint.parent, hv, hint.lo, hint.hi
+				path = append(path, hint.prefix...)
+			} else {
+				hint.drop()
+			}
+		}
+		if n == nil {
+			n, v = t.readRoot()
+			path = append(path, n)
+		}
+		// pLo/pHi trail one level behind lo/hi: after the loop they hold
+		// the routing bounds of the leaf's parent, recorded into the hint.
+		var pLo, pHi bound[K]
+		bad := false
+		for !n.isLeaf() {
+			idx := n.route(keys[0])
+			l, h := lo, hi
+			if idx > 0 {
+				l = closed(n.keys[idx-1])
+			}
+			if idx < len(n.keys) {
+				h = closed(n.keys[idx])
+			}
+			c, cok := n.childAt(idx)
+			if !cok {
+				t.readAbort(n)
+				bad = true
+				break
+			}
+			cv, ok := t.readLatch(c)
+			if !ok {
+				t.readAbort(n)
+				bad = true
+				break
+			}
+			if !t.readUnlatch(n, v) {
+				t.readAbort(c)
+				bad = true
+				break
+			}
+			pLo, pHi = lo, hi
+			lo, hi = l, h
+			path = append(path, c)
+			n, v = c, cv
+		}
+		if bad {
+			if useHint {
+				hint.drop()
+			}
+			t.olcRestart()
+			continue
+		}
+		if useHint && len(path) >= 2 {
+			hint.parent = path[len(path)-2]
+			hint.lo, hint.hi = pLo, pHi
+			hint.prefix = append(hint.prefix[:0], path[:len(path)-1]...)
+		}
+		leaf := n
+		rn := len(keys)
+		if hi.ok {
+			rn = searchKeys(keys, hi.key) // keys[:rn] route to this leaf
+		}
+		if len(leaf.keys)+rn > t.cfg.LeafCapacity {
+			// Might overflow (or needs a dedup count to prove otherwise):
+			// the pessimistic descent sorts it out.
+			if !t.readUnlatch(leaf, v) {
+				t.olcRestart()
+				continue
+			}
+			return 0, false
+		}
+		if !t.upgradeLatch(leaf, v) {
+			t.olcRestart()
+			continue
+		}
+		ups := t.mergeRunIntoLeaf(leaf, keys[:rn], vals[:rn], existed[:rn])
+		adds := rn - ups
+		t.afterRunInstall(path, leaf, nil, keys[:rn], lo, hi, adds)
+		t.writeUnlatch(leaf)
+		t.c.topInserts.Add(int64(adds))
+		t.c.updates.Add(int64(ups))
+		t.c.batchRuns.Add(1)
+		t.size.Add(int64(adds))
+		return rn, true
+	}
+}
+
+// multiWaySplitInstall merges the run with the overfull leaf and carves
+// the combined sequence into k+1 leaves in one pass: the original leaf
+// keeps the first chunk and k freshly allocated right siblings take the
+// rest, linked into the chain and handed to the ancestors as one
+// contiguous pivot group. This is splitForInsert generalized from one
+// split to k. Returns the number of overwrites and the new (still
+// write-latched) leaves.
+//
+// The leaf prefix below the run's first key is untouched by the merge, so
+// it is never materialized: only the suffix from the run's insertion point
+// onward is merged into scratch (for sorted ingest that suffix is just the
+// few out-of-order keys parked above the frontier), and a run that
+// strictly appends borrows the caller's slices outright. The per-split
+// memmove cost is proportional to what actually moves.
+func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], keys []K, vals []V, existed []bool, hi bound[K]) (int, []*node[K, V]) {
+	nl := len(leaf.keys)
+	p := searchKeys(leaf.keys, keys[0]) // leaf.keys[:p] < keys[0]: stable prefix
+	ups := 0
+	var tk []K // merged sequence from position p onward
+	var tv []V
+	var ss *batchScratch[K, V]
+	if p == nl {
+		tk, tv = keys, vals
+	} else {
+		ss = t.getScratch()
+		// One merge pass of the leaf suffix with the run; on equal keys the
+		// run's value wins. The pass walks the (short) suffix and bulk-copies
+		// the run range below each suffix element, so a 200-key run parked
+		// against a handful of out-of-order keys costs a handful of memmoves,
+		// not 200 appends.
+		sfk, sfv := leaf.keys[p:], leaf.vals[p:]
+		tk = grow(&ss.tk, len(sfk)+len(keys))[:0]
+		tv = grow(&ss.tv, len(sfk)+len(keys))[:0]
+		j := 0
+		for i := 0; i < len(sfk); i++ {
+			nj := skipTo(keys, j, sfk[i])
+			tk = append(tk, keys[j:nj]...)
+			tv = append(tv, vals[j:nj]...)
+			j = nj
+			if j < len(keys) && keys[j] == sfk[i] {
+				existed[j] = true
+				ups++
+				tk = append(tk, keys[j])
+				tv = append(tv, vals[j])
+				j++
+				continue
+			}
+			tk = append(tk, sfk[i])
+			tv = append(tv, sfv[i])
+		}
+		tk = append(tk, keys[j:]...)
+		tv = append(tv, vals[j:]...)
+	}
+	total := p + len(tk)
+	at := func(i int) K {
+		if i < p {
+			return leaf.keys[i]
+		}
+		return tk[i-p]
+	}
+	// seg copies merged positions [s,e) out of the two segments.
+	seg := func(dk []K, dv []V, s, e int) ([]K, []V) {
+		if s < p {
+			stop := e
+			if stop > p {
+				stop = p
+			}
+			dk = append(dk, leaf.keys[s:stop]...)
+			dv = append(dv, leaf.vals[s:stop]...)
+			s = stop
+		}
+		if e > s {
+			dk = append(dk, tk[s-p:e-p]...)
+			dv = append(dv, tv[s-p:e-p]...)
+		}
+		return dk, dv
+	}
+	// installFirst rewrites the original leaf as chunk [0,c0), in place:
+	// the backing arrays were sized for every legal transient and are never
+	// reallocated, so concurrent optimistic readers stay memory-safe and
+	// are rejected by version validation.
+	installFirst := func(c0 int) {
+		if c0 <= p {
+			leaf.keys = leaf.keys[:c0]
+			leaf.vals = leaf.vals[:c0]
+		} else {
+			leaf.keys = append(leaf.keys[:p], tk[:c0-p]...)
+			leaf.vals = append(leaf.vals[:p], tv[:c0-p]...)
+		}
+		if c0 < nl {
+			var zv V
+			stale := leaf.vals[c0:nl]
+			for z := range stale {
+				stale[z] = zv
+			}
+		}
+	}
+
+	cuts := t.leafCuts(leaf, total, at, hi)
+	rights := make([]*node[K, V], 0, len(cuts))
+	pivots := make([]K, 0, len(cuts))
+	prev := leaf
+	next := leaf.next.Load()
+	for ci := 0; ci < len(cuts); ci++ {
+		start := cuts[ci]
+		end := total
+		if ci+1 < len(cuts) {
+			end = cuts[ci+1]
+		}
+		r := t.newLeaf()
+		t.writeLatch(r) // uncontended: not yet published
+		r.keys, r.vals = seg(r.keys, r.vals, start, end)
+		r.prev.Store(prev)
+		prev.next.Store(r)
+		prev = r
+		rights = append(rights, r)
+		pivots = append(pivots, r.keys[0])
+	}
+	installFirst(cuts[0]) // after seg reads: the leaf tail may move out
+	prev.next.Store(next)
+	if next != nil {
+		next.prev.Store(prev)
+	} else {
+		t.tail.Store(prev)
+	}
+	t.c.leafSplits.Add(int64(len(rights)))
+
+	t.propagateMultiSplit(path, pivots, rights)
+	if ss != nil {
+		t.scratch.Put(ss) // all segments copied out; the merge scratch is dead
+	}
+	return ups, rights
+}
+
+// leafCuts picks the chunk boundaries (indices into the merged sequence
+// where each new leaf starts) for a multi-way leaf split. A rightmost
+// leaf packs chunks to MaxFill — the batched analogue of QuIT's variable
+// split, leaving the open-ended tail chunk to absorb the next in-order
+// run — with the first cut IKR-guided when pole metadata is live, exactly
+// as variableSplit places its single split point. Interior leaves split
+// into balanced chunks, preserving the classical >= 50% occupancy.
+func (t *Tree[K, V]) leafCuts(leaf *node[K, V], total int, at func(int) K, hi bound[K]) []int {
+	c := t.cfg.LeafCapacity
+	// Packing applies wherever the pole is, not only at the rightmost
+	// leaf: Algorithm 2's variable split follows fp.leaf even when earlier
+	// outliers landed above the frontier and made it an interior leaf
+	// (splitForInsert keys on isPole the same way). The rightmost leaf
+	// packs in every mode — its open tail absorbs in-order ingest.
+	isPole := false
+	ikr := -1
+	if t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT {
+		t.lockMeta()
+		if leaf == t.fp.leaf {
+			isPole = true
+			if t.fp.prevValid && t.fp.prev == leaf.prev.Load() && t.fp.prevSize > 0 {
+				x := t.est.Bound(float64(t.fp.prevMin), float64(at(0)), t.fp.prevSize, total)
+				ikr = outlierIndexAt(total, at, x)
+			}
+		}
+		t.unlockMeta()
+	}
+	if !hi.ok || isPole {
+		capFill := int(t.cfg.MaxFill * float64(c))
+		if capFill < 1 {
+			capFill = 1
+		}
+		if capFill > c {
+			capFill = c
+		}
+		floor := t.minLeaf
+		if floor < 1 {
+			floor = 1
+		}
+		// Everything below the outlier boundary packs into capFill chunks;
+		// the tail above it becomes the frontier chunk, which therefore
+		// starts nearly empty and absorbs the next several in-order runs
+		// latch-only. This is variableSplit's cut generalized to k chunks,
+		// including its l-1 detail: the frontier chunk keeps the topmost
+		// in-order key so its pivot is the backbone max — the next in-order
+		// run routes INTO the open chunk rather than into the packed-full
+		// one below it.
+		left := total - 1
+		if ikr >= 1 && ikr-1 < left {
+			left = ikr - 1
+		}
+		if left < floor {
+			left = floor
+		}
+		var cuts []int
+		for pos := capFill; pos < left; pos += capFill {
+			cuts = append(cuts, pos)
+		}
+		cuts = append(cuts, left)
+		for pos := left + capFill; pos < total; pos += capFill {
+			cuts = append(cuts, pos)
+		}
+		return cuts
+	}
+	m := (total + c - 1) / c
+	return chunkBounds(total, m)
+}
+
+// outlierIndexAt is outlierIndex over a virtual merged sequence exposed
+// through random access.
+func outlierIndexAt[K Integer](total int, at func(int) K, x float64) int {
+	lo, hi := 0, total
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(at(mid)) <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// chunkBounds carves n items into m nearly-equal chunks (sizes differing
+// by at most one, larger chunks first) and returns the m-1 interior
+// boundaries.
+func chunkBounds(n, m int) []int {
+	base, extra := n/m, n%m
+	cuts := make([]int, 0, m-1)
+	pos := 0
+	for i := 0; i < m-1; i++ {
+		pos += base
+		if i < extra {
+			pos++
+		}
+		cuts = append(cuts, pos)
+	}
+	return cuts
+}
+
+// propagateMultiSplit inserts a contiguous group of (pivot, right-child)
+// pairs — all replacements of a single split child — into the ancestors
+// on path, carving overfull internal nodes into balanced multi-way chunks
+// and growing as many new root levels as the promoted pivots require. The
+// caller holds write latches on the entire path (topRun descends with
+// holdAll). Incoming leaf-level rights stay latched for the caller;
+// internal nodes minted here are released once they are wired into a
+// parent or, for new root levels, once the root pointer is published.
+func (t *Tree[K, V]) propagateMultiSplit(path []*node[K, V], pivots []K, rights []*node[K, V]) {
+	fanout := t.cfg.InternalFanout
+	for level := len(path) - 2; level >= 0; level-- {
+		p := path[level]
+		idx := upperBound(p.keys, pivots[0])
+		if len(p.children)+len(rights) <= fanout {
+			p.insertChildrenAt(idx, pivots, rights)
+			t.unlatchWiredInternals(rights)
+			return
+		}
+		pivots, rights = t.splitInternalMulti(p, idx, pivots, rights)
+	}
+	// Root overflow: build new levels bottom-up until one node holds them.
+	children := make([]*node[K, V], 0, len(rights)+1)
+	children = append(children, path[0])
+	children = append(children, rights...)
+	keys := pivots
+	t.unlatchWiredInternals(rights) // fully built; unreachable until the root swap
+	var fresh []*node[K, V]         // unpublished internals, released after the swap
+	for len(children) > fanout {
+		m := (len(children) + fanout - 1) / fanout
+		bounds := append(chunkBounds(len(children), m), len(children))
+		nk := make([]K, 0, m-1)
+		nc := make([]*node[K, V], 0, m)
+		start := 0
+		for _, end := range bounds {
+			in := t.newInternal()
+			t.writeLatch(in) // uncontended: not yet published
+			in.keys = append(in.keys, keys[start:end-1]...)
+			in.children = append(in.children, children[start:end]...)
+			fresh = append(fresh, in)
+			if start > 0 {
+				nk = append(nk, keys[start-1])
+			}
+			nc = append(nc, in)
+			t.c.internalSplits.Add(1)
+			start = end
+		}
+		children, keys = nc, nk
+		t.height.Add(1)
+	}
+	newRoot := t.newInternal()
+	t.writeLatch(newRoot) // uncontended: not yet published
+	newRoot.keys = append(newRoot.keys, keys...)
+	newRoot.children = append(newRoot.children, children...)
+	t.root.Store(newRoot)
+	t.height.Add(1)
+	t.writeUnlatch(newRoot)
+	for _, in := range fresh {
+		t.writeUnlatch(in)
+	}
+}
+
+// unlatchWiredInternals releases the write latches of freshly minted
+// internal nodes once nothing will mutate them further; split-off leaves
+// stay latched until the caller finishes the run install.
+func (t *Tree[K, V]) unlatchWiredInternals(nodes []*node[K, V]) {
+	for _, n := range nodes {
+		if !n.isLeaf() {
+			t.writeUnlatch(n)
+		}
+	}
+}
+
+// splitInternalMulti rebuilds the overfull internal node p — its current
+// pivots/children with the incoming contiguous group spliced in at pivot
+// position idx — as balanced chunks of at most fanout children: p keeps
+// the first chunk in place and each further chunk becomes a fresh latched
+// internal node. Returns the promoted pivots and new nodes for the level
+// above. This is splitInternal generalized the same way
+// multiWaySplitInstall generalizes splitLeafAt.
+func (t *Tree[K, V]) splitInternalMulti(p *node[K, V], idx int, pivots []K, rights []*node[K, V]) ([]K, []*node[K, V]) {
+	t.unlatchWiredInternals(rights) // wired into the combined sequence below
+	n := len(p.children) + len(rights)
+	ck := make([]K, 0, n-1)
+	cc := make([]*node[K, V], 0, n)
+	cc = append(cc, p.children[:idx+1]...)
+	ck = append(ck, p.keys[:idx]...)
+	ck = append(ck, pivots...)
+	cc = append(cc, rights...)
+	ck = append(ck, p.keys[idx:]...)
+	cc = append(cc, p.children[idx+1:]...)
+
+	fanout := t.cfg.InternalFanout
+	m := (n + fanout - 1) / fanout
+	bounds := append(chunkBounds(n, m), n)
+	first := bounds[0]
+
+	oldLen := len(p.children)
+	p.keys = append(p.keys[:0], ck[:first-1]...)
+	p.children = append(p.children[:0], cc[:first]...)
+	if first < oldLen {
+		stale := p.children[first:oldLen]
+		for z := range stale {
+			stale[z] = nil
+		}
+	}
+
+	up := make([]K, 0, m-1)
+	news := make([]*node[K, V], 0, m-1)
+	start := first
+	for _, end := range bounds[1:] {
+		in := t.newInternal()
+		t.writeLatch(in) // uncontended: not yet published
+		in.keys = append(in.keys, ck[start:end-1]...)
+		in.children = append(in.children, cc[start:end]...)
+		up = append(up, ck[start-1])
+		news = append(news, in)
+		t.c.internalSplits.Add(1)
+		start = end
+	}
+	return up, news
+}
+
+// afterRunInstall is the fast-path bookkeeping after a top-path run: the
+// coarse-grained analogue of afterTopInsert and splitForInsert's per-key
+// policies. The fast path follows the run's frontier — it repoints at the
+// chunk that received the run's last key — because a sorted batch's next
+// run overwhelmingly continues where this one ended (the batched
+// restatement of Algorithm 1's catch-up and the §4.3 reset). When the
+// pole itself split, pole_prev is rebuilt exactly from the preceding
+// chunk, keeping the IKR estimator armed; when an unrelated leaf absorbed
+// the run, the usual fails/reset policy applies with the whole run
+// counting as one miss.
+//
+// path is the root..leaf descent (leaf last), rights the chunks a
+// multi-way split created (nil when the run fit in place), all still
+// write-latched by the caller; lo/hi are the pre-split routing bounds of
+// leaf.
+func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], rights []*node[K, V], run []K, lo, hi bound[K], adds int) {
+	if t.cfg.Mode == ModeNone || (adds == 0 && len(rights) == 0) {
+		return
+	}
+	// Locate the chunk holding the run's last key and its routing bounds.
+	lastKey := run[len(run)-1]
+	target, tlo, thi := leaf, lo, hi
+	ti := 0 // chunk index: 0 = leaf, i > 0 = rights[i-1]
+	if len(rights) > 0 {
+		thi = closed(rights[0].keys[0])
+		for i, r := range rights {
+			if lastKey < r.keys[0] {
+				break
+			}
+			target, ti = r, i+1
+			tlo = closed(r.keys[0])
+			if i+1 < len(rights) {
+				thi = closed(rights[i+1].keys[0])
+			} else {
+				thi = hi
+			}
+		}
+	}
+
+	switch t.cfg.Mode {
+	case ModeTail:
+		t.lockMeta()
+		if len(rights) > 0 {
+			if last := rights[len(rights)-1]; last.next.Load() == nil {
+				// The old tail split: follow the new rightmost leaf.
+				t.setFP(last, closed(last.keys[0]), bound[K]{}, pathWithLeaf(path, last))
+			}
+		} else if target == t.fp.leaf {
+			t.fp.size = len(target.keys)
+		}
+		t.unlockMeta()
+		return
+	case ModeLIL:
+		// Fig. 4: lil follows the leaf that received the latest insert.
+		t.lockMeta()
+		t.setFP(target, tlo, thi, pathWithLeaf(path, target))
+		t.unlockMeta()
+		return
+	}
+
+	// ModePOLE / ModeQuIT.
+	t.lockMeta()
+	defer t.unlockMeta()
+	fp := &t.fp
+
+	if len(rights) > 0 && leaf == fp.leaf {
+		// The pole split multi-way. Advance to the frontier chunk; its left
+		// neighbor chunk is latched, so pole_prev metadata is exact — the
+		// multi-way analogue of variableSplit's advance (Fig. 7a).
+		if ti == 0 {
+			fp.max, fp.hasMax = rights[0].keys[0], true
+			fp.size = len(leaf.keys)
+			fp.fails = 0
+			return
+		}
+		prevChunk := leaf
+		if ti > 1 {
+			prevChunk = rights[ti-2]
+		}
+		t.setFP(target, tlo, thi, pathWithLeaf(path, target))
+		fp.prev = prevChunk
+		fp.prevMin = prevChunk.keys[0]
+		fp.prevSize = len(prevChunk.keys)
+		fp.prevValid = true
+		fp.fails = 0
+		return
+	}
+	if len(rights) > 0 && fp.prevValid && fp.prev == leaf {
+		// pole_prev split: the chunk that is now pole's left neighbor takes
+		// over, as in splitOther.
+		last := rights[len(rights)-1]
+		fp.prev = last
+		fp.prevMin = last.keys[0]
+		fp.prevSize = len(last.keys)
+		return
+	}
+
+	if len(rights) == 0 {
+		if target == fp.leaf {
+			// The run landed in pole through the slow path (synchronized
+			// fallbacks); treat it as pole growth.
+			fp.size = len(target.keys)
+			fp.fails = 0
+			return
+		}
+		if target == fp.prev && fp.prevValid {
+			fp.prevSize = len(target.keys)
+			if run[0] < fp.prevMin {
+				fp.prevMin = run[0]
+			}
+		}
+		// Catch-up (§4.2, Algorithm 1 lines 11-14), with the run's first
+		// key standing in for the single inserted key.
+		if target.prev.Load() == fp.leaf && fp.prevValid && fp.prevSize > 0 && fp.size > 0 {
+			x := t.est.Bound(float64(fp.prevMin), float64(fp.min), fp.prevSize, fp.size)
+			if t.cfg.UnconditionalCatchUp || float64(run[0]) <= x {
+				oldPole := fp.leaf
+				oldMin := fp.min
+				oldSize := fp.size
+				t.setFP(target, tlo, thi, pathWithLeaf(path, target))
+				fp.prev = oldPole
+				fp.prevMin = oldMin
+				fp.prevSize = oldSize
+				fp.prevValid = true
+				fp.fails = 0
+				t.c.catchUps.Add(1)
+				return
+			}
+		}
+	}
+
+	if t.cfg.Mode != ModeQuIT {
+		return // pole-B+-tree has no reset strategy
+	}
+	// A run of k additions is k consecutive top-inserts in per-key terms,
+	// so it charges the fail counter by k: scattered outliers nudge it
+	// (and the pole's own fast hit zeroes it each batch), while a dense
+	// off-pole run crosses the threshold at once and resets the pole onto
+	// the run's frontier — just as the per-key reset would mid-stream.
+	fp.fails += adds
+	if fp.fails < t.cfg.ResetThreshold {
+		return
+	}
+	// Reset (§4.3): repoint pole at the frontier chunk. When the run split
+	// a leaf, the chunk's left neighbor is also ours and still latched, so
+	// pole_prev can be rebuilt race-free even in synchronized mode;
+	// otherwise it re-arms at the next split, as after a single-key reset.
+	t.setFP(target, tlo, thi, pathWithLeaf(path, target))
+	fp.fails = 0
+	fp.prevValid = false
+	prev := target.prev.Load()
+	if prev != nil && len(prev.keys) > 0 && (!t.synced || ti > 0) {
+		fp.prev = prev
+		fp.prevMin = prev.keys[0]
+		fp.prevSize = len(prev.keys)
+		fp.prevValid = true
+	}
+	t.c.resets.Add(1)
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// checkAgainstModel verifies the tree holds exactly the model's entries and
+// validates structurally.
+func checkAgainstModel(t *testing.T, tr *Tree[int64, int64], model map[int64]int64) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+	for k, want := range model {
+		v, ok := tr.Get(k)
+		if !ok || v != want {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+}
+
+func TestPutBatchAllModesAllWorkloads(t *testing.T) {
+	for _, mode := range allModes {
+		for name, keys := range workloads(2000, 7) {
+			for _, bs := range []int{1, 16, 256, 4096} {
+				t.Run(mode.String()+"/"+name, func(t *testing.T) {
+					tr := New[int64, int64](smallConfig(mode))
+					model := make(map[int64]int64, len(keys))
+					for pos := 0; pos < len(keys); pos += bs {
+						end := pos + bs
+						if end > len(keys) {
+							end = len(keys)
+						}
+						chunk := keys[pos:end]
+						vals := make([]int64, len(chunk))
+						for i, k := range chunk {
+							vals[i] = k * 10
+							model[k] = k * 10
+						}
+						results := tr.PutBatch(chunk, vals)
+						for i, r := range results {
+							if r.Existed {
+								t.Fatalf("batch %d: results[%d] (key %d) unexpectedly existed", pos/bs, i, chunk[i])
+							}
+						}
+					}
+					checkAgainstModel(t, tr, model)
+					st := tr.Stats()
+					if st.Inserts() != int64(len(keys)) {
+						t.Fatalf("fast+top inserts = %d, want %d", st.Inserts(), len(keys))
+					}
+					if st.BatchRuns == 0 {
+						t.Fatalf("BatchRuns = 0 after batched ingest")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPutBatchMatchesSequentialPut is the differential test: a PutBatch
+// must be indistinguishable from the same entries applied with Put in
+// input order, including per-position results for duplicates.
+func TestPutBatchMatchesSequentialPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			batched := New[int64, int64](smallConfig(mode))
+			serial := New[int64, int64](smallConfig(mode))
+			model := make(map[int64]int64)
+			for round := 0; round < 40; round++ {
+				n := rng.Intn(300)
+				keys := make([]int64, n)
+				vals := make([]int64, n)
+				for i := range keys {
+					keys[i] = int64(rng.Intn(2000)) // dense: many dups and updates
+					vals[i] = rng.Int63n(1 << 30)
+				}
+				want := make([]PutResult, n)
+				for i := range keys {
+					_, existed := serial.Put(keys[i], vals[i])
+					want[i] = PutResult{Existed: existed}
+					model[keys[i]] = vals[i]
+				}
+				got := batched.PutBatch(keys, vals)
+				if len(got) != n {
+					t.Fatalf("round %d: got %d results, want %d", round, len(got), n)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("round %d: results[%d] = %+v, want %+v (key %d)", round, i, got[i], want[i], keys[i])
+					}
+				}
+			}
+			checkAgainstModel(t, batched, model)
+			if serialLen := serial.Len(); batched.Len() != serialLen {
+				t.Fatalf("batched Len = %d, serial Len = %d", batched.Len(), serialLen)
+			}
+		})
+	}
+}
+
+func TestPutBatchEmptyAndMismatch(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	if res := tr.PutBatch(nil, nil); res != nil {
+		t.Fatalf("PutBatch(nil, nil) = %v, want nil", res)
+	}
+	if res, err := tr.ApplySorted(nil, nil); err != nil || res != nil {
+		t.Fatalf("ApplySorted(nil, nil) = (%v, %v), want (nil, nil)", res, err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after empty batches", tr.Len())
+	}
+	if _, err := tr.ApplySorted([]int64{1, 2}, []int64{1}); err == nil {
+		t.Fatal("ApplySorted length mismatch did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutBatch length mismatch did not panic")
+		}
+	}()
+	tr.PutBatch([]int64{1, 2}, []int64{1})
+}
+
+func TestPutBatchDuplicatesLastWins(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](smallConfig(mode))
+			tr.Put(5, 50)
+			keys := []int64{9, 5, 9, 1, 9}
+			vals := []int64{901, 51, 902, 10, 903}
+			res := tr.PutBatch(keys, vals)
+			wantExisted := []bool{false, true, true, false, true}
+			for i, r := range res {
+				if r.Existed != wantExisted[i] {
+					t.Fatalf("results[%d].Existed = %v, want %v", i, r.Existed, wantExisted[i])
+				}
+			}
+			for k, want := range map[int64]int64{1: 10, 5: 51, 9: 903} {
+				if v, ok := tr.Get(k); !ok || v != want {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, want)
+				}
+			}
+			if tr.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestApplySorted(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	keys := []int64{1, 2, 2, 5, 8}
+	vals := []int64{10, 20, 21, 50, 80}
+	res, err := tr.ApplySorted(keys, vals)
+	if err != nil {
+		t.Fatalf("ApplySorted: %v", err)
+	}
+	want := []bool{false, false, true, false, false}
+	for i, r := range res {
+		if r.Existed != want[i] {
+			t.Fatalf("results[%d].Existed = %v, want %v", i, r.Existed, want[i])
+		}
+	}
+	if v, _ := tr.Get(2); v != 21 {
+		t.Fatalf("Get(2) = %d, want 21 (last write wins)", v)
+	}
+	if _, err := tr.ApplySorted([]int64{3, 1}, []int64{0, 0}); !errors.Is(err, ErrNotSorted) {
+		t.Fatalf("unsorted ApplySorted error = %v, want ErrNotSorted", err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d after rejected batch, want 4", tr.Len())
+	}
+}
+
+// TestPutBatchMultiWaySplit drives single huge batches through tiny nodes
+// so one run carves a leaf into many chunks and root growth spans multiple
+// new levels in one propagation.
+func TestPutBatchMultiWaySplit(t *testing.T) {
+	for _, mode := range allModes {
+		for _, sortedInput := range []bool{true, false} {
+			name := mode.String() + "/random"
+			if sortedInput {
+				name = mode.String() + "/sorted"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Mode: mode, LeafCapacity: 4, InternalFanout: 4}
+				tr := New[int64, int64](cfg)
+				n := 3000
+				keys := make([]int64, n)
+				vals := make([]int64, n)
+				model := make(map[int64]int64, n)
+				for i := range keys {
+					keys[i] = int64(i) * 2
+					vals[i] = int64(i)
+					model[keys[i]] = int64(i)
+				}
+				if !sortedInput {
+					rng := rand.New(rand.NewSource(3))
+					rng.Shuffle(n, func(i, j int) {
+						keys[i], keys[j] = keys[j], keys[i]
+						vals[i], vals[j] = vals[j], vals[i]
+					})
+				}
+				tr.PutBatch(keys, vals)
+				checkAgainstModel(t, tr, model)
+
+				// A second overlapping batch exercises splits of interior
+				// (bounded) leaves and in-batch updates.
+				for i := range keys {
+					keys[i]++
+					model[keys[i]] = vals[i]
+				}
+				tr.PutBatch(keys, vals)
+				checkAgainstModel(t, tr, model)
+			})
+		}
+	}
+}
+
+// TestPutBatchAfterMerges batches across a region that deletes have carved
+// up (underfull leaves, fresh merges) — the "batch spanning a leaf merge
+// window" edge case, single-threaded flavor.
+func TestPutBatchAfterMerges(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](smallConfig(mode))
+			model := make(map[int64]int64)
+			for i := int64(0); i < 2000; i++ {
+				tr.Put(i, i)
+				model[i] = i
+			}
+			// Delete most of a middle band to force merges/borrows.
+			for i := int64(400); i < 1600; i++ {
+				if i%5 != 0 {
+					tr.Delete(i)
+					delete(model, i)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("validate after deletes: %v", err)
+			}
+			// Re-ingest the band (plus updates on survivors) in one batch.
+			var keys, vals []int64
+			for i := int64(300); i < 1700; i++ {
+				keys = append(keys, i)
+				vals = append(vals, i*7)
+				model[i] = i * 7
+			}
+			tr.PutBatch(keys, vals)
+			checkAgainstModel(t, tr, model)
+		})
+	}
+}
+
+// TestPutBatchConcurrentStress mixes batched writers with OLC readers and
+// deleters on a synchronized tree (run under -race in CI).
+func TestPutBatchConcurrentStress(t *testing.T) {
+	rounds := 3
+	perWriter := 12
+	if testing.Short() {
+		rounds = 1
+	}
+	for _, mode := range []Mode{ModeNone, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{Mode: mode, LeafCapacity: 16, InternalFanout: 8, Synchronized: true}
+			tr := New[int64, int64](cfg)
+			const keySpace = 1 << 16
+			for round := 0; round < rounds; round++ {
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				// Batched writers: one appends near-sorted runs, one sprays
+				// random batches.
+				for w := 0; w < 2; w++ {
+					wg.Add(1)
+					go func(w, round int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(round*10 + w)))
+						<-start
+						for b := 0; b < perWriter; b++ {
+							n := 64 + rng.Intn(192)
+							keys := make([]int64, n)
+							vals := make([]int64, n)
+							base := int64(rng.Intn(keySpace))
+							for i := range keys {
+								if w == 0 {
+									keys[i] = (base + int64(i)) % keySpace // sorted run
+								} else {
+									keys[i] = int64(rng.Intn(keySpace))
+								}
+								vals[i] = keys[i] * 3
+							}
+							tr.PutBatch(keys, vals)
+						}
+					}(w, round)
+				}
+				// Deleter.
+				wg.Add(1)
+				go func(round int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(round*10 + 7)))
+					<-start
+					for i := 0; i < perWriter*100; i++ {
+						tr.Delete(int64(rng.Intn(keySpace)))
+					}
+				}(round)
+				// OLC readers: point gets and short scans; values are always
+				// key*3, so torn reads are detectable.
+				for r := 0; r < 2; r++ {
+					wg.Add(1)
+					go func(r, round int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(round*100 + r)))
+						<-start
+						for i := 0; i < perWriter*200; i++ {
+							k := int64(rng.Intn(keySpace))
+							if v, ok := tr.Get(k); ok && v != k*3 {
+								t.Errorf("Get(%d) = %d, want %d", k, v, k*3)
+								return
+							}
+							if i%50 == 0 {
+								cnt := 0
+								tr.Range(k, k+100, func(rk, rv int64) bool {
+									if rv != rk*3 {
+										t.Errorf("Range saw (%d,%d)", rk, rv)
+										return false
+									}
+									cnt++
+									return cnt < 64
+								})
+							}
+						}
+					}(r, round)
+				}
+				close(start)
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				// Quiescent structural check between rounds.
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("round %d validate: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStatsCounters checks the new BatchRuns/BatchFastRuns counters:
+// a near-sorted batched ingest on QuIT should resolve most runs through
+// the fast-path metadata.
+func TestBatchStatsCounters(t *testing.T) {
+	tr := New[int64, int64](smallConfig(ModeQuIT))
+	keys := make([]int64, 4096)
+	vals := make([]int64, 4096)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i)
+	}
+	for pos := 0; pos < len(keys); pos += 256 {
+		tr.PutBatch(keys[pos:pos+256], vals[pos:pos+256])
+	}
+	st := tr.Stats()
+	if st.BatchRuns == 0 || st.BatchFastRuns == 0 {
+		t.Fatalf("BatchRuns = %d, BatchFastRuns = %d; want both > 0", st.BatchRuns, st.BatchFastRuns)
+	}
+	if st.BatchFastRuns > st.BatchRuns {
+		t.Fatalf("BatchFastRuns = %d > BatchRuns = %d", st.BatchFastRuns, st.BatchRuns)
+	}
+	tr.ResetCounters()
+	st = tr.Stats()
+	if st.BatchRuns != 0 || st.BatchFastRuns != 0 {
+		t.Fatalf("counters not reset: %+v", st)
+	}
+}
+
+// TestSearchKeys pins the branchless shared search against the spec (first
+// index i with keys[i] >= k) across sizes and probe positions.
+func TestSearchKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for size := 0; size <= 64; size++ {
+		keys := make([]int64, size)
+		last := int64(0)
+		for i := range keys {
+			last += int64(rng.Intn(3) + 1)
+			keys[i] = last
+		}
+		probes := append([]int64{-1, 0, last, last + 1}, keys...)
+		for _, k := range keys {
+			probes = append(probes, k-1, k+1)
+		}
+		for _, k := range probes {
+			want := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+			if got := searchKeys(keys, k); got != want {
+				t.Fatalf("searchKeys(size %d, key %d) = %d, want %d", size, k, got, want)
+			}
+			wantUB := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+			if got := upperBound(keys, k); got != wantUB {
+				t.Fatalf("upperBound(size %d, key %d) = %d, want %d", size, k, got, wantUB)
+			}
+		}
+	}
+}

@@ -205,6 +205,58 @@ func BenchmarkBuildFromSorted(b *testing.B) {
 	}
 }
 
+// branchyLowerBound is the classic lo/hi binary search: one conditionally
+// taken branch per probe. It exists only as the baseline BenchmarkSearchKeys
+// compares the branchless (base, length) searchKeys loop against.
+func branchyLowerBound(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BenchmarkSearchKeys measures the shared leaf probe against the branchy
+// baseline at the configured leaf width and at a small width where the
+// whole array is in L1. Probes are precomputed so the rng stays out of the
+// measured loop; random probes make every branch in the baseline a coin
+// flip, which is where the conditional-move lowering pays off.
+func BenchmarkSearchKeys(b *testing.B) {
+	for _, width := range []int{16, 510} {
+		keys := make([]int64, width)
+		for i := range keys {
+			keys[i] = int64(i) * 3
+		}
+		rng := rand.New(rand.NewSource(7))
+		probes := make([]int64, 4096)
+		for i := range probes {
+			probes[i] = int64(rng.Intn(3*width + 2))
+		}
+		b.Run(fmt.Sprintf("branchless/width=%d", width), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += searchKeys(keys, probes[i&4095])
+			}
+			sinkInt = sink
+		})
+		b.Run(fmt.Sprintf("branchy/width=%d", width), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += branchyLowerBound(keys, probes[i&4095])
+			}
+			sinkInt = sink
+		})
+	}
+}
+
+// sinkInt defeats dead-code elimination of the benchmark loop bodies.
+var sinkInt int
+
 func BenchmarkUpperBound(b *testing.B) {
 	keys := make([]int64, 510)
 	for i := range keys {

@@ -51,34 +51,48 @@ func (n *node[K, V]) childAt(idx int) (*node[K, V], bool) {
 	return c, c != nil
 }
 
-// upperBound returns the first index i with keys[i] > k (len(keys) if none).
-// This is the child-routing function for internal nodes.
-func upperBound[K Integer](keys []K, k K) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if keys[mid] <= k {
-			lo = mid + 1
-		} else {
-			hi = mid
+// searchKeys returns the first index i with keys[i] >= k (len(keys) if
+// none): the shared leaf binary search behind find, lowerBound and every
+// hot lookup/insert probe. The halving loop keeps the search range as a
+// (base, length) pair so its only data-dependent branch is a comparison
+// feeding a conditional add, which the compiler lowers to a conditional
+// move — no per-probe branch mispredictions, unlike the classic lo/hi
+// loop (see BenchmarkSearchKeys).
+func searchKeys[K Integer](keys []K, k K) int {
+	lo, n := 0, len(keys)
+	for n > 1 {
+		half := n >> 1
+		if keys[lo+half-1] < k {
+			lo += half
 		}
+		n -= half
+	}
+	if n == 1 && keys[lo] < k {
+		lo++
+	}
+	return lo
+}
+
+// upperBound returns the first index i with keys[i] > k (len(keys) if none).
+// This is the child-routing function for internal nodes. Branchless-shaped
+// like searchKeys.
+func upperBound[K Integer](keys []K, k K) int {
+	lo, n := 0, len(keys)
+	for n > 1 {
+		half := n >> 1
+		if keys[lo+half-1] <= k {
+			lo += half
+		}
+		n -= half
+	}
+	if n == 1 && keys[lo] <= k {
+		lo++
 	}
 	return lo
 }
 
 // lowerBound returns the first index i with keys[i] >= k (len(keys) if none).
-func lowerBound[K Integer](keys []K, k K) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
+func lowerBound[K Integer](keys []K, k K) int { return searchKeys(keys, k) }
 
 // route returns the child index an internal node uses for key k.
 func (n *node[K, V]) route(k K) int { return upperBound(n.keys, k) }
@@ -120,6 +134,22 @@ func (n *node[K, V]) insertChildAt(i int, k K, c *node[K, V]) {
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = c
+}
+
+// insertChildrenAt inserts a contiguous group of pivots and their
+// right-hand children at pivot position i of an internal node, so that
+// rights[0] becomes children[i+1] — insertChildAt generalized to the
+// k-way groups a multi-way split promotes. The caller guarantees the
+// result fits the node's backing capacity (len(children)+len(rights) <=
+// fanout).
+func (n *node[K, V]) insertChildrenAt(i int, pivots []K, rights []*node[K, V]) {
+	k := len(pivots)
+	n.keys = n.keys[:len(n.keys)+k]
+	copy(n.keys[i+k:], n.keys[i:])
+	copy(n.keys[i:], pivots)
+	n.children = n.children[:len(n.children)+k]
+	copy(n.children[i+1+k:], n.children[i+1:])
+	copy(n.children[i+1:], rights)
 }
 
 // removeChildAt removes pivot i and children[i+1] from an internal node

@@ -41,8 +41,28 @@ type Tree[K Integer, V any] struct {
 	nLeaves   atomic.Int64
 	nInternal atomic.Int64
 
+	// scratch recycles the batched write path's per-call working memory
+	// (sort buffers, merge scratch); slab hands out leaf backing arrays in
+	// blocks. Both are GC-transparent: sync.Pool drains every cycle, so
+	// recycled value slices pin dead values for at most one GC period.
+	scratch sync.Pool
+	slab    leafSlab[K, V]
+
 	c counters
 }
+
+// leafSlab carves leaf backing arrays out of block allocations: one
+// make() per slabLeaves leaves instead of two per leaf. Splits are the
+// only caller, so the mutex is uncontended in practice. Slices handed out
+// are capacity-clipped, so the never-reallocate invariant of the
+// optimistic read protocol holds exactly as with individual allocations.
+type leafSlab[K Integer, V any] struct {
+	mu sync.Mutex
+	k  []K
+	v  []V
+}
+
+const slabLeaves = 32
 
 // fastPath is the per-tree fast-path metadata (Table 1 in the paper). The
 // same struct backs all modes; pole-specific fields are used only by
@@ -86,6 +106,8 @@ type counters struct {
 	leafReads       atomic.Int64
 	rangeLeafReads  atomic.Int64
 	olcRestarts     atomic.Int64
+	batchRuns       atomic.Int64
+	batchFastRuns   atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a Tree's operation counters and
@@ -108,6 +130,8 @@ type Stats struct {
 	LeafReads       int64 // leaf accesses during point lookups
 	RangeLeafReads  int64 // leaf accesses during range scans
 	OLCRestarts     int64 // optimistic descents restarted by a version conflict
+	BatchRuns       int64 // per-leaf runs installed by the batched write path
+	BatchFastRuns   int64 // batch runs resolved through the fast-path metadata
 
 	Size      int64 // live entries
 	Height    int   // levels (1 = root is a leaf)
@@ -183,6 +207,8 @@ func (t *Tree[K, V]) Stats() Stats {
 		LeafReads:       t.c.leafReads.Load(),
 		RangeLeafReads:  t.c.rangeLeafReads.Load(),
 		OLCRestarts:     t.c.olcRestarts.Load(),
+		BatchRuns:       t.c.batchRuns.Load(),
+		BatchFastRuns:   t.c.batchFastRuns.Load(),
 		Size:            t.size.Load(),
 		Height:          int(t.height.Load()),
 		Leaves:          t.nLeaves.Load(),
@@ -198,7 +224,8 @@ func (t *Tree[K, V]) ResetCounters() {
 		&c.fastInserts, &c.topInserts, &c.updates, &c.leafSplits,
 		&c.internalSplits, &c.variableSplits, &c.redistributions, &c.resets,
 		&c.catchUps, &c.deletes, &c.borrows, &c.merges, &c.nodeReads,
-		&c.leafReads, &c.rangeLeafReads, &c.olcRestarts,
+		&c.leafReads, &c.rangeLeafReads, &c.olcRestarts, &c.batchRuns,
+		&c.batchFastRuns,
 	} {
 		a.Store(0)
 	}
@@ -257,10 +284,19 @@ func (t *Tree[K, V]) MemoryFootprint() int64 {
 // a prerequisite of the optimistic read protocol (see node docs).
 func (t *Tree[K, V]) newLeaf() *node[K, V] {
 	t.nLeaves.Add(1)
+	c := t.cfg.LeafCapacity + 1
+	t.slab.mu.Lock()
+	if len(t.slab.k) < c {
+		t.slab.k = make([]K, slabLeaves*c)
+		t.slab.v = make([]V, slabLeaves*c)
+	}
+	k, v := t.slab.k[:0:c], t.slab.v[:0:c]
+	t.slab.k, t.slab.v = t.slab.k[c:], t.slab.v[c:]
+	t.slab.mu.Unlock()
 	return &node[K, V]{
 		id:   t.nextID.Add(1),
-		keys: make([]K, 0, t.cfg.LeafCapacity+1),
-		vals: make([]V, 0, t.cfg.LeafCapacity+1),
+		keys: k,
+		vals: v,
 	}
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Bat01Result compares per-key Put against the batched write path
+// (beyond the paper; DESIGN.md §9): the same BoDS stream ingested one key
+// at a time and in PutBatch groups of 16/256/4096, across sortedness
+// levels. The batched path amortizes the sort, descends once per leaf
+// run, and merges each run with one copy — so its advantage grows with
+// both batch size and sortedness.
+type Bat01Result struct {
+	Level      []string // sortedness level
+	Method     []string // per-key | batch=N
+	OpsPerSec  []float64
+	Speedup    []float64 // vs per-key at the same level
+	FastRunPct []float64 // fraction of batch runs resolved via fast-path metadata
+}
+
+// RunBat01 executes the sweep.
+func RunBat01(p harness.Params) Bat01Result {
+	n := p.N
+	levels := []struct {
+		name string
+		k    float64
+	}{{"sorted (K=0%)", 0}, {"near (K=5%)", 0.05}, {"less (K=25%)", 0.25}, {"scrambled (K=100%)", 1.0}}
+	batchSizes := []int{16, 256, 4096}
+
+	var r Bat01Result
+	record := func(level, method string, ops, speedup, fastPct float64) {
+		r.Level = append(r.Level, level)
+		r.Method = append(r.Method, method)
+		r.OpsPerSec = append(r.OpsPerSec, ops)
+		r.Speedup = append(r.Speedup, speedup)
+		r.FastRunPct = append(r.FastRunPct, fastPct)
+	}
+
+	opts := quit.Options{LeafCapacity: p.LeafCapacity, InternalFanout: p.InternalFanout}
+	for _, lvl := range levels {
+		keys := genKeys(p, lvl.k, 1.0)[:n]
+
+		tr := quit.New[int64, int64](opts)
+		runtime.GC()
+		start := time.Now()
+		for _, k := range keys {
+			tr.Insert(k, k)
+		}
+		perKey := float64(n) / time.Since(start).Seconds()
+		record(lvl.name, "per-key", perKey, 1, -1)
+
+		vals := make([]int64, len(keys))
+		copy(vals, keys)
+		for _, bs := range batchSizes {
+			tb := quit.New[int64, int64](opts)
+			runtime.GC()
+			start := time.Now()
+			for i := 0; i < len(keys); i += bs {
+				end := i + bs
+				if end > len(keys) {
+					end = len(keys)
+				}
+				tb.PutBatch(keys[i:end], vals[i:end])
+			}
+			ops := float64(n) / time.Since(start).Seconds()
+			st := tb.Stats()
+			fastPct := 0.0
+			if st.BatchRuns > 0 {
+				fastPct = float64(st.BatchFastRuns) / float64(st.BatchRuns) * 100
+			}
+			record(lvl.name, fmt.Sprintf("batch=%d", bs), ops, ops/perKey, fastPct)
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Bat01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "bat01",
+		Title:   "Batched ingest (beyond the paper): PutBatch vs per-key Put",
+		Note:    "speedup is vs per-key at the same sortedness; %fast-runs = batch runs resolved via fast-path metadata",
+		Headers: []string{"sortedness", "method", "M ops/sec", "speedup", "%fast-runs"},
+	}
+	for i := range r.Level {
+		fast := "-"
+		if r.FastRunPct[i] >= 0 {
+			fast = harness.Fmt(r.FastRunPct[i])
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Level[i],
+			r.Method[i],
+			harness.Fmt(r.OpsPerSec[i] / 1e6),
+			harness.Fmt(r.Speedup[i]) + "x",
+			fast,
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "bat01", Paper: "(extension)", Title: "batched write path: PutBatch vs per-key ingest",
+		Run: func(p harness.Params) []harness.Table { return RunBat01(p).Tables() },
+	})
+}

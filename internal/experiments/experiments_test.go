@@ -362,7 +362,7 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{
 		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
-		"abl01", "abl02", "abl03", "mix01", "dur01",
+		"abl01", "abl02", "abl03", "mix01", "dur01", "bat01",
 	}
 	for _, id := range want {
 		if _, ok := harness.Lookup(id); !ok {
@@ -391,6 +391,25 @@ func TestTablesRender(t *testing.T) {
 		out := buf.String()
 		if !strings.Contains(out, "==") || len(out) < 50 {
 			t.Errorf("%s rendered suspiciously: %q", id, out[:min(len(out), 80)])
+		}
+	}
+}
+
+func TestBat01Shape(t *testing.T) {
+	p := quickParams()
+	p.N = 30_000
+	r := RunBat01(p)
+	if len(r.Level) != 16 { // 4 sortedness levels x (per-key + 3 batch sizes)
+		t.Fatalf("bat01 produced %d rows, want 16", len(r.Level))
+	}
+	for i := range r.Level {
+		if r.OpsPerSec[i] <= 0 {
+			t.Errorf("row %d (%s/%s): non-positive throughput", i, r.Level[i], r.Method[i])
+		}
+		// On sorted input, batched runs should overwhelmingly resolve
+		// through the fast-path metadata.
+		if r.Level[i] == "sorted (K=0%)" && r.Method[i] == "batch=256" && r.FastRunPct[i] < 50 {
+			t.Errorf("sorted batch=256: only %.1f%% fast runs", r.FastRunPct[i])
 		}
 	}
 }

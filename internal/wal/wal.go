@@ -16,6 +16,17 @@
 // for signed key types, exactly inverted on replay); values are gob
 // streams encoded independently per record, so any record can be decoded
 // — or rejected — in isolation.
+//
+// Format version 2 adds the batch record (OpBatch), which shares the
+// frame but carries a whole insertion group under one sequence number and
+// one CRC:
+//
+//	payload = seq(8) | op(1) | count(4) | keys(8*count) | vbytes
+//
+// where vbytes is a single gob stream encoding the []V of values. Old
+// logs contain no OpBatch records and replay unchanged; readers predating
+// version 2 stop at the first batch record with an unknown-op corrupt
+// tail, which recovery treats as a clean prefix.
 package wal
 
 import (
@@ -38,6 +49,9 @@ const (
 	OpInsert Op = 1
 	OpDelete Op = 2
 	OpClear  Op = 3
+	// OpBatch (format version 2) carries a whole insertion group in one
+	// record.
+	OpBatch Op = 4
 )
 
 // String names the operation for diagnostics.
@@ -49,6 +63,8 @@ func (o Op) String() string {
 		return "delete"
 	case OpClear:
 		return "clear"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -118,12 +134,18 @@ func (c Config) withDefaults() Config {
 }
 
 // Record is one logged mutation. Key and Val are meaningful per Op: both
-// for OpInsert, Key alone for OpDelete, neither for OpClear.
+// for OpInsert, Key alone for OpDelete, neither for OpClear. OpBatch
+// records carry the whole group in Keys/Vals instead (always equal in
+// length, in the original application order).
 type Record[K core.Integer, V any] struct {
 	Seq uint64
 	Op  Op
 	Key K
 	Val V
+
+	// Batch fields (OpBatch only).
+	Keys []K
+	Vals []V
 }
 
 // ErrCorruptRecord reports a record whose checksum or structure is invalid
@@ -196,25 +218,77 @@ func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
 	}
 	l.seq = seq
 	l.pending++
+	if err := l.applyPolicy(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBatch logs a whole insertion group as one framed batch record:
+// one sequence number, one CRC and — under SyncAlways — one fsync for
+// the entire group, instead of one per key. Keys and vals must be equal
+// in length and non-empty; argument violations and oversize batches are
+// reported without poisoning the log, since nothing is framed until the
+// record is known to encode and fit.
+func (l *Log[K, V]) AppendBatch(keys []K, vals []V) (uint64, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("wal: batch of %d keys with %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	var vbuf bytes.Buffer
+	if err := gob.NewEncoder(&vbuf).Encode(&vals); err != nil {
+		return 0, fmt.Errorf("wal: encoding batch values: %w", err)
+	}
+	plen := 8 + 1 + 4 + 8*len(keys) + vbuf.Len()
+	if plen > maxRecordPayload {
+		return 0, fmt.Errorf("wal: batch record of %d bytes exceeds the %d-byte payload cap", plen, maxRecordPayload)
+	}
+	seq := l.seq + 1
+	payload := make([]byte, plen)
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	payload[8] = byte(OpBatch)
+	binary.LittleEndian.PutUint32(payload[9:13], uint32(len(keys)))
+	off := 13
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(payload[off:off+8], uint64(k))
+		off += 8
+	}
+	copy(payload[off:], vbuf.Bytes())
+
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(pre[4:8], crc32.Checksum(payload, crcTable))
+	l.buf.Write(pre[:])
+	l.buf.Write(payload)
+	l.seq = seq
+	l.pending++
+	if err := l.applyPolicy(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// applyPolicy flushes or syncs the group-commit buffer as the configured
+// sync policy demands; called after every append.
+func (l *Log[K, V]) applyPolicy() error {
 	switch l.cfg.Sync {
 	case SyncAlways:
-		if err := l.Sync(); err != nil {
-			return 0, err
-		}
+		return l.Sync()
 	case SyncInterval:
 		if l.buf.Len() >= l.cfg.BufBytes || time.Since(l.lastSync) >= l.cfg.Interval {
-			if err := l.Sync(); err != nil {
-				return 0, err
-			}
+			return l.Sync()
 		}
 	case SyncNever:
 		if l.buf.Len() >= l.cfg.BufBytes {
-			if err := l.Flush(); err != nil {
-				return 0, err
-			}
+			return l.Flush()
 		}
 	}
-	return seq, nil
+	return nil
 }
 
 // appendRecord frames one record into w. withVal controls whether the
@@ -345,7 +419,9 @@ func Replay[K core.Integer, V any](r io.Reader, startAfter uint64, apply func(Re
 		}
 		plen := binary.LittleEndian.Uint32(pre[0:4])
 		want := binary.LittleEndian.Uint32(pre[4:8])
-		if plen < 21 || plen > maxRecordPayload {
+		// 13 bytes is the smallest legal payload (a batch header); per-op
+		// minimums are enforced in decodeRecord.
+		if plen < 13 || plen > maxRecordPayload {
 			stats.Tail = fmt.Errorf("wal: record declares %d payload bytes: %w", plen, ErrCorruptRecord)
 			return stats, nil
 		}
@@ -382,25 +458,49 @@ func Replay[K core.Integer, V any](r io.Reader, startAfter uint64, apply func(Re
 	}
 }
 
-// decodeRecord parses one checksum-verified payload.
+// decodeRecord parses one checksum-verified payload. Replay guarantees
+// at least 13 bytes (the batch header); the larger 21-byte minimum of the
+// legacy single-key ops is enforced here, per op.
 func decodeRecord[K core.Integer, V any](payload []byte) (Record[K, V], error) {
 	var rec Record[K, V]
 	rec.Seq = binary.LittleEndian.Uint64(payload[0:8])
 	rec.Op = Op(payload[8])
-	rec.Key = K(binary.LittleEndian.Uint64(payload[9:17]))
-	vlen := binary.LittleEndian.Uint32(payload[17:21])
-	vbytes := payload[21:]
-	if uint32(len(vbytes)) != vlen {
-		return rec, fmt.Errorf("wal: record value length %d, payload carries %d: %w", vlen, len(vbytes), ErrCorruptRecord)
-	}
 	switch rec.Op {
-	case OpInsert:
-		if err := gob.NewDecoder(bytes.NewReader(vbytes)).Decode(&rec.Val); err != nil {
-			return rec, fmt.Errorf("wal: decoding value for seq %d: %v: %w", rec.Seq, err, ErrCorruptRecord) //quitlint:allow errwrap mapping cause onto the typed sentinel
+	case OpInsert, OpDelete, OpClear:
+		if len(payload) < 21 {
+			return rec, fmt.Errorf("wal: %s record payload of %d bytes, need at least 21: %w", rec.Op, len(payload), ErrCorruptRecord)
 		}
-	case OpDelete, OpClear:
-		if vlen != 0 {
+		rec.Key = K(binary.LittleEndian.Uint64(payload[9:17]))
+		vlen := binary.LittleEndian.Uint32(payload[17:21])
+		vbytes := payload[21:]
+		if uint32(len(vbytes)) != vlen {
+			return rec, fmt.Errorf("wal: record value length %d, payload carries %d: %w", vlen, len(vbytes), ErrCorruptRecord)
+		}
+		if rec.Op == OpInsert {
+			if err := gob.NewDecoder(bytes.NewReader(vbytes)).Decode(&rec.Val); err != nil {
+				return rec, fmt.Errorf("wal: decoding value for seq %d: %v: %w", rec.Seq, err, ErrCorruptRecord) //quitlint:allow errwrap mapping cause onto the typed sentinel
+			}
+		} else if vlen != 0 {
 			return rec, fmt.Errorf("wal: %s record carries a value: %w", rec.Op, ErrCorruptRecord)
+		}
+	case OpBatch:
+		count := binary.LittleEndian.Uint32(payload[9:13])
+		if count == 0 {
+			return rec, fmt.Errorf("wal: batch record at seq %d carries no keys: %w", rec.Seq, ErrCorruptRecord)
+		}
+		end := 13 + 8*uint64(count)
+		if uint64(len(payload)) < end {
+			return rec, fmt.Errorf("wal: batch record declares %d keys but carries %d payload bytes: %w", count, len(payload), ErrCorruptRecord)
+		}
+		rec.Keys = make([]K, count)
+		for i := range rec.Keys {
+			rec.Keys[i] = K(binary.LittleEndian.Uint64(payload[13+8*i : 21+8*i]))
+		}
+		if err := gob.NewDecoder(bytes.NewReader(payload[end:])).Decode(&rec.Vals); err != nil {
+			return rec, fmt.Errorf("wal: decoding batch values for seq %d: %v: %w", rec.Seq, err, ErrCorruptRecord) //quitlint:allow errwrap mapping cause onto the typed sentinel
+		}
+		if len(rec.Vals) != int(count) {
+			return rec, fmt.Errorf("wal: batch record carries %d keys but %d values: %w", count, len(rec.Vals), ErrCorruptRecord)
 		}
 	default:
 		return rec, fmt.Errorf("wal: unknown op %d at seq %d: %w", uint8(rec.Op), rec.Seq, ErrCorruptRecord)

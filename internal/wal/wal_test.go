@@ -2,7 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -78,7 +81,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		{Seq: 4, Op: OpClear},
 	}
 	for i, w := range want {
-		if recs[i] != w {
+		if !reflect.DeepEqual(recs[i], w) {
 			t.Errorf("rec %d = %+v, want %+v", i, recs[i], w)
 		}
 	}
@@ -338,6 +341,135 @@ func TestPreambleRoundTrip(t *testing.T) {
 		bad[off] ^= 0x10
 		if _, err := ReadPreamble(bytes.NewReader(bad)); !errors.Is(err, ErrBadPreamble) {
 			t.Fatalf("flip %d: err = %v", off, err)
+		}
+	}
+}
+
+func TestAppendBatchRoundTrip(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	if _, err := l.Append(OpInsert, 1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	keys := []int64{5, 2, 9, 2}
+	vals := []string{"five", "two", "nine", "two-again"}
+	seq, err := l.AppendBatch(keys, vals)
+	if err != nil || seq != 2 {
+		t.Fatalf("AppendBatch = (%d, %v)", seq, err)
+	}
+	if _, err := l.Append(OpDelete, 9, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 3 || stats.Tail != nil {
+		t.Fatalf("replay: %d recs, tail %v", len(recs), stats.Tail)
+	}
+	b := recs[1]
+	if b.Op != OpBatch || b.Seq != 2 {
+		t.Fatalf("batch record: %+v", b)
+	}
+	if !reflect.DeepEqual(b.Keys, keys) || !reflect.DeepEqual(b.Vals, vals) {
+		t.Fatalf("batch payload: keys %v vals %v", b.Keys, b.Vals)
+	}
+	if recs[2].Op != OpDelete || recs[2].Seq != 3 {
+		t.Fatalf("record after batch: %+v", recs[2])
+	}
+}
+
+func TestAppendBatchSingleSync(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	keys := make([]int64, 1000)
+	vals := make([]string, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = "v"
+	}
+	if _, err := l.AppendBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("1000-key batch cost %d fsyncs, want 1", f.syncs)
+	}
+}
+
+func TestAppendBatchArgumentErrors(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	if _, err := l.AppendBatch([]int64{1, 2}, []string{"a"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := l.AppendBatch(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	// Argument errors must not poison the log.
+	if seq, err := l.AppendBatch([]int64{7}, []string{"seven"}); err != nil || seq != 1 {
+		t.Fatalf("append after argument errors: (%d, %v)", seq, err)
+	}
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 1 || stats.Tail != nil || recs[0].Keys[0] != 7 {
+		t.Fatalf("replay: %d recs, tail %v", len(recs), stats.Tail)
+	}
+}
+
+func TestBatchRecordTornAtEveryCut(t *testing.T) {
+	f := &memFile{}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+	if _, err := l.Append(OpInsert, 100, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := f.Len()
+	if _, err := l.AppendBatch([]int64{1, 2, 3, 4, 5}, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), f.Bytes()...)
+	// A cut anywhere inside the batch record recovers all-or-nothing: the
+	// preceding record, never a partial batch.
+	for cut := prefixLen; cut < len(full); cut++ {
+		recs, stats := collect(t, full[:cut], 0)
+		if stats.Applied != 1 || len(recs) != 1 || recs[0].Key != 100 {
+			t.Fatalf("cut %d: applied %d (want the single pre-batch record)", cut, stats.Applied)
+		}
+		if cut > prefixLen && stats.Tail == nil {
+			t.Fatalf("cut %d: mid-record cut reported a clean tail", cut)
+		}
+	}
+	recs, stats := collect(t, full, 0)
+	if stats.Applied != 2 || len(recs[1].Keys) != 5 || stats.Tail != nil {
+		t.Fatalf("intact: applied %d, tail %v", stats.Applied, stats.Tail)
+	}
+}
+
+func TestBatchRecordStructuralCorruption(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		out := make([]byte, 8, 8+len(payload))
+		binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+		return append(out, payload...)
+	}
+	mk := func(mutate func([]byte)) []byte {
+		f := &memFile{}
+		l := New[int64, string](f, 0, Config{Sync: SyncAlways})
+		if _, err := l.AppendBatch([]int64{1, 2}, []string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+		payload := append([]byte(nil), f.Bytes()[8:]...)
+		mutate(payload)
+		return frame(payload)
+	}
+	cases := map[string][]byte{
+		// count = 0
+		"zero count": mk(func(p []byte) { p[9], p[10], p[11], p[12] = 0, 0, 0, 0 }),
+		// count claims more keys than the payload carries
+		"overlong count": mk(func(p []byte) { p[9], p[10], p[11], p[12] = 0xFF, 0xFF, 0xFF, 0x0F }),
+		// truncated to just the 13-byte header (valid frame, no keys)
+		"header only": frame(mk(func([]byte) {})[8 : 8+13]),
+	}
+	for name, data := range cases {
+		recs, stats := collect(t, data, 0)
+		if len(recs) != 0 || !errors.Is(stats.Tail, ErrCorruptRecord) {
+			t.Errorf("%s: %d recs, tail %v (want ErrCorruptRecord)", name, len(recs), stats.Tail)
 		}
 	}
 }

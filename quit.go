@@ -132,6 +132,38 @@ func (tr *Tree[K, V]) Put(key K, val V) (prev V, existed bool) {
 // Insert is Put discarding the previous value.
 func (tr *Tree[K, V]) Insert(key K, val V) { tr.t.Insert(key, val) }
 
+// PutResult reports the outcome of one key in a batched write: Existed is
+// true when the key was already present and its value was overwritten.
+type PutResult = core.PutResult
+
+// ErrNotSorted is returned by ApplySorted (and the bulk-loading methods)
+// when the input keys violate the required ordering.
+var ErrNotSorted = core.ErrNotSorted
+
+// PutBatch inserts a group of entries in one operation, returning one
+// PutResult per input position. Semantically equivalent to calling Put for
+// each pair in order — duplicate keys within the batch resolve last-write-
+// wins, and later occurrences report Existed — but much faster: the batch
+// is sorted once, split into per-leaf runs, and each run is installed with
+// a single tree descent, one merged copy, and (when the leaf overflows) a
+// single multi-way split. Near-sorted batches resolve through the same
+// sortedness-aware fast path as single-key Put. Panics if the slices
+// differ in length; an empty batch returns nil.
+//
+// With Options.Synchronized, PutBatch may run concurrently with readers
+// and other writers; each per-leaf run is atomic with respect to them, the
+// whole batch is not.
+func (tr *Tree[K, V]) PutBatch(keys []K, vals []V) []PutResult {
+	return tr.t.PutBatch(keys, vals)
+}
+
+// ApplySorted is PutBatch for input already in non-decreasing key order:
+// it skips the sort and returns ErrNotSorted — without modifying the tree
+// — when the order does not hold.
+func (tr *Tree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error) {
+	return tr.t.ApplySorted(keys, vals)
+}
+
 // Get returns the value stored under key.
 func (tr *Tree[K, V]) Get(key K) (V, bool) { return tr.t.Get(key) }
 
@@ -162,7 +194,15 @@ func (tr *Tree[K, V]) Scan(fn func(K, V) bool) { tr.t.Scan(fn) }
 func (tr *Tree[K, V]) Len() int { return tr.t.Len() }
 
 // Clear removes every entry, resetting the tree to its freshly-constructed
-// state under the same configuration. Requires external synchronization.
+// state under the same configuration: it swaps in a brand-new core tree
+// (operation counters included), so nodes of the old tree are simply
+// dropped for the garbage collector rather than unlinked one by one.
+//
+// Contract: Clear requires external synchronization even when
+// Options.Synchronized is set — the swap is a plain pointer store, and
+// concurrent operations may straddle the old and new trees. Clear on a
+// bare Tree also has no durability meaning; DurableTree.Clear is the
+// logged, crash-safe variant.
 func (tr *Tree[K, V]) Clear() { tr.t = core.New[K, V](tr.t.Config()) }
 
 // Height returns the number of tree levels (1 = root is a leaf).

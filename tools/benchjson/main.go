@@ -1,0 +1,60 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// stable JSON document (stdout), so the bench trajectory can be committed
+// and diffed without scraping the free-form bench format downstream.
+//
+// The output groups every benchmark line with the package it came from and
+// keeps all reported metrics — ns/op as well as custom b.ReportMetric units
+// like %fast, %fast-runs and syncs/op:
+//
+//	{
+//	  "env": {"goos": "linux", "goarch": "amd64", "cpu": "..."},
+//	  "benchmarks": [
+//	    {"pkg": "...", "name": "BenchmarkBatchIngest/batch=256/near-8",
+//	     "iterations": 500000, "metrics": {"ns/op": 71.2, "%fast-runs": 96.3}}
+//	  ]
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*document, error) {
+	doc := &document{Env: map[string]string{}, Benchmarks: []benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case hasKey(line, "goos"), hasKey(line, "goarch"), hasKey(line, "cpu"):
+			k, v := cutKey(line)
+			doc.Env[k] = v
+		case hasKey(line, "pkg"):
+			_, pkg = cutKey(line)
+		default:
+			if bm, ok := parseBenchLine(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, bm)
+			}
+		}
+	}
+	return doc, sc.Err()
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+type document struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// hasKey reports whether line is a "key: value" header line for key.
+func hasKey(line, key string) bool {
+	return strings.HasPrefix(line, key+":")
+}
+
+func cutKey(line string) (string, string) {
+	k, v, _ := strings.Cut(line, ":")
+	return k, strings.TrimSpace(v)
+}
+
+// parseBenchLine parses one result line of the bench format:
+//
+//	BenchmarkName-8   500000   71.2 ns/op   96.3 %fast-runs
+//
+// i.e. the name, the iteration count, then (value, unit) pairs. Lines that
+// do not have that shape (PASS, ok, blank, test log output) are skipped.
+func parseBenchLine(line, pkg string) (benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		metrics[f[i+1]] = v
+	}
+	return benchmark{Pkg: pkg, Name: f[0], Iterations: iters, Metrics: metrics}, true
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: github.com/quittree/quit
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBatchIngest/batch=256/near-8         	  500000	        71.2 ns/op	        96.3 %fast-runs
+BenchmarkDurableBatchPut/perkey-8             	   20000	     41235 ns/op	         1.000 syncs/op
+PASS
+ok  	github.com/quittree/quit	12.3s
+pkg: github.com/quittree/quit/internal/core
+BenchmarkSearchKeys/branchless/width=510-8    	 5000000	        53.2 ns/op
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || !strings.Contains(doc.Env["cpu"], "Xeon") {
+		t.Fatalf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkBatchIngest/batch=256/near-8" || b0.Iterations != 500000 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 71.2 || b0.Metrics["%fast-runs"] != 96.3 {
+		t.Fatalf("b0 metrics = %v", b0.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["syncs/op"] != 1.0 {
+		t.Fatalf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
+	}
+	if got := doc.Benchmarks[2].Pkg; got != "github.com/quittree/quit/internal/core" {
+		t.Fatalf("b2 pkg = %q", got)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := `BenchmarkOdd-8	  100	 1.0 ns/op	 trailing
+Benchmark-NoIters	abc	1.0 ns/op
+some test log line mentioning BenchmarkX
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The odd-field line still parses its complete (value, unit) pairs; the
+	// other two are skipped outright.
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Metrics["ns/op"] != 1.0 {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+}

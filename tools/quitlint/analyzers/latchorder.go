@@ -25,9 +25,10 @@ import (
 //  3. writeLockOrRestart is reserved for metadata-reached nodes. The
 //     obsolete-failing blocking acquisition exists for exactly one shape of
 //     caller: one that found the node through the fast-path metadata rather
-//     than a latched descent (tryFastInsert). Everywhere else writeLatch
-//     (under a latched ancestor) is the correct primitive, and spraying
-//     writeLatchLive around would paper over descent bugs.
+//     than a latched descent — tryFastInsert for single keys, tryFastRun
+//     for batched runs. Everywhere else writeLatch (under a latched
+//     ancestor) is the correct primitive, and spraying writeLatchLive
+//     around would paper over descent bugs.
 //  4. Raw latch calls are confined. Methods on the latch type may only be
 //     invoked from latch.go / latch_olc.go / latch_race.go; everything else
 //     goes through the tree-level helpers, which carry the Synchronized
@@ -52,10 +53,12 @@ var latchBlockingMethods = map[string]bool{
 }
 
 // writeLatchLiveAllowed names the functions that may acquire a node latch
-// through writeLatchLive / writeLockOrRestart (rule 3): the fast-insert
-// entry point, which reaches the leaf through fp metadata.
+// through writeLatchLive / writeLockOrRestart (rule 3): the per-key and
+// batched fast-path entry points, which reach the leaf through fp
+// metadata rather than a latched descent.
 var writeLatchLiveAllowed = map[string]bool{
 	"tryFastInsert": true,
+	"tryFastRun":    true,
 }
 
 func runLatchOrder(pass *lintkit.Pass) error {
@@ -150,7 +153,7 @@ func checkFuncOrder(pass *lintkit.Pass, latch *types.Named, fd *ast.FuncDecl, se
 		if (name == "writeLatchLive" || (name == "writeLockOrRestart" && isLatchMethod(callee, latch))) &&
 			!writeLatchLiveAllowed[fd.Name.Name] &&
 			!latchFiles[lintkit.Filename(pass.Fset, call.Pos())] {
-			pass.Reportf(call.Pos(), "%s acquires a possibly-unlinked node and is reserved for metadata-reached leaves (tryFastInsert); latched descents must use writeLatch", name)
+			pass.Reportf(call.Pos(), "%s acquires a possibly-unlinked node and is reserved for metadata-reached leaves (tryFastInsert, tryFastRun); latched descents must use writeLatch", name)
 		}
 
 		switch name {

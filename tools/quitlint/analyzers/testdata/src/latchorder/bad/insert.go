@@ -33,6 +33,17 @@ func (t *Tree) strayLive(n *node) bool {
 	return t.writeLatchLive(n) // want "writeLatchLive acquires a possibly-unlinked node and is reserved for metadata-reached leaves"
 }
 
+// sweepRuns stands in for a batch descent helper: it is not on the rule-3
+// allowlist, so reaching a leaf through writeLatchLive instead of a
+// latched descent is flagged even from the batched write path.
+func (t *Tree) sweepRuns(keys []int, n *node) int {
+	if !t.writeLatchLive(n) { // want "writeLatchLive acquires a possibly-unlinked node and is reserved for metadata-reached leaves"
+		return 0
+	}
+	t.writeUnlatch(n)
+	return len(keys)
+}
+
 func (t *Tree) rawLatch(n *node) {
 	n.lt.writeLock() // want "raw latch call writeLock outside latch.go/latch_olc.go/latch_race.go"
 }

@@ -19,6 +19,30 @@ func (t *Tree) tryFastInsert(k int) bool {
 	return true
 }
 
+// tryFastRun is the batched twin of tryFastInsert and follows the same
+// protocol: the probe under meta is non-blocking, and the blocking
+// writeLatchLive acquisition only happens after meta is released, followed
+// by a latch-first revalidation of the metadata snapshot.
+func (t *Tree) tryFastRun(keys []int) int {
+	t.lockMeta()
+	n := t.fpLeaf
+	if !t.tryWriteLatch(n) {
+		t.unlockMeta()
+		if !t.writeLatchLive(n) {
+			return 0
+		}
+		t.lockMeta()
+		if t.fpLeaf != n {
+			t.unlockMeta()
+			t.writeUnlatch(n)
+			return 0
+		}
+	}
+	t.unlockMeta()
+	t.writeUnlatch(n)
+	return len(keys)
+}
+
 // pessimisticInsert blocks on latches freely: meta is not held.
 func (t *Tree) pessimisticInsert(n *node) {
 	t.writeLatch(n)
