@@ -727,3 +727,65 @@ func BenchmarkDurableBatchPut(b *testing.B) {
 		})
 	}
 }
+
+// --- Parallel ingest (DESIGN.md §10) ------------------------------------
+//
+// BenchmarkPutBatchParallel sweeps the worker pool across sortedness
+// levels; workers=1 takes the sequential PutBatch path on the same
+// synchronized tree and is the scalability baseline. Note that single-CPU
+// hosts (GOMAXPROCS=1) serialize the workers, so speedups there measure
+// only the pipeline's overhead; see EXPERIMENTS.md par01.
+
+func BenchmarkPutBatchParallel(b *testing.B) {
+	levels := []struct {
+		name string
+		k    float64
+	}{{"sorted", 0}, {"near", 0.05}, {"scrambled", 1.0}}
+	const bs = 8192
+	for _, lvl := range levels {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("workers=%d/%s", w, lvl.name), func(b *testing.B) {
+				keys := benchKeys(b, lvl.k, 1.0)
+				b.StopTimer()
+				vals := make([]int64, len(keys))
+				copy(vals, keys)
+				b.StartTimer()
+				idx := quit.New[int64, int64](quit.Options{Synchronized: true})
+				for i := 0; i < len(keys); i += bs {
+					end := i + bs
+					if end > len(keys) {
+						end = len(keys)
+					}
+					idx.PutBatchParallel(keys[i:end], vals[i:end], quit.IngestOptions{Workers: w})
+				}
+				st := idx.Stats()
+				if st.BatchRuns > 0 {
+					b.ReportMetric(float64(st.BatchFastRuns)/float64(st.BatchRuns)*100, "%fast-runs")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBuildFromSortedParallel prices the parallel bulk load; the
+// input is strictly increasing by contract, so only the worker count is
+// swept. workers=1 is the sequential BuildFromSorted. ns/op is per key
+// (b.N keys, one build per run).
+func BenchmarkBuildFromSortedParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.StopTimer()
+			keys := make([]int64, b.N)
+			vals := make([]int64, b.N)
+			for i := range keys {
+				keys[i] = int64(i) * 2
+				vals[i] = int64(i)
+			}
+			idx := quit.New[int64, int64](quit.Options{})
+			b.StartTimer()
+			if err := idx.BuildFromSortedParallel(keys, vals, 1.0, w); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -426,22 +426,62 @@ func (d *DurableTree[K, V]) Insert(key K, val V) error {
 // Existed. An empty batch is a durable no-op. A length mismatch returns
 // an error without logging or applying anything.
 func (d *DurableTree[K, V]) PutBatch(keys []K, vals []V) ([]PutResult, error) {
+	return d.batch(keys, vals, false, core.IngestOptions{})
+}
+
+// PutBatchParallel is PutBatch with the in-memory application fanned out
+// over opts.Workers goroutines (see Tree.PutBatchParallel); the batch is
+// still one durable unit framed as a single log record.
+func (d *DurableTree[K, V]) PutBatchParallel(keys []K, vals []V, opts IngestOptions) ([]PutResult, error) {
+	return d.batch(keys, vals, true, opts)
+}
+
+// batch logs and applies one insertion group, pipelining the WAL commit.
+// The record is framed (sequenced + checksummed) under d.mu before the
+// tree is touched but committed only after application and after d.mu is
+// released, so the WAL's disk write overlaps in-memory work — the next
+// batch's framing and application, and under SyncInterval whole batches —
+// instead of serializing ahead of it. The acked-prefix contract is
+// unchanged: this call acknowledges only after Commit, and replay still
+// sees batches in sequence order. On a commit failure the in-memory tree
+// may be ahead of the durable prefix, but the poisoned log refuses all
+// further acknowledgements, so nothing acked is ever lost; reopen to
+// resume from the log. Commit runs against the log the record was framed
+// into even if a concurrent Checkpoint rotates d.log meanwhile — the
+// rotation's final sync makes the record durable and Commit recognizes
+// that before consulting the closed log's sticky error.
+func (d *DurableTree[K, V]) batch(keys []K, vals []V, parallel bool, opts IngestOptions) ([]PutResult, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if !d.open {
+		d.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if len(keys) != len(vals) {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("quit: batch of %d keys with %d values", len(keys), len(vals))
 	}
 	if len(keys) == 0 {
+		d.mu.Unlock()
 		return nil, nil
 	}
 	// Log the original (pre-sort) batch; replay re-sorts deterministically.
-	if _, err := d.log.AppendBatch(keys, vals); err != nil {
+	log := d.log
+	seq, err := log.AppendBatchStart(keys, vals)
+	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
-	return d.t.PutBatch(keys, vals), nil
+	var res []PutResult
+	if parallel {
+		res = d.t.PutBatchParallel(keys, vals, opts)
+	} else {
+		res = d.t.PutBatch(keys, vals)
+	}
+	d.mu.Unlock()
+	if err := log.Commit(seq); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // ApplySorted is PutBatch for input already in non-decreasing key order.
@@ -464,13 +504,24 @@ func (d *DurableTree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error)
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	if _, err := d.log.AppendBatch(keys, vals); err != nil {
+	// Pipelined like PutBatch (see batch): frame, apply, then commit
+	// outside d.mu. Ordering was verified above, before anything was
+	// framed.
+	log := d.log
+	seq, err := log.AppendBatchStart(keys, vals)
+	if err != nil {
 		return nil, err
 	}
 	res, err := d.t.ApplySorted(keys, vals)
 	if err != nil {
 		// Unreachable: ordering and lengths were verified above. Surface
 		// it anyway rather than silently diverging from the log.
+		return nil, err
+	}
+	d.mu.Unlock()
+	err = log.Commit(seq)
+	d.mu.Lock() // re-lock for the deferred unlock
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -1,0 +1,176 @@
+package quit_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/quittree/quit"
+)
+
+// TestDurableParallelIngestWithCheckpoint mixes PutBatchParallel, point
+// reads, range scans, deletes and mid-stream Checkpoints on one
+// DurableTree, then reopens the directory and requires the recovered tree
+// to match the surviving writes exactly. This is the durable round of the
+// parallel-ingest stress suite: the pipelined WAL commit overlaps tree
+// application, the checkpoint rotates the log under it, and recovery must
+// still see every acknowledged batch.
+func TestDurableParallelIngestWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := quit.DurableOptions{
+		Options: quit.Options{LeafCapacity: 16, InternalFanout: 8, Design: quit.QuIT, Synchronized: true},
+		Sync:    quit.SyncInterval,
+	}
+	d, err := quit.Open[int64, int64](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		batches   = 8
+		batchSize = 4096
+	)
+	want := make(map[int64]int64)
+	var wantMu sync.Mutex
+	var readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent readers exercise the RLock surface while batches commit.
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(300 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Int63n(batches * batchSize)
+				d.Get(k)
+				prev := int64(-1)
+				d.Range(k, k+100, func(k2, _ int64) bool {
+					if k2 <= prev {
+						panic(fmt.Sprintf("Range out of order: %d after %d", k2, prev))
+					}
+					prev = k2
+					return true
+				})
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]int64, batchSize)
+	vals := make([]int64, batchSize)
+	for b := 0; b < batches; b++ {
+		base := int64(b * batchSize)
+		for i := range keys {
+			if i%19 == 0 && base > 0 {
+				keys[i] = rng.Int63n(base) // rewrite into ingested territory
+			} else {
+				keys[i] = base + int64(i)
+			}
+			vals[i] = keys[i]*3 + int64(b)
+		}
+		if _, err := d.PutBatchParallel(keys, vals, quit.IngestOptions{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		wantMu.Lock()
+		for i := range keys {
+			want[keys[i]] = vals[i]
+		}
+		wantMu.Unlock()
+
+		switch b % 3 {
+		case 1: // checkpoint mid-stream: rotates the log under the pipeline
+			if err := d.Checkpoint(); err != nil {
+				t.Fatalf("batch %d: Checkpoint: %v", b, err)
+			}
+		case 2: // delete a scatter of ingested keys
+			for i := 0; i < 200; i++ {
+				k := rng.Int63n(base + batchSize)
+				if _, existed, err := d.Delete(k); err != nil {
+					t.Fatal(err)
+				} else if existed {
+					wantMu.Lock()
+					delete(want, k)
+					wantMu.Unlock()
+				}
+			}
+		}
+	}
+	close(stop)
+	readerWG.Wait()
+
+	if got := d.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: snapshot + replayed tail must reproduce exactly the
+	// acknowledged state.
+	d2, err := quit.Open[int64, int64](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Len(); got != len(want) {
+		t.Fatalf("recovered Len = %d, want %d", got, len(want))
+	}
+	got := make(map[int64]int64, len(want))
+	d2.Scan(func(k, v int64) bool { got[k] = v; return true })
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("recovered key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestDurablePutBatchParallelSemantics pins argument handling and result
+// mapping on the durable parallel path.
+func TestDurablePutBatchParallelSemantics(t *testing.T) {
+	dir := t.TempDir()
+	opts := quit.DurableOptions{
+		Options: quit.Options{LeafCapacity: 16, InternalFanout: 8, Synchronized: true},
+		Sync:    quit.SyncAlways,
+	}
+	d, err := quit.Open[int64, int64](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PutBatchParallel([]int64{1}, []int64{1, 2}, quit.IngestOptions{Workers: 4}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if res, err := d.PutBatchParallel(nil, nil, quit.IngestOptions{Workers: 4}); err != nil || res != nil {
+		t.Fatalf("empty batch: (%v, %v)", res, err)
+	}
+	res, err := d.PutBatchParallel([]int64{5, 5, 7}, []int64{1, 2, 3}, quit.IngestOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Existed || res[0].Existed || res[2].Existed {
+		t.Fatalf("duplicate results: %+v", res)
+	}
+	if v, _ := d.Get(5); v != 2 {
+		t.Fatalf("Get(5) = %d, want 2 (last write wins)", v)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := quit.Open[int64, int64](dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if v, _ := d2.Get(5); v != 2 {
+		t.Fatalf("recovered Get(5) = %d, want 2", v)
+	}
+	if _, err := d2.PutBatchParallel([]int64{9}, []int64{9}, quit.IngestOptions{}); err != nil {
+		t.Fatalf("zero options: %v", err)
+	}
+}

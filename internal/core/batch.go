@@ -46,24 +46,33 @@ func (t *Tree[K, V]) PutBatch(keys []K, vals []V) []PutResult {
 	}
 	results := make([]PutResult, len(keys))
 	s := t.getScratch()
-	// One classification scan: peel the ascending backbone from the
-	// displaced outliers. A fully sorted batch (no outliers) skips the sort
-	// machinery outright; a near-sorted one sorts only its outliers and
-	// merges them back in one linear pass — the O(n log n) term shrinks to
-	// O(outliers log outliers). A batch that is not actually near-sorted
-	// (backbone shorter than 3/4) falls back to the full pair sort. Dup
-	// detection rides along on whichever pass runs, so applySortedBatch
-	// never rescans.
+	sk, sv, ord, dup := t.sortedView(keys, vals, s)
+	t.applySortedBatch(sk, sv, results, ord, dup, s)
+	t.scratch.Put(s)
+	return results
+}
+
+// sortedView produces the batch in sorted key order with one adaptive
+// classification scan: it peels the ascending backbone from the displaced
+// outliers. A fully sorted batch (no outliers) skips the sort machinery
+// outright; a near-sorted one sorts only its outliers and merges them back
+// in one linear pass — the O(n log n) term shrinks to O(outliers log
+// outliers). A batch that is not actually near-sorted (backbone shorter
+// than 3/4) falls back to the full pair sort. Dup detection rides along on
+// whichever pass runs, so the dedup stage never rescans. ord maps sorted
+// positions back to input positions (nil when the input was already
+// sorted); the returned slices alias s (or the input) and die with it.
+func (t *Tree[K, V]) sortedView(keys []K, vals []V, s *batchScratch[K, V]) ([]K, []V, []int, bool) {
 	outliers, dup := classifyOutliers(keys, s)
 	switch {
 	case len(outliers) == 0:
-		t.applySortedBatch(keys, vals, results, nil, dup, s)
+		return keys, vals, nil, dup
 	case len(outliers) <= len(keys)/4:
 		// classify's dup covers backbone-adjacent equals; the merge reports
 		// pairs an outlier participates in. Together they cover every
 		// adjacent pair of the merged sequence.
 		sk, sv, ord, mdup := mergeOutliers(keys, vals, outliers, s)
-		t.applySortedBatch(sk, sv, results, ord, dup || mdup, s)
+		return sk, sv, ord, dup || mdup
 	default:
 		// Sort (key, origin) pairs, stably, so equal keys keep input order
 		// and last-write-wins falls out of taking the final element of each
@@ -85,10 +94,8 @@ func (t *Tree[K, V]) PutBatch(keys []K, vals []V) []PutResult {
 			sv[i] = vals[e.o]
 			dup = dup || (i > 0 && e.k == ents[i-1].k)
 		}
-		t.applySortedBatch(sk, sv, results, ord, dup, s)
+		return sk, sv, ord, dup
 	}
-	t.scratch.Put(s)
-	return results
 }
 
 // batchScratch is the recycled working memory of one PutBatch call: the
@@ -321,45 +328,62 @@ func isNonDecreasing[K Integer](keys []K) bool {
 // whether keys contains equal neighbors — the classification/merge pass
 // that produced the sorted view already knows, so no rescan here.
 func (t *Tree[K, V]) applySortedBatch(keys []K, vals []V, results []PutResult, ord []int, dup bool, s *batchScratch[K, V]) {
-	pos := func(i int) int {
-		if ord == nil {
-			return i
-		}
-		return ord[i]
-	}
-	uk := keys
-	uv := vals
-	var first []int // first[u] = sorted position of unique key u
-	if dup {
-		uk = grow(&s.uk, len(keys))[:0]
-		uv = grow(&s.uv, len(keys))[:0]
-		first = grow(&s.first, len(keys))[:0]
-		for i := 0; i < len(keys); {
-			j := i + 1
-			for j < len(keys) && keys[j] == keys[i] {
-				j++
-			}
-			uk = append(uk, keys[i])
-			uv = append(uv, vals[j-1]) // last write wins
-			first = append(first, i)
-			// Every occurrence after the first found the key present.
-			for d := i + 1; d < j; d++ {
-				results[pos(d)].Existed = true
-			}
-			i = j
-		}
-	}
+	uk, uv, first := dedupSorted(keys, vals, results, ord, dup, s)
 	existed := grow(&s.existed, len(uk))
 	clear(existed)
 	t.applyRuns(uk, uv, existed)
+	mapExisted(existed, results, ord, first)
+}
+
+// dedupSorted collapses duplicate keys of the sorted view (last occurrence
+// wins), marking every later occurrence Existed in results, and returns the
+// unique keys/values plus first[u] = the sorted position of unique key u
+// (first == nil when the view had no duplicates and uk/uv alias keys/vals).
+func dedupSorted[K Integer, V any](keys []K, vals []V, results []PutResult, ord []int, dup bool, s *batchScratch[K, V]) (uk []K, uv []V, first []int) {
+	uk, uv = keys, vals
+	if !dup {
+		return uk, uv, nil
+	}
+	uk = grow(&s.uk, len(keys))[:0]
+	uv = grow(&s.uv, len(keys))[:0]
+	first = grow(&s.first, len(keys))[:0]
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		uk = append(uk, keys[i])
+		uv = append(uv, vals[j-1]) // last write wins
+		first = append(first, i)
+		// Every occurrence after the first found the key present.
+		for d := i + 1; d < j; d++ {
+			results[sortedPos(ord, d)].Existed = true
+		}
+		i = j
+	}
+	return uk, uv, first
+}
+
+// sortedPos maps a sorted-view position back to the input position.
+func sortedPos(ord []int, i int) int {
+	if ord == nil {
+		return i
+	}
+	return ord[i]
+}
+
+// mapExisted folds the per-unique-key existence flags back onto the
+// per-input-position results, through the dedup (first) and sort (ord)
+// mappings.
+func mapExisted(existed []bool, results []PutResult, ord, first []int) {
 	for u, ex := range existed {
 		if !ex {
 			continue
 		}
 		if first == nil {
-			results[pos(u)].Existed = true
+			results[sortedPos(ord, u)].Existed = true
 		} else {
-			results[pos(first[u])].Existed = true
+			results[sortedPos(ord, first[u])].Existed = true
 		}
 	}
 }
@@ -408,13 +432,25 @@ func (t *Tree[K, V]) applyRuns(keys []K, vals []V, existed []bool) {
 // one: consecutive runs of a sorted batch land in nearby leaves, so most
 // descents resume one level above the leaf instead of at the root.
 func (t *Tree[K, V]) sweepRuns(keys []K, vals []V, existed []bool) {
+	t.sweepRunsPolicy(keys, vals, existed, true)
+}
+
+// sweepRunsPolicy is sweepRuns with the fast-path policy made explicit.
+// policy=false is the parallel-worker discipline (DESIGN.md §10): no
+// fast-path probes (the designated tail worker is the only one allowed to
+// race the pole metadata) and, after each install, only the mandatory
+// metadata repairs — never resets, catch-up, or fail charging — so
+// concurrent workers cannot fight over pole placement.
+func (t *Tree[K, V]) sweepRunsPolicy(keys []K, vals []V, existed []bool, policy bool) {
 	var hint descentHint[K, V]
 	for pos := 0; pos < len(keys); {
-		if n := t.tryFastRun(keys[pos:], vals[pos:], existed[pos:]); n > 0 {
-			pos += n
-			continue
+		if policy {
+			if n := t.tryFastRun(keys[pos:], vals[pos:], existed[pos:]); n > 0 {
+				pos += n
+				continue
+			}
 		}
-		pos += t.topRun(keys[pos:], vals[pos:], existed[pos:], &hint)
+		pos += t.topRun(keys[pos:], vals[pos:], existed[pos:], &hint, policy)
 	}
 }
 
@@ -648,9 +684,11 @@ func (t *Tree[K, V]) mergeRunIntoLeaf(leaf *node[K, V], keys []K, vals []V, exis
 // takes the pessimistic descent, where the full path stays latched (a run
 // may split multi-way, which can touch every ancestor) — one
 // latch-acquisition sequence per run instead of one per key either way.
-// Returns the number of keys consumed (>= 1).
-func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V]) int {
-	if n, ok := t.tryOptimisticRun(keys, vals, existed, hint); ok {
+// Returns the number of keys consumed (>= 1). policy=false restricts the
+// after-install bookkeeping to the mandatory metadata repairs (parallel
+// workers; see sweepRunsPolicy).
+func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V], policy bool) int {
+	if n, ok := t.tryOptimisticRun(keys, vals, existed, hint, policy); ok {
 		return n
 	}
 	// The pessimistic path may restructure any level, which invalidates
@@ -683,7 +721,11 @@ func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHin
 		ups, rights = t.multiWaySplitInstall(nodes, leaf, run, runVals, runExisted, hi)
 	}
 	adds := n - ups
-	t.afterRunInstall(nodes, leaf, rights, run, lo, hi, adds)
+	if policy {
+		t.afterRunInstall(nodes, leaf, rights, run, lo, hi, adds)
+	} else {
+		t.afterRunMandatory(nodes, leaf, rights, run, adds)
+	}
 	for _, r := range rights {
 		// Split-off leaves were published write-latched (leaf chain, tail,
 		// new ancestors); release them only now that the run install and
@@ -706,7 +748,7 @@ func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHin
 // split latches the whole path), or in synchronized POLE/QuIT mode it may
 // land in the pole region, where a redistribution can rewrite a separator
 // pivot arbitrarily high up.
-func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V]) (int, bool) {
+func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *descentHint[K, V], policy bool) (int, bool) {
 	if t.synced && (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) {
 		t.lockMeta()
 		inPole := t.fp.leaf != nil && t.fpContains(keys[0])
@@ -802,7 +844,11 @@ func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *
 		}
 		ups := t.mergeRunIntoLeaf(leaf, keys[:rn], vals[:rn], existed[:rn])
 		adds := rn - ups
-		t.afterRunInstall(path, leaf, nil, keys[:rn], lo, hi, adds)
+		if policy {
+			t.afterRunInstall(path, leaf, nil, keys[:rn], lo, hi, adds)
+		} else {
+			t.afterRunMandatory(path, leaf, nil, keys[:rn], adds)
+		}
 		t.writeUnlatch(leaf)
 		t.c.topInserts.Add(int64(adds))
 		t.c.updates.Add(int64(ups))
@@ -1047,11 +1093,12 @@ func chunkBounds(n, m int) []int {
 }
 
 // propagateMultiSplit inserts a contiguous group of (pivot, right-child)
-// pairs — all replacements of a single split child — into the ancestors
+// pairs — all replacements of a single split child, or a frontier chain
+// spliced after the rightmost leaf (spliceFrontier) — into the ancestors
 // on path, carving overfull internal nodes into balanced multi-way chunks
 // and growing as many new root levels as the promoted pivots require. The
-// caller holds write latches on the entire path (topRun descends with
-// holdAll). Incoming leaf-level rights stay latched for the caller;
+// caller holds write latches on the entire path (topRun and the splice
+// descend with holdAll). Incoming leaf-level rights stay latched for the caller;
 // internal nodes minted here are released once they are wired into a
 // parent or, for new root levels, once the root pointer is published.
 func (t *Tree[K, V]) propagateMultiSplit(path []*node[K, V], pivots []K, rights []*node[K, V]) {
@@ -1326,4 +1373,49 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		fp.prevValid = true
 	}
 	t.c.resets.Add(1)
+}
+
+// afterRunMandatory is the policy-free subset of afterRunInstall run by
+// parallel workers (sweepRunsPolicy with policy=false): only the fast-path
+// metadata repairs the structural validator demands — fp bounds clamped
+// when fp.leaf splits, exact fp.size / pole_prev sizes, ModeTail's
+// fp-follows-tail invariant, and pole_prev chain identity when the leaf
+// left of the pole splits. No resets, no catch-up, no fail charging: pole
+// placement stays with the designated tail worker, so concurrent workers
+// never tug the pole around. The caller holds the same latches
+// afterRunInstall expects (leaf and any split-off rights write-latched).
+func (t *Tree[K, V]) afterRunMandatory(path []*node[K, V], leaf *node[K, V], rights []*node[K, V], run []K, adds int) {
+	if t.cfg.Mode == ModeNone || (adds == 0 && len(rights) == 0) {
+		return
+	}
+	t.lockMeta()
+	defer t.unlockMeta()
+	fp := &t.fp
+	if leaf == fp.leaf {
+		if len(rights) > 0 {
+			fp.max, fp.hasMax = rights[0].keys[0], true
+		}
+		fp.size = len(leaf.keys)
+	}
+	if t.cfg.Mode == ModeTail && len(rights) > 0 {
+		// The rightmost leaf split: tail mode's metadata must follow the new
+		// tail (Validate enforces fp.leaf == tail), and the new tail's left
+		// neighbors are ours and latched, so the repointing is race-free.
+		if last := rights[len(rights)-1]; last.next.Load() == nil {
+			t.setFP(last, closed(last.keys[0]), bound[K]{}, pathWithLeaf(path, last))
+		}
+	}
+	if fp.prevValid && fp.prev == leaf {
+		if len(rights) > 0 {
+			// pole_prev split: the chunk that is now the pole's left neighbor
+			// takes over, exactly as in afterRunInstall / splitOther.
+			last := rights[len(rights)-1]
+			fp.prev, fp.prevMin, fp.prevSize = last, last.keys[0], len(last.keys)
+		} else {
+			fp.prevSize = len(leaf.keys)
+			if run[0] < fp.prevMin {
+				fp.prevMin = run[0]
+			}
+		}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrNotSorted is returned by bulk operations when the input violates the
@@ -101,29 +102,9 @@ func (t *Tree[K, V]) rightSpine() []*node[K, V] {
 // classical offline bulk-loading the paper contrasts with incremental
 // ingestion (§1). Requires external synchronization.
 func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
-	if t.Len() != 0 {
-		return ErrNotEmpty
-	}
-	if len(keys) != len(vals) {
-		return fmt.Errorf("core: BuildFromSorted keys/vals length mismatch: %d vs %d", len(keys), len(vals))
-	}
-	if len(keys) == 0 {
-		return nil
-	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i] <= keys[i-1] {
-			return ErrNotSorted
-		}
-	}
-	if fill <= 0 {
-		fill = 1
-	}
-	target := int(fill * float64(t.cfg.LeafCapacity))
-	if target < 1 {
-		target = 1
-	}
-	if target > t.cfg.LeafCapacity {
-		target = t.cfg.LeafCapacity
+	target, err := t.checkBuildInput(keys, vals, fill)
+	if err != nil || len(keys) == 0 {
+		return err
 	}
 
 	// Build the leaf level. The pre-existing empty root leaf is reused as
@@ -148,6 +129,40 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 		leaves = append(leaves, leaf)
 		pos += n
 	}
+	t.finishBuild(leaves, len(keys))
+	return nil
+}
+
+// checkBuildInput validates a BuildFromSorted input and resolves the
+// per-leaf fill target (see BulkAppend for the fill semantics).
+func (t *Tree[K, V]) checkBuildInput(keys []K, vals []V, fill float64) (target int, err error) {
+	if t.Len() != 0 {
+		return 0, ErrNotEmpty
+	}
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("core: BuildFromSorted keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return 0, ErrNotSorted
+		}
+	}
+	if fill <= 0 {
+		fill = 1
+	}
+	target = int(fill * float64(t.cfg.LeafCapacity))
+	if target < 1 {
+		target = 1
+	}
+	if target > t.cfg.LeafCapacity {
+		target = t.cfg.LeafCapacity
+	}
+	return target, nil
+}
+
+// finishBuild installs a fully linked leaf level: head/tail pointers, the
+// internal levels built bottom-up, and the fast-path reset.
+func (t *Tree[K, V]) finishBuild(leaves []*node[K, V], total int) {
 	t.head.Store(leaves[0])
 	t.tail.Store(leaves[len(leaves)-1])
 
@@ -176,10 +191,59 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 	}
 	t.root.Store(level[0])
 	t.height.Store(int32(height))
-	t.size.Store(int64(len(keys)))
+	t.size.Store(int64(total))
 	if t.cfg.Mode != ModeNone {
 		t.resetFPToTail()
 	}
+}
+
+// BuildFromSortedParallel is BuildFromSorted with the leaf level
+// constructed by `workers` goroutines. Each worker owns a contiguous range
+// of leaf indices and fills its leaves independently (leaf i always holds
+// entries [i*target, (i+1)*target)); the chain links, internal levels, and
+// tree header are stitched single-threaded afterwards, so the resulting
+// tree is byte-for-byte the shape BuildFromSorted produces. Requires
+// external synchronization, like all bulk loads.
+func (t *Tree[K, V]) BuildFromSortedParallel(keys []K, vals []V, fill float64, workers int) error {
+	target, err := t.checkBuildInput(keys, vals, fill)
+	if err != nil || len(keys) == 0 {
+		return err
+	}
+	nLeaves := (len(keys) + target - 1) / target
+	if workers <= 1 || nLeaves < 2*workers {
+		return t.BuildFromSorted(keys, vals, fill)
+	}
+
+	leaves := make([]*node[K, V], nLeaves)
+	first := t.head.Load()
+	first.keys = first.keys[:0]
+	first.vals = first.vals[:0]
+	per := (nLeaves + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < nLeaves; lo += per {
+		hi := min(lo+per, nLeaves)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for li := lo; li < hi; li++ {
+				start := li * target
+				end := min(start+target, len(keys))
+				leaf := first
+				if li > 0 {
+					leaf = t.newLeaf() // slab-locked; safe concurrently
+				}
+				leaf.keys = append(leaf.keys, keys[start:end]...)
+				leaf.vals = append(leaf.vals, vals[start:end]...)
+				leaves[li] = leaf
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := 1; i < nLeaves; i++ {
+		leaves[i].prev.Store(leaves[i-1])
+		leaves[i-1].next.Store(leaves[i])
+	}
+	t.finishBuild(leaves, len(keys))
 	return nil
 }
 

@@ -251,8 +251,10 @@ func (t *Tree[K, V]) tryOptimisticInsert(key K, val V) (prev V, existed, handled
 // path and the leaf's routing bounds. In synchronized mode it lock-crabs:
 // ancestors are released as soon as a child is guaranteed not to split;
 // when holdAll is set every node on the path stays write-latched (needed
-// when a QuIT redistribution may rewrite a separator pivot high up).
-// lockedFrom is the index of the shallowest still-latched path entry.
+// when a QuIT redistribution may rewrite a separator pivot high up, and
+// when a batch run or frontier splice may promote several pivots at
+// once). lockedFrom is the index of the shallowest still-latched path
+// entry.
 func (t *Tree[K, V]) descendForWrite(key K, holdAll bool) (path []pathEntry[K, V], lockedFrom int, lo, hi bound[K]) {
 	r := t.writeLockedRoot()
 	path = make([]pathEntry[K, V], 0, 8)

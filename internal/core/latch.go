@@ -98,10 +98,12 @@ func (t *Tree[K, V]) writeLatch(n *node[K, V]) {
 
 // writeLatchLive acquires n's write latch pessimistically, failing when n
 // was merged away (marked obsolete) before the latch was won. This is the
-// acquisition for nodes reached outside the latched descent — the fast-path
-// leaf, located via metadata — where a concurrent rebalance can unlink the
-// node while the caller blocks. On failure the caller must re-route through
-// a fresh descent.
+// acquisition for nodes reached outside the latched descent — the
+// fast-path leaf located via fp metadata (tryFastInsert, tryFastRun) and
+// the rightmost leaf located via the atomic tail pointer (tryTailTopUp) —
+// where a concurrent rebalance can unlink the node while the caller
+// blocks. Exactly these callers are allowlisted by quitlint's latchorder
+// rule 3. On failure the caller must re-route through a fresh descent.
 func (t *Tree[K, V]) writeLatchLive(n *node[K, V]) bool {
 	if !t.synced {
 		return true

@@ -1,0 +1,367 @@
+package core
+
+import "sync"
+
+// parallel.go is the parallel ingest pipeline (DESIGN.md §10): PutBatch's
+// run engine fanned out over a bounded worker pool. The batch is classified
+// and deduplicated once on the calling goroutine (reusing the adaptive sort
+// of batch.go), then split at the tree's current maximum key:
+//
+//   - Keys beyond the maximum — the frontier, which is the bulk of a
+//     near-sorted batch — are guaranteed absent, so workers build fully
+//     packed leaves for them concurrently without touching the tree at
+//     all, and the coordinator splices the finished chain after the
+//     rightmost leaf under one latched descent.
+//   - The remaining interior keys are partitioned into contiguous chunks
+//     aligned to separator keys sampled from the root, so each worker's
+//     runs land in a disjoint subtree and writers rarely meet on a leaf.
+//     Workers apply their runs through the existing OLC write-latch
+//     protocol (topRun/tryOptimisticRun are already safe under concurrent
+//     writers); only the fast-path policy is withheld from them.
+//
+// Worker latch discipline: exactly one actor per batch may race the shared
+// fast-path metadata — the coordinator when a frontier exists (its tail
+// top-up and splice), otherwise the worker owning the rightmost interior
+// chunk, which runs the full applyRuns policy including tryFastRun. Every
+// other worker runs sweepRunsPolicy(policy=false): no fast-path probes,
+// and only the mandatory metadata repairs after an install. fp-meta stays
+// strictly innermost throughout, exactly as in the sequential path.
+
+// IngestOptions tunes PutBatchParallel.
+type IngestOptions struct {
+	// Workers bounds the worker pool. Values <= 1 (or batches too small to
+	// amortize goroutine dispatch) run the sequential PutBatch.
+	Workers int
+}
+
+// parallelMinBatch is the batch size below which PutBatchParallel falls
+// back to the sequential path: goroutine dispatch and the partitioning
+// pass cost more than they save on small batches.
+const parallelMinBatch = 2048
+
+// PutBatchParallel is PutBatch with the run installation fanned out over
+// opts.Workers goroutines. Semantics are identical to PutBatch (sequential
+// Put per pair, last-write-wins duplicates, one PutResult per position);
+// only the installation order of disjoint runs differs, which is
+// unobservable. It panics if the slices have different lengths.
+//
+// Concurrency: safe with concurrent readers and writers when the tree is
+// Synchronized — workers use the same OLC write-latch protocol as
+// concurrent PutBatch callers would. On an unsynchronized tree the caller
+// must still provide external synchronization; the frontier leaf build is
+// then the only part that fans out (it touches no shared structure until
+// the single-threaded splice).
+func (t *Tree[K, V]) PutBatchParallel(keys []K, vals []V, opts IngestOptions) []PutResult {
+	if len(keys) != len(vals) {
+		panic(errBatchLenMismatch(len(keys), len(vals)).Error())
+	}
+	if opts.Workers <= 1 || len(keys) < parallelMinBatch {
+		return t.PutBatch(keys, vals)
+	}
+	results := make([]PutResult, len(keys))
+	s := t.getScratch()
+	sk, sv, ord, dup := t.sortedView(keys, vals, s)
+	uk, uv, first := dedupSorted(sk, sv, results, ord, dup, s)
+	existed := grow(&s.existed, len(uk))
+	clear(existed)
+	t.applyParallel(uk, uv, existed, opts.Workers)
+	mapExisted(existed, results, ord, first)
+	t.scratch.Put(s)
+	t.c.parallelBatches.Add(1)
+	return results
+}
+
+// applyParallel installs the sorted, unique batch with up to `workers`
+// concurrent goroutines. Workers write disjoint index ranges of existed
+// and share nothing else but the tree itself.
+func (t *Tree[K, V]) applyParallel(keys []K, vals []V, existed []bool, workers int) {
+	// The frontier boundary: keys beyond the current maximum are absent by
+	// definition and buildable as a packed chain. The snapshot is
+	// optimistic — the splice revalidates under its latches and falls back
+	// to the general sweep if a concurrent writer advanced the maximum.
+	frontier := 0
+	if maxK, _, ok := t.Max(); ok {
+		frontier = upperBound(keys, maxK)
+	}
+	ends := t.partitionKeys(keys[:frontier], workers)
+
+	var wg sync.WaitGroup
+	if t.synced {
+		start := 0
+		for ci, end := range ends {
+			ks, vs, ex := keys[start:end], vals[start:end], existed[start:end]
+			// The rightmost interior chunk is the designated tail worker
+			// when no frontier exists: it alone runs the full fast-path
+			// policy (tryFastRun probes, pole bookkeeping).
+			policy := ci == len(ends)-1 && frontier == len(keys)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if policy {
+					t.applyRuns(ks, vs, ex)
+				} else {
+					t.sweepRunsPolicy(ks, vs, ex, false)
+				}
+			}()
+			start = end
+		}
+	}
+	if frontier < len(keys) {
+		t.ingestFrontier(keys[frontier:], vals[frontier:], existed[frontier:], workers)
+	}
+	if !t.synced && frontier > 0 {
+		// Without latches, interior runs cannot fan out; they still benefit
+		// from the frontier having been peeled off and built in parallel.
+		t.applyRuns(keys[:frontier], vals[:frontier], existed[:frontier])
+	}
+	wg.Wait()
+}
+
+// partitionKeys cuts the sorted interior keys into at most `parts`
+// contiguous chunks of roughly equal size, aligning each cut to a
+// separator key sampled from the root when one lies nearby, so chunks map
+// onto disjoint subtrees and workers rarely contend for the same leaves.
+// Returns the chunk end offsets (the last is len(keys)); an empty input
+// yields no chunks. Sampling is optimistic and only affects balance —
+// correctness rests entirely on the latch protocol — so a stale or failed
+// sample just degrades to even cuts.
+func (t *Tree[K, V]) partitionKeys(keys []K, parts int) []int {
+	if len(keys) == 0 {
+		return nil
+	}
+	ends := make([]int, 0, parts)
+	seps := t.sampleSeparators()
+	slack := len(keys) / (2 * parts)
+	for w := 1; w < parts; w++ {
+		ideal := len(keys) * w / parts
+		pos := ideal
+		if len(seps) > 0 {
+			// Snap to the separator whose cut position lies closest to the
+			// even cut, if any falls within half a chunk of it.
+			j := searchKeys(seps, keys[ideal])
+			best, bestDist := -1, slack+1
+			for _, c := range []int{j - 1, j} {
+				if c < 0 || c >= len(seps) {
+					continue
+				}
+				p := searchKeys(keys, seps[c])
+				d := p - ideal
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDist {
+					best, bestDist = p, d
+				}
+			}
+			if best >= 0 {
+				pos = best
+			}
+		}
+		if pos <= 0 || pos >= len(keys) {
+			continue
+		}
+		if len(ends) > 0 && pos <= ends[len(ends)-1] {
+			continue
+		}
+		ends = append(ends, pos)
+	}
+	return append(ends, len(keys))
+}
+
+// sampleSeparators snapshots the root's separator keys under an optimistic
+// read latch. A failed validation returns nil (even partitioning); a
+// sample that goes stale immediately after is equally harmless.
+func (t *Tree[K, V]) sampleSeparators() []K {
+	n, v := t.readRoot()
+	var seps []K
+	if !n.isLeaf() { // a leaf root has no separators
+		seps = make([]K, len(n.keys))
+		copy(seps, n.keys)
+	}
+	if !t.readUnlatch(n, v) {
+		return nil
+	}
+	return seps
+}
+
+// capFillTarget is the packed-chunk size shared by the frontier builder
+// and leafCuts: MaxFill of a leaf, clamped to [1, capacity].
+func (t *Tree[K, V]) capFillTarget() int {
+	c := t.cfg.LeafCapacity
+	capFill := int(t.cfg.MaxFill * float64(c))
+	if capFill < 1 {
+		capFill = 1
+	}
+	if capFill > c {
+		capFill = c
+	}
+	return capFill
+}
+
+// ingestFrontier installs the strictly-beyond-the-maximum suffix of the
+// batch: top up the current tail leaf, build fully packed leaves for the
+// rest with `workers` goroutines (the leaves touch no shared structure
+// until published), and splice the finished chain after the rightmost
+// leaf in one latched descent. Races with concurrent writers are detected
+// under the latches and degrade to the general run sweep.
+func (t *Tree[K, V]) ingestFrontier(keys []K, vals []V, existed []bool, workers int) {
+	if n := t.tryTailTopUp(keys, vals); n > 0 {
+		keys, vals, existed = keys[n:], vals[n:], existed[n:]
+		if len(keys) == 0 {
+			return
+		}
+	}
+	capFill := t.capFillTarget()
+	if len(keys) < capFill {
+		// Less than one packed leaf left: the run sweep handles it with a
+		// single descent (full policy — this is the tail region).
+		t.sweepRuns(keys, vals, existed)
+		return
+	}
+
+	// Build the chain: leaf i holds keys[i*capFill : (i+1)*capFill], fully
+	// packed except the last, which becomes the new open tail. Workers own
+	// disjoint leaf index ranges; newLeaf is safe concurrently (the slab
+	// allocator locks, ids and counters are atomic) and the fresh leaves
+	// are created write-latched so readers reached through the published
+	// chain validate against them, exactly as split-off leaves are.
+	nLeaves := (len(keys) + capFill - 1) / capFill
+	chain := make([]*node[K, V], nLeaves)
+	per := (nLeaves + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < nLeaves; lo += per {
+		hi := min(lo+per, nLeaves)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for li := lo; li < hi; li++ {
+				start := li * capFill
+				end := min(start+capFill, len(keys))
+				lf := t.newLeaf()
+				t.writeLatch(lf) // uncontended: not yet published
+				lf.keys = append(lf.keys, keys[start:end]...)
+				lf.vals = append(lf.vals, vals[start:end]...)
+				chain[li] = lf
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := 1; i < nLeaves; i++ {
+		chain[i].prev.Store(chain[i-1])
+		chain[i-1].next.Store(chain[i])
+	}
+	pivots := make([]K, nLeaves)
+	for i, lf := range chain {
+		pivots[i] = lf.keys[0]
+	}
+
+	if !t.spliceFrontier(chain, pivots) {
+		// A concurrent writer advanced the maximum past the chain's first
+		// key. Nothing was published: unlatch and discard the chain (the
+		// leaf counter must not count unreachable nodes) and fall back.
+		for _, lf := range chain {
+			t.writeUnlatch(lf)
+		}
+		t.nLeaves.Add(int64(-nLeaves))
+		t.sweepRuns(keys, vals, existed)
+		return
+	}
+	t.c.fastInserts.Add(int64(len(keys)))
+	t.c.batchRuns.Add(1)
+	t.c.frontierSplices.Add(1)
+	t.size.Add(int64(len(keys)))
+}
+
+// tryTailTopUp appends the longest prefix of a strictly-frontier run (all
+// keys beyond the tree maximum) into the tail leaf's spare packed
+// capacity under a single leaf latch. Like tryFastRun it reaches its leaf
+// through metadata — the atomic tail pointer — rather than a latched
+// descent, so it must use the obsolete-failing writeLatchLive and
+// revalidate after acquiring: the leaf may have been split past or merged
+// away in the window. Returns the number of keys consumed (0 on any lost
+// race; the caller's splice or sweep revalidates from scratch anyway).
+func (t *Tree[K, V]) tryTailTopUp(keys []K, vals []V) int {
+	tail := t.tail.Load()
+	if !t.writeLatchLive(tail) {
+		return 0
+	}
+	if tail.next.Load() != nil || (len(tail.keys) > 0 && keys[0] <= tail.keys[len(tail.keys)-1]) {
+		// No longer the rightmost leaf, or a concurrent writer advanced the
+		// maximum to or past the run's first key.
+		t.writeUnlatch(tail)
+		return 0
+	}
+	n := min(t.capFillTarget()-len(tail.keys), len(keys))
+	if n <= 0 {
+		t.writeUnlatch(tail)
+		return 0
+	}
+	tail.keys = append(tail.keys, keys[:n]...)
+	tail.vals = append(tail.vals, vals[:n]...)
+	if t.cfg.Mode != ModeNone {
+		t.lockMeta()
+		if t.fp.leaf == tail {
+			t.fp.size = len(tail.keys)
+		}
+		t.unlockMeta()
+	}
+	t.writeUnlatch(tail)
+	t.c.fastInserts.Add(int64(n))
+	t.c.batchRuns.Add(1)
+	t.c.batchFastRuns.Add(1)
+	t.size.Add(int64(n))
+	return n
+}
+
+// spliceFrontier links a pre-built packed chain after the rightmost leaf:
+// one pessimistic full-path descent (a splice promotes len(chain) pivots
+// at once, the same reason topRun holds the path for a multi-way split),
+// the chain wired into the leaf chain and handed to propagateMultiSplit
+// as one pivot group, and the fast path repointed at the new tail — all
+// before any latch is released, so no reader or fast-path writer can
+// observe the old metadata against the new chain. Returns false, having
+// published nothing, when the rightmost leaf no longer sits below the
+// chain's first key.
+func (t *Tree[K, V]) spliceFrontier(chain []*node[K, V], pivots []K) bool {
+	path, lockedFrom, _, hi := t.descendForWrite(pivots[0], true)
+	leaf := path[len(path)-1].n
+	if hi.ok || len(leaf.keys) == 0 || leaf.keys[len(leaf.keys)-1] >= pivots[0] {
+		// Not the open rightmost leaf anymore — or an empty root leaf,
+		// which must absorb keys before it may grow a chain (an empty leaf
+		// inside a non-empty tree is invalid). The caller falls back.
+		t.unlockPathFrom(path, lockedFrom)
+		return false
+	}
+	nodes := make([]*node[K, V], len(path))
+	for i := range path {
+		nodes[i] = path[i].n
+	}
+	last := chain[len(chain)-1]
+	chain[0].prev.Store(leaf)
+	leaf.next.Store(chain[0])
+	t.tail.Store(last)
+	t.propagateMultiSplit(nodes, pivots, chain)
+	if t.cfg.Mode != ModeNone {
+		// Repoint the fast path at the new tail before any latch drops:
+		// the old rightmost leaf is latched on the path, so no fast-path
+		// writer can slip a key through the stale unbounded metadata.
+		t.lockMeta()
+		t.resetFPToTail()
+		if t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT {
+			// The new tail's left neighbor is ours and still latched, so
+			// pole_prev is exact and the IKR estimator stays armed.
+			if prev := last.prev.Load(); prev != nil && len(prev.keys) > 0 {
+				t.fp.prev = prev
+				t.fp.prevMin = prev.keys[0]
+				t.fp.prevSize = len(prev.keys)
+				t.fp.prevValid = true
+			}
+		}
+		t.unlockMeta()
+	}
+	for _, lf := range chain {
+		t.writeUnlatch(lf)
+	}
+	t.unlockPathFrom(path, lockedFrom)
+	return true
+}

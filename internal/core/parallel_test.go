@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// collect drains a tree into a key->value map via Scan.
+func collect(tr *Tree[int64, int64]) map[int64]int64 {
+	got := make(map[int64]int64, tr.Len())
+	tr.Scan(func(k, v int64) bool {
+		got[k] = v
+		return true
+	})
+	return got
+}
+
+// TestPutBatchParallelMatchesSequential drives every mode, synchronized
+// and not, across the sortedness workloads, and requires PutBatchParallel
+// to produce exactly the tree and results PutBatch does.
+func TestPutBatchParallelMatchesSequential(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeTail, ModeLIL, ModePOLE, ModeQuIT} {
+		for _, synced := range []bool{false, true} {
+			for name, keys := range workloads(6000, 77) {
+				t.Run(fmt.Sprintf("%v/synced=%v/%s", mode, synced, name), func(t *testing.T) {
+					cfg := smallConfig(mode)
+					cfg.Synchronized = synced
+					vals := make([]int64, len(keys))
+					for i := range vals {
+						vals[i] = keys[i] * 10
+					}
+					seqTree := New[int64, int64](cfg)
+					parTree := New[int64, int64](cfg)
+					var wantRes, gotRes []PutResult
+					for pos := 0; pos < len(keys); pos += 2500 {
+						end := min(pos+2500, len(keys))
+						wantRes = append(wantRes, seqTree.PutBatch(keys[pos:end], vals[pos:end])...)
+						gotRes = append(gotRes, parTree.PutBatchParallel(keys[pos:end], vals[pos:end], IngestOptions{Workers: 4})...)
+					}
+					if err := parTree.Validate(); err != nil {
+						t.Fatalf("Validate: %v", err)
+					}
+					for i := range wantRes {
+						if wantRes[i] != gotRes[i] {
+							t.Fatalf("result[%d] = %+v, want %+v", i, gotRes[i], wantRes[i])
+						}
+					}
+					if parTree.Len() != seqTree.Len() {
+						t.Fatalf("Len = %d, want %d", parTree.Len(), seqTree.Len())
+					}
+					want, got := collect(seqTree), collect(parTree)
+					for k, v := range want {
+						if got[k] != v {
+							t.Fatalf("key %d = %d, want %d", k, got[k], v)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPutBatchParallelDuplicates pins last-write-wins and Existed
+// reporting through the parallel path, including duplicates that straddle
+// the frontier boundary.
+func TestPutBatchParallelDuplicates(t *testing.T) {
+	cfg := syncConfig(ModeQuIT)
+	keys := make([]int64, 0, 3*parallelMinBatch)
+	vals := make([]int64, 0, 3*parallelMinBatch)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < cap(keys); i++ {
+		keys = append(keys, int64(rng.Intn(parallelMinBatch*2)))
+		vals = append(vals, int64(i))
+	}
+	seqTree := New[int64, int64](cfg)
+	parTree := New[int64, int64](cfg)
+	want := seqTree.PutBatch(keys, vals)
+	got := parTree.PutBatchParallel(keys, vals, IngestOptions{Workers: 4})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := parTree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	w, g := collect(seqTree), collect(parTree)
+	if len(w) != len(g) {
+		t.Fatalf("len = %d, want %d", len(g), len(w))
+	}
+	for k, v := range w {
+		if g[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, g[k], v)
+		}
+	}
+}
+
+// TestPutBatchParallelFrontierSplice checks that an all-beyond-the-maximum
+// batch takes the packed-chain splice (observable in Stats) and leaves a
+// valid tree with every key present.
+func TestPutBatchParallelFrontierSplice(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeTail, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](syncConfig(mode))
+			for i := int64(0); i < 100; i++ {
+				tr.Insert(i, i)
+			}
+			n := int64(4 * parallelMinBatch)
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for i := range keys {
+				keys[i] = 100 + int64(i)
+				vals[i] = int64(i)
+			}
+			tr.PutBatchParallel(keys, vals, IngestOptions{Workers: 4})
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got, want := tr.Len(), int(n)+100; got != want {
+				t.Fatalf("Len = %d, want %d", got, want)
+			}
+			st := tr.Stats()
+			if st.FrontierSplices == 0 {
+				t.Fatalf("FrontierSplices = 0, want > 0 (stats: %+v)", st)
+			}
+			if st.ParallelBatches != 1 {
+				t.Fatalf("ParallelBatches = %d, want 1", st.ParallelBatches)
+			}
+			// Spot-check both ends of the spliced chain.
+			for _, k := range []int64{100, 100 + n/2, 99 + n} {
+				if _, ok := tr.Get(k); !ok {
+					t.Fatalf("Get(%d) missing after splice", k)
+				}
+			}
+			// The fast path must track the new tail: a subsequent append run
+			// should hit it.
+			tr.ResetCounters()
+			tail := []int64{100 + n, 101 + n, 102 + n}
+			tr.PutBatch(tail, tail)
+			if mode != ModeNone && tr.Stats().BatchFastRuns == 0 {
+				t.Fatalf("append after splice missed the fast path: %+v", tr.Stats())
+			}
+		})
+	}
+}
+
+// TestBuildFromSortedParallelShape requires the parallel bulk load to
+// produce exactly the tree BuildFromSorted does — same shape, same
+// contents — and to reject the same bad inputs.
+func TestBuildFromSortedParallelShape(t *testing.T) {
+	for _, fill := range []float64{0.5, 0.9, 1.0} {
+		t.Run(fmt.Sprintf("fill=%.1f", fill), func(t *testing.T) {
+			n := 10000
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(i) * 2
+				vals[i] = int64(i)
+			}
+			seqTree := New[int64, int64](smallConfig(ModeQuIT))
+			parTree := New[int64, int64](smallConfig(ModeQuIT))
+			if err := seqTree.BuildFromSorted(keys, vals, fill); err != nil {
+				t.Fatalf("BuildFromSorted: %v", err)
+			}
+			if err := parTree.BuildFromSortedParallel(keys, vals, fill, 4); err != nil {
+				t.Fatalf("BuildFromSortedParallel: %v", err)
+			}
+			if err := parTree.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			ss, ps := seqTree.Stats(), parTree.Stats()
+			if ps.Size != ss.Size || ps.Height != ss.Height || ps.Leaves != ss.Leaves || ps.Internals != ss.Internals {
+				t.Fatalf("shape mismatch: parallel %+v vs sequential %+v", ps, ss)
+			}
+			want, got := collect(seqTree), collect(parTree)
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %d = %d, want %d", k, got[k], v)
+				}
+			}
+			if err := New[int64, int64](smallConfig(ModeQuIT)).BuildFromSortedParallel([]int64{3, 1}, []int64{0, 0}, fill, 4); err != ErrNotSorted {
+				t.Fatalf("unsorted input: err = %v, want ErrNotSorted", err)
+			}
+			if err := parTree.BuildFromSortedParallel(keys, vals, fill, 4); err != ErrNotEmpty {
+				t.Fatalf("non-empty tree: err = %v, want ErrNotEmpty", err)
+			}
+		})
+	}
+}
+
+// TestStressParallelIngest is the parallel-ingest round of the stress
+// suite: one goroutine streams PutBatchParallel batches up the key space
+// while OLC readers scan and point-read and a deleter chews on already-
+// ingested prefixes. Between rounds everything quiesces and the
+// structural validator (leaf chain, separators, fast-path metadata)
+// sweeps the tree.
+func TestStressParallelIngest(t *testing.T) {
+	const readers = 3
+	batch := 2 * parallelMinBatch
+	nBatches := max(1, stressOpsPerRound/700) // per round; scaled like the other stress tests
+	for _, mode := range []Mode{ModeNone, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := New[int64, int64](syncConfig(mode))
+			var next atomic.Int64 // high-water mark of ingested keys
+			var liveMu sync.Mutex
+			live := make(map[int64]int64)
+			for round := 0; round < stressRounds; round++ {
+				var writers, readerWG sync.WaitGroup
+				errs := make(chan error, readers+2)
+				stop := make(chan struct{})
+
+				// Ingester: near-sorted batches marching up the key space,
+				// with a scattered minority reaching back into ingested
+				// territory so the interior partitions see real work.
+				writers.Add(1)
+				go func(round int) {
+					defer writers.Done()
+					rng := rand.New(rand.NewSource(int64(9000 + round)))
+					keys := make([]int64, batch)
+					vals := make([]int64, batch)
+					for b := 0; b < nBatches; b++ {
+						base := next.Load()
+						for i := range keys {
+							if i%17 == 0 && base > 0 {
+								keys[i] = rng.Int63n(base) // interior rewrite
+							} else {
+								keys[i] = base + int64(i)
+							}
+							vals[i] = keys[i]*2 + int64(round)
+						}
+						res := tr.PutBatchParallel(keys, vals, IngestOptions{Workers: 4})
+						if len(res) != batch {
+							errs <- fmt.Errorf("round %d: %d results for batch of %d", round, len(res), batch)
+							return
+						}
+						liveMu.Lock()
+						for i := range keys {
+							live[keys[i]] = vals[i]
+						}
+						liveMu.Unlock()
+						next.Store(base + int64(batch))
+					}
+				}(round)
+
+				// Readers: monotone Range order under concurrent splices.
+				for r := 0; r < readers; r++ {
+					readerWG.Add(1)
+					go func(r int) {
+						defer readerWG.Done()
+						rng := rand.New(rand.NewSource(int64(100*round + r)))
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							hi := next.Load()
+							if hi == 0 {
+								continue
+							}
+							lo := rng.Int63n(hi)
+							prev := lo - 1
+							bad := false
+							tr.Range(lo, lo+500, func(k, _ int64) bool {
+								if k <= prev {
+									bad = true
+									return false
+								}
+								prev = k
+								return true
+							})
+							if bad {
+								errs <- fmt.Errorf("round %d: Range out of order near %d", round, lo)
+								return
+							}
+							tr.Get(rng.Int63n(hi))
+						}
+					}(r)
+				}
+
+				// Deleter: chews one residue class of already-ingested keys.
+				writers.Add(1)
+				go func(round int) {
+					defer writers.Done()
+					rng := rand.New(rand.NewSource(int64(7000 + round)))
+					for i := 0; i < stressOpsPerRound; i++ {
+						hi := next.Load()
+						if hi == 0 {
+							continue
+						}
+						if k := rng.Int63n(hi); k%5 == 3 {
+							if _, existed := tr.Delete(k); existed {
+								liveMu.Lock()
+								delete(live, k)
+								liveMu.Unlock()
+							}
+						}
+					}
+				}(round)
+
+				// Let the writers finish, then stop the readers.
+				writers.Wait()
+				close(stop)
+				readerWG.Wait()
+
+				select {
+				case err := <-errs:
+					t.Fatal(err)
+				default:
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("round %d: Validate: %v", round, err)
+				}
+			}
+			// Keys in the deleter's residue may have raced a rewrite (tree
+			// op and map update are not atomic together); every other
+			// residue has a single writer and must match exactly.
+			checked := 0
+			for k, v := range live {
+				if k%5 == 3 {
+					continue
+				}
+				if got, ok := tr.Get(k); !ok || got != v {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+				}
+				if checked++; checked > 4000 {
+					break
+				}
+			}
+		})
+	}
+}

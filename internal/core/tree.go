@@ -108,6 +108,8 @@ type counters struct {
 	olcRestarts     atomic.Int64
 	batchRuns       atomic.Int64
 	batchFastRuns   atomic.Int64
+	parallelBatches atomic.Int64
+	frontierSplices atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a Tree's operation counters and
@@ -132,6 +134,8 @@ type Stats struct {
 	OLCRestarts     int64 // optimistic descents restarted by a version conflict
 	BatchRuns       int64 // per-leaf runs installed by the batched write path
 	BatchFastRuns   int64 // batch runs resolved through the fast-path metadata
+	ParallelBatches int64 // batches ingested through PutBatchParallel
+	FrontierSplices int64 // pre-built frontier chains spliced past the old maximum
 
 	Size      int64 // live entries
 	Height    int   // levels (1 = root is a leaf)
@@ -209,6 +213,8 @@ func (t *Tree[K, V]) Stats() Stats {
 		OLCRestarts:     t.c.olcRestarts.Load(),
 		BatchRuns:       t.c.batchRuns.Load(),
 		BatchFastRuns:   t.c.batchFastRuns.Load(),
+		ParallelBatches: t.c.parallelBatches.Load(),
+		FrontierSplices: t.c.frontierSplices.Load(),
 		Size:            t.size.Load(),
 		Height:          int(t.height.Load()),
 		Leaves:          t.nLeaves.Load(),
@@ -225,7 +231,7 @@ func (t *Tree[K, V]) ResetCounters() {
 		&c.internalSplits, &c.variableSplits, &c.redistributions, &c.resets,
 		&c.catchUps, &c.deletes, &c.borrows, &c.merges, &c.nodeReads,
 		&c.leafReads, &c.rangeLeafReads, &c.olcRestarts, &c.batchRuns,
-		&c.batchFastRuns,
+		&c.batchFastRuns, &c.parallelBatches, &c.frontierSplices,
 	} {
 		a.Store(0)
 	}

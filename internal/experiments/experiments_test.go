@@ -362,7 +362,7 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{
 		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
-		"abl01", "abl02", "abl03", "mix01", "dur01", "bat01",
+		"abl01", "abl02", "abl03", "mix01", "dur01", "bat01", "par01",
 	}
 	for _, id := range want {
 		if _, ok := harness.Lookup(id); !ok {
@@ -410,6 +410,31 @@ func TestBat01Shape(t *testing.T) {
 		// through the fast-path metadata.
 		if r.Level[i] == "sorted (K=0%)" && r.Method[i] == "batch=256" && r.FastRunPct[i] < 50 {
 			t.Errorf("sorted batch=256: only %.1f%% fast runs", r.FastRunPct[i])
+		}
+	}
+}
+
+func TestPar01Shape(t *testing.T) {
+	p := quickParams()
+	p.N = 30_000
+	r := RunPar01(p)
+	if len(r.Level) != 12 { // 3 sortedness levels x 4 worker counts
+		t.Fatalf("par01 produced %d rows, want 12", len(r.Level))
+	}
+	for i := range r.Level {
+		if r.OpsPerSec[i] <= 0 {
+			t.Errorf("row %d (%s/w=%d): non-positive throughput", i, r.Level[i], r.Workers[i])
+		}
+		// A sorted multi-worker run ingests almost entirely through
+		// frontier splices; workers=1 is the sequential path and never
+		// splices.
+		if r.Level[i] == "sorted (K=0%)" {
+			if r.Workers[i] == 1 && r.Splices[i] != 0 {
+				t.Errorf("sorted workers=1: %d splices, want 0", r.Splices[i])
+			}
+			if r.Workers[i] > 1 && r.Splices[i] == 0 {
+				t.Errorf("sorted workers=%d: no frontier splices", r.Workers[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Par01Result sweeps the parallel ingest path (beyond the paper;
+// DESIGN.md §10): the same BoDS stream ingested through PutBatchParallel
+// at worker counts 1/2/4/8, across sortedness levels. workers=1 is
+// exactly the sequential PutBatch, so the speedup column isolates what
+// the partitioned workers and the frontier splice add. On a single-core
+// host the sorted-regime gain is algorithmic (one splice descent per
+// batch instead of one per run); the near-sorted regime needs real cores
+// to fan its outlier descents out.
+type Par01Result struct {
+	Level     []string // sortedness level
+	Workers   []int
+	OpsPerSec []float64
+	Speedup   []float64 // vs workers=1 at the same level
+	Splices   []int64   // frontier chains spliced past the old maximum
+}
+
+// RunPar01 executes the sweep.
+func RunPar01(p harness.Params) Par01Result {
+	n := p.N
+	levels := []struct {
+		name string
+		k    float64
+	}{{"sorted (K=0%)", 0}, {"near (K=5%)", 0.05}, {"scrambled (K=100%)", 1.0}}
+	workerCounts := []int{1, 2, 4, 8}
+	const bs = 8192
+
+	var r Par01Result
+	opts := quit.Options{
+		LeafCapacity:   p.LeafCapacity,
+		InternalFanout: p.InternalFanout,
+		Design:         quit.QuIT,
+		Synchronized:   true,
+	}
+	for _, lvl := range levels {
+		keys := genKeys(p, lvl.k, 1.0)[:n]
+		vals := make([]int64, len(keys))
+		copy(vals, keys)
+
+		base := 0.0
+		for _, w := range workerCounts {
+			tr := quit.New[int64, int64](opts)
+			runtime.GC()
+			start := time.Now()
+			for i := 0; i < len(keys); i += bs {
+				end := i + bs
+				if end > len(keys) {
+					end = len(keys)
+				}
+				tr.PutBatchParallel(keys[i:end], vals[i:end], quit.IngestOptions{Workers: w})
+			}
+			ops := float64(n) / time.Since(start).Seconds()
+			if w == 1 {
+				base = ops
+			}
+			r.Level = append(r.Level, lvl.name)
+			r.Workers = append(r.Workers, w)
+			r.OpsPerSec = append(r.OpsPerSec, ops)
+			r.Speedup = append(r.Speedup, ops/base)
+			r.Splices = append(r.Splices, tr.Stats().FrontierSplices)
+		}
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Par01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:    "par01",
+		Title: "Parallel ingest (beyond the paper): PutBatchParallel worker sweep",
+		Note: fmt.Sprintf("batch=8192; speedup is vs workers=1 at the same sortedness; GOMAXPROCS=%d on this host",
+			runtime.GOMAXPROCS(0)),
+		Headers: []string{"sortedness", "workers", "M ops/sec", "speedup", "splices"},
+	}
+	for i := range r.Level {
+		t.Rows = append(t.Rows, []string{
+			r.Level[i],
+			fmt.Sprintf("%d", r.Workers[i]),
+			harness.Fmt(r.OpsPerSec[i] / 1e6),
+			harness.Fmt(r.Speedup[i]) + "x",
+			fmt.Sprintf("%d", r.Splices[i]),
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "par01", Paper: "(extension)", Title: "parallel ingest: PutBatchParallel worker sweep",
+		Run: func(p harness.Params) []harness.Table { return RunPar01(p).Tables() },
+	})
+}

@@ -2,10 +2,14 @@
 // append-only stream of insert/delete/clear records, each individually
 // framed with a length prefix and a CRC32C, carrying monotonically
 // increasing sequence numbers. Appends are buffered for group commit and
-// flushed according to a configurable sync policy; replay applies the
-// longest valid prefix of a log and stops cleanly at the first torn or
-// corrupt record, which is exactly the state a crashed writer leaves
-// behind (see DESIGN.md §8 for the durability contract).
+// flushed according to a configurable sync policy; framing is serialized
+// by the log mutex while the flush+fsync runs outside it under a
+// leader/follower protocol, so appenders may be concurrent and a framed
+// record's disk write can overlap the caller's own work (AppendBatchStart
+// / Commit). Replay applies the longest valid prefix of a log and stops
+// cleanly at the first torn or corrupt record, which is exactly the state
+// a crashed writer leaves behind (see DESIGN.md §8 for the durability
+// contract).
 //
 // Record wire format (all integers little-endian):
 //
@@ -37,6 +41,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/quittree/quit/internal/core"
@@ -171,32 +176,59 @@ const maxRecordPayload = 1 << 26
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Log is a single-writer append-only record log. It is not safe for
-// concurrent use; DurableTree serializes writers above it.
+// Log is an append-only record log safe for concurrent appenders. Framing
+// (sequence assignment, CRC, buffer append) happens under a single mutex;
+// the write+fsync runs outside it under a leader/follower group commit, so
+// a caller that has framed a record can overlap its own work — applying
+// the mutation to the in-memory tree — with the disk write and only
+// rendezvous with durability in Commit. One appender at a time becomes the
+// commit leader and syncs the whole buffered batch; contemporaries framed
+// into the same batch just wait for the leader's broadcast.
 type Log[K core.Integer, V any] struct {
 	f   File
 	cfg Config
 
-	seq      uint64 // last assigned sequence number
-	buf      bytes.Buffer
-	pending  int // appends buffered since the last flush
-	lastSync time.Time
-	err      error // sticky failure
+	mu      sync.Mutex
+	commitC *sync.Cond // broadcast when a leader finishes (or the log fails)
+
+	seq       uint64        // last assigned sequence number
+	syncedSeq uint64        // highest sequence number committed per policy
+	syncing   bool          // a commit leader is writing outside mu
+	buf       *bytes.Buffer // framed records awaiting the next commit
+	spare     *bytes.Buffer // the leader's detached batch, swapped back when idle
+	pending   int           // appends buffered since the last flush
+	lastSync  time.Time
+	err       error // sticky failure
 }
 
 // New starts a log appending to f. lastSeq is the sequence number already
 // durable below this log (0 for a fresh tree, the snapshot's sequence
 // after a checkpoint); the first appended record gets lastSeq+1.
 func New[K core.Integer, V any](f File, lastSeq uint64, cfg Config) *Log[K, V] {
-	return &Log[K, V]{f: f, cfg: cfg.withDefaults(), seq: lastSeq, lastSync: time.Now()}
+	l := &Log[K, V]{
+		f: f, cfg: cfg.withDefaults(),
+		seq: lastSeq, syncedSeq: lastSeq,
+		buf: new(bytes.Buffer), spare: new(bytes.Buffer),
+		lastSync: time.Now(),
+	}
+	l.commitC = sync.NewCond(&l.mu)
+	return l
 }
 
 // LastSeq returns the sequence number of the most recently appended (not
 // necessarily durable) record.
-func (l *Log[K, V]) LastSeq() uint64 { return l.seq }
+func (l *Log[K, V]) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
 
 // Err returns the sticky failure, if any.
-func (l *Log[K, V]) Err() error { return l.err }
+func (l *Log[K, V]) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
 
 // Append logs one mutation and applies the sync policy. The returned
 // sequence number identifies the record; under SyncAlways a nil error
@@ -205,20 +237,26 @@ func (l *Log[K, V]) Err() error { return l.err }
 // make it durable. After any failure the log is poisoned and every
 // subsequent call returns ErrLogFailed.
 func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
+	l.mu.Lock()
 	if l.err != nil {
-		return 0, l.err
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
 	}
 	seq := l.seq + 1
-	if err := appendRecord(&l.buf, seq, op, key, val, op == OpInsert); err != nil {
+	if err := appendRecord(l.buf, seq, op, key, val, op == OpInsert); err != nil {
 		// Encoding failed before any bytes were framed; the log file is
 		// untouched, so this is not poisonous — but the buffer may hold a
 		// partial frame, so it is. Be conservative: poison.
 		l.fail(err)
-		return 0, l.err
+		err = l.err
+		l.mu.Unlock()
+		return 0, err
 	}
 	l.seq = seq
 	l.pending++
-	if err := l.applyPolicy(); err != nil {
+	l.mu.Unlock()
+	if err := l.Commit(seq); err != nil {
 		return 0, err
 	}
 	return seq, nil
@@ -226,14 +264,31 @@ func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
 
 // AppendBatch logs a whole insertion group as one framed batch record:
 // one sequence number, one CRC and — under SyncAlways — one fsync for
-// the entire group, instead of one per key. Keys and vals must be equal
-// in length and non-empty; argument violations and oversize batches are
-// reported without poisoning the log, since nothing is framed until the
-// record is known to encode and fit.
+// the entire group, instead of one per key. Equivalent to
+// AppendBatchStart followed immediately by Commit.
 func (l *Log[K, V]) AppendBatch(keys []K, vals []V) (uint64, error) {
-	if l.err != nil {
-		return 0, l.err
+	seq, err := l.AppendBatchStart(keys, vals)
+	if err != nil {
+		return 0, err
 	}
+	if err := l.Commit(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBatchStart frames a batch record without committing it: the
+// record is sequenced, checksummed and buffered, and the returned
+// sequence number must later be handed to Commit, which applies the sync
+// policy and blocks until the record is committed (or the policy defers
+// it). The split lets a caller overlap tree application with the disk
+// write of its own record — the WAL pipelining DurableTree.PutBatch uses.
+//
+// Keys and vals must be equal in length and non-empty; argument
+// violations and oversize batches are reported without poisoning the log,
+// since nothing is framed until the record is known to encode and fit.
+// The value encoding happens outside the log mutex.
+func (l *Log[K, V]) AppendBatchStart(keys []K, vals []V) (uint64, error) {
 	if len(keys) != len(vals) {
 		return 0, fmt.Errorf("wal: batch of %d keys with %d values", len(keys), len(vals))
 	}
@@ -248,9 +303,7 @@ func (l *Log[K, V]) AppendBatch(keys []K, vals []V) (uint64, error) {
 	if plen > maxRecordPayload {
 		return 0, fmt.Errorf("wal: batch record of %d bytes exceeds the %d-byte payload cap", plen, maxRecordPayload)
 	}
-	seq := l.seq + 1
 	payload := make([]byte, plen)
-	binary.LittleEndian.PutUint64(payload[0:8], seq)
 	payload[8] = byte(OpBatch)
 	binary.LittleEndian.PutUint32(payload[9:13], uint32(len(keys)))
 	off := 13
@@ -260,6 +313,13 @@ func (l *Log[K, V]) AppendBatch(keys []K, vals []V) (uint64, error) {
 	}
 	copy(payload[off:], vbuf.Bytes())
 
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq := l.seq + 1
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
 	var pre [8]byte
 	binary.LittleEndian.PutUint32(pre[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(pre[4:8], crc32.Checksum(payload, crcTable))
@@ -267,28 +327,93 @@ func (l *Log[K, V]) AppendBatch(keys []K, vals []V) (uint64, error) {
 	l.buf.Write(payload)
 	l.seq = seq
 	l.pending++
-	if err := l.applyPolicy(); err != nil {
-		return 0, err
-	}
 	return seq, nil
 }
 
-// applyPolicy flushes or syncs the group-commit buffer as the configured
-// sync policy demands; called after every append.
-func (l *Log[K, V]) applyPolicy() error {
-	switch l.cfg.Sync {
-	case SyncAlways:
-		return l.Sync()
-	case SyncInterval:
-		if l.buf.Len() >= l.cfg.BufBytes || time.Since(l.lastSync) >= l.cfg.Interval {
-			return l.Sync()
+// Commit applies the sync policy to a record framed by Append*Start. It
+// returns nil once the record is committed — durable under SyncAlways and
+// a tripped SyncInterval, flushed under a tripped SyncNever — or
+// immediately when the policy defers the record to a later group commit
+// (nothing to wait for: the deadline or buffer-pressure commit will carry
+// it). If no leader is in flight, the caller becomes one and syncs the
+// whole buffered batch; otherwise it waits for the in-flight leader and
+// re-decides, since its record may have been framed after the leader
+// detached its batch.
+func (l *Log[K, V]) Commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.syncedSeq >= seq {
+			// Already carried by an earlier leader (possibly a concurrent
+			// committer, or Close's final sync). This must be checked before
+			// the sticky error: a record that reached the disk is committed
+			// even if the log failed afterwards.
+			return nil
 		}
-	case SyncNever:
-		if l.buf.Len() >= l.cfg.BufBytes {
-			return l.Flush()
+		if l.err != nil {
+			return l.err
+		}
+		switch l.cfg.Sync {
+		case SyncInterval:
+			if l.buf.Len() < l.cfg.BufBytes && time.Since(l.lastSync) < l.cfg.Interval {
+				return nil
+			}
+		case SyncNever:
+			if l.buf.Len() < l.cfg.BufBytes {
+				return nil
+			}
+		}
+		if !l.syncing {
+			l.leaderCommit(true)
+			continue
+		}
+		l.commitC.Wait()
+	}
+}
+
+// leaderCommit detaches the buffered batch and writes (and, when doSync
+// says so and the policy allows fsyncs, syncs) it outside the mutex.
+// Called with l.mu held and l.syncing false; returns with l.mu held.
+// syncedSeq advances on success — a flush alone counts as commit only
+// under SyncNever, which by contract never makes durability promises.
+func (l *Log[K, V]) leaderCommit(doSync bool) {
+	target := l.seq
+	n := l.pending
+	batch := l.buf
+	l.buf, l.spare = l.spare, l.buf
+	l.pending = 0
+	l.syncing = true
+	l.mu.Unlock()
+
+	var err error
+	if batch.Len() > 0 {
+		if _, werr := l.f.Write(batch.Bytes()); werr != nil {
+			err = fmt.Errorf("wal: writing batch of %d records: %w", n, werr)
 		}
 	}
-	return nil
+	fsync := doSync && l.cfg.Sync != SyncNever
+	if err == nil && fsync {
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: syncing log: %w", serr)
+		}
+	}
+	batch.Reset() // safe: syncing=true keeps other leaders off the spare
+
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.fail(err)
+	} else {
+		if fsync || l.cfg.Sync == SyncNever {
+			if target > l.syncedSeq {
+				l.syncedSeq = target
+			}
+		}
+		if fsync {
+			l.lastSync = time.Now()
+		}
+	}
+	l.commitC.Broadcast()
 }
 
 // appendRecord frames one record into w. withVal controls whether the
@@ -319,49 +444,75 @@ func appendRecord[K core.Integer, V any](w *bytes.Buffer, seq uint64, op Op, key
 
 // Flush writes the buffered batch to the file without syncing.
 func (l *Log[K, V]) Flush() error {
-	if l.err != nil {
-		return l.err
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.syncing {
+			l.commitC.Wait()
+			continue
+		}
+		if l.buf.Len() == 0 {
+			return nil
+		}
+		l.leaderCommit(false)
 	}
-	if l.buf.Len() == 0 {
-		return nil
-	}
-	if _, err := l.f.Write(l.buf.Bytes()); err != nil {
-		l.fail(fmt.Errorf("wal: writing batch of %d records: %w", l.pending, err))
-		return l.err
-	}
-	l.buf.Reset()
-	l.pending = 0
-	return nil
 }
 
-// Sync flushes the buffered batch and fsyncs the file (the fsync is
-// skipped under SyncNever, where Sync degrades to Flush).
+// Sync commits every record appended so far: flush plus fsync (the fsync
+// is skipped under SyncNever, where Sync degrades to Flush). Returns once
+// the last appended record is committed, whether by this call or by a
+// concurrent leader.
 func (l *Log[K, V]) Sync() error {
-	if err := l.Flush(); err != nil {
-		return err
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked is Sync's commit loop, shared with Close. Called with l.mu
+// held; returns with l.mu held.
+func (l *Log[K, V]) syncLocked() error {
+	target := l.seq
+	for {
+		if l.syncedSeq >= target {
+			return nil
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if !l.syncing {
+			l.leaderCommit(true)
+			continue
+		}
+		l.commitC.Wait()
 	}
-	if l.cfg.Sync == SyncNever {
-		return nil
-	}
-	if err := l.f.Sync(); err != nil {
-		l.fail(fmt.Errorf("wal: syncing log: %w", err))
-		return l.err
-	}
-	l.lastSync = time.Now()
-	return nil
 }
 
 // Close flushes and syncs outstanding records and closes the file. The log
-// is unusable afterwards.
+// is unusable afterwards; concurrent committers are woken with the sticky
+// closed error (unless their records made it into the final sync, which
+// counts as commit).
 func (l *Log[K, V]) Close() error {
+	l.mu.Lock()
 	if l.err != nil {
 		// Still release the file descriptor, but report the poisoning.
+		err := l.err
+		l.mu.Unlock()
 		l.f.Close()
-		return l.err
+		return err
 	}
-	serr := l.Sync()
-	cerr := l.f.Close()
+	serr := l.syncLocked()
+	for l.syncing {
+		// A concurrent leader may still hold the file; let it land before
+		// the descriptor goes away.
+		l.commitC.Wait()
+	}
 	l.fail(errors.New("wal: log closed"))
+	l.commitC.Broadcast()
+	l.mu.Unlock()
+	cerr := l.f.Close()
 	if serr != nil {
 		return serr
 	}

@@ -164,6 +164,21 @@ func (tr *Tree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error) {
 	return tr.t.ApplySorted(keys, vals)
 }
 
+// IngestOptions tunes PutBatchParallel; the zero value (or Workers <= 1)
+// selects the sequential PutBatch.
+type IngestOptions = core.IngestOptions
+
+// PutBatchParallel is PutBatch with the run installation fanned out over
+// opts.Workers goroutines. Semantics are identical to PutBatch; only the
+// installation order of disjoint per-leaf runs differs, which is
+// unobservable. With Options.Synchronized the workers coordinate through
+// the same latch protocol as any concurrent writers; without it the
+// caller must still provide external synchronization, and only the
+// beyond-the-maximum suffix of the batch is built in parallel.
+func (tr *Tree[K, V]) PutBatchParallel(keys []K, vals []V, opts IngestOptions) []PutResult {
+	return tr.t.PutBatchParallel(keys, vals, opts)
+}
+
 // Get returns the value stored under key.
 func (tr *Tree[K, V]) Get(key K) (V, bool) { return tr.t.Get(key) }
 
@@ -219,6 +234,13 @@ func (tr *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
 // entries. Requires external synchronization.
 func (tr *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 	return tr.t.BuildFromSorted(keys, vals, fill)
+}
+
+// BuildFromSortedParallel is BuildFromSorted with the leaf level built by
+// `workers` goroutines; the resulting tree shape is identical. Requires
+// external synchronization.
+func (tr *Tree[K, V]) BuildFromSortedParallel(keys []K, vals []V, fill float64, workers int) error {
+	return tr.t.BuildFromSortedParallel(keys, vals, fill, workers)
 }
 
 // AvgLeafOccupancy reports the mean leaf fill fraction in [0,1], the

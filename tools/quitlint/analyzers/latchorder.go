@@ -55,10 +55,13 @@ var latchBlockingMethods = map[string]bool{
 // writeLatchLiveAllowed names the functions that may acquire a node latch
 // through writeLatchLive / writeLockOrRestart (rule 3): the per-key and
 // batched fast-path entry points, which reach the leaf through fp
-// metadata rather than a latched descent.
+// metadata rather than a latched descent, and the parallel-ingest tail
+// top-up, which reaches the rightmost leaf through the atomic tail
+// pointer the same way.
 var writeLatchLiveAllowed = map[string]bool{
 	"tryFastInsert": true,
 	"tryFastRun":    true,
+	"tryTailTopUp":  true,
 }
 
 func runLatchOrder(pass *lintkit.Pass) error {
@@ -153,7 +156,7 @@ func checkFuncOrder(pass *lintkit.Pass, latch *types.Named, fd *ast.FuncDecl, se
 		if (name == "writeLatchLive" || (name == "writeLockOrRestart" && isLatchMethod(callee, latch))) &&
 			!writeLatchLiveAllowed[fd.Name.Name] &&
 			!latchFiles[lintkit.Filename(pass.Fset, call.Pos())] {
-			pass.Reportf(call.Pos(), "%s acquires a possibly-unlinked node and is reserved for metadata-reached leaves (tryFastInsert, tryFastRun); latched descents must use writeLatch", name)
+			pass.Reportf(call.Pos(), "%s acquires a possibly-unlinked node and is reserved for metadata-reached leaves (tryFastInsert, tryFastRun, tryTailTopUp); latched descents must use writeLatch", name)
 		}
 
 		switch name {

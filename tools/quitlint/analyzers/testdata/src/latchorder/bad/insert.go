@@ -47,3 +47,15 @@ func (t *Tree) sweepRuns(keys []int, n *node) int {
 func (t *Tree) rawLatch(n *node) {
 	n.lt.writeLock() // want "raw latch call writeLock outside latch.go/latch_olc.go/latch_race.go"
 }
+
+// spliceFrontier stands in for a parallel-ingest worker entry point: only
+// tryTailTopUp is allowlisted for the tail shortcut, so a splice or
+// worker helper grabbing a metadata-reached node with writeLatchLive is
+// flagged — it must take a latched descent like any other writer.
+func (t *Tree) spliceFrontier(chain []*node) bool {
+	if !t.writeLatchLive(chain[0]) { // want "writeLatchLive acquires a possibly-unlinked node and is reserved for metadata-reached leaves"
+		return false
+	}
+	t.writeUnlatch(chain[0])
+	return true
+}

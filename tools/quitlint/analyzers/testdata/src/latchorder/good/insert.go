@@ -43,6 +43,23 @@ func (t *Tree) tryFastRun(keys []int) int {
 	return len(keys)
 }
 
+// tryTailTopUp is the parallel-ingest allowlist entry: it reaches the
+// rightmost leaf through the atomic tail pointer (metadata, not a latched
+// descent), so the obsolete-failing writeLatchLive is sanctioned, and its
+// meta acquisition is innermost — taken only after the leaf latch is held
+// and released before the latch is.
+func (t *Tree) tryTailTopUp(keys []int) int {
+	n := t.fpLeaf
+	if !t.writeLatchLive(n) {
+		return 0
+	}
+	t.lockMeta()
+	t.fpLeaf = n
+	t.unlockMeta()
+	t.writeUnlatch(n)
+	return len(keys)
+}
+
 // pessimisticInsert blocks on latches freely: meta is not held.
 func (t *Tree) pessimisticInsert(n *node) {
 	t.writeLatch(n)
