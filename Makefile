@@ -5,8 +5,8 @@
 # .github/workflows/ci.yml.
 
 GO ?= go
-STATICCHECK_VERSION  := v0.5.1
-GOVULNCHECK_VERSION  := v1.1.3
+STATICCHECK_VERSION  := v0.6.1
+GOVULNCHECK_VERSION  := v1.1.4
 
 QUITLINT  := $(CURDIR)/tools/bin/quitlint
 BENCHJSON := $(CURDIR)/tools/bin/benchjson

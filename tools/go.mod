@@ -12,8 +12,8 @@ go 1.23
 // for CI, which installs them from a networked runner; this module itself
 // must stay offline-buildable and therefore cannot `require` them):
 //
-//	honnef.co/go/tools/cmd/staticcheck  v0.5.1  (staticcheck)
-//	golang.org/x/vuln/cmd/govulncheck   v1.1.3  (govulncheck)
+//	honnef.co/go/tools/cmd/staticcheck  v0.6.1  (staticcheck)
+//	golang.org/x/vuln/cmd/govulncheck   v1.1.4  (govulncheck)
 //
 // Keep these lines in sync with STATICCHECK_VERSION / GOVULNCHECK_VERSION
 // in .github/workflows/ci.yml and the Makefile.

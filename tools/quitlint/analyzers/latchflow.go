@@ -1,0 +1,596 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// LatchFlow is the path-sensitive companion to LatchOrder: it tracks latch
+// ownership through the control-flow graph of every function and reports
+// paths that leave the function still holding an acquisition. Where
+// LatchOrder checks ordering between acquisitions in source order,
+// LatchFlow checks pairing across branches, loops and early returns — the
+// leak class the PR 1 review caught by hand in the split paths.
+//
+// Tracked acquisitions, per function:
+//
+//   - the fp-meta mutex: lockMeta generates a token, unlockMeta (inline or
+//     deferred) releases every meta token;
+//   - write latches on local node variables: writeLatch(x) generates
+//     unconditionally; tryWriteLatch(x) / writeLatchLive(x) /
+//     upgradeLatch(x, v) generate with the failure branch edge refined
+//     away (directly in a condition, or through a bool local tested in the
+//     same block); x := t.writeLockedRoot() generates for x;
+//   - optimistic read sections on local node variables: readLatch(x) (ok
+//     result refined), x, v := t.readRoot() and x, v := t.descendToLeaf(k).
+//     readUnlatch(x, v) and readAbort(x) close the section on both edges —
+//     a failed validation is itself a closed section; upgradeLatch closes
+//     the read section and opens a write token on its success edge.
+//
+// A token dies when it is released, deferred-released, or *handed over*:
+// the variable appearing as a bare value outside this function's control —
+// passed to a non-helper call, stored through an assignment, placed in a
+// composite literal or return value, sent on a channel, or captured by a
+// function literal — transfers release responsibility elsewhere, which is
+// how the split paths publish still-latched siblings. Plain reads (field
+// or method access, pointer comparisons) do not hand a token over.
+//
+// The analysis is a may-analysis over the lintkit CFG: a token set on some
+// path into an exit is reported at that exit. Tokens are only tracked for
+// variables declared inside the function body — parameters and receivers
+// may legitimately arrive or leave latched by caller contract (e.g. the
+// rebalance helpers). Function literals are analyzed as functions of
+// their own. Functions in latch*.go (the helper implementations) are
+// exempt.
+var LatchFlow = &lintkit.Analyzer{
+	Name: "latchflow",
+	Doc:  "check that every latch acquisition is released, handed over, or deferred on all paths out of the function (DESIGN.md §6)",
+	Run:  runLatchFlow,
+}
+
+type latchKind uint8
+
+const (
+	metaTok latchKind = iota
+	writeTok
+	readTok
+)
+
+func (k latchKind) String() string {
+	switch k {
+	case metaTok:
+		return "fp-meta mutex"
+	case writeTok:
+		return "write latch"
+	default:
+		return "read section"
+	}
+}
+
+// latchGens generate a token on their first argument; the bool maps the
+// helper to whether the acquisition is conditional (refinable on the
+// failure edge of its result).
+var latchGens = map[string]bool{
+	"writeLatch":     false,
+	"tryWriteLatch":  true,
+	"writeLatchLive": true,
+	"upgradeLatch":   true,
+	"readLatch":      true,
+}
+
+// latchResultGens generate a token on the first left-hand side of their
+// enclosing assignment.
+var latchResultGens = map[string]latchKind{
+	"writeLockedRoot": writeTok,
+	"readRoot":        readTok,
+	"descendToLeaf":   readTok,
+}
+
+// latchNoEscape are latch-protocol helpers whose arguments are not
+// handovers: they operate on the latch in place.
+var latchNoEscape = map[string]bool{
+	"lockMeta": true, "unlockMeta": true,
+	"writeLatch": true, "tryWriteLatch": true, "writeLatchLive": true,
+	"writeUnlatch": true, "upgradeLatch": true,
+	"readLatch": true, "readCheck": true, "readUnlatch": true, "readAbort": true,
+	"markObsolete": true,
+}
+
+// latchSite is one acquisition site, owning one fact bit.
+type latchSite struct {
+	bit  lintkit.Fact
+	kind latchKind
+	obj  types.Object // latched variable; nil for the meta mutex
+	pos  token.Pos
+}
+
+func runLatchFlow(pass *lintkit.Pass) error {
+	if latchType(pass.Pkg) == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if latchFiles[lintkit.Filename(pass.Fset, f.Pos())] {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLatchFlow(pass, fd.Body)
+			for _, lit := range lintkit.FuncLits(fd.Body) {
+				checkLatchFlow(pass, lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type lfChecker struct {
+	pass  *lintkit.Pass
+	body  *ast.BlockStmt
+	sites map[token.Pos]*latchSite // keyed by the generating call's Pos
+	all   []*latchSite
+	bind  map[types.Object]*latchSite // bool local -> gated site (per block)
+}
+
+func checkLatchFlow(pass *lintkit.Pass, body *ast.BlockStmt) {
+	c := &lfChecker{pass: pass, body: body, sites: map[token.Pos]*latchSite{}}
+	c.collectSites()
+	if len(c.all) == 0 || len(c.all) > 64 {
+		// Nothing acquired here, or too many sites to bit-encode (no such
+		// function exists in the tree; bail rather than mis-track).
+		return
+	}
+	cfg := lintkit.BuildCFG(body)
+	flow := &lintkit.Flow{
+		CFG:        cfg,
+		BlockStart: func(*lintkit.Block) { c.bind = map[types.Object]*latchSite{} },
+		Transfer:   c.transfer,
+		Branch:     c.branch,
+	}
+	flow.Run(nil, func(b *lintkit.Block, f lintkit.Fact) {
+		if b.Panics || f == 0 {
+			return
+		}
+		c.reportLeaks(b, f)
+	})
+}
+
+// trackableObj returns the variable object behind e when e is a simple
+// identifier declared inside this function body; nil otherwise. Parameters,
+// receivers and captured outer variables are deliberately excluded: they
+// may arrive or leave latched by contract.
+func (c *lfChecker) trackableObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	if obj.Pos() < c.body.Pos() || obj.Pos() >= c.body.End() {
+		return nil
+	}
+	return obj
+}
+
+// helperName resolves the latch-helper name a call invokes, or "".
+func (c *lfChecker) helperName(call *ast.CallExpr) string {
+	callee := calleeFunc(c.pass.Info, call)
+	if callee == nil {
+		return ""
+	}
+	name := callee.Name()
+	if latchNoEscape[name] {
+		return name
+	}
+	if _, ok := latchResultGens[name]; ok {
+		return name
+	}
+	return ""
+}
+
+func (c *lfChecker) newSite(kind latchKind, obj types.Object, pos token.Pos) {
+	s := &latchSite{bit: 1 << uint(len(c.all)), kind: kind, obj: obj, pos: pos}
+	c.all = append(c.all, s)
+	c.sites[pos] = s
+}
+
+// collectSites enumerates the acquisition sites of the function, assigning
+// one fact bit each. The traversal mirrors the transfer function's: nested
+// function literals are opaque.
+func (c *lfChecker) collectSites() {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if call, name := c.specialAssignCall(n); call != nil {
+				if kind, ok := latchResultGens[name]; ok {
+					if obj := c.trackableObj(n.Lhs[0]); obj != nil {
+						c.newSite(kind, obj, call.Pos())
+					}
+					return false // the call is fully handled
+				}
+			}
+		case *ast.CallExpr:
+			if c.sites[n.Pos()] != nil {
+				return true
+			}
+			name := c.helperName(n)
+			if name == "lockMeta" {
+				c.newSite(metaTok, nil, n.Pos())
+				return true
+			}
+			if _, ok := latchGens[name]; ok && len(n.Args) > 0 {
+				if obj := c.trackableObj(n.Args[0]); obj != nil {
+					kind := writeTok
+					if name == "readLatch" {
+						kind = readTok
+					}
+					c.newSite(kind, obj, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// specialAssignCall returns the single helper call on the right-hand side
+// of an assignment, with its name, when the assignment is one of the
+// token-producing forms; (nil, "") otherwise.
+func (c *lfChecker) specialAssignCall(a *ast.AssignStmt) (*ast.CallExpr, string) {
+	if len(a.Rhs) != 1 {
+		return nil, ""
+	}
+	call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := c.helperName(call)
+	if name == "" {
+		return nil, ""
+	}
+	if _, ok := latchResultGens[name]; ok {
+		return call, name
+	}
+	if latchGens[name] {
+		return call, name
+	}
+	return nil, ""
+}
+
+// killObj clears every bit owned by obj with one of the given kinds.
+func (c *lfChecker) killObj(f lintkit.Fact, obj types.Object, kinds ...latchKind) lintkit.Fact {
+	for _, s := range c.all {
+		if s.obj != obj || s.obj == nil {
+			continue
+		}
+		for _, k := range kinds {
+			if s.kind == k {
+				f &^= s.bit
+			}
+		}
+	}
+	return f
+}
+
+func (c *lfChecker) killMeta(f lintkit.Fact) lintkit.Fact {
+	for _, s := range c.all {
+		if s.kind == metaTok {
+			f &^= s.bit
+		}
+	}
+	return f
+}
+
+// transfer maps the token set across one statement or condition.
+func (c *lfChecker) transfer(n ast.Node, f lintkit.Fact) lintkit.Fact {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		return c.deferTransfer(n, f)
+	case *ast.GoStmt:
+		return c.escapeWalk(n.Call, f)
+	case *ast.AssignStmt:
+		return c.assignTransfer(n, f)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			f = c.escapeWalk(r, f)
+		}
+		return f
+	case *ast.SendStmt:
+		f = c.escapeWalk(n.Chan, f)
+		return c.escapeWalk(n.Value, f)
+	case *ast.ExprStmt:
+		return c.escapeWalk(n.X, f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						f = c.escapeWalk(v, f)
+					}
+				}
+			}
+		}
+		return f
+	case *ast.IncDecStmt, *ast.BranchStmt:
+		return f
+	case ast.Expr:
+		return c.escapeWalk(n, f)
+	default:
+		return f
+	}
+}
+
+// deferTransfer applies a deferred release immediately — it is guaranteed
+// to run on every path out of the function — and treats any other deferred
+// call as a handover of its arguments.
+func (c *lfChecker) deferTransfer(d *ast.DeferStmt, f lintkit.Fact) lintkit.Fact {
+	name := c.helperName(d.Call)
+	switch name {
+	case "unlockMeta":
+		return c.killMeta(f)
+	case "writeUnlatch", "markObsolete":
+		if obj := c.trackableObj(arg0(d.Call)); obj != nil {
+			return c.killObj(f, obj, writeTok)
+		}
+		return f
+	case "readUnlatch", "readAbort":
+		if obj := c.trackableObj(arg0(d.Call)); obj != nil {
+			return c.killObj(f, obj, readTok)
+		}
+		return f
+	}
+	return c.escapeWalk(d.Call, f)
+}
+
+// assignTransfer handles token-producing assignments, handover through the
+// right-hand side, and reassignment of tracked variables.
+func (c *lfChecker) assignTransfer(a *ast.AssignStmt, f lintkit.Fact) lintkit.Fact {
+	if call, name := c.specialAssignCall(a); call != nil {
+		if _, isResult := latchResultGens[name]; isResult {
+			if s := c.sites[call.Pos()]; s != nil {
+				f = c.killObj(f, s.obj, readTok, writeTok) // x, v := ... redefines x
+				f |= s.bit
+			}
+			return f
+		}
+		// Gated helper assigned to locals: apply its gen/kill, then bind
+		// the bool result so a same-block `if !ok` can refine the edges.
+		f = c.applyHelper(call, name, f)
+		var boolLHS ast.Expr
+		if name == "readLatch" && len(a.Lhs) == 2 {
+			boolLHS = a.Lhs[1]
+		} else if len(a.Lhs) == 1 {
+			boolLHS = a.Lhs[0]
+		}
+		if boolLHS != nil {
+			if obj := c.trackableObj(boolLHS); obj != nil {
+				if s := c.sites[call.Pos()]; s != nil {
+					c.bind[obj] = s
+				}
+			}
+		}
+		return f
+	}
+	for _, r := range a.Rhs {
+		f = c.escapeWalk(r, f)
+	}
+	for _, l := range a.Lhs {
+		if obj := c.trackableObj(l); obj != nil {
+			f = c.killObj(f, obj, readTok, writeTok)
+		} else {
+			// Stores through non-ident targets (fields, slices, maps) walk
+			// the target too: x[i] reads x, s.f = v reads s.
+			f = c.escapeWalk(l, f)
+		}
+	}
+	return f
+}
+
+// applyHelper performs the gen/kill of one latch-helper call.
+func (c *lfChecker) applyHelper(call *ast.CallExpr, name string, f lintkit.Fact) lintkit.Fact {
+	obj := c.trackableObj(arg0(call))
+	switch name {
+	case "lockMeta":
+		if s := c.sites[call.Pos()]; s != nil {
+			f |= s.bit
+		}
+	case "unlockMeta":
+		f = c.killMeta(f)
+	case "writeLatch", "tryWriteLatch", "writeLatchLive":
+		if s := c.sites[call.Pos()]; s != nil {
+			f |= s.bit
+		}
+	case "upgradeLatch":
+		if obj != nil {
+			f = c.killObj(f, obj, readTok)
+		}
+		if s := c.sites[call.Pos()]; s != nil {
+			f |= s.bit
+		}
+	case "readLatch":
+		if s := c.sites[call.Pos()]; s != nil {
+			f |= s.bit
+		}
+	case "writeUnlatch", "markObsolete":
+		if obj != nil {
+			f = c.killObj(f, obj, writeTok)
+		}
+	case "readUnlatch", "readAbort":
+		if obj != nil {
+			f = c.killObj(f, obj, readTok)
+		}
+	}
+	return f
+}
+
+// escapeWalk walks an expression applying helper gen/kills and treating
+// every other bare occurrence of a tracked variable as a handover.
+// Comparisons only read pointer identity and are skipped; field and method
+// access through a tracked variable is a read, not a handover.
+func (c *lfChecker) escapeWalk(e ast.Expr, f lintkit.Fact) lintkit.Fact {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+		return f
+	case *ast.Ident:
+		if obj := c.trackableObj(e); obj != nil {
+			f = c.killObj(f, obj, readTok, writeTok)
+		}
+		return f
+	case *ast.SelectorExpr:
+		if _, isIdent := ast.Unparen(e.X).(*ast.Ident); isIdent {
+			return f // x.field / x.method: a read of x
+		}
+		return c.escapeWalk(e.X, f)
+	case *ast.CallExpr:
+		if name := c.helperName(e); name != "" {
+			return c.applyHelper(e, name, f)
+		}
+		for _, a := range e.Args {
+			f = c.escapeWalk(a, f)
+		}
+		return f
+	case *ast.FuncLit:
+		return c.captureKill(e, f)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return f // comparison: reads only
+		}
+		f = c.escapeWalk(e.X, f)
+		return c.escapeWalk(e.Y, f)
+	case *ast.UnaryExpr:
+		return c.escapeWalk(e.X, f)
+	case *ast.StarExpr:
+		return c.escapeWalk(e.X, f)
+	case *ast.IndexExpr:
+		f = c.escapeWalk(e.X, f)
+		return c.escapeWalk(e.Index, f)
+	case *ast.SliceExpr:
+		return c.escapeWalk(e.X, f)
+	case *ast.TypeAssertExpr:
+		return c.escapeWalk(e.X, f)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			f = c.escapeWalk(el, f)
+		}
+		return f
+	case *ast.KeyValueExpr:
+		return c.escapeWalk(e.Value, f)
+	default:
+		return f
+	}
+}
+
+// captureKill hands over every tracked variable a function literal
+// captures: the literal may release (or keep) the latch on its own
+// schedule.
+func (c *lfChecker) captureKill(lit *ast.FuncLit, f lintkit.Fact) lintkit.Fact {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.trackableObj(id); obj != nil {
+				f = c.killObj(f, obj, readTok, writeTok)
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// branch refines the fact along the edges of a conditional whose condition
+// is (possibly negated) a gated acquisition — directly, or through a bool
+// local bound in this block.
+func (c *lfChecker) branch(cond ast.Expr, takenTrue bool, f lintkit.Fact) lintkit.Fact {
+	e := ast.Unparen(cond)
+	neg := false
+	for {
+		u, ok := e.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			break
+		}
+		neg = !neg
+		e = ast.Unparen(u.X)
+	}
+	var site *latchSite
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if name := c.helperName(e); latchGens[name] {
+			site = c.sites[e.Pos()]
+		}
+	case *ast.Ident:
+		if obj := c.pass.Info.ObjectOf(e); obj != nil {
+			site = c.bind[obj]
+		}
+	}
+	if site == nil {
+		return f
+	}
+	success := takenTrue != neg
+	if !success {
+		f &^= site.bit // the acquisition failed along this edge
+	}
+	return f
+}
+
+// reportLeaks emits one diagnostic per leaked (kind, variable) pair at an
+// exit block.
+func (c *lfChecker) reportLeaks(b *lintkit.Block, f lintkit.Fact) {
+	pos := c.body.End()
+	where := "end of function"
+	if b.Return != nil {
+		pos = b.Return.Pos()
+		where = "return"
+	}
+	type group struct {
+		kind latchKind
+		obj  types.Object
+	}
+	leaks := map[group][]*latchSite{}
+	var order []group
+	for _, s := range c.all {
+		if f&s.bit == 0 {
+			continue
+		}
+		g := group{kind: s.kind, obj: s.obj}
+		if _, seen := leaks[g]; !seen {
+			order = append(order, g)
+		}
+		leaks[g] = append(leaks[g], s)
+	}
+	for _, g := range order {
+		sites := leaks[g]
+		lines := make([]string, 0, len(sites))
+		for _, s := range sites {
+			p := c.pass.Fset.Position(s.pos)
+			lines = append(lines, fmt.Sprintf("%s:%d", lintkit.Filename(c.pass.Fset, s.pos), p.Line))
+		}
+		sort.Strings(lines)
+		if g.kind == metaTok {
+			c.pass.Reportf(pos, "fp-meta mutex locked at %s may still be held at this %s; unlockMeta on every path or defer it (DESIGN.md §6)",
+				strings.Join(lines, ", "), where)
+			continue
+		}
+		c.pass.Reportf(pos, "%s on %s acquired at %s may still be held at this %s; release it, hand it over, or defer the release on every path",
+			g.kind, g.obj.Name(), strings.Join(lines, ", "), where)
+	}
+}
+
+func arg0(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestLatchFlowFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "latchflow/bad", analyzers.LatchFlow)
+}
+
+func TestLatchFlowSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "latchflow/good", analyzers.LatchFlow)
+}

@@ -1,0 +1,259 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// StickyPoison enforces the WAL's sticky-error discipline (DESIGN.md §8):
+// once a Log method has failed, the log is poisoned — l.err is set and
+// every later operation must observe it before touching the file again or
+// acknowledging anything. Concretely, inside methods of the Log type:
+//
+//  1. No file or buffer I/O (l.f.Write / l.f.Sync, writes into l.buf or
+//     l.spare, or passing those buffers to an encoder) may run on a path
+//     where the sticky error has not been re-checked since it could last
+//     have changed.
+//  2. No path may `return nil` in the error position without a sticky
+//     check: a poisoned log must refuse acknowledgements.
+//
+// "Checked" means the path read l.err (statement or condition), called
+// l.fail (which publishes the poison), or called another Log method —
+// delegated checking: the callee performs its own gate. The check goes
+// stale — the bit is re-set — after l.mu.Unlock() or a sync.Cond Wait(),
+// because another goroutine may poison the log while the mutex is
+// released; group-commit followers looping on l.commitC must re-check
+// after every wakeup.
+//
+// The PR 5 syncedSeq-before-error exception (a follower whose sequence is
+// already durable returns nil even if a later batch poisoned the log) is
+// a sanctioned carve-out: those returns carry "quitlint:allow" waivers,
+// turning tribal knowledge into machine-checked annotations. l.f.Close is
+// exempt — closing a poisoned log's file is how teardown works.
+var StickyPoison = &lintkit.Analyzer{
+	Name: "stickypoison",
+	Doc:  "check that Log methods re-check the sticky error before WAL I/O or nil-error acknowledgements (DESIGN.md §8)",
+	Run:  runStickyPoison,
+}
+
+const spUnchecked lintkit.Fact = 1
+
+// logIOFields are the Log fields whose use constitutes WAL I/O.
+var logIOFields = map[string]bool{"f": true, "buf": true, "spare": true}
+
+// logIOMethods are the I/O-performing methods on those fields; Close is
+// deliberately absent (teardown must work on a poisoned log).
+var logIOMethods = map[string]bool{"Write": true, "WriteString": true, "WriteByte": true, "Sync": true}
+
+func runStickyPoison(pass *lintkit.Pass) error {
+	logType := stickyLogType(pass.Pkg)
+	if logType == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := recvBaseNamed(obj)
+			if recv == nil || recv.Obj() != logType.Obj() {
+				continue
+			}
+			checkStickyPoison(pass, fd, obj, logType)
+		}
+	}
+	return nil
+}
+
+// stickyLogType finds the package-scope Log type carrying a sticky
+// `err error` field, or nil if this package has no such type.
+func stickyLogType(pkg *types.Package) *types.Named {
+	named := scopeNamed(pkg, "Log")
+	if named == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if fld.Name() == "err" && types.Identical(fld.Type(), types.Universe.Lookup("error").Type()) {
+			return named
+		}
+	}
+	return nil
+}
+
+type spChecker struct {
+	pass       *lintkit.Pass
+	logType    *types.Named
+	recv       types.Object // the receiver variable of the method under analysis
+	returnsErr bool
+}
+
+func checkStickyPoison(pass *lintkit.Pass, fd *ast.FuncDecl, obj *types.Func, logType *types.Named) {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return
+	}
+	c := &spChecker{pass: pass, logType: logType, recv: pass.Info.Defs[names[0]]}
+	if c.recv == nil {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if n := sig.Results().Len(); n > 0 {
+		last := sig.Results().At(n - 1).Type()
+		c.returnsErr = types.Identical(last, types.Universe.Lookup("error").Type())
+	}
+
+	flow := &lintkit.Flow{
+		CFG:      lintkit.BuildCFG(fd.Body),
+		Entry:    spUnchecked,
+		Transfer: c.transfer,
+	}
+	flow.Run(c.visit, nil)
+}
+
+// recvField returns the field name if e is a selector recv.<field>.
+func (c *spChecker) recvField(e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || c.pass.Info.ObjectOf(id) != c.recv {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// spEvent classifies the effect of one expression node on the fact.
+type spEvent uint8
+
+const (
+	spNone  spEvent = iota
+	spCheck         // sticky error observed (or delegated)
+	spStale         // check invalidated: mutex released / cond wait
+	spIO            // file or buffer I/O
+)
+
+func (c *spChecker) classifyExpr(n ast.Node) spEvent {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		if c.recvField(e) == "err" {
+			return spCheck
+		}
+	case *ast.CallExpr:
+		// Method on the same Log receiver: delegated check (the callee
+		// gates on l.err itself, or is l.fail publishing the poison).
+		if callee := calleeFunc(c.pass.Info, e); callee != nil {
+			if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "sync" {
+				switch callee.Name() {
+				case "Unlock", "Wait":
+					return spStale
+				}
+				return spNone
+			}
+			if recv := recvBaseNamed(callee); recv != nil && recv.Obj() == c.logType.Obj() {
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && c.pass.Info.ObjectOf(id) == c.recv {
+						return spCheck
+					}
+				}
+			}
+		}
+		// I/O: l.f.Write(...) / l.buf.Write(...) / l.f.Sync() ...
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fld := c.recvField(sel.X); logIOFields[fld] && logIOMethods[sel.Sel.Name] {
+				return spIO
+			}
+		}
+		// I/O by aliasing: handing l.buf / l.spare to an encoder.
+		for _, arg := range e.Args {
+			if fld := c.recvField(arg); fld == "buf" || fld == "spare" {
+				return spIO
+			}
+		}
+	}
+	return spNone
+}
+
+// forEachEvent walks one statement or condition in source order, feeding
+// events to fn. Function literals are opaque values; deferred calls run
+// at function exit, not in flow order.
+func (c *spChecker) forEachEvent(n ast.Node, fn func(pos ast.Node, ev spEvent)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m == nil {
+			return false
+		}
+		if ev := c.classifyExpr(m); ev != spNone {
+			fn(m, ev)
+			// A classified call's children were already accounted for
+			// (the arg scan); still descend so nested calls are seen.
+		}
+		return true
+	})
+}
+
+func (c *spChecker) transfer(n ast.Node, f lintkit.Fact) lintkit.Fact {
+	c.forEachEvent(n, func(_ ast.Node, ev spEvent) {
+		switch ev {
+		case spCheck:
+			f &^= spUnchecked
+		case spStale:
+			f |= spUnchecked
+		}
+	})
+	return f
+}
+
+func (c *spChecker) visit(n ast.Node, f lintkit.Fact) {
+	// Replay the statement's events in order so an I/O that follows a
+	// check inside the same statement is not flagged; this also covers
+	// I/O and checks inside return results (`return l.f.Sync()`).
+	c.forEachEvent(n, func(pos ast.Node, ev spEvent) {
+		switch ev {
+		case spCheck:
+			f &^= spUnchecked
+		case spStale:
+			f |= spUnchecked
+		case spIO:
+			if f&spUnchecked != 0 {
+				c.pass.Reportf(pos.Pos(), "WAL I/O on a path that has not re-checked the sticky error; a poisoned log must not touch the file again — check l.err first (DESIGN.md §8)")
+			}
+		}
+	})
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		c.checkAck(ret, f)
+	}
+}
+
+// checkAck flags nil acknowledgements; f already includes the effects of
+// the return's own result expressions.
+func (c *spChecker) checkAck(ret *ast.ReturnStmt, f lintkit.Fact) {
+	if !c.returnsErr || len(ret.Results) == 0 {
+		return
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	id, ok := last.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return
+	}
+	if f&spUnchecked != 0 {
+		c.pass.Reportf(ret.Pos(), "nil-error return without re-checking the sticky error; a poisoned log must refuse acknowledgements (DESIGN.md §8)")
+	}
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestStickyPoisonFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "stickypoison/bad", analyzers.StickyPoison)
+}
+
+func TestStickyPoisonSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "stickypoison/good", analyzers.StickyPoison)
+}

@@ -1,0 +1,83 @@
+package fixture
+
+// splitLeak reproduces the split-off-node leak shape from the PR 1 review:
+// a freshly split-off sibling is write-latched, but the bail path returns
+// before the sibling is either unlatched or published into the tree.
+func (t *Tree) splitLeak(full *node, k int) *node {
+	sib := t.newNode()
+	t.writeLatch(sib)
+	if len(full.keys) == 0 {
+		// Bail: restartable state, but sib is still latched.
+		return nil // want "write latch on sib acquired at insert.go:[0-9]+ may still be held at this return"
+	}
+	t.publish(sib)
+	t.afterSplit(sib)
+	return sib
+}
+
+// metaLeak takes the fp-meta mutex but only releases it on the happy path.
+func (t *Tree) metaLeak(k int) bool {
+	t.lockMeta()
+	if k == 0 {
+		return false // want "fp-meta mutex locked at insert.go:[0-9]+ may still be held at this return"
+	}
+	t.unlockMeta()
+	return true
+}
+
+// tryLeak releases the failure edge correctly but forgets the latch on one
+// of the success-path returns.
+func (t *Tree) tryLeak(k int) bool {
+	leaf := t.root()
+	if !t.tryWriteLatch(leaf) {
+		return false
+	}
+	if k > 0 {
+		return true // want "write latch on leaf acquired at insert.go:[0-9]+ may still be held at this return"
+	}
+	t.writeUnlatch(leaf)
+	return true
+}
+
+// gateLeak binds the gated acquisition to a bool but tests it only for the
+// early bail; the fall-through to the end of the function leaks.
+func (t *Tree) gateLeak(k int) int {
+	leaf := t.root()
+	ok := t.writeLatchLive(leaf)
+	if !ok {
+		return -1
+	}
+	leaf.keys = append(leaf.keys, k)
+	return len(leaf.keys) // want "write latch on leaf acquired at insert.go:[0-9]+ may still be held at this return"
+}
+
+// readLeak opens an optimistic read section and forgets to close it on the
+// empty-leaf path — a restart loop would spin on a stale version.
+func (t *Tree) readLeak(k int) int {
+	c, v := t.descendToLeaf(k)
+	if len(c.keys) == 0 {
+		return 0 // want "read section on c acquired at insert.go:[0-9]+ may still be held at this return"
+	}
+	if !t.readUnlatch(c, v) {
+		return -1
+	}
+	return len(c.keys)
+}
+
+// loopLeak latches inside a loop and breaks out while still holding the
+// last iteration's latch.
+func (t *Tree) loopLeak(ns []*node) int {
+	total := 0
+	for i := 0; i < len(ns); i++ {
+		cur := ns[i]
+		if !t.tryWriteLatch(cur) {
+			continue
+		}
+		if len(cur.keys) > 8 {
+			break
+		}
+		total += len(cur.keys)
+		t.writeUnlatch(cur)
+	}
+	return total // want "write latch on cur acquired at insert.go:[0-9]+ may still be held at this return"
+}

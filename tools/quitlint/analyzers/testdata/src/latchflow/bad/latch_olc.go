@@ -1,0 +1,14 @@
+package fixture
+
+import "sync/atomic"
+
+type latch struct{ w atomic.Uint64 }
+
+func (l *latch) readLockOrRestart() (uint64, bool) { return l.w.Load(), true }
+func (l *latch) checkOrRestart(v uint64) bool      { return l.w.Load() == v }
+func (l *latch) writeLock()                        { l.w.Add(1) }
+func (l *latch) writeLockOrRestart() bool          { l.w.Add(1); return true }
+func (l *latch) tryWriteLock() bool                { return l.w.CompareAndSwap(0, 1) }
+func (l *latch) upgradeOrRestart(v uint64) bool    { return l.w.CompareAndSwap(v, v+1) }
+func (l *latch) writeUnlock()                      { l.w.Add(1) }
+func (l *latch) writeUnlockObsolete()              { l.w.Add(3) }

@@ -1,0 +1,109 @@
+package fixture
+
+// splitClean is the corrected split shape: every path either unlatches the
+// fresh sibling or hands it over (publishing transfers release duty).
+func (t *Tree) splitClean(full *node, k int) *node {
+	sib := t.newNode()
+	t.writeLatch(sib)
+	if len(full.keys) == 0 {
+		t.writeUnlatch(sib)
+		return nil
+	}
+	t.publish(sib)
+	return sib
+}
+
+// metaDefer releases the fp-meta mutex by defer: every exit is covered.
+func (t *Tree) metaDefer(k int) bool {
+	t.lockMeta()
+	defer t.unlockMeta()
+	return k > 0
+}
+
+// metaBothPaths releases inline on each path.
+func (t *Tree) metaBothPaths(k int) bool {
+	t.lockMeta()
+	if k == 0 {
+		t.unlockMeta()
+		return false
+	}
+	t.unlockMeta()
+	return true
+}
+
+// gateBound binds the gated acquisition to a bool; the failure edge is
+// refined away, the success path unlatches.
+func (t *Tree) gateBound(k int) bool {
+	leaf := t.root()
+	ok := t.tryWriteLatch(leaf)
+	if !ok {
+		return false
+	}
+	leaf.keys = append(leaf.keys, k)
+	t.writeUnlatch(leaf)
+	return true
+}
+
+// readSection closes the optimistic section on every path: abort on bail,
+// validate on exit (a failed validation is itself a closed section).
+func (t *Tree) readSection(k int) int {
+	c, v := t.descendToLeaf(k)
+	if len(c.keys) == 0 {
+		t.readAbort(c)
+		return 0
+	}
+	if !t.readUnlatch(c, v) {
+		return -1
+	}
+	return 1
+}
+
+// upgradePath converts a read section into a write latch; the failed
+// upgrade closes the section, the successful one is unlatched.
+func (t *Tree) upgradePath(k int) bool {
+	c, v := t.readRoot()
+	if !t.upgradeLatch(c, v) {
+		return false
+	}
+	c.keys = append(c.keys, k)
+	t.writeUnlatch(c)
+	return true
+}
+
+// obsoletePath releases a latched node by marking it obsolete (the delete
+// path's unlatch).
+func (t *Tree) obsoletePath() {
+	n := t.writeLockedRoot()
+	if len(n.keys) > 0 {
+		t.writeUnlatch(n)
+		return
+	}
+	t.markObsolete(n)
+}
+
+// loopClean pairs the latch inside every iteration.
+func (t *Tree) loopClean(ns []*node) int {
+	total := 0
+	for i := 0; i < len(ns); i++ {
+		cur := ns[i]
+		if !t.tryWriteLatch(cur) {
+			continue
+		}
+		total += len(cur.keys)
+		t.writeUnlatch(cur)
+	}
+	return total
+}
+
+// handoverToClosure captures the latched node in a function literal: the
+// closure owns the release (the unlatchSibs pattern).
+func (t *Tree) handoverToClosure() func() {
+	n := t.writeLockedRoot()
+	return func() { t.writeUnlatch(n) }
+}
+
+// callerContract mutates a node the caller latched: parameters are exempt,
+// arriving and leaving latched by contract (the rebalance helpers).
+func (t *Tree) callerContract(n *node, k int) {
+	n.keys = append(n.keys, k)
+}

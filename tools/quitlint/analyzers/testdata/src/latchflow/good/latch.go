@@ -1,0 +1,46 @@
+package fixture
+
+import "sync"
+
+type node struct {
+	lt   latch
+	keys []int
+}
+
+type Tree struct {
+	meta   sync.Mutex
+	fpLeaf *node
+	sibs   []*node
+}
+
+func (t *Tree) lockMeta()   { t.meta.Lock() }
+func (t *Tree) unlockMeta() { t.meta.Unlock() }
+
+func (t *Tree) writeLatch(n *node)          { n.lt.writeLock() }
+func (t *Tree) writeLatchLive(n *node) bool { return n.lt.writeLockOrRestart() }
+func (t *Tree) tryWriteLatch(n *node) bool  { return n.lt.tryWriteLock() }
+func (t *Tree) writeUnlatch(n *node)        { n.lt.writeUnlock() }
+
+func (t *Tree) readLatch(n *node) (uint64, bool)    { return n.lt.readLockOrRestart() }
+func (t *Tree) readCheck(n *node, v uint64) bool    { return n.lt.checkOrRestart(v) }
+func (t *Tree) readUnlatch(n *node, v uint64) bool  { return n.lt.checkOrRestart(v) }
+func (t *Tree) readAbort(n *node)                   {}
+func (t *Tree) upgradeLatch(n *node, v uint64) bool { return n.lt.upgradeOrRestart(v) }
+func (t *Tree) markObsolete(n *node)                { n.lt.writeUnlockObsolete() }
+
+func (t *Tree) writeLockedRoot() *node {
+	t.writeLatch(t.fpLeaf)
+	return t.fpLeaf
+}
+
+func (t *Tree) readRoot() (*node, uint64) {
+	v, _ := t.readLatch(t.fpLeaf)
+	return t.fpLeaf, v
+}
+
+func (t *Tree) descendToLeaf(k int) (*node, uint64) { return t.readRoot() }
+
+func (t *Tree) newNode() *node     { return &node{} }
+func (t *Tree) root() *node        { return t.fpLeaf }
+func (t *Tree) publish(n *node)    { t.sibs = append(t.sibs, n) }
+func (t *Tree) afterSplit(n *node) {}

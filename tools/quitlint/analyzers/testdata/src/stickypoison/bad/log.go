@@ -1,0 +1,41 @@
+package fixture
+
+// Append buffers a record without ever looking at the sticky error: a
+// poisoned log keeps accepting writes and acking them.
+func (l *Log) Append(k, v int) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.buf.Write(encode(k, v)) // want "WAL I/O on a path that has not re-checked the sticky error"
+	return l.seq, nil         // want "nil-error return without re-checking the sticky error"
+}
+
+// Sync checks the sticky error, but the check goes stale across the
+// unlock: another goroutine may poison the log before the fsync runs.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.err != nil {
+		l.mu.Unlock()
+		return l.err
+	}
+	l.mu.Unlock()
+	return l.f.Sync() // want "WAL I/O on a path that has not re-checked the sticky error"
+}
+
+// Commit waits for a leader but never re-checks the error after waking:
+// a follower of a failed leader acks a commit that never happened.
+func (l *Log) Commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncedSeq < seq {
+		l.commitC.Wait()
+	}
+	return nil // want "nil-error return without re-checking the sticky error"
+}
+
+// flushInto hands the live buffer to an encoder without a check: the
+// aliasing form of unchecked I/O.
+func (l *Log) flushInto(k, v int) error {
+	appendRecord(l.buf, k, v) // want "WAL I/O on a path that has not re-checked the sticky error"
+	return l.err
+}

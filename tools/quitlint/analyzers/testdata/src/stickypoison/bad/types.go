@@ -1,0 +1,42 @@
+package fixture
+
+import "sync"
+
+// file stands in for the log's *os.File.
+type file struct{}
+
+func (f *file) Write(p []byte) (int, error) { return len(p), nil }
+func (f *file) Sync() error                 { return nil }
+func (f *file) Close() error                { return nil }
+
+// buffer stands in for the log's batch buffer.
+type buffer struct{ b []byte }
+
+func (b *buffer) Write(p []byte) (int, error) { b.b = append(b.b, p...); return len(p), nil }
+func (b *buffer) Len() int                    { return len(b.b) }
+func (b *buffer) Bytes() []byte               { return b.b }
+func (b *buffer) Reset()                      { b.b = b.b[:0] }
+
+// Log carries the sticky error; stickypoison checks its methods.
+type Log struct {
+	mu        sync.Mutex
+	commitC   *sync.Cond
+	f         *file
+	buf       *buffer
+	spare     *buffer
+	err       error
+	seq       uint64
+	syncedSeq uint64
+}
+
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+func encode(k, v int) []byte { return []byte{byte(k), byte(v)} }
+
+func appendRecord(b *buffer, k, v int) {
+	b.Write(encode(k, v))
+}

@@ -1,0 +1,65 @@
+package fixture
+
+// PutUnframed applies the mutation to the tree before the WAL has framed
+// it: a crash between apply and frame loses the write from replay.
+func (d *DurableTree) PutUnframed(k, v int) error {
+	d.mu.Lock()
+	d.t.Put(k, v) // want "tree apply via Put before the mutation is framed to the WAL"
+	seq, err := d.log.Append(1, k, v)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+	return d.log.Commit(seq)
+}
+
+// PutOutsideLock releases d.mu before applying: a concurrent writer can
+// interleave, so apply order no longer matches log order.
+func (d *DurableTree) PutOutsideLock(k, v int) error {
+	d.mu.Lock()
+	seq, err := d.log.Append(1, k, v)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+	d.t.Put(k, v) // want "tree apply via Put outside the d.mu critical section"
+	return d.log.Commit(seq)
+}
+
+// FrameOutsideLock frames before taking the lock that serializes framing.
+func (d *DurableTree) FrameOutsideLock(k, v int) error {
+	seq, err := d.log.Append(1, k, v) // want "WAL framing via Append outside the d.mu critical section"
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.t.Put(k, v)
+	d.mu.Unlock()
+	return d.log.Commit(seq)
+}
+
+// PutNoCommit acknowledges the write without ever committing the framed
+// record: the caller believes it is durable, replay may not have it.
+func (d *DurableTree) PutNoCommit(k, v int) error {
+	d.mu.Lock()
+	_, err := d.log.AppendBatchStart([]int{k}, []int{v})
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.t.Put(k, v)
+	d.mu.Unlock()
+	return nil // want "nil-error return acknowledges a write on a path that never reached Commit/Sync"
+}
+
+// PutDropsCommit discards the commit error: a failed fsync would be
+// silently swallowed and the acked prefix would lie.
+func (d *DurableTree) PutDropsCommit(k, v int) {
+	d.mu.Lock()
+	seq, _ := d.log.Append(1, k, v)
+	d.t.Put(k, v)
+	d.mu.Unlock()
+	d.log.Commit(seq) // want "WAL Commit result discarded"
+}

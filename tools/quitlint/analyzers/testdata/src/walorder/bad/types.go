@@ -1,0 +1,29 @@
+package fixture
+
+import "sync"
+
+// Tree stands in for the in-memory core tree.
+type Tree struct{ n int }
+
+func (t *Tree) Put(k, v int) (int, bool)    { t.n++; return 0, false }
+func (t *Tree) PutBatch(ks, vs []int) []int { t.n += len(ks); return nil }
+func (t *Tree) Len() int                    { return t.n }
+
+// Log stands in for the write-ahead log.
+type Log struct {
+	mu  sync.Mutex
+	seq uint64
+}
+
+func (l *Log) Append(op byte, k, v int) (uint64, error)      { l.seq++; return l.seq, nil }
+func (l *Log) AppendBatchStart(ks, vs []int) (uint64, error) { l.seq++; return l.seq, nil }
+func (l *Log) Commit(seq uint64) error                       { return nil }
+func (l *Log) Sync() error                                   { return nil }
+func (l *Log) Close() error                                  { return nil }
+
+// DurableTree pairs the two under one mutex; walorder checks its methods.
+type DurableTree struct {
+	mu  sync.Mutex
+	t   *Tree
+	log *Log
+}

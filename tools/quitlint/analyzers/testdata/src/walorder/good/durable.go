@@ -1,0 +1,63 @@
+package fixture
+
+import "errors"
+
+var errInval = errors.New("length mismatch")
+
+// Put is the correct pipelined write shape: frame and apply under d.mu,
+// commit outside it, ack only after the commit succeeded.
+func (d *DurableTree) Put(k, v int) (int, error) {
+	d.mu.Lock()
+	seq, err := d.log.Append(1, k, v)
+	if err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	prev, _ := d.t.Put(k, v)
+	d.mu.Unlock()
+	if err := d.log.Commit(seq); err != nil {
+		return 0, err
+	}
+	return prev, nil
+}
+
+// PutBatch shows the sanctioned empty-batch ack: nothing was framed, so
+// the nil ack is a no-op and carries an explicit waiver.
+func (d *DurableTree) PutBatch(ks, vs []int) ([]int, error) {
+	d.mu.Lock()
+	if len(ks) != len(vs) {
+		d.mu.Unlock()
+		return nil, errInval
+	}
+	if len(ks) == 0 {
+		d.mu.Unlock()
+		//quitlint:allow walorder empty batch acks without committing; nothing was framed
+		return nil, nil
+	}
+	seq, err := d.log.AppendBatchStart(ks, vs)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	res := d.t.PutBatch(ks, vs)
+	d.mu.Unlock()
+	if err := d.log.Commit(seq); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SyncAll commits everything outstanding; the ack rides on Sync's error.
+func (d *DurableTree) SyncAll() error {
+	return d.log.Sync()
+}
+
+// CloseChecked tears down with every log error propagated.
+func (d *DurableTree) CloseChecked() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	return d.log.Close()
+}

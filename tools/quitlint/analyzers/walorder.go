@@ -1,0 +1,318 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// WalOrder machine-checks the write-path ordering of the durability
+// contract (DESIGN.md §8–§10) inside DurableTree methods:
+//
+//  1. Frame before apply. A mutation of the in-memory tree (Put, Delete,
+//     Clear, PutBatch, PutBatchParallel, ApplySorted, or an indirect
+//     apply closure) must be preceded on every path by WAL framing
+//     (Append / AppendBatch / AppendBatchStart) — replay can only
+//     reconstruct what was logged first.
+//  2. Frame and apply under the lock. In methods that take d.mu, framing
+//     and applying outside the critical section would let a concurrent
+//     writer interleave log order and apply order.
+//  3. Commit before ack. No path may return a nil error — the caller's
+//     durability acknowledgement — without reaching a Commit / Sync /
+//     Close of the log (or the append helper, which commits internally).
+//     Sanctioned no-op returns carry a "quitlint:allow" waiver.
+//  4. Commit errors are checked. Discarding the error of a framing or
+//     committing Log call (a bare expression statement) silently breaks
+//     the acked-prefix contract.
+//
+// The analysis is a forward may-analysis over the lintkit CFG with three
+// "not yet" facts (not-locked, not-framed, not-committed); union meet
+// means a violation on any path is reported. Methods with no WAL events
+// (readers, accessors) are skipped; lock rules apply only to methods that
+// themselves take d.mu, so helpers running under a caller's lock (append)
+// are not flagged. Function literals are opaque: an apply closure handed
+// to the append helper executes under the helper's framing, not at its
+// creation site.
+var WalOrder = &lintkit.Analyzer{
+	Name: "walorder",
+	Doc:  "check DESIGN.md §8 WAL write-path ordering in DurableTree methods: frame before apply, both under d.mu, commit before nil-error ack, commit errors checked",
+	Run:  runWalOrder,
+}
+
+const (
+	woNotLocked lintkit.Fact = 1 << iota
+	woNotFramed
+	woNotCommitted
+)
+
+// treeMutators are the Tree methods that change tree contents; every one
+// must be framed to the WAL first.
+var treeMutators = map[string]bool{
+	"Put": true, "Insert": true, "Delete": true, "Clear": true,
+	"PutBatch": true, "PutBatchParallel": true, "ApplySorted": true,
+}
+
+// logFraming / logCommitting classify Log methods. Append and AppendBatch
+// frame and commit in one call; Flush is deliberately absent from the
+// committing set — it reaches the OS, not stable storage.
+var logFraming = map[string]bool{
+	"Append": true, "AppendBatch": true, "AppendBatchStart": true,
+}
+var logCommitting = map[string]bool{
+	"Append": true, "AppendBatch": true, "Commit": true, "Sync": true, "Close": true,
+}
+
+type walEvent uint8
+
+const (
+	evNone walEvent = iota
+	evLock
+	evUnlock
+	evFrame       // AppendBatchStart: frames only
+	evCommit      // Commit / Sync / Close: commits only
+	evFrameCommit // Append / AppendBatch: frames and commits
+	evComposite   // the DurableTree append helper: frame+apply+commit
+	evApply
+)
+
+func runWalOrder(pass *lintkit.Pass) error {
+	dt := scopeNamed(pass.Pkg, "DurableTree")
+	if dt == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := recvBaseNamed(obj)
+			if recv == nil || recv.Obj() != dt.Obj() {
+				continue
+			}
+			checkWalOrder(pass, fd, obj)
+		}
+	}
+	return nil
+}
+
+// scopeNamed returns the package-scope named type called name, or nil.
+func scopeNamed(pkg *types.Package, name string) *types.Named {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named
+}
+
+type woChecker struct {
+	pass       *lintkit.Pass
+	hasLock    bool // the method itself takes d.mu
+	returnsErr bool // last result is error (so nil there is an ack)
+}
+
+func checkWalOrder(pass *lintkit.Pass, fd *ast.FuncDecl, obj *types.Func) {
+	c := &woChecker{pass: pass}
+
+	sig := obj.Type().(*types.Signature)
+	if n := sig.Results().Len(); n > 0 {
+		last := sig.Results().At(n - 1).Type()
+		c.returnsErr = types.Identical(last, types.Universe.Lookup("error").Type())
+	}
+
+	// Scope probe: skip methods with no WAL involvement, and record
+	// whether the method takes the lock itself.
+	hasWAL := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch c.classify(call) {
+			case evLock:
+				c.hasLock = true
+			case evFrame, evCommit, evFrameCommit, evComposite, evApply:
+				hasWAL = true
+			}
+		}
+		return true
+	})
+	if !hasWAL {
+		return
+	}
+
+	flow := &lintkit.Flow{
+		CFG:      lintkit.BuildCFG(fd.Body),
+		Entry:    woNotLocked | woNotFramed | woNotCommitted,
+		Transfer: c.transfer,
+	}
+	flow.Run(c.visit, nil)
+}
+
+// classify maps a call to its WAL event.
+func (c *woChecker) classify(call *ast.CallExpr) walEvent {
+	callee := calleeFunc(c.pass.Info, call)
+	if callee == nil {
+		// Indirect call of a func-typed value: the apply closure.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := c.pass.Info.ObjectOf(id); obj != nil {
+				if _, ok := obj.(*types.Var); ok {
+					if _, sig := obj.Type().Underlying().(*types.Signature); sig {
+						return evApply
+					}
+				}
+			}
+		}
+		return evNone
+	}
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "sync" {
+		switch name {
+		case "Lock":
+			return evLock
+		case "Unlock":
+			return evUnlock
+		}
+		return evNone
+	}
+	recv := recvBaseNamed(callee)
+	if recv == nil {
+		return evNone
+	}
+	switch recv.Obj().Name() {
+	case "Log":
+		framing, committing := logFraming[name], logCommitting[name]
+		switch {
+		case framing && committing:
+			return evFrameCommit
+		case framing:
+			return evFrame
+		case committing:
+			return evCommit
+		}
+	case "Tree":
+		if treeMutators[name] {
+			return evApply
+		}
+	case "DurableTree":
+		if name == "append" {
+			return evComposite
+		}
+	}
+	return evNone
+}
+
+// transfer applies the events of one statement (deferred calls run at
+// exit, not here; function literals are values, not control flow).
+func (c *woChecker) transfer(n ast.Node, f lintkit.Fact) lintkit.Fact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch c.classify(call) {
+		case evLock:
+			f &^= woNotLocked
+		case evUnlock:
+			f |= woNotLocked
+		case evFrame:
+			f &^= woNotFramed
+		case evCommit:
+			f &^= woNotCommitted
+		case evFrameCommit:
+			f &^= woNotFramed | woNotCommitted
+		case evComposite:
+			f &^= woNotFramed | woNotCommitted
+		}
+		return true
+	})
+	return f
+}
+
+// visit reports ordering violations with the fact in force before each
+// statement.
+func (c *woChecker) visit(n ast.Node, f lintkit.Fact) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		c.checkAck(ret, f)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if es, ok := m.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				switch c.classify(call) {
+				case evFrame, evCommit, evFrameCommit, evComposite:
+					c.pass.Reportf(call.Pos(), "WAL %s result discarded; a failed frame or commit must not be ignored — the acked-prefix contract depends on it (DESIGN.md §8)", callName(call))
+				}
+			}
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch c.classify(call) {
+		case evFrame, evFrameCommit:
+			if c.hasLock && f&woNotLocked != 0 {
+				c.pass.Reportf(call.Pos(), "WAL framing via %s outside the d.mu critical section; framing must run under the lock that serializes log order and apply order (DESIGN.md §8)", callName(call))
+			}
+		case evApply:
+			if f&woNotFramed != 0 {
+				c.pass.Reportf(call.Pos(), "tree apply via %s before the mutation is framed to the WAL; frame it first so replay covers it (DESIGN.md §8)", callName(call))
+			}
+			if c.hasLock && f&woNotLocked != 0 {
+				c.pass.Reportf(call.Pos(), "tree apply via %s outside the d.mu critical section; apply order must match log order (DESIGN.md §8)", callName(call))
+			}
+		}
+		return true
+	})
+}
+
+// checkAck flags nil-error returns on paths that never committed.
+func (c *woChecker) checkAck(ret *ast.ReturnStmt, f lintkit.Fact) {
+	if !c.returnsErr || len(ret.Results) == 0 {
+		return
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	id, ok := last.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return
+	}
+	if f&woNotCommitted != 0 {
+		c.pass.Reportf(ret.Pos(), "nil-error return acknowledges a write on a path that never reached Commit/Sync; commit the framed record before acking (DESIGN.md §8)")
+	}
+}
+
+// callName renders a short name for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestWalOrderFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "walorder/bad", analyzers.WalOrder)
+}
+
+func TestWalOrderSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "walorder/good", analyzers.WalOrder)
+}

@@ -1,0 +1,475 @@
+// cfg.go builds a basic-block control-flow graph from a function body,
+// using syntax alone — no type information and no golang.org/x/tools
+// dependency, matching the rest of lintkit. The graph is the substrate for
+// the forward-dataflow engine in dataflow.go and the flow-sensitive
+// analyzers built on it (latchflow, walorder, stickypoison).
+//
+// Shape of the graph:
+//
+//   - A Block holds a straight-line run of simple statements (Stmts), an
+//     optional branch condition evaluated after them (Cond), and its
+//     successor edges (Succs). When Cond is non-nil there are exactly two
+//     successors: Succs[0] is the condition-true edge, Succs[1] the
+//     condition-false edge.
+//   - Compound statements (if/for/range/switch/select/labels) are
+//     decomposed by the builder; Stmts never contains one at top level.
+//     Range headers contribute a synthesized AssignStmt (key, value :=
+//     range-expr) so dataflow clients see the per-iteration assignment;
+//     switch headers contribute their init/tag, and each case's guard
+//     expressions are prepended to the case body's block.
+//   - return terminates its block (Return records the statement); a call
+//     to the panic builtin terminates its block with Panics set; an empty
+//     select{} terminates with neither. Such blocks have no successors.
+//   - Function literals are opaque: their bodies are separate functions
+//     with separate CFGs (see FuncLits); the enclosing graph sees only the
+//     statement containing the literal.
+//
+// Statements after a terminator, and labeled statements nothing jumps to,
+// become blocks unreachable from Entry. They are kept in Blocks so clients
+// can diagnose dead code; Reachable distinguishes them.
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block of a CFG.
+type Block struct {
+	Index int        // position in CFG.Blocks
+	Stmts []ast.Node // simple statements, in execution order
+	Cond  ast.Expr   // branch condition evaluated after Stmts, or nil
+	Succs []*Block   // Cond != nil: [true-edge, false-edge]
+
+	Return *ast.ReturnStmt // set when the block ends in a return
+	Panics bool            // set when the block ends in a panic(...) call
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block  // every block created, in creation order
+	End    token.Pos // closing brace of the body, for fall-off-end positions
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{End: body.Rbrace}, labels: map[string]*labelInfo{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmtList(body.List, "")
+	return b.cfg
+}
+
+// FuncLits returns every function literal under root, outermost first,
+// without descending into the bodies of nested literals' enclosing
+// expressions twice. Callers analyzing a function should analyze each
+// literal's Body as its own function.
+func FuncLits(root ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(root, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}
+
+// labelInfo tracks one declared (or forward-referenced) label.
+type labelInfo struct {
+	block *Block // the labeled statement's entry block
+	brk   *Block // break-target when the label names a loop/switch/select
+	cont  *Block // continue-target when the label names a loop
+}
+
+// breakable is one enclosing break/continue scope.
+type breakable struct {
+	label string // enclosing label, or ""
+	brk   *Block
+	cont  *Block // nil for switch/select scopes
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil while building dead code
+	scopes []breakable
+	labels map[string]*labelInfo
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// live returns the current block, reviving dead code into a fresh
+// unreachable block so statements after a terminator still get blocks
+// (and are diagnosable as unreachable).
+func (b *cfgBuilder) live() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) { blk := b.live(); blk.Stmts = append(blk.Stmts, n) }
+
+// jump adds an edge from the current block to dst and kills the current
+// block. No edge is added from dead code.
+func (b *cfgBuilder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// branch ends the current block with cond, creating the true/false edges.
+func (b *cfgBuilder) branch(cond ast.Expr, t, f *Block) {
+	blk := b.live()
+	blk.Cond = cond
+	blk.Succs = []*Block{t, f}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) labelInfoFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, _ string) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds one statement. label is the name of an immediately enclosing
+// LabeledStmt ("" otherwise) so loops and switches can register labeled
+// break/continue targets.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List, "")
+	case *ast.LabeledStmt:
+		li := b.labelInfoFor(s.Label.Name)
+		b.jump(li.block)
+		b.cur = li.block
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.live().Return = s
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.EmptyStmt:
+		// nothing
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.live().Panics = true
+			b.cur = nil
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, ...: straight-line.
+		b.add(s)
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	then, els, done := b.newBlock(), b.newBlock(), b.newBlock()
+	b.branch(s.Cond, then, els)
+	b.cur = then
+	b.stmtList(s.Body.List, "")
+	b.jump(done)
+	b.cur = els
+	if s.Else != nil {
+		b.stmt(s.Else, "")
+	}
+	b.jump(done)
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head, body, exit := b.newBlock(), b.newBlock(), b.newBlock()
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.branch(s.Cond, body, exit)
+	} else {
+		b.jump(body) // for{}: leaves only via break/return
+	}
+	b.pushScope(label, exit, cont)
+	b.cur = body
+	b.stmtList(s.Body.List, "")
+	b.popScope()
+	b.jump(cont)
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head, body, exit := b.newBlock(), b.newBlock(), b.newBlock()
+	b.jump(head)
+	b.cur = head
+	// Synthesize the per-iteration assignment so dataflow clients see the
+	// key/value binding and the range operand each trip.
+	var lhs []ast.Expr
+	if s.Key != nil {
+		lhs = append(lhs, s.Key)
+	}
+	if s.Value != nil {
+		lhs = append(lhs, s.Value)
+	}
+	if len(lhs) > 0 {
+		b.add(&ast.AssignStmt{Lhs: lhs, Tok: s.Tok, TokPos: s.TokPos, Rhs: []ast.Expr{s.X}})
+	} else {
+		b.add(&ast.ExprStmt{X: s.X})
+	}
+	// The header decides iterate-vs-done; there is no syntactic condition,
+	// so the edges are unconditional (Cond stays nil).
+	b.live().Succs = []*Block{body, exit}
+	b.cur = nil
+	b.pushScope(label, exit, head)
+	b.cur = body
+	b.stmtList(s.Body.List, "")
+	b.popScope()
+	b.jump(head)
+	b.cur = exit
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(&ast.ExprStmt{X: s.Tag})
+	}
+	head := b.live()
+	exit := b.newBlock()
+	b.cur = nil
+
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		if c.List == nil {
+			hasDefault = true
+		}
+		head.Succs = append(head.Succs, blocks[i])
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, exit)
+	}
+	b.pushScope(label, exit, nil)
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		for _, guard := range c.List {
+			b.add(&ast.ExprStmt{X: guard})
+		}
+		b.caseBody(c.Body, blocks, i, exit)
+	}
+	b.popScope()
+	b.cur = exit
+}
+
+// caseBody builds one case clause, routing a trailing fallthrough to the
+// next clause's block.
+func (b *cfgBuilder) caseBody(body []ast.Stmt, blocks []*Block, i int, exit *Block) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i+1 < len(blocks) {
+				b.jump(blocks[i+1])
+			} else {
+				b.jump(exit)
+			}
+			return
+		}
+		b.stmt(s, "")
+	}
+	b.jump(exit)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.live()
+	exit := b.newBlock()
+	b.cur = nil
+
+	hasDefault := false
+	b.pushScope(label, exit, nil)
+	for _, raw := range s.Body.List {
+		c := raw.(*ast.CaseClause)
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		if c.List == nil {
+			hasDefault = true
+		}
+		b.cur = blk
+		b.stmtList(c.Body, "")
+		b.jump(exit)
+	}
+	b.popScope()
+	if !hasDefault {
+		head.Succs = append(head.Succs, exit)
+	}
+	b.cur = exit
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.live()
+	exit := b.newBlock()
+	b.cur = nil
+	b.pushScope(label, exit, nil)
+	for _, raw := range s.Body.List {
+		c := raw.(*ast.CommClause)
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if c.Comm != nil {
+			b.stmt(c.Comm, "")
+		}
+		b.stmtList(c.Body, "")
+		b.jump(exit)
+	}
+	b.popScope()
+	// An empty select{} blocks forever: head keeps zero successors and
+	// terminates the path.
+	b.cur = exit
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if dst := b.breakTarget(labelName(s.Label)); dst != nil {
+			b.jump(dst)
+			return
+		}
+	case token.CONTINUE:
+		if dst := b.continueTarget(labelName(s.Label)); dst != nil {
+			b.jump(dst)
+			return
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.labelInfoFor(s.Label.Name).block)
+			return
+		}
+	case token.FALLTHROUGH:
+		// Only legal as the final statement of a case body, which caseBody
+		// handles before stmt sees it; a stray one ends the path.
+	}
+	b.cur = nil
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+func (b *cfgBuilder) pushScope(label string, brk, cont *Block) {
+	b.scopes = append(b.scopes, breakable{label: label, brk: brk, cont: cont})
+	if label != "" {
+		li := b.labelInfoFor(label)
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *cfgBuilder) popScope() { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.brk
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].brk != nil {
+			return b.scopes[i].brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.cont
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].cont != nil {
+			return b.scopes[i].cont
+		}
+	}
+	return nil
+}

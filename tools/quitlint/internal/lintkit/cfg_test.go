@@ -1,0 +1,343 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a single function declaration and returns its body.
+func parseBody(t *testing.T, fn string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n\n"+fn, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, fd.Body
+		}
+	}
+	t.Fatal("fixture has no function body")
+	return nil, nil
+}
+
+// checkInvariants asserts the structural CFG invariants every builder
+// output must satisfy; it returns the set of reachable blocks.
+func checkInvariants(t *testing.T, fset *token.FileSet, cfg *CFG) map[*Block]bool {
+	t.Helper()
+	if cfg.Entry == nil || len(cfg.Blocks) == 0 {
+		t.Fatal("CFG has no entry block")
+	}
+	index := map[*Block]bool{}
+	for i, b := range cfg.Blocks {
+		if b.Index != i {
+			t.Errorf("block %d carries Index %d", i, b.Index)
+		}
+		index[b] = true
+	}
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil && len(b.Succs) != 2 {
+			t.Errorf("block %d has Cond but %d successors", b.Index, len(b.Succs))
+		}
+		if (b.Return != nil || b.Panics) && len(b.Succs) != 0 {
+			t.Errorf("terminator block %d has %d successors", b.Index, len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if !index[s] {
+				t.Errorf("block %d has an edge to a block outside Blocks", b.Index)
+			}
+		}
+		for _, n := range b.Stmts {
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt, *ast.BlockStmt:
+				t.Errorf("block %d holds undecomposed compound statement %T at %s",
+					b.Index, n, fset.Position(n.Pos()))
+			}
+		}
+	}
+	return cfg.Reachable()
+}
+
+func TestIfElseJoins(t *testing.T) {
+	fset, body := parseBody(t, `func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			t.Errorf("unexpected unreachable block %d", b.Index)
+		}
+	}
+	var returns int
+	for _, b := range cfg.Blocks {
+		if b.Return != nil {
+			returns++
+		}
+	}
+	if returns != 1 {
+		t.Errorf("want one return block after the join, got %d", returns)
+	}
+	if cfg.Entry.Cond == nil || len(cfg.Entry.Succs) != 2 {
+		t.Errorf("entry block should end in the if condition with two edges")
+	}
+}
+
+func TestForLoopCycles(t *testing.T) {
+	fset, body := parseBody(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no condition block for the loop header")
+	}
+	// The loop head must reach itself through the body and post blocks.
+	seen := map[*Block]bool{}
+	work := []*Block{head.Succs[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, b.Succs...)
+	}
+	if !seen[head] {
+		t.Error("loop body does not cycle back to the header")
+	}
+	if !reach[head] {
+		t.Error("loop head unreachable")
+	}
+}
+
+func TestForeverLoopTerminates(t *testing.T) {
+	fset, body := parseBody(t, `func f() {
+	for {
+	}
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	// for{} never falls out: the loop exit block exists but is unreachable,
+	// which is exactly the reachable-or-diagnosed contract.
+	unreachable := 0
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Error("for{} should leave its exit block unreachable")
+	}
+}
+
+func TestRangeSynthesizesAssign(t *testing.T) {
+	fset, body := parseBody(t, `func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	cfg := BuildCFG(body)
+	checkInvariants(t, fset, cfg)
+	found := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Stmts {
+			if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 1 {
+				if id, ok := a.Rhs[0].(*ast.Ident); ok && id.Name == "xs" {
+					found = true
+					if len(b.Succs) != 2 {
+						t.Errorf("range header should have iterate and done edges, got %d", len(b.Succs))
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("range header did not synthesize the per-iteration assignment")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	fset, body := parseBody(t, `func f(k int) int {
+	r := 0
+	switch k {
+	case 0:
+		r = 1
+		fallthrough
+	case 1:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			t.Errorf("unexpected unreachable block %d in switch", b.Index)
+		}
+	}
+	// The fallthrough clause must have exactly one successor: the next
+	// case's block (not the exit).
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Stmts {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				t.Errorf("fallthrough must be consumed by the builder, found in block %d", b.Index)
+			}
+		}
+	}
+}
+
+func TestPanicAndDeadCode(t *testing.T) {
+	fset, body := parseBody(t, `func f(c bool) int {
+	if !c {
+		panic("no")
+	}
+	return 1
+}`)
+	cfg := BuildCFG(body)
+	checkInvariants(t, fset, cfg)
+	var panics int
+	for _, b := range cfg.Blocks {
+		if b.Panics {
+			panics++
+			if len(b.Succs) != 0 {
+				t.Error("panic block has successors")
+			}
+		}
+	}
+	if panics != 1 {
+		t.Errorf("want one panicking block, got %d", panics)
+	}
+
+	fset, body = parseBody(t, `func g() int {
+	return 1
+	println("dead")
+}`)
+	cfg = BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	dead := 0
+	for _, b := range cfg.Blocks {
+		if !reach[b] && len(b.Stmts) > 0 {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Errorf("statement after return should land in one unreachable block, got %d", dead)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	fset, body := parseBody(t, `func f() {
+	select {}
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	// The entry path ends at the empty select: no reachable block may be a
+	// fall-off-the-end exit with zero statements and zero successors other
+	// than the select head itself.
+	for _, b := range cfg.Blocks {
+		if reach[b] && len(b.Succs) == 0 && b.Return != nil {
+			t.Error("empty select must not reach a return")
+		}
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	fset, body := parseBody(t, `func f(m [][]int) int {
+	s := 0
+outer:
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < 0 {
+				continue outer
+			}
+			if m[i][j] == 0 {
+				break outer
+			}
+			s += j
+		}
+	}
+	return s
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			t.Errorf("labeled loop left block %d unreachable", b.Index)
+		}
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	fset, body := parseBody(t, `func f(n int) int {
+	i := 0
+retry:
+	i++
+	if i < n {
+		goto retry
+	}
+	return i
+}`)
+	cfg := BuildCFG(body)
+	reach := checkInvariants(t, fset, cfg)
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			t.Errorf("goto loop left block %d unreachable", b.Index)
+		}
+	}
+}
+
+func TestFuncLitsAreOpaque(t *testing.T) {
+	fset, body := parseBody(t, `func f() func() int {
+	g := func() int {
+		if true {
+			return 1
+		}
+		return 2
+	}
+	return g
+}`)
+	cfg := BuildCFG(body)
+	checkInvariants(t, fset, cfg)
+	// The literal's control flow must not leak into the outer graph: the
+	// outer function is straight-line (assign, return) with no branches.
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			t.Error("function literal's branches leaked into the enclosing CFG")
+		}
+	}
+	lits := FuncLits(body)
+	if len(lits) != 1 {
+		t.Fatalf("want one function literal, got %d", len(lits))
+	}
+	inner := BuildCFG(lits[0].Body)
+	checkInvariants(t, fset, inner)
+	if len(inner.Blocks) < 3 {
+		t.Error("literal body should decompose into multiple blocks")
+	}
+}

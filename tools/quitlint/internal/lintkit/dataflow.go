@@ -1,0 +1,131 @@
+// dataflow.go is the forward-dataflow fixpoint engine over the basic-block
+// CFGs of cfg.go. Facts are 64-bit may-sets: the meet over merging paths is
+// union, so a set bit at a program point means "some path reaches this
+// point with the bit's condition possibly holding". Transfer functions must
+// be monotone in the gen/kill sense (out = in &^ kill | gen with kill and
+// gen independent of in), which every lintkit analyzer's transfer is; the
+// lattice is finite, so the worklist iteration terminates.
+//
+// Analysis runs in two phases. Analyze computes the fixpoint fact at every
+// block entry. Walk then replays each reachable block exactly once from its
+// fixed entry fact, invoking the client's visit callback with the fact in
+// force before every statement — so diagnostics are emitted once per
+// program point, not once per fixpoint iteration.
+package lintkit
+
+import "go/ast"
+
+// Fact is a may-set of up to 64 analyzer-defined bits.
+type Fact uint64
+
+// A Flow configures one forward dataflow problem over a CFG.
+type Flow struct {
+	CFG   *CFG
+	Entry Fact // fact at function entry
+
+	// BlockStart, if set, runs before a block's statements are processed
+	// (in both phases). Clients use it to reset per-block scratch state,
+	// e.g. condition-variable bindings, which are derived from the block's
+	// own statements and therefore identical on every replay.
+	BlockStart func(b *Block)
+
+	// Transfer maps the fact across one statement. It is also invoked on
+	// the block's Cond expression (after the statements), so side effects
+	// in conditions are seen exactly once.
+	Transfer func(n ast.Node, f Fact) Fact
+
+	// Branch, if set, refines the post-condition fact along each edge of a
+	// block ending in Cond: takenTrue selects the condition-true edge.
+	Branch func(cond ast.Expr, takenTrue bool, f Fact) Fact
+}
+
+// Analyze runs the worklist fixpoint and returns the entry fact of every
+// block, indexed by Block.Index. Unreached blocks hold the zero Fact.
+func (fl *Flow) Analyze() []Fact {
+	n := len(fl.CFG.Blocks)
+	in := make([]Fact, n)
+	reached := make([]bool, n)
+	entry := fl.CFG.Entry
+	in[entry.Index] = fl.Entry
+	reached[entry.Index] = true
+
+	work := []*Block{entry}
+	queued := make([]bool, n)
+	queued[entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		f := fl.transferBlock(b, in[b.Index])
+		for i, succ := range b.Succs {
+			out := f
+			if b.Cond != nil && fl.Branch != nil {
+				out = fl.Branch(b.Cond, i == 0, f)
+			}
+			merged := in[succ.Index] | out
+			if !reached[succ.Index] || merged != in[succ.Index] {
+				in[succ.Index] = merged
+				reached[succ.Index] = true
+				if !queued[succ.Index] {
+					queued[succ.Index] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// transferBlock maps a block-entry fact across the block's statements and
+// condition.
+func (fl *Flow) transferBlock(b *Block, f Fact) Fact {
+	if fl.BlockStart != nil {
+		fl.BlockStart(b)
+	}
+	for _, s := range b.Stmts {
+		f = fl.Transfer(s, f)
+	}
+	if b.Cond != nil {
+		f = fl.Transfer(b.Cond, f)
+	}
+	return f
+}
+
+// Walk replays every reachable block once from the fixpoint facts,
+// calling visit with the fact in force immediately before each statement
+// (and before the block's Cond), and exit with the final fact of every
+// reachable block that has no successors — return blocks, panic blocks,
+// and the fall-off-the-end block. Either callback may be nil.
+func (fl *Flow) Walk(in []Fact, visit func(n ast.Node, f Fact), exit func(b *Block, f Fact)) {
+	reach := fl.CFG.Reachable()
+	for _, b := range fl.CFG.Blocks {
+		if !reach[b] {
+			continue
+		}
+		if fl.BlockStart != nil {
+			fl.BlockStart(b)
+		}
+		f := in[b.Index]
+		for _, s := range b.Stmts {
+			if visit != nil {
+				visit(s, f)
+			}
+			f = fl.Transfer(s, f)
+		}
+		if b.Cond != nil {
+			if visit != nil {
+				visit(b.Cond, f)
+			}
+			f = fl.Transfer(b.Cond, f)
+		}
+		if len(b.Succs) == 0 && exit != nil {
+			exit(b, f)
+		}
+	}
+}
+
+// Run is the convenience composition: Analyze then Walk.
+func (fl *Flow) Run(visit func(n ast.Node, f Fact), exit func(b *Block, f Fact)) {
+	fl.Walk(fl.Analyze(), visit, exit)
+}

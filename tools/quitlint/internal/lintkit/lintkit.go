@@ -126,7 +126,7 @@ type allowComment struct {
 	pos      token.Pos
 }
 
-// applySuppressions drops diagnostics covered by //quitlint:allow comments
+// applySuppressions drops diagnostics covered by "quitlint:allow" comments
 // and diagnostics inside *_test.go files, and reports malformed allow
 // comments (missing reason) as findings in their own right.
 func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {

@@ -1,6 +1,6 @@
-// quitlint is the QuIT-tree static-analysis suite: four checks over the
-// OLC latch protocol, atomics discipline, and fast-path invariants of
-// internal/core (see DESIGN.md §6-§7).
+// quitlint is the QuIT-tree static-analysis suite: eight checks over the
+// OLC latch protocol, atomics discipline, fast-path invariants, and the
+// WAL durability contract of the main module (see DESIGN.md §6-§10).
 //
 // It is a vettool — the supported invocation is through the go command,
 // which handles package loading, export data, and caching:
@@ -10,6 +10,7 @@
 // Run directly with package patterns it re-execs `go vet` on itself:
 //
 //	quitlint ./...
+//	quitlint -json ./...   # findings as a JSON array on stdout (for CI)
 //
 // Suppress a finding with a trailing or preceding comment that names the
 // analyzer and records why the code is safe:
@@ -21,11 +22,15 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 
 	"github.com/quittree/quit/tools/quitlint/analyzers"
@@ -49,10 +54,17 @@ func run(args []string) int {
 			return lintkit.RunUnit(args[1], analyzers.All(), os.Stderr)
 		}
 	}
+	if len(args) >= 2 && args[1] == "-json" {
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: quitlint -json [packages]")
+			return 1
+		}
+		return jsonVet(args[2:])
+	}
 	if len(args) >= 2 {
 		return reexecVet(args[1:])
 	}
-	fmt.Fprintln(os.Stderr, "usage: go vet -vettool=quitlint [packages]  |  quitlint [packages]")
+	fmt.Fprintln(os.Stderr, "usage: go vet -vettool=quitlint [-json] [packages]  |  quitlint [packages]")
 	return 1
 }
 
@@ -73,6 +85,74 @@ func printVersion(argv0 string) int {
 	}
 	sum := sha256.Sum256(data)
 	fmt.Printf("%s version devel buildID=%x\n", name, sum[:16])
+	return 0
+}
+
+// finding is one diagnostic in `quitlint -json` output. The field names
+// are what .github/problem-matchers/quitlint.json and other tooling key
+// on; treat them as a stable interface.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// diagLine matches the unit-checker's diagnostic format:
+// path.go:line:col: message [analyzer]
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*) \[([a-z]+)\]$`)
+
+// jsonVet drives `go vet` with this binary as the vettool, converts the
+// diagnostics on stderr into a JSON array on stdout, and preserves the
+// vet exit code. Non-diagnostic stderr (typecheck errors, package noise)
+// passes through so failures stay debuggable.
+func jsonVet(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", err)
+		return 1
+	}
+	var out bytes.Buffer
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+
+	findings := []finding{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := diagLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			// `# pkg` headers are vet noise; anything else (loader or
+			// typecheck failures) is real and goes back to stderr.
+			if line != "" && !strings.HasPrefix(line, "#") {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		findings = append(findings, finding{
+			File:     filepath.ToSlash(strings.TrimPrefix(m[1], "./")),
+			Line:     ln,
+			Col:      col,
+			Message:  m[4],
+			Analyzer: m[5],
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		fmt.Fprintf(os.Stderr, "quitlint: encoding findings: %v\n", err)
+		return 1
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "quitlint: %v\n", runErr)
+		return 1
+	}
 	return 0
 }
 
