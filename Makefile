@@ -33,8 +33,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal
 
 # The crash-recovery matrix (DESIGN.md §8): every schedule point of a
-# recorded workload is crashed and recovered, plus the bit-flip sweep and
-# the injected write/sync failures. CI runs this normally and under -race.
+# recorded workload is crashed and recovered — in the single-segment and
+# the rotation+auto-checkpoint variants — plus the bit-flip and
+# segment-boundary corruption sweeps and the injected write/sync failures
+# (transient retry, ENOSPC read-only degradation). CI runs this normally
+# and under -race.
 crash:
 	$(GO) test -run 'TestCrashRecovery|TestDurable' -count=1 .
 	$(GO) test -count=1 ./internal/wal ./internal/faultio

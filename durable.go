@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/quittree/quit/internal/core"
@@ -147,6 +149,44 @@ func (osFS) SyncDir(dir string) error {
 	return cerr
 }
 
+// CheckpointPolicy bounds recovery work by checkpointing automatically:
+// once the live write-ahead log (everything a reopen would replay)
+// exceeds MaxWALBytes bytes or MaxRecords records, a checkpoint compacts
+// it into a snapshot and deletes the covered segments. A zero field
+// disables that bound; the zero policy disables auto-checkpointing
+// entirely.
+//
+// The trigger runs off the commit path: it reads atomic counters after a
+// successful commit and runs the checkpoint on its own goroutine, so it
+// never blocks the pipelined group commit. At most one automatic
+// checkpoint is in flight at a time.
+type CheckpointPolicy struct {
+	MaxWALBytes int64
+	MaxRecords  int
+}
+
+// RetryPolicy bounds the write-ahead log's in-place recovery from
+// transient I/O failures: a failed write or fsync is retried up to
+// MaxRetries times with exponential backoff before the log gives up and
+// poisons itself. Errors the classifier calls non-transient (disk full,
+// read-only filesystem, a closed descriptor) skip the retries entirely.
+type RetryPolicy struct {
+	// MaxRetries is the number of retries after the first attempt. The
+	// zero value selects the default (3); negative disables retrying.
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 1ms); it
+	// doubles per retry up to MaxBackoff (default 100ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep waits between attempts; nil selects time.Sleep. Tests inject
+	// a recording sleeper so retries take no wall-clock time.
+	Sleep func(time.Duration)
+	// Transient reports whether an I/O error is worth retrying; nil
+	// selects the default classifier (everything except ENOSPC, EDQUOT,
+	// EROFS, EBADF and closed files).
+	Transient func(error) bool
+}
+
 // DurableOptions configures Open.
 type DurableOptions struct {
 	// Options configures the in-memory tree exactly as for New.
@@ -158,13 +198,36 @@ type DurableOptions struct {
 	SyncInterval time.Duration
 	// WALBufBytes caps the group-commit buffer (default 256KiB).
 	WALBufBytes int
+	// SegmentBytes is the WAL segment rotation threshold: once the
+	// current segment holds at least this many bytes, the commit leader
+	// syncs it and continues in a fresh segment file. Zero selects the
+	// default (64MiB); negative disables rotation.
+	SegmentBytes int64
+	// Checkpoint enables automatic checkpoints; the zero value leaves
+	// checkpointing manual.
+	Checkpoint CheckpointPolicy
+	// Retry bounds the WAL's transient-fault retry loop; the zero value
+	// selects the defaults documented on RetryPolicy.
+	Retry RetryPolicy
 	// FS substitutes the filesystem; nil selects the real one. Used by
 	// the fault-injection tests.
 	FS FS
 }
 
 func (o DurableOptions) walConfig() wal.Config {
-	return wal.Config{Sync: o.Sync.wal(), Interval: o.SyncInterval, BufBytes: o.WALBufBytes}
+	return wal.Config{
+		Sync:         o.Sync.wal(),
+		Interval:     o.SyncInterval,
+		BufBytes:     o.WALBufBytes,
+		SegmentBytes: o.SegmentBytes,
+		Retry: wal.RetryPolicy{
+			MaxRetries: o.Retry.MaxRetries,
+			Backoff:    o.Retry.Backoff,
+			MaxBackoff: o.Retry.MaxBackoff,
+			Sleep:      o.Retry.Sleep,
+			Transient:  o.Retry.Transient,
+		},
+	}
 }
 
 // RecoveryInfo reports what Open found on disk and how recovery went.
@@ -185,6 +248,10 @@ type RecoveryInfo struct {
 	// SegmentsReplayed and RecordsReplayed count the log replay.
 	SegmentsReplayed int
 	RecordsReplayed  int
+	// WALBytesReplayed is the total valid record prefix, in bytes,
+	// found across the replayed segments — the live log volume the
+	// checkpoint policy starts from.
+	WALBytesReplayed int64
 	// WALTail is nil when the log ended cleanly at a record boundary;
 	// otherwise it wraps wal.ErrTornRecord or wal.ErrCorruptRecord and
 	// explains where replay stopped. A torn tail after a crash is
@@ -211,6 +278,29 @@ type DurableTree[K Integer, V any] struct {
 	log  *wal.Log[K, V]
 	rec  RecoveryInfo
 	open bool
+
+	// Disk-full degradation (DESIGN.md §8): guarded by mu. While
+	// readOnly is set, writes fail with ErrReadOnly (wrapping roCause)
+	// and reads keep serving; Recover clears it.
+	readOnly bool
+	roCause  error
+
+	// Durability accounting. baseWALBytes / baseWALRecords carry the
+	// live WAL volume inherited from disk at Open and are reset by each
+	// checkpoint; the cum* counters accumulate totals from rotated-out
+	// logs. All atomic so maybeAutoCheckpoint and DurabilityStats read
+	// them off the commit path, without the log mutex.
+	baseWALBytes   atomic.Int64
+	baseWALRecords atomic.Int64
+	cumRotations   atomic.Uint64
+	cumRotFailed   atomic.Uint64
+	cumRetries     atomic.Uint64
+	cumRetriesOK   atomic.Uint64
+	checkpoints    atomic.Uint64
+	autoCheckpts   atomic.Uint64
+	walReclaimed   atomic.Uint64
+	cpRunning      atomic.Bool
+	cpWG           sync.WaitGroup
 }
 
 const (
@@ -318,6 +408,20 @@ func Open[K Integer, V any](dir string, opts DurableOptions) (*DurableTree[K, V]
 	}
 	for i := 0; i < len(walSeqs); i++ {
 		name := walName(walSeqs[i])
+		if walSeqs[i] > lastApplied+1 &&
+			(i+1 < len(walSeqs) || len(d.rec.SkippedSnapshots) == 0) {
+			// A segment starting beyond the replayed prefix means acked
+			// history in between is missing — deleted or damaged — and
+			// replay cannot continue past the break. Refuse to open as a
+			// silently shortened tree. The one sanctioned case: the
+			// *last* segment after a snapshot fallback, where the newest
+			// generation was skipped as damaged and the surviving log
+			// begins where that generation's checkpoint rotated — replay
+			// flags the break in WALTail and recovery visibly degrades
+			// to the older prefix.
+			return nil, fmt.Errorf("quit: log segment %s starts at sequence %d but replay reached %d: %w",
+				name, walSeqs[i], lastApplied, ErrWALGap)
+		}
 		f, err := fs.Open(filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("quit: opening log segment %s: %w", name, err)
@@ -330,33 +434,62 @@ func Open[K Integer, V any](dir string, opts DurableOptions) (*DurableTree[K, V]
 		lastApplied = stats.LastSeq
 		d.rec.SegmentsReplayed++
 		d.rec.RecordsReplayed += stats.Applied
+		d.rec.WALBytesReplayed += stats.Bytes
 		if stats.Tail != nil {
 			d.rec.WALTail = fmt.Errorf("%s: %w", name, stats.Tail)
 			// A later segment starting exactly at the break means a
 			// previous recovery already resumed there; keep replaying.
-			// Anything else is past the tear and cannot be trusted.
 			if i+1 < len(walSeqs) && walSeqs[i+1] == lastApplied+1 {
 				continue
+			}
+			// A torn or corrupt tail is tolerable only in the newest
+			// segment: rotation syncs a segment before abandoning it,
+			// so mid-chain damage means the later segments hold acked
+			// history this replay cannot reach.
+			if i+1 < len(walSeqs) {
+				return nil, fmt.Errorf("quit: replaying %s: %v: %w", name, stats.Tail, ErrWALGap) //quitlint:allow errwrap mapping cause onto the typed sentinel
 			}
 			break
 		}
 	}
+	d.baseWALBytes.Store(d.rec.WALBytesReplayed)
+	d.baseWALRecords.Store(int64(d.rec.RecordsReplayed))
 
 	// New writes go to a fresh segment continuing the sequence. (If the
 	// name exists, it is a segment we applied nothing from — empty or
 	// torn at its first record — and truncating it is sound.)
-	segName := filepath.Join(dir, walName(lastApplied+1))
-	wf, err := fs.Create(segName)
+	wf, err := d.openSegment(lastApplied + 1)
 	if err != nil {
 		return nil, fmt.Errorf("quit: creating log segment: %w", err)
 	}
-	if err := fs.SyncDir(dir); err != nil {
-		wf.Close()
-		return nil, fmt.Errorf("quit: syncing durable dir: %w", err)
-	}
-	d.log = wal.New[K, V](wf, lastApplied, opts.walConfig())
+	d.log = d.newLog(wf, lastApplied)
 	d.open = true
 	return d, nil
+}
+
+// openSegment creates — and makes durable in the directory — the file
+// for the write-ahead-log segment whose first record will carry
+// firstSeq. It serves Open, checkpoint rotation, and the log's own
+// size-triggered rotation (which calls it from the commit leader, off
+// d.mu; it touches only immutable fields).
+func (d *DurableTree[K, V]) openSegment(firstSeq uint64) (wal.File, error) {
+	f, err := d.fs.Create(filepath.Join(d.dir, walName(firstSeq)))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// newLog builds a log over wf whose next record is lastSeq+1, wired to
+// rotate segments through openSegment.
+func (d *DurableTree[K, V]) newLog(wf wal.File, lastSeq uint64) *wal.Log[K, V] {
+	cfg := d.opts.walConfig()
+	cfg.OpenSegment = d.openSegment
+	return wal.New[K, V](wf, lastSeq, cfg)
 }
 
 // loadSnapshotFile reads one checkpoint file: preamble, then snapshot.
@@ -385,16 +518,72 @@ func (d *DurableTree[K, V]) Recovery() RecoveryInfo { return d.rec }
 // ErrClosed is returned by operations on a closed DurableTree.
 var ErrClosed = errors.New("quit: durable tree is closed")
 
+// ErrReadOnly marks the disk-full degraded mode: the write-ahead log hit
+// ENOSPC (or EDQUOT), so writes fail cleanly with this error while Get,
+// Range, Scan and the other readers keep serving the in-memory tree.
+// Free space and call Recover (or reopen) to accept writes again. Every
+// error returned while degraded matches via errors.Is and wraps the
+// original disk-full cause.
+var ErrReadOnly = errors.New("quit: durable tree is read-only after a disk-full failure")
+
+// ErrWALGap reports unreachable acknowledged history: a log segment is
+// damaged or missing in the middle of the segment chain, with later
+// segments whose records cannot be applied past the break. Opening would
+// silently drop acknowledged writes, so Open refuses instead.
+var ErrWALGap = errors.New("quit: gap in write-ahead log segment chain")
+
+// isDiskFull classifies the failures that flip the tree read-only
+// instead of merely poisoning the log: out of space or out of quota.
+func isDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// degradeLocked maps a log failure onto the degradation contract: a
+// disk-full failure flips the tree into typed read-only mode — writes
+// fail with ErrReadOnly while reads keep serving — instead of the
+// generic poisoned-log error. Other failures pass through unchanged.
+// Called with d.mu held (read-only state is guarded by it).
+func (d *DurableTree[K, V]) degradeLocked(err error) error {
+	if err == nil {
+		return nil
+	}
+	if isDiskFull(err) {
+		if !d.readOnly {
+			d.readOnly = true
+			d.roCause = err
+		}
+		return fmt.Errorf("%w: %w", ErrReadOnly, err)
+	}
+	return err
+}
+
+// readOnlyErrLocked is the fast-path rejection for writes while the tree
+// is degraded; d.mu must be held.
+func (d *DurableTree[K, V]) readOnlyErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrReadOnly, d.roCause)
+}
+
+// ReadOnly reports whether the tree is in the disk-full degraded mode.
+func (d *DurableTree[K, V]) ReadOnly() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.readOnly
+}
+
 // append logs one record and applies fn to the in-memory tree. The write
 // lock keeps log order and apply order identical.
 func (d *DurableTree[K, V]) append(op wal.Op, key K, val V, fn func()) error {
 	if !d.open {
 		return ErrClosed
 	}
+	if d.readOnly {
+		return d.readOnlyErrLocked()
+	}
 	if _, err := d.log.Append(op, key, val); err != nil {
-		return err
+		return d.degradeLocked(err)
 	}
 	fn()
+	d.maybeAutoCheckpoint(d.log)
 	return nil
 }
 
@@ -456,6 +645,11 @@ func (d *DurableTree[K, V]) batch(keys []K, vals []V, parallel bool, opts Ingest
 		d.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if d.readOnly {
+		err := d.readOnlyErrLocked()
+		d.mu.Unlock()
+		return nil, err
+	}
 	if len(keys) != len(vals) {
 		d.mu.Unlock()
 		return nil, fmt.Errorf("quit: batch of %d keys with %d values", len(keys), len(vals))
@@ -470,6 +664,7 @@ func (d *DurableTree[K, V]) batch(keys []K, vals []V, parallel bool, opts Ingest
 	log := d.log
 	seq, err := log.AppendBatchStart(keys, vals)
 	if err != nil {
+		err = d.degradeLocked(err)
 		d.mu.Unlock()
 		return nil, err
 	}
@@ -481,8 +676,12 @@ func (d *DurableTree[K, V]) batch(keys []K, vals []V, parallel bool, opts Ingest
 	}
 	d.mu.Unlock()
 	if err := log.Commit(seq); err != nil {
+		d.mu.Lock()
+		err = d.degradeLocked(err)
+		d.mu.Unlock()
 		return nil, err
 	}
+	d.maybeAutoCheckpoint(log)
 	return res, nil
 }
 
@@ -494,6 +693,9 @@ func (d *DurableTree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error)
 	defer d.mu.Unlock()
 	if !d.open {
 		return nil, ErrClosed
+	}
+	if d.readOnly {
+		return nil, d.readOnlyErrLocked()
 	}
 	if len(keys) != len(vals) {
 		return nil, fmt.Errorf("quit: batch of %d keys with %d values", len(keys), len(vals))
@@ -513,7 +715,7 @@ func (d *DurableTree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error)
 	log := d.log
 	seq, err := log.AppendBatchStart(keys, vals)
 	if err != nil {
-		return nil, err
+		return nil, d.degradeLocked(err)
 	}
 	res, err := d.t.ApplySorted(keys, vals)
 	if err != nil {
@@ -525,8 +727,9 @@ func (d *DurableTree[K, V]) ApplySorted(keys []K, vals []V) ([]PutResult, error)
 	err = log.Commit(seq)
 	d.mu.Lock() // re-lock for the deferred unlock
 	if err != nil {
-		return nil, err
+		return nil, d.degradeLocked(err)
 	}
+	d.maybeAutoCheckpoint(log)
 	return res, nil
 }
 
@@ -562,7 +765,10 @@ func (d *DurableTree[K, V]) Sync() error {
 	if !d.open {
 		return ErrClosed
 	}
-	return d.log.Sync()
+	if d.readOnly {
+		return d.readOnlyErrLocked()
+	}
+	return d.degradeLocked(d.log.Sync())
 }
 
 // Checkpoint writes a checksummed snapshot of the current tree, installs
@@ -581,8 +787,19 @@ func (d *DurableTree[K, V]) Checkpoint() error {
 	// Everything the snapshot will contain must be on disk first, so a
 	// crash mid-checkpoint still recovers from the old snapshot + log.
 	if err := d.log.Sync(); err != nil {
-		return err
+		return d.degradeLocked(err)
 	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked writes, installs and swaps to a new snapshot of the
+// in-memory tree at the log's current last sequence number, rotating the
+// log and deleting covered generations. d.mu must be held. It does not
+// sync the log first: Checkpoint syncs (acked records must be durable
+// before being superseded), while Recover deliberately skips the sync —
+// its log is poisoned and the snapshot of the in-memory tree, which
+// holds every acknowledged write, replaces the log wholesale.
+func (d *DurableTree[K, V]) checkpointLocked() error {
 	seq := d.log.LastSeq()
 
 	tmp := filepath.Join(d.dir, snapTmp)
@@ -614,17 +831,23 @@ func (d *DurableTree[K, V]) Checkpoint() error {
 	}
 
 	// Rotate the log: new writes land in a fresh segment above seq.
-	segName := filepath.Join(d.dir, walName(seq+1))
-	wf, err := d.fs.Create(segName)
+	wf, err := d.openSegment(seq + 1)
 	if err != nil {
 		return fmt.Errorf("quit: rotating log: %w", err)
 	}
-	if err := d.fs.SyncDir(d.dir); err != nil {
-		wf.Close()
-		return fmt.Errorf("quit: syncing durable dir: %w", err)
-	}
 	old := d.log
-	d.log = wal.New[K, V](wf, seq, d.opts.walConfig())
+	d.log = d.newLog(wf, seq)
+	// Roll the retiring log's counters into the cumulative totals and
+	// credit the reclaimed volume: everything it framed plus whatever
+	// the previous generation left on disk is deleted below.
+	oc := old.Counters()
+	d.cumRotations.Add(oc.Rotations)
+	d.cumRotFailed.Add(oc.RotationFailures)
+	d.cumRetries.Add(oc.RetriesAttempted)
+	d.cumRetriesOK.Add(oc.RetriesSucceeded)
+	d.walReclaimed.Add(uint64(d.baseWALBytes.Load()) + oc.Bytes)
+	d.baseWALBytes.Store(0)
+	d.baseWALRecords.Store(0)
 	//quitlint:allow walorder rotated-out segment is already synced; its Close error carries no durable state
 	old.Close()
 
@@ -643,7 +866,111 @@ func (d *DurableTree[K, V]) Checkpoint() error {
 		}
 	}
 	d.rec.Snapshot, d.rec.SnapshotSeq = snapName(seq), seq
+	d.checkpoints.Add(1)
 	return nil
+}
+
+// Recover re-arms a tree whose write-ahead log has failed — a disk-full
+// degradation (ErrReadOnly) or any other poisoned-log state — without
+// closing it. It writes a fresh checkpoint of the in-memory tree, which
+// holds every acknowledged write, swaps in a new log, and clears the
+// read-only mode; on success the tree accepts writes again. A healthy
+// tree is a no-op. Recover needs enough free space for the snapshot, so
+// after ENOSPC it succeeds only once space has actually been freed.
+//
+// The failed log is not synced first (it would only fail again): the
+// snapshot speaks for the in-memory state. Every record at or below the
+// log's last framed sequence is either applied in memory — acknowledged
+// writes always are — or was never acknowledged, so replacing the log
+// with a snapshot at that sequence loses nothing that was promised.
+func (d *DurableTree[K, V]) Recover() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return ErrClosed
+	}
+	if !d.readOnly && d.log.Err() == nil {
+		return nil
+	}
+	if err := d.checkpointLocked(); err != nil {
+		return err
+	}
+	d.readOnly = false
+	d.roCause = nil
+	return nil
+}
+
+// maybeAutoCheckpoint starts a background checkpoint once the live WAL
+// crosses the CheckpointPolicy bounds. It never blocks the caller: the
+// trigger reads atomic counters, and the checkpoint itself runs on its
+// own goroutine, serialized with writers by d.mu exactly like a manual
+// Checkpoint. log is the log the caller just committed to, passed
+// explicitly because the caller no longer holds d.mu.
+func (d *DurableTree[K, V]) maybeAutoCheckpoint(log *wal.Log[K, V]) {
+	pol := d.opts.Checkpoint
+	if pol.MaxWALBytes <= 0 && pol.MaxRecords <= 0 {
+		return
+	}
+	c := log.Counters()
+	liveBytes := d.baseWALBytes.Load() + int64(c.Bytes)
+	liveRecords := d.baseWALRecords.Load() + int64(c.Records)
+	if (pol.MaxWALBytes <= 0 || liveBytes < pol.MaxWALBytes) &&
+		(pol.MaxRecords <= 0 || liveRecords < int64(pol.MaxRecords)) {
+		return
+	}
+	if log.Err() != nil {
+		return // a failed log cannot be synced into a snapshot
+	}
+	if !d.cpRunning.CompareAndSwap(false, true) {
+		return // one automatic checkpoint in flight is enough
+	}
+	d.cpWG.Add(1)
+	go func() {
+		defer d.cpWG.Done()
+		defer d.cpRunning.Store(false)
+		if d.Checkpoint() == nil {
+			d.autoCheckpts.Add(1)
+		}
+	}()
+}
+
+// DurabilityStats reports the durability layer's self-healing counters,
+// cumulative since Open. Live* describe the current write-ahead log —
+// the volume a reopen would replay and the auto-checkpoint trigger
+// compares against CheckpointPolicy.
+type DurabilityStats struct {
+	SegmentsRotated   uint64 // WAL segments rotated away full and durable
+	RotationFailures  uint64 // abandoned rotations (the log stayed in its segment)
+	RetriesAttempted  uint64 // write/fsync attempts beyond the first
+	RetriesSucceeded  uint64 // operations rescued by a retry
+	Checkpoints       uint64 // checkpoints installed (manual + automatic + Recover)
+	AutoCheckpoints   uint64 // checkpoints fired by CheckpointPolicy
+	WALBytesReclaimed uint64 // log bytes deleted by checkpoint truncation
+	WALLiveBytes      uint64 // live log volume a reopen would replay
+	WALLiveRecords    uint64 // live log records a reopen would replay
+	ReadOnly          bool   // disk-full degraded mode (see ErrReadOnly)
+}
+
+// DurabilityStats snapshots the durability counters. The snapshot is
+// advisory: counters are read without stopping writers, so values may
+// trail in-flight commits by a moment.
+func (d *DurableTree[K, V]) DurabilityStats() DurabilityStats {
+	d.mu.RLock()
+	log, ro := d.log, d.readOnly
+	d.mu.RUnlock()
+	c := log.Counters()
+	return DurabilityStats{
+		SegmentsRotated:   d.cumRotations.Load() + c.Rotations,
+		RotationFailures:  d.cumRotFailed.Load() + c.RotationFailures,
+		RetriesAttempted:  d.cumRetries.Load() + c.RetriesAttempted,
+		RetriesSucceeded:  d.cumRetriesOK.Load() + c.RetriesSucceeded,
+		Checkpoints:       d.checkpoints.Load(),
+		AutoCheckpoints:   d.autoCheckpts.Load(),
+		WALBytesReclaimed: d.walReclaimed.Load(),
+		WALLiveBytes:      uint64(d.baseWALBytes.Load()) + c.Bytes,
+		WALLiveRecords:    uint64(d.baseWALRecords.Load()) + c.Records,
+		ReadOnly:          ro,
+	}
 }
 
 // writeSnapshot emits preamble + snapshot stream.
@@ -658,12 +985,18 @@ func (d *DurableTree[K, V]) writeSnapshot(w io.Writer, seq uint64) error {
 // is unusable afterwards; reopen with Open.
 func (d *DurableTree[K, V]) Close() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if !d.open {
+		d.mu.Unlock()
 		return ErrClosed
 	}
 	d.open = false
-	return d.log.Close()
+	err := d.log.Close()
+	d.mu.Unlock()
+	// Drain any in-flight automatic checkpoint (it observes !open and
+	// bails, or was already finishing) so the directory is quiescent —
+	// and reopenable — once Close returns.
+	d.cpWG.Wait()
+	return err
 }
 
 // Tree returns the in-memory tree for read-only use (running queries not

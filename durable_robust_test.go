@@ -1,0 +1,500 @@
+// Self-healing durability tests: transient-fault retry rescuing commits,
+// disk-full degradation into read-only mode and Recover re-arming the
+// tree, automatic checkpoints truncating the log, and the crash matrix
+// extended across segment-rotation boundaries. These complement
+// durable_fault_test.go, which covers the single-segment crash matrix.
+package quit_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+)
+
+// recordedSleeps installs a recording sleeper so retry backoff takes no
+// wall-clock time and the test can assert how often the log backed off.
+func recordedSleeps(opts *quit.DurableOptions, sleeps *[]time.Duration) {
+	opts.Retry.Backoff = time.Millisecond
+	opts.Retry.MaxBackoff = 8 * time.Millisecond
+	opts.Retry.Sleep = func(d time.Duration) { *sleeps = append(*sleeps, d) }
+}
+
+// TestDurableRetrySelfHealing is the issue's acceptance scenario: a
+// fail-twice-then-succeed fsync schedule must not poison the log — the
+// bounded retry loop absorbs it and the batch commits durably.
+func TestDurableRetrySelfHealing(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := faultOpts(fs)
+	var sleeps []time.Duration
+	recordedSleeps(&opts, &sleeps)
+	d, err := quit.Open[int64, string](faultDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailSyncTimes("wal-", faultio.ErrInjected, 2)
+	ks := []int64{1, 2, 3, 4, 5}
+	vs := []string{"a", "b", "c", "d", "e"}
+	if _, err := d.PutBatch(ks, vs); err != nil {
+		t.Fatalf("PutBatch should heal through two transient fsync failures, got: %v", err)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %v, want exactly 2 (one per failed attempt)", sleeps)
+	}
+	if sleeps[0] != time.Millisecond || sleeps[1] != 2*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v, want doubling from 1ms", sleeps)
+	}
+	st := d.DurabilityStats()
+	if st.RetriesAttempted != 2 || st.RetriesSucceeded != 1 {
+		t.Fatalf("stats = %+v, want RetriesAttempted=2 RetriesSucceeded=1", st)
+	}
+	// The log is healthy: later writes need no retries and still commit.
+	if err := d.Insert(6, "f"); err != nil {
+		t.Fatalf("insert after healed retry: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close after healed retry: %v", err)
+	}
+
+	// The healed batch is durable: even the synced-bytes-only crash image
+	// recovers it.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true})
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i, k := range ks {
+		if v, ok := d2.Get(k); !ok || v != vs[i] {
+			t.Fatalf("key %d after reopen = %q,%v, want %q", k, v, ok, vs[i])
+		}
+	}
+	if v, ok := d2.Get(6); !ok || v != "f" {
+		t.Fatalf("post-retry insert lost: got %q,%v", v, ok)
+	}
+}
+
+// TestDurableRetryExhaustionPoisons pins the other side of the bound: a
+// fault outlasting MaxRetries poisons the log, and the injected cause
+// stays visible through the sticky error.
+func TestDurableRetryExhaustionPoisons(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := faultOpts(fs)
+	opts.Retry.MaxRetries = 2
+	var sleeps []time.Duration
+	recordedSleeps(&opts, &sleeps)
+	d, err := quit.Open[int64, string](faultDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	fs.FailSyncTimes("wal-", faultio.ErrInjected, -1)
+	err = d.Insert(1, "a")
+	if err == nil {
+		t.Fatal("insert committed through a permanently failing fsync")
+	}
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("poisoned error hides its cause: %v", err)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want exactly MaxRetries=2 backoffs", sleeps)
+	}
+	st := d.DurabilityStats()
+	if st.RetriesAttempted != 2 || st.RetriesSucceeded != 0 {
+		t.Fatalf("stats = %+v, want RetriesAttempted=2 RetriesSucceeded=0", st)
+	}
+}
+
+// TestDurableENOSPCReadOnly is the disk-full acceptance scenario: an
+// injected ENOSPC during commit flips the tree read-only — writes fail
+// with ErrReadOnly while concurrent reads keep serving — and Recover
+// re-arms it once space frees.
+func TestDurableENOSPCReadOnly(t *testing.T) {
+	fs := faultio.NewMemFS()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seeded = 50
+	for i := int64(0); i < seeded; i++ {
+		if err := d.Insert(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The disk fills: every further wal fsync reports ENOSPC, forever.
+	fs.FailSyncTimes("wal-", faultio.ErrNoSpace, -1)
+	err = d.Insert(seeded, "doomed")
+	if !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("first write after ENOSPC = %v, want ErrReadOnly", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("degraded error hides the ENOSPC cause: %v", err)
+	}
+	if !d.ReadOnly() {
+		t.Fatal("ReadOnly() = false after ENOSPC degradation")
+	}
+	if !d.DurabilityStats().ReadOnly {
+		t.Fatal("DurabilityStats().ReadOnly = false after degradation")
+	}
+
+	// Reads keep serving the pre-failure state while writers keep getting
+	// rejected — genuinely concurrently.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := int64((g*37 + i) % seeded)
+				if v, ok := d.Get(k); !ok || v != fmt.Sprintf("v%d", k) {
+					t.Errorf("degraded read of key %d = %q,%v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Insert(1000+int64(i), "x"); !errors.Is(err, quit.ErrReadOnly) {
+			t.Errorf("degraded write %d = %v, want ErrReadOnly", i, err)
+		}
+	}
+	wg.Wait()
+	if n := d.Len(); n != seeded {
+		t.Fatalf("Len() = %d while degraded, want %d", n, seeded)
+	}
+	n := 0
+	d.Range(0, seeded, func(int64, string) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("Range served nothing while degraded")
+	}
+	// Every write-side entry point reports the same typed mode.
+	if err := d.Sync(); !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("Sync while degraded = %v, want ErrReadOnly", err)
+	}
+	if _, err := d.PutBatch([]int64{1}, []string{"x"}); !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("PutBatch while degraded = %v, want ErrReadOnly", err)
+	}
+	if _, _, err := d.Delete(1); !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("Delete while degraded = %v, want ErrReadOnly", err)
+	}
+
+	// While space is still exhausted, Recover itself fails cleanly (the
+	// snapshot needs room too) and the tree stays degraded.
+	fs.FailSyncTimes("snap", faultio.ErrNoSpace, -1)
+	if err := d.Recover(); err == nil {
+		t.Fatal("Recover succeeded with the disk still full")
+	}
+	if !d.ReadOnly() {
+		t.Fatal("failed Recover cleared read-only mode")
+	}
+
+	// Space frees: Recover snapshots the in-memory state, swaps in a
+	// fresh log, and writes flow again.
+	fs.ClearFaults()
+	if err := d.Recover(); err != nil {
+		t.Fatalf("Recover after space freed: %v", err)
+	}
+	if d.ReadOnly() {
+		t.Fatal("ReadOnly() = true after successful Recover")
+	}
+	if err := d.Insert(seeded, "after-recover"); err != nil {
+		t.Fatalf("write after Recover: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close after Recover: %v", err)
+	}
+
+	// The recovered lineage reopens from a crash image with every
+	// acknowledged write and nothing from the rejected ones.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true})
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := treeContents(d2)
+	if len(got) != seeded+1 {
+		t.Fatalf("reopened tree has %d entries, want %d", len(got), seeded+1)
+	}
+	if got[seeded] != "after-recover" {
+		t.Fatalf("post-Recover write lost across reopen: %q", got[seeded])
+	}
+	for i := int64(0); i < seeded; i++ {
+		if got[i] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d = %q after reopen", i, got[i])
+		}
+	}
+}
+
+// TestDurableAutoCheckpoint drives CheckpointPolicy: once the live log
+// crosses MaxRecords, a background checkpoint compacts it into a
+// snapshot, deletes covered segments, and the counters say so.
+func TestDurableAutoCheckpoint(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := faultOpts(fs)
+	opts.SegmentBytes = 512
+	opts.Checkpoint = quit.CheckpointPolicy{MaxRecords: 25}
+	d, err := quit.Open[int64, string](faultDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 200
+	for i := int64(0); i < writes; i++ {
+		if err := d.Insert(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trigger fires off the commit path; wait for at least one
+	// automatic checkpoint to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.DurabilityStats().AutoCheckpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := d.DurabilityStats()
+	if st.AutoCheckpoints == 0 {
+		t.Fatalf("no automatic checkpoint after %d writes with MaxRecords=25; stats %+v", writes, st)
+	}
+	if st.Checkpoints < st.AutoCheckpoints {
+		t.Fatalf("Checkpoints=%d < AutoCheckpoints=%d", st.Checkpoints, st.AutoCheckpoints)
+	}
+	if st.WALBytesReclaimed == 0 {
+		t.Fatal("automatic checkpoint reclaimed no log bytes")
+	}
+	if st.WALLiveRecords >= writes {
+		t.Fatalf("live log still holds %d records after auto-checkpoint", st.WALLiveRecords)
+	}
+	if st.SegmentsRotated == 0 {
+		t.Fatal("512-byte segments never rotated under 200 inserts")
+	}
+	if err := d.Close(); err != nil { // Close drains the in-flight checkpoint
+		t.Fatal(err)
+	}
+
+	// The truncated lineage reopens complete: snapshot plus surviving
+	// segments cover all 200 acknowledged writes.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events())})
+	walFiles := 0
+	for name := range image {
+		if strings.Contains(name, "wal-") {
+			walFiles++
+		}
+	}
+	d2, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := d2.Len(); n != writes {
+		t.Fatalf("reopen after auto-checkpoint: %d entries, want %d (image had %d wal files)", n, writes, walFiles)
+	}
+	if d2.Recovery().Snapshot == "" {
+		t.Fatal("reopen found no snapshot although auto-checkpoints ran")
+	}
+}
+
+// rotationOpts shrinks segments so the scripted workload rotates many
+// times, and arms auto-checkpointing so rotation, background snapshots,
+// and garbage collection all interleave with commits in the schedule.
+func rotationOpts(fs *faultio.MemFS) quit.DurableOptions {
+	opts := faultOpts(fs)
+	opts.SegmentBytes = 300
+	opts.Checkpoint = quit.CheckpointPolicy{MaxRecords: 60}
+	return opts
+}
+
+func countWALFiles(image map[string][]byte) int {
+	n := 0
+	for name := range image {
+		if strings.Contains(name, "wal-") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCrashRecoveryAcrossRotation is the crash matrix extended across
+// segment rotations: the scripted workload runs with 300-byte segments
+// and auto-checkpointing, and every schedule boundary — plus synced-only
+// and torn mid-write variants — must recover a Validate-clean tree
+// holding a model prefix that covers all acknowledged steps. At least 50
+// crash points must land while the image spans multiple segments, so the
+// cross-segment replay chain (final-fsync-before-rotate, the gap rule,
+// torn-tail-only-in-the-last-segment) is exercised, not assumed.
+func TestCrashRecoveryAcrossRotation(t *testing.T) {
+	fs := faultio.NewMemFS()
+	models, ackEvent := crashWorkloadOpts(t, fs, rotationOpts(fs))
+	events := fs.Events()
+	t.Logf("rotation schedule: %d events, %d steps", len(events), len(ackEvent))
+
+	multiSegment := 0
+	for cut := 0; cut <= len(events); cut++ {
+		g := guaranteedAt(ackEvent, cut)
+		image := fs.ImageAt(faultio.Cut{Event: cut})
+		if countWALFiles(image) >= 2 {
+			multiSegment++
+		}
+		recoverAndCheck(t, image, models, g,
+			fmt.Sprintf("rot-cut=%d", cut), true)
+		recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut, SyncedOnly: true}), models, g,
+			fmt.Sprintf("rot-cut=%d/synced-only", cut), true)
+		if cut < len(events) && events[cut].Kind == faultio.EvWrite {
+			n := len(events[cut].Data)
+			for _, mid := range []int{1, n / 2, n - 1} {
+				if mid <= 0 || mid >= n {
+					continue
+				}
+				recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut, MidBytes: mid}), models, g,
+					fmt.Sprintf("rot-cut=%d/mid=%d", cut, mid), true)
+			}
+		}
+	}
+	if multiSegment < 50 {
+		t.Fatalf("only %d crash points span a segment rotation, want >= 50 — shrink SegmentBytes", multiSegment)
+	}
+}
+
+// TestCrashRecoverySegmentBoundaryCorruption sweeps bit-flips and
+// truncations over every live segment of a multi-segment image,
+// concentrating on segment edges: recovery must yield a typed error
+// (ErrWALGap for unreachable mid-chain history, ErrBadSnapshot for a
+// broken base) or a valid acknowledged prefix — never a wrong tree.
+func TestCrashRecoverySegmentBoundaryCorruption(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := faultOpts(fs)
+	opts.SegmentBytes = 300 // rotation without auto-checkpoint: keep many segments live
+	models, _ := crashWorkloadOpts(t, fs, opts)
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events())})
+	if countWALFiles(image) < 3 {
+		t.Fatalf("final image has %d wal segments, want >= 3 for a boundary sweep", countWALFiles(image))
+	}
+
+	corrupt := func(name string, data []byte, label string) {
+		t.Helper()
+		mutated := map[string][]byte{}
+		for n, d := range image {
+			mutated[n] = d
+		}
+		mutated[name] = data
+		recoverAndCheck(t, mutated, models, 0, label, false)
+	}
+
+	for name, data := range image {
+		if !strings.Contains(name, "wal-") || len(data) == 0 {
+			continue
+		}
+		// Bit-flips dense at both segment edges — the bytes a rotation
+		// writes last and a replay reads first — plus a coarse interior
+		// stride.
+		offsets := map[int]bool{}
+		for i := 0; i < 16 && i < len(data); i++ {
+			offsets[i] = true
+			offsets[len(data)-1-i] = true
+		}
+		for off := 0; off < len(data); off += 41 {
+			offsets[off] = true
+		}
+		for off := range offsets {
+			corrupt(name, faultio.FlipBit(data, off, uint(off%8)),
+				fmt.Sprintf("segflip %s@%d", name, off))
+		}
+		// Truncations: a torn tail, a mid-segment cut, and a segment
+		// reduced to nothing. In a non-final segment these open a gap in
+		// the chain and must surface as ErrWALGap, not as silent loss.
+		for _, keep := range []int{0, 1, len(data) / 2, len(data) - 1, len(data) - 7} {
+			if keep < 0 || keep >= len(data) {
+				continue
+			}
+			corrupt(name, data[:keep], fmt.Sprintf("segtrunc %s@%d", name, keep))
+		}
+	}
+}
+
+// TestCrashRecoveryMidChainTruncationIsTyped pins the gap rule directly:
+// truncating a non-final segment of a multi-segment image must make Open
+// fail with ErrWALGap — acknowledged history beyond the tear is
+// unreachable and silently resuming past it would serve a wrong tree.
+func TestCrashRecoveryMidChainTruncationIsTyped(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := faultOpts(fs)
+	opts.SegmentBytes = 300
+	crashWorkloadOpts(t, fs, opts)
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events())})
+
+	var walNames []string
+	for name := range image {
+		if strings.Contains(name, "wal-") {
+			walNames = append(walNames, name)
+		}
+	}
+	if len(walNames) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(walNames))
+	}
+	// Lexicographic max is the final segment (zero-padded names); pick
+	// any other and tear it mid-record.
+	last := walNames[0]
+	for _, n := range walNames {
+		if n > last {
+			last = n
+		}
+	}
+	torn := ""
+	for _, n := range walNames {
+		if n != last && len(image[n]) > 10 {
+			torn = n
+			break
+		}
+	}
+	if torn == "" {
+		t.Fatal("no non-final segment large enough to tear")
+	}
+	mutated := map[string][]byte{}
+	for n, d := range image {
+		mutated[n] = d
+	}
+	mutated[torn] = mutated[torn][:len(mutated[torn])-5]
+
+	_, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(mutated)))
+	if err == nil {
+		t.Fatalf("Open succeeded with non-final segment %s torn", torn)
+	}
+	if !errors.Is(err, quit.ErrWALGap) {
+		t.Fatalf("mid-chain tear error = %v, want ErrWALGap", err)
+	}
+
+	// Deleting a mid-chain segment outright is the same gap — including
+	// when its successor is the *final* segment, which would otherwise be
+	// mistaken for the snapshot-fallback degradation and silently drop
+	// the deleted segment's acknowledged records.
+	for _, victim := range walNames {
+		if victim == last {
+			continue
+		}
+		removed := map[string][]byte{}
+		for n, d := range image {
+			if n != victim {
+				removed[n] = d
+			}
+		}
+		_, err := quit.Open[int64, string](faultDir, faultOpts(faultio.FromImage(removed)))
+		if !errors.Is(err, quit.ErrWALGap) {
+			t.Fatalf("Open with segment %s deleted = %v, want ErrWALGap", victim, err)
+		}
+	}
+}

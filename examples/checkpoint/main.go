@@ -76,7 +76,15 @@ func durableDemo() {
 	}
 	defer os.RemoveAll(dir)
 
-	opts := quit.DurableOptions{Sync: quit.SyncAlways}
+	// Segmented WAL + auto-checkpoint: the log rotates into 16KiB segment
+	// files, and once the live log (what a reopen would have to replay)
+	// passes 500 records, a checkpoint runs on its own goroutine — off
+	// the commit path — and deletes the covered segments.
+	opts := quit.DurableOptions{
+		Sync:         quit.SyncAlways,
+		SegmentBytes: 16 << 10,
+		Checkpoint:   quit.CheckpointPolicy{MaxRecords: 500},
+	}
 
 	db, err := quit.Open[int64, int64](dir, opts)
 	if err != nil {
@@ -102,7 +110,11 @@ func durableDemo() {
 	if _, _, err := db.Delete(42); err != nil {
 		log.Fatal(err)
 	}
-	if err := db.Close(); err != nil {
+	st := db.DurabilityStats()
+	fmt.Printf("\nself-healing counters: %d segments rotated, %d checkpoints "+
+		"(%d automatic), %d WAL bytes reclaimed\n",
+		st.SegmentsRotated, st.Checkpoints, st.AutoCheckpoints, st.WALBytesReclaimed)
+	if err := db.Close(); err != nil { // Close drains any in-flight auto-checkpoint
 		log.Fatal(err)
 	}
 

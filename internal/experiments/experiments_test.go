@@ -362,7 +362,7 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{
 		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
-		"abl01", "abl02", "abl03", "mix01", "dur01", "bat01", "par01",
+		"abl01", "abl02", "abl03", "mix01", "dur01", "dur02", "bat01", "par01",
 	}
 	for _, id := range want {
 		if _, ok := harness.Lookup(id); !ok {

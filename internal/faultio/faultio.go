@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"github.com/quittree/quit"
 )
@@ -31,6 +32,12 @@ var _ quit.FS = (*MemFS)(nil)
 // ErrInjected is the error every injected fault returns, so tests can
 // assert a failure came from the harness and not from a real bug.
 var ErrInjected = errors.New("faultio: injected fault")
+
+// ErrNoSpace is an injected disk-full failure: it matches both
+// ErrInjected (it came from the harness) and syscall.ENOSPC (so the
+// production classifier treats it as non-transient and the durable layer
+// degrades to read-only).
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
 
 // EventKind labels one schedule entry.
 type EventKind uint8
@@ -91,7 +98,32 @@ type MemFS struct {
 	// Injection configuration. Keys are matched by substring against the
 	// full file path, so tests can target "wal-" or a specific name.
 	writeErrAt map[string]int // fail the write that crosses this file offset
-	syncErr    map[string]bool
+	writeErr   map[string]*fault
+	syncErr    map[string]*fault
+}
+
+// fault is a countdown failure schedule: fire err for the next times
+// matching operations (negative means forever), then succeed again —
+// the fail-N-times-then-succeed shape transient-fault retries are
+// tested against.
+type fault struct {
+	err   error
+	times int
+}
+
+// take consumes one firing from the first fault matching name; it
+// returns nil when no armed fault matches. Callers hold fs.mu.
+func takeFault(m map[string]*fault, name string) error {
+	for pat, f := range m {
+		if !strings.Contains(name, pat) || f.times == 0 {
+			continue
+		}
+		if f.times > 0 {
+			f.times--
+		}
+		return f.err
+	}
+	return nil
 }
 
 // NewMemFS returns an empty recording filesystem.
@@ -100,7 +132,8 @@ func NewMemFS() *MemFS {
 		files:      map[string]*memFile{},
 		dirs:       map[string]bool{},
 		writeErrAt: map[string]int{},
-		syncErr:    map[string]bool{},
+		writeErr:   map[string]*fault{},
+		syncErr:    map[string]*fault{},
 	}
 }
 
@@ -126,11 +159,27 @@ func (fs *MemFS) FailWriteAt(pattern string, off int) {
 }
 
 // FailSync makes Sync return ErrInjected for any file whose path contains
-// pattern. Bytes written before the failed sync remain unsynced.
+// pattern, forever. Bytes written before the failed sync remain unsynced.
 func (fs *MemFS) FailSync(pattern string) {
+	fs.FailSyncTimes(pattern, ErrInjected, -1)
+}
+
+// FailSyncTimes makes the next times Syncs of any file whose path
+// contains pattern fail with err, then succeed again; times < 0 fails
+// forever. Use ErrNoSpace as err for disk-full injection.
+func (fs *MemFS) FailSyncTimes(pattern string, err error, times int) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.syncErr[pattern] = true
+	fs.syncErr[pattern] = &fault{err: err, times: times}
+}
+
+// FailWriteTimes makes the next times Writes of any file whose path
+// contains pattern fail whole — no bytes reach the file — with err,
+// then succeed again; times < 0 fails forever.
+func (fs *MemFS) FailWriteTimes(pattern string, err error, times int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeErr[pattern] = &fault{err: err, times: times}
 }
 
 // ClearFaults removes all injection configuration.
@@ -138,7 +187,8 @@ func (fs *MemFS) ClearFaults() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.writeErrAt = map[string]int{}
-	fs.syncErr = map[string]bool{}
+	fs.writeErr = map[string]*fault{}
+	fs.syncErr = map[string]*fault{}
 }
 
 // Events returns a copy of the recorded schedule.
@@ -256,6 +306,9 @@ func (f *memFile) Write(p []byte) (int, error) {
 	if f.closed {
 		return 0, fmt.Errorf("faultio: write to closed file %s", f.name)
 	}
+	if err := takeFault(f.fs.writeErr, f.name); err != nil {
+		return 0, fmt.Errorf("faultio: write %s: %w", f.name, err)
+	}
 	allowed, fail := f.fs.matchWriteErr(f.name, len(f.data), len(p))
 	if allowed > 0 {
 		f.data = append(f.data, p[:allowed]...)
@@ -271,10 +324,8 @@ func (f *memFile) Write(p []byte) (int, error) {
 func (f *memFile) Sync() error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
-	for pat := range f.fs.syncErr {
-		if strings.Contains(f.name, pat) {
-			return fmt.Errorf("faultio: sync %s: %w", f.name, ErrInjected)
-		}
+	if err := takeFault(f.fs.syncErr, f.name); err != nil {
+		return fmt.Errorf("faultio: sync %s: %w", f.name, err)
 	}
 	f.synced = len(f.data)
 	f.fs.record(Event{Kind: EvSync, Name: f.name})

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyFile is a memFile with countdown fault schedules: the next
+// failWrites writes (resp. failSyncs syncs) fail with err, then the file
+// heals — the fail-N-times-then-succeed shape the retry loop exists for.
+// A failing write may still consume partial bytes first (the os.File
+// short-write contract).
+type flakyFile struct {
+	bytes.Buffer
+	err        error
+	failWrites int
+	failSyncs  int
+	partial    int // bytes a failing write consumes before erroring
+	writes     int
+	syncs      int
+	closed     bool
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.failWrites != 0 {
+		if f.failWrites > 0 {
+			f.failWrites--
+		}
+		n := f.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		f.Buffer.Write(p[:n])
+		return n, f.err
+	}
+	return f.Buffer.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	if f.failSyncs != 0 {
+		if f.failSyncs > 0 {
+			f.failSyncs--
+		}
+		return f.err
+	}
+	f.syncs++
+	return nil
+}
+
+func (f *flakyFile) Close() error { f.closed = true; return nil }
+
+// recordedRetry returns a retry policy with an injected sleeper so tests
+// assert the backoff sequence without waiting for it.
+func recordedRetry(maxRetries int, sleeps *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: maxRetries,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 8 * time.Millisecond,
+		Sleep:      func(d time.Duration) { *sleeps = append(*sleeps, d) },
+	}
+}
+
+func TestRetryHealsTransientWriteFailure(t *testing.T) {
+	var sleeps []time.Duration
+	f := &flakyFile{err: errors.New("EIO-ish hiccup"), failWrites: 2}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(3, &sleeps)})
+
+	if _, err := l.Append(OpInsert, 1, "one"); err != nil {
+		t.Fatalf("append through transient failure: %v", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("log poisoned despite self-healing: %v", err)
+	}
+	// Two retries, doubling backoff.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Fatalf("backoff sleeps = %v, want %v", sleeps, want)
+	}
+	c := l.Counters()
+	if c.RetriesAttempted != 2 || c.RetriesSucceeded != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 1 || stats.Tail != nil || recs[0].Val != "one" {
+		t.Fatalf("replay after retry: %d recs, stats %+v", len(recs), stats)
+	}
+}
+
+func TestRetryHealsTransientSyncFailure(t *testing.T) {
+	var sleeps []time.Duration
+	f := &flakyFile{err: errors.New("fsync hiccup"), failSyncs: 2}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(3, &sleeps)})
+
+	if _, err := l.Append(OpInsert, 7, "seven"); err != nil {
+		t.Fatalf("append through transient fsync failure: %v", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("log poisoned despite self-healing: %v", err)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", sleeps)
+	}
+	if f.syncs == 0 {
+		t.Fatal("no successful fsync recorded")
+	}
+}
+
+func TestRetryExhaustionPoisons(t *testing.T) {
+	var sleeps []time.Duration
+	cause := errors.New("disk went away")
+	f := &flakyFile{err: cause, failWrites: -1}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(2, &sleeps)})
+
+	_, err := l.Append(OpInsert, 1, "x")
+	if err == nil {
+		t.Fatal("append succeeded with a dead disk")
+	}
+	if !errors.Is(err, ErrLogFailed) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want ErrLogFailed wrapping the cause", err)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want exactly MaxRetries entries", sleeps)
+	}
+	if serr := l.Err(); serr == nil || !errors.Is(serr, cause) {
+		t.Fatalf("sticky error = %v", serr)
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	var sleeps []time.Duration
+	f := &flakyFile{err: errors.New("hiccup"), failWrites: -1}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(6, &sleeps)})
+	l.Append(OpInsert, 1, "x")
+	// 1, 2, 4, 8, then capped at MaxBackoff (8ms).
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleeps = %v, want %v", sleeps, want)
+		}
+	}
+}
+
+func TestNonTransientSkipsRetries(t *testing.T) {
+	var sleeps []time.Duration
+	cause := fmt.Errorf("write wal: %w", syscall.ENOSPC)
+	f := &flakyFile{err: cause, failWrites: -1}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(5, &sleeps)})
+
+	_, err := l.Append(OpInsert, 1, "x")
+	if err == nil || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC surfaced", err)
+	}
+	if len(sleeps) != 0 {
+		t.Fatalf("slept %v for a non-transient failure", sleeps)
+	}
+	if c := l.Counters(); c.RetriesAttempted != 0 {
+		t.Fatalf("counters = %+v, want no retries", c)
+	}
+}
+
+func TestRetryResumesAfterPartialWrite(t *testing.T) {
+	var sleeps []time.Duration
+	// The failing write consumes 3 bytes before erroring; the retry must
+	// resume after them — rewriting would duplicate the prefix and
+	// corrupt the frame stream.
+	f := &flakyFile{err: errors.New("hiccup"), failWrites: 1, partial: 3}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: recordedRetry(3, &sleeps)})
+
+	if _, err := l.Append(OpInsert, 42, "answer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpInsert, 43, "next"); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := collect(t, f.Bytes(), 0)
+	if len(recs) != 2 || stats.Tail != nil {
+		t.Fatalf("replay: %d recs, stats %+v — partial-write resume broke the stream", len(recs), stats)
+	}
+	if recs[0].Val != "answer" || recs[1].Val != "next" {
+		t.Fatalf("replayed %+v", recs)
+	}
+}
+
+// segmentOpener collects the files a rotating log opens.
+type segmentOpener struct {
+	files []*flakyFile
+	seqs  []uint64
+	fail  error // when set, OpenSegment fails
+}
+
+func (o *segmentOpener) open(firstSeq uint64) (File, error) {
+	if o.fail != nil {
+		return nil, o.fail
+	}
+	f := &flakyFile{}
+	o.files = append(o.files, f)
+	o.seqs = append(o.seqs, firstSeq)
+	return f, nil
+}
+
+func TestSegmentRotationSpreadsAndReplays(t *testing.T) {
+	first := &flakyFile{}
+	op := &segmentOpener{}
+	l := New[int64, string](first, 0, Config{
+		Sync: SyncAlways, SegmentBytes: 128, OpenSegment: op.open,
+	})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(OpInsert, int64(i), "payload-payload"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(op.files) < 2 {
+		t.Fatalf("only %d rotations for %d records at 128-byte segments", len(op.files), n)
+	}
+	if c := l.Counters(); c.Rotations != uint64(len(op.files)) {
+		t.Fatalf("Counters.Rotations = %d, opened %d segments", c.Rotations, len(op.files))
+	}
+
+	// Every rotated-away segment was fsynced before abandonment and its
+	// descriptor closed; only the last segment stays open for the log.
+	segs := append([]*flakyFile{first}, op.files...)
+	for i, s := range segs[:len(segs)-1] {
+		if s.syncs == 0 {
+			t.Fatalf("segment %d rotated away without a final fsync", i)
+		}
+		if !s.closed {
+			t.Fatalf("segment %d rotated away without closing its file", i)
+		}
+	}
+
+	// Chained replay over the segments reconstructs every record exactly
+	// once, in order.
+	var last uint64
+	total := 0
+	for i, s := range segs {
+		// Replay enforces sequence contiguity within each segment itself;
+		// chaining startAfter across segments checks the cross-segment
+		// continuation.
+		stats, err := Replay(bytes.NewReader(s.Bytes()), last, func(Record[int64, string]) error { return nil })
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if stats.Tail != nil {
+			t.Fatalf("segment %d has a tail: %v (only the last may tear, and this log closed cleanly)", i, stats.Tail)
+		}
+		total += stats.Applied
+		last = stats.LastSeq
+	}
+	if total != n || last != uint64(n) {
+		t.Fatalf("replayed %d records to seq %d, want %d", total, last, n)
+	}
+	// Segment names are contiguous: each new segment starts right after
+	// the last sequence written to its predecessor.
+	for i := 1; i < len(op.seqs); i++ {
+		if op.seqs[i] <= op.seqs[i-1] {
+			t.Fatalf("segment first-seqs not increasing: %v", op.seqs)
+		}
+	}
+}
+
+func TestRotationOpenerFailureIsNotPoisonous(t *testing.T) {
+	first := &flakyFile{}
+	op := &segmentOpener{fail: errors.New("no more files")}
+	l := New[int64, string](first, 0, Config{
+		Sync: SyncAlways, SegmentBytes: 64, OpenSegment: op.open,
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(OpInsert, int64(i), "vvvvvvvv"); err != nil {
+			t.Fatalf("append %d failed after rotation failure: %v", i, err)
+		}
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("rotation failure poisoned the log: %v", err)
+	}
+	c := l.Counters()
+	if c.RotationFailures == 0 {
+		t.Fatal("no rotation failures counted")
+	}
+	if c.Rotations != 0 {
+		t.Fatalf("counted %d rotations with a failing opener", c.Rotations)
+	}
+	// Everything stayed in the original segment and replays cleanly.
+	recs, stats := collect(t, first.Bytes(), 0)
+	if len(recs) != 20 || stats.Tail != nil {
+		t.Fatalf("replay: %d recs, %+v", len(recs), stats)
+	}
+}
+
+// TestStickyErrorConsistency pins the contract that every post-poison
+// entry point returns the same sticky error: one failure, one story.
+func TestStickyErrorConsistency(t *testing.T) {
+	cause := errors.New("dead disk")
+	f := &flakyFile{err: cause, failSyncs: -1}
+	l := New[int64, string](f, 0, Config{Sync: SyncAlways, Retry: RetryPolicy{MaxRetries: -1}})
+
+	_, err := l.Append(OpInsert, 1, "x")
+	if err == nil {
+		t.Fatal("append succeeded with a failing fsync")
+	}
+	sticky := l.Err()
+	if sticky == nil || !errors.Is(sticky, ErrLogFailed) || !errors.Is(sticky, cause) {
+		t.Fatalf("sticky = %v", sticky)
+	}
+
+	entryPoints := map[string]func() error{
+		"Append": func() error { _, err := l.Append(OpInsert, 2, "y"); return err },
+		"AppendBatch": func() error {
+			_, err := l.AppendBatch([]int64{1, 2}, []string{"a", "b"})
+			return err
+		},
+		"AppendBatchStart": func() error {
+			_, err := l.AppendBatchStart([]int64{1, 2}, []string{"a", "b"})
+			return err
+		},
+		"Sync":  l.Sync,
+		"Flush": l.Flush,
+	}
+	for name, call := range entryPoints {
+		if got := call(); got != sticky { // identity: the very same sticky error value
+			t.Errorf("%s returned %v, want the sticky error %v", name, got, sticky)
+		}
+	}
+	// Close also reports the poisoning (and still releases the file).
+	if got := l.Close(); got != sticky {
+		t.Errorf("Close returned %v, want the sticky error", got)
+	}
+	if !f.closed {
+		t.Error("Close did not release the file of a poisoned log")
+	}
+}

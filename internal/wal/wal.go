@@ -31,6 +31,15 @@
 // logs contain no OpBatch records and replay unchanged; readers predating
 // version 2 stop at the first batch record with an unknown-op corrupt
 // tail, which recovery treats as a clean prefix.
+//
+// The log is *segmented*: when Config.OpenSegment is set, the commit
+// leader rotates to a fresh file once the current segment crosses
+// Config.SegmentBytes. A segment is rotated away only after a final
+// fsync, so every segment but the last is complete and durable — a torn
+// tail can exist only in the newest segment. Transient write/fsync
+// failures are retried a bounded number of times with exponential
+// backoff (Config.Retry) before the log poisons itself; hard failures
+// (disk full and friends) poison immediately so the caller can degrade.
 package wal
 
 import (
@@ -41,7 +50,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/quittree/quit/internal/core"
@@ -115,6 +127,82 @@ type File interface {
 	Close() error
 }
 
+// RetryPolicy bounds the in-place recovery from transient I/O failures:
+// a failed write or fsync is retried up to MaxRetries times with
+// exponential backoff before the log gives up and poisons itself. Errors
+// the classifier calls non-transient (disk full, read-only filesystem,
+// a closed descriptor) skip the retries entirely — backing off will not
+// conjure free space.
+type RetryPolicy struct {
+	// MaxRetries is the number of retries after the first attempt. The
+	// zero value selects the default (3); negative disables retrying.
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 1ms); it
+	// doubles per retry up to MaxBackoff (default 100ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep waits between attempts; nil selects time.Sleep. Tests inject
+	// a recording sleeper so retries take no wall-clock time.
+	Sleep func(time.Duration)
+	// Transient reports whether an I/O error is worth retrying; nil
+	// selects the default classifier, which retries everything except
+	// the hard errnos (ENOSPC, EDQUOT, EROFS, EBADF) and closed files.
+	Transient func(error) bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Transient == nil {
+		p.Transient = DefaultTransient
+	}
+	return p
+}
+
+// backoffFor returns the delay before retry attempt n (1-based),
+// doubling from Backoff and capped at MaxBackoff.
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// DefaultTransient is the default retry classifier: an error is worth
+// retrying unless it is one of the hard failures that time cannot fix —
+// a full disk or quota, a read-only filesystem, or a dead descriptor.
+func DefaultTransient(err error) bool {
+	switch {
+	case errors.Is(err, syscall.ENOSPC),
+		errors.Is(err, syscall.EDQUOT),
+		errors.Is(err, syscall.EROFS),
+		errors.Is(err, syscall.EBADF),
+		errors.Is(err, os.ErrClosed):
+		return false
+	}
+	return true
+}
+
 // Config tunes a Log.
 type Config struct {
 	// Sync selects the sync policy; the zero value is SyncAlways.
@@ -126,6 +214,19 @@ type Config struct {
 	// BufBytes caps the group-commit buffer; a batch exceeding it is
 	// flushed regardless of policy (default 256KiB).
 	BufBytes int
+	// SegmentBytes is the rotation threshold: once the current segment
+	// holds at least this many bytes, the commit leader syncs and closes
+	// it and continues in a fresh file from OpenSegment. Zero selects
+	// the default (64MiB); negative disables rotation. Rotation also
+	// requires OpenSegment.
+	SegmentBytes int64
+	// OpenSegment opens the file for a new segment whose first record
+	// will carry firstSeq. nil disables rotation (the log stays in the
+	// file it was created with). The callback must create the file and
+	// make its directory entry durable before returning.
+	OpenSegment func(firstSeq uint64) (File, error)
+	// Retry bounds the transient-fault retry loop; see RetryPolicy.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +236,10 @@ func (c Config) withDefaults() Config {
 	if c.BufBytes <= 0 {
 		c.BufBytes = 256 << 10
 	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -199,6 +304,45 @@ type Log[K core.Integer, V any] struct {
 	pending   int           // appends buffered since the last flush
 	lastSync  time.Time
 	err       error // sticky failure
+
+	// segBytes counts bytes written to the current segment. It is
+	// touched only by the commit leader (syncing=true fences other
+	// leaders off the file) and by New, so it needs no extra locking.
+	segBytes int64
+
+	// Counters, updated under mu (framing) or by the exclusive leader
+	// (I/O), stored atomically so DurableTree's auto-checkpoint trigger
+	// can read them without taking the log mutex.
+	cRotations   atomic.Uint64
+	cRetries     atomic.Uint64
+	cRetriesOK   atomic.Uint64
+	cBytes       atomic.Uint64 // bytes framed (and eventually written)
+	cRecords     atomic.Uint64 // records framed
+	cRotfailures atomic.Uint64
+}
+
+// Counters is a snapshot of the log's durability counters. Bytes and
+// Records count framed work since the Log was created (spanning its own
+// segment rotations, not any predecessor logs).
+type Counters struct {
+	Rotations        uint64 // segments rotated away full and durable
+	RotationFailures uint64 // abandoned rotations (sync or open failed)
+	RetriesAttempted uint64 // write/fsync attempts beyond the first
+	RetriesSucceeded uint64 // operations rescued by a retry
+	Bytes            uint64 // record bytes framed into the log
+	Records          uint64 // records framed into the log
+}
+
+// Counters reads the counter snapshot without taking the log mutex.
+func (l *Log[K, V]) Counters() Counters {
+	return Counters{
+		Rotations:        l.cRotations.Load(),
+		RotationFailures: l.cRotfailures.Load(),
+		RetriesAttempted: l.cRetries.Load(),
+		RetriesSucceeded: l.cRetriesOK.Load(),
+		Bytes:            l.cBytes.Load(),
+		Records:          l.cRecords.Load(),
+	}
 }
 
 // New starts a log appending to f. lastSeq is the sequence number already
@@ -244,6 +388,7 @@ func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
 		return 0, err
 	}
 	seq := l.seq + 1
+	before := l.buf.Len()
 	if err := appendRecord(l.buf, seq, op, key, val, op == OpInsert); err != nil {
 		// Encoding failed before any bytes were framed; the log file is
 		// untouched, so this is not poisonous — but the buffer may hold a
@@ -255,6 +400,8 @@ func (l *Log[K, V]) Append(op Op, key K, val V) (uint64, error) {
 	}
 	l.seq = seq
 	l.pending++
+	l.cBytes.Add(uint64(l.buf.Len() - before))
+	l.cRecords.Add(1)
 	l.mu.Unlock()
 	if err := l.Commit(seq); err != nil {
 		return 0, err
@@ -327,6 +474,8 @@ func (l *Log[K, V]) AppendBatchStart(keys []K, vals []V) (uint64, error) {
 	l.buf.Write(payload)
 	l.seq = seq
 	l.pending++
+	l.cBytes.Add(uint64(len(pre) + len(payload)))
+	l.cRecords.Add(1)
 	return seq, nil
 }
 
@@ -377,6 +526,12 @@ func (l *Log[K, V]) Commit(seq uint64) error {
 // Called with l.mu held and l.syncing false; returns with l.mu held.
 // syncedSeq advances on success — a flush alone counts as commit only
 // under SyncNever, which by contract never makes durability promises.
+//
+// The leader is elected under l.mu after the caller's sticky check and
+// owns l.f exclusively while syncing=true; its I/O runs through the
+// bounded retry loops in writeAll/syncRetry, and its own final failure
+// is what sets l.err. After a successful commit it rotates the segment
+// if the threshold is crossed.
 func (l *Log[K, V]) leaderCommit(doSync bool) {
 	target := l.seq
 	n := l.pending
@@ -388,17 +543,15 @@ func (l *Log[K, V]) leaderCommit(doSync bool) {
 
 	var err error
 	if batch.Len() > 0 {
-		//quitlint:allow stickypoison leader elected under l.mu after the caller's sticky check; its own failure is what sets l.err
-		if _, werr := l.f.Write(batch.Bytes()); werr != nil {
-			err = fmt.Errorf("wal: writing batch of %d records: %w", n, werr)
-		}
+		err = l.writeAll(batch.Bytes(), n)
 	}
 	fsync := doSync && l.cfg.Sync != SyncNever
 	if err == nil && fsync {
-		//quitlint:allow stickypoison leader elected under l.mu after the caller's sticky check; its own failure is what sets l.err
-		if serr := l.f.Sync(); serr != nil {
-			err = fmt.Errorf("wal: syncing log: %w", serr)
-		}
+		err = l.syncRetry()
+	}
+	if err == nil {
+		l.segBytes += int64(batch.Len())
+		l.maybeRotate(target, fsync)
 	}
 	batch.Reset() // safe: syncing=true keeps other leaders off the spare
 
@@ -417,6 +570,104 @@ func (l *Log[K, V]) leaderCommit(doSync bool) {
 		}
 	}
 	l.commitC.Broadcast()
+}
+
+// writeAll writes data to the current segment, resuming after short
+// writes and retrying transient failures under the bounded retry policy.
+// Leader-only: called outside l.mu with syncing=true, so the file is
+// exclusively owned and the sticky error cannot gate this I/O — the
+// leader's own outcome is what decides it (the sanctioned retry loop the
+// stickypoison analyzer verifies: bounded counter, transience check,
+// injectable backoff sleeper).
+func (l *Log[K, V]) writeAll(data []byte, n int) error {
+	pol := l.cfg.Retry
+	written := 0
+	var err error
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			l.cRetries.Add(1)
+			pol.Sleep(pol.backoffFor(attempt))
+		}
+		m, werr := l.f.Write(data[written:])
+		// A failed write may still have consumed a prefix (the os.File
+		// short-write contract); resume after it, never rewrite it — a
+		// duplicated prefix would corrupt the frame stream.
+		written += m
+		if werr == nil && written >= len(data) {
+			if attempt > 0 {
+				l.cRetriesOK.Add(1)
+			}
+			return nil
+		}
+		if werr != nil {
+			err = werr
+			if !pol.Transient(werr) {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	return fmt.Errorf("wal: writing batch of %d records: %w", n, err)
+}
+
+// syncRetry fsyncs the current segment, retrying transient failures
+// under the bounded retry policy. Leader-only, like writeAll.
+func (l *Log[K, V]) syncRetry() error {
+	pol := l.cfg.Retry
+	var err error
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			l.cRetries.Add(1)
+			pol.Sleep(pol.backoffFor(attempt))
+		}
+		serr := l.f.Sync()
+		if serr == nil {
+			if attempt > 0 {
+				l.cRetriesOK.Add(1)
+			}
+			return nil
+		}
+		err = serr
+		if !pol.Transient(serr) {
+			break
+		}
+	}
+	return fmt.Errorf("wal: syncing log: %w", err)
+}
+
+// maybeRotate closes out the current segment and continues in a fresh
+// one once the size threshold is crossed. Leader-only, outside l.mu. A
+// segment is rotated away only after a final fsync (even under
+// SyncNever), so every non-last segment is complete and durable on disk
+// — replay tolerates a torn tail only in the newest segment. lastSeq is
+// the last sequence number written to the old segment; the new segment's
+// first record is lastSeq+1 (sequence numbers are contiguous and
+// everything up to lastSeq has just been written).
+//
+// Rotation failures are not poisonous: the log simply keeps writing to
+// the old segment and retries at the next commit.
+func (l *Log[K, V]) maybeRotate(lastSeq uint64, synced bool) {
+	if l.cfg.OpenSegment == nil || l.cfg.SegmentBytes <= 0 || l.segBytes < l.cfg.SegmentBytes {
+		return
+	}
+	if !synced {
+		if err := l.syncRetry(); err != nil {
+			l.cRotfailures.Add(1)
+			return
+		}
+	}
+	nf, err := l.cfg.OpenSegment(lastSeq + 1)
+	if err != nil {
+		l.cRotfailures.Add(1)
+		return
+	}
+	old := l.f
+	l.f = nf // leader-owned while syncing=true; framing never touches l.f
+	l.segBytes = 0
+	l.cRotations.Add(1)
+	old.Close()
 }
 
 // appendRecord frames one record into w. withVal controls whether the
@@ -476,15 +727,21 @@ func (l *Log[K, V]) Sync() error {
 
 // syncLocked is Sync's commit loop, shared with Close. Called with l.mu
 // held; returns with l.mu held.
+//
+// Unlike Commit, the sticky error is checked *before* the synced
+// position: Sync and Close are whole-log entry points, and a poisoned
+// log must report its failure from every entry point consistently, even
+// when all previously framed records happen to be durable. (Commit keeps
+// the syncedSeq-before-error carve-out because it speaks for one record,
+// whose durability is a fact regardless of later failures.)
 func (l *Log[K, V]) syncLocked() error {
 	target := l.seq
 	for {
-		if l.syncedSeq >= target {
-			//quitlint:allow stickypoison syncedSeq-before-error carve-out: a durable record is committed even if the log failed later
-			return nil
-		}
 		if l.err != nil {
 			return l.err
+		}
+		if l.syncedSeq >= target {
+			return nil
 		}
 		if !l.syncing {
 			l.leaderCommit(true)
@@ -548,6 +805,10 @@ type ReplayStats struct {
 	// expected post-crash state, not a replay failure: the applied prefix
 	// is still consistent.
 	Tail error
+	// Bytes is the length of the valid record prefix — every framed byte
+	// up to (not including) the first torn or corrupt record. Recovery
+	// seeds the auto-checkpoint accounting from it.
+	Bytes int64
 }
 
 // Replay reads records from r in order and hands every checksum-valid
@@ -601,6 +862,7 @@ func Replay[K core.Integer, V any](r io.Reader, startAfter uint64, apply func(Re
 		if rec.Seq <= startAfter {
 			// Already covered by the snapshot below this log; skip, but
 			// the ordering must still hold.
+			stats.Bytes += int64(8 + plen)
 			continue
 		}
 		if rec.Seq != next {
@@ -612,6 +874,7 @@ func Replay[K core.Integer, V any](r io.Reader, startAfter uint64, apply func(Re
 		}
 		stats.Applied++
 		stats.LastSeq = rec.Seq
+		stats.Bytes += int64(8 + plen)
 		next++
 	}
 }

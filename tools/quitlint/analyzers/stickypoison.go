@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
@@ -32,6 +33,21 @@ import (
 // a sanctioned carve-out: those returns carry "quitlint:allow" waivers,
 // turning tribal knowledge into machine-checked annotations. l.f.Close is
 // exempt — closing a poisoned log's file is how teardown works.
+//
+// Bounded retry loops (PR 7) are recognized structurally, not waived by
+// annotation: inside a loop of the shape
+//
+//	for attempt := 0; attempt <= bound; attempt++ { ... }
+//
+// whose counter starts at an integer literal, is never reassigned in the
+// body, whose bound does not mention the counter, and whose body calls
+// both a Transient/transient classifier and a Sleep/sleep backoff, WAL
+// I/O and success returns are sanctioned: the commit leader owns the
+// file exclusively there, and the loop's own outcome — not the sticky
+// error, which the leader itself publishes afterwards — decides whether
+// the log poisons. I/O retried in any *other* loop is reported with a
+// dedicated diagnostic: an unbounded or unclassified retry can spin on a
+// dead disk forever.
 var StickyPoison = &lintkit.Analyzer{
 	Name: "stickypoison",
 	Doc:  "check that Log methods re-check the sticky error before WAL I/O or nil-error acknowledgements (DESIGN.md §8)",
@@ -97,6 +113,26 @@ type spChecker struct {
 	logType    *types.Named
 	recv       types.Object // the receiver variable of the method under analysis
 	returnsErr bool
+
+	// retryRanges are the body spans of sanctioned bounded retry loops;
+	// loopRanges are the spans of every for/range statement. Both are
+	// collected lexically before the dataflow pass.
+	retryRanges []spRange
+	loopRanges  []spRange
+}
+
+// spRange is a half-open source span.
+type spRange struct{ from, to token.Pos }
+
+func (r spRange) contains(p token.Pos) bool { return r.from <= p && p < r.to }
+
+func inRanges(rs []spRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
 }
 
 func checkStickyPoison(pass *lintkit.Pass, fd *ast.FuncDecl, obj *types.Func, logType *types.Named) {
@@ -114,12 +150,111 @@ func checkStickyPoison(pass *lintkit.Pass, fd *ast.FuncDecl, obj *types.Func, lo
 		c.returnsErr = types.Identical(last, types.Universe.Lookup("error").Type())
 	}
 
+	// Collect loop spans: every loop, and the sanctioned retry loops
+	// whose bodies may perform I/O without a sticky re-check.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			c.loopRanges = append(c.loopRanges, spRange{loop.Pos(), loop.End()})
+			if c.sanctionedRetryLoop(loop) {
+				c.retryRanges = append(c.retryRanges, spRange{loop.Body.Pos(), loop.Body.End()})
+			}
+		case *ast.RangeStmt:
+			c.loopRanges = append(c.loopRanges, spRange{loop.Pos(), loop.End()})
+		}
+		return true
+	})
+
 	flow := &lintkit.Flow{
 		CFG:      lintkit.BuildCFG(fd.Body),
 		Entry:    spUnchecked,
 		Transfer: c.transfer,
 	}
 	flow.Run(c.visit, nil)
+}
+
+// sanctionedRetryLoop reports whether loop is a bounded retry loop the
+// sticky-error discipline sanctions (DESIGN.md §8): a counter defined
+// from an integer literal, compared < or <= against a bound that does
+// not move with it, incremented only by the loop post statement, with a
+// body that consults a Transient/transient classifier and backs off via
+// a Sleep/sleep call. Everything is checked structurally, so the loop
+// cannot be "allowlisted away" — change any of it and the sanction is
+// withdrawn.
+func (c *spChecker) sanctionedRetryLoop(loop *ast.ForStmt) bool {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if lit, ok := ast.Unparen(init.Rhs[0]).(*ast.BasicLit); !ok || lit.Kind != token.INT {
+		return false
+	}
+	ctr := c.pass.Info.ObjectOf(id)
+	if ctr == nil {
+		return false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return false
+	}
+	if cid, ok := ast.Unparen(cond.X).(*ast.Ident); !ok || c.pass.Info.ObjectOf(cid) != ctr {
+		return false
+	}
+	if mentionsObj(c.pass.Info, cond.Y, ctr) {
+		return false // a bound moving with the counter is not a bound
+	}
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return false
+	}
+	if pid, ok := ast.Unparen(post.X).(*ast.Ident); !ok || c.pass.Info.ObjectOf(pid) != ctr {
+		return false
+	}
+	var hasSleep, hasTransient, mutatesCtr bool
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Sleep", "sleep":
+					hasSleep = true
+				case "Transient", "transient":
+					hasTransient = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && c.pass.Info.ObjectOf(id) == ctr {
+					mutatesCtr = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(m.X).(*ast.Ident); ok && c.pass.Info.ObjectOf(id) == ctr {
+				mutatesCtr = true
+			}
+		}
+		return true
+	})
+	return hasSleep && hasTransient && !mutatesCtr
+}
+
+// mentionsObj reports whether expression e references obj.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // recvField returns the field name if e is a selector recv.<field>.
@@ -232,6 +367,15 @@ func (c *spChecker) visit(n ast.Node, f lintkit.Fact) {
 		case spStale:
 			f |= spUnchecked
 		case spIO:
+			if inRanges(c.retryRanges, pos.Pos()) {
+				// Sanctioned bounded retry loop: the leader owns the
+				// file and its own outcome sets the sticky error.
+				break
+			}
+			if inRanges(c.loopRanges, pos.Pos()) {
+				c.pass.Reportf(pos.Pos(), "WAL I/O retried in a loop that is not a sanctioned bounded retry loop; retries need a literal-bounded counter never reassigned in the body, a Transient classifier, and a Sleep backoff (DESIGN.md §8)")
+				break
+			}
 			if f&spUnchecked != 0 {
 				c.pass.Reportf(pos.Pos(), "WAL I/O on a path that has not re-checked the sticky error; a poisoned log must not touch the file again — check l.err first (DESIGN.md §8)")
 			}
@@ -251,6 +395,11 @@ func (c *spChecker) checkAck(ret *ast.ReturnStmt, f lintkit.Fact) {
 	last := ast.Unparen(ret.Results[len(ret.Results)-1])
 	id, ok := last.(*ast.Ident)
 	if !ok || id.Name != "nil" {
+		return
+	}
+	if inRanges(c.retryRanges, ret.Pos()) {
+		// The success return of a sanctioned retry loop: the I/O's own
+		// nil result, observed moments before, is the freshness proof.
 		return
 	}
 	if f&spUnchecked != 0 {

@@ -39,3 +39,53 @@ func (l *Log) flushInto(k, v int) error {
 	appendRecord(l.buf, k, v) // want "WAL I/O on a path that has not re-checked the sticky error"
 	return l.err
 }
+
+// retryForever spins on the file with no bound at all: a dead disk would
+// be retried until the end of time.
+func (l *Log) retryForever(data []byte, pol policy) error {
+	for {
+		_, err := l.f.Write(data) // want "WAL I/O retried in a loop that is not a sanctioned bounded retry loop"
+		if err == nil {
+			return l.err
+		}
+		pol.Sleep(1)
+	}
+}
+
+// retryBlind bounds and backs off but never classifies: a non-transient
+// failure (disk full) would be retried as if time could fix it.
+func (l *Log) retryBlind(pol policy) error {
+	var err error
+	for attempt := 0; attempt <= pol.max; attempt++ {
+		if attempt > 0 {
+			pol.Sleep(attempt)
+		}
+		if err = l.f.Sync(); err == nil { // want "WAL I/O retried in a loop that is not a sanctioned bounded retry loop"
+			return err
+		}
+	}
+	return err
+}
+
+// retryRewound resets the counter on partial progress: the "bound" no
+// longer bounds the number of attempts.
+func (l *Log) retryRewound(data []byte, pol policy) error {
+	var err error
+	for attempt := 0; attempt <= pol.max; attempt++ {
+		if attempt > 0 {
+			pol.Sleep(attempt)
+		}
+		var m int
+		m, err = l.f.Write(data) // want "WAL I/O retried in a loop that is not a sanctioned bounded retry loop"
+		if err == nil {
+			return err
+		}
+		if !pol.Transient(err) {
+			break
+		}
+		if m > 0 {
+			attempt = 0
+		}
+	}
+	return err
+}

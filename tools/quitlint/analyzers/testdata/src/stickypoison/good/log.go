@@ -47,6 +47,34 @@ func (l *Log) Err() error {
 	return l.err
 }
 
+// writeAll is the sanctioned bounded retry loop: a counter defined from
+// a literal, bounded by an expression the counter does not appear in,
+// incremented only by the post statement, with a Transient classifier
+// and a Sleep backoff in the body. Inside it, file I/O and the success
+// return need no sticky re-check — the commit leader owns the file and
+// the loop's own outcome decides the poisoning.
+func (l *Log) writeAll(data []byte, pol policy) error {
+	written := 0
+	var err error
+	for attempt := 0; attempt <= pol.max; attempt++ {
+		if attempt > 0 {
+			pol.Sleep(attempt)
+		}
+		m, werr := l.f.Write(data[written:])
+		written += m
+		if werr == nil && written >= len(data) {
+			return nil
+		}
+		if werr != nil {
+			err = werr
+			if !pol.Transient(werr) {
+				break
+			}
+		}
+	}
+	return err
+}
+
 // Close may always release the descriptor: f.Close is exempt I/O.
 func (l *Log) Close() error {
 	l.mu.Lock()

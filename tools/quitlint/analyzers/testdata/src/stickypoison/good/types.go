@@ -35,6 +35,13 @@ func (l *Log) fail(err error) {
 	}
 }
 
+// policy stands in for the retry policy: an injectable backoff sleeper,
+// a transience classifier, and a retry bound.
+type policy struct{ max int }
+
+func (policy) Sleep(d int)              {}
+func (policy) Transient(err error) bool { return true }
+
 func encode(k, v int) []byte { return []byte{byte(k), byte(v)} }
 
 func appendRecord(b *buffer, k, v int) {
