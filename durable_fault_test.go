@@ -22,6 +22,7 @@ package quit_test
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"github.com/quittree/quit"
@@ -237,6 +238,87 @@ func TestCrashRecoveryBitFlips(t *testing.T) {
 				fmt.Sprintf("flip %s@%d", name, off), false)
 		}
 	}
+}
+
+// TestCrashRecoveryGappedSnapshot pins the dense-on-disk / gapped-in-memory
+// contract of the leaf layout (DESIGN.md §11) against the crash matrix. The
+// workload lays down an even-key base and then interleaves shuffled odd
+// keys, so by the mid-history checkpoint most leaves hold live entries
+// interleaved with gap slots whose neighbor-key copies must NOT leak into
+// the snapshot: Save walks live slots only, and Load rebuilds the leaves
+// regapped (BulkAppend at the snapshot fill with the configured gap
+// fraction). A crash at any schedule point — while the gapped tree streams
+// out, around the rename, or mid-WAL-replay of gap-filling inserts into
+// freshly loaded leaves — must recover a consistent model prefix that
+// passes the gap invariants in Validate.
+func TestCrashRecoveryGappedSnapshot(t *testing.T) {
+	fs := faultio.NewMemFS()
+	models, ackEvent := gappedCrashWorkload(t, fs)
+	events := fs.Events()
+	t.Logf("gapped schedule: %d events, %d steps", len(events), len(ackEvent))
+
+	for cut := 0; cut <= len(events); cut++ {
+		g := guaranteedAt(ackEvent, cut)
+		recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut}), models, g,
+			fmt.Sprintf("gapped/cut=%d", cut), true)
+		if cut < len(events) && events[cut].Kind == faultio.EvWrite {
+			if n := len(events[cut].Data); n > 1 {
+				recoverAndCheck(t, fs.ImageAt(faultio.Cut{Event: cut, MidBytes: n / 2}), models, g,
+					fmt.Sprintf("gapped/cut=%d/mid", cut), true)
+			}
+		}
+	}
+}
+
+// gappedCrashWorkload builds the leaf shapes the gapped layout exists for:
+// an ascending even base (dense append-path leaves), then every odd key in
+// a fixed shuffled order (each one a mid-leaf gap fill or a spread split).
+// The checkpoint lands after half the odds, so the snapshot is taken from a
+// tree in its most gap-riddled state and the tail of the WAL replays gap
+// inserts into the reloaded, regapped leaves.
+func gappedCrashWorkload(t *testing.T, fs *faultio.MemFS) (models []map[int64]string, ackEvent []int) {
+	t.Helper()
+	d, err := quit.Open[int64, string](faultDir, faultOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 48
+	model := map[int64]string{}
+	models = append(models, map[int64]string{})
+	step := func(k int64, v string) {
+		t.Helper()
+		if err := d.Insert(k, v); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		model[k] = v
+		m := make(map[int64]string, len(model))
+		for kk, vv := range model {
+			m[kk] = vv
+		}
+		models = append(models, m)
+		ackEvent = append(ackEvent, len(fs.Events()))
+	}
+	for i := int64(0); i < half; i++ {
+		step(2*i, fmt.Sprintf("e%d", i))
+	}
+	odds := make([]int64, half)
+	for i := range odds {
+		odds[i] = int64(2*i + 1)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rng.Shuffle(len(odds), func(i, j int) { odds[i], odds[j] = odds[j], odds[i] })
+	for i, k := range odds {
+		step(k, fmt.Sprintf("o%d", k))
+		if i == len(odds)/2 {
+			if err := d.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return models, ackEvent
 }
 
 // TestDurableFailedSync drives the injected-fsync-failure path: the write

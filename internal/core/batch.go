@@ -116,6 +116,8 @@ type batchScratch[K Integer, V any] struct {
 	existed []bool
 	tk      []K // multi-way split merge scratch
 	tv      []V
+	xk      []K // multi-way split live-suffix extraction scratch
+	xv      []V
 }
 
 func (t *Tree[K, V]) getScratch() *batchScratch[K, V] {
@@ -546,10 +548,10 @@ func (t *Tree[K, V]) tryFastRun(keys []K, vals []V, existed []bool) int {
 	if t.fp.hasMax {
 		n = searchKeys(keys, t.fp.max) // keys[:n] route to fp.leaf
 	}
-	if budget := t.cfg.LeafCapacity - len(leaf.keys); n > budget {
+	if budget := t.cfg.LeafCapacity - leaf.leafCount(); n > budget {
 		// Only a run longer than the remaining capacity needs the probe —
 		// a shorter one fits even if every key is absent.
-		n, _ = prefixWithinBudget(leaf.keys, keys[:n], budget)
+		n, _ = leaf.prefixWithinBudget(keys[:n], budget)
 	}
 	if n == 0 {
 		t.unlockMeta()
@@ -557,7 +559,7 @@ func (t *Tree[K, V]) tryFastRun(keys []K, vals []V, existed []bool) int {
 		return 0
 	}
 	ups := t.mergeRunIntoLeaf(leaf, keys[:n], vals[:n], existed[:n])
-	t.fp.size = len(leaf.keys)
+	t.fp.size = leaf.leafCount()
 	t.fp.fails = 0
 	t.unlockMeta()
 	t.writeUnlatch(leaf)
@@ -573,7 +575,9 @@ func (t *Tree[K, V]) tryFastRun(keys []K, vals []V, existed []bool) int {
 // forward from i: O(log gap) for a scattered probe, O(1) when the next
 // probe lands nearby. The merge passes below use it so a short run into a
 // full leaf costs O(run * log leaf), not O(leaf) — matching the binary
-// search a single-key insert would do.
+// search a single-key insert would do. Over a gapped leaf's slot array it
+// returns the slot-level lower bound (gap copies keep the slots sorted);
+// presence still needs the bitmap skip, as in find.
 func skipTo[K Integer](keys []K, i int, k K) int {
 	if i >= len(keys) || keys[i] >= k {
 		return i
@@ -593,12 +597,15 @@ func skipTo[K Integer](keys []K, i int, k K) int {
 // prefixWithinBudget returns the longest prefix of the sorted, unique
 // probe keys whose installation adds at most budget new entries to the
 // leaf, along with the number of additions in that prefix (present keys
-// are free: they overwrite in place).
-func prefixWithinBudget[K Integer](leafKeys, probe []K, budget int) (n, adds int) {
+// are free: they overwrite in place). Presence is the slot-level skipTo
+// followed by the bitmap skip: a stale gap copy equal to a probe key must
+// not count as present.
+func (n *node[K, V]) prefixWithinBudget(probe []K, budget int) (cnt, adds int) {
 	i := 0
 	for j, k := range probe {
-		i = skipTo(leafKeys, i, k)
-		if i >= len(leafKeys) || leafKeys[i] != k {
+		i = skipTo(n.keys, i, k)
+		s := n.nextPresent(i)
+		if s < 0 || s >= len(n.keys) || n.keys[s] != k {
 			if adds == budget {
 				return j, adds
 			}
@@ -609,71 +616,61 @@ func prefixWithinBudget[K Integer](leafKeys, probe []K, budget int) (n, adds int
 }
 
 // countAbsent returns how many of the sorted, unique probe keys are not
-// present in the sorted leaf keys (one merge pass).
-func countAbsent[K Integer](leafKeys, probe []K) int {
+// live in the leaf (one merge pass over the slot array).
+func (n *node[K, V]) countAbsent(probe []K) int {
 	absent := 0
 	i := 0
 	for _, k := range probe {
-		i = skipTo(leafKeys, i, k)
-		if i >= len(leafKeys) || leafKeys[i] != k {
+		i = skipTo(n.keys, i, k)
+		s := n.nextPresent(i)
+		if s < 0 || s >= len(n.keys) || n.keys[s] != k {
 			absent++
 		}
 	}
 	return absent
 }
 
-// mergeRunIntoLeaf merges a sorted run that fits the leaf: present keys
-// are overwritten in place, absent keys are installed with one backward
-// merge over the slice tails (the batched counterpart of insertAt's single
-// shift). Returns the number of overwrites. The caller holds the leaf's
-// write latch and has verified capacity.
+// mergeRunIntoLeaf merges a sorted run that fits the leaf: live keys are
+// overwritten in place, absent keys drop into the gapped layout one
+// gapInsert each — O(distance to the nearest gap) per key instead of the
+// dense era's backward memmove over the leaf tail. A run landing entirely
+// above the leaf's max (the frontier append that dominates sorted ingest)
+// is two bulk copies at the high-water mark, compacting first only when
+// interior gaps have consumed the tail room. Returns the number of
+// overwrites. The caller holds the leaf's write latch and has verified
+// capacity (count + additions <= LeafCapacity).
 func (t *Tree[K, V]) mergeRunIntoLeaf(leaf *node[K, V], keys []K, vals []V, existed []bool) int {
-	old := len(leaf.keys)
-	if old == 0 || keys[0] > leaf.keys[old-1] {
-		// The whole run lands above the leaf's max — the frontier append
-		// that dominates sorted ingest: two bulk copies, no probe.
-		leaf.keys = append(leaf.keys, keys...)
-		leaf.vals = append(leaf.vals, vals...)
+	if leaf.count == 0 || keys[0] > leaf.maxKey() {
+		if cap(leaf.keys)-len(leaf.keys) < len(keys) {
+			leaf.compact()
+		}
+		leaf.appendDense(keys, vals)
 		return 0
 	}
 	ups := 0
 	i := 0
 	for j, k := range keys {
+		// i stays a valid slot-level search floor across gapInserts: a shift
+		// only moves keys < k (or k itself) below slot i, never a key that a
+		// later, strictly larger probe could land on.
 		i = skipTo(leaf.keys, i, k)
-		if i < len(leaf.keys) && leaf.keys[i] == k {
-			leaf.vals[i] = vals[j]
+		if s := leaf.nextPresent(i); s >= 0 && s < len(leaf.keys) && leaf.keys[s] == k {
+			leaf.vals[s] = vals[j]
 			existed[j] = true
 			ups++
-		}
-	}
-	adds := len(keys) - ups
-	if adds == 0 {
-		return ups
-	}
-	leaf.keys = leaf.keys[:old+adds]
-	leaf.vals = leaf.vals[:old+adds]
-	// Backward merge: bulk-shift each displaced block of existing entries
-	// once (overlapping copy, dst > src) and drop the absent run keys into
-	// the gaps. leaf.keys[:i] is the still-unshifted prefix.
-	w := old + adds - 1
-	i = old
-	for j := len(keys) - 1; j >= 0; j-- {
-		if existed[j] {
 			continue
 		}
-		src := i
-		if i > 0 && leaf.keys[i-1] > keys[j] {
-			src = searchKeys(leaf.keys[:i], keys[j]) // > keys[j] from here: absent
+		slot, moved := leaf.gapInsert(k, vals[j])
+		if len(keys)-j > regapMargin && leaf.regapWorthwhile(moved) {
+			// The leaf's gaps have drifted away from the run's landing zone
+			// and this key paid a long shift; the rest of the ascending run
+			// would pay the same. Rebuild with every free slot concentrated
+			// right at the landing point — the remaining keys then fill the
+			// gap run in order, O(1) each — and restart the slot floor (the
+			// ascending probe re-seeks past the rebuilt prefix once).
+			leaf.refrontierAt(slot + 1)
+			i = 0
 		}
-		if cnt := i - src; cnt > 0 {
-			copy(leaf.keys[w-cnt+1:w+1], leaf.keys[src:i])
-			copy(leaf.vals[w-cnt+1:w+1], leaf.vals[src:i])
-			w -= cnt
-		}
-		leaf.keys[w] = keys[j]
-		leaf.vals[w] = vals[j]
-		w--
-		i = src
 	}
 	return ups
 }
@@ -711,9 +708,9 @@ func (t *Tree[K, V]) topRun(keys []K, vals []V, existed []bool, hint *descentHin
 	// needs no absence count, and the merge discovers overwrites itself.
 	var ups int
 	var rights []*node[K, V]
-	fits := len(leaf.keys)+n <= t.cfg.LeafCapacity
+	fits := leaf.leafCount()+n <= t.cfg.LeafCapacity
 	if !fits {
-		fits = len(leaf.keys)+countAbsent(leaf.keys, run) <= t.cfg.LeafCapacity
+		fits = leaf.leafCount()+leaf.countAbsent(run) <= t.cfg.LeafCapacity
 	}
 	if fits {
 		ups = t.mergeRunIntoLeaf(leaf, run, runVals, runExisted)
@@ -829,7 +826,7 @@ func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *
 		if hi.ok {
 			rn = searchKeys(keys, hi.key) // keys[:rn] route to this leaf
 		}
-		if len(leaf.keys)+rn > t.cfg.LeafCapacity {
+		if leaf.leafCount()+rn > t.cfg.LeafCapacity {
 			// Might overflow (or needs a dedup count to prove otherwise):
 			// the pessimistic descent sorts it out.
 			if !t.readUnlatch(leaf, v) {
@@ -866,29 +863,36 @@ func (t *Tree[K, V]) tryOptimisticRun(keys []K, vals []V, existed []bool, hint *
 // split to k. Returns the number of overwrites and the new (still
 // write-latched) leaves.
 //
-// The leaf prefix below the run's first key is untouched by the merge, so
-// it is never materialized: only the suffix from the run's insertion point
-// onward is merged into scratch (for sorted ingest that suffix is just the
-// few out-of-order keys parked above the frontier), and a run that
-// strictly appends borrows the caller's slices outright. The per-split
-// memmove cost is proportional to what actually moves.
+// The live leaf prefix below the run's first key is untouched by the
+// merge, so it is never materialized: only the live suffix from the run's
+// insertion point onward is extracted and merged into scratch (for sorted
+// ingest that suffix is just the few out-of-order keys parked above the
+// frontier), and a run that strictly appends borrows the caller's slices
+// outright. Positions below the cut refer to the leaf's live ranks through
+// the bitmap; chunks that are not expected to absorb in-order appends are
+// re-spread with interleaved gaps so later mid-leaf inserts stay cheap.
 func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], keys []K, vals []V, existed []bool, hi bound[K]) (int, []*node[K, V]) {
-	nl := len(leaf.keys)
-	p := searchKeys(leaf.keys, keys[0]) // leaf.keys[:p] < keys[0]: stable prefix
+	nl := leaf.leafCount()
+	p := leaf.rankOf(lowerBound(leaf.keys, keys[0])) // live ranks [0,p) < keys[0]: stable prefix
 	ups := 0
-	var tk []K // merged sequence from position p onward
+	var tk []K // merged sequence from live rank p onward
 	var tv []V
 	var ss *batchScratch[K, V]
 	if p == nl {
 		tk, tv = keys, vals
 	} else {
 		ss = t.getScratch()
-		// One merge pass of the leaf suffix with the run; on equal keys the
-		// run's value wins. The pass walks the (short) suffix and bulk-copies
-		// the run range below each suffix element, so a 200-key run parked
-		// against a handful of out-of-order keys costs a handful of memmoves,
-		// not 200 appends.
-		sfk, sfv := leaf.keys[p:], leaf.vals[p:]
+		// Extract the live suffix densely, then one merge pass with the run;
+		// on equal keys the run's value wins. The pass walks the (short)
+		// suffix and bulk-copies the run range below each suffix element, so
+		// a 200-key run parked against a handful of out-of-order keys costs a
+		// handful of memmoves, not 200 appends.
+		sfk := grow(&ss.xk, nl-p)[:0]
+		sfv := grow(&ss.xv, nl-p)[:0]
+		for s := leaf.selectRank(p); s >= 0 && s < len(leaf.keys); s = leaf.nextPresent(s + 1) {
+			sfk = append(sfk, leaf.keys[s])
+			sfv = append(sfv, leaf.vals[s])
+		}
 		tk = grow(&ss.tk, len(sfk)+len(keys))[:0]
 		tv = grow(&ss.tv, len(sfk)+len(keys))[:0]
 		j := 0
@@ -914,19 +918,22 @@ func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], 
 	total := p + len(tk)
 	at := func(i int) K {
 		if i < p {
-			return leaf.keys[i]
+			return leaf.keys[leaf.selectRank(i)]
 		}
 		return tk[i-p]
 	}
-	// seg copies merged positions [s,e) out of the two segments.
+	// seg copies merged positions [s,e) out of the two segments: live leaf
+	// ranks below p, merged scratch above.
 	seg := func(dk []K, dv []V, s, e int) ([]K, []V) {
 		if s < p {
 			stop := e
 			if stop > p {
 				stop = p
 			}
-			dk = append(dk, leaf.keys[s:stop]...)
-			dv = append(dv, leaf.vals[s:stop]...)
+			for x, slot := s, leaf.selectRank(s); x < stop; x, slot = x+1, leaf.nextPresent(slot+1) {
+				dk = append(dk, leaf.keys[slot])
+				dv = append(dv, leaf.vals[slot])
+			}
 			s = stop
 		}
 		if e > s {
@@ -935,28 +942,24 @@ func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], 
 		}
 		return dk, dv
 	}
-	// installFirst rewrites the original leaf as chunk [0,c0), in place:
-	// the backing arrays were sized for every legal transient and are never
-	// reallocated, so concurrent optimistic readers stay memory-safe and
-	// are rejected by version validation.
+	// installFirst rewrites the original leaf as merged chunk [0,c0), in
+	// place: the backing arrays were sized for every legal transient and are
+	// never reallocated, so concurrent optimistic readers stay memory-safe
+	// and are rejected by version validation. The kept live prefix never
+	// moves; merged entries above it append at the high-water mark.
 	installFirst := func(c0 int) {
 		if c0 <= p {
-			leaf.keys = leaf.keys[:c0]
-			leaf.vals = leaf.vals[:c0]
-		} else {
-			leaf.keys = append(leaf.keys[:p], tk[:c0-p]...)
-			leaf.vals = append(leaf.vals[:p], tv[:c0-p]...)
+			leaf.truncateLive(c0)
+			return
 		}
-		if c0 < nl {
-			var zv V
-			stale := leaf.vals[c0:nl]
-			for z := range stale {
-				stale[z] = zv
-			}
+		leaf.truncateLive(p)
+		if cap(leaf.keys)-len(leaf.keys) < c0-p {
+			leaf.compact()
 		}
+		leaf.appendDense(tk[:c0-p], tv[:c0-p])
 	}
 
-	cuts := t.leafCuts(leaf, total, at, hi)
+	cuts, frontier := t.leafCuts(leaf, total, at, hi)
 	rights := make([]*node[K, V], 0, len(cuts))
 	pivots := make([]K, 0, len(cuts))
 	prev := leaf
@@ -970,11 +973,19 @@ func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], 
 		r := t.newLeaf()
 		t.writeLatch(r) // uncontended: not yet published
 		r.keys, r.vals = seg(r.keys, r.vals, start, end)
+		r.setBitRange(0, len(r.keys))
+		r.count = int32(len(r.keys))
+		// Spread every chunk except the frontier chunk (it absorbs the next
+		// in-order runs as pure high-water-mark appends) and, when the leaf
+		// was rightmost, the new tail.
+		if start != frontier && !(ci == len(cuts)-1 && next == nil) {
+			r.spreadInPlace()
+		}
 		r.prev.Store(prev)
 		prev.next.Store(r)
 		prev = r
 		rights = append(rights, r)
-		pivots = append(pivots, r.keys[0])
+		pivots = append(pivots, r.minKey())
 	}
 	installFirst(cuts[0]) // after seg reads: the leaf tail may move out
 	prev.next.Store(next)
@@ -993,13 +1004,17 @@ func (t *Tree[K, V]) multiWaySplitInstall(path []*node[K, V], leaf *node[K, V], 
 }
 
 // leafCuts picks the chunk boundaries (indices into the merged sequence
-// where each new leaf starts) for a multi-way leaf split. A rightmost
-// leaf packs chunks to MaxFill — the batched analogue of QuIT's variable
-// split, leaving the open-ended tail chunk to absorb the next in-order
-// run — with the first cut IKR-guided when pole metadata is live, exactly
-// as variableSplit places its single split point. Interior leaves split
-// into balanced chunks, preserving the classical >= 50% occupancy.
-func (t *Tree[K, V]) leafCuts(leaf *node[K, V], total int, at func(int) K, hi bound[K]) []int {
+// where each new leaf starts) for a multi-way leaf split, and the merged
+// position where the frontier chunk starts (-1 when no chunk is designated
+// the open frontier). A rightmost leaf packs chunks to MaxFill less the
+// configured gap fraction — the batched analogue of QuIT's variable split,
+// leaving the open-ended tail chunk to absorb the next in-order run — with
+// the first cut IKR-guided when pole metadata is live, exactly as
+// variableSplit places its single split point. Interior leaves split into
+// balanced chunks, preserving the classical >= 50% occupancy. Packed
+// chunks are sized to (1-GapFraction) of the fill ceiling so that, once
+// spread, they keep interleaved gaps for later near-sorted inserts.
+func (t *Tree[K, V]) leafCuts(leaf *node[K, V], total int, at func(int) K, hi bound[K]) ([]int, int) {
 	c := t.cfg.LeafCapacity
 	// Packing applies wherever the pole is, not only at the rightmost
 	// leaf: Algorithm 2's variable split follows fp.leaf even when earlier
@@ -1027,6 +1042,7 @@ func (t *Tree[K, V]) leafCuts(leaf *node[K, V], total int, at func(int) K, hi bo
 		if capFill > c {
 			capFill = c
 		}
+		capFill = t.packTarget(capFill)
 		floor := t.minLeaf
 		if floor < 1 {
 			floor = 1
@@ -1054,10 +1070,21 @@ func (t *Tree[K, V]) leafCuts(leaf *node[K, V], total int, at func(int) K, hi bo
 		for pos := left + capFill; pos < total; pos += capFill {
 			cuts = append(cuts, pos)
 		}
-		return cuts
+		return cuts, left
 	}
-	m := (total + c - 1) / c
-	return chunkBounds(total, m)
+	pack := t.packTarget(c)
+	m := (total + pack - 1) / pack
+	return chunkBounds(total, m), -1
+}
+
+// packTarget reduces a chunk-fill ceiling by the configured gap fraction,
+// so wholesale-built chunks leave interleaved gap room (clamped to >= 1).
+func (t *Tree[K, V]) packTarget(fill int) int {
+	p := fill - int(t.cfg.GapFraction*float64(fill))
+	if p < 1 {
+		return 1
+	}
+	return p
 }
 
 // outlierIndexAt is outlierIndex over a virtual merged sequence exposed
@@ -1239,15 +1266,15 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 	target, tlo, thi := leaf, lo, hi
 	ti := 0 // chunk index: 0 = leaf, i > 0 = rights[i-1]
 	if len(rights) > 0 {
-		thi = closed(rights[0].keys[0])
+		thi = closed(rights[0].minKey())
 		for i, r := range rights {
-			if lastKey < r.keys[0] {
+			if lastKey < r.minKey() {
 				break
 			}
 			target, ti = r, i+1
-			tlo = closed(r.keys[0])
+			tlo = closed(r.minKey())
 			if i+1 < len(rights) {
-				thi = closed(rights[i+1].keys[0])
+				thi = closed(rights[i+1].minKey())
 			} else {
 				thi = hi
 			}
@@ -1260,10 +1287,10 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		if len(rights) > 0 {
 			if last := rights[len(rights)-1]; last.next.Load() == nil {
 				// The old tail split: follow the new rightmost leaf.
-				t.setFP(last, closed(last.keys[0]), bound[K]{}, pathWithLeaf(path, last))
+				t.setFP(last, closed(last.minKey()), bound[K]{}, pathWithLeaf(path, last))
 			}
 		} else if target == t.fp.leaf {
-			t.fp.size = len(target.keys)
+			t.fp.size = target.leafCount()
 		}
 		t.unlockMeta()
 		return
@@ -1285,8 +1312,8 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		// neighbor chunk is latched, so pole_prev metadata is exact — the
 		// multi-way analogue of variableSplit's advance (Fig. 7a).
 		if ti == 0 {
-			fp.max, fp.hasMax = rights[0].keys[0], true
-			fp.size = len(leaf.keys)
+			fp.max, fp.hasMax = rights[0].minKey(), true
+			fp.size = leaf.leafCount()
 			fp.fails = 0
 			return
 		}
@@ -1296,8 +1323,8 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		}
 		t.setFP(target, tlo, thi, pathWithLeaf(path, target))
 		fp.prev = prevChunk
-		fp.prevMin = prevChunk.keys[0]
-		fp.prevSize = len(prevChunk.keys)
+		fp.prevMin = prevChunk.minKey()
+		fp.prevSize = prevChunk.leafCount()
 		fp.prevValid = true
 		fp.fails = 0
 		return
@@ -1307,8 +1334,8 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		// over, as in splitOther.
 		last := rights[len(rights)-1]
 		fp.prev = last
-		fp.prevMin = last.keys[0]
-		fp.prevSize = len(last.keys)
+		fp.prevMin = last.minKey()
+		fp.prevSize = last.leafCount()
 		return
 	}
 
@@ -1316,12 +1343,12 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 		if target == fp.leaf {
 			// The run landed in pole through the slow path (synchronized
 			// fallbacks); treat it as pole growth.
-			fp.size = len(target.keys)
+			fp.size = target.leafCount()
 			fp.fails = 0
 			return
 		}
 		if target == fp.prev && fp.prevValid {
-			fp.prevSize = len(target.keys)
+			fp.prevSize = target.leafCount()
 			if run[0] < fp.prevMin {
 				fp.prevMin = run[0]
 			}
@@ -1366,10 +1393,10 @@ func (t *Tree[K, V]) afterRunInstall(path []*node[K, V], leaf *node[K, V], right
 	fp.fails = 0
 	fp.prevValid = false
 	prev := target.prev.Load()
-	if prev != nil && len(prev.keys) > 0 && (!t.synced || ti > 0) {
+	if prev != nil && prev.leafCount() > 0 && (!t.synced || ti > 0) {
 		fp.prev = prev
-		fp.prevMin = prev.keys[0]
-		fp.prevSize = len(prev.keys)
+		fp.prevMin = prev.minKey()
+		fp.prevSize = prev.leafCount()
 		fp.prevValid = true
 	}
 	t.c.resets.Add(1)
@@ -1393,16 +1420,16 @@ func (t *Tree[K, V]) afterRunMandatory(path []*node[K, V], leaf *node[K, V], rig
 	fp := &t.fp
 	if leaf == fp.leaf {
 		if len(rights) > 0 {
-			fp.max, fp.hasMax = rights[0].keys[0], true
+			fp.max, fp.hasMax = rights[0].minKey(), true
 		}
-		fp.size = len(leaf.keys)
+		fp.size = leaf.leafCount()
 	}
 	if t.cfg.Mode == ModeTail && len(rights) > 0 {
 		// The rightmost leaf split: tail mode's metadata must follow the new
 		// tail (Validate enforces fp.leaf == tail), and the new tail's left
 		// neighbors are ours and latched, so the repointing is race-free.
 		if last := rights[len(rights)-1]; last.next.Load() == nil {
-			t.setFP(last, closed(last.keys[0]), bound[K]{}, pathWithLeaf(path, last))
+			t.setFP(last, closed(last.minKey()), bound[K]{}, pathWithLeaf(path, last))
 		}
 	}
 	if fp.prevValid && fp.prev == leaf {
@@ -1410,9 +1437,9 @@ func (t *Tree[K, V]) afterRunMandatory(path []*node[K, V], leaf *node[K, V], rig
 			// pole_prev split: the chunk that is now the pole's left neighbor
 			// takes over, exactly as in afterRunInstall / splitOther.
 			last := rights[len(rights)-1]
-			fp.prev, fp.prevMin, fp.prevSize = last, last.keys[0], len(last.keys)
+			fp.prev, fp.prevMin, fp.prevSize = last, last.minKey(), last.leafCount()
 		} else {
-			fp.prevSize = len(leaf.keys)
+			fp.prevSize = leaf.leafCount()
 			if run[0] < fp.prevMin {
 				fp.prevMin = run[0]
 			}

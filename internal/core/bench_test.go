@@ -251,6 +251,76 @@ func BenchmarkSearchKeys(b *testing.B) {
 			}
 			sinkInt = sink
 		})
+
+		// Gapped-probe variants: the full leaf probe (searchKeys over every
+		// slot + word-at-a-time bitmap skip + one equality check) against the
+		// same live entries in the dense layout (live prefix, empty tail) and
+		// the spread layout (live slots interleaved with gap copies across
+		// the whole slot array). Half-full leaves, so the spread probe scans
+		// roughly twice the slots the dense one does.
+		tr := New[int64, int64](Config{LeafCapacity: width, InternalFanout: 16})
+		live := keys[: width/2 : width/2]
+		vals := make([]int64, len(live))
+		dense := tr.newLeaf()
+		dense.setDense(live, vals)
+		spread := tr.newLeaf()
+		spread.setSpread(live, vals)
+		for _, lf := range []struct {
+			name string
+			n    *node[int64, int64]
+		}{{"find-dense", dense}, {"find-gapped", spread}} {
+			b.Run(fmt.Sprintf("%s/width=%d", lf.name, width), func(b *testing.B) {
+				var sink int
+				for i := 0; i < b.N; i++ {
+					s, _ := lf.n.find(probes[i&4095])
+					sink += s
+				}
+				sinkInt = sink
+			})
+		}
+	}
+}
+
+// BenchmarkMidLeafInsert isolates what a leaf pays to absorb an
+// out-of-order key between two live neighbors: the dense layout shifts the
+// suffix to the high-water mark (O(used/2) memmove), the spread layout
+// shifts only to the nearest interleaved gap (O(gap distance), usually one
+// slot). Each iteration inserts one key from a shuffled interleaving
+// sequence; when the leaf reaches capacity it is rebuilt from the
+// half-full template — amortized across leafCap/2 inserts and identical
+// for both layouts.
+func BenchmarkMidLeafInsert(b *testing.B) {
+	const leafCap = 510
+	tr := New[int64, int64](Config{LeafCapacity: leafCap, InternalFanout: 16})
+	half := leafCap / 2
+	ks := make([]int64, half)
+	vs := make([]int64, half)
+	for i := range ks {
+		ks[i] = int64(i) * 4
+	}
+	ins := make([]int64, half)
+	for i := range ins {
+		ins[i] = int64(i)*4 + 2
+	}
+	rng := rand.New(rand.NewSource(9))
+	rng.Shuffle(len(ins), func(i, j int) { ins[i], ins[j] = ins[j], ins[i] })
+	for _, layout := range []string{"dense", "spread"} {
+		leaf := tr.newLeaf()
+		b.Run(layout, func(b *testing.B) {
+			j := half // forces a rebuild on the first iteration
+			for i := 0; i < b.N; i++ {
+				if j == half {
+					if layout == "dense" {
+						leaf.setDense(ks, vs)
+					} else {
+						leaf.setSpread(ks, vs)
+					}
+					j = 0
+				}
+				leaf.gapInsert(ins[j], 0)
+				j++
+			}
+		})
 	}
 }
 

@@ -54,28 +54,40 @@ func (t *Tree[K, V]) BulkAppend(keys []K, vals []V, fill float64) error {
 
 	pos := 0
 	// Top up the current tail leaf first.
-	if tail := t.tail.Load(); target-len(tail.keys) > 0 {
-		n := min(target-len(tail.keys), len(keys))
-		tail.keys = append(tail.keys, keys[:n]...)
-		tail.vals = append(tail.vals, vals[:n]...)
+	if tail := t.tail.Load(); target-tail.leafCount() > 0 {
+		n := min(target-tail.leafCount(), len(keys))
+		if cap(tail.keys)-len(tail.keys) < n {
+			// Interior gaps consumed the tail room; squeeze them out so the
+			// top-up is a straight append.
+			//quitlint:allow gapwrite BulkAppend requires external synchronization (see doc comment); no concurrent readers exist
+			tail.compact()
+		}
+		//quitlint:allow gapwrite BulkAppend requires external synchronization (see doc comment); no concurrent readers exist
+		tail.appendDense(keys[:n], vals[:n])
 		pos = n
 		if tail == t.fp.leaf {
-			t.fp.size = len(tail.keys)
+			t.fp.size = tail.leafCount()
 		}
 	}
-	// Then chain fresh leaves onto the right spine.
+	// Then chain fresh leaves onto the right spine. Interior leaves spread
+	// their free slots as interleaved gaps (out-of-order keys arriving later
+	// shift O(gap distance)); the final leaf — the new tail — stays dense so
+	// subsequent appends extend its high-water mark.
 	for pos < len(keys) {
 		n := min(target, len(keys)-pos)
 		leaf := t.newLeaf()
-		leaf.keys = append(leaf.keys, keys[pos:pos+n]...)
-		leaf.vals = append(leaf.vals, vals[pos:pos+n]...)
+		if pos+n < len(keys) && n < t.cfg.LeafCapacity {
+			leaf.setSpread(keys[pos:pos+n], vals[pos:pos+n])
+		} else {
+			leaf.setDense(keys[pos:pos+n], vals[pos:pos+n])
+		}
 		pos += n
 		path := t.rightSpine()
 		tail := path[len(path)-1]
 		leaf.prev.Store(tail)
 		tail.next.Store(leaf)
 		t.tail.Store(leaf)
-		t.propagateSplit(path, leaf.keys[0], leaf)
+		t.propagateSplit(path, leaf.minKey(), leaf)
 	}
 	t.size.Add(int64(len(keys)))
 	if t.cfg.Mode != ModeNone {
@@ -111,8 +123,6 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 	// the first leaf.
 	leaves := make([]*node[K, V], 0, len(keys)/target+1)
 	first := t.head.Load()
-	first.keys = first.keys[:0]
-	first.vals = first.vals[:0]
 	for pos := 0; pos < len(keys); {
 		n := min(target, len(keys)-pos)
 		var leaf *node[K, V]
@@ -124,8 +134,7 @@ func (t *Tree[K, V]) BuildFromSorted(keys []K, vals []V, fill float64) error {
 			prev.next.Store(leaf)
 			leaf.prev.Store(prev)
 		}
-		leaf.keys = append(leaf.keys, keys[pos:pos+n]...)
-		leaf.vals = append(leaf.vals, vals[pos:pos+n]...)
+		fillLeaf(leaf, keys[pos:pos+n], vals[pos:pos+n], pos+n < len(keys) && n < t.cfg.LeafCapacity)
 		leaves = append(leaves, leaf)
 		pos += n
 	}
@@ -216,8 +225,6 @@ func (t *Tree[K, V]) BuildFromSortedParallel(keys []K, vals []V, fill float64, w
 
 	leaves := make([]*node[K, V], nLeaves)
 	first := t.head.Load()
-	first.keys = first.keys[:0]
-	first.vals = first.vals[:0]
 	per := (nLeaves + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < nLeaves; lo += per {
@@ -232,8 +239,7 @@ func (t *Tree[K, V]) BuildFromSortedParallel(keys []K, vals []V, fill float64, w
 				if li > 0 {
 					leaf = t.newLeaf() // slab-locked; safe concurrently
 				}
-				leaf.keys = append(leaf.keys, keys[start:end]...)
-				leaf.vals = append(leaf.vals, vals[start:end]...)
+				fillLeaf(leaf, keys[start:end], vals[start:end], li < nLeaves-1 && end-start < t.cfg.LeafCapacity)
 				leaves[li] = leaf
 			}
 		}(lo, hi)
@@ -247,10 +253,23 @@ func (t *Tree[K, V]) BuildFromSortedParallel(keys []K, vals []V, fill float64, w
 	return nil
 }
 
+// fillLeaf populates a bulk-built leaf: interior leaves with free room are
+// spread with interleaved gaps (mirroring BulkAppend's spine layout), the
+// rightmost — and any completely full — leaf is packed dense. Both
+// BuildFromSorted and BuildFromSortedParallel route through this so the
+// parallel build stays shape-identical to the sequential one.
+func fillLeaf[K Integer, V any](leaf *node[K, V], ks []K, vs []V, spread bool) {
+	if spread {
+		leaf.setSpread(ks, vs)
+	} else {
+		leaf.setDense(ks, vs)
+	}
+}
+
 // minKeyOf returns the smallest key in n's subtree.
 func minKeyOf[K Integer, V any](n *node[K, V]) K {
 	for !n.isLeaf() {
 		n = n.children[0]
 	}
-	return n.keys[0]
+	return n.minKey()
 }

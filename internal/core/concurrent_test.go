@@ -338,3 +338,110 @@ func TestConcurrentDeleteBorrowsAgainstScans(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
 	}
 }
+
+// TestConcurrentGapFillInserts drives the gap-fill insert path under the
+// optimistic latch protocol: the tree is bulk-built from the even keys with
+// spread interior leaves (every live slot has an interleaved gap nearby),
+// then writers concurrently insert the interleaving odd keys — each one a
+// mid-leaf insert that lands in or shifts toward a gap — while readers run
+// point lookups and range scans through the optimistic path. Between-phase
+// validation checks the bitmap/count/slot-order invariants the gap layout
+// adds (see validateLeaf).
+func TestConcurrentGapFillInserts(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeQuIT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const (
+				n       = 8000 // even keys in the prebuilt tree
+				writers = 4
+				readers = 4
+			)
+			cfg := syncConfig(mode)
+			cfg.GapFraction = 0.25
+			tr := New[int64, int64](cfg)
+			evens := make([]int64, n)
+			vals := make([]int64, n)
+			for i := range evens {
+				evens[i] = int64(2 * i)
+				vals[i] = evens[i]
+			}
+			if err := tr.BuildFromSorted(evens, vals, 0.7); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(77 + r)))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := int64(rng.Intn(2 * n))
+						if v, ok := tr.Get(k); ok && v != k {
+							panic("torn read: wrong value")
+						}
+						if k2, v2, ok := tr.Ceiling(k); ok && (v2 != k2 || k2 < k) {
+							panic("torn ceiling probe")
+						}
+						prev, seen := int64(-1), 0
+						tr.Scan(func(k, _ int64) bool {
+							if k <= prev {
+								panic("scan out of order")
+							}
+							prev = k
+							seen++
+							return seen < 256
+						})
+					}
+				}(r)
+			}
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Writer w owns odd keys with (i % writers) == w; shuffled
+					// so neighbors in the same leaf race on the same gaps.
+					idx := make([]int, 0, n/writers+1)
+					for i := w; i < n; i += writers {
+						idx = append(idx, i)
+					}
+					rng := rand.New(rand.NewSource(int64(177 + w)))
+					rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+					for _, i := range idx {
+						k := int64(2*i + 1)
+						tr.Put(k, k)
+					}
+				}(w)
+			}
+			// Writers finish, then readers are told to stop.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			go func() {
+				// Stop readers once all writers have drained: writers are the
+				// first `writers` wg entries; simplest is to wait for the full
+				// key count to appear.
+				for tr.Len() < 2*n {
+				}
+				close(stop)
+			}()
+			<-done
+
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != 2*n {
+				t.Fatalf("Len = %d, want %d", tr.Len(), 2*n)
+			}
+			for k := int64(0); k < 2*n; k++ {
+				if v, ok := tr.Get(k); !ok || v != k {
+					t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+				}
+			}
+		})
+	}
+}

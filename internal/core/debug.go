@@ -36,14 +36,15 @@ func (t *Tree[K, V]) DescribeShape() Shape {
 	entries := 0
 	for n := t.head.Load(); n != nil; n = n.next.Load() {
 		s.LeafCount++
-		entries += len(n.keys)
-		if len(n.keys) < s.MinLeafEntries {
-			s.MinLeafEntries = len(n.keys)
+		cnt := n.leafCount()
+		entries += cnt
+		if cnt < s.MinLeafEntries {
+			s.MinLeafEntries = cnt
 		}
-		if len(n.keys) > s.MaxLeafEntries {
-			s.MaxLeafEntries = len(n.keys)
+		if cnt > s.MaxLeafEntries {
+			s.MaxLeafEntries = cnt
 		}
-		b := len(n.keys) * 10 / t.cfg.LeafCapacity
+		b := cnt * 10 / t.cfg.LeafCapacity
 		if b > 9 {
 			b = 9
 		}

@@ -44,10 +44,10 @@ func (t *Tree[K, V]) tryOptimisticDelete(key K) (val V, existed, handled bool) {
 		t.lockMeta()
 		isFP := t.cfg.Mode != ModeNone && leaf == t.fp.leaf
 		isPrev := !isFP && t.fp.prevValid && leaf == t.fp.prev
-		// Lazy pole rule: pre-removal len > 1 means the pole still holds
+		// Lazy pole rule: pre-removal count > 1 means the pole still holds
 		// entries afterwards, so no rebalance regardless of occupancy.
-		lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && len(leaf.keys) > 1
-		healthy := len(leaf.keys) > t.minLeaf // post-removal >= minLeaf
+		lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && leaf.leafCount() > 1
+		healthy := leaf.leafCount() > t.minLeaf // post-removal >= minLeaf
 		if !healthy && !lazy && !isRoot {
 			t.unlockMeta()
 			t.writeUnlatch(leaf)
@@ -61,7 +61,7 @@ func (t *Tree[K, V]) tryOptimisticDelete(key K) (val V, existed, handled bool) {
 		t.unlockMeta()
 
 		val = leaf.vals[i]
-		leaf.removeAt(i)
+		leaf.gapRemove(i)
 		t.c.deletes.Add(1)
 		t.size.Add(-1)
 		t.writeUnlatch(leaf)
@@ -81,7 +81,8 @@ func (t *Tree[K, V]) pessimisticDelete(key K) (V, bool) {
 		return zero, false
 	}
 	val := leaf.vals[i]
-	leaf.removeAt(i)
+	//quitlint:allow gapwrite leaf arrives write-latched in the path slice from descendForWrite's crabbed descent
+	leaf.gapRemove(i)
 	t.c.deletes.Add(1)
 	t.size.Add(-1)
 
@@ -92,10 +93,10 @@ func (t *Tree[K, V]) pessimisticDelete(key K) (V, bool) {
 	} else if t.fp.prevValid && leaf == t.fp.prev {
 		t.fp.prevSize--
 	}
-	lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && len(leaf.keys) > 0
+	lazy := (t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT) && isFP && leaf.leafCount() > 0
 	t.unlockMeta()
 
-	if len(leaf.keys) >= t.minLeaf || lazy || len(path) == 1 {
+	if leaf.leafCount() >= t.minLeaf || lazy || len(path) == 1 {
 		// No rebalance needed: the leaf is healthy, or it is the pole
 		// (lazy), or it is the root leaf (exempt from minimums).
 		t.unlockPathFrom(path, 0)
@@ -116,7 +117,7 @@ func (t *Tree[K, V]) rebalance(path []pathEntry[K, V]) {
 		parent := path[level-1].n
 		idx := path[level-1].idx
 		if n.isLeaf() {
-			if len(n.keys) >= t.minLeaf {
+			if n.leafCount() >= t.minLeaf {
 				break
 			}
 			touchedFP = true // borrows resize neighbors the fp metadata may mirror
@@ -197,27 +198,27 @@ func (t *Tree[K, V]) rebalanceLeaf(n, parent *node[K, V], idx int) bool {
 		}
 	}
 
-	if len(n.keys) >= t.minLeaf {
+	if n.leafCount() >= t.minLeaf {
 		// A fast-path insert refilled n during the reacquire window.
 		unlatchSibs()
 		return false
 	}
 	// Try borrowing from the right sibling.
-	if right != nil && len(right.keys) > t.minLeaf {
-		n.keys = append(n.keys, right.keys[0])
-		n.vals = append(n.vals, right.vals[0])
-		right.removeAt(0)
-		parent.keys[idx] = right.keys[0]
+	if right != nil && right.leafCount() > t.minLeaf {
+		s := right.minSlot()
+		n.gapInsert(right.keys[s], right.vals[s])
+		right.gapRemove(s)
+		parent.keys[idx] = right.minKey()
 		unlatchSibs()
 		t.c.borrows.Add(1)
 		return false
 	}
 	// Try borrowing from the left sibling.
-	if left != nil && len(left.keys) > t.minLeaf {
-		last := len(left.keys) - 1
-		k, v := left.keys[last], left.vals[last]
-		left.removeAt(last)
-		n.insertAt(0, k, v)
+	if left != nil && left.leafCount() > t.minLeaf {
+		s := left.maxSlot()
+		k, v := left.keys[s], left.vals[s]
+		left.gapRemove(s)
+		n.gapInsert(k, v)
 		parent.keys[idx-1] = k
 		unlatchSibs()
 		t.c.borrows.Add(1)
@@ -242,15 +243,25 @@ func (t *Tree[K, V]) rebalanceLeaf(n, parent *node[K, V], idx int) bool {
 	return true
 }
 
-// mergeLeaves appends right's entries into left and unlinks right from the
-// leaf chain. Caller holds both latches in synchronized mode and marks
-// right obsolete. The slices are truncated, never nil-ed: an optimistic
-// reader still inside right must only ever observe the original backing
-// arrays with a shorter length, so its reads stay in bounds until version
-// validation rejects them.
+// mergeLeaves appends right's live entries into left and unlinks right from
+// the leaf chain. Caller holds both latches in synchronized mode and marks
+// right obsolete. left is compacted first if interior gaps have consumed
+// its tail room (both counts sum to at most LeafCapacity, so the entries
+// always fit the fixed backing). The absorbed node's slices are truncated,
+// never nil-ed: an optimistic reader still inside right must only ever
+// observe the original backing arrays with a shorter length, so its reads
+// stay in bounds until version validation rejects them.
 func (t *Tree[K, V]) mergeLeaves(left, right *node[K, V]) {
-	left.keys = append(left.keys, right.keys...)
-	left.vals = append(left.vals, right.vals...)
+	m := right.leafCount()
+	if cap(left.keys)-len(left.keys) < m {
+		left.compact()
+	}
+	for s := right.minSlot(); s >= 0; s = right.nextPresent(s + 1) {
+		left.keys = append(left.keys, right.keys[s])
+		left.vals = append(left.vals, right.vals[s])
+		left.setBit(len(left.keys) - 1)
+	}
+	left.count += int32(m)
 	next := right.next.Load()
 	left.next.Store(next)
 	if next != nil {
@@ -258,8 +269,7 @@ func (t *Tree[K, V]) mergeLeaves(left, right *node[K, V]) {
 	} else {
 		t.tail.Store(left)
 	}
-	right.keys = right.keys[:0]
-	right.vals = right.vals[:0]
+	right.truncateLive(0)
 	t.nLeaves.Add(-1)
 	t.c.merges.Add(1)
 }

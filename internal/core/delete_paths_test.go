@@ -27,7 +27,7 @@ func TestDeleteBorrowFromRightLeaf(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := tr.head.Load().keys; len(got) != 2 || got[0] != 10 || got[1] != 20 {
+	if got := liveKeys(tr.head.Load()); len(got) != 2 || got[0] != 10 || got[1] != 20 {
 		t.Fatalf("head leaf after right borrow: %v", got)
 	}
 }

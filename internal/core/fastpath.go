@@ -31,7 +31,7 @@ func (t *Tree[K, V]) setFP(leaf *node[K, V], lo, hi bound[K], path []*node[K, V]
 	fp.leaf = leaf
 	fp.min, fp.hasMin = lo.key, lo.ok
 	fp.max, fp.hasMax = hi.key, hi.ok
-	fp.size = len(leaf.keys)
+	fp.size = leaf.leafCount()
 	if cap(fp.path) < len(path) {
 		fp.path = make([]*node[K, V], len(path))
 	}
@@ -52,10 +52,10 @@ func (t *Tree[K, V]) fpPathValid() bool {
 	if fp.path[0] != t.root.Load() || fp.path[len(fp.path)-1] != fp.leaf {
 		return false
 	}
-	if len(fp.leaf.keys) == 0 {
+	if fp.leaf.leafCount() == 0 {
 		return false
 	}
-	routeKey := fp.leaf.keys[0]
+	routeKey := fp.leaf.minKey()
 	for i := 0; i < len(fp.path)-1; i++ {
 		n := fp.path[i]
 		if n.isLeaf() {
@@ -150,10 +150,10 @@ func (t *Tree[K, V]) afterTopInsert(target *node[K, V], key K, lo, hi bound[K], 
 	t.setFP(target, lo, hi, path)
 	fp.fails = 0
 	fp.prevValid = false
-	if prev := target.prev.Load(); !t.synced && prev != nil && len(prev.keys) > 0 {
+	if prev := target.prev.Load(); !t.synced && prev != nil && prev.leafCount() > 0 {
 		fp.prev = prev
-		fp.prevMin = prev.keys[0]
-		fp.prevSize = len(prev.keys)
+		fp.prevMin = prev.minKey()
+		fp.prevSize = prev.leafCount()
 		fp.prevValid = true
 	}
 	t.c.resets.Add(1)
@@ -173,9 +173,9 @@ func (t *Tree[K, V]) resetFPToTail() {
 	leaf := t.tail.Load()
 	fp.leaf = leaf
 	fp.hasMax = false
-	fp.size = len(leaf.keys)
-	if len(leaf.keys) > 0 {
-		fp.min, fp.hasMin = leaf.keys[0], true
+	fp.size = leaf.leafCount()
+	if fp.size > 0 {
+		fp.min, fp.hasMin = leaf.minKey(), true
 	} else {
 		fp.hasMin = false
 	}

@@ -13,10 +13,18 @@ func goldenConfig(mode Mode) Config {
 	return Config{Mode: mode, LeafCapacity: 8, InternalFanout: 5}
 }
 
-func leafLayout(t *Tree[int64, int64]) [][]int64 {
+func liveKeys[K Integer, V any](n *node[K, V]) []K {
+	out := make([]K, 0, n.leafCount())
+	for s := n.nextPresent(0); s >= 0 && s < len(n.keys); s = n.nextPresent(s + 1) {
+		out = append(out, n.keys[s])
+	}
+	return out
+}
+
+func goldenLeafKeys(t *Tree[int64, int64]) [][]int64 {
 	var out [][]int64
 	for n := t.head.Load(); n != nil; n = n.next.Load() {
-		out = append(out, append([]int64(nil), n.keys...))
+		out = append(out, liveKeys(n))
 	}
 	return out
 }
@@ -46,8 +54,11 @@ func TestGoldenQuITSortedTrace(t *testing.T) {
 		tr.Put(i, i)
 	}
 	want := [][]int64{seq(0, 3), seq(4, 10), seq(11, 17), {18, 19}}
-	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+	if got := goldenLeafKeys(tr); !reflect.DeepEqual(got, want) {
 		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("gap invariants: %v", err)
 	}
 	if tr.fp.leaf != tr.tail.Load() {
 		t.Fatal("pole is not the tail after sorted ingestion")
@@ -77,11 +88,14 @@ func TestGoldenQuITOutlierBurstTrace(t *testing.T) {
 		seq(0, 3), seq(4, 10), seq(11, 17), {18, 19},
 		{100000, 100010, 100020, 100030, 100040, 100050, 100060, 100070},
 	}
-	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+	if got := goldenLeafKeys(tr); !reflect.DeepEqual(got, want) {
 		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
 	}
-	if tr.fp.leaf.keys[0] != 18 {
-		t.Fatalf("pole moved to %v", tr.fp.leaf.keys)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("gap invariants: %v", err)
+	}
+	if tr.fp.leaf.minKey() != 18 {
+		t.Fatalf("pole moved to %v", liveKeys(tr.fp.leaf))
 	}
 	if !tr.fp.hasMax || tr.fp.max != 100000 {
 		t.Fatalf("fp_max = (%d,%v), want (100000,true)", tr.fp.max, tr.fp.hasMax)
@@ -109,8 +123,11 @@ func TestGoldenClassical5050Trace(t *testing.T) {
 		tr.Put(i, i)
 	}
 	want := [][]int64{seq(0, 3), seq(4, 7), seq(8, 11), seq(12, 19)}
-	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+	if got := goldenLeafKeys(tr); !reflect.DeepEqual(got, want) {
 		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("gap invariants: %v", err)
 	}
 }
 
@@ -121,15 +138,18 @@ func TestGoldenLILSplitTrace(t *testing.T) {
 		tr.Put(i*10, i) // [0,10,...,70] full
 	}
 	tr.Put(35, 0) // split [0..30] | [40..70]; 35 goes left, lil = left
-	if tr.fp.leaf.keys[0] != 0 {
-		t.Fatalf("lil leaf = %v, want the left half", tr.fp.leaf.keys)
+	if tr.fp.leaf.minKey() != 0 {
+		t.Fatalf("lil leaf = %v, want the left half", liveKeys(tr.fp.leaf))
 	}
 	if !tr.fp.hasMax || tr.fp.max != 40 {
 		t.Fatalf("lil fp_max = (%d,%v), want (40,true)", tr.fp.max, tr.fp.hasMax)
 	}
 	want := [][]int64{{0, 10, 20, 30, 35}, {40, 50, 60, 70}}
-	if got := leafLayout(tr); !reflect.DeepEqual(got, want) {
+	if got := goldenLeafKeys(tr); !reflect.DeepEqual(got, want) {
 		t.Fatalf("leaf layout:\n got %v\nwant %v", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("gap invariants: %v", err)
 	}
 }
 

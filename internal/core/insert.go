@@ -51,7 +51,7 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 		}
 	}
 
-	i, ok := leaf.find(key)
+	ins, i, ok := leaf.probe(key)
 	if ok {
 		prev = leaf.vals[i]
 		leaf.vals[i] = val
@@ -61,8 +61,15 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 		return prev, true, true
 	}
 
-	if len(leaf.keys) < t.cfg.LeafCapacity {
-		leaf.insertAt(i, key, val)
+	if leaf.leafCount() < t.cfg.LeafCapacity {
+		slot, moved := leaf.gapInsertAt(ins, key, val)
+		if leaf.regapWorthwhile(moved) {
+			// The pole's in-order stream just paid a long shift — its gap
+			// placement has degenerated (e.g. a redistribution drained the
+			// bottom slots). Rebuild the frontier shape around the stream's
+			// insertion point so the following inserts are O(1) again.
+			leaf.refrontierAt(slot + 1)
+		}
 		t.fp.size++
 		t.fp.fails = 0
 		t.c.fastInserts.Add(1)
@@ -93,8 +100,17 @@ func (t *Tree[K, V]) tryFastInsert(key K, val V) (prev V, existed, handled bool)
 	// Unsynchronized-only path, so the whole tree is logically latched
 	// (fullPath) and the returned sibling needs no unlatching.
 	target, _, _, _ := t.splitForInsert(path, key, lo, hi, true)
-	ti, _ := target.find(key)
-	target.insertAt(ti, key, val)
+	//quitlint:allow gapwrite unsynchronized-only path; latch helpers are no-ops when !t.synced
+	slot, moved := target.gapInsert(key, val)
+	if target.regapWorthwhile(moved) {
+		if target == t.fp.leaf {
+			//quitlint:allow gapwrite unsynchronized-only path; latch helpers are no-ops when !t.synced
+			target.refrontierAt(slot + 1)
+		} else {
+			//quitlint:allow gapwrite unsynchronized-only path; latch helpers are no-ops when !t.synced
+			target.respread()
+		}
+	}
 	if target == t.fp.leaf {
 		t.fp.size++
 	} else if target == t.fp.prev && t.fp.prevValid {
@@ -222,7 +238,7 @@ func (t *Tree[K, V]) tryOptimisticInsert(key K, val V) (prev V, existed, handled
 			continue
 		}
 		leaf := n
-		if len(leaf.keys) >= t.cfg.LeafCapacity {
+		if leaf.leafCount() >= t.cfg.LeafCapacity {
 			// Full: a split is needed; hand over to the pessimistic path.
 			if !t.readUnlatch(leaf, v) {
 				t.olcRestart()
@@ -230,7 +246,9 @@ func (t *Tree[K, V]) tryOptimisticInsert(key K, val V) (prev V, existed, handled
 			}
 			return prev, false, false
 		}
-		i, found := leaf.find(key)
+		// probe runs under the optimistic read; a successful upgradeLatch
+		// proves the leaf version did not change, so both slots stay valid.
+		ins, i, found := leaf.probe(key)
 		if !t.upgradeLatch(leaf, v) {
 			t.olcRestart()
 			continue
@@ -242,7 +260,20 @@ func (t *Tree[K, V]) tryOptimisticInsert(key K, val V) (prev V, existed, handled
 			t.writeUnlatch(leaf)
 			return prev, true, true
 		}
-		leaf.insertAt(i, key, val)
+		slot, moved := leaf.gapInsertAt(ins, key, val)
+		if leaf.regapWorthwhile(moved) {
+			t.lockMeta()
+			isPole := leaf == t.fp.leaf
+			t.unlockMeta()
+			if isPole {
+				// The pole reached via descent (fast-path miss): restore
+				// the frontier shape around the stream's insertion point.
+				leaf.refrontierAt(slot + 1)
+			} else {
+				// Scattered arrivals: spread the gaps evenly instead.
+				leaf.respread()
+			}
+		}
 		t.c.topInserts.Add(1)
 		t.size.Add(1)
 		t.afterTopInsert(leaf, key, lo, hi, path)
@@ -291,7 +322,7 @@ func (t *Tree[K, V]) descendForWrite(key K, holdAll bool) (path []pathEntry[K, V
 // rule).
 func (t *Tree[K, V]) insertSafe(n *node[K, V]) bool {
 	if n.isLeaf() {
-		return len(n.keys) < t.cfg.LeafCapacity
+		return n.leafCount() < t.cfg.LeafCapacity
 	}
 	return len(n.children) < t.cfg.InternalFanout
 }
@@ -313,7 +344,7 @@ func (t *Tree[K, V]) pessimisticInsert(key K, val V, holdAll bool) (prev V, exis
 
 	target, tlo, thi := leaf, lo, hi
 	var newSib *node[K, V]
-	if len(leaf.keys) >= t.cfg.LeafCapacity {
+	if leaf.leafCount() >= t.cfg.LeafCapacity {
 		nodes := make([]*node[K, V], len(path))
 		for i := range path {
 			nodes[i] = path[i].n
@@ -323,8 +354,20 @@ func (t *Tree[K, V]) pessimisticInsert(key K, val V, holdAll bool) (prev V, exis
 		// splitForInsert must not redistribute into pole_prev.
 		target, newSib, tlo, thi = t.splitForInsert(nodes, key, lo, hi, holdAll)
 	}
-	i, _ := target.find(key)
-	target.insertAt(i, key, val)
+	//quitlint:allow gapwrite target is the crabbed-descent leaf (write-latched in path) or the write-latched sibling splitForInsert returned
+	slot, moved := target.gapInsert(key, val)
+	if target.regapWorthwhile(moved) {
+		t.lockMeta()
+		isPole := target == t.fp.leaf
+		t.unlockMeta()
+		if isPole {
+			//quitlint:allow gapwrite target is the crabbed-descent leaf (write-latched in path) or the write-latched sibling splitForInsert returned
+			target.refrontierAt(slot + 1)
+		} else {
+			//quitlint:allow gapwrite target is the crabbed-descent leaf (write-latched in path) or the write-latched sibling splitForInsert returned
+			target.respread()
+		}
+	}
 	t.c.topInserts.Add(1)
 	t.size.Add(1)
 

@@ -37,14 +37,16 @@ restart:
 			lo = l
 			n, ver = c, cv
 		}
-		idx := upperBound(n.keys, key)
-		if idx > 0 {
-			if idx > len(n.vals) {
+		// Largest live slot below the upper-bound landing index: slot values
+		// at lower indexes never exceed key, so its live key is <= key.
+		s := n.prevPresent(upperBound(n.keys, key) - 1)
+		if s >= 0 {
+			if s >= len(n.keys) || s >= len(n.vals) {
 				t.readAbort(n)
 				t.olcRestart()
 				continue restart
 			}
-			kk, vv := n.keys[idx-1], n.vals[idx-1]
+			kk, vv := n.keys[s], n.vals[s]
 			if !t.readUnlatch(n, ver) {
 				t.olcRestart()
 				continue restart
@@ -103,14 +105,17 @@ restart:
 			hi = h
 			n, ver = c, cv
 		}
-		idx := lowerBound(n.keys, key)
-		if idx < len(n.keys) {
-			if idx >= len(n.vals) {
+		// First live slot at or after the lower-bound landing index: the
+		// smallest live key >= key (a gap copy equal to key can only shadow
+		// a live key at or before it).
+		s := n.nextPresent(lowerBound(n.keys, key))
+		if s >= 0 && s < len(n.keys) {
+			if s >= len(n.vals) {
 				t.readAbort(n)
 				t.olcRestart()
 				continue restart
 			}
-			kk, vv := n.keys[idx], n.vals[idx]
+			kk, vv := n.keys[s], n.vals[s]
 			if !t.readUnlatch(n, ver) {
 				t.olcRestart()
 				continue restart
@@ -141,7 +146,7 @@ restart:
 // iteration that validates versions correctly.
 type Iterator[K Integer, V any] struct {
 	leaf *node[K, V]
-	pos  int // index of the entry last yielded; -1/len() at the edges
+	pos  int // slot of the entry last yielded; -1/len() at the edges
 	// between marks a freshly Seek-ed cursor sitting in the gap at index
 	// pos: Next yields pos itself, Prev yields pos-1. After any yield the
 	// cursor is "at" an entry and the usual +-1 stepping applies.
@@ -180,12 +185,20 @@ func (it *Iterator[K, V]) Next() bool {
 		it.ok = false
 		return false
 	}
+	start := it.pos
 	if it.between {
 		it.between = false
 	} else {
-		it.pos++
+		start++
 	}
-	for it.pos >= len(it.leaf.keys) {
+	for {
+		if s := it.leaf.nextPresent(start); s >= 0 && s < len(it.leaf.keys) {
+			it.pos = s
+			it.key = it.leaf.keys[s]
+			it.val = it.leaf.vals[s]
+			it.ok = true
+			return true
+		}
 		next := it.leaf.next.Load()
 		if next == nil {
 			it.pos = len(it.leaf.keys) // park at the end
@@ -193,12 +206,8 @@ func (it *Iterator[K, V]) Next() bool {
 			return false
 		}
 		it.leaf = next
-		it.pos = 0
+		start = 0
 	}
-	it.key = it.leaf.keys[it.pos]
-	it.val = it.leaf.vals[it.pos]
-	it.ok = true
-	return true
 }
 
 // Prev steps backward to the previous entry, returning false when the
@@ -209,8 +218,17 @@ func (it *Iterator[K, V]) Prev() bool {
 		return false
 	}
 	it.between = false
-	it.pos--
-	for it.pos < 0 {
+	start := it.pos - 1
+	for {
+		if start >= 0 {
+			if s := it.leaf.prevPresent(start); s >= 0 {
+				it.pos = s
+				it.key = it.leaf.keys[s]
+				it.val = it.leaf.vals[s]
+				it.ok = true
+				return true
+			}
+		}
 		prev := it.leaf.prev.Load()
 		if prev == nil {
 			it.pos = -1 // park at the front
@@ -218,12 +236,8 @@ func (it *Iterator[K, V]) Prev() bool {
 			return false
 		}
 		it.leaf = prev
-		it.pos = len(it.leaf.keys) - 1
+		start = len(it.leaf.keys) - 1
 	}
-	it.key = it.leaf.keys[it.pos]
-	it.val = it.leaf.vals[it.pos]
-	it.ok = true
-	return true
 }
 
 // Key returns the current entry's key; valid after a true Next or Prev.

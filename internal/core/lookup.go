@@ -78,10 +78,12 @@ func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
 		}
 		var kk K
 		var vv V
-		// Both lengths checked: a torn leaf can have keys ahead of vals.
-		has := len(n.keys) > 0 && len(n.vals) > 0
+		// Slot bounds checked against both lengths: a torn leaf can have a
+		// bitmap bit ahead of the observed keys/vals high-water marks.
+		s := n.minSlot()
+		has := s >= 0 && s < len(n.keys) && s < len(n.vals)
 		if has {
-			kk, vv = n.keys[0], n.vals[0]
+			kk, vv = n.keys[s], n.vals[s]
 		}
 		if !t.readUnlatch(n, ver) {
 			t.olcRestart()
@@ -108,9 +110,10 @@ func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
 		}
 		var kk K
 		var vv V
-		has := len(n.keys) > 0 && len(n.vals) > 0
+		s := n.maxSlot()
+		has := s >= 0 && s < len(n.keys) && s < len(n.vals)
 		if has {
-			kk, vv = n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+			kk, vv = n.keys[s], n.vals[s]
 		}
 		if !t.readUnlatch(n, ver) {
 			t.olcRestart()
@@ -171,7 +174,9 @@ restart:
 			if len(vs) < m {
 				m = len(vs) // torn leaf; validation below rejects the snapshot
 			}
-			for i := lowerBound(ks, start); i < m; i++ {
+			// Walk live slots only: searchKeys lands on the first slot >= start
+			// (possibly a gap copy), the bitmap scan skips to live entries.
+			for i := n.nextPresent(lowerBound(ks, start)); i >= 0 && i < m; i = n.nextPresent(i + 1) {
 				if bounded && ks[i] >= end {
 					done = true
 					break
@@ -217,10 +222,10 @@ func (t *Tree[K, V]) scanLeavesUnsync(start K, bounded bool, end K, fn func(K, V
 	for !n.isLeaf() {
 		n = n.children[n.route(start)]
 	}
-	i := lowerBound(n.keys, start)
+	i := n.nextPresent(lowerBound(n.keys, start))
 	for {
 		leaves++
-		for ; i < len(n.keys); i++ {
+		for ; i >= 0 && i < len(n.keys); i = n.nextPresent(i + 1) {
 			if bounded && n.keys[i] >= end {
 				return visited, leaves
 			}
@@ -233,7 +238,7 @@ func (t *Tree[K, V]) scanLeavesUnsync(start K, bounded bool, end K, fn func(K, V
 		if n == nil {
 			return visited, leaves
 		}
-		i = 0
+		i = n.nextPresent(0)
 	}
 }
 

@@ -1,39 +1,77 @@
 package core
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
-// node is a B+-tree node. Leaves hold parallel keys/vals slices and are
-// interlinked through next/prev; internal nodes hold len(keys)+1 children,
-// where children[i] covers keys in [keys[i-1], keys[i]) (with the usual
-// open bounds at the edges).
+// node is a B+-tree node. Internal nodes hold len(keys)+1 children, where
+// children[i] covers keys in [keys[i-1], keys[i]) (with the usual open
+// bounds at the edges), and use keys densely exactly as a textbook B+-tree.
+//
+// Leaves use a *gapped* slot layout (BS-tree style). The keys/vals slices
+// are carved from fixed-capacity backing arrays of slotCap = LeafCapacity+1
+// slots; len(keys) is a high-water mark ("used"): slots [0,used) are
+// initialized, slots [used,cap) are untouched tail room. Within the used
+// region a presence bitmap distinguishes live entries from gaps, and count
+// tracks the number of live entries. The slot invariants are:
+//
+//   - keys[0:used] is non-decreasing over ALL slots, live or gap;
+//   - the live keys (present bits set) are strictly increasing;
+//   - every gap slot holds a copy of a neighboring key (so the whole array
+//     stays sorted and the branchless searchKeys probe needs no per-slot
+//     presence branch), and its value slot is zeroed so deleted values are
+//     not retained from the garbage collector's point of view;
+//   - count = popcount(present) <= LeafCapacity < slotCap.
+//
+// A point probe is searchKeys over the full slot array (branchless, exactly
+// as for a dense leaf) followed by a word-at-a-time bitmap scan to the
+// first live slot at or after the landing index; the key is present iff
+// that slot holds it (gaps only ever hold copies of live neighbors, so a
+// gap can never alias a key that is not live). A mid-leaf insert shifts the
+// fully-live run between the insertion point and the *nearest* gap by one
+// slot — O(gap distance) instead of the old memmove of half the node — and
+// a delete just clears a presence bit and zeroes the value: O(1), the slot
+// key itself remains as a legal gap copy. Appends at the high-water mark
+// (the sorted-ingest hot path) are exactly the old dense append.
 //
 // The versioned latch (lt) is only exercised when the tree was configured
 // with Synchronized=true; unsynchronized trees never touch it. All latch
 // traffic goes through the tree-level helpers in latch.go.
 //
-// Concurrency-critical layout invariant: the keys/vals/children backing
-// arrays are allocated once at node construction with enough capacity for
-// every legal transient state (see newLeaf/newInternal) and are never
-// reallocated. Optimistic readers may observe a node mid-mutation; because
-// only the slice length changes — a single word — every such read stays
-// inside the original allocation and is discarded by version validation,
-// never a memory-safety hazard. next/prev are atomic because neighbors
-// update each other's links while holding only their own latch.
+// Concurrency-critical layout invariant: the keys/vals/children/present
+// backing arrays are allocated once at node construction with enough
+// capacity for every legal transient state (see newLeaf/newInternal) and
+// are never reallocated. Optimistic readers may observe a node
+// mid-mutation; because only slice lengths, slot contents, bitmap words and
+// count change in place, every such read stays inside the original
+// allocation and is discarded by version validation, never a memory-safety
+// hazard. Readers must still bounds-guard slot indexes derived from the
+// bitmap against their own snapshot of len(keys): a torn bitmap word can
+// briefly advertise a live slot past an already-read high-water mark.
+// next/prev are atomic because neighbors update each other's links while
+// holding only their own latch.
 type node[K Integer, V any] struct {
 	lt   latch
 	id   uint64
 	keys []K
 
 	// Leaf fields.
-	vals []V
-	next atomic.Pointer[node[K, V]]
-	prev atomic.Pointer[node[K, V]]
+	vals    []V
+	present []uint64 // live-slot bitmap over [0, cap(keys))
+	count   int32    // live entries; mutated only under the write latch
+	next    atomic.Pointer[node[K, V]]
+	prev    atomic.Pointer[node[K, V]]
 
 	// Internal field. nil for leaves.
 	children []*node[K, V]
 }
 
 func (n *node[K, V]) isLeaf() bool { return n.children == nil }
+
+// leafCount returns the number of live entries in a leaf. Optimistic
+// readers may see a torn value; version validation rejects such reads.
+func (n *node[K, V]) leafCount() int { return int(n.count) }
 
 // childAt returns children[idx] for an optimistic reader. ok=false flags a
 // torn observation — the index past the current length, or a nil slot mid
@@ -52,12 +90,13 @@ func (n *node[K, V]) childAt(idx int) (*node[K, V], bool) {
 }
 
 // searchKeys returns the first index i with keys[i] >= k (len(keys) if
-// none): the shared leaf binary search behind find, lowerBound and every
-// hot lookup/insert probe. The halving loop keeps the search range as a
-// (base, length) pair so its only data-dependent branch is a comparison
-// feeding a conditional add, which the compiler lowers to a conditional
-// move — no per-probe branch mispredictions, unlike the classic lo/hi
-// loop (see BenchmarkSearchKeys).
+// none): the shared binary search behind find, lowerBound and every hot
+// lookup/insert probe. For gapped leaves it runs over the full slot array —
+// gap copies keep it sorted, so no presence test is needed inside the loop.
+// The halving loop keeps the search range as a (base, length) pair so its
+// only data-dependent branch is a comparison feeding a conditional add,
+// which the compiler lowers to a conditional move — no per-probe branch
+// mispredictions, unlike the classic lo/hi loop (see BenchmarkSearchKeys).
 func searchKeys[K Integer](keys []K, k K) int {
 	lo, n := 0, len(keys)
 	for n > 1 {
@@ -97,14 +136,560 @@ func lowerBound[K Integer](keys []K, k K) int { return searchKeys(keys, k) }
 // route returns the child index an internal node uses for key k.
 func (n *node[K, V]) route(k K) int { return upperBound(n.keys, k) }
 
-// find locates k in a leaf, returning its index and whether it is present.
-func (n *node[K, V]) find(k K) (int, bool) {
-	i := lowerBound(n.keys, k)
-	return i, i < len(n.keys) && n.keys[i] == k
+// bitmapWords returns the number of uint64 words covering `slots` slots.
+func bitmapWords(slots int) int { return (slots + 63) / 64 }
+
+func (n *node[K, V]) setBit(i int)       { n.present[i>>6] |= 1 << uint(i&63) }
+func (n *node[K, V]) clearBit(i int)     { n.present[i>>6] &^= 1 << uint(i&63) }
+func (n *node[K, V]) hasSlot(i int) bool { return n.present[i>>6]&(1<<uint(i&63)) != 0 }
+
+// setBitRange sets bits [lo, hi) word-at-a-time (bulk append / rebuild).
+func (n *node[K, V]) setBitRange(lo, hi int) {
+	for lo < hi {
+		w := lo >> 6
+		b := uint(lo & 63)
+		span := 64 - int(b)
+		if lo+span > hi {
+			span = hi - lo
+		}
+		n.present[w] |= (^uint64(0) >> uint(64-span)) << b
+		lo += span
+	}
 }
 
-// insertAt places (k, v) at position i in a leaf, shifting the tail right.
-// The caller guarantees capacity.
+// clearBits zeroes the whole bitmap.
+func (n *node[K, V]) clearBits() {
+	for i := range n.present {
+		n.present[i] = 0
+	}
+}
+
+// nextPresent returns the first live slot >= i, or -1 if none. This is the
+// word-at-a-time half of the data-parallel probe: one masked word test
+// covers up to 64 slots per iteration.
+func (n *node[K, V]) nextPresent(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(n.present) {
+		return -1
+	}
+	word := n.present[w] & (^uint64(0) << uint(i&63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(n.present) {
+			return -1
+		}
+		word = n.present[w]
+	}
+}
+
+// prevPresent returns the last live slot <= i, or -1 if none.
+func (n *node[K, V]) prevPresent(i int) int {
+	if i >= len(n.present)<<6 {
+		i = len(n.present)<<6 - 1
+	}
+	if i < 0 {
+		return -1
+	}
+	w := i >> 6
+	word := n.present[w] & (^uint64(0) >> uint(63-i&63))
+	for {
+		if word != 0 {
+			return w<<6 + 63 - bits.LeadingZeros64(word)
+		}
+		w--
+		if w < 0 {
+			return -1
+		}
+		word = n.present[w]
+	}
+}
+
+// nextGapIn returns the first gap slot in [i, used), or -1 if that run is
+// fully live. Word-at-a-time over the inverted bitmap.
+func (n *node[K, V]) nextGapIn(i, used int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < used {
+		w := i >> 6
+		word := ^n.present[w] & (^uint64(0) << uint(i&63))
+		if word != 0 {
+			g := w<<6 + bits.TrailingZeros64(word)
+			if g < used {
+				return g
+			}
+			return -1
+		}
+		i = (w + 1) << 6
+	}
+	return -1
+}
+
+// prevGap returns the last gap slot <= i, or -1 if slots [0, i] are fully
+// live.
+func (n *node[K, V]) prevGap(i int) int {
+	if i < 0 {
+		return -1
+	}
+	w := i >> 6
+	word := ^n.present[w] & (^uint64(0) >> uint(63-i&63))
+	for {
+		if word != 0 {
+			return w<<6 + 63 - bits.LeadingZeros64(word)
+		}
+		w--
+		if w < 0 {
+			return -1
+		}
+		word = ^n.present[w]
+	}
+}
+
+// minSlot / maxSlot return the slot of the smallest / largest live key, or
+// -1 for an empty leaf.
+func (n *node[K, V]) minSlot() int { return n.nextPresent(0) }
+func (n *node[K, V]) maxSlot() int { return n.prevPresent(len(n.keys) - 1) }
+
+// minKey returns the smallest live key of a non-empty leaf.
+func (n *node[K, V]) minKey() K { return n.keys[n.minSlot()] }
+
+// maxKey returns the largest live key of a non-empty leaf.
+func (n *node[K, V]) maxKey() K { return n.keys[n.maxSlot()] }
+
+// rankOf returns the number of live slots strictly below slot.
+func (n *node[K, V]) rankOf(slot int) int {
+	if slot <= 0 {
+		return 0
+	}
+	w := slot >> 6
+	r := 0
+	for j := 0; j < w; j++ {
+		r += bits.OnesCount64(n.present[j])
+	}
+	if w < len(n.present) {
+		r += bits.OnesCount64(n.present[w] & (1<<uint(slot&63) - 1))
+	}
+	return r
+}
+
+// selectRank returns the slot of the m-th (0-based) live entry. The caller
+// guarantees m < count.
+func (n *node[K, V]) selectRank(m int) int {
+	for w, word := range n.present {
+		c := bits.OnesCount64(word)
+		if m < c {
+			for ; ; m-- {
+				t := bits.TrailingZeros64(word)
+				if m == 0 {
+					return w<<6 + t
+				}
+				word &^= 1 << uint(t)
+			}
+		}
+		m -= c
+	}
+	return -1
+}
+
+// probe is the write-side leaf probe: one searchKeys over the slot array
+// yields both the raw insertion slot ins (what gapInsertAt consumes) and
+// the first live slot at or after it. On ok=true that live slot holds
+// exactly k. Insert paths use probe so the duplicate check and the
+// following gapInsertAt share a single binary search.
+func (n *node[K, V]) probe(k K) (ins, live int, ok bool) {
+	ins = searchKeys(n.keys, k)
+	live = n.nextPresent(ins)
+	if live < 0 || live >= len(n.keys) || n.keys[live] != k {
+		if live >= len(n.keys) {
+			live = -1
+		}
+		return ins, live, false
+	}
+	return ins, live, true
+}
+
+// find locates k in a leaf: searchKeys over the slot array, then a bitmap
+// skip to the first live slot at or after the landing index. On ok=true,
+// the returned slot holds k. On ok=false, the returned slot is the first
+// live slot with a key > k, or -1 if none — the natural seed for ceiling
+// queries and forward iteration. Optimistic readers get torn-read safety
+// from the j < len(keys) guard plus version validation.
+func (n *node[K, V]) find(k K) (int, bool) {
+	_, j, ok := n.probe(k)
+	return j, ok
+}
+
+// gapAppend extends the high-water mark with k, the new maximum. When the
+// tail is at slot capacity it reclaims the nearest interior gap first:
+// slots (g, used) are fully live by gap-nearness, so the bitmap only gains
+// bit g.
+func (n *node[K, V]) gapAppend(k K, v V) {
+	used := len(n.keys)
+	if used < cap(n.keys) {
+		n.keys = append(n.keys, k)
+		n.vals = append(n.vals, v)
+		n.setBit(used)
+		n.count++
+		return
+	}
+	g := n.prevGap(used - 1)
+	copy(n.keys[g:used-1], n.keys[g+1:used])
+	copy(n.vals[g:used-1], n.vals[g+1:used])
+	n.keys[used-1] = k
+	n.vals[used-1] = v
+	n.setBit(g)
+	n.count++
+}
+
+// gapInsert places (k, v) into its sorted position in a gapped leaf. The
+// caller guarantees k is not live in the leaf and count < cap(keys) (the
+// tree splits at count >= LeafCapacity < slotCap, so a free slot always
+// exists). The cost is O(distance to the nearest gap): an append at the
+// high-water mark or a write straight into a gap slot is O(1); otherwise
+// the fully-live run between the insertion point and the nearest gap
+// shifts by one slot. It returns the slot k landed in and the length of
+// that shifted run (0 for the O(1) cases) — the signal the insert paths
+// use to detect a degenerated layout and re-gap the leaf (refrontierAt /
+// respread).
+func (n *node[K, V]) gapInsert(k K, v V) (slot, moved int) {
+	used := len(n.keys)
+	if used == 0 || k > n.keys[used-1] {
+		n.gapAppend(k, v)
+		return len(n.keys) - 1, 0
+	}
+	return n.gapInsertAt(searchKeys(n.keys, k), k, v)
+}
+
+// gapInsertAt is gapInsert with the binary search hoisted out: i is the
+// searchKeys lower bound over the slot array (probe's ins), which insert
+// paths already computed for their duplicate check.
+func (n *node[K, V]) gapInsertAt(i int, k K, v V) (slot, moved int) {
+	used := len(n.keys)
+	if i == used {
+		n.gapAppend(k, v)
+		return len(n.keys) - 1, 0
+	}
+	if !n.hasSlot(i) {
+		// Landing slot is a gap: keys[i-1] < k (searchKeys) and the old
+		// gap copy keys[i] >= k bounds keys[i+1], so writing k in place
+		// preserves slot order.
+		n.keys[i] = k
+		n.vals[i] = v
+		n.setBit(i)
+		n.count++
+		return i, 0
+	}
+	gl := n.prevGap(i - 1)
+	gr := n.nextGapIn(i+1, used)
+	if gr < 0 && used < cap(n.keys) {
+		gr = used // virtual gap: extend the high-water mark
+	}
+	if gr >= 0 && (gl < 0 || gr-i <= i-1-gl) {
+		// Shift the live run [i, gr) right by one into the gap at gr.
+		if gr == used {
+			n.keys = n.keys[:used+1]
+			n.vals = n.vals[:used+1]
+		}
+		copy(n.keys[i+1:gr+1], n.keys[i:gr])
+		copy(n.vals[i+1:gr+1], n.vals[i:gr])
+		n.keys[i] = k
+		n.vals[i] = v
+		n.setBit(gr)
+		n.count++
+		return i, gr - i
+	}
+	// Shift the live run (gl, i) left by one into the gap at gl; k lands
+	// at slot i-1 (still < old keys[i] which stays put).
+	copy(n.keys[gl:i-1], n.keys[gl+1:i])
+	copy(n.vals[gl:i-1], n.vals[gl+1:i])
+	n.keys[i-1] = k
+	n.vals[i-1] = v
+	n.setBit(gl)
+	n.count++
+	return i - 1, i - 1 - gl
+}
+
+// regapShift and regapMargin tune the adaptive re-gap heuristics. A shifted
+// run of regapShift or more slots signals that the leaf's gap placement has
+// degenerated for its insert pattern (e.g. a redistribution drained the
+// pole's bottom slots, leaving the append point pressed flat against the
+// outlier block): the insert paths then rebuild the layout — an O(slotCap)
+// pass that replaces an O(slotCap) memmove *per insert*. The rebuild only
+// pays for itself while free slots remain to re-gap, so leaves within
+// regapMargin of splitting are left alone.
+const (
+	regapShift  = 32
+	regapMargin = 16
+)
+
+// regapWorthwhile reports whether an insert that shifted `moved` slots
+// should trigger a layout rebuild of this leaf.
+func (n *node[K, V]) regapWorthwhile(moved int) bool {
+	return moved >= regapShift && int(n.count) <= cap(n.keys)-regapMargin
+}
+
+// refrontierAt rebuilds the leaf around insertion point p (a slot index)
+// into the frontier shape: live entries below p packed dense from slot 0,
+// live entries at or above p packed dense against the top of the slot
+// array, and every slot in between a gap holding a copy of the top block's
+// first key. Because the gap copies are *successor* copies, searchKeys
+// sends the next in-order key to the lowest free gap slot — so the pole's
+// append stream, which inserts just below the early-arrived outlier block,
+// regains its O(1) landing-gap writes no matter how the layout degenerated
+// (redistributions drain slots from the bottom, MaxFill-capped splits pack
+// the pole dense). Falls back to compact (dense prefix, open tail) when no
+// live entry sits at or above p. The caller holds the write latch;
+// optimistic readers are rejected by version validation.
+func (n *node[K, V]) refrontierAt(p int) {
+	used := len(n.keys)
+	slotCap := cap(n.keys)
+	if p >= used || n.nextPresent(p) < 0 {
+		n.compact()
+		return
+	}
+	n.keys = n.keys[:slotCap]
+	n.vals = n.vals[:slotCap]
+	var zero V
+	// Pack live slots >= p against the top, walking down. The k-th live
+	// slot from the top moves to slotCap-1-k >= its source, and sources
+	// are visited top-first, so no unprocessed slot is overwritten.
+	dst := slotCap - 1
+	for i := n.prevPresent(used - 1); i >= p; i = n.prevPresent(i - 1) {
+		if dst != i {
+			n.keys[dst] = n.keys[i]
+			n.vals[dst] = n.vals[i]
+		}
+		dst--
+	}
+	blockStart := dst + 1
+	// Pack live slots < p into a dense prefix, walking up (dst <= src).
+	w := 0
+	for i := n.nextPresent(0); i >= 0 && i < p; i = n.nextPresent(i + 1) {
+		if w != i {
+			n.keys[w] = n.keys[i]
+			n.vals[w] = n.vals[i]
+		}
+		w++
+	}
+	// The middle becomes the gap run: successor copies, zeroed values.
+	fill := n.keys[blockStart]
+	for i := w; i < blockStart; i++ {
+		n.keys[i] = fill
+		n.vals[i] = zero
+	}
+	n.clearBits()
+	n.setBitRange(0, w)
+	n.setBitRange(blockStart, slotCap)
+}
+
+// respread re-gaps a leaf whose inserts arrive at scattered positions:
+// compact, then redistribute the live entries evenly across the full slot
+// capacity so the next descent insert finds a gap within a couple of
+// slots. The caller holds the write latch.
+func (n *node[K, V]) respread() {
+	if int(n.count) != len(n.keys) {
+		n.compact()
+	}
+	n.spreadInPlace()
+}
+
+// gapRemove deletes the live entry at slot: O(1). The slot's key remains as
+// a legal gap copy (it is sandwiched by its former neighbors); the value is
+// zeroed so the collector can reclaim it.
+func (n *node[K, V]) gapRemove(slot int) {
+	var zero V
+	n.vals[slot] = zero
+	n.clearBit(slot)
+	n.count--
+}
+
+// appendEntries appends the leaf's live entries, in order, to ks/vs and
+// returns the extended slices. This is the dense-extraction primitive the
+// rebuild paths (splits, merges, batch multi-splits) use.
+func (n *node[K, V]) appendEntries(ks []K, vs []V) ([]K, []V) {
+	used := len(n.keys)
+	for w, word := range n.present {
+		base := w << 6
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			i := base + t
+			if i >= used {
+				return ks, vs
+			}
+			ks = append(ks, n.keys[i])
+			vs = append(vs, n.vals[i])
+			word &^= 1 << uint(t)
+		}
+	}
+	return ks, vs
+}
+
+// setSpread replaces the leaf's contents with the m entries ks/vs (sorted,
+// strictly increasing), spread evenly across the full slot capacity with
+// interleaved gaps so future mid-leaf inserts find a gap nearby. Gap slots
+// are filled with a copy of the preceding live key (slot 0 is always live),
+// keeping the array non-decreasing. ks/vs must not alias the leaf's own
+// storage. Vacated value slots above the new high-water mark are zeroed.
+func (n *node[K, V]) setSpread(ks []K, vs []V) {
+	slotCap := cap(n.keys)
+	m := len(ks)
+	oldUsed := len(n.keys)
+	used := 0
+	if m > 0 {
+		used = (m-1)*slotCap/m + 1
+	}
+	n.keys = n.keys[:slotCap][:used]
+	n.vals = n.vals[:slotCap][:used]
+	n.clearBits()
+	var zero V
+	var last K
+	j := 0
+	for i := 0; i < used; i++ {
+		if j < m && i == j*slotCap/m {
+			n.keys[i] = ks[j]
+			n.vals[i] = vs[j]
+			n.setBit(i)
+			last = ks[j]
+			j++
+		} else {
+			n.keys[i] = last
+			n.vals[i] = zero
+		}
+	}
+	for i := used; i < oldUsed; i++ {
+		n.vals[:oldUsed][i] = zero
+	}
+	n.count = int32(m)
+}
+
+// setDense replaces the leaf's contents with the m entries ks/vs packed as
+// a dense prefix with all tail room open — the layout for leaves expected
+// to absorb in-order appends (the open frontier/tail chunk). ks/vs must not
+// alias the leaf's own storage.
+func (n *node[K, V]) setDense(ks []K, vs []V) {
+	m := len(ks)
+	oldUsed := len(n.keys)
+	n.keys = n.keys[:cap(n.keys)][:m]
+	n.vals = n.vals[:cap(n.vals)][:m]
+	copy(n.keys, ks)
+	copy(n.vals, vs)
+	n.clearBits()
+	n.setBitRange(0, m)
+	var zero V
+	for i := m; i < oldUsed; i++ {
+		n.vals[:oldUsed][i] = zero
+	}
+	n.count = int32(m)
+}
+
+// spreadInPlace redistributes a dense leaf (count == len(keys)) across the
+// full slot capacity with interleaved gaps, in place — setSpread without the
+// staging copy, for freshly built chunks whose entries are already a dense
+// prefix of their own storage. Entries move right-to-left (dst >= src for
+// every rank), then a forward pass fills gap slots with copies of the
+// preceding live key and zeroes their values. No-op on an empty or
+// non-dense leaf.
+func (n *node[K, V]) spreadInPlace() {
+	m := len(n.keys)
+	if m == 0 || int(n.count) != m {
+		return
+	}
+	slotCap := cap(n.keys)
+	used := (m-1)*slotCap/m + 1
+	n.keys = n.keys[:slotCap][:used]
+	n.vals = n.vals[:slotCap][:used]
+	for j := m - 1; j >= 0; j-- {
+		if dst := j * slotCap / m; dst != j {
+			n.keys[dst] = n.keys[j]
+			n.vals[dst] = n.vals[j]
+		}
+	}
+	n.clearBits()
+	var zero V
+	var last K
+	j := 0
+	for i := 0; i < used; i++ {
+		if j < m && i == j*slotCap/m {
+			last = n.keys[i]
+			n.setBit(i)
+			j++
+		} else {
+			n.keys[i] = last
+			n.vals[i] = zero
+		}
+	}
+}
+
+// appendDense appends entries (sorted, all strictly greater than the
+// leaf's max key) at the high-water mark: the bulk version of the append
+// fast path. The caller guarantees tail room (len+n <= cap).
+func (n *node[K, V]) appendDense(ks []K, vs []V) {
+	old := len(n.keys)
+	n.keys = append(n.keys, ks...)
+	n.vals = append(n.vals, vs...)
+	n.setBitRange(old, old+len(ks))
+	n.count += int32(len(ks))
+}
+
+// compact squeezes all gaps out of the leaf in place, leaving the live
+// entries as a dense prefix (count == len(keys)) with every tail slot free.
+// Used before bulk appends into a leaf whose tail room has been consumed by
+// the high-water mark.
+func (n *node[K, V]) compact() {
+	used := len(n.keys)
+	w := 0
+	for i := n.nextPresent(0); i >= 0 && i < used; i = n.nextPresent(i + 1) {
+		if w != i {
+			n.keys[w] = n.keys[i]
+			n.vals[w] = n.vals[i]
+		}
+		w++
+	}
+	var zero V
+	for i := w; i < used; i++ {
+		n.vals[i] = zero
+	}
+	n.keys = n.keys[:w]
+	n.vals = n.vals[:w]
+	n.clearBits()
+	n.setBitRange(0, w)
+	n.count = int32(w)
+}
+
+// truncateLive drops every live entry from rank m upward (keeping ranks
+// [0, m)), trimming the high-water mark to just past the last kept live
+// slot and zeroing vacated values. The left half of a split uses this: the
+// kept prefix stays exactly in place, no key moves.
+func (n *node[K, V]) truncateLive(m int) {
+	used := len(n.keys)
+	var cut int // new high-water mark
+	if m == 0 {
+		cut = 0
+	} else {
+		cut = n.selectRank(m-1) + 1
+	}
+	var zero V
+	for i := cut; i < used; i++ {
+		n.vals[i] = zero
+	}
+	// Clear presence above the cut.
+	for i := n.nextPresent(cut); i >= 0 && i < used; i = n.nextPresent(i + 1) {
+		n.clearBit(i)
+	}
+	n.keys = n.keys[:cut]
+	n.vals = n.vals[:cut]
+	n.count = int32(m)
+}
+
+// insertAt places (k, v) at slot i in a dense leaf prefix, shifting the
+// tail right. Retained for the dense-prefix build paths; the point-insert
+// paths use gapInsert.
 func (n *node[K, V]) insertAt(i int, k K, v V) {
 	n.keys = append(n.keys, k)
 	copy(n.keys[i+1:], n.keys[i:])
@@ -113,16 +698,8 @@ func (n *node[K, V]) insertAt(i int, k K, v V) {
 	n.vals = append(n.vals, zero)
 	copy(n.vals[i+1:], n.vals[i:])
 	n.vals[i] = v
-}
-
-// removeAt deletes the entry at position i from a leaf.
-func (n *node[K, V]) removeAt(i int) {
-	copy(n.keys[i:], n.keys[i+1:])
-	n.keys = n.keys[:len(n.keys)-1]
-	copy(n.vals[i:], n.vals[i+1:])
-	var zero V
-	n.vals[len(n.vals)-1] = zero
-	n.vals = n.vals[:len(n.vals)-1]
+	n.setBit(len(n.keys) - 1)
+	n.count++
 }
 
 // insertChildAt inserts pivot k and child c at pivot position i of an

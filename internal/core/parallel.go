@@ -211,21 +211,23 @@ func (t *Tree[K, V]) ingestFrontier(keys []K, vals []V, existed []bool, workers 
 			return
 		}
 	}
-	capFill := t.capFillTarget()
-	if len(keys) < capFill {
+	pack := t.packTarget(t.capFillTarget())
+	if len(keys) < pack {
 		// Less than one packed leaf left: the run sweep handles it with a
 		// single descent (full policy — this is the tail region).
 		t.sweepRuns(keys, vals, existed)
 		return
 	}
 
-	// Build the chain: leaf i holds keys[i*capFill : (i+1)*capFill], fully
-	// packed except the last, which becomes the new open tail. Workers own
+	// Build the chain: leaf i holds keys[i*pack : (i+1)*pack], packed to the
+	// fill ceiling less the configured gap fraction. Interior leaves spread
+	// their free slots as interleaved gaps for later near-sorted inserts;
+	// the last leaf stays dense — it becomes the new open tail. Workers own
 	// disjoint leaf index ranges; newLeaf is safe concurrently (the slab
 	// allocator locks, ids and counters are atomic) and the fresh leaves
 	// are created write-latched so readers reached through the published
 	// chain validate against them, exactly as split-off leaves are.
-	nLeaves := (len(keys) + capFill - 1) / capFill
+	nLeaves := (len(keys) + pack - 1) / pack
 	chain := make([]*node[K, V], nLeaves)
 	per := (nLeaves + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -235,12 +237,11 @@ func (t *Tree[K, V]) ingestFrontier(keys []K, vals []V, existed []bool, workers 
 		go func(lo, hi int) {
 			defer wg.Done()
 			for li := lo; li < hi; li++ {
-				start := li * capFill
-				end := min(start+capFill, len(keys))
+				start := li * pack
+				end := min(start+pack, len(keys))
 				lf := t.newLeaf()
 				t.writeLatch(lf) // uncontended: not yet published
-				lf.keys = append(lf.keys, keys[start:end]...)
-				lf.vals = append(lf.vals, vals[start:end]...)
+				fillLeaf(lf, keys[start:end], vals[start:end], li < nLeaves-1 && end-start < t.cfg.LeafCapacity)
 				chain[li] = lf
 			}
 		}(lo, hi)
@@ -252,7 +253,7 @@ func (t *Tree[K, V]) ingestFrontier(keys []K, vals []V, existed []bool, workers 
 	}
 	pivots := make([]K, nLeaves)
 	for i, lf := range chain {
-		pivots[i] = lf.keys[0]
+		pivots[i] = lf.minKey()
 	}
 
 	if !t.spliceFrontier(chain, pivots) {
@@ -285,23 +286,27 @@ func (t *Tree[K, V]) tryTailTopUp(keys []K, vals []V) int {
 	if !t.writeLatchLive(tail) {
 		return 0
 	}
-	if tail.next.Load() != nil || (len(tail.keys) > 0 && keys[0] <= tail.keys[len(tail.keys)-1]) {
+	if tail.next.Load() != nil || (tail.leafCount() > 0 && keys[0] <= tail.maxKey()) {
 		// No longer the rightmost leaf, or a concurrent writer advanced the
 		// maximum to or past the run's first key.
 		t.writeUnlatch(tail)
 		return 0
 	}
-	n := min(t.capFillTarget()-len(tail.keys), len(keys))
+	n := min(t.capFillTarget()-tail.leafCount(), len(keys))
 	if n <= 0 {
 		t.writeUnlatch(tail)
 		return 0
 	}
-	tail.keys = append(tail.keys, keys[:n]...)
-	tail.vals = append(tail.vals, vals[:n]...)
+	if cap(tail.keys)-len(tail.keys) < n {
+		// Interior gaps consumed the tail room; squeeze them out so the
+		// top-up is a straight high-water-mark append.
+		tail.compact()
+	}
+	tail.appendDense(keys[:n], vals[:n])
 	if t.cfg.Mode != ModeNone {
 		t.lockMeta()
 		if t.fp.leaf == tail {
-			t.fp.size = len(tail.keys)
+			t.fp.size = tail.leafCount()
 		}
 		t.unlockMeta()
 	}
@@ -325,7 +330,7 @@ func (t *Tree[K, V]) tryTailTopUp(keys []K, vals []V) int {
 func (t *Tree[K, V]) spliceFrontier(chain []*node[K, V], pivots []K) bool {
 	path, lockedFrom, _, hi := t.descendForWrite(pivots[0], true)
 	leaf := path[len(path)-1].n
-	if hi.ok || len(leaf.keys) == 0 || leaf.keys[len(leaf.keys)-1] >= pivots[0] {
+	if hi.ok || leaf.leafCount() == 0 || leaf.maxKey() >= pivots[0] {
 		// Not the open rightmost leaf anymore — or an empty root leaf,
 		// which must absorb keys before it may grow a chain (an empty leaf
 		// inside a non-empty tree is invalid). The caller falls back.
@@ -350,10 +355,10 @@ func (t *Tree[K, V]) spliceFrontier(chain []*node[K, V], pivots []K) bool {
 		if t.cfg.Mode == ModePOLE || t.cfg.Mode == ModeQuIT {
 			// The new tail's left neighbor is ours and still latched, so
 			// pole_prev is exact and the IKR estimator stays armed.
-			if prev := last.prev.Load(); prev != nil && len(prev.keys) > 0 {
+			if prev := last.prev.Load(); prev != nil && prev.leafCount() > 0 {
 				t.fp.prev = prev
-				t.fp.prevMin = prev.keys[0]
-				t.fp.prevSize = len(prev.keys)
+				t.fp.prevMin = prev.minKey()
+				t.fp.prevSize = prev.leafCount()
 				t.fp.prevValid = true
 			}
 		}

@@ -55,17 +55,21 @@ func (t *Tree[K, V]) splitForInsert(path []*node[K, V], key K, lo, hi bound[K], 
 // outlier position l in the full pole and the node is split there instead
 // of at 50%, packing in-order entries tightly.
 func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevMin K, prevSize int) (*node[K, V], *node[K, V], bound[K], bound[K]) {
-	q := leaf.keys[0]
-	x := t.est.Bound(float64(prevMin), float64(q), prevSize, len(leaf.keys))
-	l := outlierIndex(leaf.keys, x)
+	q := leaf.minKey()
+	cnt := leaf.leafCount()
+	x := t.est.Bound(float64(prevMin), float64(q), prevSize, cnt)
+	// outlierIndex lands on a slot (possibly a gap copy); its rank is the
+	// number of live keys at or below the IKR bound — the paper's
+	// leaf.position(x).
+	l := leaf.rankOf(outlierIndex(leaf.keys, x))
 
 	if l > t.minLeaf {
 		// Few outliers: split at l-1, carrying one non-outlier into the new
 		// node, and move the pole pointer forward (Fig. 7a). MaxFill caps
 		// how packed the kept node may be left (§5.2.1's tuning note).
 		pos := l - 1
-		if pos >= len(leaf.keys) {
-			pos = len(leaf.keys) - 1
+		if pos >= cnt {
+			pos = cnt - 1
 		}
 		if capFill := int(t.cfg.MaxFill * float64(t.cfg.LeafCapacity)); pos > capFill {
 			pos = capFill
@@ -73,15 +77,29 @@ func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, 
 		if pos < t.minLeaf {
 			pos = t.minLeaf
 		}
-		right := t.splitLeafAt(leaf, pos)
-		splitKey := right.keys[0]
+		// The pole advances to the new right node. When the cut landed
+		// exactly at l-1, the moved suffix is one non-outlier plus the
+		// early-arrived outlier block, and the in-order append stream will
+		// keep landing *between* them: the frontier layout parks the
+		// outliers at the top of the slot array with the gap run in the
+		// middle, so every in-order insert claims a gap slot in O(1)
+		// instead of shifting the whole outlier block (the mid-leaf
+		// memmove this layout exists to kill). When MaxFill or minLeaf
+		// moved the cut, the suffix tail is in-order keys — future appends
+		// land above them, so dense with open tail room is right.
+		layout := layoutDense
+		if pos == l-1 && cnt-pos >= 2 {
+			layout = layoutFrontier
+		}
+		right := t.splitLeafAt(leaf, pos, layout)
+		splitKey := right.minKey()
 		t.propagateSplit(path, splitKey, right)
 		t.c.variableSplits.Add(1)
 
 		t.lockMeta()
 		t.fp.prev = leaf
 		t.fp.prevMin = q
-		t.fp.prevSize = len(leaf.keys)
+		t.fp.prevSize = leaf.leafCount()
 		t.fp.prevValid = true
 		t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
 		t.unlockMeta()
@@ -91,18 +109,19 @@ func (t *Tree[K, V]) variableSplit(path []*node[K, V], leaf *node[K, V], key K, 
 
 	// Mostly outliers: split at l, moving every outlier to the new node and
 	// keeping the pole pointer (and its newfound space) in place (Fig. 7b).
+	// The outlier node expects more displaced keys: spread it with gaps.
 	pos := l
 	if pos < 1 {
 		pos = 1
 	}
-	right := t.splitLeafAt(leaf, pos)
-	splitKey := right.keys[0]
+	right := t.splitLeafAt(leaf, pos, layoutSpread)
+	splitKey := right.minKey()
 	t.propagateSplit(path, splitKey, right)
 	t.c.variableSplits.Add(1)
 
 	t.lockMeta()
 	t.fp.max, t.fp.hasMax = splitKey, true
-	t.fp.size = len(leaf.keys)
+	t.fp.size = leaf.leafCount()
 	t.unlockMeta()
 	target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
 	return target, right, tlo, thi
@@ -125,20 +144,21 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 	// fullPath), so prev cannot be split or merged underneath us. The one
 	// writer that bypasses the descent — a fast-path insert latching
 	// fp.leaf via metadata — can grab leaf during the window, but leaf is
-	// full, so it can only overwrite values, never change lengths; every
-	// size below is re-read after the latches are back.
+	// full (count >= LeafCapacity), so it can only overwrite values, never
+	// insert; every size below is re-read after the latches are back.
 	t.writeUnlatch(leaf)
 	t.writeLatch(prev)
 	t.writeLatch(leaf)
 
-	m := t.minLeaf - len(prev.keys)
-	if m <= 0 || m >= len(leaf.keys) {
+	m := t.minLeaf - prev.leafCount()
+	if m <= 0 || m >= leaf.leafCount() {
 		t.writeUnlatch(prev)
 		return nil, lo, hi, false
 	}
 	// Never move the slot the incoming key belongs to: cap the transfer so
 	// the new pole minimum stays <= key, keeping the insert target stable.
-	if limit := lowerBound(leaf.keys, key); m > limit {
+	// The rank of the first live slot >= key counts the live keys below it.
+	if limit := leaf.rankOf(lowerBound(leaf.keys, key)); m > limit {
 		m = limit
 	}
 	if m <= 0 {
@@ -146,21 +166,29 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 		return nil, lo, hi, false
 	}
 
-	oldMin := leaf.keys[0]
-	prev.keys = append(prev.keys, leaf.keys[:m]...)
-	prev.vals = append(prev.vals, leaf.vals[:m]...)
-	copy(leaf.keys, leaf.keys[m:])
-	leaf.keys = leaf.keys[:len(leaf.keys)-m]
-	copy(leaf.vals, leaf.vals[m:])
-	var zv V
-	for i := len(leaf.vals) - m; i < len(leaf.vals); i++ {
-		leaf.vals[i] = zv
+	oldMin := leaf.minKey()
+	// Append leaf's first m live entries at prev's high-water mark (all are
+	// greater than every slot value in prev). Compact prev first if its
+	// tail room was consumed by earlier appends around interior gaps.
+	if cap(prev.keys)-len(prev.keys) < m {
+		prev.compact()
 	}
-	leaf.vals = leaf.vals[:len(leaf.vals)-m]
+	var zv V
+	s := leaf.minSlot()
+	for j := 0; j < m; j++ {
+		prev.keys = append(prev.keys, leaf.keys[s])
+		prev.vals = append(prev.vals, leaf.vals[s])
+		prev.setBit(len(prev.keys) - 1)
+		leaf.vals[s] = zv
+		leaf.clearBit(s)
+		s = leaf.nextPresent(s + 1)
+	}
+	prev.count += int32(m)
+	leaf.count -= int32(m)
 
 	// The new separator must stay above every key now in prev and at or
 	// below the incoming key (which the caller inserts into this leaf).
-	newMin := leaf.keys[0]
+	newMin := leaf.minKey()
 	if key < newMin {
 		newMin = key
 	}
@@ -170,8 +198,8 @@ func (t *Tree[K, V]) redistributeIntoPrev(path []*node[K, V], leaf *node[K, V], 
 
 	t.lockMeta()
 	t.fp.min, t.fp.hasMin = newMin, true
-	t.fp.size = len(leaf.keys)
-	t.fp.prevSize = len(prev.keys)
+	t.fp.size = leaf.leafCount()
+	t.fp.prevSize = prev.leafCount()
 	t.unlockMeta()
 	return leaf, closed(newMin), hi, true
 }
@@ -197,12 +225,13 @@ func (t *Tree[K, V]) updateSeparator(path []*node[K, V], oldMin, newMin K) {
 // policy (Fig. 6), or the initialization rule when pole_prev metadata is
 // not yet established.
 func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K], prevValid bool, prevMin K, prevSize int) (*node[K, V], *node[K, V], bound[K], bound[K]) {
-	q := leaf.keys[0]
-	sizeBefore := len(leaf.keys)
-	right := t.splitLeafAt(leaf, sizeBefore/2)
-	splitKey := right.keys[0]
-	t.propagateSplit(path, splitKey, right)
-
+	q := leaf.minKey()
+	sizeBefore := leaf.leafCount()
+	pos := sizeBefore / 2
+	// Decide the pole-update policy before splitting so the new right node
+	// can be packed dense when the pole (the append stream) advances onto
+	// it, and spread with gaps when it is left behind to absorb outliers.
+	splitKey := leaf.keys[leaf.selectRank(pos)]
 	advance := false
 	if prevValid && prevSize > 0 {
 		x := t.est.Bound(float64(prevMin), float64(q), prevSize, sizeBefore)
@@ -212,17 +241,23 @@ func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key 
 		// entry as pole.
 		advance = key >= splitKey
 	}
+	layout := layoutSpread
+	if advance {
+		layout = layoutDense
+	}
+	right := t.splitLeafAt(leaf, pos, layout)
+	t.propagateSplit(path, splitKey, right)
 
 	t.lockMeta()
 	if advance {
 		t.fp.prev = leaf
 		t.fp.prevMin = q
-		t.fp.prevSize = len(leaf.keys)
+		t.fp.prevSize = leaf.leafCount()
 		t.fp.prevValid = true
 		t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
 	} else {
 		t.fp.max, t.fp.hasMax = splitKey, true
-		t.fp.size = len(leaf.keys)
+		t.fp.size = leaf.leafCount()
 	}
 	t.unlockMeta()
 	target, tlo, thi := routeAfterSplit(leaf, right, key, lo, hi)
@@ -230,10 +265,17 @@ func (t *Tree[K, V]) splitPoleDefault(path []*node[K, V], leaf *node[K, V], key 
 }
 
 // splitOther is the classical 50% split for any leaf that is not the pole,
-// plus the mode-specific fast-path fixups it may imply.
+// plus the mode-specific fast-path fixups it may imply. The right half is
+// packed dense when the incoming key routes to it (it is the likely append
+// target — e.g. the new tail in ModeTail) and spread with gaps otherwise.
 func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo, hi bound[K]) (*node[K, V], *node[K, V], bound[K], bound[K]) {
-	right := t.splitLeafAt(leaf, len(leaf.keys)/2)
-	splitKey := right.keys[0]
+	pos := leaf.leafCount() / 2
+	splitKey := leaf.keys[leaf.selectRank(pos)]
+	layout := layoutDense
+	if key < splitKey {
+		layout = layoutSpread
+	}
+	right := t.splitLeafAt(leaf, pos, layout)
 	t.propagateSplit(path, splitKey, right)
 
 	t.lockMeta()
@@ -252,7 +294,7 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 				t.setFP(right, closed(splitKey), hi, pathWithLeaf(path, right))
 			} else {
 				fp.max, fp.hasMax = splitKey, true
-				fp.size = len(leaf.keys)
+				fp.size = leaf.leafCount()
 			}
 		}
 	case ModePOLE, ModeQuIT:
@@ -260,7 +302,7 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 			// pole_prev split: the new right half becomes pole's neighbor.
 			fp.prev = right
 			fp.prevMin = splitKey
-			fp.prevSize = len(right.keys)
+			fp.prevSize = right.leafCount()
 		}
 	}
 	t.unlockMeta()
@@ -268,10 +310,39 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 	return target, right, tlo, thi
 }
 
-// splitLeafAt moves leaf.keys[pos:] into a fresh right sibling and links it
-// into the leaf chain, updating the tree tail if needed. The caller holds
-// leaf's write latch in synchronized mode; the neighbor's prev pointer and
-// the tail pointer are atomics, so no further latches are needed.
+// leafLayout selects how splitLeafAt arranges the moved suffix in the new
+// right sibling's slot array.
+type leafLayout uint8
+
+const (
+	// layoutDense packs the entries as a dense prefix with all tail room
+	// open — for append targets (the advancing pole, the tail).
+	layoutDense leafLayout = iota
+	// layoutSpread interleaves gaps evenly across the full slot capacity —
+	// for outlier absorbers, where mid-leaf inserts arrive at scattered
+	// positions and should find a gap within a couple of slots.
+	layoutSpread
+	// layoutFrontier is the variable-split pole layout: entry 0 (the one
+	// carried non-outlier) at slot 0, the remaining entries (the
+	// early-arrived outlier block) packed dense against the TOP of the
+	// slot array, and the run of slots between them all gaps holding
+	// copies of the block's first key. The in-order append stream lands
+	// strictly between slot 0 and the block; because the gap copies are
+	// *successor* copies, searchKeys sends each such key to the lowest
+	// free gap slot and the insert is an O(1) landing-gap write — no
+	// shifting of the outlier block, ever, until the gap run is consumed
+	// and the leaf splits again.
+	layoutFrontier
+)
+
+// splitLeafAt moves the live entries of rank pos and up into a fresh right
+// sibling and links it into the leaf chain, updating the tree tail if
+// needed. The left half stays exactly in place (bits above the cut are
+// cleared and the high-water mark trimmed — no key moves). The right
+// half's slot arrangement is chosen by layout (see leafLayout). The caller
+// holds leaf's write latch in synchronized mode; the neighbor's prev
+// pointer and the tail pointer are atomics, so no further latches are
+// needed.
 //
 // The new sibling is returned write-latched: linking it into the chain (and
 // into t.tail) publishes it to optimistic readers — Max through the tail
@@ -279,17 +350,89 @@ func (t *Tree[K, V]) splitOther(path []*node[K, V], leaf *node[K, V], key K, lo,
 // mutating it, and a fresh node's version never changes during those
 // mutations, so validation alone cannot protect readers. The caller must
 // writeUnlatch it once the split (and any pending insert into it) is done.
-func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int) *node[K, V] {
+func (t *Tree[K, V]) splitLeafAt(leaf *node[K, V], pos int, layout leafLayout) *node[K, V] {
 	right := t.newLeaf()
 	t.writeLatch(right) // uncontended: not yet published
-	right.keys = append(right.keys, leaf.keys[pos:]...)
-	right.vals = append(right.vals, leaf.vals[pos:]...)
-	var zv V
-	for i := pos; i < len(leaf.vals); i++ {
-		leaf.vals[i] = zv
+	m := leaf.leafCount() - pos
+	s := leaf.selectRank(pos)
+	if m < 2 && layout == layoutFrontier {
+		layout = layoutDense // no block to park: dense is strictly better
 	}
-	leaf.keys = leaf.keys[:pos]
-	leaf.vals = leaf.vals[:pos]
+	// The moved suffix is usually gap-free (append-target leaves are dense,
+	// and spread leaves keep their fully-live run against the high-water
+	// mark): detect that and walk it by direct indexing — the per-element
+	// nextPresent chase is only needed when interior gaps survive in the
+	// suffix. For the dense destination layout the gap-free case collapses
+	// to two bulk copies, which is what the frontier split (one per ~leafCap
+	// appends on sorted ingest) actually pays.
+	contig := len(leaf.keys)-s == m
+	switch {
+	case layout == layoutFrontier:
+		// [non-outlier][gap run][outlier block at top]; gaps hold copies
+		// of the block's first key so in-order keys land at the run's low
+		// end (see leafLayout). The fresh node's value slots are zero, the
+		// legal state for gap slots.
+		slotCap := cap(right.keys)
+		right.keys = right.keys[:slotCap]
+		right.vals = right.vals[:slotCap]
+		right.keys[0] = leaf.keys[s]
+		right.vals[0] = leaf.vals[s]
+		right.setBit(0)
+		base := slotCap - (m - 1)
+		for j := 1; j < m; j++ {
+			if contig {
+				s++
+			} else {
+				s = leaf.nextPresent(s + 1)
+			}
+			right.keys[base+j-1] = leaf.keys[s]
+			right.vals[base+j-1] = leaf.vals[s]
+		}
+		right.setBitRange(base, slotCap)
+		fill := right.keys[base]
+		for i := 1; i < base; i++ {
+			right.keys[i] = fill
+		}
+	case layout == layoutSpread:
+		slotCap := cap(right.keys)
+		used := (m-1)*slotCap/m + 1
+		right.keys = right.keys[:used]
+		right.vals = right.vals[:used]
+		for j := 0; j < m; j++ {
+			dst := j * slotCap / m
+			right.keys[dst] = leaf.keys[s]
+			right.vals[dst] = leaf.vals[s]
+			right.setBit(dst)
+			if contig {
+				s++
+			} else {
+				s = leaf.nextPresent(s + 1)
+			}
+		}
+		// Fill gap slots with the preceding live key (slot 0 is live), so
+		// the whole array stays non-decreasing for searchKeys.
+		var last K
+		for i := 0; i < used; i++ {
+			if right.hasSlot(i) {
+				last = right.keys[i]
+			} else {
+				right.keys[i] = last
+			}
+		}
+	case contig:
+		right.keys = append(right.keys, leaf.keys[s:]...)
+		right.vals = append(right.vals, leaf.vals[s:]...)
+		right.setBitRange(0, m)
+	default:
+		for j := 0; j < m; j++ {
+			right.keys = append(right.keys, leaf.keys[s])
+			right.vals = append(right.vals, leaf.vals[s])
+			s = leaf.nextPresent(s + 1)
+		}
+		right.setBitRange(0, m)
+	}
+	right.count = int32(m)
+	leaf.truncateLive(pos)
 
 	next := leaf.next.Load()
 	right.prev.Store(leaf)
@@ -367,6 +510,8 @@ func (t *Tree[K, V]) splitInternal(p *node[K, V]) (K, *node[K, V]) {
 
 // outlierIndex returns the first index whose key exceeds the IKR bound x
 // (len(keys) if none): the paper's leaf.position(x) (Algorithm 2, line 4).
+// Over a gapped slot array the result is a slot index; rankOf converts it
+// to a live-entry rank (gap copies never exceed the first live outlier).
 func outlierIndex[K Integer](keys []K, x float64) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {
@@ -383,7 +528,7 @@ func outlierIndex[K Integer](keys []K, x float64) int {
 // routeAfterSplit picks which half of a split receives key and returns its
 // routing bounds.
 func routeAfterSplit[K Integer, V any](left, right *node[K, V], key K, lo, hi bound[K]) (*node[K, V], bound[K], bound[K]) {
-	splitKey := right.keys[0]
+	splitKey := right.minKey()
 	if key >= splitKey {
 		return right, closed(splitKey), hi
 	}

@@ -60,6 +60,7 @@ type leafSlab[K Integer, V any] struct {
 	mu sync.Mutex
 	k  []K
 	v  []V
+	b  []uint64 // presence-bitmap words
 }
 
 const slabLeaves = 32
@@ -254,7 +255,7 @@ func (t *Tree[K, V]) AvgLeafOccupancy() float64 {
 			n = t.head.Load()
 			continue
 		}
-		cnt := len(n.keys)
+		cnt := n.leafCount()
 		next := n.next.Load()
 		if !t.readUnlatch(n, v) {
 			t.olcRestart()
@@ -291,18 +292,23 @@ func (t *Tree[K, V]) MemoryFootprint() int64 {
 func (t *Tree[K, V]) newLeaf() *node[K, V] {
 	t.nLeaves.Add(1)
 	c := t.cfg.LeafCapacity + 1
+	w := bitmapWords(c)
 	t.slab.mu.Lock()
 	if len(t.slab.k) < c {
 		t.slab.k = make([]K, slabLeaves*c)
 		t.slab.v = make([]V, slabLeaves*c)
+		t.slab.b = make([]uint64, slabLeaves*w)
 	}
 	k, v := t.slab.k[:0:c], t.slab.v[:0:c]
+	b := t.slab.b[:w:w]
 	t.slab.k, t.slab.v = t.slab.k[c:], t.slab.v[c:]
+	t.slab.b = t.slab.b[w:]
 	t.slab.mu.Unlock()
 	return &node[K, V]{
-		id:   t.nextID.Add(1),
-		keys: k,
-		vals: v,
+		id:      t.nextID.Add(1),
+		keys:    k,
+		vals:    v,
+		present: b,
 	}
 }
 

@@ -105,6 +105,17 @@ type Config struct {
 	// out-of-order entries in the future and we want to avoid propagating
 	// splits" — set e.g. 0.9 for that headroom. Zero selects 1.0.
 	MaxFill float64
+	// GapFraction is the fraction of each leaf's slots the wholesale build
+	// paths (batch multi-way splits, parallel frontier chains, BulkAppend
+	// spine leaves) leave as interleaved gaps, in [0, 0.5). Gaps let
+	// subsequent near-sorted ingest absorb displaced outliers with an
+	// O(gap distance) shift instead of splitting dense leaves; the price is
+	// proportionally more leaves on fully-sorted ingest (the gap01
+	// experiment sweeps this trade-off). Point-insert splits always spread
+	// their halves across the full slot array regardless of this setting.
+	// Zero selects the default 0.1; a negative value requests fully packed
+	// leaves (no reserved gaps); values above 0.5 clamp to 0.5.
+	GapFraction float64
 	// UnconditionalCatchUp applies Algorithm 1's literal catch-up rule
 	// (advance pole on any top-insert into its successor leaf) instead of
 	// the paper's prose rule (advance only when IKR accepts the key).
@@ -141,6 +152,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFill < 0.5 {
 		c.MaxFill = 0.5
+	}
+	switch {
+	case c.GapFraction == 0:
+		c.GapFraction = 0.1
+	case c.GapFraction < 0:
+		c.GapFraction = 0
+	case c.GapFraction > 0.5:
+		c.GapFraction = 0.5
 	}
 	if c.ResetThreshold <= 0 {
 		c.ResetThreshold = int(math.Sqrt(float64(c.LeafCapacity)))

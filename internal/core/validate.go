@@ -1,20 +1,28 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Validate checks the structural invariants of the tree and returns the
 // first violation found, or nil. It is intended for tests and debugging;
 // it takes no latches and must not run concurrently with writers.
 //
 // Checked invariants:
-//   - keys strictly increase within every node and across the leaf chain;
+//   - live keys strictly increase within every leaf and across the leaf
+//     chain; internal pivots strictly increase within every node;
+//   - gapped-leaf slot invariants: the presence bitmap's popcount equals
+//     the leaf's live count, no bit is set at or above the high-water mark,
+//     slot keys are non-decreasing over the whole used prefix (gap copies
+//     included), and key/val slot arrays agree in length;
 //   - every internal pivot is the lower bound of its right subtree and an
 //     upper bound (exclusive) of its left subtree;
 //   - all leaves sit at the same depth, matching Height();
-//   - node arities: leaves hold 1..LeafCapacity entries (root may be
+//   - node arities: leaves hold 1..LeafCapacity live entries (root may be
 //     empty), internal nodes hold 2..InternalFanout children;
 //   - the leaf chain (head..tail) is doubly linked and complete;
-//   - Len() equals the number of entries reachable from the root;
+//   - Len() equals the number of live entries reachable from the root;
 //   - fast-path metadata points at a live leaf, its bounds admit exactly
 //     that leaf's key range, and pole_prev metadata mirrors the true left
 //     neighbor when marked valid.
@@ -35,6 +43,17 @@ func (t *Tree[K, V]) Validate() error {
 	var walk func(j job) error
 	walk = func(j job) error {
 		n := j.n
+		if n.isLeaf() {
+			if err := t.validateLeaf(n, j.lo, j.hi); err != nil {
+				return err
+			}
+			if j.depth+1 != t.Height() {
+				return fmt.Errorf("leaf %d at depth %d, want %d", n.id, j.depth, t.Height()-1)
+			}
+			leaves = append(leaves, n)
+			entries += n.leafCount()
+			return nil
+		}
 		for i := 1; i < len(n.keys); i++ {
 			if n.keys[i] <= n.keys[i-1] {
 				return fmt.Errorf("node %d: keys not strictly increasing at %d", n.id, i)
@@ -47,23 +66,6 @@ func (t *Tree[K, V]) Validate() error {
 			if j.hi.ok && n.keys[len(n.keys)-1] >= j.hi.key {
 				return fmt.Errorf("node %d: key %v at or above upper bound %v", n.id, n.keys[len(n.keys)-1], j.hi.key)
 			}
-		}
-		if n.isLeaf() {
-			if j.depth+1 != t.Height() {
-				return fmt.Errorf("leaf %d at depth %d, want %d", n.id, j.depth, t.Height()-1)
-			}
-			if len(n.keys) == 0 && n != t.root.Load() {
-				return fmt.Errorf("leaf %d is empty", n.id)
-			}
-			if len(n.keys) > t.cfg.LeafCapacity {
-				return fmt.Errorf("leaf %d overflows: %d > %d", n.id, len(n.keys), t.cfg.LeafCapacity)
-			}
-			if len(n.keys) != len(n.vals) {
-				return fmt.Errorf("leaf %d: %d keys vs %d vals", n.id, len(n.keys), len(n.vals))
-			}
-			leaves = append(leaves, n)
-			entries += len(n.keys)
-			return nil
 		}
 		if len(n.children) != len(n.keys)+1 {
 			return fmt.Errorf("internal %d: %d children vs %d keys", n.id, len(n.children), len(n.keys))
@@ -120,14 +122,76 @@ func (t *Tree[K, V]) Validate() error {
 		if n.next.Load() != wantNext {
 			return fmt.Errorf("leaf %d: bad next link", n.id)
 		}
-		if i > 0 && len(n.keys) > 0 && len(leaves[i-1].keys) > 0 {
-			if n.keys[0] <= leaves[i-1].keys[len(leaves[i-1].keys)-1] {
+		if i > 0 && n.count > 0 && leaves[i-1].count > 0 {
+			if n.minKey() <= leaves[i-1].maxKey() {
 				return fmt.Errorf("leaf %d: chain not increasing", n.id)
 			}
 		}
 	}
 
 	return t.validateFP(leaves)
+}
+
+// validateLeaf checks one leaf's gapped-layout invariants (see node.go) and
+// its key-range bounds.
+func (t *Tree[K, V]) validateLeaf(n *node[K, V], lo, hi bound[K]) error {
+	used := len(n.keys)
+	if used != len(n.vals) {
+		return fmt.Errorf("leaf %d: %d key slots vs %d val slots", n.id, used, len(n.vals))
+	}
+	if want := bitmapWords(used); len(n.present) < want {
+		return fmt.Errorf("leaf %d: bitmap has %d words, need %d for %d slots", n.id, len(n.present), want, used)
+	}
+	// The bitmap must describe exactly the used prefix: popcount == count
+	// and no stray bit at or above the high-water mark (a stale bit there
+	// would resurrect an uninitialized slot).
+	pop := 0
+	for w, word := range n.present {
+		pop += bits.OnesCount64(word)
+		base := w * 64
+		if base+64 > used {
+			over := word
+			if base < used {
+				over &= ^uint64(0) << (used - base)
+			}
+			if over != 0 {
+				return fmt.Errorf("leaf %d: bitmap bit set at or above high-water mark %d (word %d = %#x)", n.id, used, w, word)
+			}
+		}
+	}
+	if pop != int(n.count) {
+		return fmt.Errorf("leaf %d: bitmap popcount %d, count %d", n.id, pop, n.count)
+	}
+	if int(n.count) == 0 && n != t.root.Load() {
+		return fmt.Errorf("leaf %d is empty", n.id)
+	}
+	if int(n.count) > t.cfg.LeafCapacity {
+		return fmt.Errorf("leaf %d overflows: %d > %d", n.id, n.count, t.cfg.LeafCapacity)
+	}
+	// Slot keys are non-decreasing across the whole used prefix (gap copies
+	// included) — searchKeys' branchless probe depends on this — and live
+	// keys are strictly increasing.
+	for i := 1; i < used; i++ {
+		if n.keys[i] < n.keys[i-1] {
+			return fmt.Errorf("leaf %d: slot keys decrease at %d", n.id, i)
+		}
+	}
+	prev, havePrev := K(0), false
+	for i := n.nextPresent(0); i >= 0 && i < used; i = n.nextPresent(i + 1) {
+		if havePrev && n.keys[i] <= prev {
+			return fmt.Errorf("leaf %d: live keys not strictly increasing at slot %d", n.id, i)
+		}
+		prev, havePrev = n.keys[i], true
+	}
+	if n.count > 0 {
+		if lo.ok && n.minKey() < lo.key {
+			return fmt.Errorf("leaf %d: key %v below lower bound %v", n.id, n.minKey(), lo.key)
+		}
+		if hi.ok && n.maxKey() >= hi.key {
+			return fmt.Errorf("leaf %d: key %v at or above upper bound %v", n.id, n.maxKey(), hi.key)
+		}
+	}
+	return nil
 }
 
 // validateFP cross-checks the fast-path metadata against the real tree.
@@ -152,15 +216,15 @@ func (t *Tree[K, V]) validateFP(leaves []*node[K, V]) error {
 	if t.cfg.Mode == ModeTail && fp.leaf != t.tail.Load() {
 		return fmt.Errorf("fast path: tail mode points at leaf %d, tail is %d", fp.leaf.id, t.tail.Load().id)
 	}
-	if fp.size != len(fp.leaf.keys) {
-		return fmt.Errorf("fast path: fp_size %d, leaf has %d", fp.size, len(fp.leaf.keys))
+	if fp.size != fp.leaf.leafCount() {
+		return fmt.Errorf("fast path: fp_size %d, leaf has %d", fp.size, fp.leaf.leafCount())
 	}
-	if len(fp.leaf.keys) > 0 {
-		if fp.hasMin && fp.leaf.keys[0] < fp.min {
-			return fmt.Errorf("fast path: leaf min %v below fp_min %v", fp.leaf.keys[0], fp.min)
+	if fp.leaf.leafCount() > 0 {
+		if fp.hasMin && fp.leaf.minKey() < fp.min {
+			return fmt.Errorf("fast path: leaf min %v below fp_min %v", fp.leaf.minKey(), fp.min)
 		}
-		if fp.hasMax && fp.leaf.keys[len(fp.leaf.keys)-1] >= fp.max {
-			return fmt.Errorf("fast path: leaf max %v at or above fp_max %v", fp.leaf.keys[len(fp.leaf.keys)-1], fp.max)
+		if fp.hasMax && fp.leaf.maxKey() >= fp.max {
+			return fmt.Errorf("fast path: leaf max %v at or above fp_max %v", fp.leaf.maxKey(), fp.max)
 		}
 	}
 	if fp.hasMax && fp.leaf == t.tail.Load() {
@@ -173,12 +237,15 @@ func (t *Tree[K, V]) validateFP(leaves []*node[K, V]) error {
 		if fp.prev != fp.leaf.prev.Load() {
 			return fmt.Errorf("fast path: pole_prev %d is not the left neighbor %v", fp.prev.id, leafID(fp.leaf.prev.Load()))
 		}
-		if fp.prevSize != len(fp.prev.keys) {
-			return fmt.Errorf("fast path: pole_prev_size %d, node has %d", fp.prevSize, len(fp.prev.keys))
+		if fp.prevSize != fp.prev.leafCount() {
+			return fmt.Errorf("fast path: pole_prev_size %d, node has %d", fp.prevSize, fp.prev.leafCount())
 		}
 		// pole_prev_min may be the separator below the node's smallest key.
-		if len(fp.prev.keys) == 0 || fp.prev.keys[0] < fp.prevMin {
-			return fmt.Errorf("fast path: pole_prev_min %v above node min %v", fp.prevMin, fp.prev.keys)
+		if fp.prev.leafCount() == 0 {
+			return fmt.Errorf("fast path: pole_prev %d is empty", fp.prev.id)
+		}
+		if fp.prev.minKey() < fp.prevMin {
+			return fmt.Errorf("fast path: pole_prev_min %v above node min %v", fp.prevMin, fp.prev.minKey())
 		}
 	}
 	return nil

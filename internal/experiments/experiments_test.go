@@ -362,7 +362,7 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{
 		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
-		"abl01", "abl02", "abl03", "mix01", "dur01", "dur02", "bat01", "par01",
+		"abl01", "abl02", "abl03", "mix01", "dur01", "dur02", "bat01", "par01", "gap01",
 	}
 	for _, id := range want {
 		if _, ok := harness.Lookup(id); !ok {
@@ -435,6 +435,29 @@ func TestPar01Shape(t *testing.T) {
 			if r.Workers[i] > 1 && r.Splices[i] == 0 {
 				t.Errorf("sorted workers=%d: no frontier splices", r.Workers[i])
 			}
+		}
+	}
+}
+
+func TestGap01Shape(t *testing.T) {
+	p := quickParams()
+	p.N = 30_000
+	r := RunGap01(p)
+	if len(r.Fraction) != 5 { // packed + 4 gap fractions
+		t.Fatalf("gap01 produced %d rows, want 5", len(r.Fraction))
+	}
+	for i := range r.Fraction {
+		if r.OpsPerSec[i] <= 0 {
+			t.Errorf("row %d (%s): non-positive throughput", i, r.Fraction[i])
+		}
+		if r.FillPct[i] <= 0 || r.FillPct[i] > 100 {
+			t.Errorf("row %d (%s): fill %.1f%% out of range", i, r.Fraction[i], r.FillPct[i])
+		}
+		// Reserving more gaps can only spend more leaves: occupancy must
+		// not rise with the gap fraction (rows sweep it in increasing
+		// order, packed first).
+		if i > 0 && r.FillPct[i] > r.FillPct[i-1]+0.5 {
+			t.Errorf("fill %% rose from %.1f (%s) to %.1f (%s)", r.FillPct[i-1], r.Fraction[i-1], r.FillPct[i], r.Fraction[i])
 		}
 	}
 }

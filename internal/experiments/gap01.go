@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/core"
+	"github.com/quittree/quit/internal/harness"
+)
+
+// Gap01Result sweeps Config.GapFraction (beyond the paper; DESIGN.md §11):
+// the fraction of slots the wholesale build paths leave as interleaved gaps
+// trades space for out-of-order absorption. A packed build touches the
+// fewest leaves but every displaced key that lands mid-leaf must shift to
+// a distant gap or split; a gapped build spends proportionally more leaves
+// up front and absorbs displaced keys into nearby gaps.
+type Gap01Result struct {
+	Fraction  []string  // gap fraction label (packed | 0.05 | ...)
+	Leaves    []int64   // leaf count right after the sorted bulk build
+	FillPct   []float64 // build-time occupancy: N / (leaves * LeafCapacity)
+	OpsPerSec []float64 // near-sorted (K=5%) follow-up ingest throughput
+	Speedup   []float64 // vs the packed build
+}
+
+// RunGap01 bulk-builds a tree from the even keys 0,2,...,2N-2 with each gap
+// fraction, then ingests the odd keys as a K=5% BoDS stream — every key
+// lands inside an existing leaf, so the follow-up phase isolates how well
+// the reserved gaps absorb mid-leaf traffic.
+func RunGap01(p harness.Params) Gap01Result {
+	n := p.N
+	fractions := []struct {
+		name string
+		f    float64
+	}{{"packed", -1}, {"0.05", 0.05}, {"0.10", 0.1}, {"0.25", 0.25}, {"0.50", 0.5}}
+
+	base := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range base {
+		base[i] = int64(2 * i)
+		vals[i] = base[i]
+	}
+	// Follow-up stream: every 10th key of a K=5% BoDS permutation of the
+	// odd keys — near-sorted, spanning the whole keyspace, but only ~10%
+	// growth per leaf, so reserved gaps can absorb it without forcing a
+	// split in every leaf (a stream that doubles the data would measure
+	// split timing, not absorption).
+	perm := bods.Generate(bods.Spec{N: n, K: 0.05, L: 1.0, Seed: p.Seed})
+	stream := make([]int64, 0, n/10)
+	for i := 0; i < len(perm); i += 10 {
+		stream = append(stream, 2*perm[i]+1)
+	}
+
+	var r Gap01Result
+	for _, fr := range fractions {
+		cfg := treeConfig(p, core.ModeQuIT)
+		cfg.GapFraction = fr.f
+		tr := core.New[int64, int64](cfg)
+		tr.PutBatch(base, vals)
+		leaves := tr.Stats().Leaves
+		fill := float64(n) / float64(leaves*int64(p.LeafCapacity)) * 100
+
+		runtime.GC()
+		start := time.Now()
+		for _, k := range stream {
+			tr.Put(k, k)
+		}
+		ops := float64(len(stream)) / time.Since(start).Seconds()
+
+		r.Fraction = append(r.Fraction, fr.name)
+		r.Leaves = append(r.Leaves, leaves)
+		r.FillPct = append(r.FillPct, fill)
+		r.OpsPerSec = append(r.OpsPerSec, ops)
+		r.Speedup = append(r.Speedup, ops/r.OpsPerSec[0])
+	}
+	return r
+}
+
+// Tables renders the result.
+func (r Gap01Result) Tables() []harness.Table {
+	t := harness.Table{
+		ID:      "gap01",
+		Title:   "Gap fraction sweep (beyond the paper): build occupancy vs out-of-order absorption",
+		Note:    "sorted bulk build of even keys, then odd keys as a K=5% BoDS stream; speedup is vs the packed build",
+		Headers: []string{"gap fraction", "leaves", "fill %", "M ops/sec", "speedup"},
+	}
+	for i := range r.Fraction {
+		t.Rows = append(t.Rows, []string{
+			r.Fraction[i],
+			fmt.Sprintf("%d", r.Leaves[i]),
+			harness.Fmt(r.FillPct[i]),
+			harness.Fmt(r.OpsPerSec[i] / 1e6),
+			harness.Fmt(r.Speedup[i]) + "x",
+		})
+	}
+	return []harness.Table{t}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID: "gap01", Paper: "(extension)", Title: "gap fraction: fill factor vs near-sorted ingest",
+		Run: func(p harness.Params) []harness.Table { return RunGap01(p).Tables() },
+	})
+}

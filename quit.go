@@ -90,6 +90,14 @@ type Options struct {
 	// keep headroom for future out-of-order entries at the cost of some
 	// space (paper §5.2.1's tuning note).
 	MaxFill float64
+	// GapFraction is the fraction of each leaf's slots the wholesale build
+	// paths (PutBatch multi-way splits, parallel frontier chains,
+	// BulkAppend) reserve as interleaved gaps, in [0, 0.5]. Gaps absorb
+	// later out-of-order keys with an O(gap distance) shift instead of a
+	// split; the price is proportionally more leaves on bulk builds. Zero
+	// selects the default 0.1; negative requests fully packed leaves. The
+	// gap01 experiment in EXPERIMENTS.md sweeps the trade-off.
+	GapFraction float64
 	// Synchronized enables internal latching (optimistic lock coupling,
 	// paper §4.5 upgraded; see DESIGN.md §6) for concurrent use from
 	// multiple goroutines. Reads stay lock-free: they validate per-node
@@ -105,6 +113,7 @@ func (o Options) config() core.Config {
 		IKRScale:       o.IKRScale,
 		ResetThreshold: o.ResetThreshold,
 		MaxFill:        o.MaxFill,
+		GapFraction:    o.GapFraction,
 		Synchronized:   o.Synchronized,
 	}
 }

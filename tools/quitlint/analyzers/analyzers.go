@@ -30,6 +30,7 @@ func All() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
 		AtomicField,
 		ErrWrap,
+		GapWrite,
 		LatchFlow,
 		LatchOrder,
 		OLCValidate,

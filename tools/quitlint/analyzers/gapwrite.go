@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"github.com/quittree/quit/tools/quitlint/internal/lintkit"
+)
+
+// GapWrite guards the gapped-leaf slot layout (DESIGN.md §11): the slot
+// array, the presence bitmap and the live count move together, and a
+// mutation that interleaves with an optimistic reader must be rejected by
+// that reader's version check — which only happens when the writer holds
+// the node's write latch. The rule: a call to one of the slot/bitmap
+// mutators (gapInsert, gapRemove, setBit, setSpread, compact, ...) on a
+// gapped node — any struct carrying a `present` bitmap field — is only
+// legal when the receiver is
+//
+//   - the enclosing method's own receiver or a parameter (nodes arrive
+//     latched by caller contract, the same convention latchflow uses), or
+//   - a local freshly minted in this function (newLeaf/newInternal or a
+//     composite literal: unpublished nodes have no readers), or
+//   - a local write-latched earlier in the function (writeLatch /
+//     tryWriteLatch / writeLatchLive / upgradeLatch / writeLockedRoot)
+//     and not yet released (writeUnlatch / markObsolete kill the
+//     acquisition in source order).
+//
+// Like latchorder, the held-region tracking is a source-order
+// approximation, which matches how the write paths are written: latch,
+// mutate, unlatch within one region. One refinement keeps the bail paths
+// honest: a release whose enclosing block exits afterwards (return, break,
+// continue, goto) never rejoins the fall-through path, so it does not kill
+// the held state for the code below it. Paths whose latches arrive through
+// channels the analyzer cannot see — a crabbed descent handing back a
+// latched path slice, or unsynchronized-only fast splits where the latch
+// helpers are no-ops — carry a `//quitlint:allow gapwrite` comment at the
+// call site, the same convention the latchflow allowances use.
+var GapWrite = &lintkit.Analyzer{
+	Name: "gapwrite",
+	Doc:  "check that gapped-leaf slot/bitmap mutators run under the receiver's write latch, on a fresh node, or on a caller-latched parameter (DESIGN.md §11)",
+	Run:  runGapWrite,
+}
+
+// gapMutators are the node methods that rewrite the slot array, the
+// presence bitmap, or the live count.
+var gapMutators = map[string]bool{
+	"gapInsert":     true,
+	"gapInsertAt":   true,
+	"gapAppend":     true,
+	"gapRemove":     true,
+	"setBit":        true,
+	"clearBit":      true,
+	"setBitRange":   true,
+	"clearBits":     true,
+	"setSpread":     true,
+	"setDense":      true,
+	"spreadInPlace": true,
+	"refrontierAt":  true,
+	"respread":      true,
+	"appendDense":   true,
+	"compact":       true,
+	"truncateLive":  true,
+	"insertAt":      true,
+}
+
+// gapWriteAcquires generate a held write latch on their first argument;
+// gapWriteReleases drop it.
+var gapWriteAcquires = map[string]bool{
+	"writeLatch":     true,
+	"tryWriteLatch":  true,
+	"writeLatchLive": true,
+	"upgradeLatch":   true,
+}
+
+var gapWriteReleases = map[string]bool{
+	"writeUnlatch": true,
+	"markObsolete": true,
+}
+
+// gapWriteFresh name the allocators whose results are unpublished nodes.
+var gapWriteFresh = map[string]bool{
+	"newLeaf":         true,
+	"newInternal":     true,
+	"writeLockedRoot": true, // arrives latched, same effect
+}
+
+type gapEvent struct {
+	pos  int // file offset, for source ordering
+	node ast.Node
+	obj  *types.Var
+	kind int // 0 fresh/acquire, 1 release, 2 mutate
+	name string
+}
+
+func runGapWrite(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recvIsGappedNode(pass, fn) {
+				// Methods of the node type itself compose the primitives;
+				// the protocol applies to their callers.
+				continue
+			}
+			checkGapWrites(pass, fn)
+		}
+	}
+	return nil
+}
+
+// recvIsGappedNode reports whether fn is a method whose receiver type
+// carries a `present` bitmap field.
+func recvIsGappedNode(pass *lintkit.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := pass.Info.Types[fn.Recv.List[0].Type].Type
+	return hasPresentField(t)
+}
+
+// hasPresentField reports whether t (pointer stripped) is a struct with a
+// field named `present` — the structural signature of a gapped node.
+func hasPresentField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "present" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGapWrites collects the fresh/latch/mutate events of one function in
+// source order and replays them against the held-set.
+func checkGapWrites(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	exempt := map[*types.Var]bool{} // receiver and parameters
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					exempt[v] = true
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+
+	// bailRelease reports whether the statement stack encloses the release
+	// in a block that exits (return/branch) after it: such a release sits
+	// on a path that never rejoins the fall-through code, so it must not
+	// kill the held state for the statements below the block.
+	bailRelease := func(stack []ast.Node, call *ast.CallExpr) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			var stmts []ast.Stmt
+			switch b := stack[i].(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				continue
+			}
+			after := false
+			for _, s := range stmts {
+				if !after {
+					if s.Pos() <= call.Pos() && call.End() <= s.End() {
+						after = true
+					}
+					continue
+				}
+				switch s.(type) {
+				case *ast.ReturnStmt, *ast.BranchStmt:
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+
+	var events []gapEvent
+	argVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.Info.Uses[id].(*types.Var)
+		if v == nil {
+			v, _ = pass.Info.Defs[id].(*types.Var)
+		}
+		return v
+	}
+
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		// A function literal runs on its own schedule (deferred cleanup
+		// closures, goroutines): its acquires/releases do not belong to this
+		// function's source-order region, and its own mutations are checked
+		// when the literal's body is replayed by the enclosing declaration
+		// with the closure's captures exempt — conservatively skip it here.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		defer func() { stack = append(stack, n) }()
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x := t.newLeaf() — fresh, unpublished.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if f := calleeFunc(pass.Info, call); f != nil && gapWriteFresh[f.Name()] {
+						if v := argVar(n.Lhs[0]); v != nil {
+							events = append(events, gapEvent{pos: int(n.Pos()), obj: v, kind: 0})
+						}
+					}
+				}
+				// x := &node{...} or x := node{...}
+				rhs := ast.Unparen(n.Rhs[0])
+				if u, ok := rhs.(*ast.UnaryExpr); ok {
+					rhs = ast.Unparen(u.X)
+				}
+				if cl, ok := rhs.(*ast.CompositeLit); ok && hasPresentField(pass.Info.Types[cl].Type) {
+					if v := argVar(n.Lhs[0]); v != nil {
+						events = append(events, gapEvent{pos: int(n.Pos()), obj: v, kind: 0})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			f := calleeFunc(pass.Info, n)
+			if f == nil {
+				return true
+			}
+			switch {
+			case gapWriteAcquires[f.Name()] && len(n.Args) > 0:
+				if v := argVar(n.Args[0]); v != nil {
+					events = append(events, gapEvent{pos: int(n.Pos()), obj: v, kind: 0})
+				}
+			case gapWriteReleases[f.Name()] && len(n.Args) > 0:
+				if v := argVar(n.Args[0]); v != nil && !bailRelease(stack, n) {
+					events = append(events, gapEvent{pos: int(n.Pos()), obj: v, kind: 1})
+				}
+			case gapMutators[f.Name()]:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv := argVar(sel.X)
+				if recv == nil || !hasPresentField(recv.Type()) {
+					return true
+				}
+				events = append(events, gapEvent{pos: int(n.Pos()), node: n, obj: recv, kind: 2, name: f.Name()})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := map[*types.Var]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			held[ev.obj] = true
+		case 1:
+			delete(held, ev.obj)
+		case 2:
+			if exempt[ev.obj] || held[ev.obj] {
+				continue
+			}
+			pass.Reportf(ev.node.Pos(),
+				"gap mutator %s on %s without the write latch: latch it, mint it fresh, or receive it latched as a parameter (DESIGN.md §11)",
+				ev.name, ev.obj.Name())
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/quittree/quit/tools/quitlint/analyzers"
+	"github.com/quittree/quit/tools/quitlint/internal/linttest"
+)
+
+func TestGapWriteFires(t *testing.T) {
+	linttest.Run(t, "testdata/src", "gapwrite/bad", analyzers.GapWrite)
+}
+
+func TestGapWriteSilent(t *testing.T) {
+	linttest.ExpectClean(t, "testdata/src", "gapwrite/good", analyzers.GapWrite)
+}

@@ -1,0 +1,55 @@
+package fixture
+
+type node struct {
+	keys    []int
+	present []uint64
+	count   int32
+}
+
+func (n *node) gapInsert(k, v int)     {}
+func (n *node) gapRemove(slot int)     {}
+func (n *node) setBit(i int)           { n.present[i>>6] |= 1 << uint(i&63) }
+func (n *node) compact()               {}
+func (n *node) setSpread(ks, vs []int) {}
+func (n *node) refrontierAt(p int)     {}
+func (n *node) respread()              {}
+
+type Tree struct {
+	root *node
+}
+
+func (t *Tree) newLeaf() *node             { return &node{} }
+func (t *Tree) writeLatch(n *node)         {}
+func (t *Tree) tryWriteLatch(n *node) bool { return true }
+func (t *Tree) writeUnlatch(n *node)       {}
+
+// unlatchedGapWrite mutates the slot layout of a published node with no
+// latch at all: an optimistic reader scanning the bitmap would see the
+// count and the presence words move out from under its version check.
+func (t *Tree) unlatchedGapWrite(k int) {
+	leaf := t.root
+	leaf.gapInsert(k, k) // want "gap mutator gapInsert on leaf without the write latch"
+}
+
+// mutateAfterRelease reopens the leaf after dropping the latch.
+func (t *Tree) mutateAfterRelease(k int) {
+	leaf := t.root
+	t.writeLatch(leaf)
+	leaf.gapInsert(k, k)
+	t.writeUnlatch(leaf)
+	leaf.gapRemove(0) // want "gap mutator gapRemove on leaf without the write latch"
+}
+
+// rawBitFlip touches the presence bitmap directly without a latch.
+func (t *Tree) rawBitFlip(i int) {
+	leaf := t.root
+	leaf.setBit(i) // want "gap mutator setBit on leaf without the write latch"
+}
+
+// unlatchedRegap rebuilds the gap layout of a published node without a
+// latch: the wholesale slot rewrite would tear under an optimistic reader.
+func (t *Tree) unlatchedRegap(p int) {
+	leaf := t.root
+	leaf.refrontierAt(p) // want "gap mutator refrontierAt on leaf without the write latch"
+	leaf.respread()      // want "gap mutator respread on leaf without the write latch"
+}

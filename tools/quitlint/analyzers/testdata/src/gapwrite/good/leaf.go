@@ -1,0 +1,72 @@
+package fixture
+
+// The gapped-node protocol: slot/bitmap mutators only run on latched,
+// fresh, or caller-latched nodes.
+
+type node struct {
+	keys    []int
+	present []uint64
+	count   int32
+}
+
+func (n *node) gapInsert(k, v int)       {}
+func (n *node) gapRemove(slot int)       {}
+func (n *node) setBit(i int)             { n.present[i>>6] |= 1 << uint(i&63) }
+func (n *node) compact()                 {}
+func (n *node) setSpread(ks, vs []int)   {}
+func (n *node) appendDense(ks, vs []int) {}
+func (n *node) refrontierAt(p int)       {}
+func (n *node) respread()                {}
+
+type Tree struct {
+	root *node
+}
+
+func (t *Tree) newLeaf() *node              { return &node{} }
+func (t *Tree) writeLatch(n *node)          {}
+func (t *Tree) tryWriteLatch(n *node) bool  { return true }
+func (t *Tree) writeLatchLive(n *node) bool { return true }
+func (t *Tree) writeUnlatch(n *node)        {}
+
+// latchedMutation latches the leaf before filling a gap.
+func (t *Tree) latchedMutation(k int) {
+	leaf := t.root
+	if !t.tryWriteLatch(leaf) {
+		return
+	}
+	leaf.gapInsert(k, k)
+	t.writeUnlatch(leaf)
+}
+
+// freshMutation builds an unpublished node: no readers, no latch needed.
+func (t *Tree) freshMutation(ks, vs []int) *node {
+	right := t.newLeaf()
+	right.appendDense(ks, vs)
+	right.compact()
+	return right
+}
+
+// paramMutation receives the leaf latched by caller contract.
+func (t *Tree) paramMutation(leaf *node, k int) {
+	leaf.gapInsert(k, k)
+	leaf.gapRemove(0)
+}
+
+// blockingLatch uses the unconditional acquisition.
+func (t *Tree) blockingLatch(k int) {
+	leaf := t.root
+	t.writeLatch(leaf)
+	leaf.setSpread(nil, nil)
+	t.writeUnlatch(leaf)
+}
+
+// latchedRegap rebuilds the gap layout while holding the write latch: the
+// adaptive re-gap paths fire right after a long shift, still inside the
+// insert's latched region.
+func (t *Tree) latchedRegap(p int) {
+	leaf := t.root
+	t.writeLatch(leaf)
+	leaf.refrontierAt(p)
+	leaf.respread()
+	t.writeUnlatch(leaf)
+}
