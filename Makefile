@@ -55,21 +55,25 @@ benchjson:
 
 # The headline benchmark trajectory: the Fig01/Fig08 paper figures, the
 # batched write path, the parallel ingest sweeps, the durable batch fsync
-# amplification, and the leaf probe / mid-leaf-insert microbenchmarks
-# (the gapped-layout PR's additions). Raw bench text lands in
-# BENCH_pr9.txt (the benchstat baseline) and its JSON rendering in
-# BENCH_pr9.json; both are committed so CI can diff against them (and
-# against the previous PR's committed BENCH_pr5.txt). Fixed -benchtime
-# keeps the dataset sizes (b.N is the key count for the ingest
-# benchmarks) comparable across runs; the durable pass is smaller because
-# perkey SyncAlways really fsyncs once per key.
+# amplification, the leaf probe / mid-leaf-insert microbenchmarks, and —
+# this PR's additions — the sharded ingest, coalesced serving write path
+# and hot-key cache benchmarks. Raw bench text lands in BENCH_pr10.txt
+# (the benchstat baseline) and its JSON rendering in BENCH_pr10.json;
+# both are committed so CI can diff against them (and against the
+# previous PRs' committed BENCH_pr5.txt / BENCH_pr9.txt). Fixed
+# -benchtime keeps the dataset sizes (b.N is the key count for the
+# ingest benchmarks) comparable across runs; the durable passes are
+# smaller because perkey/per-request SyncAlways really fsyncs per op.
 bench-json: benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkFig01a|BenchmarkFig08Ingest$$|BenchmarkBatchIngest$$' -benchtime=500000x -timeout 30m . > BENCH_pr9.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkPutBatchParallel$$|BenchmarkBuildFromSortedParallel$$' -benchtime=500000x -timeout 30m . >> BENCH_pr9.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkDurableBatchPut$$' -benchtime=20000x -timeout 30m . >> BENCH_pr9.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSearchKeys$$' -benchtime=5000000x ./internal/core >> BENCH_pr9.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkMidLeafInsert$$' -benchtime=2000000x ./internal/core >> BENCH_pr9.txt
-	$(BENCHJSON) < BENCH_pr9.txt > BENCH_pr9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFig01a|BenchmarkFig08Ingest$$|BenchmarkBatchIngest$$' -benchtime=500000x -timeout 30m . > BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPutBatchParallel$$|BenchmarkBuildFromSortedParallel$$' -benchtime=500000x -timeout 30m . >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDurableBatchPut$$' -benchtime=20000x -timeout 30m . >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedIngest$$' -benchtime=500000x -timeout 30m . >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkCoalescedPut$$' -benchtime=50000x -timeout 30m . >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkHotKeyCacheGet$$' -benchtime=2000000x -timeout 30m . >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchKeys$$' -benchtime=5000000x ./internal/core >> BENCH_pr10.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMidLeafInsert$$' -benchtime=2000000x ./internal/core >> BENCH_pr10.txt
+	$(BENCHJSON) < BENCH_pr10.txt > BENCH_pr10.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/shard"
+)
+
+// server wires the three serving layers over one sharded store:
+//
+//	writes  → coalescer → per-shard PutBatch group commit → invalidate → ack
+//	reads   → hot-key cache → (miss) tree Get
+//
+// The ordering in the write path is the server's one correctness
+// obligation: a response is sent only after the write's group commit is
+// durable AND its cache entry is invalidated, so a client that saw its
+// 2xx can never read a pre-write value (see internal/shard.Cache).
+type server struct {
+	tree  *shard.Tree[int64, string]
+	co    *shard.Coalescer[int64, string]
+	cache *shard.Cache[int64, string]
+}
+
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", s.handleGet)
+	mux.HandleFunc("/put", s.handlePut)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/range", s.handleRange)
+	mux.HandleFunc("/len", s.handleLen)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func keyParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	k, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing key parameter", http.StatusBadRequest)
+		return 0, false
+	}
+	return k, true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, quit.ErrReadOnly) {
+		// Degraded shard: the canonical "try again later / free space"
+		// signal. Other shards keep serving.
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// GET /get?key=N — read through the hot-key cache.
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	v, ok := s.cache.GetOrLoad(k, s.tree.Get)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	io.WriteString(w, v)
+}
+
+// POST /put?key=N — the value is the `value` query parameter when
+// present, otherwise the request body. Enqueued into the coalescer; the
+// 204 is sent only after the write's group commit.
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodPut {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	var val string
+	if q := r.URL.Query(); q.Has("value") {
+		val = q.Get("value")
+	} else {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "reading body", http.StatusBadRequest)
+			return
+		}
+		val = string(body)
+	}
+	if err := s.co.Put(k, val); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type batchEntry struct {
+	Key   int64  `json:"key"`
+	Value string `json:"value"`
+}
+
+// POST /batch with a JSON array of {key, value} — already a batch, so it
+// routes straight to the sharded PutBatch (one classify pass, parallel
+// per-shard group commits), then invalidates before responding.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var entries []batchEntry
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&entries); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	keys := make([]int64, len(entries))
+	vals := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+		vals[i] = e.Value
+	}
+	res, err := s.tree.PutBatch(keys, vals)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.cache.InvalidateBatch(keys)
+	updated := 0
+	for _, pr := range res {
+		if pr.Existed {
+			updated++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{
+		"applied": len(res),
+		"updated": updated,
+	})
+}
+
+// DELETE /delete?key=N — durable delete, then invalidate, then respond.
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete && r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	_, existed, err := s.tree.Delete(k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.cache.Invalidate(k)
+	if !existed {
+		http.NotFound(w, r)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// GET /range?start=N&end=M[&limit=L] — merged cross-shard scan.
+func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	start, err1 := strconv.ParseInt(q.Get("start"), 10, 64)
+	end, err2 := strconv.ParseInt(q.Get("end"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad or missing start/end parameters", http.StatusBadRequest)
+		return
+	}
+	limit := 1000
+	if l := q.Get("limit"); l != "" {
+		limit, err1 = strconv.Atoi(l)
+		if err1 != nil || limit < 1 {
+			http.Error(w, "bad limit parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	out := make([]batchEntry, 0, 16)
+	s.tree.Range(start, end, func(k int64, v string) bool {
+		out = append(out, batchEntry{Key: k, Value: v})
+		return len(out) < limit
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// GET /len
+func (s *server) handleLen(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"len": s.tree.Len()})
+}
+
+// statsResponse is the /stats payload: the full observability surface of
+// the serving stack, one scrape.
+type statsResponse struct {
+	Shards     int                     `json:"shards"`
+	Tree       quit.Stats              `json:"tree"`
+	Durability quit.DurabilityStats    `json:"durability"`
+	Router     shard.Counters          `json:"router"`
+	Coalescer  shard.CoalescerCounters `json:"coalescer"`
+	Cache      shard.CacheCounters     `json:"cache"`
+	CacheLen   int                     `json:"cache_len"`
+}
+
+// GET /stats
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := statsResponse{
+		Shards:     s.tree.Shards(),
+		Tree:       s.tree.Stats(),
+		Durability: s.tree.DurabilityStats(),
+		Router:     s.tree.Counters(),
+		Coalescer:  s.co.Counters(),
+		Cache:      s.cache.Counters(),
+		CacheLen:   s.cache.Len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

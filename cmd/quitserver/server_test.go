@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+	"github.com/quittree/quit/internal/shard"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	fs := faultio.NewMemFS()
+	sample := make([]int64, 256)
+	for i := range sample {
+		sample[i] = int64(i) * 4000 / 256
+	}
+	tree, err := shard.Open[int64, string]("/srv", quit.ShardedOptions{
+		DurableOptions: quit.DurableOptions{
+			Options: quit.Options{LeafCapacity: 16, InternalFanout: 8},
+			Sync:    quit.SyncAlways,
+			FS:      fs,
+		},
+		Shards: 4,
+	}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := shard.NewCache[int64, string](256, 4)
+	co := shard.NewCoalescer(tree, 64, time.Millisecond, cache.InvalidateBatch)
+	s := &server{tree: tree, co: co, cache: cache}
+	ts := httptest.NewServer(newMux(s))
+	t.Cleanup(func() {
+		ts.Close()
+		co.Close()
+		tree.Close()
+	})
+	return ts, s
+}
+
+func mustStatus(t *testing.T, resp *http.Response, want int) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, want, body)
+	}
+	return body
+}
+
+func TestServerPutGetDelete(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/put?key=42", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusNoContent)
+
+	resp, err = http.Get(ts.URL + "/get?key=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(mustStatus(t, resp, http.StatusOK)); got != "hello" {
+		t.Fatalf("GET = %q, want %q", got, "hello")
+	}
+
+	// A second GET hits the cache; an overwrite must invalidate it.
+	resp, _ = http.Get(ts.URL + "/get?key=42")
+	mustStatus(t, resp, http.StatusOK)
+	resp, _ = http.Post(ts.URL+"/put?key=42", "text/plain", strings.NewReader("world"))
+	mustStatus(t, resp, http.StatusNoContent)
+	resp, _ = http.Get(ts.URL + "/get?key=42")
+	if got := string(mustStatus(t, resp, http.StatusOK)); got != "world" {
+		t.Fatalf("GET after overwrite = %q, want %q (stale cache)", got, "world")
+	}
+
+	// The query-param form (curl-friendly) must win over an empty body.
+	resp, _ = http.Post(ts.URL+"/put?key=42&value=param", "text/plain", nil)
+	mustStatus(t, resp, http.StatusNoContent)
+	resp, _ = http.Get(ts.URL + "/get?key=42")
+	if got := string(mustStatus(t, resp, http.StatusOK)); got != "param" {
+		t.Fatalf("GET after query-param put = %q, want %q", got, "param")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/delete?key=42", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusNoContent)
+	resp, _ = http.Get(ts.URL + "/get?key=42")
+	mustStatus(t, resp, http.StatusNotFound)
+
+	resp, _ = http.Get(ts.URL + "/get?key=notanumber")
+	mustStatus(t, resp, http.StatusBadRequest)
+}
+
+func TestServerBatchAndRange(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var entries []batchEntry
+	for k := int64(0); k < 200; k++ {
+		entries = append(entries, batchEntry{Key: k * 10, Value: fmt.Sprintf("v%d", k*10)})
+	}
+	buf, _ := json.Marshal(entries)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied map[string]int
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &applied); err != nil {
+		t.Fatal(err)
+	}
+	if applied["applied"] != 200 || applied["updated"] != 0 {
+		t.Fatalf("batch response = %v", applied)
+	}
+
+	resp, _ = http.Get(ts.URL + "/len")
+	var ln map[string]int
+	json.Unmarshal(mustStatus(t, resp, http.StatusOK), &ln)
+	if ln["len"] != 200 {
+		t.Fatalf("len = %d, want 200", ln["len"])
+	}
+
+	// A range straddling shard boundaries comes back merged and ordered.
+	resp, _ = http.Get(ts.URL + "/range?start=500&end=1500")
+	var got []batchEntry
+	json.Unmarshal(mustStatus(t, resp, http.StatusOK), &got)
+	if len(got) != 100 {
+		t.Fatalf("range returned %d entries, want 100", len(got))
+	}
+	for i, e := range got {
+		if want := int64(500 + i*10); e.Key != want {
+			t.Fatalf("range[%d].Key = %d, want %d (merge order broken)", i, e.Key, want)
+		}
+	}
+	resp, _ = http.Get(ts.URL + "/range?start=0&end=5000&limit=7")
+	got = nil
+	json.Unmarshal(mustStatus(t, resp, http.StatusOK), &got)
+	if len(got) != 7 {
+		t.Fatalf("limited range returned %d entries, want 7", len(got))
+	}
+}
+
+func TestServerConcurrentWritersAndStats(t *testing.T) {
+	ts, s := newTestServer(t)
+
+	const clients, per = 16, 8
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := int64(g*1000 + i)
+				resp, err := http.Post(fmt.Sprintf("%s/put?key=%d", ts.URL, k),
+					"text/plain", strings.NewReader("x"))
+				if err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Errorf("client %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Warm the cache, then overwrite the cached key — the write path must
+	// invalidate it between commit and ack.
+	for i := 0; i < 3; i++ {
+		resp, _ := http.Get(ts.URL + "/get?key=1")
+		resp.Body.Close()
+	}
+	resp, err := http.Post(ts.URL+"/put?key=1", "text/plain", strings.NewReader("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("stats.Shards = %d, want 4", st.Shards)
+	}
+	if st.Tree.Size != clients*per {
+		t.Fatalf("stats.Tree.Size = %d, want %d", st.Tree.Size, clients*per)
+	}
+	if st.Coalescer.CoalescedOps != clients*per+1 {
+		t.Fatalf("stats.Coalescer.CoalescedOps = %d, want %d", st.Coalescer.CoalescedOps, clients*per+1)
+	}
+	if st.Coalescer.CoalescedBatches == 0 || st.Coalescer.CoalescedBatches > st.Coalescer.CoalescedOps {
+		t.Fatalf("stats.Coalescer.CoalescedBatches = %d nonsensical", st.Coalescer.CoalescedBatches)
+	}
+	if st.Durability.Fsyncs == 0 {
+		t.Fatal("stats.Durability.Fsyncs = 0 under SyncAlways")
+	}
+	if st.Cache.CacheHits == 0 || st.Cache.CacheMisses == 0 {
+		t.Fatalf("stats.Cache = %+v, want both hits and misses", st.Cache)
+	}
+	if st.Cache.CacheInvalidations == 0 {
+		t.Fatalf("stats.Cache.CacheInvalidations = 0 after writes to cached keys; cache=%+v", st.Cache)
+	}
+	_ = s
+}

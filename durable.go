@@ -39,6 +39,9 @@ var (
 // being verified, since salvage must work when the preamble itself is the
 // damaged part.
 func Salvage[K Integer, V any](r io.Reader, opts Options) (*Tree[K, V], error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	var cfg core.Config
 	if opts != (Options{}) {
 		cfg = opts.config()
@@ -113,6 +116,12 @@ type FS interface {
 	// SyncDir fsyncs a directory, making renames and creations durable.
 	SyncDir(dir string) error
 }
+
+// DefaultFS returns the production operating-system FS — the
+// implementation a nil DurableOptions.FS selects. Exposed so composing
+// layers (internal/shard's manifest, tools) can perform their own
+// durable file operations through the same abstraction they pass down.
+func DefaultFS() FS { return osFS{} }
 
 // osFS is the production FS.
 type osFS struct{}
@@ -296,6 +305,7 @@ type DurableTree[K Integer, V any] struct {
 	cumRotFailed   atomic.Uint64
 	cumRetries     atomic.Uint64
 	cumRetriesOK   atomic.Uint64
+	cumFsyncs      atomic.Uint64
 	checkpoints    atomic.Uint64
 	autoCheckpts   atomic.Uint64
 	walReclaimed   atomic.Uint64
@@ -341,6 +351,9 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // and corrupt newest snapshots recover to the best consistent prefix
 // instead of failing.
 func Open[K Integer, V any](dir string, opts DurableOptions) (*DurableTree[K, V], error) {
+	if err := opts.Options.Validate(); err != nil {
+		return nil, err
+	}
 	fs := opts.FS
 	if fs == nil {
 		fs = osFS{}
@@ -845,6 +858,7 @@ func (d *DurableTree[K, V]) checkpointLocked() error {
 	d.cumRotFailed.Add(oc.RotationFailures)
 	d.cumRetries.Add(oc.RetriesAttempted)
 	d.cumRetriesOK.Add(oc.RetriesSucceeded)
+	d.cumFsyncs.Add(oc.Fsyncs)
 	d.walReclaimed.Add(uint64(d.baseWALBytes.Load()) + oc.Bytes)
 	d.baseWALBytes.Store(0)
 	d.baseWALRecords.Store(0)
@@ -943,6 +957,7 @@ type DurabilityStats struct {
 	RotationFailures  uint64 // abandoned rotations (the log stayed in its segment)
 	RetriesAttempted  uint64 // write/fsync attempts beyond the first
 	RetriesSucceeded  uint64 // operations rescued by a retry
+	Fsyncs            uint64 // successful fsync barriers issued by the WAL
 	Checkpoints       uint64 // checkpoints installed (manual + automatic + Recover)
 	AutoCheckpoints   uint64 // checkpoints fired by CheckpointPolicy
 	WALBytesReclaimed uint64 // log bytes deleted by checkpoint truncation
@@ -964,6 +979,7 @@ func (d *DurableTree[K, V]) DurabilityStats() DurabilityStats {
 		RotationFailures:  d.cumRotFailed.Load() + c.RotationFailures,
 		RetriesAttempted:  d.cumRetries.Load() + c.RetriesAttempted,
 		RetriesSucceeded:  d.cumRetriesOK.Load() + c.RetriesSucceeded,
+		Fsyncs:            d.cumFsyncs.Load() + c.Fsyncs,
 		Checkpoints:       d.checkpoints.Load(),
 		AutoCheckpoints:   d.autoCheckpts.Load(),
 		WALBytesReclaimed: d.walReclaimed.Load(),

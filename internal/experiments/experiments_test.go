@@ -363,6 +363,7 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 		"fig01a", "fig03", "fig05a", "fig05b", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab01", "tab02", "tab03",
 		"abl01", "abl02", "abl03", "mix01", "dur01", "dur02", "bat01", "par01", "gap01",
+		"shard01",
 	}
 	for _, id := range want {
 		if _, ok := harness.Lookup(id); !ok {
@@ -541,5 +542,50 @@ func TestMix01Shape(t *testing.T) {
 	if r.OpsPerSec["QuIT"][0] < r.OpsPerSec["B+-tree"][0]*1.2 {
 		t.Errorf("write-only: QuIT %.0f not clearly above B+-tree %.0f",
 			r.OpsPerSec["QuIT"][0], r.OpsPerSec["B+-tree"][0])
+	}
+}
+
+func TestShard01Shape(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing experiment (skipped under -short and -race)")
+	}
+	r := RunShard01(quickParams())
+	// Write path: the coalescer must amortize fsyncs hard (the 0.05
+	// ceiling is the PR acceptance line; the structural floor at 64
+	// blocking clients on one shard is 1/64) and clearly beat the
+	// per-request baseline.
+	if r.FsyncsPerOp[1] > 0.05 {
+		t.Errorf("coalesced fsyncs/op = %.4f, want <= 0.05", r.FsyncsPerOp[1])
+	}
+	if r.FsyncsPerOp[0] < 0.5 {
+		t.Errorf("per-request baseline fsyncs/op = %.4f, expected ~1 under SyncAlways", r.FsyncsPerOp[0])
+	}
+	if r.WriteSpeedup < 2 {
+		t.Errorf("coalesced write speedup = %.2fx, want clearly > 1 (quick-scale floor 2x)", r.WriteSpeedup)
+	}
+	if r.P99[1] <= 0 || r.P50[1] <= 0 {
+		t.Error("latency percentiles not recorded")
+	}
+	// Sharded ingest: the multi-tenant stream (second pair) must win —
+	// that is the algorithmic sortedness-restoration claim; the BoDS
+	// near-sorted pair is reported but makes no single-core promise.
+	if len(r.ShardSpeedup) != 2 {
+		t.Fatalf("ShardSpeedup = %v, want 2 stream pairs", r.ShardSpeedup)
+	}
+	if r.ShardSpeedup[1] < 1.2 {
+		t.Errorf("multi-tenant sharded speedup = %.2fx, want >= 1.2 even at quick scale", r.ShardSpeedup[1])
+	}
+	// Read path: the hot-key cache must actually hit.
+	if r.HitRate < 0.80 {
+		t.Errorf("cache hit rate = %.2f on a 95/5 workload, want >= 0.80", r.HitRate)
+	}
+	if r.CachedOps <= 0 || r.DirectOps <= 0 {
+		t.Error("read path throughput not recorded")
+	}
+}
+
+func TestShard01Registered(t *testing.T) {
+	if _, ok := harness.Lookup("shard01"); !ok {
+		t.Error("shard01 not registered")
 	}
 }

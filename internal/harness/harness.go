@@ -199,3 +199,60 @@ func Pct(frac float64) string {
 func Speedup(v float64) string {
 	return fmt.Sprintf("%.2fx", v)
 }
+
+// Latencies accumulates per-operation latency samples for percentile
+// reporting (satellite of DESIGN.md §12: serving-path benchmarks report
+// p50/p95/p99, not just means — group commit trades a bounded latency
+// floor for fsync amortization, and only the tail shows it).
+type Latencies struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds one sample. Not safe for concurrent use; give each worker
+// its own Latencies and Merge them.
+func (l *Latencies) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Merge folds other's samples into l.
+func (l *Latencies) Merge(other *Latencies) {
+	l.samples = append(l.samples, other.samples...)
+	l.sorted = false
+}
+
+// N returns the sample count.
+func (l *Latencies) N() int { return len(l.samples) }
+
+// Percentile returns the nearest-rank p-th percentile (p in [0,100]).
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	rank := int(p/100*float64(len(l.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// P50, P95 and P99 are the percentiles the serving tables report.
+func (l *Latencies) P50() time.Duration { return l.Percentile(50) }
+func (l *Latencies) P95() time.Duration { return l.Percentile(95) }
+func (l *Latencies) P99() time.Duration { return l.Percentile(99) }
+
+// FmtDur formats a duration as a microsecond table cell.
+func FmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatenciesPercentiles(t *testing.T) {
+	var l Latencies
+	if l.Percentile(99) != 0 {
+		t.Fatal("empty Latencies percentile != 0")
+	}
+	// 1..100us in shuffled-enough order: nearest-rank percentiles are
+	// exactly the value matching the rank.
+	for i := 100; i >= 1; i-- {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := l.P50(); got != 50*time.Microsecond {
+		t.Errorf("P50 = %v, want 50us", got)
+	}
+	if got := l.P95(); got != 95*time.Microsecond {
+		t.Errorf("P95 = %v, want 95us", got)
+	}
+	if got := l.P99(); got != 99*time.Microsecond {
+		t.Errorf("P99 = %v, want 99us", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Microsecond {
+		t.Errorf("P100 = %v, want max", got)
+	}
+	if got := l.Percentile(0); got != time.Microsecond {
+		t.Errorf("P0 = %v, want min", got)
+	}
+
+	var a, b Latencies
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.N() != 2 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if got := a.Percentile(100); got != 3*time.Millisecond {
+		t.Errorf("merged max = %v", got)
+	}
+	// Recording after a percentile query must re-sort.
+	a.Record(10 * time.Millisecond)
+	if got := a.Percentile(100); got != 10*time.Millisecond {
+		t.Errorf("post-query Record not reflected: max = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/quittree/quit"
+)
+
+// Cache is a sharded ("way"-split) hot-key LRU read cache with write
+// invalidation. Correctness depends on one ordering rule, enforced
+// structurally here and by the coalescer's AfterCommit hook:
+//
+//   - GetOrLoad holds the key's way lock across the tree read AND the
+//     cache fill, so a fill and an invalidation of the same key are
+//     serialized — an invalidation either precedes the fill's tree read
+//     (the fill then loads the new value) or follows the fill (and
+//     removes it).
+//   - Writers invalidate after their group commit applies and before
+//     they are acknowledged, so once a write is acked, no later read of
+//     that key can be served a pre-write cached value.
+//
+// Together: no stale read after an acknowledged write, without any
+// global lock on the read path.
+type Cache[K quit.Integer, V any] struct {
+	ways  []cacheWay[K, V]
+	shift uint // way = hash(key) >> shift
+	cap   int  // per-way entry budget
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type cacheWay[K quit.Integer, V any] struct {
+	mu  sync.Mutex
+	m   map[K]*list.Element
+	lru list.List // front = most recently used
+}
+
+type cacheEntry[K quit.Integer, V any] struct {
+	key K
+	val V
+}
+
+// NewCache builds a cache holding about capacity entries split across
+// ways independently locked segments (rounded up to a power of two;
+// <=0 selects 16 ways and a 4096-entry capacity).
+func NewCache[K quit.Integer, V any](capacity, ways int) *Cache[K, V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if ways <= 0 {
+		ways = 16
+	}
+	w := 1
+	for w < ways {
+		w <<= 1
+	}
+	perWay := (capacity + w - 1) / w
+	if perWay < 1 {
+		perWay = 1
+	}
+	c := &Cache[K, V]{
+		ways: make([]cacheWay[K, V], w),
+		cap:  perWay,
+	}
+	bits := uint(0)
+	for 1<<bits < w {
+		bits++
+	}
+	c.shift = 64 - bits
+	for i := range c.ways {
+		c.ways[i].m = make(map[K]*list.Element)
+		c.ways[i].lru.Init()
+	}
+	return c
+}
+
+func (c *Cache[K, V]) way(key K) *cacheWay[K, V] {
+	if len(c.ways) == 1 {
+		return &c.ways[0]
+	}
+	// Fibonacci multiplicative hash: low-entropy integer keys (dense,
+	// strided) still spread across ways via the top bits.
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return &c.ways[h>>c.shift]
+}
+
+// GetOrLoad returns the cached value for key, or loads it through load
+// (a tree read) and caches the result. The way lock is held across the
+// load on purpose — see the type comment for why this is load-bearing.
+// A load that reports the key absent caches nothing.
+func (c *Cache[K, V]) GetOrLoad(key K, load func(K) (V, bool)) (V, bool) {
+	w := c.way(key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.m[key]; ok {
+		w.lru.MoveToFront(e)
+		c.hits.Add(1)
+		return e.Value.(*cacheEntry[K, V]).val, true
+	}
+	c.misses.Add(1)
+	v, ok := load(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	w.m[key] = w.lru.PushFront(&cacheEntry[K, V]{key: key, val: v})
+	if w.lru.Len() > c.cap {
+		old := w.lru.Back()
+		w.lru.Remove(old)
+		delete(w.m, old.Value.(*cacheEntry[K, V]).key)
+	}
+	return v, true
+}
+
+// Invalidate drops key from the cache if present.
+func (c *Cache[K, V]) Invalidate(key K) {
+	w := c.way(key)
+	w.mu.Lock()
+	if e, ok := w.m[key]; ok {
+		w.lru.Remove(e)
+		delete(w.m, key)
+		c.invalidations.Add(1)
+	}
+	w.mu.Unlock()
+}
+
+// InvalidateBatch drops every key in keys — the coalescer's AfterCommit
+// hook calls this with a committed group's keys.
+func (c *Cache[K, V]) InvalidateBatch(keys []K) {
+	for _, k := range keys {
+		c.Invalidate(k)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	total := 0
+	for i := range c.ways {
+		c.ways[i].mu.Lock()
+		total += c.ways[i].lru.Len()
+		c.ways[i].mu.Unlock()
+	}
+	return total
+}
+
+// CacheCounters snapshots the cache's accounting.
+type CacheCounters struct {
+	CacheHits          uint64 // reads served from cache
+	CacheMisses        uint64 // reads that went to the tree
+	CacheInvalidations uint64 // entries actually removed by writes
+}
+
+// Counters snapshots the cache's accounting.
+func (c *Cache[K, V]) Counters() CacheCounters {
+	return CacheCounters{
+		CacheHits:          c.hits.Load(),
+		CacheMisses:        c.misses.Load(),
+		CacheInvalidations: c.invalidations.Load(),
+	}
+}

@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/quittree/quit/internal/faultio"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache[int64, string](4, 1) // one way, 4 entries
+	loads := 0
+	load := func(k int64) (string, bool) {
+		loads++
+		return fmt.Sprintf("v%d", k), true
+	}
+	for k := int64(0); k < 4; k++ {
+		if v, ok := c.GetOrLoad(k, load); !ok || v != fmt.Sprintf("v%d", k) {
+			t.Fatalf("GetOrLoad(%d) = %q,%v", k, v, ok)
+		}
+	}
+	if loads != 4 || c.Len() != 4 {
+		t.Fatalf("loads=%d Len=%d after cold fill, want 4,4", loads, c.Len())
+	}
+	// All four hit now.
+	for k := int64(0); k < 4; k++ {
+		c.GetOrLoad(k, load)
+	}
+	if loads != 4 {
+		t.Fatalf("loads = %d after warm reads, want 4 (all hits)", loads)
+	}
+	// Key 0 was just touched; inserting key 4 evicts the LRU (key 1).
+	c.GetOrLoad(0, load)
+	c.GetOrLoad(4, load)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after eviction, want 4", c.Len())
+	}
+	c.GetOrLoad(1, load)
+	if loads != 6 {
+		t.Fatalf("loads = %d, want 6 (key 4 fill + evicted key 1 reload)", loads)
+	}
+	cc := c.Counters()
+	if cc.CacheHits != 5 || cc.CacheMisses != 6 {
+		t.Fatalf("counters = %+v, want 5 hits / 6 misses", cc)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache[int64, int](16, 2)
+	val := 1
+	load := func(int64) (int, bool) { return val, true }
+	if v, _ := c.GetOrLoad(7, load); v != 1 {
+		t.Fatalf("first load = %d", v)
+	}
+	val = 2
+	if v, _ := c.GetOrLoad(7, load); v != 1 {
+		t.Fatalf("cached read = %d, want the cached 1", v)
+	}
+	c.Invalidate(7)
+	if v, _ := c.GetOrLoad(7, load); v != 2 {
+		t.Fatalf("post-invalidate read = %d, want reloaded 2", v)
+	}
+	c.Invalidate(7)
+	c.Invalidate(999) // absent: not counted
+	if inv := c.Counters().CacheInvalidations; inv != 2 {
+		t.Fatalf("CacheInvalidations = %d, want 2 actual removals", inv)
+	}
+	// A load that reports the key absent caches nothing.
+	miss := func(int64) (int, bool) { return 0, false }
+	if _, ok := c.GetOrLoad(50, miss); ok {
+		t.Fatal("absent load reported ok")
+	}
+	if _, ok := c.GetOrLoad(50, miss); ok || c.Len() > 1 {
+		t.Fatal("negative result was cached")
+	}
+}
+
+// TestCacheNoStaleReadAfterWrite is the read-your-writes race test (run
+// under -race in CI): writers push monotonically increasing values per
+// key through the coalescer — whose AfterCommit hook invalidates the
+// cache before any ack — while readers hammer GetOrLoad on the same keys
+// to force fill/invalidate interleavings. The moment a writer's Put
+// returns, a read through the cache must see a value at least that new.
+func TestCacheNoStaleReadAfterWrite(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, int64](storeDir, memOpts(fs, 4), evenSample(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache[int64, int64](1024, 4)
+	co := NewCoalescer(st, 64, 500*time.Microsecond, cache.InvalidateBatch)
+
+	const keys = 8
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	readThrough := func(k int64) (int64, bool) {
+		return cache.GetOrLoad(k, func(k int64) (int64, bool) { return st.Get(k) })
+	}
+
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	// Background readers: their only job is to race fills against
+	// invalidations.
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; !stop.Load(); i++ {
+				readThrough(int64((g + i) % keys))
+			}
+		}(g)
+	}
+	// One writer per key: values are that key's private monotone clock,
+	// so "stale" is directly observable.
+	var writers sync.WaitGroup
+	errCh := make(chan error, keys)
+	for k := 0; k < keys; k++ {
+		writers.Add(1)
+		go func(k int64) {
+			defer writers.Done()
+			for v := int64(1); v <= int64(rounds); v++ {
+				if err := co.Put(k, v); err != nil {
+					errCh <- err
+					return
+				}
+				got, ok := readThrough(k)
+				if !ok || got < v {
+					errCh <- fmt.Errorf("stale read after acked write: key %d read %d,%v after writing %d", k, got, ok, v)
+					return
+				}
+			}
+		}(int64(k))
+	}
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	co.Close()
+	// Final state: every key's tree value is its last written clock, and
+	// a cache read agrees.
+	for k := int64(0); k < keys; k++ {
+		if v, ok := st.Get(k); !ok || v != int64(rounds) {
+			t.Fatalf("tree key %d = %d,%v, want %d", k, v, ok, rounds)
+		}
+		if v, ok := readThrough(k); !ok || v != int64(rounds) {
+			t.Fatalf("cache key %d = %d,%v, want %d", k, v, ok, rounds)
+		}
+	}
+	if c := cache.Counters(); c.CacheInvalidations == 0 {
+		t.Fatal("no invalidations recorded: the race was never exercised")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

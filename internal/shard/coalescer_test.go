@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+)
+
+// TestCoalescerStress drives 64 concurrent clients through the batch
+// former (run under -race in CI): every Put must be durable when it
+// returns, no write may be lost or duplicated, and the group former must
+// actually amortize — far fewer batches than ops.
+func TestCoalescerStress(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 4), evenSample(256, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoalescer(st, 128, time.Millisecond, nil)
+
+	const clients = 64
+	opsPer := 50
+	if testing.Short() {
+		opsPer = 10
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// Unique key per (client, op): lost or duplicated writes
+				// become countable.
+				k := int64(g)<<32 | int64(i)
+				v := fmt.Sprintf("c%d-%d", g, i)
+				if err := co.Put(k, v); err != nil {
+					errCh <- fmt.Errorf("client %d put %d: %w", g, i, err)
+					return
+				}
+				// Ack contract: the write is readable the moment Put
+				// returns (it was applied before its group's ack).
+				if got, ok := st.Get(k); !ok || got != v {
+					errCh <- fmt.Errorf("client %d: acked write %d unreadable: %q,%v", g, i, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	co.Close()
+
+	total := clients * opsPer
+	if st.Len() != total {
+		t.Fatalf("Len() = %d, want %d (lost or duplicated writes)", st.Len(), total)
+	}
+	c := co.Counters()
+	if c.CoalescedOps != uint64(total) {
+		t.Fatalf("CoalescedOps = %d, want %d", c.CoalescedOps, total)
+	}
+	if c.CoalescedBatches == 0 || c.CoalescedBatches >= c.CoalescedOps {
+		t.Fatalf("CoalescedBatches = %d for %d ops: no amortization", c.CoalescedBatches, c.CoalescedOps)
+	}
+	// Durability of the acks: a crash image taken now must hold them all.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true})
+	st2, err := Open[int64, string](storeDir, memOpts(faultio.FromImage(image), 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != total {
+		t.Fatalf("crash image Len() = %d, want %d acked writes", st2.Len(), total)
+	}
+	st2.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescerErrorPropagation(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 2), evenSample(16, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	co := NewCoalescer(st, 64, time.Millisecond, nil)
+	defer co.Close()
+
+	if err := co.Put(1, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1's disk fills: its writers must be acked with the commit's
+	// real error, while shard 0 writers keep succeeding.
+	fs.FailSyncTimes("shard-001/wal-", faultio.ErrNoSpace, -1)
+	bounds := st.Router().Bounds()
+	if err := co.Put(bounds[0]+1, "doomed"); !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("Put to failed shard = %v, want ErrReadOnly", err)
+	}
+	if err := co.Put(2, "still-ok"); err != nil {
+		t.Fatalf("Put to healthy shard = %v", err)
+	}
+}
+
+func TestCoalescerClosePutRejected(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	co := NewCoalescer(st, 8, time.Millisecond, nil)
+	if err := co.Put(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	co.Close()
+	if err := co.Put(2, "b"); !errors.Is(err, ErrCoalescerClosed) {
+		t.Fatalf("Put after Close = %v, want ErrCoalescerClosed", err)
+	}
+	if _, ok := st.Get(1); !ok {
+		t.Fatal("pre-Close write lost")
+	}
+	co.Close() // idempotent
+}

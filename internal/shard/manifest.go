@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+
+	"github.com/quittree/quit"
+)
+
+// The manifest pins a store's shard layout: boundaries are chosen once —
+// from the sampled key distribution at first Open — and every later Open
+// must route identically, or keys written before the reopen would become
+// unreachable. It is a short line-oriented text file installed with the
+// same tmp-write/fsync/rename/dir-fsync dance as a snapshot.
+const (
+	manifestName    = "MANIFEST"
+	manifestTmp     = "manifest.tmp"
+	manifestHeader  = "quit-shard-manifest v1"
+	manifestMaxSize = 1 << 20 // a corrupt header must not make us slurp a WAL
+)
+
+// writeManifest durably installs the shard layout in dir.
+func writeManifest[K quit.Integer](fsys quit.FS, dir string, bounds []K) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s\n", manifestHeader)
+	fmt.Fprintf(&buf, "shards %d\n", len(bounds)+1)
+	for _, b := range bounds {
+		fmt.Fprintf(&buf, "bound %s\n", formatKey(b))
+	}
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("shard: creating manifest: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("shard: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("shard: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("shard: closing manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("shard: installing manifest: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("shard: syncing store dir: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates the persisted shard layout.
+func readManifest[K quit.Integer](fsys quit.FS, dir string) ([]K, error) {
+	rc, err := fsys.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: opening manifest: %w", err)
+	}
+	defer rc.Close()
+	sc := bufio.NewScanner(io.LimitReader(rc, manifestMaxSize))
+	if !sc.Scan() || sc.Text() != manifestHeader {
+		return nil, fmt.Errorf("shard: manifest header %q is not %q", sc.Text(), manifestHeader)
+	}
+	var n int
+	if !sc.Scan() {
+		return nil, fmt.Errorf("shard: manifest truncated before shard count")
+	}
+	if _, err := fmt.Sscanf(sc.Text(), "shards %d", &n); err != nil {
+		return nil, fmt.Errorf("shard: bad shard count line %q: %w", sc.Text(), err)
+	}
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: manifest shard count %d outside [1, %d]", n, MaxShards)
+	}
+	bounds := make([]K, 0, n-1)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var s string
+		if _, err := fmt.Sscanf(line, "bound %s", &s); err != nil {
+			return nil, fmt.Errorf("shard: bad manifest line %q: %w", line, err)
+		}
+		b, err := parseKey[K](s)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad boundary %q: %w", s, err)
+		}
+		if len(bounds) > 0 && b <= bounds[len(bounds)-1] {
+			return nil, fmt.Errorf("shard: manifest boundaries not strictly increasing at %q", s)
+		}
+		bounds = append(bounds, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	if len(bounds) != n-1 {
+		return nil, fmt.Errorf("shard: manifest has %d boundaries for %d shards", len(bounds), n)
+	}
+	return bounds, nil
+}
+
+// formatKey / parseKey round-trip any Integer kind through decimal text,
+// picking signed or unsigned 64-bit formatting by the type's own
+// arithmetic (the all-ones pattern is negative exactly for signed kinds).
+func formatKey[K quit.Integer](k K) string {
+	var zero K
+	if ^zero > zero { // unsigned
+		return strconv.FormatUint(uint64(k), 10)
+	}
+	return strconv.FormatInt(int64(k), 10)
+}
+
+func parseKey[K quit.Integer](s string) (K, error) {
+	var zero K
+	if ^zero > zero { // unsigned
+		u, err := strconv.ParseUint(s, 10, 64)
+		return K(u), err
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	return K(i), err
+}

@@ -1,0 +1,173 @@
+// Package shard composes key-range-sharded DurableTrees into one store:
+// a Router splits keys (and whole batches) across N independent shards,
+// each a crash-safe quit.DurableTree with its own segmented write-ahead
+// log, group commit and checkpoint policy. Batches split per shard are
+// *more* locally sorted than the global stream — the sub-batch a shard
+// receives preserves arrival order within a narrower key range — so the
+// QuIT fast-path rate rises per shard, and the per-shard descents run on
+// trees 1/N the size. On top of the sharded tree, Coalescer turns many
+// concurrent single-key writers into per-shard PutBatch groups (the
+// server-side batch former cmd/quitserver serves), and Cache is the
+// hot-key read cache with write invalidation. See DESIGN.md §12.
+package shard
+
+import (
+	"sort"
+
+	"github.com/quittree/quit"
+)
+
+// MaxShards bounds the shard count; the router's classify pass stores
+// shard indices in a byte.
+const MaxShards = 256
+
+// Router partitions a key space into contiguous shard ranges. Shard i
+// owns keys k with bounds[i-1] <= k < bounds[i] (the first shard is
+// unbounded below, the last unbounded above). The zero Router routes
+// everything to shard 0.
+type Router[K quit.Integer] struct {
+	bounds []K // len = shards-1, strictly increasing
+}
+
+// NewRouter builds an n-shard router with boundaries cut from a sampled
+// key distribution: the sample is sorted and the n-1 quantile points
+// become shard boundaries, so each shard receives roughly equal traffic
+// under the sampled distribution. An empty (or insufficiently distinct)
+// sample falls back to an even split of K's whole domain — correct, but
+// only balanced for keys spread across the full integer range.
+func NewRouter[K quit.Integer](n int, sample []K) Router[K] {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	if n == 1 {
+		return Router[K]{}
+	}
+	if b, ok := sampleBounds(n, sample); ok {
+		return Router[K]{bounds: b}
+	}
+	return Router[K]{bounds: domainBounds[K](n)}
+}
+
+// RouterFromBounds rebuilds a router from persisted boundaries (the
+// manifest path); bounds must be strictly increasing.
+func RouterFromBounds[K quit.Integer](bounds []K) Router[K] {
+	return Router[K]{bounds: bounds}
+}
+
+// Shards returns the number of shards this router splits across.
+func (r Router[K]) Shards() int { return len(r.bounds) + 1 }
+
+// Bounds returns a copy of the shard boundaries (len Shards()-1).
+func (r Router[K]) Bounds() []K {
+	out := make([]K, len(r.bounds))
+	copy(out, r.bounds)
+	return out
+}
+
+// ShardFor returns the shard owning key k.
+func (r Router[K]) ShardFor(k K) int {
+	// First boundary strictly above k; small boundary arrays (<= 255)
+	// make this a handful of well-predicted comparisons.
+	return sort.Search(len(r.bounds), func(i int) bool { return k < r.bounds[i] })
+}
+
+// sampleBounds cuts n-1 strictly increasing boundaries from the sample's
+// quantiles; ok is false when the sample has too few distinct values to
+// separate n shards.
+func sampleBounds[K quit.Integer](n int, sample []K) ([]K, bool) {
+	if len(sample) < n {
+		return nil, false
+	}
+	sorted := make([]K, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bounds := make([]K, 0, n-1)
+	for i := 1; i < n; i++ {
+		b := sorted[i*len(sorted)/n]
+		if len(bounds) > 0 && b <= bounds[len(bounds)-1] {
+			continue // duplicate quantile: skewed sample
+		}
+		bounds = append(bounds, b)
+	}
+	if len(bounds) != n-1 {
+		return nil, false
+	}
+	return bounds, true
+}
+
+// domainBounds splits K's entire domain into n even ranges. The
+// arithmetic runs in uint64 offset space (two's-complement conversion
+// wraps deterministically), so it is exact for every integer kind,
+// signed or unsigned, of any width.
+func domainBounds[K quit.Integer](n int) []K {
+	lo, hi := domain[K]()
+	span := uint64(hi) - uint64(lo)
+	step := span / uint64(n)
+	bounds := make([]K, n-1)
+	for i := range bounds {
+		bounds[i] = K(uint64(lo) + step*uint64(i+1))
+	}
+	return bounds
+}
+
+// domain returns K's minimum and maximum values without unsafe: the
+// all-ones pattern distinguishes unsigned (max) from signed (-1), and
+// the signed maximum is grown bit by bit until the shift wraps.
+func domain[K quit.Integer]() (lo, hi K) {
+	var zero K
+	ones := ^zero
+	if ones > zero { // unsigned: 0 .. all-ones
+		return zero, ones
+	}
+	hi = 1
+	for hi<<1 > hi {
+		hi = hi<<1 | 1
+	}
+	return ^hi, hi // two's complement: min = -max-1
+}
+
+// split is the router's one-pass batch classifier: each key is assigned
+// its shard, then the batch is scattered into per-shard key/value
+// sub-slices plus the original positions (for fanning per-shard results
+// back into caller order). Within a shard the sub-batch preserves the
+// input's arrival order, so per-shard streams inherit — and, over a
+// narrower key range, improve on — the global stream's sortedness.
+type split[K quit.Integer, V any] struct {
+	keys [][]K
+	vals [][]V
+	pos  [][]int
+}
+
+func splitBatch[K quit.Integer, V any](r Router[K], keys []K, vals []V) split[K, V] {
+	n := r.Shards()
+	ids := make([]uint8, len(keys))
+	counts := make([]int, n)
+	for i, k := range keys {
+		s := r.ShardFor(k)
+		ids[i] = uint8(s)
+		counts[s]++
+	}
+	sp := split[K, V]{
+		keys: make([][]K, n),
+		vals: make([][]V, n),
+		pos:  make([][]int, n),
+	}
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		sp.keys[s] = make([]K, 0, c)
+		sp.vals[s] = make([]V, 0, c)
+		sp.pos[s] = make([]int, 0, c)
+	}
+	for i, k := range keys {
+		s := ids[i]
+		sp.keys[s] = append(sp.keys[s], k)
+		sp.vals[s] = append(sp.vals[s], vals[i])
+		sp.pos[s] = append(sp.pos[s], i)
+	}
+	return sp
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRouterSampleBounds(t *testing.T) {
+	sample := make([]int64, 1000)
+	for i := range sample {
+		sample[i] = int64(i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(sample), func(i, j int) {
+		sample[i], sample[j] = sample[j], sample[i]
+	})
+	r := NewRouter(4, sample)
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	b := r.Bounds()
+	if len(b) != 3 {
+		t.Fatalf("len(Bounds()) = %d, want 3", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+	// Uniform sample: quantile cuts land near 250/500/750 and traffic
+	// splits roughly evenly.
+	counts := make([]int, 4)
+	for k := int64(0); k < 1000; k++ {
+		counts[r.ShardFor(k)]++
+	}
+	for s, c := range counts {
+		if c < 150 || c > 350 {
+			t.Fatalf("shard %d owns %d of 1000 uniform keys; counts=%v", s, c, counts)
+		}
+	}
+	// Boundary semantics: bounds[i-1] <= k < bounds[i] owned by shard i.
+	for i, bound := range b {
+		if got := r.ShardFor(bound); got != i+1 {
+			t.Fatalf("ShardFor(bound %d) = %d, want %d", bound, got, i+1)
+		}
+		if got := r.ShardFor(bound - 1); got != i {
+			t.Fatalf("ShardFor(bound-1 %d) = %d, want %d", bound-1, got, i)
+		}
+	}
+}
+
+func TestRouterDomainFallbackSigned(t *testing.T) {
+	r := NewRouter[int64](4, nil)
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	if got := r.ShardFor(math.MinInt64); got != 0 {
+		t.Errorf("ShardFor(MinInt64) = %d, want 0", got)
+	}
+	if got := r.ShardFor(0); got != 2 {
+		t.Errorf("ShardFor(0) = %d, want 2 (domain midpoint starts shard 2)", got)
+	}
+	if got := r.ShardFor(math.MaxInt64); got != 3 {
+		t.Errorf("ShardFor(MaxInt64) = %d, want 3", got)
+	}
+	b := r.Bounds()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+}
+
+func TestRouterDomainFallbackUnsigned(t *testing.T) {
+	r := NewRouter[uint32](4, nil)
+	if got := r.ShardFor(0); got != 0 {
+		t.Errorf("ShardFor(0) = %d, want 0", got)
+	}
+	if got := r.ShardFor(math.MaxUint32); got != 3 {
+		t.Errorf("ShardFor(MaxUint32) = %d, want 3", got)
+	}
+	if got := r.ShardFor(1 << 30); got != 1 {
+		// step = MaxUint32/4, so 2^30 sits just past the first boundary.
+		t.Errorf("ShardFor(2^30) = %d, want 1", got)
+	}
+}
+
+func TestRouterSkewedSampleFallsBack(t *testing.T) {
+	// A constant sample cannot separate 4 shards; the router must fall
+	// back to the domain split rather than build duplicate bounds.
+	sample := make([]int64, 100)
+	r := NewRouter(4, sample)
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4 via domain fallback", r.Shards())
+	}
+	b := r.Bounds()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+}
+
+func TestRouterSingleShard(t *testing.T) {
+	r := NewRouter[uint64](1, nil)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", r.Shards())
+	}
+	if got := r.ShardFor(math.MaxUint64); got != 0 {
+		t.Fatalf("ShardFor = %d, want 0", got)
+	}
+}
+
+func TestSplitBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]int64, 512)
+	for i := range sample {
+		sample[i] = rng.Int63n(1 << 20)
+	}
+	r := NewRouter(5, sample)
+	n := 4096
+	keys := make([]int64, n)
+	vals := make([]string, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 20)
+		vals[i] = string(rune('a' + i%26))
+	}
+	sp := splitBatch(r, keys, vals)
+	total := 0
+	for s := 0; s < r.Shards(); s++ {
+		total += len(sp.keys[s])
+		if len(sp.keys[s]) != len(sp.vals[s]) || len(sp.keys[s]) != len(sp.pos[s]) {
+			t.Fatalf("shard %d slices disagree: %d keys %d vals %d pos",
+				s, len(sp.keys[s]), len(sp.vals[s]), len(sp.pos[s]))
+		}
+		prev := -1
+		for j, k := range sp.keys[s] {
+			if r.ShardFor(k) != s {
+				t.Fatalf("key %d scattered to shard %d, ShardFor says %d", k, s, r.ShardFor(k))
+			}
+			p := sp.pos[s][j]
+			if keys[p] != k || vals[p] != sp.vals[s][j] {
+				t.Fatalf("position %d does not round-trip: key %d val %q", p, k, sp.vals[s][j])
+			}
+			if p <= prev {
+				t.Fatalf("shard %d lost arrival order: pos %d after %d", s, p, prev)
+			}
+			prev = p
+		}
+	}
+	if total != n {
+		t.Fatalf("split scattered %d of %d keys", total, n)
+	}
+}

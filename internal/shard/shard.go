@@ -1,0 +1,453 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/quittree/quit"
+)
+
+// Tree is a key-range-sharded durable store: Shards() independent
+// quit.DurableTrees — each with its own segmented WAL, group commit and
+// checkpoint policy — behind a Router that classifies keys once and
+// applies disjoint per-shard sub-batches in parallel.
+//
+// Consistency contract: every operation on a single key is exactly as
+// durable and atomic as the underlying DurableTree makes it. A PutBatch
+// spanning shards is atomic *per shard* (one WAL record per sub-batch),
+// not across shards: a crash can recover some shards' sub-batches and
+// not others', exactly as interleaved single-shard batches could. The
+// router itself is stateless over the manifest-pinned boundaries, so
+// cross-shard recovery needs no coordination.
+type Tree[K quit.Integer, V any] struct {
+	dir    string
+	router Router[K]
+	shards []*quit.DurableTree[K, V]
+
+	routedBatches atomic.Uint64
+	shardBatches  atomic.Uint64
+	routedKeys    atomic.Uint64
+	routedPuts    atomic.Uint64
+}
+
+// Open recovers (or initializes) a sharded store rooted at dir. On first
+// open the shard boundaries are cut from the sampled key distribution
+// (see NewRouter) and pinned in a durably installed manifest; on reopen
+// the manifest is authoritative — opts.Shards and sample are ignored —
+// because keys already routed under the old boundaries must keep
+// resolving to the same shards. Each shard lives in its own
+// subdirectory (shard-000, shard-001, ...) and recovers independently
+// through quit.Open.
+func Open[K quit.Integer, V any](dir string, opts quit.ShardedOptions, sample []K) (*Tree[K, V], error) {
+	if err := opts.Options.Validate(); err != nil {
+		return nil, err
+	}
+	n := opts.Shards
+	if n == 0 {
+		n = 4
+	}
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards outside [1, %d]", n, MaxShards)
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = quit.DefaultFS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("shard: creating store dir: %w", err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: listing store dir: %w", err)
+	}
+	var router Router[K]
+	if hasName(names, manifestName) {
+		bounds, err := readManifest[K](fsys, dir)
+		if err != nil {
+			return nil, err
+		}
+		router = RouterFromBounds(bounds)
+	} else {
+		router = NewRouter(n, sample)
+		if err := writeManifest(fsys, dir, router.bounds); err != nil {
+			return nil, err
+		}
+	}
+	t := &Tree[K, V]{dir: dir, router: router}
+	for i := 0; i < router.Shards(); i++ {
+		d, err := quit.Open[K, V](t.shardDir(i), opts.DurableOptions)
+		if err != nil {
+			for _, prev := range t.shards {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		t.shards = append(t.shards, d)
+	}
+	return t, nil
+}
+
+func (t *Tree[K, V]) shardDir(i int) string {
+	return filepath.Join(t.dir, fmt.Sprintf("shard-%03d", i))
+}
+
+func hasName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Shards returns the shard count.
+func (t *Tree[K, V]) Shards() int { return len(t.shards) }
+
+// Shard returns shard i for direct use (the coalescer's flush path and
+// tests). Writes through it are durable per the shard's own contract but
+// bypass this type's routing counters.
+func (t *Tree[K, V]) Shard(i int) *quit.DurableTree[K, V] { return t.shards[i] }
+
+// Router returns the routing table (boundaries are immutable once the
+// manifest is written, so the value is safe to share).
+func (t *Tree[K, V]) Router() Router[K] { return t.router }
+
+// ShardFor returns the shard index owning key k.
+func (t *Tree[K, V]) ShardFor(k K) int { return t.router.ShardFor(k) }
+
+// Put routes a single durable write to its shard.
+func (t *Tree[K, V]) Put(key K, val V) (prev V, existed bool, err error) {
+	t.routedPuts.Add(1)
+	return t.shards[t.router.ShardFor(key)].Put(key, val)
+}
+
+// Insert is Put discarding the previous value.
+func (t *Tree[K, V]) Insert(key K, val V) error {
+	_, _, err := t.Put(key, val)
+	return err
+}
+
+// Delete routes a single durable delete to its shard.
+func (t *Tree[K, V]) Delete(key K) (val V, existed bool, err error) {
+	t.routedPuts.Add(1)
+	return t.shards[t.router.ShardFor(key)].Delete(key)
+}
+
+// PutBatch splits the batch by shard boundary in one classify pass and
+// applies the disjoint per-shard sub-batches in parallel, each as one
+// durable unit (one WAL record, one group commit) on its shard. Results
+// arrive in caller order, exactly as Tree.PutBatch reports them; the
+// per-shard sub-batches preserve arrival order, so a near-sorted global
+// stream yields near-sorted — over a narrower key range, *more* sorted —
+// per-shard streams for the QuIT fast path.
+//
+// Atomicity is per shard, not per call: on error some shards' sub-batches
+// may be applied and acknowledged while others failed. The returned
+// results are valid for every position whose shard returned nil.
+func (t *Tree[K, V]) PutBatch(keys []K, vals []V) ([]quit.PutResult, error) {
+	return t.putBatch(keys, vals, nil)
+}
+
+// PutBatchParallel is PutBatch with each shard's in-memory application
+// additionally fanned out over opts.Workers goroutines (see
+// quit.PutBatchParallel).
+func (t *Tree[K, V]) PutBatchParallel(keys []K, vals []V, opts quit.IngestOptions) ([]quit.PutResult, error) {
+	return t.putBatch(keys, vals, &opts)
+}
+
+func (t *Tree[K, V]) putBatch(keys []K, vals []V, par *quit.IngestOptions) ([]quit.PutResult, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("shard: batch of %d keys with %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	t.routedBatches.Add(1)
+	t.routedKeys.Add(uint64(len(keys)))
+	sp := splitBatch(t.router, keys, vals)
+	out := make([]quit.PutResult, len(keys))
+	apply := func(i int) error {
+		var res []quit.PutResult
+		var err error
+		if par != nil {
+			res, err = t.shards[i].PutBatchParallel(sp.keys[i], sp.vals[i], *par)
+		} else {
+			res, err = t.shards[i].PutBatch(sp.keys[i], sp.vals[i])
+		}
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for j, p := range sp.pos[i] {
+			out[p] = res[j]
+		}
+		return nil
+	}
+	var active []int
+	for i := range t.shards {
+		if len(sp.keys[i]) > 0 {
+			active = append(active, i)
+		}
+	}
+	t.shardBatches.Add(uint64(len(active)))
+	if len(active) == 1 {
+		// One shard owns the whole batch: apply inline, no goroutine.
+		return out, apply(active[0])
+	}
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for j, i := range active {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			errs[j] = apply(i)
+		}(j, i)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	return t.shards[t.router.ShardFor(key)].Get(key)
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	return t.shards[t.router.ShardFor(key)].Contains(key)
+}
+
+// Len returns the number of live entries across all shards.
+func (t *Tree[K, V]) Len() int {
+	total := 0
+	for _, s := range t.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// Min returns the smallest key and its value across shards.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	for _, s := range t.shards {
+		if k, v, ok := s.Min(); ok {
+			return k, v, ok
+		}
+	}
+	var k K
+	var v V
+	return k, v, false
+}
+
+// Max returns the largest key and its value across shards.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		if k, v, ok := t.shards[i].Max(); ok {
+			return k, v, ok
+		}
+	}
+	var k K
+	var v V
+	return k, v, false
+}
+
+// Range visits entries with start <= key < end in ascending order until
+// fn returns false; it returns the number of entries visited. Shards
+// hold disjoint ascending key ranges, so the merged scan is simply the
+// owning shards visited left to right — no heap merge needed.
+func (t *Tree[K, V]) Range(start, end K, fn func(K, V) bool) int {
+	if end <= start {
+		return 0
+	}
+	total := 0
+	stopped := false
+	wrapped := func(k K, v V) bool {
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := t.router.ShardFor(start); i < len(t.shards); i++ {
+		if i > 0 && t.router.bounds[i-1] >= end {
+			break
+		}
+		total += t.shards[i].Range(start, end, wrapped)
+		if stopped {
+			break
+		}
+	}
+	return total
+}
+
+// Scan visits all entries in ascending order until fn returns false.
+func (t *Tree[K, V]) Scan(fn func(K, V) bool) {
+	stopped := false
+	wrapped := func(k K, v V) bool {
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, s := range t.shards {
+		s.Scan(wrapped)
+		if stopped {
+			return
+		}
+	}
+}
+
+// Sync forces every shard's write-ahead log to stable storage.
+func (t *Tree[K, V]) Sync() error {
+	var errs []error
+	for i, s := range t.shards {
+		if err := s.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Checkpoint compacts every shard's log into a snapshot. Shards
+// checkpoint independently; a failure on one leaves the others'
+// checkpoints installed.
+func (t *Tree[K, V]) Checkpoint() error {
+	var errs []error
+	for i, s := range t.shards {
+		if err := s.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Recover re-arms every degraded shard (see quit.DurableTree.Recover);
+// healthy shards are no-ops. The router keeps serving the healthy shards
+// throughout — single-shard WAL failures never take the store down.
+func (t *Tree[K, V]) Recover() error {
+	var errs []error
+	for i, s := range t.shards {
+		if err := s.Recover(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close syncs and releases every shard, reporting every failure.
+func (t *Tree[K, V]) Close() error {
+	var errs []error
+	for i, s := range t.shards {
+		if err := s.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Validate checks every shard's structural invariants.
+func (t *Tree[K, V]) Validate() error {
+	for i, s := range t.shards {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Recovery reports what each shard's Open found and recovered.
+func (t *Tree[K, V]) Recovery() []quit.RecoveryInfo {
+	out := make([]quit.RecoveryInfo, len(t.shards))
+	for i, s := range t.shards {
+		out[i] = s.Recovery()
+	}
+	return out
+}
+
+// Stats aggregates the in-memory tree counters across shards: counters
+// and node counts sum, Height reports the tallest shard.
+func (t *Tree[K, V]) Stats() quit.Stats {
+	var agg quit.Stats
+	for _, s := range t.shards {
+		st := s.Stats()
+		agg.FastInserts += st.FastInserts
+		agg.TopInserts += st.TopInserts
+		agg.Updates += st.Updates
+		agg.LeafSplits += st.LeafSplits
+		agg.InternalSplits += st.InternalSplits
+		agg.VariableSplits += st.VariableSplits
+		agg.Redistributions += st.Redistributions
+		agg.Resets += st.Resets
+		agg.CatchUps += st.CatchUps
+		agg.Deletes += st.Deletes
+		agg.Borrows += st.Borrows
+		agg.Merges += st.Merges
+		agg.NodeReads += st.NodeReads
+		agg.LeafReads += st.LeafReads
+		agg.RangeLeafReads += st.RangeLeafReads
+		agg.OLCRestarts += st.OLCRestarts
+		agg.BatchRuns += st.BatchRuns
+		agg.BatchFastRuns += st.BatchFastRuns
+		agg.ParallelBatches += st.ParallelBatches
+		agg.FrontierSplices += st.FrontierSplices
+		agg.Size += st.Size
+		agg.Leaves += st.Leaves
+		agg.Internals += st.Internals
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own counter snapshot.
+func (t *Tree[K, V]) ShardStats() []quit.Stats {
+	out := make([]quit.Stats, len(t.shards))
+	for i, s := range t.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// DurabilityStats aggregates the durability counters across shards;
+// ReadOnly is true when *any* shard is degraded (per-shard detail via
+// Shard(i).DurabilityStats()).
+func (t *Tree[K, V]) DurabilityStats() quit.DurabilityStats {
+	var agg quit.DurabilityStats
+	for _, s := range t.shards {
+		ds := s.DurabilityStats()
+		agg.SegmentsRotated += ds.SegmentsRotated
+		agg.RotationFailures += ds.RotationFailures
+		agg.RetriesAttempted += ds.RetriesAttempted
+		agg.RetriesSucceeded += ds.RetriesSucceeded
+		agg.Fsyncs += ds.Fsyncs
+		agg.Checkpoints += ds.Checkpoints
+		agg.AutoCheckpoints += ds.AutoCheckpoints
+		agg.WALBytesReclaimed += ds.WALBytesReclaimed
+		agg.WALLiveBytes += ds.WALLiveBytes
+		agg.WALLiveRecords += ds.WALLiveRecords
+		agg.ReadOnly = agg.ReadOnly || ds.ReadOnly
+	}
+	return agg
+}
+
+// Counters reports the router-level accounting (the shard analog of
+// DESIGN.md §12's serving counters).
+type Counters struct {
+	RoutedBatches uint64 // PutBatch calls accepted by the router
+	ShardBatches  uint64 // per-shard sub-batches applied (the fan-out)
+	RoutedKeys    uint64 // keys classified across all routed batches
+	RoutedPuts    uint64 // single-key writes/deletes routed directly
+}
+
+// Counters snapshots the router-level counters.
+func (t *Tree[K, V]) Counters() Counters {
+	return Counters{
+		RoutedBatches: t.routedBatches.Load(),
+		ShardBatches:  t.shardBatches.Load(),
+		RoutedKeys:    t.routedKeys.Load(),
+		RoutedPuts:    t.routedPuts.Load(),
+	}
+}

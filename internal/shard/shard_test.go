@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"syscall"
+	"testing"
+
+	"github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+)
+
+const storeDir = "/store"
+
+func memOpts(fs *faultio.MemFS, shards int) quit.ShardedOptions {
+	return quit.ShardedOptions{
+		DurableOptions: quit.DurableOptions{
+			Options: quit.Options{LeafCapacity: 16, InternalFanout: 8},
+			Sync:    quit.SyncAlways,
+			FS:      fs,
+		},
+		Shards: shards,
+	}
+}
+
+func evenSample(n int, max int64) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(i) * max / int64(n)
+	}
+	return s
+}
+
+func TestShardedBasic(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 4), evenSample(256, 1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", st.Shards())
+	}
+
+	// A scrambled batch spanning all shards.
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	keys := make([]int64, n)
+	vals := make([]string, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 16)
+		vals[i] = fmt.Sprintf("v%d", keys[i])
+	}
+	res, err := st.PutBatch(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != n {
+		t.Fatalf("len(res) = %d, want %d", len(res), n)
+	}
+	// Results arrive in caller order with Put's sequential semantics:
+	// position i existed iff the key appeared earlier in the batch.
+	seen := map[int64]bool{}
+	distinct := 0
+	for i, k := range keys {
+		if res[i].Existed != seen[k] {
+			t.Fatalf("res[%d].Existed = %v for key %d, want %v", i, res[i].Existed, k, seen[k])
+		}
+		if !seen[k] {
+			distinct++
+		}
+		seen[k] = true
+	}
+	if st.Len() != distinct {
+		t.Fatalf("Len() = %d, want %d", st.Len(), distinct)
+	}
+	for k := range seen {
+		if v, ok := st.Get(k); !ok || v != fmt.Sprintf("v%d", k) {
+			t.Fatalf("Get(%d) = %q,%v", k, v, ok)
+		}
+	}
+
+	// Merged iteration: Scan yields ascending order across shard seams.
+	prev := int64(-1)
+	count := 0
+	st.Scan(func(k int64, v string) bool {
+		if k <= prev {
+			t.Fatalf("Scan out of order at shard seam: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != distinct {
+		t.Fatalf("Scan visited %d, want %d", count, distinct)
+	}
+
+	// Range straddling a shard boundary.
+	bounds := st.Router().Bounds()
+	lo, hi := bounds[1]-100, bounds[1]+100
+	want := 0
+	for k := range seen {
+		if k >= lo && k < hi {
+			want++
+		}
+	}
+	got := 0
+	prev = lo - 1
+	st.Range(lo, hi, func(k int64, v string) bool {
+		if k < lo || k >= hi || k <= prev {
+			t.Fatalf("Range yielded %d outside/out-of-order for [%d,%d)", k, lo, hi)
+		}
+		prev = k
+		got++
+		return true
+	})
+	if got != want {
+		t.Fatalf("Range visited %d, want %d", got, want)
+	}
+	// Early stop is honored across shards.
+	visited := 0
+	st.Range(0, 1<<16, func(int64, string) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Fatalf("Range visited %d after early stop, want 10", visited)
+	}
+
+	if k, _, ok := st.Min(); !ok || st.ShardFor(k) != 0 && st.Shard(0).Len() > 0 {
+		t.Fatalf("Min() = %d,%v not from the first non-empty shard", k, ok)
+	}
+	if _, _, ok := st.Max(); !ok {
+		t.Fatal("Max() reported empty store")
+	}
+
+	// Single-key routing paths.
+	if _, _, err := st.Put(42, "answer"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Get(42); !ok || v != "answer" {
+		t.Fatalf("Get(42) = %q,%v", v, ok)
+	}
+	if _, existed, err := st.Delete(42); err != nil || !existed {
+		t.Fatalf("Delete(42) = existed=%v err=%v", existed, err)
+	}
+
+	c := st.Counters()
+	if c.RoutedBatches != 1 || c.RoutedKeys != uint64(n) {
+		t.Fatalf("Counters = %+v, want 1 routed batch of %d keys", c, n)
+	}
+	if c.ShardBatches < 2 {
+		t.Fatalf("ShardBatches = %d, want fan-out across shards", c.ShardBatches)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedReopenManifestAuthoritative(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 4), evenSample(64, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBounds := st.Router().Bounds()
+	keys := []int64{1, 250, 500, 750, 999}
+	vals := []string{"a", "b", "c", "d", "e"}
+	if _, err := st.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen asking for a different layout: the manifest wins, or keys
+	// written under the old boundaries would become unreachable.
+	st2, err := Open[int64, string](storeDir, memOpts(fs, 8), evenSample(64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Shards() != 4 {
+		t.Fatalf("reopen Shards() = %d, want manifest's 4", st2.Shards())
+	}
+	gotBounds := st2.Router().Bounds()
+	for i := range wantBounds {
+		if gotBounds[i] != wantBounds[i] {
+			t.Fatalf("reopen bounds = %v, want %v", gotBounds, wantBounds)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := st2.Get(k); !ok || v != vals[i] {
+			t.Fatalf("Get(%d) after reopen = %q,%v, want %q", k, v, ok, vals[i])
+		}
+	}
+	for _, rec := range st2.Recovery() {
+		if rec.SegmentsReplayed == 0 && rec.Snapshot == "" && st2.Len() > 0 {
+			continue // empty shard: nothing to recover
+		}
+	}
+}
+
+func TestShardedManifestCorrupt(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	f, err := fs.Create(storeDir + "/MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("quit-shard-manifest v1\nshards 3\nbound 10\nbound 5\n"))
+	f.Close()
+	if _, err := Open[int64, string](storeDir, memOpts(fs, 4), nil); err == nil {
+		t.Fatal("Open accepted a manifest with decreasing boundaries")
+	}
+}
+
+func TestShardedOptionsValidated(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := memOpts(fs, 4)
+	opts.GapFraction = 1.5
+	if _, err := Open[int64, string](storeDir, opts, nil); !errors.Is(err, quit.ErrInvalidOptions) {
+		t.Fatalf("Open with GapFraction=1.5 = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := Open[int64, string](storeDir, memOpts(fs, 300), nil); err == nil {
+		t.Fatal("Open accepted 300 shards (> MaxShards)")
+	}
+}
+
+// TestShardedCrashMatrix is the single-shard fault scenario: one shard's
+// WAL hits ENOSPC and degrades read-only while every other shard keeps
+// serving reads AND writes; Recover() re-arms the degraded shard; and a
+// crash image taken mid-degradation reopens with every acknowledged
+// write on every shard.
+func TestShardedCrashMatrix(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 4), evenSample(256, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed every shard.
+	var seedKeys []int64
+	var seedVals []string
+	for k := int64(0); k < 4000; k += 10 {
+		seedKeys = append(seedKeys, k)
+		seedVals = append(seedVals, fmt.Sprintf("seed%d", k))
+	}
+	if _, err := st.PutBatch(seedKeys, seedVals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 1's WAL: every fsync in its subdirectory reports
+	// disk-full, forever.
+	const victim = 1
+	fs.FailSyncTimes(fmt.Sprintf("shard-%03d/wal-", victim), faultio.ErrNoSpace, -1)
+
+	bounds := st.Router().Bounds()
+	victimKey := bounds[0] + 1 // owned by shard 1
+	if got := st.ShardFor(victimKey); got != victim {
+		t.Fatalf("ShardFor(%d) = %d, want %d", victimKey, got, victim)
+	}
+	err = st.Insert(victimKey, "doomed")
+	if !errors.Is(err, quit.ErrReadOnly) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write to failed shard = %v, want ErrReadOnly wrapping ENOSPC", err)
+	}
+	if !st.DurabilityStats().ReadOnly {
+		t.Fatal("aggregated DurabilityStats().ReadOnly = false with a degraded shard")
+	}
+
+	// The other shards keep accepting durable writes...
+	healthy := []int64{5, bounds[1] + 5, bounds[2] + 5} // shards 0, 2, 3
+	for _, k := range healthy {
+		if st.ShardFor(k) == victim {
+			t.Fatalf("test key %d unexpectedly routed to victim", k)
+		}
+		if err := st.Insert(k, "alive"); err != nil {
+			t.Fatalf("write to healthy shard (key %d): %v", k, err)
+		}
+	}
+	// ...and the degraded shard keeps serving reads of its pre-failure state.
+	if v, ok := st.Get(seedKeys[len(seedKeys)/4]); !ok || v == "" {
+		t.Fatalf("degraded-era read = %q,%v", v, ok)
+	}
+
+	// A batch spanning victim and healthy shards reports the failure but
+	// the healthy sub-batches are applied and durable.
+	mixKeys := []int64{7, victimKey + 2, bounds[2] + 7}
+	mixVals := []string{"m0", "m1", "m2"}
+	if _, err := st.PutBatch(mixKeys, mixVals); !errors.Is(err, quit.ErrReadOnly) {
+		t.Fatalf("mixed batch = %v, want ErrReadOnly from victim sub-batch", err)
+	}
+	if v, ok := st.Get(mixKeys[0]); !ok || v != "m0" {
+		t.Fatalf("healthy sub-batch lost: Get(%d) = %q,%v", mixKeys[0], v, ok)
+	}
+	if _, ok := st.Get(mixKeys[1]); ok {
+		t.Fatalf("victim sub-batch visible despite failed commit")
+	}
+
+	// Crash now: the synced image must reopen with every acknowledged
+	// write — seeds, healthy-era inserts, healthy sub-batches — and
+	// nothing from the rejected victim writes.
+	image := fs.ImageAt(faultio.Cut{Event: len(fs.Events()), SyncedOnly: true})
+	fs2 := faultio.FromImage(image)
+	st2, err := Open[int64, string](storeDir, memOpts(fs2, 0), nil)
+	if err != nil {
+		t.Fatalf("reopen from crash image: %v", err)
+	}
+	if st2.Shards() != 4 {
+		t.Fatalf("crash image Shards() = %d, want 4", st2.Shards())
+	}
+	for i, k := range seedKeys {
+		if v, ok := st2.Get(k); !ok || v != seedVals[i] {
+			t.Fatalf("crash image lost seed %d: %q,%v", k, v, ok)
+		}
+	}
+	for _, k := range healthy {
+		if v, ok := st2.Get(k); !ok || v != "alive" {
+			t.Fatalf("crash image lost acknowledged healthy write %d: %q,%v", k, v, ok)
+		}
+	}
+	if _, ok := st2.Get(victimKey); ok {
+		t.Fatal("crash image contains a write that was never acknowledged")
+	}
+	st2.Close()
+
+	// Back on the live store: space frees, Recover re-arms the victim
+	// (healthy shards are no-ops), and writes flow everywhere again.
+	fs.ClearFaults()
+	if err := st.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.DurabilityStats().ReadOnly {
+		t.Fatal("still read-only after successful Recover")
+	}
+	if err := st.Insert(victimKey, "recovered"); err != nil {
+		t.Fatalf("write to recovered shard: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCheckpointFansOut(t *testing.T) {
+	fs := faultio.NewMemFS()
+	st, err := Open[int64, string](storeDir, memOpts(fs, 2), evenSample(16, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.PutBatch([]int64{1, 99}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	before := st.DurabilityStats().Checkpoints
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := st.DurabilityStats().Checkpoints
+	if after != before+2 {
+		t.Fatalf("Checkpoints %d -> %d, want +2 (one per shard)", before, after)
+	}
+	if st.DurabilityStats().Fsyncs == 0 {
+		t.Fatal("aggregated Fsyncs = 0 after synced writes and checkpoints")
+	}
+}

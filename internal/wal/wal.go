@@ -319,6 +319,7 @@ type Log[K core.Integer, V any] struct {
 	cBytes       atomic.Uint64 // bytes framed (and eventually written)
 	cRecords     atomic.Uint64 // records framed
 	cRotfailures atomic.Uint64
+	cFsyncs      atomic.Uint64 // successful fsync barriers issued
 }
 
 // Counters is a snapshot of the log's durability counters. Bytes and
@@ -331,6 +332,7 @@ type Counters struct {
 	RetriesSucceeded uint64 // operations rescued by a retry
 	Bytes            uint64 // record bytes framed into the log
 	Records          uint64 // records framed into the log
+	Fsyncs           uint64 // successful fsync barriers issued against segments
 }
 
 // Counters reads the counter snapshot without taking the log mutex.
@@ -342,6 +344,7 @@ func (l *Log[K, V]) Counters() Counters {
 		RetriesSucceeded: l.cRetriesOK.Load(),
 		Bytes:            l.cBytes.Load(),
 		Records:          l.cRecords.Load(),
+		Fsyncs:           l.cFsyncs.Load(),
 	}
 }
 
@@ -624,6 +627,7 @@ func (l *Log[K, V]) syncRetry() error {
 		}
 		serr := l.f.Sync()
 		if serr == nil {
+			l.cFsyncs.Add(1)
 			if attempt > 0 {
 				l.cRetriesOK.Add(1)
 			}

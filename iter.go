@@ -64,6 +64,9 @@ func (tr *Tree[K, V]) Save(w io.Writer) error { return tr.t.Save(w) }
 // loaded tree is compact (leaves ~90% packed) regardless of the occupancy
 // it was saved with.
 func Load[K Integer, V any](r io.Reader, opts Options) (*Tree[K, V], error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	var cfg core.Config
 	if opts != (Options{}) {
 		cfg = opts.config()

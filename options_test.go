@@ -1,0 +1,98 @@
+package quit_test
+
+import (
+	"errors"
+	"testing"
+
+	quit "github.com/quittree/quit"
+	"github.com/quittree/quit/internal/faultio"
+)
+
+func TestOptionsValidateGapFraction(t *testing.T) {
+	valid := []float64{0, 0.05, 0.1, 0.5, 0.999, quit.PackedLeaves}
+	for _, f := range valid {
+		if err := (quit.Options{GapFraction: f}).Validate(); err != nil {
+			t.Errorf("Validate(GapFraction=%v) = %v, want nil", f, err)
+		}
+	}
+	invalid := []float64{-0.1, -2, 1, 1.5}
+	for _, f := range invalid {
+		err := (quit.Options{GapFraction: f}).Validate()
+		if !errors.Is(err, quit.ErrInvalidOptions) {
+			t.Errorf("Validate(GapFraction=%v) = %v, want ErrInvalidOptions", f, err)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(GapFraction=1.2) did not panic")
+		}
+	}()
+	quit.New[int64, string](quit.Options{GapFraction: 1.2})
+}
+
+func TestPackedLeavesSentinel(t *testing.T) {
+	// The sentinel must build a working, fully packed tree.
+	tr := quit.New[int64, int](quit.Options{GapFraction: quit.PackedLeaves, LeafCapacity: 16, InternalFanout: 8})
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, int(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsInvalidOptions(t *testing.T) {
+	fs := faultio.NewMemFS()
+	opts := quit.DurableOptions{
+		Options: quit.Options{GapFraction: -0.5},
+		FS:      fs,
+	}
+	if _, err := quit.Open[int64, string]("/x", opts); !errors.Is(err, quit.ErrInvalidOptions) {
+		t.Fatalf("Open = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestDurabilityStatsFsyncs pins the new fsync accounting: under
+// SyncAlways every acknowledged write implies at least one fsync
+// barrier, and the counter survives checkpoint log-swaps (it is
+// cumulative, not per-segment).
+func TestDurabilityStatsFsyncs(t *testing.T) {
+	fs := faultio.NewMemFS()
+	d, err := quit.Open[int64, string]("/fsync", quit.DurableOptions{
+		Options: quit.Options{LeafCapacity: 16, InternalFanout: 8},
+		Sync:    quit.SyncAlways,
+		FS:      fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const n = 50
+	for i := int64(0); i < n; i++ {
+		if err := d.Insert(i, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.DurabilityStats().Fsyncs
+	if got < n {
+		t.Fatalf("Fsyncs = %d after %d SyncAlways writes, want >= %d", got, n, n)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(n); i < 2*n; i++ {
+		if err := d.Insert(i, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := d.DurabilityStats().Fsyncs
+	if after < got+n {
+		t.Fatalf("Fsyncs = %d after checkpoint + %d more writes, want >= %d (counter reset?)", after, n, got+n)
+	}
+}

@@ -23,6 +23,9 @@
 package quit
 
 import (
+	"errors"
+	"fmt"
+
 	"github.com/quittree/quit/internal/core"
 )
 
@@ -95,14 +98,49 @@ type Options struct {
 	// BulkAppend) reserve as interleaved gaps, in [0, 0.5]. Gaps absorb
 	// later out-of-order keys with an O(gap distance) shift instead of a
 	// split; the price is proportionally more leaves on bulk builds. Zero
-	// selects the default 0.1; negative requests fully packed leaves. The
-	// gap01 experiment in EXPERIMENTS.md sweeps the trade-off.
+	// selects the default 0.1; PackedLeaves requests fully packed leaves;
+	// values in (0.5, 1) clamp to 0.5. Anything negative or >= 1 is
+	// invalid: New panics and the opening constructors (Open, Load,
+	// Salvage, shard.Open) return the Validate error instead of silently
+	// reinterpreting it.
+	//
+	// Warning: per the gap01 sweep in EXPERIMENTS.md, small non-zero
+	// fractions (0 < f < 0.10) are measurably *worse* than packed leaves —
+	// too little headroom for the adaptive re-gap margin, while still
+	// paying the extra leaves. Use PackedLeaves or >= 0.10.
 	GapFraction float64
 	// Synchronized enables internal latching (optimistic lock coupling,
 	// paper §4.5 upgraded; see DESIGN.md §6) for concurrent use from
 	// multiple goroutines. Reads stay lock-free: they validate per-node
 	// versions and restart on conflict (counted in Stats.OLCRestarts).
 	Synchronized bool
+}
+
+// PackedLeaves is the GapFraction value that requests fully packed
+// bulk-build leaves (no reserved gap slots). It replaces the old
+// "any negative value" convention, which Validate now rejects.
+const PackedLeaves float64 = -1
+
+// ErrInvalidOptions marks a configuration rejected by Options.Validate;
+// every validation failure matches it via errors.Is.
+var ErrInvalidOptions = errors.New("quit: invalid options")
+
+// Validate checks an Options value for fields that cannot be clamped to a
+// sensible default. Currently that is GapFraction: values below zero
+// (other than the exact PackedLeaves sentinel) or at/above one are
+// programming errors, not tunings — a fraction of a leaf cannot be
+// negative or consume the whole leaf. New panics on an invalid Options;
+// the error-returning constructors (Open, Load, Salvage, shard.Open)
+// propagate the error.
+func (o Options) Validate() error {
+	if o.GapFraction == PackedLeaves {
+		return nil
+	}
+	if o.GapFraction < 0 || o.GapFraction >= 1 {
+		return fmt.Errorf("%w: GapFraction %v outside [0, 1) (use quit.PackedLeaves for fully packed leaves)",
+			ErrInvalidOptions, o.GapFraction)
+	}
+	return nil
 }
 
 func (o Options) config() core.Config {
@@ -127,8 +165,13 @@ type Tree[K Integer, V any] struct {
 	t *core.Tree[K, V]
 }
 
-// New creates an empty Tree with the given options.
+// New creates an empty Tree with the given options. Invalid options —
+// see Options.Validate — are programming errors and panic; use Validate
+// first when the configuration comes from untrusted input.
 func New[K Integer, V any](opts Options) *Tree[K, V] {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	return &Tree[K, V]{t: core.New[K, V](opts.config())}
 }
 
@@ -269,6 +312,19 @@ func (tr *Tree[K, V]) ResetCounters() { tr.t.ResetCounters() }
 // Validate checks the tree's structural invariants (for tests and
 // debugging; must not run concurrently with writers).
 func (tr *Tree[K, V]) Validate() error { return tr.t.Validate() }
+
+// ShardedOptions configures a key-range-sharded store (internal/shard,
+// served by cmd/quitserver): Shards independent DurableTrees, each with
+// its own segmented write-ahead log and checkpoint policy, behind a
+// router that splits batches by key range. DurableOptions applies to
+// every shard identically.
+type ShardedOptions struct {
+	DurableOptions
+	// Shards is the number of key-range shards (default 4, max 256). An
+	// existing store's manifest is authoritative: on reopen the on-disk
+	// shard count wins and this field is ignored.
+	Shards int
+}
 
 // Stats mirrors the internal counters; see the field comments on
 // FastInserts/TopInserts in particular: they partition new-key insertions

@@ -1,0 +1,181 @@
+package quit_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	quit "github.com/quittree/quit"
+	"github.com/quittree/quit/internal/bods"
+	"github.com/quittree/quit/internal/shard"
+)
+
+// shardedStore opens a b.TempDir-backed sharded store with syncs counted.
+func shardedStore(b *testing.B, shards int, sample []int64) (*shard.Tree[int64, int64], *atomic.Int64) {
+	b.Helper()
+	var syncs atomic.Int64
+	st, err := shard.Open[int64, int64](b.TempDir(), quit.ShardedOptions{
+		DurableOptions: quit.DurableOptions{
+			Sync: quit.SyncAlways,
+			FS:   countingFS{osBenchFS{}, &syncs},
+		},
+		Shards: shards,
+	}, sample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, &syncs
+}
+
+// BenchmarkShardedIngest prices the routed PutBatch across shard counts
+// on the near-sorted stream: one classify pass, disjoint per-shard
+// sub-batches, one WAL record + fsync per active shard per batch.
+// shards=1 is the no-routing baseline.
+func BenchmarkShardedIngest(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			keys := benchKeys(b, 0.05, 1.0)
+			b.StopTimer()
+			vals := make([]int64, len(keys))
+			copy(vals, keys)
+			sample := keys
+			if len(sample) > 4096 {
+				sample = sample[:4096]
+			}
+			st, syncs := shardedStore(b, shards, sample)
+			syncs.Store(0)
+			const bs = 8192
+			b.StartTimer()
+			for i := 0; i < len(keys); i += bs {
+				end := min(i+bs, len(keys))
+				if _, err := st.PutBatch(keys[i:end], vals[i:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(syncs.Load())/float64(b.N), "syncs/op")
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkCoalescedPut is the serving write path: 64 concurrent clients
+// per-request Put (baseline, the WAL's own group commit still applies)
+// vs the same clients through the server-side coalescer. syncs/op is the
+// amortization the coalescer exists for.
+func BenchmarkCoalescedPut(b *testing.B) {
+	const clients = 64
+	run := func(b *testing.B, put func(k int64) error) {
+		b.StopTimer()
+		var wg sync.WaitGroup
+		per := b.N / clients
+		if per == 0 {
+			per = 1
+		}
+		b.StartTimer()
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := put(int64(g)<<32 | int64(i)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		b.StopTimer()
+	}
+	b.Run("per-request", func(b *testing.B) {
+		var syncs atomic.Int64
+		d, err := quit.Open[int64, int64](b.TempDir(), quit.DurableOptions{
+			Sync: quit.SyncAlways,
+			FS:   countingFS{osBenchFS{}, &syncs},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		syncs.Store(0)
+		run(b, func(k int64) error { return d.Insert(k, k) })
+		b.ReportMetric(float64(syncs.Load())/float64(b.N), "syncs/op")
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		st, syncs := shardedStore(b, 1, nil)
+		co := shard.NewCoalescer(st, 256, 50*time.Microsecond, nil)
+		syncs.Store(0)
+		run(b, func(k int64) error { return co.Put(k, k) })
+		b.ReportMetric(float64(syncs.Load())/float64(b.N), "syncs/op")
+		co.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkHotKeyCacheGet prices the 95/5 read-mostly hot-key workload:
+// direct sharded-tree Get vs read-through cache.
+func BenchmarkHotKeyCacheGet(b *testing.B) {
+	const n = 500_000
+	setup := func(b *testing.B) (*shard.Tree[int64, int64], []int64) {
+		b.Helper()
+		b.StopTimer()
+		sample := make([]int64, 1024)
+		for i := range sample {
+			sample[i] = int64(i) * n / int64(len(sample))
+		}
+		st, err := shard.Open[int64, int64](b.TempDir(), quit.ShardedOptions{
+			DurableOptions: quit.DurableOptions{Sync: quit.SyncNever},
+			Shards:         4,
+		}, sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := bods.Generate(bods.Spec{N: n, K: 0, L: 0, Seed: 42})
+		if _, err := st.PutBatch(keys, keys); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		hot := n / 100
+		ops := make([]int64, b.N)
+		for i := range ops {
+			if rng.Intn(100) < 95 {
+				ops[i] = int64(rng.Intn(hot))
+			} else {
+				ops[i] = int64(rng.Intn(n))
+			}
+		}
+		b.StartTimer()
+		return st, ops
+	}
+	b.Run("direct", func(b *testing.B) {
+		st, ops := setup(b)
+		defer st.Close()
+		for i := 0; i < b.N; i++ {
+			st.Get(ops[i])
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		st, ops := setup(b)
+		defer st.Close()
+		b.StopTimer()
+		cache := shard.NewCache[int64, int64](16384, 16)
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			cache.GetOrLoad(ops[i], st.Get)
+		}
+		b.StopTimer()
+		cc := cache.Counters()
+		b.ReportMetric(float64(cc.CacheHits)/float64(cc.CacheHits+cc.CacheMisses), "hit-rate")
+		b.StartTimer()
+	})
+}

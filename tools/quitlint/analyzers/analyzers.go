@@ -1,7 +1,7 @@
-// Package analyzers holds quitlint's eight checks over the OLC latch
+// Package analyzers holds quitlint's nine checks over the OLC latch
 // protocol, atomics discipline, error-wrapping hygiene, fast-path
 // invariants, and the WAL durability contract documented in DESIGN.md
-// §6–§10 of the main module. They are written against the lintkit
+// §6–§10 and §12 of the main module. They are written against the lintkit
 // framework (a stdlib-only mirror of go/analysis) and are keyed to the
 // naming conventions of internal/core: the versioned latch type is named
 // `latch`, the tree-level wrappers readLatch / readCheck / readUnlatch /
@@ -10,9 +10,10 @@
 // unlockMeta. Packages that do not declare a `latch` struct only get the
 // convention-free checks (atomic field hygiene, unsafe confinement).
 //
-// Five of the checks (atomicfield, errwrap, latchorder, olcvalidate,
-// unsafeuse) are syntactic / call-graph analyses over the raw AST. The
-// other three (latchflow, walorder, stickypoison) are flow-sensitive:
+// Six of the checks (atomicfield, errwrap, gapwrite, latchorder,
+// olcvalidate, unsafeuse) are syntactic / call-graph analyses over the
+// raw AST. The other three (latchflow, walorder, stickypoison) are
+// flow-sensitive:
 // they run a forward may-analysis over lintkit's basic-block CFG, so a
 // latch leaked on one early-return path — or a WAL ack reachable without
 // a commit — is reported even when every other path is correct.

@@ -33,6 +33,22 @@ func (l *Log) Commit(seq uint64) error {
 	return nil // want "nil-error return without re-checking the sticky error"
 }
 
+// syncAfterWait checks once up front, then sleeps on the cond: every
+// wakeup invalidates the check (the group-commit leader may have poisoned
+// the log while the mutex was released), so the fsync after the loop runs
+// unchecked.
+func (l *Log) syncAfterWait(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	for l.syncedSeq < seq {
+		l.commitC.Wait()
+	}
+	return l.f.Sync() // want "WAL I/O on a path that has not re-checked the sticky error"
+}
+
 // flushInto hands the live buffer to an encoder without a check: the
 // aliasing form of unchecked I/O.
 func (l *Log) flushInto(k, v int) error {

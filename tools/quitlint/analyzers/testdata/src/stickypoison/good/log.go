@@ -75,6 +75,19 @@ func (l *Log) writeAll(data []byte, pol policy) error {
 	return err
 }
 
+// appendIf reads the sticky error in the branch condition itself: a
+// condition read is a check like any other, so the I/O it guards is
+// sanctioned on the branch it dominates.
+func (l *Log) appendIf(k, v int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.seq++
+		l.buf.Write(encode(k, v))
+	}
+	return l.err
+}
+
 // Close may always release the descriptor: f.Close is exempt I/O.
 func (l *Log) Close() error {
 	l.mu.Lock()

@@ -1,0 +1,42 @@
+package fixture
+
+// Coalescer mirrors the serving layer's group-commit batcher; the methods
+// below acknowledge writers before the group's commit.
+type Coalescer struct {
+	tree  *DurableTree
+	keys  []int
+	vals  []int
+	dones []chan error
+}
+
+// Sync delegates to the log; present so the coalescer cases below have a
+// committing DurableTree call to order against.
+func (d *DurableTree) Sync() error { return d.log.Sync() }
+
+// flushAckFirst acknowledges every writer in the group before anything
+// was committed: a crash after the acks loses acknowledged writes.
+func (c *Coalescer) flushAckFirst() {
+	keys, vals, dones := c.keys, c.vals, c.dones
+	c.keys, c.vals, c.dones = nil, nil, nil
+	for _, d := range dones {
+		d <- nil // want "writer acknowledged .error-channel send. on a path where the group's DurableTree commit has not run"
+	}
+	_, _ = keys, vals
+}
+
+// ackBeforeCommit acks first and commits after — the commit's error can
+// no longer reach the writer it belongs to.
+func (c *Coalescer) ackBeforeCommit(done chan error) error {
+	done <- nil // want "writer acknowledged .error-channel send. on a path where the group's DurableTree commit has not run"
+	return c.tree.Sync()
+}
+
+// flushSkipsCommit commits on only one branch; the union meet reports the
+// ack because the other path reaches it with nothing committed.
+func (c *Coalescer) flushSkipsCommit(retry bool, done chan error) {
+	var err error
+	if !retry {
+		err = c.tree.Sync()
+	}
+	done <- err // want "writer acknowledged .error-channel send. on a path where the group's DurableTree commit has not run"
+}

@@ -1,0 +1,39 @@
+package fixture
+
+// Coalescer stands in for the serving layer's group-commit batcher
+// (DESIGN.md §12): writers block on per-write error channels, and
+// walorder checks that no path acknowledges one (a send on a chan error)
+// before the group's committing DurableTree call has run.
+type Coalescer struct {
+	tree  *DurableTree
+	keys  []int
+	vals  []int
+	dones []chan error
+}
+
+// flush is the correct ack ordering: swap the pending group out, commit
+// it as one durable batch, and only then acknowledge every writer with
+// the commit's own outcome.
+func (c *Coalescer) flush() {
+	keys, vals, dones := c.keys, c.vals, c.dones
+	c.keys, c.vals, c.dones = nil, nil, nil
+	if len(keys) == 0 {
+		return
+	}
+	_, err := c.tree.PutBatch(keys, vals)
+	for _, d := range dones {
+		d <- err
+	}
+}
+
+// enqueue only signals the flusher: a send on a non-error channel is not
+// a writer acknowledgement, so no commit needs to precede the kick.
+func (c *Coalescer) enqueue(k, v int, done chan error, kick chan struct{}) {
+	c.keys = append(c.keys, k)
+	c.vals = append(c.vals, v)
+	c.dones = append(c.dones, done)
+	select {
+	case kick <- struct{}{}:
+	default:
+	}
+}

@@ -34,9 +34,18 @@ import (
 // are not flagged. Function literals are opaque: an apply closure handed
 // to the append helper executes under the helper's framing, not at its
 // creation site.
+//
+// The serving layer (DESIGN.md §12) extends the same contract one level
+// up: in methods of a package-scope type named Coalescer — the
+// server-side group-commit batcher — a send on a `chan error` is a
+// writer acknowledgement, and no path may reach one before a committing
+// DurableTree call (Put / Insert / Delete / PutBatch / PutBatchParallel /
+// ApplySorted / Sync / Checkpoint) has run. The Coalescer lives in a
+// different package from DurableTree, so this rule classifies the
+// committing call by the receiver's type name rather than by identity.
 var WalOrder = &lintkit.Analyzer{
 	Name: "walorder",
-	Doc:  "check DESIGN.md §8 WAL write-path ordering in DurableTree methods: frame before apply, both under d.mu, commit before nil-error ack, commit errors checked",
+	Doc:  "check DESIGN.md §8 WAL write-path ordering in DurableTree methods (frame before apply, both under d.mu, commit before nil-error ack, commit errors checked) and §12 coalescer acks (no error-channel send before the group's commit)",
 	Run:  runWalOrder,
 }
 
@@ -78,7 +87,8 @@ const (
 
 func runWalOrder(pass *lintkit.Pass) error {
 	dt := scopeNamed(pass.Pkg, "DurableTree")
-	if dt == nil {
+	co := scopeNamed(pass.Pkg, "Coalescer")
+	if dt == nil && co == nil {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -92,10 +102,15 @@ func runWalOrder(pass *lintkit.Pass) error {
 				continue
 			}
 			recv := recvBaseNamed(obj)
-			if recv == nil || recv.Obj() != dt.Obj() {
+			if recv == nil {
 				continue
 			}
-			checkWalOrder(pass, fd, obj)
+			switch {
+			case dt != nil && recv.Obj() == dt.Obj():
+				checkWalOrder(pass, fd, obj)
+			case co != nil && recv.Obj() == co.Obj():
+				checkCoalescerAck(pass, fd)
+			}
 		}
 	}
 	return nil
@@ -304,6 +319,114 @@ func (c *woChecker) checkAck(ret *ast.ReturnStmt, f lintkit.Fact) {
 	if f&woNotCommitted != 0 {
 		c.pass.Reportf(ret.Pos(), "nil-error return acknowledges a write on a path that never reached Commit/Sync; commit the framed record before acking (DESIGN.md §8)")
 	}
+}
+
+// --- Coalescer ack ordering (DESIGN.md §12) -------------------------------
+
+// coNotCommitted is the Coalescer flow's only fact: no committing
+// DurableTree call has run yet on this path.
+const coNotCommitted lintkit.Fact = 1
+
+// durableCommitting are the DurableTree methods whose return marks the
+// group commit: once any of them has run, the batch's outcome — success
+// or error — is known and the writers may be acknowledged with it.
+var durableCommitting = map[string]bool{
+	"Put": true, "Insert": true, "Delete": true,
+	"PutBatch": true, "PutBatchParallel": true, "ApplySorted": true,
+	"Sync": true, "Checkpoint": true,
+}
+
+// checkCoalescerAck enforces the coalescer's ack ordering: a send on a
+// `chan error` acknowledges a blocked writer, so no path may reach one
+// before the group's committing DurableTree call. The Coalescer and the
+// DurableTree live in different packages, so committing calls are
+// classified by the receiver's type name.
+func checkCoalescerAck(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	c := &coChecker{pass: pass}
+
+	// Scope probe: only methods that acknowledge (send on a chan error)
+	// need the flow pass; enqueue/route/kick helpers are skipped.
+	hasAck := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if send, ok := n.(*ast.SendStmt); ok && c.isErrSend(send) {
+			hasAck = true
+		}
+		return true
+	})
+	if !hasAck {
+		return
+	}
+
+	flow := &lintkit.Flow{
+		CFG:      lintkit.BuildCFG(fd.Body),
+		Entry:    coNotCommitted,
+		Transfer: c.transfer,
+	}
+	flow.Run(c.visit, nil)
+}
+
+type coChecker struct {
+	pass *lintkit.Pass
+}
+
+// isErrSend reports whether send's channel carries error values — the
+// coalescer's writer-acknowledgement shape.
+func (c *coChecker) isErrSend(send *ast.SendStmt) bool {
+	t := c.pass.Info.TypeOf(send.Chan)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	return types.Identical(ch.Elem(), types.Universe.Lookup("error").Type())
+}
+
+// isCommit reports whether call is a committing method on a DurableTree
+// (by receiver type name; the tree's package differs from the
+// coalescer's).
+func (c *coChecker) isCommit(call *ast.CallExpr) bool {
+	callee := calleeFunc(c.pass.Info, call)
+	if callee == nil {
+		return false
+	}
+	recv := recvBaseNamed(callee)
+	return recv != nil && recv.Obj().Name() == "DurableTree" && durableCommitting[callee.Name()]
+}
+
+func (c *coChecker) transfer(n ast.Node, f lintkit.Fact) lintkit.Fact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && c.isCommit(call) {
+			f &^= coNotCommitted
+		}
+		return true
+	})
+	return f
+}
+
+func (c *coChecker) visit(n ast.Node, f lintkit.Fact) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if send, ok := m.(*ast.SendStmt); ok && c.isErrSend(send) && f&coNotCommitted != 0 {
+			c.pass.Reportf(send.Pos(), "writer acknowledged (error-channel send) on a path where the group's DurableTree commit has not run; commit the batch first, then ack every writer with its outcome (DESIGN.md §12)")
+		}
+		return true
+	})
 }
 
 // callName renders a short name for diagnostics.
